@@ -1,0 +1,170 @@
+//! Kernel-level microbenchmarks: the building blocks whose costs the paper
+//! reasons about — diffusion stencils, T-cell planning, reduction
+//! strategies, tiled-layout indexing, counter-RNG draws.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpusim::kernel::LaunchConfig;
+use gpusim::reduce::{atomic_reduce, tree_reduce};
+use gpusim::DeviceCounters;
+use simcov_core::diffusion::diffuse_voxel;
+use simcov_core::grid::{Coord, GridDims};
+use simcov_core::halo::HaloBox;
+use simcov_core::params::SimParams;
+use simcov_core::rng::{CounterRng, Stream};
+use simcov_core::rules::{plan_tcell, RuleView};
+use simcov_core::serial::SerialSim;
+use simcov_core::tcell::TCellSlot;
+use simcov_core::world::World;
+use simcov_gpu::tiles::TileLayout;
+
+fn bench_rng(c: &mut Criterion) {
+    c.bench_function("rng_counter_draw", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            CounterRng::new(42, Stream::TCellBid, 7, i).next_u64()
+        })
+    });
+    c.bench_function("rng_poisson_480", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            CounterRng::new(42, Stream::IncubationPeriod, 7, i).poisson(480.0)
+        })
+    });
+}
+
+fn bench_diffusion(c: &mut Criterion) {
+    c.bench_function("diffusion_stencil_64sq", |b| {
+        let dims = GridDims::new2d(64, 64);
+        let field: Vec<f32> = (0..dims.nvoxels()).map(|i| (i % 7) as f32).collect();
+        let mut out = vec![0.0f32; dims.nvoxels()];
+        b.iter(|| {
+            for v in 0..dims.nvoxels() {
+                let co = dims.coord(v);
+                let mut sum = 0.0;
+                let mut n = 0;
+                for u in dims.neighbors(co) {
+                    sum += field[u];
+                    n += 1;
+                }
+                out[v] = diffuse_voxel(field[v], sum, n, 0.15, 0.004, 1e-10);
+            }
+            out[0]
+        })
+    });
+}
+
+fn bench_tcell_plan(c: &mut Criterion) {
+    c.bench_function("tcell_plan_1k", |b| {
+        let dims = GridDims::new2d(64, 64);
+        let mut world = World::healthy(dims);
+        // Scatter 1000 T cells.
+        for k in 0..1000usize {
+            world.tcells[(k * 17) % dims.nvoxels()] = TCellSlot::established(100, 0);
+        }
+        let p = SimParams::default();
+        b.iter(|| {
+            let mut acc = 0u64;
+            for v in 0..dims.nvoxels() {
+                if RuleView::tcell(&world, dims.coord(v)).occupied() {
+                    let a = plan_tcell(&world, &p, 3, dims.coord(v));
+                    acc = acc.wrapping_add(format_action(a));
+                }
+            }
+            acc
+        })
+    });
+}
+
+fn format_action(a: simcov_core::rules::TCellAction) -> u64 {
+    match a {
+        simcov_core::rules::TCellAction::TryMove { bid, .. } => bid.src(),
+        _ => 1,
+    }
+}
+
+fn bench_reductions(c: &mut Criterion) {
+    let n = 65536usize;
+    let data: Vec<f64> = (0..n).map(|i| i as f64 * 0.5).collect();
+    let mut g = c.benchmark_group("reduction");
+    g.bench_function("tree_64k", |b| {
+        b.iter(|| {
+            let mut cnt = DeviceCounters::new();
+            tree_reduce(
+                &mut cnt,
+                LaunchConfig::cover(n, 256),
+                n,
+                8,
+                8,
+                0.0f64,
+                |i| data[i],
+                |a, b| *a += b,
+            )
+        })
+    });
+    g.bench_function("atomic_64k", |b| {
+        b.iter(|| {
+            let mut cnt = DeviceCounters::new();
+            atomic_reduce(&mut cnt, n, 8, 0.0f64, |i| data[i], |a, b| *a += b)
+        })
+    });
+    g.finish();
+}
+
+fn bench_tile_layout(c: &mut Criterion) {
+    let dims = GridDims::new2d(256, 256);
+    let p = simcov_core::decomp::Partition::new(dims, 4, simcov_core::decomp::Strategy::Blocks);
+    let layout = TileLayout::new(HaloBox::new(dims, *p.sub(0)), 8);
+    let mut g = c.benchmark_group("layout_indexing");
+    g.bench_function("tiled_local", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for y in 0..120i64 {
+                for x in 0..120i64 {
+                    acc = acc.wrapping_add(layout.local(Coord::new(x, y, 0)));
+                }
+            }
+            acc
+        })
+    });
+    let hb = HaloBox::new(dims, *p.sub(0));
+    g.bench_function("rowmajor_local", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for y in 0..120i64 {
+                for x in 0..120i64 {
+                    acc = acc.wrapping_add(hb.local(Coord::new(x, y, 0)));
+                }
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+fn bench_serial_step(c: &mut Criterion) {
+    let mut g = c.benchmark_group("serial_step");
+    for side in [32u32, 64] {
+        g.bench_with_input(BenchmarkId::from_parameter(side), &side, |b, &side| {
+            let p = SimParams::test_config(GridDims::new2d(side, side), 1000, 4, 7);
+            let mut sim = SerialSim::new(p);
+            // Warm the simulation into an active state.
+            for _ in 0..20 {
+                sim.advance_step();
+            }
+            b.iter(|| {
+                sim.advance_step();
+                sim.step
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_rng, bench_diffusion, bench_tcell_plan, bench_reductions, bench_tile_layout, bench_serial_step
+}
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Run the complete reproduction suite (every table and figure) in order.
+//! `SIMCOV_SCALE` / `SIMCOV_TRIALS` control fidelity vs. runtime.
+
+use std::process::Command;
+
+fn main() {
+    let bins = [
+        "table1_configs",
+        "fig4_breakdown",
+        "fig5_correctness",
+        "table2_agreement",
+        "fig6_strong",
+        "fig7_weak",
+        "fig8_foi",
+    ];
+    let exe = std::env::current_exe().expect("current exe");
+    let dir = exe.parent().expect("bin dir");
+    for b in bins {
+        println!("\n################ {b} ################\n");
+        let status = Command::new(dir.join(b))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {b}: {e}"));
+        assert!(status.success(), "{b} failed");
+    }
+}

@@ -1,0 +1,189 @@
+//! The `simcov` command-line tool: run a simulation from a SIMCoV-style
+//! config file on the executor of your choice, writing a CSV time series
+//! and optional PPM visualization frames — the workflow of the original
+//! open-source SIMCoV.
+//!
+//! ```text
+//! simcov <config-file> [--executor serial|cpu|gpu] [--units N]
+//!        [--out-csv FILE] [--frames DIR --n-frames K] [--variant NAME]
+//! ```
+
+use simcov_core::config::parse_config;
+use simcov_core::render::render_slice;
+use simcov_core::stats::TimeSeries;
+use simcov_core::world::World;
+use simcov_cpu::{CpuSim, CpuSimConfig};
+use simcov_gpu::{GpuSim, GpuSimConfig, GpuVariant};
+use std::fs;
+
+struct Args {
+    config: String,
+    executor: String,
+    units: usize,
+    out_csv: Option<String>,
+    frames: Option<String>,
+    n_frames: u64,
+    variant: GpuVariant,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: simcov <config-file> [--executor serial|cpu|gpu] [--units N]\n\
+         \t[--out-csv FILE] [--frames DIR] [--n-frames K]\n\
+         \t[--variant unoptimized|fast-reduction|memory-tiling|combined]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        config: String::new(),
+        executor: "gpu".into(),
+        units: 4,
+        out_csv: None,
+        frames: None,
+        n_frames: 8,
+        variant: GpuVariant::Combined,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--executor" => args.executor = it.next().unwrap_or_else(|| usage()),
+            "--units" => {
+                args.units = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--out-csv" => args.out_csv = Some(it.next().unwrap_or_else(|| usage())),
+            "--frames" => args.frames = Some(it.next().unwrap_or_else(|| usage())),
+            "--n-frames" => {
+                args.n_frames = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--variant" => {
+                args.variant = match it.next().as_deref() {
+                    Some("unoptimized") => GpuVariant::Unoptimized,
+                    Some("fast-reduction") => GpuVariant::FastReduction,
+                    Some("memory-tiling") => GpuVariant::MemoryTiling,
+                    Some("combined") => GpuVariant::Combined,
+                    _ => usage(),
+                }
+            }
+            "--help" | "-h" => usage(),
+            other if args.config.is_empty() && !other.starts_with('-') => {
+                args.config = other.to_string()
+            }
+            _ => usage(),
+        }
+    }
+    if args.config.is_empty() {
+        usage();
+    }
+    args
+}
+
+fn write_csv(path: &str, h: &TimeSeries) {
+    let mut out = String::from(
+        "step,virions,chemokine,tcells_vasculature,tcells_tissue,\
+         epi_healthy,epi_incubating,epi_expressing,epi_apoptotic,epi_dead,extravasated\n",
+    );
+    for s in &h.steps {
+        out.push_str(&format!(
+            "{},{},{},{},{},{},{},{},{},{},{}\n",
+            s.step,
+            s.virions,
+            s.chemokine,
+            s.tcells_vasculature,
+            s.tcells_tissue,
+            s.epi_healthy,
+            s.epi_incubating,
+            s.epi_expressing,
+            s.epi_apoptotic,
+            s.epi_dead,
+            s.extravasated
+        ));
+    }
+    fs::write(path, out).expect("write csv");
+}
+
+fn main() {
+    let args = parse_args();
+    let text = fs::read_to_string(&args.config)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", args.config));
+    let params = parse_config(&text).unwrap_or_else(|e| panic!("bad config: {e}"));
+    eprintln!(
+        "simcov: {}x{}x{} voxels, {} steps, {} FOI, executor {} (x{})",
+        params.dims.x,
+        params.dims.y,
+        params.dims.z,
+        params.steps,
+        params.num_foi,
+        args.executor,
+        args.units
+    );
+
+    let steps = params.steps;
+    let frame_every = (steps / args.n_frames.max(1)).max(1);
+    if let Some(dir) = &args.frames {
+        fs::create_dir_all(dir).expect("create frames dir");
+    }
+
+    // A step driver unified over executors.
+    enum Driver {
+        Serial(simcov_core::serial::SerialSim),
+        Cpu(CpuSim),
+        Gpu(GpuSim),
+    }
+    impl Driver {
+        fn advance(&mut self) {
+            match self {
+                Driver::Serial(s) => s.advance_step(),
+                Driver::Cpu(s) => s.advance_step(),
+                Driver::Gpu(s) => s.advance_step(),
+            }
+        }
+        fn world(&self) -> World {
+            match self {
+                Driver::Serial(s) => s.world.clone(),
+                Driver::Cpu(s) => s.gather_world(),
+                Driver::Gpu(s) => s.gather_world(),
+            }
+        }
+        fn history(&self) -> &TimeSeries {
+            match self {
+                Driver::Serial(s) => &s.history,
+                Driver::Cpu(s) => &s.history,
+                Driver::Gpu(s) => &s.history,
+            }
+        }
+    }
+
+    let mut driver = match args.executor.as_str() {
+        "serial" => Driver::Serial(simcov_core::serial::SerialSim::new(params)),
+        "cpu" => Driver::Cpu(CpuSim::new(CpuSimConfig::new(params, args.units))),
+        "gpu" => Driver::Gpu(GpuSim::new(
+            GpuSimConfig::new(params, args.units).with_variant(args.variant),
+        )),
+        _ => usage(),
+    };
+
+    for step in 1..=steps {
+        driver.advance();
+        if let Some(dir) = &args.frames {
+            if step % frame_every == 0 || step == steps {
+                let img = render_slice(&driver.world(), 0, 512);
+                let path = format!("{dir}/step_{step:06}.ppm");
+                fs::write(&path, img.to_ppm()).expect("write frame");
+                eprintln!("frame {path}");
+            }
+        }
+    }
+
+    let history = driver.history();
+    if let Some(path) = &args.out_csv {
+        write_csv(path, history);
+        eprintln!("time series -> {path} ({} rows)", history.len());
+    }
+    let last = history.steps.last().expect("at least one step");
+    println!(
+        "final: virions {:.4e}, tissue T cells {}, healthy {}, dead {}",
+        last.virions, last.tcells_tissue, last.epi_healthy, last.epi_dead
+    );
+}

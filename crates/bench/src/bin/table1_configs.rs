@@ -1,0 +1,66 @@
+//! Table 1 — the configuration matrix of the performance evaluation,
+//! printed at paper scale and at the current reproduction scale.
+
+use simcov_bench::configs::{paper, scale_from_env};
+use simcov_bench::report::Table;
+
+fn main() {
+    let scale = scale_from_env();
+    println!("== Table 1: experiment configurations ==\n");
+    let mut t = Table::new(&[
+        "Experiment",
+        "Min. Dim.",
+        "Max. Dim.",
+        "Min. FOI",
+        "Max. FOI",
+        "Min. {GPUs,CPUs}",
+        "Max. {GPUs,CPUs}",
+    ]);
+    t.row(vec![
+        "Correctness".into(),
+        "[10,000x10,000x1]".into(),
+        "[10,000x10,000x1]".into(),
+        "16".into(),
+        "16".into(),
+        "{4,128}".into(),
+        "{4,128}".into(),
+    ]);
+    t.row(vec![
+        "Strong Scaling".into(),
+        "[10,000x10,000x1]".into(),
+        "[10,000x10,000x1]".into(),
+        "16".into(),
+        "16".into(),
+        "{4,128}".into(),
+        "{64,2048}".into(),
+    ]);
+    t.row(vec![
+        "Weak Scaling".into(),
+        "[10,000x10,000x1]".into(),
+        "[40,000x40,000x1]".into(),
+        "16".into(),
+        "256".into(),
+        "{4,128}".into(),
+        "{64,2048}".into(),
+    ]);
+    t.row(vec![
+        "FOI Scaling".into(),
+        "[20,000x20,000x1]".into(),
+        "[20,000x20,000x1]".into(),
+        "64".into(),
+        "1024*".into(),
+        "{16,512}".into(),
+        "{16,512}".into(),
+    ]);
+    println!("{}", t.render());
+    println!("* the paper could not run a 1024-FOI SIMCoV-CPU trial; this reproduction can.\n");
+    println!(
+        "Reproduction scale: 1/{scale} linear (grids {}x{} .. {}x{}, {} steps); \
+         machine sizes are preserved as logical ranks.",
+        paper::STRONG_GRID / scale,
+        paper::STRONG_GRID / scale,
+        paper::WEAK_GRIDS[4] / scale,
+        paper::WEAK_GRIDS[4] / scale,
+        paper::STEPS / scale as u64,
+    );
+}

@@ -1,0 +1,123 @@
+//! Report formatting: paper-style tables with paper-vs-measured columns.
+
+/// Format a runtime in seconds with sensible precision.
+pub fn fmt_secs(s: f64) -> String {
+    if s >= 100.0 {
+        format!("{s:.0}")
+    } else if s >= 1.0 {
+        format!("{s:.1}")
+    } else {
+        format!("{s:.3}")
+    }
+}
+
+/// A simple fixed-width text table.
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    pub fn new(header: &[&str]) -> Self {
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    pub fn render(&self) -> String {
+        let ncols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for i in 0..ncols {
+                line.push_str(&format!("{:<w$}", cells[i], w = widths[i] + 2));
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (ncols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Compare a measured ratio against the paper's: returns a ✓/≈/✗ shape
+/// verdict (within 35 % relative → ✓, within a factor of 2 → ≈).
+pub fn shape_verdict(paper: f64, measured: f64) -> &'static str {
+    if paper <= 0.0 || measured <= 0.0 {
+        return "✗";
+    }
+    let ratio = (measured / paper).max(paper / measured);
+    if ratio <= 1.35 {
+        "✓"
+    } else if ratio <= 2.0 {
+        "≈"
+    } else {
+        "✗"
+    }
+}
+
+/// A standard experiment banner.
+pub fn banner(title: &str, scale: u32) -> String {
+    format!(
+        "== {title} ==\n(scaled 1/{scale} linearly; work counters extrapolated to paper scale; \
+         simulated seconds from the calibrated A100/CPU-node cost model)\n"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["a", "long-header", "c"]);
+        t.row(vec!["1".into(), "2".into(), "3".into()]);
+        t.row(vec!["xxxx".into(), "y".into(), "z".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("long-header"));
+        assert!(lines[2].starts_with("1"));
+    }
+
+    #[test]
+    #[should_panic]
+    fn table_rejects_ragged_rows() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn verdicts() {
+        assert_eq!(shape_verdict(4.98, 5.0), "✓");
+        assert_eq!(shape_verdict(4.98, 3.8), "✓");
+        assert_eq!(shape_verdict(4.98, 8.0), "≈");
+        assert_eq!(shape_verdict(4.98, 15.0), "✗");
+        assert_eq!(shape_verdict(1.0, 0.0), "✗");
+    }
+
+    #[test]
+    fn seconds_formatting() {
+        assert_eq!(fmt_secs(1234.5), "1234");
+        assert_eq!(fmt_secs(12.34), "12.3");
+        assert_eq!(fmt_secs(0.1234), "0.123");
+    }
+}

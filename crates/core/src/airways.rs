@@ -1,0 +1,218 @@
+//! Branching airway structure generation.
+//!
+//! SIMCoV overlays lung structure on the voxel grid by leaving voxels empty
+//! of epithelial cells (§2.2: "structure is defined for the simulation,
+//! such as branching airways in the lung, by leaving some voxels empty");
+//! §6 anticipates "fractal branching airways" overlaid on full-lung
+//! volumes. This module generates a deterministic dichotomous branching
+//! tree (the standard Weibel-like airway idealization) in 2D or 3D and
+//! returns the voxel set to carve.
+
+use crate::grid::{Coord, GridDims};
+
+/// Parameters of the branching tree.
+#[derive(Debug, Clone, Copy)]
+pub struct AirwayTree {
+    /// Bifurcation generations (Weibel generations to model).
+    pub generations: u32,
+    /// Trunk length as a fraction of the grid's y extent.
+    pub trunk_fraction: f64,
+    /// Length ratio per generation (≈ 2^-1/3 for the Weibel model).
+    pub length_ratio: f64,
+    /// Half-angle between daughter branches (radians).
+    pub branch_angle: f64,
+    /// Trunk radius in voxels (daughters shrink with the length ratio).
+    pub trunk_radius: f64,
+}
+
+impl Default for AirwayTree {
+    fn default() -> Self {
+        AirwayTree {
+            generations: 6,
+            trunk_fraction: 0.28,
+            length_ratio: 0.79, // 2^{-1/3}, Weibel's diameter/length law
+            branch_angle: 0.6,
+            trunk_radius: 2.5,
+        }
+    }
+}
+
+/// Rasterize a thick line segment into voxel indices.
+fn carve_segment(dims: GridDims, from: (f64, f64, f64), to: (f64, f64, f64), radius: f64, out: &mut Vec<usize>) {
+    let steps = ((to.0 - from.0).abs() + (to.1 - from.1).abs() + (to.2 - from.2).abs()).ceil() as usize + 1;
+    let r = radius.max(0.5);
+    let ri = r.ceil() as i64;
+    for i in 0..=steps {
+        let t = i as f64 / steps as f64;
+        let cx = from.0 + (to.0 - from.0) * t;
+        let cy = from.1 + (to.1 - from.1) * t;
+        let cz = from.2 + (to.2 - from.2) * t;
+        for dz in -ri..=ri {
+            for dy in -ri..=ri {
+                for dx in -ri..=ri {
+                    // Skip z offsets entirely on 2D grids.
+                    if dims.is_2d() && dz != 0 {
+                        continue;
+                    }
+                    let d2 = (dx * dx + dy * dy + dz * dz) as f64;
+                    if d2 > r * r {
+                        continue;
+                    }
+                    let c = Coord::new(
+                        (cx.round() as i64) + dx,
+                        (cy.round() as i64) + dy,
+                        (cz.round() as i64) + dz,
+                    );
+                    if let Some(idx) = dims.checked_index(c) {
+                        out.push(idx);
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn branch(
+    dims: GridDims,
+    tree: &AirwayTree,
+    pos: (f64, f64, f64),
+    dir: (f64, f64, f64),
+    length: f64,
+    radius: f64,
+    generation: u32,
+    out: &mut Vec<usize>,
+) {
+    if generation > tree.generations || length < 1.0 {
+        return;
+    }
+    let end = (
+        pos.0 + dir.0 * length,
+        pos.1 + dir.1 * length,
+        pos.2 + dir.2 * length,
+    );
+    carve_segment(dims, pos, end, radius, out);
+    // Two daughters rotated ±branch_angle in the plane; in 3D alternate the
+    // bifurcation plane per generation (xy vs xz) — the standard idealized
+    // in-vivo pattern.
+    let (sin, cos) = tree.branch_angle.sin_cos();
+    let daughters: [(f64, f64, f64); 2] = if dims.is_2d() || generation.is_multiple_of(2) {
+        [
+            (dir.0 * cos - dir.1 * sin, dir.0 * sin + dir.1 * cos, dir.2),
+            (dir.0 * cos + dir.1 * sin, -dir.0 * sin + dir.1 * cos, dir.2),
+        ]
+    } else {
+        [
+            (dir.0 * cos - dir.2 * sin, dir.1, dir.0 * sin + dir.2 * cos),
+            (dir.0 * cos + dir.2 * sin, dir.1, -dir.0 * sin + dir.2 * cos),
+        ]
+    };
+    for d in daughters {
+        branch(
+            dims,
+            tree,
+            end,
+            d,
+            length * tree.length_ratio,
+            (radius * tree.length_ratio).max(0.5),
+            generation + 1,
+            out,
+        );
+    }
+}
+
+/// Generate the airway voxel set for a grid: trunk entering at the top
+/// center (y = 0), branching downward. Returns sorted, deduplicated global
+/// voxel indices suitable for [`crate::world::World::carve_airways`].
+pub fn airway_voxels(dims: GridDims, tree: &AirwayTree) -> Vec<usize> {
+    let mut out = Vec::new();
+    let start = (
+        dims.x as f64 / 2.0,
+        0.0,
+        if dims.is_2d() { 0.0 } else { dims.z as f64 / 2.0 },
+    );
+    let trunk_len = dims.y as f64 * tree.trunk_fraction;
+    branch(
+        dims,
+        tree,
+        start,
+        (0.0, 1.0, 0.0),
+        trunk_len,
+        tree.trunk_radius,
+        0,
+        &mut out,
+    );
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tree_carves_a_reasonable_fraction_2d() {
+        let dims = GridDims::new2d(128, 128);
+        let v = airway_voxels(dims, &AirwayTree::default());
+        let frac = v.len() as f64 / dims.nvoxels() as f64;
+        assert!(
+            (0.01..0.35).contains(&frac),
+            "airway fraction {frac} out of range ({} voxels)",
+            v.len()
+        );
+        for &idx in &v {
+            assert!(idx < dims.nvoxels());
+        }
+        // Sorted and deduplicated.
+        for w in v.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn tree_is_deterministic() {
+        let dims = GridDims::new2d(96, 96);
+        let a = airway_voxels(dims, &AirwayTree::default());
+        let b = airway_voxels(dims, &AirwayTree::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn trunk_starts_at_top_center() {
+        let dims = GridDims::new2d(100, 100);
+        let v = airway_voxels(dims, &AirwayTree::default());
+        // The voxel at (50, 1) must be airway.
+        let idx = dims.index(crate::grid::Coord::new(50, 1, 0));
+        assert!(v.binary_search(&idx).is_ok(), "trunk missing at top center");
+    }
+
+    #[test]
+    fn tree_3d_uses_z() {
+        let dims = GridDims::new3d(64, 64, 64);
+        let v = airway_voxels(dims, &AirwayTree::default());
+        assert!(!v.is_empty());
+        // Some carved voxel must leave the central z plane (3D branching).
+        let off_plane = v.iter().any(|&i| dims.coord(i).z != 32);
+        assert!(off_plane, "3D tree should branch out of plane");
+    }
+
+    #[test]
+    fn more_generations_carve_more() {
+        let dims = GridDims::new2d(128, 128);
+        let small = airway_voxels(
+            dims,
+            &AirwayTree {
+                generations: 2,
+                ..Default::default()
+            },
+        );
+        let large = airway_voxels(
+            dims,
+            &AirwayTree {
+                generations: 7,
+                ..Default::default()
+            },
+        );
+        assert!(large.len() > small.len());
+    }
+}

@@ -1,0 +1,272 @@
+//! Checkpoint/restore: snapshot a running simulation to a compact binary
+//! blob and resume it later — bitwise-exactly, thanks to the counter-based
+//! RNG (no hidden generator state to capture).
+//!
+//! Long SIMCoV campaigns (33,120+ steps) need restartability on shared
+//! clusters; the format here is a simple versioned little-endian layout
+//! with no external dependencies.
+
+use crate::fields::Field;
+use crate::grid::GridDims;
+use crate::params::SimParams;
+use crate::serial::SerialSim;
+use crate::tcell::{Cohort, TCellSlot, VascularPool};
+use crate::world::World;
+
+const MAGIC: &[u8; 8] = b"SIMCOVCK";
+const VERSION: u32 = 1;
+
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn new() -> Self {
+        Writer { buf: Vec::new() }
+    }
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn f32s(&mut self, vs: &[f32]) {
+        for v in vs {
+            self.buf.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+    fn u32s(&mut self, vs: &[u32]) {
+        for v in vs {
+            self.buf.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+    fn bytes(&mut self, vs: &[u8]) {
+        self.buf.extend_from_slice(vs);
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        if self.pos + n > self.buf.len() {
+            return Err(format!(
+                "truncated checkpoint: need {n} bytes at offset {}",
+                self.pos
+            ));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+    fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn f64(&mut self) -> Result<f64, String> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn f32s(&mut self, n: usize) -> Result<Vec<f32>, String> {
+        let raw = self.take(n * 4)?;
+        Ok(raw
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+            .collect())
+    }
+    fn u32s(&mut self, n: usize) -> Result<Vec<u32>, String> {
+        let raw = self.take(n * 4)?;
+        Ok(raw
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+            .collect())
+    }
+}
+
+/// Serialize a serial simulation's full resumable state (world, pool,
+/// step counter). Parameters are *not* embedded — resuming requires the
+/// same `SimParams`, which is checked via a fingerprint.
+pub fn save(sim: &SerialSim) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.bytes(MAGIC);
+    w.u32(VERSION);
+    w.u64(params_fingerprint(&sim.params));
+    w.u64(sim.step);
+    let dims = sim.world.dims;
+    w.u32(dims.x);
+    w.u32(dims.y);
+    w.u32(dims.z);
+    w.bytes(&sim.world.epi.state);
+    w.u32s(&sim.world.epi.timer);
+    w.u32s(
+        &sim.world
+            .tcells
+            .iter()
+            .map(|t| t.0)
+            .collect::<Vec<u32>>(),
+    );
+    w.f32s(&sim.world.virions.data);
+    w.f32s(&sim.world.chemokine.data);
+    let (cohorts, carry, total) = sim.pool.snapshot();
+    w.f64(carry);
+    w.u64(total);
+    w.u64(cohorts.len() as u64);
+    for c in cohorts {
+        w.u64(c.expiry_step);
+        w.u64(c.count);
+    }
+    w.buf
+}
+
+/// Restore a simulation from [`save`] output. The statistics history is
+/// not part of the checkpoint; the resumed run logs from the current step.
+pub fn restore(params: SimParams, blob: &[u8]) -> Result<SerialSim, String> {
+    let mut r = Reader { buf: blob, pos: 0 };
+    if r.take(8)? != MAGIC {
+        return Err("not a SIMCoV checkpoint (bad magic)".into());
+    }
+    let version = r.u32()?;
+    if version != VERSION {
+        return Err(format!("unsupported checkpoint version {version}"));
+    }
+    let fp = r.u64()?;
+    if fp != params_fingerprint(&params) {
+        return Err("parameter fingerprint mismatch: resuming with different parameters".into());
+    }
+    let step = r.u64()?;
+    let dims = GridDims::new3d(r.u32()?, r.u32()?, r.u32()?);
+    if dims != params.dims {
+        return Err(format!("dims mismatch: {dims:?} vs {:?}", params.dims));
+    }
+    let n = dims.nvoxels();
+    let epi_state = r.take(n)?.to_vec();
+    for &b in &epi_state {
+        if b > 5 {
+            return Err(format!("corrupt epithelial state byte {b}"));
+        }
+    }
+    let epi_timer = r.u32s(n)?;
+    let tcells: Vec<TCellSlot> = r.u32s(n)?.into_iter().map(TCellSlot).collect();
+    let virions = r.f32s(n)?;
+    let chemokine = r.f32s(n)?;
+    let carry = r.f64()?;
+    let total = r.u64()?;
+    let n_cohorts = r.u64()? as usize;
+    let mut cohorts = Vec::with_capacity(n_cohorts);
+    for _ in 0..n_cohorts {
+        cohorts.push(Cohort {
+            expiry_step: r.u64()?,
+            count: r.u64()?,
+        });
+    }
+    let world = World {
+        dims,
+        epi: crate::epithelial::EpiCells {
+            state: epi_state,
+            timer: epi_timer,
+        },
+        tcells,
+        virions: Field { data: virions },
+        chemokine: Field { data: chemokine },
+    };
+    let mut sim = SerialSim::from_world(params, world);
+    sim.pool = VascularPool::from_snapshot(cohorts, carry, total);
+    sim.step = step;
+    Ok(sim)
+}
+
+/// A cheap structural fingerprint of the parameters (hash of the debug
+/// formatting — parameters are plain data, so this is stable within a
+/// build and catches accidental mismatches).
+fn params_fingerprint(p: &SimParams) -> u64 {
+    let s = format!("{p:?}");
+    let mut h = 0xcbf29ce484222325u64; // FNV-1a
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::GridDims;
+
+    fn sim() -> SerialSim {
+        let p = SimParams::test_config(GridDims::new2d(24, 24), 160, 3, 13);
+        SerialSim::new(p)
+    }
+
+    #[test]
+    fn resume_equals_uninterrupted_run() {
+        let mut full = sim();
+        full.run();
+
+        let mut first_half = sim();
+        for _ in 0..80 {
+            first_half.advance_step();
+        }
+        let blob = save(&first_half);
+        let mut resumed = restore(first_half.params.clone(), &blob).unwrap();
+        assert_eq!(resumed.step, 80);
+        for _ in 80..160 {
+            resumed.advance_step();
+        }
+        assert!(
+            full.world.first_difference(&resumed.world).is_none(),
+            "resumed run diverged from uninterrupted run"
+        );
+        assert_eq!(full.pool, resumed.pool);
+    }
+
+    #[test]
+    fn rejects_wrong_parameters() {
+        let mut a = sim();
+        a.advance_step();
+        let blob = save(&a);
+        let mut other = a.params.clone();
+        other.infectivity *= 2.0;
+        let e = restore(other, &blob).unwrap_err();
+        assert!(e.contains("fingerprint"), "{e}");
+    }
+
+    #[test]
+    fn rejects_corrupt_blobs() {
+        let mut a = sim();
+        a.advance_step();
+        let mut blob = save(&a);
+        // Truncation.
+        let short = &blob[..blob.len() / 2];
+        assert!(restore(a.params.clone(), short).is_err());
+        // Bad magic.
+        blob[0] ^= 0xff;
+        assert!(restore(a.params.clone(), &blob).is_err());
+    }
+
+    #[test]
+    fn rejects_corrupt_state_bytes() {
+        let mut a = sim();
+        a.advance_step();
+        let mut blob = save(&a);
+        // Corrupt an epithelial state byte (header is 8+4+8+8+12 = 40).
+        blob[45] = 99;
+        let e = restore(a.params.clone(), &blob).unwrap_err();
+        assert!(e.contains("epithelial"), "{e}");
+    }
+
+    #[test]
+    fn checkpoint_size_is_compact() {
+        let a = sim();
+        let blob = save(&a);
+        // 24×24 voxels × 17 B/voxel + header ≈ 10 KB.
+        assert!(blob.len() < 16 * 1024, "blob {} bytes", blob.len());
+    }
+}

@@ -1,0 +1,191 @@
+//! SIMCoV-style configuration file parsing.
+//!
+//! The open-source SIMCoV drives runs from `key = value` config files
+//! (e.g. `covid_default.config`); this module parses that format so
+//! existing workflows can be ported. Lines starting with `;` or `#` are
+//! comments; keys use the SIMCoV names where they exist.
+
+use crate::grid::GridDims;
+use crate::params::SimParams;
+
+/// Parse a SIMCoV-style config string into parameters, starting from the
+/// defaults. Unknown keys are rejected (typos should fail loudly).
+pub fn parse_config(text: &str) -> Result<SimParams, String> {
+    let mut p = SimParams::default();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with(';') || line.starts_with('#') {
+            continue;
+        }
+        let (key, value) = line
+            .split_once('=')
+            .ok_or_else(|| format!("line {}: expected `key = value`, got `{line}`", lineno + 1))?;
+        let key = key.trim();
+        let value = value.trim();
+        let err = |e: &dyn std::fmt::Display| format!("line {}: {key}: {e}", lineno + 1);
+
+        macro_rules! num {
+            ($ty:ty) => {
+                value.parse::<$ty>().map_err(|e| err(&e))?
+            };
+        }
+        match key {
+            "dim" => {
+                // SIMCoV format: "x y z".
+                let parts: Vec<&str> = value.split_whitespace().collect();
+                if parts.len() != 3 {
+                    return Err(err(&"expected three dimensions `x y z`"));
+                }
+                let x = parts[0].parse::<u32>().map_err(|e| err(&e))?;
+                let y = parts[1].parse::<u32>().map_err(|e| err(&e))?;
+                let z = parts[2].parse::<u32>().map_err(|e| err(&e))?;
+                p.dims = GridDims::new3d(x, y, z.max(1));
+            }
+            "timesteps" => p.steps = num!(u64),
+            "seed" | "rnd-seed" => p.seed = num!(u64),
+            "infectivity" => p.infectivity = num!(f64),
+            "virion-production" => p.virion_production = num!(f32),
+            "virion-clearance" => p.virion_clearance = num!(f32),
+            "virion-diffusion" => p.virion_diffusion = num!(f32),
+            "min-virions" => p.min_virions = num!(f32),
+            "chemokine-production" => p.chemokine_production = num!(f32),
+            "chemokine-decay" => p.chemokine_decay = num!(f32),
+            "chemokine-diffusion" => p.chemokine_diffusion = num!(f32),
+            "min-chemokine" => p.min_chemokine = num!(f32),
+            "incubation-period" => p.incubation_period = num!(f64),
+            "expressing-period" => p.expressing_period = num!(f64),
+            "apoptosis-period" => p.apoptosis_period = num!(f64),
+            "tcell-generation-rate" => p.tcell_generation_rate = num!(f64),
+            "tcell-initial-delay" => p.tcell_initial_delay = num!(u64),
+            "tcell-vascular-period" => p.tcell_vascular_period = num!(f64),
+            "tcell-tissue-period" => p.tcell_tissue_period = num!(f64),
+            "tcell-binding-period" => p.tcell_binding_period = num!(u32),
+            "max-binding-prob" => p.max_binding_prob = num!(f64),
+            "initial-infection" => p.initial_infection = num!(f32),
+            "num-infections" | "num-foi" => p.num_foi = num!(u32),
+            other => return Err(format!("line {}: unknown key `{other}`", lineno + 1)),
+        }
+    }
+    p.validate()?;
+    Ok(p)
+}
+
+/// Render parameters back to the config format (round-trippable).
+pub fn to_config(p: &SimParams) -> String {
+    format!(
+        "; SIMCoV configuration\n\
+         dim = {} {} {}\n\
+         timesteps = {}\n\
+         seed = {}\n\
+         infectivity = {}\n\
+         virion-production = {}\n\
+         virion-clearance = {}\n\
+         virion-diffusion = {}\n\
+         min-virions = {}\n\
+         chemokine-production = {}\n\
+         chemokine-decay = {}\n\
+         chemokine-diffusion = {}\n\
+         min-chemokine = {}\n\
+         incubation-period = {}\n\
+         expressing-period = {}\n\
+         apoptosis-period = {}\n\
+         tcell-generation-rate = {}\n\
+         tcell-initial-delay = {}\n\
+         tcell-vascular-period = {}\n\
+         tcell-tissue-period = {}\n\
+         tcell-binding-period = {}\n\
+         max-binding-prob = {}\n\
+         initial-infection = {}\n\
+         num-infections = {}\n",
+        p.dims.x,
+        p.dims.y,
+        p.dims.z,
+        p.steps,
+        p.seed,
+        p.infectivity,
+        p.virion_production,
+        p.virion_clearance,
+        p.virion_diffusion,
+        p.min_virions,
+        p.chemokine_production,
+        p.chemokine_decay,
+        p.chemokine_diffusion,
+        p.min_chemokine,
+        p.incubation_period,
+        p.expressing_period,
+        p.apoptosis_period,
+        p.tcell_generation_rate,
+        p.tcell_initial_delay,
+        p.tcell_vascular_period,
+        p.tcell_tissue_period,
+        p.tcell_binding_period,
+        p.max_binding_prob,
+        p.initial_infection,
+        p.num_foi,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_minimal_config() {
+        let p = parse_config(
+            "; covid run\n\
+             dim = 100 100 1\n\
+             timesteps = 500\n\
+             num-infections = 4\n\
+             infectivity = 0.002\n",
+        )
+        .unwrap();
+        assert_eq!(p.dims, GridDims::new2d(100, 100));
+        assert_eq!(p.steps, 500);
+        assert_eq!(p.num_foi, 4);
+        assert_eq!(p.infectivity, 0.002);
+        // Untouched keys keep defaults.
+        assert_eq!(p.virion_production, SimParams::default().virion_production);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let p = parse_config("\n; c1\n# c2\n  \ntimesteps = 7\n").unwrap();
+        assert_eq!(p.steps, 7);
+    }
+
+    #[test]
+    fn unknown_key_rejected_with_line_number() {
+        let e = parse_config("timesteps = 5\nvirulence = 3\n").unwrap_err();
+        assert!(e.contains("line 2"), "{e}");
+        assert!(e.contains("virulence"), "{e}");
+    }
+
+    #[test]
+    fn malformed_line_rejected() {
+        assert!(parse_config("timesteps 5").is_err());
+        assert!(parse_config("timesteps = five").is_err());
+    }
+
+    #[test]
+    fn invalid_values_rejected_by_validation() {
+        let e = parse_config("virion-diffusion = 1.5").unwrap_err();
+        assert!(e.contains("virion_diffusion"), "{e}");
+    }
+
+    #[test]
+    fn roundtrip() {
+        let mut p = SimParams::default();
+        p.dims = GridDims::new3d(30, 20, 10);
+        p.num_foi = 9;
+        p.infectivity = 0.0042;
+        let q = parse_config(&to_config(&p)).unwrap();
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn simcov_3d_dims() {
+        let p = parse_config("dim = 50 60 70").unwrap();
+        assert_eq!(p.dims, GridDims::new3d(50, 60, 70));
+        assert!(!p.dims.is_2d());
+    }
+}

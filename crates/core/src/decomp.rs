@@ -1,0 +1,374 @@
+//! Domain decomposition: splitting the voxel grid across ranks/devices.
+//!
+//! SIMCoV distributes the simulation by linear, 2D or 3D block decomposition
+//! (§2.2, Fig 1B); the choice affects communication surface area. Subdomains
+//! are axis-aligned boxes with near-equal sizes; ownership is computed by a
+//! closed-form formula so any rank can locate any voxel's owner without
+//! communication (the PGAS property).
+
+use crate::grid::{Coord, GridDims};
+use serde::{Deserialize, Serialize};
+
+/// Decomposition strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Strategy {
+    /// 1D strips along the highest significant axis (y for 2D, z for 3D) —
+    /// the "linear" layout of Fig 1B (top).
+    Linear,
+    /// Near-square/cube blocks — the "block" layout of Fig 1B (bottom),
+    /// used by SIMCoV-GPU (Fig 3).
+    Blocks,
+}
+
+/// An axis-aligned subdomain `[lo, hi)` owned by one rank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Subdomain {
+    pub rank: usize,
+    /// Inclusive lower corner.
+    pub lo: Coord,
+    /// Exclusive upper corner.
+    pub hi: Coord,
+}
+
+impl Subdomain {
+    #[inline]
+    pub fn contains(&self, c: Coord) -> bool {
+        c.x >= self.lo.x
+            && c.x < self.hi.x
+            && c.y >= self.lo.y
+            && c.y < self.hi.y
+            && c.z >= self.lo.z
+            && c.z < self.hi.z
+    }
+
+    /// Core (owned) extent along each axis.
+    #[inline]
+    pub fn core_dims(&self) -> (usize, usize, usize) {
+        (
+            (self.hi.x - self.lo.x) as usize,
+            (self.hi.y - self.lo.y) as usize,
+            (self.hi.z - self.lo.z) as usize,
+        )
+    }
+
+    #[inline]
+    pub fn nvoxels(&self) -> usize {
+        let (x, y, z) = self.core_dims();
+        x * y * z
+    }
+
+    /// Iterate owned coordinates in global index order (z, y, x — x fastest).
+    pub fn iter_coords(&self) -> impl Iterator<Item = Coord> + '_ {
+        let lo = self.lo;
+        let hi = self.hi;
+        (lo.z..hi.z).flat_map(move |z| {
+            (lo.y..hi.y).flat_map(move |y| (lo.x..hi.x).map(move |x| Coord::new(x, y, z)))
+        })
+    }
+
+    /// Is the coordinate within Chebyshev distance 1 of this subdomain
+    /// (i.e. owned or in its ghost halo)?
+    #[inline]
+    pub fn in_halo_reach(&self, c: Coord) -> bool {
+        c.x >= self.lo.x - 1
+            && c.x < self.hi.x + 1
+            && c.y >= self.lo.y - 1
+            && c.y < self.hi.y + 1
+            && c.z >= self.lo.z - 1
+            && c.z < self.hi.z + 1
+    }
+}
+
+/// A full partition of the grid into `n_ranks` subdomains on an
+/// `nx × ny × nz` rank lattice.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Partition {
+    pub dims: GridDims,
+    pub rank_grid: (usize, usize, usize),
+    subs: Vec<Subdomain>,
+}
+
+/// Near-equal split points of a length-`len` axis into `k` parts:
+/// part `i` covers `[i·len/k, (i+1)·len/k)`.
+#[inline]
+fn split_point(len: u32, k: usize, i: usize) -> i64 {
+    (i as u64 * len as u64 / k as u64) as i64
+}
+
+/// Index of the part containing `x` under the near-equal split.
+#[inline]
+fn part_of(x: i64, len: u32, k: usize) -> usize {
+    debug_assert!(x >= 0 && (x as u64) < len as u64);
+    (((x as u64 + 1) * k as u64 - 1) / len as u64) as usize
+}
+
+/// Factor `n` into `(nx, ny, nz)` minimizing the surface-to-volume ratio of
+/// the blocks for the given grid aspect. For 2D grids `nz == 1`.
+fn factor(dims: GridDims, n: usize) -> (usize, usize, usize) {
+    let mut best = (n, 1, 1);
+    let mut best_cost = f64::INFINITY;
+    let want_z = !dims.is_2d();
+    let mut nx = 1;
+    while nx <= n {
+        if n.is_multiple_of(nx) {
+            let rest = n / nx;
+            let mut ny = 1;
+            while ny <= rest {
+                if rest.is_multiple_of(ny) {
+                    let nz = rest / ny;
+                    if !want_z && nz != 1 {
+                        ny += 1;
+                        continue;
+                    }
+                    if nx as u64 > dims.x as u64
+                        || ny as u64 > dims.y as u64
+                        || nz as u64 > dims.z as u64
+                    {
+                        ny += 1;
+                        continue;
+                    }
+                    // Block extents; cost = communication surface.
+                    let bx = dims.x as f64 / nx as f64;
+                    let by = dims.y as f64 / ny as f64;
+                    let bz = dims.z as f64 / nz as f64;
+                    let cost = if want_z {
+                        bx * by + by * bz + bx * bz
+                    } else {
+                        bx + by
+                    };
+                    if cost < best_cost {
+                        best_cost = cost;
+                        best = (nx, ny, nz);
+                    }
+                }
+                ny += 1;
+            }
+        }
+        nx += 1;
+    }
+    best
+}
+
+impl Partition {
+    /// Partition `dims` across `n_ranks` using `strategy`. Panics if the
+    /// grid cannot host that many ranks (more ranks than voxels along the
+    /// split axes).
+    pub fn new(dims: GridDims, n_ranks: usize, strategy: Strategy) -> Self {
+        assert!(n_ranks >= 1, "need at least one rank");
+        let rank_grid = match strategy {
+            Strategy::Linear => {
+                if dims.is_2d() {
+                    assert!(
+                        n_ranks as u64 <= dims.y as u64,
+                        "linear decomposition: {n_ranks} ranks > {} rows",
+                        dims.y
+                    );
+                    (1, n_ranks, 1)
+                } else {
+                    assert!(n_ranks as u64 <= dims.z as u64);
+                    (1, 1, n_ranks)
+                }
+            }
+            Strategy::Blocks => {
+                let f = factor(dims, n_ranks);
+                assert_eq!(
+                    f.0 * f.1 * f.2,
+                    n_ranks,
+                    "no valid factorization of {n_ranks} ranks over {dims:?}"
+                );
+                f
+            }
+        };
+        let (nx, ny, nz) = rank_grid;
+        let mut subs = Vec::with_capacity(n_ranks);
+        for rz in 0..nz {
+            for ry in 0..ny {
+                for rx in 0..nx {
+                    let rank = (rz * ny + ry) * nx + rx;
+                    subs.push(Subdomain {
+                        rank,
+                        lo: Coord::new(
+                            split_point(dims.x, nx, rx),
+                            split_point(dims.y, ny, ry),
+                            split_point(dims.z, nz, rz),
+                        ),
+                        hi: Coord::new(
+                            split_point(dims.x, nx, rx + 1),
+                            split_point(dims.y, ny, ry + 1),
+                            split_point(dims.z, nz, rz + 1),
+                        ),
+                    });
+                }
+            }
+        }
+        Partition {
+            dims,
+            rank_grid,
+            subs,
+        }
+    }
+
+    #[inline]
+    pub fn n_ranks(&self) -> usize {
+        self.subs.len()
+    }
+
+    #[inline]
+    pub fn sub(&self, rank: usize) -> &Subdomain {
+        &self.subs[rank]
+    }
+
+    pub fn subdomains(&self) -> &[Subdomain] {
+        &self.subs
+    }
+
+    /// The rank owning a (global, in-bounds) coordinate — closed form, no
+    /// search.
+    #[inline]
+    pub fn owner(&self, c: Coord) -> usize {
+        let (nx, ny, nz) = self.rank_grid;
+        let rx = part_of(c.x, self.dims.x, nx);
+        let ry = part_of(c.y, self.dims.y, ny);
+        let rz = part_of(c.z, self.dims.z, nz);
+        (rz * ny + ry) * nx + rx
+    }
+
+    /// Ranks whose subdomains touch `rank`'s (Chebyshev-adjacent on the rank
+    /// lattice) — the halo-exchange peer set, including diagonal neighbors.
+    pub fn neighbor_ranks(&self, rank: usize) -> Vec<usize> {
+        let (nx, ny, nz) = self.rank_grid;
+        let rx = rank % nx;
+        let ry = (rank / nx) % ny;
+        let rz = rank / (nx * ny);
+        let mut out = Vec::new();
+        for dz in -1i64..=1 {
+            for dy in -1i64..=1 {
+                for dx in -1i64..=1 {
+                    if dx == 0 && dy == 0 && dz == 0 {
+                        continue;
+                    }
+                    let (qx, qy, qz) = (rx as i64 + dx, ry as i64 + dy, rz as i64 + dz);
+                    if qx >= 0
+                        && qy >= 0
+                        && qz >= 0
+                        && (qx as usize) < nx
+                        && (qy as usize) < ny
+                        && (qz as usize) < nz
+                    {
+                        out.push((qz as usize * ny + qy as usize) * nx + qx as usize);
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_covers_grid_exactly() {
+        for strategy in [Strategy::Linear, Strategy::Blocks] {
+            for n in [1usize, 2, 3, 4, 6, 8] {
+                let dims = GridDims::new2d(37, 23);
+                let p = Partition::new(dims, n, strategy);
+                let total: usize = p.subdomains().iter().map(|s| s.nvoxels()).sum();
+                assert_eq!(total, dims.nvoxels(), "{strategy:?} n={n}");
+                // Each voxel owned exactly once and owner() agrees.
+                for c in dims.iter_coords().collect::<Vec<_>>() {
+                    let owners: Vec<usize> = p
+                        .subdomains()
+                        .iter()
+                        .filter(|s| s.contains(c))
+                        .map(|s| s.rank)
+                        .collect();
+                    assert_eq!(owners.len(), 1);
+                    assert_eq!(p.owner(c), owners[0]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn linear_2d_is_row_strips() {
+        let p = Partition::new(GridDims::new2d(10, 12), 4, Strategy::Linear);
+        assert_eq!(p.rank_grid, (1, 4, 1));
+        for s in p.subdomains() {
+            assert_eq!(s.lo.x, 0);
+            assert_eq!(s.hi.x, 10);
+        }
+    }
+
+    #[test]
+    fn blocks_2d_prefers_squares() {
+        let p = Partition::new(GridDims::new2d(100, 100), 4, Strategy::Blocks);
+        assert_eq!(p.rank_grid, (2, 2, 1));
+        let p = Partition::new(GridDims::new2d(100, 100), 16, Strategy::Blocks);
+        assert_eq!(p.rank_grid, (4, 4, 1));
+        // Paper device counts factor sensibly.
+        let p = Partition::new(GridDims::new2d(1000, 1000), 8, Strategy::Blocks);
+        let (nx, ny, _) = p.rank_grid;
+        assert_eq!(nx * ny, 8);
+        assert!(nx == 2 && ny == 4 || nx == 4 && ny == 2);
+    }
+
+    #[test]
+    fn blocks_3d_uses_z() {
+        let p = Partition::new(GridDims::new3d(32, 32, 32), 8, Strategy::Blocks);
+        assert_eq!(p.rank_grid, (2, 2, 2));
+    }
+
+    #[test]
+    fn neighbor_ranks_2x2() {
+        let p = Partition::new(GridDims::new2d(16, 16), 4, Strategy::Blocks);
+        // Every rank neighbors the other three on a 2×2 lattice.
+        for r in 0..4 {
+            let mut expect: Vec<usize> = (0..4).filter(|&q| q != r).collect();
+            expect.sort_unstable();
+            assert_eq!(p.neighbor_ranks(r), expect);
+        }
+    }
+
+    #[test]
+    fn neighbor_ranks_linear() {
+        let p = Partition::new(GridDims::new2d(8, 8), 4, Strategy::Linear);
+        assert_eq!(p.neighbor_ranks(0), vec![1]);
+        assert_eq!(p.neighbor_ranks(1), vec![0, 2]);
+        assert_eq!(p.neighbor_ranks(3), vec![2]);
+    }
+
+    #[test]
+    fn halo_reach() {
+        let p = Partition::new(GridDims::new2d(8, 8), 4, Strategy::Blocks);
+        let s = p.sub(0); // [0,4) × [0,4)
+        assert!(s.in_halo_reach(Coord::new(4, 4, 0)));
+        assert!(!s.in_halo_reach(Coord::new(5, 0, 0)));
+        assert!(s.in_halo_reach(Coord::new(-1, -1, 0)));
+    }
+
+    #[test]
+    fn iter_coords_in_global_order() {
+        let p = Partition::new(GridDims::new2d(4, 4), 4, Strategy::Blocks);
+        let s = p.sub(3); // [2,4) × [2,4)
+        let dims = p.dims;
+        let idxs: Vec<usize> = s.iter_coords().map(|c| dims.index(c)).collect();
+        let mut sorted = idxs.clone();
+        sorted.sort_unstable();
+        assert_eq!(idxs, sorted);
+        assert_eq!(idxs.len(), 4);
+    }
+
+    #[test]
+    fn uneven_split_sizes_differ_by_at_most_one_row() {
+        let p = Partition::new(GridDims::new2d(10, 10), 3, Strategy::Linear);
+        let sizes: Vec<usize> = p.subdomains().iter().map(|s| s.nvoxels()).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 100);
+        let min = *sizes.iter().min().unwrap();
+        let max = *sizes.iter().max().unwrap();
+        assert!(max - min <= 10);
+    }
+}

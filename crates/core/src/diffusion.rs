@@ -1,0 +1,115 @@
+//! Concentration diffusion, decay and production rules.
+//!
+//! SIMCoV concentrations (virions, inflammatory signal) diffuse over the
+//! Moore neighborhood with an explicit relaxation-toward-neighbor-mean
+//! stencil and zero-flux boundaries, then decay multiplicatively, and small
+//! values are flushed to zero to bound the active region (§3.2's activity
+//! tracking depends on this flush).
+//!
+//! Every executor calls [`diffuse_voxel`] with the *same neighbor
+//! enumeration order* (the global offset table), so the f32 arithmetic is
+//! bitwise identical across serial, CPU-parallel and GPU-tiled runs.
+
+/// One voxel's diffusion + decay update.
+///
+/// * `own` — this voxel's pre-diffusion (post-production) value
+/// * `neighbor_sum` — sum over the in-bounds Moore neighbors' pre-diffusion
+///   values, accumulated in offset-table order
+/// * `n_valid` — number of in-bounds neighbors (zero-flux boundary: the mean
+///   is taken over existing neighbors only)
+/// * `d` — diffusion coefficient in `[0, 1]`
+/// * `decay` — fraction lost per step in `[0, 1]`
+/// * `min_value` — flush-to-zero threshold
+#[inline]
+pub fn diffuse_voxel(
+    own: f32,
+    neighbor_sum: f32,
+    n_valid: usize,
+    d: f32,
+    decay: f32,
+    min_value: f32,
+) -> f32 {
+    debug_assert!(n_valid > 0);
+    let mean = neighbor_sum / n_valid as f32;
+    let diffused = own + d * (mean - own);
+    let decayed = diffused * (1.0 - decay);
+    if decayed < min_value {
+        0.0
+    } else {
+        decayed
+    }
+}
+
+/// Virion production by an epithelial cell in a producing state. Additive,
+/// unbounded (virions accumulate; clearance bounds them dynamically).
+#[inline]
+pub fn produce_virions(current: f32, production: f32) -> f32 {
+    current + production
+}
+
+/// Inflammatory-signal production: additive but saturating at 1.0 — the
+/// signal is interpreted as an extravasation probability (§2.2).
+#[inline]
+pub fn produce_chemokine(current: f32, production: f32) -> f32 {
+    (current + production).min(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_field_is_fixed_point_without_decay() {
+        // own == neighbor mean ⇒ no change before decay.
+        let v = diffuse_voxel(2.0, 16.0, 8, 0.5, 0.0, 0.0);
+        assert_eq!(v, 2.0);
+    }
+
+    #[test]
+    fn relaxes_toward_neighbor_mean() {
+        // own 0, neighbors mean 1, D = 0.5 ⇒ 0.5.
+        let v = diffuse_voxel(0.0, 8.0, 8, 0.5, 0.0, 0.0);
+        assert!((v - 0.5).abs() < 1e-6);
+        // D = 1 moves fully to the mean.
+        let v = diffuse_voxel(0.0, 8.0, 8, 1.0, 0.0, 0.0);
+        assert!((v - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn decay_applies_after_diffusion() {
+        let v = diffuse_voxel(1.0, 8.0, 8, 0.0, 0.25, 0.0);
+        assert!((v - 0.75).abs() < 1e-6);
+    }
+
+    #[test]
+    fn flush_to_zero() {
+        let v = diffuse_voxel(1e-9, 0.0, 8, 0.0, 0.0, 1e-6);
+        assert_eq!(v, 0.0);
+        let v = diffuse_voxel(1e-3, 0.0, 8, 0.0, 0.0, 1e-6);
+        assert!(v > 0.0);
+    }
+
+    #[test]
+    fn boundary_uses_valid_neighbors_only() {
+        // A corner voxel in 2D has 3 neighbors; the mean divides by 3.
+        let v = diffuse_voxel(0.0, 3.0, 3, 1.0, 0.0, 0.0);
+        assert!((v - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn production_rules() {
+        assert_eq!(produce_virions(2.0, 1.1), 3.1);
+        assert_eq!(produce_chemokine(0.5, 1.0), 1.0);
+        assert!((produce_chemokine(0.25, 0.25) - 0.5).abs() < 1e-7);
+    }
+
+    #[test]
+    fn never_negative_for_valid_params() {
+        for own in [0.0f32, 0.1, 5.0] {
+            for nsum in [0.0f32, 1.0, 40.0] {
+                let v = diffuse_voxel(own, nsum, 8, 0.15, 0.004, 1e-10);
+                assert!(v >= 0.0);
+            }
+        }
+    }
+}

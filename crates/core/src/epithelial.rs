@@ -1,0 +1,191 @@
+//! Epithelial (tissue) cells: a five-state finite-state machine per voxel.
+//!
+//! Epithelial cells are stationary. A voxel either holds one epithelial cell
+//! or none (`Airway` — used to overlay lung structure such as branching
+//! airways, §2.2). States follow the paper:
+//! healthy → incubating (infected, producing virus, *not* detectable by T
+//! cells) → expressing (detectable) → dead, with a T-cell-triggered
+//! apoptotic branch from incubating/expressing.
+
+use serde::{Deserialize, Serialize};
+
+/// Epithelial cell state of a voxel, stored as one byte (the GPU layout).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum EpiState {
+    /// No epithelial cell in this voxel (airway / structural gap).
+    Airway = 0,
+    Healthy = 1,
+    /// Infected; produces virions but is invisible to T cells.
+    Incubating = 2,
+    /// Producing virions and inflammatory signal; detectable by T cells.
+    Expressing = 3,
+    /// Bound by a T cell; dying, still producing virions and signal.
+    Apoptotic = 4,
+    Dead = 5,
+}
+
+impl EpiState {
+    /// Lossless byte conversion (inverse of `as u8`). Panics on bytes that
+    /// do not encode a state — state arrays are never exposed to untrusted
+    /// input.
+    #[inline]
+    pub fn from_u8(b: u8) -> EpiState {
+        match b {
+            0 => EpiState::Airway,
+            1 => EpiState::Healthy,
+            2 => EpiState::Incubating,
+            3 => EpiState::Expressing,
+            4 => EpiState::Apoptotic,
+            5 => EpiState::Dead,
+            _ => panic!("invalid epithelial state byte {b}"),
+        }
+    }
+
+    /// Does a cell in this state produce virions this step?
+    /// Incubating cells produce virus while undetectable (§2.2).
+    #[inline]
+    pub fn produces_virions(self) -> bool {
+        matches!(
+            self,
+            EpiState::Incubating | EpiState::Expressing | EpiState::Apoptotic
+        )
+    }
+
+    /// Does a cell in this state produce inflammatory signal this step?
+    /// Only detectable infected states inflame.
+    #[inline]
+    pub fn produces_chemokine(self) -> bool {
+        matches!(self, EpiState::Expressing | EpiState::Apoptotic)
+    }
+
+    /// Can a T cell bind this cell (triggering apoptosis)?
+    #[inline]
+    pub fn bindable(self) -> bool {
+        matches!(self, EpiState::Expressing)
+    }
+
+    /// States that can still change without external input (used by the
+    /// active-list / active-tile optimizations: a voxel whose epithelial
+    /// cell is in one of these states must be processed every step).
+    #[inline]
+    pub fn is_transient(self) -> bool {
+        matches!(
+            self,
+            EpiState::Incubating | EpiState::Expressing | EpiState::Apoptotic
+        )
+    }
+}
+
+/// Structure-of-arrays storage for epithelial cells over any local index
+/// space (full grid for the serial executor, subdomain + ghost halo for the
+/// parallel executors).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpiCells {
+    /// One [`EpiState`] byte per voxel.
+    pub state: Vec<u8>,
+    /// Steps remaining in the current state (meaningful for incubating /
+    /// expressing / apoptotic).
+    pub timer: Vec<u32>,
+}
+
+impl EpiCells {
+    /// All-healthy tissue of `n` voxels.
+    pub fn healthy(n: usize) -> Self {
+        EpiCells {
+            state: vec![EpiState::Healthy as u8; n],
+            timer: vec![0; n],
+        }
+    }
+
+    /// All-airway (empty) storage of `n` voxels.
+    pub fn airway(n: usize) -> Self {
+        EpiCells {
+            state: vec![EpiState::Airway as u8; n],
+            timer: vec![0; n],
+        }
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.state.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.state.is_empty()
+    }
+
+    #[inline]
+    pub fn get(&self, i: usize) -> EpiState {
+        EpiState::from_u8(self.state[i])
+    }
+
+    #[inline]
+    pub fn set(&mut self, i: usize, s: EpiState, timer: u32) {
+        self.state[i] = s as u8;
+        self.timer[i] = timer;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_roundtrip() {
+        for s in [
+            EpiState::Airway,
+            EpiState::Healthy,
+            EpiState::Incubating,
+            EpiState::Expressing,
+            EpiState::Apoptotic,
+            EpiState::Dead,
+        ] {
+            assert_eq!(EpiState::from_u8(s as u8), s);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_byte_panics() {
+        EpiState::from_u8(17);
+    }
+
+    #[test]
+    fn production_rules_follow_paper() {
+        assert!(EpiState::Incubating.produces_virions());
+        assert!(!EpiState::Incubating.produces_chemokine());
+        assert!(EpiState::Expressing.produces_virions());
+        assert!(EpiState::Expressing.produces_chemokine());
+        assert!(EpiState::Apoptotic.produces_virions());
+        assert!(EpiState::Apoptotic.produces_chemokine());
+        assert!(!EpiState::Healthy.produces_virions());
+        assert!(!EpiState::Dead.produces_virions());
+        assert!(!EpiState::Airway.produces_virions());
+    }
+
+    #[test]
+    fn only_expressing_is_bindable() {
+        assert!(EpiState::Expressing.bindable());
+        for s in [
+            EpiState::Airway,
+            EpiState::Healthy,
+            EpiState::Incubating,
+            EpiState::Apoptotic,
+            EpiState::Dead,
+        ] {
+            assert!(!s.bindable());
+        }
+    }
+
+    #[test]
+    fn soa_set_get() {
+        let mut e = EpiCells::healthy(4);
+        assert_eq!(e.get(2), EpiState::Healthy);
+        e.set(2, EpiState::Incubating, 17);
+        assert_eq!(e.get(2), EpiState::Incubating);
+        assert_eq!(e.timer[2], 17);
+        assert_eq!(e.len(), 4);
+    }
+}

@@ -1,0 +1,110 @@
+//! Shared extravasation trial table.
+//!
+//! All circulating T cells make one extravasation attempt per step at a
+//! uniformly random voxel (§2.2). The trial sequence is a pure function of
+//! `(seed, step, trial index)`, so every rank can reconstruct it; this table
+//! computes it once per step and sorts it by voxel so a rank can extract the
+//! trials landing in its region with binary searches instead of a full scan
+//! (the *modeled* system distributes trial generation across ranks — see
+//! DESIGN.md; the cost model charges each rank `ntrials / n_ranks`).
+
+use crate::params::SimParams;
+use crate::rules::extrav_voxel;
+
+/// The extravasation trials of one step, sorted by `(voxel, trial index)`.
+/// Per-voxel trial order is what resolves same-voxel conflicts (first
+/// successful trial claims the voxel).
+#[derive(Debug, Clone, Default)]
+pub struct TrialTable {
+    entries: Vec<(usize, u64)>,
+}
+
+impl TrialTable {
+    /// Build the table for `step` given the circulating pool size.
+    pub fn build(p: &SimParams, step: u64, ntrials: u64) -> Self {
+        let mut entries: Vec<(usize, u64)> = (0..ntrials)
+            .map(|i| (extrav_voxel(p, step, i), i))
+            .collect();
+        entries.sort_unstable();
+        TrialTable { entries }
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// All trials landing on voxels in the global-index range
+    /// `[gid_lo, gid_hi)`, in `(voxel, trial)` order.
+    pub fn in_gid_range(&self, gid_lo: usize, gid_hi: usize) -> &[(usize, u64)] {
+        let lo = self.entries.partition_point(|&(v, _)| v < gid_lo);
+        let hi = self.entries.partition_point(|&(v, _)| v < gid_hi);
+        &self.entries[lo..hi]
+    }
+
+    /// All trials in `(voxel, trial)` order.
+    pub fn all(&self) -> &[(usize, u64)] {
+        &self.entries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::GridDims;
+
+    fn params() -> SimParams {
+        let mut p = SimParams::default();
+        p.dims = GridDims::new2d(32, 32);
+        p
+    }
+
+    #[test]
+    fn table_matches_direct_generation() {
+        let p = params();
+        let t = TrialTable::build(&p, 5, 100);
+        assert_eq!(t.len(), 100);
+        for &(v, i) in t.all() {
+            assert_eq!(v, extrav_voxel(&p, 5, i));
+        }
+    }
+
+    #[test]
+    fn sorted_by_voxel_then_trial() {
+        let p = params();
+        let t = TrialTable::build(&p, 9, 500);
+        for w in t.all().windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+    }
+
+    #[test]
+    fn gid_range_extraction() {
+        let p = params();
+        let t = TrialTable::build(&p, 2, 300);
+        let lo = 100;
+        let hi = 200;
+        let range = t.in_gid_range(lo, hi);
+        let expect: Vec<(usize, u64)> = t
+            .all()
+            .iter()
+            .copied()
+            .filter(|&(v, _)| (lo..hi).contains(&v))
+            .collect();
+        assert_eq!(range, expect.as_slice());
+        // Union over disjoint ranges covers everything.
+        let total = t.in_gid_range(0, 512).len() + t.in_gid_range(512, 1024).len();
+        assert_eq!(total, 300);
+    }
+
+    #[test]
+    fn empty_table() {
+        let p = params();
+        let t = TrialTable::build(&p, 0, 0);
+        assert!(t.is_empty());
+        assert!(t.in_gid_range(0, 1024).is_empty());
+    }
+}

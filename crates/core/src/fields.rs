@@ -1,0 +1,88 @@
+//! Scalar concentration fields (virions, inflammatory signal).
+//!
+//! A [`Field`] is a flat `f32` array over an executor-local index space. The
+//! serial executor indexes it with global voxel indices; parallel executors
+//! wrap it in their own layouts (subdomain strips, tiled + halo).
+
+use serde::{Deserialize, Serialize};
+
+/// A dense scalar field.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Field {
+    pub data: Vec<f32>,
+}
+
+impl Field {
+    pub fn zeros(n: usize) -> Self {
+        Field { data: vec![0.0; n] }
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    #[inline]
+    pub fn get(&self, i: usize) -> f32 {
+        self.data[i]
+    }
+
+    #[inline]
+    pub fn set(&mut self, i: usize, v: f32) {
+        self.data[i] = v;
+    }
+
+    #[inline]
+    pub fn add(&mut self, i: usize, v: f32) {
+        self.data[i] += v;
+    }
+
+    /// Total mass, accumulated in f64 in index order (the canonical
+    /// reduction order used for cross-executor statistical comparisons).
+    pub fn sum(&self) -> f64 {
+        self.data.iter().map(|&v| v as f64).sum()
+    }
+
+    /// Number of strictly positive entries.
+    pub fn count_positive(&self) -> usize {
+        self.data.iter().filter(|&&v| v > 0.0).count()
+    }
+
+    pub fn fill(&mut self, v: f32) {
+        self.data.fill(v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_ops() {
+        let mut f = Field::zeros(5);
+        assert_eq!(f.len(), 5);
+        assert_eq!(f.sum(), 0.0);
+        f.set(1, 2.0);
+        f.add(1, 0.5);
+        f.add(3, 1.0);
+        assert_eq!(f.get(1), 2.5);
+        assert_eq!(f.sum(), 3.5);
+        assert_eq!(f.count_positive(), 2);
+        f.fill(0.0);
+        assert_eq!(f.sum(), 0.0);
+    }
+
+    #[test]
+    fn sum_is_f64_accumulated() {
+        // 1e8 + 1.0 would lose the 1.0 in f32 accumulation.
+        let mut f = Field::zeros(2);
+        f.set(0, 1e8);
+        f.set(1, 1.0);
+        assert_eq!(f.sum(), 1e8 as f64 + 1.0);
+    }
+}

@@ -1,0 +1,204 @@
+//! Foci-of-infection (FOI) seeding strategies.
+//!
+//! SIMCoV seeds the initial infection at one or more spatially distinct
+//! voxels (§2.2). The paper's experiments use evenly spread foci (16–1024 in
+//! Table 1); its discussion (§6) motivates CT-scan-derived initial conditions
+//! with "large patchy lesions" — both are provided here.
+
+use crate::grid::{Coord, GridDims};
+use crate::params::SimParams;
+use crate::rng::{CounterRng, Stream};
+use serde::{Deserialize, Serialize};
+
+/// How the initial foci of infection are placed.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Default)]
+pub enum FoiPattern {
+    /// `num_foi` foci on a near-square lattice covering the grid evenly —
+    /// "spatially distinct seeds of the infection" (§4.2). Deterministic.
+    #[default]
+    UniformLattice,
+    /// Foci at uniformly random voxels (duplicates collapse).
+    Random,
+    /// CT-scan-like patchy lesions: `num_foi` is split across a few large
+    /// clusters; every voxel within `radius` (Chebyshev) of a cluster center
+    /// is seeded (§6's patient-CT initialization scenario).
+    CtLesions { clusters: u32, radius: u32 },
+}
+
+
+/// Compute the seeded voxels (global linear indices, deduplicated and
+/// sorted) for a pattern. Each returned voxel receives
+/// `params.initial_infection` virions at step 0.
+pub fn foi_voxels(p: &SimParams, pattern: FoiPattern) -> Vec<usize> {
+    let dims = p.dims;
+    let mut out = match pattern {
+        FoiPattern::UniformLattice => lattice(dims, p.num_foi),
+        FoiPattern::Random => {
+            let mut v: Vec<usize> = (0..p.num_foi as u64)
+                .map(|i| {
+                    CounterRng::new(p.seed, Stream::FoiPlacement, 0, i).below(dims.nvoxels() as u64)
+                        as usize
+                })
+                .collect();
+            v.sort_unstable();
+            v.dedup();
+            v
+        }
+        FoiPattern::CtLesions { clusters, radius } => {
+            let centers = lattice(dims, clusters.max(1));
+            let mut v = Vec::new();
+            for (ci, &center) in centers.iter().enumerate() {
+                // Jitter each lesion center randomly so lesions are patchy,
+                // not perfectly regular.
+                let c = dims.coord(center);
+                let mut rng = CounterRng::new(p.seed, Stream::FoiPlacement, 1, ci as u64);
+                let jx = rng.below(2 * radius as u64 + 1) as i64 - radius as i64;
+                let jy = rng.below(2 * radius as u64 + 1) as i64 - radius as i64;
+                let c = Coord::new(
+                    (c.x + jx).clamp(0, dims.x as i64 - 1),
+                    (c.y + jy).clamp(0, dims.y as i64 - 1),
+                    c.z,
+                );
+                let r = radius as i64;
+                for dz in -r..=r {
+                    for dy in -r..=r {
+                        for dx in -r..=r {
+                            let q = c.offset(dx, dy, dz);
+                            if let Some(idx) = dims.checked_index(q) {
+                                v.push(idx);
+                            }
+                        }
+                    }
+                }
+            }
+            v.sort_unstable();
+            v.dedup();
+            v
+        }
+    };
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// `n` points on a near-square lattice over the grid (z = 0 plane for 3D
+/// grids, matching SIMCoV's 2D-slice seeding).
+fn lattice(dims: GridDims, n: u32) -> Vec<usize> {
+    if n == 0 {
+        return vec![];
+    }
+    // Choose cols × rows ≥ n with aspect ratio near the grid's.
+    let aspect = dims.x as f64 / dims.y as f64;
+    let cols = ((n as f64 * aspect).sqrt().ceil() as u32).clamp(1, dims.x.max(1));
+    let rows = n.div_ceil(cols).clamp(1, dims.y.max(1));
+    let mut out = Vec::with_capacity(n as usize);
+    'outer: for r in 0..rows {
+        for c in 0..cols {
+            if out.len() == n as usize {
+                break 'outer;
+            }
+            // Cell centers of a cols × rows partition.
+            let x = ((2 * c as u64 + 1) * dims.x as u64 / (2 * cols as u64)) as i64;
+            let y = ((2 * r as u64 + 1) * dims.y as u64 / (2 * rows as u64)) as i64;
+            out.push(dims.index(Coord::new(
+                x.min(dims.x as i64 - 1),
+                y.min(dims.y as i64 - 1),
+                0,
+            )));
+        }
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(x: u32, y: u32, foi: u32) -> SimParams {
+        let mut p = SimParams::default();
+        p.dims = GridDims::new2d(x, y);
+        p.num_foi = foi;
+        p
+    }
+
+    #[test]
+    fn lattice_count_and_bounds() {
+        let p = params(100, 100, 16);
+        let v = foi_voxels(&p, FoiPattern::UniformLattice);
+        assert_eq!(v.len(), 16);
+        for &idx in &v {
+            assert!(idx < p.dims.nvoxels());
+        }
+    }
+
+    #[test]
+    fn lattice_is_spread_out() {
+        let p = params(100, 100, 4);
+        let v = foi_voxels(&p, FoiPattern::UniformLattice);
+        assert_eq!(v.len(), 4);
+        // All pairwise Chebyshev distances ≥ 25 for 4 foci on 100².
+        for i in 0..v.len() {
+            for j in i + 1..v.len() {
+                let a = p.dims.coord(v[i]);
+                let b = p.dims.coord(v[j]);
+                assert!(a.chebyshev(b) >= 25, "foci too close: {a:?} {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_focus_is_near_center() {
+        let p = params(101, 101, 1);
+        let v = foi_voxels(&p, FoiPattern::UniformLattice);
+        assert_eq!(v.len(), 1);
+        let c = p.dims.coord(v[0]);
+        assert!(c.chebyshev(Coord::new(50, 50, 0)) <= 1);
+    }
+
+    #[test]
+    fn random_foci_deterministic_per_seed() {
+        let p = params(64, 64, 32);
+        let a = foi_voxels(&p, FoiPattern::Random);
+        let b = foi_voxels(&p, FoiPattern::Random);
+        assert_eq!(a, b);
+        let mut p2 = p.clone();
+        p2.seed = 999;
+        let c = foi_voxels(&p2, FoiPattern::Random);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn ct_lesions_are_patchy() {
+        let p = params(128, 128, 0);
+        let v = foi_voxels(
+            &p,
+            FoiPattern::CtLesions {
+                clusters: 4,
+                radius: 3,
+            },
+        );
+        // 4 clusters × up to 7×7 voxels; jitter clamping may trim at edges.
+        assert!(v.len() > 4 * 20, "lesions too small: {}", v.len());
+        assert!(v.len() <= 4 * 49);
+        for &idx in &v {
+            assert!(idx < p.dims.nvoxels());
+        }
+    }
+
+    #[test]
+    fn dense_lattice_caps_at_grid() {
+        let p = params(4, 4, 16);
+        let v = foi_voxels(&p, FoiPattern::UniformLattice);
+        assert_eq!(v.len(), 16);
+    }
+
+    #[test]
+    fn lattice_1024_foi_all_distinct() {
+        let p = params(625, 625, 1024);
+        let v = foi_voxels(&p, FoiPattern::UniformLattice);
+        assert_eq!(v.len(), 1024, "paper's Fig 8 max FOI must place fully");
+    }
+}

@@ -1,0 +1,176 @@
+//! Local subdomain storage box with a one-voxel ghost halo.
+//!
+//! A [`HaloBox`] maps global coordinates within a subdomain's halo reach to
+//! a local row-major index. Positions outside the global grid (the halo of
+//! a subdomain at the grid edge) still get local cells; they hold inert
+//! defaults and are never read because all rules bounds-check against the
+//! global grid first.
+
+use crate::grid::{Coord, GridDims};
+use crate::decomp::Subdomain;
+use serde::{Deserialize, Serialize};
+
+/// A local box `[lo, hi)` in global coordinates covering a subdomain plus a
+/// one-voxel ghost ring (no ghost along z for 2D grids).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HaloBox {
+    pub lo: Coord,
+    pub hi: Coord,
+    /// The owned (core) region.
+    pub core: Subdomain,
+}
+
+impl HaloBox {
+    pub fn new(dims: GridDims, sub: Subdomain) -> Self {
+        let gz = if dims.is_2d() { 0 } else { 1 };
+        HaloBox {
+            lo: Coord::new(sub.lo.x - 1, sub.lo.y - 1, sub.lo.z - gz),
+            hi: Coord::new(sub.hi.x + 1, sub.hi.y + 1, sub.hi.z + gz),
+            core: sub,
+        }
+    }
+
+    /// Local extents.
+    #[inline]
+    pub fn size(&self) -> (usize, usize, usize) {
+        (
+            (self.hi.x - self.lo.x) as usize,
+            (self.hi.y - self.lo.y) as usize,
+            (self.hi.z - self.lo.z) as usize,
+        )
+    }
+
+    /// Number of local cells (core + halo).
+    #[inline]
+    pub fn len(&self) -> usize {
+        let (x, y, z) = self.size();
+        x * y * z
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Does the box cover this global coordinate (core or ghost)?
+    #[inline]
+    pub fn covers(&self, c: Coord) -> bool {
+        c.x >= self.lo.x
+            && c.x < self.hi.x
+            && c.y >= self.lo.y
+            && c.y < self.hi.y
+            && c.z >= self.lo.z
+            && c.z < self.hi.z
+    }
+
+    /// Local row-major index of a covered global coordinate.
+    #[inline]
+    pub fn local(&self, c: Coord) -> usize {
+        debug_assert!(self.covers(c), "{c:?} outside halo box {self:?}");
+        let (sx, sy, _) = self.size();
+        ((c.z - self.lo.z) as usize * sy + (c.y - self.lo.y) as usize) * sx
+            + (c.x - self.lo.x) as usize
+    }
+
+    /// Inverse of [`HaloBox::local`].
+    #[inline]
+    pub fn global(&self, idx: usize) -> Coord {
+        let (sx, sy, _) = self.size();
+        let z = idx / (sx * sy);
+        let rem = idx % (sx * sy);
+        Coord::new(
+            self.lo.x + (rem % sx) as i64,
+            self.lo.y + (rem / sx) as i64,
+            self.lo.z + z as i64,
+        )
+    }
+
+    /// Is the coordinate in the owned core (not ghost)?
+    #[inline]
+    pub fn is_core(&self, c: Coord) -> bool {
+        self.core.contains(c)
+    }
+
+    /// Is the coordinate a core voxel on the core's surface (adjacent to a
+    /// ghost cell — i.e. the data neighbors need)?
+    #[inline]
+    pub fn is_boundary(&self, c: Coord) -> bool {
+        if !self.is_core(c) {
+            return false;
+        }
+        c.x == self.core.lo.x
+            || c.x == self.core.hi.x - 1
+            || c.y == self.core.lo.y
+            || c.y == self.core.hi.y - 1
+            || (self.core.hi.z - self.core.lo.z > 1
+                && (c.z == self.core.lo.z || c.z == self.core.hi.z - 1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decomp::{Partition, Strategy};
+
+    fn setup() -> (GridDims, HaloBox) {
+        let dims = GridDims::new2d(8, 8);
+        let p = Partition::new(dims, 4, Strategy::Blocks);
+        (dims, HaloBox::new(dims, *p.sub(0)))
+    }
+
+    #[test]
+    fn box_extents_2d() {
+        let (_, hb) = setup();
+        // Core [0,4)², halo [-1,5)², no z ghost.
+        assert_eq!(hb.lo, Coord::new(-1, -1, 0));
+        assert_eq!(hb.hi, Coord::new(5, 5, 1));
+        assert_eq!(hb.size(), (6, 6, 1));
+        assert_eq!(hb.len(), 36);
+    }
+
+    #[test]
+    fn local_global_roundtrip() {
+        let (_, hb) = setup();
+        for idx in 0..hb.len() {
+            let c = hb.global(idx);
+            assert!(hb.covers(c));
+            assert_eq!(hb.local(c), idx);
+        }
+    }
+
+    #[test]
+    fn core_and_boundary_classification() {
+        let (_, hb) = setup();
+        assert!(hb.is_core(Coord::new(0, 0, 0)));
+        assert!(hb.is_core(Coord::new(3, 3, 0)));
+        assert!(!hb.is_core(Coord::new(-1, 0, 0)));
+        assert!(!hb.is_core(Coord::new(4, 0, 0)));
+        // Boundary: on the core surface.
+        assert!(hb.is_boundary(Coord::new(0, 2, 0)));
+        assert!(hb.is_boundary(Coord::new(3, 2, 0)));
+        assert!(hb.is_boundary(Coord::new(2, 3, 0)));
+        assert!(!hb.is_boundary(Coord::new(2, 2, 0)));
+        assert!(!hb.is_boundary(Coord::new(-1, -1, 0)));
+    }
+
+    #[test]
+    fn halo_box_3d_has_z_ghost() {
+        let dims = GridDims::new3d(8, 8, 8);
+        let p = Partition::new(dims, 8, Strategy::Blocks);
+        let hb = HaloBox::new(dims, *p.sub(0));
+        assert_eq!(hb.lo, Coord::new(-1, -1, -1));
+        assert_eq!(hb.size(), (6, 6, 6));
+        // z-surface counts as boundary in 3D.
+        assert!(hb.is_boundary(Coord::new(2, 2, 0)));
+        assert!(hb.is_boundary(Coord::new(2, 2, 3)));
+        assert!(!hb.is_boundary(Coord::new(2, 2, 2)));
+    }
+
+    #[test]
+    fn covers_rejects_outside() {
+        let (_, hb) = setup();
+        assert!(!hb.covers(Coord::new(5, 0, 0)));
+        assert!(!hb.covers(Coord::new(-2, 0, 0)));
+        assert!(hb.covers(Coord::new(4, 4, 0))); // ghost corner
+    }
+}

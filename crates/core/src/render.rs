@@ -1,0 +1,126 @@
+//! Visualization output: render simulation state to PPM images.
+//!
+//! SIMCoV writes visualization samples for inspection (paper Fig. 1A shows
+//! such a render: apoptotic red, expressing blue, T cells green on the
+//! spreading infection). This renderer maps a 2D slice of the world to the
+//! same palette and writes portable pixmaps that any image tool reads.
+
+use crate::epithelial::EpiState;
+use crate::grid::Coord;
+use crate::world::World;
+
+/// An RGB8 raster.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Image {
+    pub width: usize,
+    pub height: usize,
+    /// Row-major RGB triples.
+    pub pixels: Vec<[u8; 3]>,
+}
+
+impl Image {
+    /// Serialize as a binary PPM (P6).
+    pub fn to_ppm(&self) -> Vec<u8> {
+        let mut out = format!("P6\n{} {}\n255\n", self.width, self.height).into_bytes();
+        for px in &self.pixels {
+            out.extend_from_slice(px);
+        }
+        out
+    }
+}
+
+/// Paper-palette colors.
+fn color(world: &World, idx: usize) -> [u8; 3] {
+    if world.tcells[idx].occupied() {
+        return [40, 200, 40]; // T cells: green
+    }
+    match world.epi.get(idx) {
+        EpiState::Apoptotic => [220, 40, 40],  // red
+        EpiState::Expressing => [60, 80, 230], // blue
+        EpiState::Incubating => [150, 120, 220],
+        EpiState::Dead => [40, 40, 40],
+        EpiState::Airway => [0, 0, 0],
+        EpiState::Healthy => {
+            // Healthy tissue shaded by virion load.
+            let v = world.virions.get(idx);
+            if v > 0.0 {
+                let t = ((v.log10() + 10.0) / 14.0).clamp(0.0, 1.0);
+                let w = 235 - (120.0 * t) as u8;
+                [235, w, w.saturating_sub(20)]
+            } else {
+                [235, 235, 225] // pale tissue
+            }
+        }
+    }
+}
+
+/// Render the z-slice `z` of the world, downsampled to at most
+/// `max_side` pixels on the longer edge (nearest-neighbor).
+pub fn render_slice(world: &World, z: i64, max_side: usize) -> Image {
+    let dims = world.dims;
+    let (gx, gy) = (dims.x as usize, dims.y as usize);
+    let scale = gx.max(gy).div_ceil(max_side).max(1);
+    let width = gx.div_ceil(scale);
+    let height = gy.div_ceil(scale);
+    let mut pixels = Vec::with_capacity(width * height);
+    for py in 0..height {
+        for px in 0..width {
+            let c = Coord::new((px * scale) as i64, (py * scale) as i64, z);
+            pixels.push(color(world, dims.index(c)));
+        }
+    }
+    Image {
+        width,
+        height,
+        pixels,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::GridDims;
+    use crate::tcell::TCellSlot;
+
+    #[test]
+    fn renders_expected_size_and_header() {
+        let w = World::healthy(GridDims::new2d(64, 32));
+        let img = render_slice(&w, 0, 64);
+        assert_eq!((img.width, img.height), (64, 32));
+        let ppm = img.to_ppm();
+        assert!(ppm.starts_with(b"P6\n64 32\n255\n"));
+        assert_eq!(ppm.len(), 13 + 64 * 32 * 3);
+    }
+
+    #[test]
+    fn downsampling_caps_size() {
+        let w = World::healthy(GridDims::new2d(200, 100));
+        let img = render_slice(&w, 0, 50);
+        assert!(img.width <= 50 && img.height <= 50);
+        assert_eq!(img.pixels.len(), img.width * img.height);
+    }
+
+    #[test]
+    fn palette_matches_states() {
+        let dims = GridDims::new2d(8, 1);
+        let mut w = World::healthy(dims);
+        w.epi.set(1, EpiState::Apoptotic, 5);
+        w.epi.set(2, EpiState::Expressing, 5);
+        w.epi.set(3, EpiState::Dead, 0);
+        w.tcells[4] = TCellSlot::established(10, 0);
+        w.virions.set(5, 100.0);
+        let img = render_slice(&w, 0, 8);
+        assert_eq!(img.pixels[0], [235, 235, 225]); // healthy
+        assert_eq!(img.pixels[1], [220, 40, 40]); // apoptotic red
+        assert_eq!(img.pixels[2], [60, 80, 230]); // expressing blue
+        assert_eq!(img.pixels[3], [40, 40, 40]); // dead
+        assert_eq!(img.pixels[4], [40, 200, 40]); // T cell green
+        assert_ne!(img.pixels[5], img.pixels[0]); // virion shading visible
+    }
+
+    #[test]
+    fn render_is_deterministic() {
+        let w = World::healthy(GridDims::new2d(16, 16));
+        assert_eq!(render_slice(&w, 0, 16), render_slice(&w, 0, 16));
+    }
+}

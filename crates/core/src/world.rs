@@ -1,0 +1,223 @@
+//! Full-grid simulation state: the container used by the serial reference
+//! executor and as the canonical form for cross-executor state comparison.
+
+use crate::epithelial::{EpiCells, EpiState};
+use crate::fields::Field;
+use crate::foi::{foi_voxels, FoiPattern};
+use crate::grid::{Coord, GridDims};
+use crate::params::SimParams;
+use crate::rules::RuleView;
+use crate::tcell::TCellSlot;
+
+/// The complete voxel state of a simulation, globally indexed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct World {
+    pub dims: GridDims,
+    pub epi: EpiCells,
+    pub tcells: Vec<TCellSlot>,
+    pub virions: Field,
+    pub chemokine: Field,
+}
+
+impl World {
+    /// All-healthy tissue with no agents or concentrations.
+    pub fn healthy(dims: GridDims) -> Self {
+        let n = dims.nvoxels();
+        World {
+            dims,
+            epi: EpiCells::healthy(n),
+            tcells: vec![TCellSlot::EMPTY; n],
+            virions: Field::zeros(n),
+            chemokine: Field::zeros(n),
+        }
+    }
+
+    /// Initial world for a parameter set: healthy tissue seeded with
+    /// `params.initial_infection` virions at each focus of the pattern.
+    pub fn seeded(p: &SimParams, pattern: FoiPattern) -> Self {
+        let mut w = World::healthy(p.dims);
+        for idx in foi_voxels(p, pattern) {
+            w.virions.set(idx, p.initial_infection);
+        }
+        w
+    }
+
+    /// Punch airway voxels (no epithelial cell) at the given indices — used
+    /// to overlay lung structure (§2.2).
+    pub fn carve_airways(&mut self, voxels: &[usize]) {
+        for &v in voxels {
+            self.epi.set(v, EpiState::Airway, 0);
+        }
+    }
+
+    pub fn nvoxels(&self) -> usize {
+        self.dims.nvoxels()
+    }
+
+    /// Count epithelial cells in a state (full sweep).
+    pub fn count_epi(&self, s: EpiState) -> u64 {
+        self.epi.state.iter().filter(|&&b| b == s as u8).count() as u64
+    }
+
+    /// Count tissue T cells (full sweep).
+    pub fn count_tcells(&self) -> u64 {
+        self.tcells.iter().filter(|t| t.occupied()).count() as u64
+    }
+
+    /// First index where two worlds differ, with a description — the
+    /// cross-executor bitwise-equality debugging helper.
+    pub fn first_difference(&self, other: &World) -> Option<(usize, String)> {
+        if self.dims != other.dims {
+            return Some((0, format!("dims {:?} vs {:?}", self.dims, other.dims)));
+        }
+        for i in 0..self.nvoxels() {
+            if self.epi.state[i] != other.epi.state[i] {
+                return Some((
+                    i,
+                    format!(
+                        "epi state {} vs {} at {:?}",
+                        self.epi.state[i],
+                        other.epi.state[i],
+                        self.dims.coord(i)
+                    ),
+                ));
+            }
+            if self.epi.timer[i] != other.epi.timer[i] {
+                return Some((
+                    i,
+                    format!(
+                        "epi timer {} vs {} at {:?}",
+                        self.epi.timer[i],
+                        other.epi.timer[i],
+                        self.dims.coord(i)
+                    ),
+                ));
+            }
+            if self.tcells[i] != other.tcells[i] {
+                return Some((
+                    i,
+                    format!(
+                        "tcell {:?} vs {:?} at {:?}",
+                        self.tcells[i],
+                        other.tcells[i],
+                        self.dims.coord(i)
+                    ),
+                ));
+            }
+            if self.virions.get(i).to_bits() != other.virions.get(i).to_bits() {
+                return Some((
+                    i,
+                    format!(
+                        "virions {} vs {} at {:?}",
+                        self.virions.get(i),
+                        other.virions.get(i),
+                        self.dims.coord(i)
+                    ),
+                ));
+            }
+            if self.chemokine.get(i).to_bits() != other.chemokine.get(i).to_bits() {
+                return Some((
+                    i,
+                    format!(
+                        "chemokine {} vs {} at {:?}",
+                        self.chemokine.get(i),
+                        other.chemokine.get(i),
+                        self.dims.coord(i)
+                    ),
+                ));
+            }
+        }
+        None
+    }
+}
+
+impl RuleView for World {
+    #[inline]
+    fn dims(&self) -> GridDims {
+        self.dims
+    }
+    #[inline]
+    fn epi_state(&self, c: Coord) -> EpiState {
+        self.epi.get(self.dims.index(c))
+    }
+    #[inline]
+    fn tcell(&self, c: Coord) -> TCellSlot {
+        self.tcells[self.dims.index(c)]
+    }
+    #[inline]
+    fn virions(&self, c: Coord) -> f32 {
+        self.virions.get(self.dims.index(c))
+    }
+    #[inline]
+    fn chemokine(&self, c: Coord) -> f32 {
+        self.chemokine.get(self.dims.index(c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::foi::FoiPattern;
+
+    #[test]
+    fn seeded_world_has_foi_virions() {
+        let mut p = SimParams::default();
+        p.dims = GridDims::new2d(32, 32);
+        p.num_foi = 4;
+        let w = World::seeded(&p, FoiPattern::UniformLattice);
+        assert_eq!(w.virions.count_positive(), 4);
+        assert_eq!(
+            w.virions.sum(),
+            4.0 * p.initial_infection as f64,
+            "each focus gets the initial load"
+        );
+        assert_eq!(w.count_epi(EpiState::Healthy), 32 * 32);
+        assert_eq!(w.count_tcells(), 0);
+    }
+
+    #[test]
+    fn carve_airways() {
+        let mut w = World::healthy(GridDims::new2d(8, 8));
+        w.carve_airways(&[0, 1, 2]);
+        assert_eq!(w.count_epi(EpiState::Airway), 3);
+        assert_eq!(w.count_epi(EpiState::Healthy), 61);
+    }
+
+    #[test]
+    fn first_difference_detects_each_component() {
+        let dims = GridDims::new2d(4, 4);
+        let base = World::healthy(dims);
+        assert!(base.first_difference(&base.clone()).is_none());
+
+        let mut m = base.clone();
+        m.epi.set(3, EpiState::Dead, 0);
+        assert!(base.first_difference(&m).unwrap().1.contains("epi state"));
+
+        let mut m = base.clone();
+        m.epi.timer[3] = 9;
+        assert!(base.first_difference(&m).unwrap().1.contains("epi timer"));
+
+        let mut m = base.clone();
+        m.tcells[5] = TCellSlot::fresh(10);
+        assert!(base.first_difference(&m).unwrap().1.contains("tcell"));
+
+        let mut m = base.clone();
+        m.virions.set(7, 1.0);
+        assert!(base.first_difference(&m).unwrap().1.contains("virions"));
+
+        let mut m = base.clone();
+        m.chemokine.set(7, 1.0);
+        assert!(base.first_difference(&m).unwrap().1.contains("chemokine"));
+    }
+
+    #[test]
+    fn world_implements_ruleview() {
+        let dims = GridDims::new2d(4, 4);
+        let mut w = World::healthy(dims);
+        let c = Coord::new(1, 1, 0);
+        w.virions.set(dims.index(c), 2.5);
+        assert_eq!(RuleView::virions(&w, c), 2.5);
+        assert_eq!(RuleView::epi_state(&w, c), EpiState::Healthy);
+        assert!(!RuleView::tcell(&w, c).occupied());
+    }
+}

@@ -1,0 +1,343 @@
+//! The analytic hardware cost model.
+//!
+//! Converts metered work ([`DeviceCounters`]) and communication
+//! ([`CommCounters`]) into simulated seconds on the paper's hardware. The
+//! paper's own throughput anchors (§6): a Perlmutter GPU node ≈ 75 TFLOPS
+//! fp32 (4 × A100), a CPU node ≈ 5 TFLOPS (128 cores), ideal GPU:CPU node
+//! speedup 15.6×.
+//!
+//! Absolute constants are *calibrated once* against the paper's reported
+//! runtimes (Figs 6–8) and then held fixed across every experiment — the
+//! same discipline as calibrating a simulator against one hardware
+//! measurement. The *shapes* (scaling curves, crossovers, breakdowns) then
+//! emerge from the measured counters of the real algorithm execution:
+//! activity-dependent work, per-device load imbalance, surface-to-volume
+//! halo traffic, reduction strategy, launch overheads, and NVLink-vs-NIC
+//! locality.
+
+use crate::counters::{CategoryCounters, DeviceCounters};
+use pgas::CommCounters;
+use serde::{Deserialize, Serialize};
+
+/// Per-processing-element compute characteristics.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HwProfile {
+    pub name: &'static str,
+    /// Cost per agent/field voxel update (ns).
+    pub update_elem_ns: f64,
+    /// Cost per element visited by a statistics sweep (ns).
+    pub reduce_elem_ns: f64,
+    /// Cost per voxel scanned by the periodic tile-activity check (ns).
+    pub tile_elem_ns: f64,
+    /// Cost per byte of explicit global-memory traffic (ns).
+    pub byte_ns: f64,
+    /// Cost per global-memory atomic (ns) — the §3.3 pain point.
+    pub atomic_ns: f64,
+    /// Cost per shared-memory (intra-block) reduction op (ns).
+    pub smem_op_ns: f64,
+    /// Kernel launch overhead (µs). Zero for CPU ranks.
+    pub launch_us: f64,
+}
+
+/// An A100-class device. GPU kernels here are memory-bandwidth-bound, so
+/// most of the per-voxel cost is carried by the byte counters
+/// (`byte_ns = 0.0045` ≈ 220 GB/s effective per-kernel bandwidth including
+/// non-coalesced penalties; the tiled layout touches fewer bytes per voxel
+/// than the strided untiled layout, which is how §3.2's locality benefit
+/// enters the model). `atomic_ns` is the *amortized* per-thread cost of a
+/// contended global atomic after warp-level pre-aggregation — calibrated so
+/// the unoptimized-vs-combined ratio matches Fig. 4.
+pub const GPU_A100: HwProfile = HwProfile {
+    name: "A100",
+    update_elem_ns: 0.06,
+    reduce_elem_ns: 0.02,
+    tile_elem_ns: 0.01,
+    byte_ns: 0.0045,
+    atomic_ns: 0.5,
+    smem_op_ns: 0.001,
+    launch_us: 10.0,
+};
+
+/// One CPU core of the baseline. ~300 ns per active-list voxel update
+/// (≈3.3 M voxel-steps/s/core across all phases) calibrates the absolute
+/// CPU runtimes to the paper's Fig. 6 base case; the 1 GPU : 32 cores
+/// throughput ratio then lands near the paper's ideal 15.6×.
+pub const CPU_CORE: HwProfile = HwProfile {
+    name: "cpu-core",
+    update_elem_ns: 300.0,
+    reduce_elem_ns: 4.0,
+    tile_elem_ns: 0.0,
+    byte_ns: 0.25,
+    atomic_ns: 40.0,
+    smem_op_ns: 0.0,
+    launch_us: 0.0,
+};
+
+/// A point-to-point link.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NetProfile {
+    pub name: &'static str,
+    /// Per-message latency/overhead (µs).
+    pub latency_us: f64,
+    /// Per-byte cost (ns): inverse bandwidth.
+    pub byte_ns: f64,
+}
+
+/// Intra-node GPU-GPU link (NVLink class, ~300 GB/s).
+pub const LINK_NVLINK: NetProfile = NetProfile {
+    name: "nvlink",
+    latency_us: 3.0,
+    byte_ns: 0.0033,
+};
+
+/// Inter-node NIC (Slingshot class, ~25 GB/s per direction).
+pub const NIC_SLINGSHOT: NetProfile = NetProfile {
+    name: "slingshot",
+    latency_us: 15.0,
+    byte_ns: 0.04,
+};
+
+/// Per-RPC software overhead on the CPU baseline (µs) — UPC++ RPC injection
+/// plus progress-engine cost.
+pub const RPC_OVERHEAD_US: f64 = 2.0;
+
+/// Simulated time broken down by work category (seconds).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct CostBreakdown {
+    /// Agent/field updates (incl. their kernel launches).
+    pub update_s: f64,
+    /// Statistics reduction (incl. its kernel launches and atomics).
+    pub reduce_s: f64,
+    /// Periodic tile-activity sweeps.
+    pub tile_s: f64,
+    /// Halo pack/unpack compute and link transfer time.
+    pub halo_s: f64,
+}
+
+impl CostBreakdown {
+    pub fn total(&self) -> f64 {
+        self.update_s + self.reduce_s + self.tile_s + self.halo_s
+    }
+
+    pub fn max(&self, o: &CostBreakdown) -> CostBreakdown {
+        CostBreakdown {
+            update_s: self.update_s.max(o.update_s),
+            reduce_s: self.reduce_s.max(o.reduce_s),
+            tile_s: self.tile_s.max(o.tile_s),
+            halo_s: self.halo_s.max(o.halo_s),
+        }
+    }
+}
+
+/// The full cost model for a machine configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct CostModel {
+    pub gpu: HwProfile,
+    pub cpu: HwProfile,
+    pub intra: NetProfile,
+    pub inter: NetProfile,
+    /// GPUs per node — device pairs within a node use `intra`.
+    pub devices_per_node: usize,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            gpu: GPU_A100,
+            cpu: CPU_CORE,
+            intra: LINK_NVLINK,
+            inter: NIC_SLINGSHOT,
+            devices_per_node: 4,
+        }
+    }
+}
+
+impl CostModel {
+    fn category_time(hw: &HwProfile, c: &CategoryCounters, elem_ns: f64) -> f64 {
+        1e-9
+            * (c.elements as f64 * elem_ns
+                + c.bytes as f64 * hw.byte_ns
+                + c.atomics as f64 * hw.atomic_ns
+                + c.smem_ops as f64 * hw.smem_op_ns)
+            + 1e-6 * c.launches as f64 * hw.launch_us
+    }
+
+    /// Compute-side time breakdown of one device/rank under `hw`.
+    pub fn device_breakdown(&self, hw: &HwProfile, c: &DeviceCounters) -> CostBreakdown {
+        CostBreakdown {
+            update_s: Self::category_time(hw, &c.update, hw.update_elem_ns),
+            reduce_s: Self::category_time(hw, &c.reduce, hw.reduce_elem_ns),
+            tile_s: Self::category_time(hw, &c.tile_check, hw.tile_elem_ns),
+            halo_s: Self::category_time(hw, &c.halo, hw.update_elem_ns),
+        }
+    }
+
+    /// Link time for halo traffic split by locality: `(intra_msgs,
+    /// intra_bytes, inter_msgs, inter_bytes)`.
+    pub fn link_time(&self, intra_msgs: u64, intra_bytes: u64, inter_msgs: u64, inter_bytes: u64) -> f64 {
+        1e-6 * (intra_msgs as f64 * self.intra.latency_us + inter_msgs as f64 * self.inter.latency_us)
+            + 1e-9
+                * (intra_bytes as f64 * self.intra.byte_ns
+                    + inter_bytes as f64 * self.inter.byte_ns)
+    }
+
+    /// Whether two device ids share a node.
+    pub fn same_node(&self, a: usize, b: usize) -> bool {
+        a / self.devices_per_node == b / self.devices_per_node
+    }
+
+    /// Communication time of the CPU baseline runtime: per-rank average RPC
+    /// load, bulk boundary puts, plus collective latency (binomial tree
+    /// over ranks).
+    pub fn rpc_comm_time(&self, cc: &CommCounters, n_ranks: usize) -> f64 {
+        let n = n_ranks.max(1) as f64;
+        let per_rank_msgs = cc.messages as f64 / n;
+        let per_rank_bytes = (cc.bytes + cc.bulk_bytes) as f64 / n;
+        let per_rank_bulk = cc.bulk_messages as f64 / n;
+        let depth = pgas::tree_depth(n_ranks) as f64;
+        1e-6 * per_rank_msgs * (RPC_OVERHEAD_US + self.inter.latency_us)
+            + 1e-6 * per_rank_bulk * self.inter.latency_us
+            + 1e-9 * per_rank_bytes * self.inter.byte_ns
+            + 1e-6 * cc.allreduces as f64 * depth * self.inter.latency_us
+    }
+
+    /// Collective time for the GPU executor's per-step statistics reduction
+    /// across `n_devices` (tree over the device count).
+    pub fn gpu_collective_time(&self, allreduces: u64, n_devices: usize) -> f64 {
+        let depth = pgas::tree_depth(n_devices) as f64;
+        1e-6 * allreduces as f64 * depth * self.inter.latency_us
+    }
+
+    /// Per-step multi-node synchronization cost of the GPU executor
+    /// (seconds for `steps` steps on `n_devices`).
+    ///
+    /// The GPU step has two bulk communication waves, each requiring
+    /// host-staged UPC++ GPU copies, progress-engine polling and a
+    /// rendezvous across nodes — a millisecond-scale fixed cost per step
+    /// that is absent within a single NVLink node. This is the paper's
+    /// "initial cost of parallelism" (§4.3) and the dominant term in the
+    /// strong-scaling saturation (§4.2/§6): calibrated as
+    /// `4 ms + 3 ms · log₂(nodes)` per step for multi-node runs.
+    pub fn gpu_multinode_sync_time(&self, steps: u64, n_devices: usize) -> f64 {
+        let nodes = n_devices.div_ceil(self.devices_per_node);
+        if nodes <= 1 {
+            return 0.0;
+        }
+        let per_step_ms = 4.0 + 3.0 * pgas::tree_depth(nodes) as f64;
+        steps as f64 * per_step_ms * 1e-3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_voxel_step_ratio_is_large() {
+        // Effective cost of one voxel-step: the CPU baseline touches each
+        // active voxel once per step; the GPU pipeline makes ~6 cheap,
+        // memory-bound visits. One A100 must be worth tens of cores
+        // (the paper's ideal is 15.6× per 32 cores).
+        let gpu_visit = GPU_A100.update_elem_ns + 32.0 * GPU_A100.byte_ns;
+        let gpu_step = 6.0 * gpu_visit + GPU_A100.reduce_elem_ns + 20.0 * GPU_A100.byte_ns;
+        let ratio = CPU_CORE.update_elem_ns / gpu_step;
+        assert!(ratio > 32.0, "one GPU must out-throughput 32 cores: {ratio}");
+    }
+
+    #[test]
+    fn category_time_components() {
+        let m = CostModel::default();
+        let mut c = DeviceCounters::new();
+        c.update.elements = 1_000_000;
+        c.update.launches = 100;
+        let b = m.device_breakdown(&m.gpu, &c);
+        // 1e6 elements × update_elem_ns + 100 launches × 10 µs.
+        let expect = 1e6 * m.gpu.update_elem_ns * 1e-9 + 100.0 * 10.0 * 1e-6;
+        assert!((b.update_s - expect).abs() < 1e-9, "{}", b.update_s);
+        assert_eq!(b.reduce_s, 0.0);
+    }
+
+    #[test]
+    fn multinode_sync_only_beyond_one_node() {
+        let m = CostModel::default();
+        assert_eq!(m.gpu_multinode_sync_time(1000, 4), 0.0);
+        let t8 = m.gpu_multinode_sync_time(1000, 8);
+        let t64 = m.gpu_multinode_sync_time(1000, 64);
+        assert!(t8 > 0.0);
+        assert!(t64 > t8, "sync grows with node count: {t64} <= {t8}");
+        // 16 nodes: (4 + 3·4) ms × 1000 steps = 16 s.
+        assert!((t64 - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn atomics_make_reduction_expensive() {
+        // The §3.4 observation: per-element atomics cost more than a sweep.
+        let m = CostModel::default();
+        let n = 1_000_000u64;
+        let mut atomic = DeviceCounters::new();
+        atomic.reduce.atomics = n * 8;
+        let mut tree = DeviceCounters::new();
+        tree.reduce.elements = n;
+        tree.reduce.smem_ops = n;
+        tree.reduce.atomics = (n / 256) * 8;
+        tree.reduce.launches = 1;
+        let ta = m.device_breakdown(&m.gpu, &atomic).reduce_s;
+        let tt = m.device_breakdown(&m.gpu, &tree).reduce_s;
+        assert!(
+            ta > 10.0 * tt,
+            "atomic reduce {ta} should dwarf tree reduce {tt}"
+        );
+    }
+
+    #[test]
+    fn link_locality_matters() {
+        let m = CostModel::default();
+        let intra = m.link_time(10, 1_000_000, 0, 0);
+        let inter = m.link_time(0, 0, 10, 1_000_000);
+        assert!(inter > 3.0 * intra, "inter {inter} vs intra {intra}");
+        assert!(m.same_node(0, 3));
+        assert!(!m.same_node(3, 4));
+    }
+
+    #[test]
+    fn rpc_comm_time_scales_with_load() {
+        let m = CostModel::default();
+        let mut cc = CommCounters::new();
+        cc.messages = 128_000;
+        cc.bytes = 128_000 * 64;
+        cc.allreduces = 1000;
+        let t128 = m.rpc_comm_time(&cc, 128);
+        let t2048 = m.rpc_comm_time(&cc, 2048);
+        assert!(t128 > 0.0 && t2048 > 0.0);
+        // Same total load spread over more ranks: the p2p component shrinks
+        // but the collective (tree-depth) component grows.
+        let mut p2p_only = cc;
+        p2p_only.allreduces = 0;
+        assert!(m.rpc_comm_time(&p2p_only, 2048) < m.rpc_comm_time(&p2p_only, 128));
+        let mut coll_only = CommCounters::new();
+        coll_only.allreduces = 1000;
+        assert!(m.rpc_comm_time(&coll_only, 2048) > m.rpc_comm_time(&coll_only, 128));
+    }
+
+    #[test]
+    fn breakdown_total_and_max() {
+        let a = CostBreakdown {
+            update_s: 1.0,
+            reduce_s: 2.0,
+            tile_s: 0.5,
+            halo_s: 0.25,
+        };
+        assert!((a.total() - 3.75).abs() < 1e-12);
+        let b = CostBreakdown {
+            update_s: 2.0,
+            reduce_s: 1.0,
+            tile_s: 0.1,
+            halo_s: 0.5,
+        };
+        let m = a.max(&b);
+        assert_eq!(m.update_s, 2.0);
+        assert_eq!(m.reduce_s, 2.0);
+        assert_eq!(m.tile_s, 0.5);
+        assert_eq!(m.halo_s, 0.5);
+    }
+}

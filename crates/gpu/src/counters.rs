@@ -1,0 +1,209 @@
+//! Per-device work counters.
+//!
+//! Every kernel the SIMCoV-GPU executor launches records what it did, split
+//! by [`KernelCategory`] so the paper's Fig. 4 breakdown ("Update Agents" vs
+//! "Reduce Statistics") can be regenerated. Counters are plain totals; the
+//! cost model converts them to time, and [`DeviceCounters::extrapolate`]
+//! rescales a reduced-size run to paper-scale work.
+
+use serde::{Deserialize, Serialize};
+
+/// What kind of work a kernel performs — the paper's profiling categories
+/// (Fig. 4) plus the GPU-specific overheads it discusses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum KernelCategory {
+    /// T-cell planning/moving, epithelial FSM, production, diffusion.
+    UpdateAgents,
+    /// Statistics accumulation (atomic or tree).
+    ReduceStats,
+    /// Periodic active-tile sweep (§3.2).
+    TileCheck,
+    /// Halo pack/unpack and device-device copies.
+    Halo,
+}
+
+/// Work totals for one kernel category.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct CategoryCounters {
+    /// Voxel updates / elements processed.
+    pub elements: u64,
+    /// Explicit global-memory traffic in bytes.
+    pub bytes: u64,
+    /// Global-memory atomic operations.
+    pub atomics: u64,
+    /// Shared-memory (intra-block) operations.
+    pub smem_ops: u64,
+    /// Kernel launches.
+    pub launches: u64,
+}
+
+impl CategoryCounters {
+    pub fn merge(&mut self, o: &CategoryCounters) {
+        self.elements += o.elements;
+        self.bytes += o.bytes;
+        self.atomics += o.atomics;
+        self.smem_ops += o.smem_ops;
+        self.launches += o.launches;
+    }
+
+    fn scale(&self, work: f64, steps: f64) -> CategoryCounters {
+        let f = |v: u64, s: f64| (v as f64 * s).round() as u64;
+        CategoryCounters {
+            elements: f(self.elements, work * steps),
+            bytes: f(self.bytes, work * steps),
+            atomics: f(self.atomics, work * steps),
+            smem_ops: f(self.smem_ops, work * steps),
+            launches: f(self.launches, steps),
+        }
+    }
+}
+
+/// All work performed by one device (or one CPU rank) over a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct DeviceCounters {
+    pub update: CategoryCounters,
+    pub reduce: CategoryCounters,
+    pub tile_check: CategoryCounters,
+    pub halo: CategoryCounters,
+}
+
+impl DeviceCounters {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn category_mut(&mut self, c: KernelCategory) -> &mut CategoryCounters {
+        match c {
+            KernelCategory::UpdateAgents => &mut self.update,
+            KernelCategory::ReduceStats => &mut self.reduce,
+            KernelCategory::TileCheck => &mut self.tile_check,
+            KernelCategory::Halo => &mut self.halo,
+        }
+    }
+
+    pub fn category(&self, c: KernelCategory) -> &CategoryCounters {
+        match c {
+            KernelCategory::UpdateAgents => &self.update,
+            KernelCategory::ReduceStats => &self.reduce,
+            KernelCategory::TileCheck => &self.tile_check,
+            KernelCategory::Halo => &self.halo,
+        }
+    }
+
+    pub fn merge(&mut self, o: &DeviceCounters) {
+        self.update.merge(&o.update);
+        self.reduce.merge(&o.reduce);
+        self.tile_check.merge(&o.tile_check);
+        self.halo.merge(&o.halo);
+    }
+
+    /// Extrapolate a reduced-scale run to paper scale.
+    ///
+    /// A run scaled down by linear factor `s` (grid `L/s`, steps `T/s`)
+    /// performs, per step, `1/s²` of the paper's area-proportional work and
+    /// `1/s` of its boundary-proportional work, over `1/s` as many steps
+    /// (the scale-similarity argument in DESIGN.md). So:
+    ///
+    /// * area-class counters (update/reduce/tile elements, bytes, atomics,
+    ///   shared-memory ops) scale by `s² · s`;
+    /// * boundary-class counters (halo elements/bytes) scale by `s · s`;
+    /// * per-step counters (launches) scale by `s`.
+    pub fn extrapolate(&self, linear_scale: f64) -> DeviceCounters {
+        let s = linear_scale;
+        DeviceCounters {
+            update: self.update.scale(s * s, s),
+            reduce: self.reduce.scale(s * s, s),
+            tile_check: self.tile_check.scale(s * s, s),
+            halo: self.halo.scale(s, s),
+        }
+    }
+
+    /// Element-wise maximum — the per-category critical path across devices.
+    pub fn max(&self, o: &DeviceCounters) -> DeviceCounters {
+        fn cmax(a: &CategoryCounters, b: &CategoryCounters) -> CategoryCounters {
+            CategoryCounters {
+                elements: a.elements.max(b.elements),
+                bytes: a.bytes.max(b.bytes),
+                atomics: a.atomics.max(b.atomics),
+                smem_ops: a.smem_ops.max(b.smem_ops),
+                launches: a.launches.max(b.launches),
+            }
+        }
+        DeviceCounters {
+            update: cmax(&self.update, &o.update),
+            reduce: cmax(&self.reduce, &o.reduce),
+            tile_check: cmax(&self.tile_check, &o.tile_check),
+            halo: cmax(&self.halo, &o.halo),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = DeviceCounters::new();
+        a.update.elements = 10;
+        a.reduce.atomics = 5;
+        let mut b = DeviceCounters::new();
+        b.update.elements = 3;
+        b.reduce.atomics = 2;
+        b.halo.bytes = 100;
+        a.merge(&b);
+        assert_eq!(a.update.elements, 13);
+        assert_eq!(a.reduce.atomics, 7);
+        assert_eq!(a.halo.bytes, 100);
+    }
+
+    #[test]
+    fn category_accessors_roundtrip() {
+        let mut c = DeviceCounters::new();
+        for cat in [
+            KernelCategory::UpdateAgents,
+            KernelCategory::ReduceStats,
+            KernelCategory::TileCheck,
+            KernelCategory::Halo,
+        ] {
+            c.category_mut(cat).launches += 1;
+            assert_eq!(c.category(cat).launches, 1);
+        }
+    }
+
+    #[test]
+    fn extrapolation_classes() {
+        let mut c = DeviceCounters::new();
+        c.update.elements = 100; // area class: × s³
+        c.update.launches = 10; // per-step class: × s
+        c.halo.bytes = 100; // boundary class: × s²
+        c.halo.launches = 10;
+        let e = c.extrapolate(4.0);
+        assert_eq!(e.update.elements, 100 * 64);
+        assert_eq!(e.update.launches, 40);
+        assert_eq!(e.halo.bytes, 1600);
+        assert_eq!(e.halo.launches, 40);
+    }
+
+    #[test]
+    fn extrapolation_identity_at_scale_one() {
+        let mut c = DeviceCounters::new();
+        c.update.elements = 7;
+        c.reduce.smem_ops = 13;
+        c.halo.bytes = 5;
+        assert_eq!(c.extrapolate(1.0), c);
+    }
+
+    #[test]
+    fn max_is_elementwise() {
+        let mut a = DeviceCounters::new();
+        a.update.elements = 10;
+        a.reduce.atomics = 1;
+        let mut b = DeviceCounters::new();
+        b.update.elements = 4;
+        b.reduce.atomics = 9;
+        let m = a.max(&b);
+        assert_eq!(m.update.elements, 10);
+        assert_eq!(m.reduce.atomics, 9);
+    }
+}

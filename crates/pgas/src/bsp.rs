@@ -1,0 +1,275 @@
+//! Superstep execution over logical ranks.
+//!
+//! A [`Bsp`] instance owns the per-rank inboxes for one message type. Each
+//! [`Bsp::superstep`] call runs a rank function over all ranks in parallel,
+//! giving each its inbox (messages addressed to it during the *previous*
+//! superstep) and an [`Outbox`] for new messages. This mirrors UPC++ RPCs as
+//! SIMCoV uses them: enqueue during compute, observe effects after the next
+//! progress/barrier boundary.
+//!
+//! Delivery is canonicalized: a rank's inbox holds messages ordered by
+//! (source rank, emission order within the source). Together with the
+//! counter-based model RNG this makes multi-rank execution bit-reproducible.
+
+use crate::counters::{CommCounters, WireSize};
+use crate::pool::WorkPool;
+use parking_lot::Mutex;
+
+/// Per-rank message staging for one superstep.
+pub struct Outbox<M> {
+    msgs: Vec<(usize, M)>,
+}
+
+impl<M> Outbox<M> {
+    fn new() -> Self {
+        Outbox { msgs: Vec::new() }
+    }
+
+    /// Queue `msg` for delivery to `dest` at the next superstep boundary
+    /// (the RPC analogue).
+    pub fn send(&mut self, dest: usize, msg: M) {
+        self.msgs.push((dest, msg));
+    }
+
+    pub fn len(&self) -> usize {
+        self.msgs.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.msgs.is_empty()
+    }
+}
+
+/// A BSP domain over `n_ranks` logical ranks exchanging messages of type `M`.
+pub struct Bsp<M> {
+    n_ranks: usize,
+    inboxes: Vec<Vec<M>>,
+    pub counters: CommCounters,
+}
+
+impl<M: Send + Sync + WireSize> Bsp<M> {
+    pub fn new(n_ranks: usize) -> Self {
+        assert!(n_ranks >= 1);
+        Bsp {
+            n_ranks,
+            inboxes: (0..n_ranks).map(|_| Vec::new()).collect(),
+            counters: CommCounters::new(),
+        }
+    }
+
+    pub fn n_ranks(&self) -> usize {
+        self.n_ranks
+    }
+
+    /// Messages currently pending for `rank` (delivered next superstep).
+    pub fn pending(&self, rank: usize) -> usize {
+        self.inboxes[rank].len()
+    }
+
+    /// Execute one superstep: `f(rank, state, inbox, outbox) -> R` runs for
+    /// every rank (in parallel on `pool`), then all outboxes are delivered.
+    /// Returns the per-rank results in rank order.
+    pub fn superstep<S, R, F>(&mut self, pool: &WorkPool, states: &mut [S], f: F) -> Vec<R>
+    where
+        S: Send,
+        R: Send + Default,
+        F: Fn(usize, &mut S, &[M], &mut Outbox<M>) -> R + Sync,
+    {
+        assert_eq!(states.len(), self.n_ranks, "one state per rank");
+        let inboxes = std::mem::replace(
+            &mut self.inboxes,
+            (0..self.n_ranks).map(|_| Vec::new()).collect(),
+        );
+
+        // Per-rank result and outbox slots, written exclusively by the rank
+        // that owns them.
+        let mut results: Vec<R> = (0..self.n_ranks).map(|_| R::default()).collect();
+        let mut outboxes: Vec<Outbox<M>> = (0..self.n_ranks).map(|_| Outbox::new()).collect();
+
+        {
+            struct Slots<S, R, M> {
+                states: *mut S,
+                results: *mut R,
+                outboxes: *mut Outbox<M>,
+            }
+            // SAFETY: each index is claimed by exactly one pool worker
+            // (WorkPool::run_indexed guarantees single execution per index),
+            // so each rank's state/result/outbox slot has a unique writer.
+            unsafe impl<S, R, M> Sync for Slots<S, R, M> {}
+            let slots = Slots {
+                states: states.as_mut_ptr(),
+                results: results.as_mut_ptr(),
+                outboxes: outboxes.as_mut_ptr(),
+            };
+            let inboxes = &inboxes;
+            let f = &f;
+            // Bind a reference so the closure captures the whole `Slots`
+            // (which is `Sync`) rather than its raw-pointer fields.
+            let slots = &slots;
+            pool.run_indexed(self.n_ranks, |rank| {
+                // SAFETY: see Slots above — `rank` is unique per invocation.
+                let (state, result, outbox) = unsafe {
+                    (
+                        &mut *slots.states.add(rank),
+                        &mut *slots.results.add(rank),
+                        &mut *slots.outboxes.add(rank),
+                    )
+                };
+                *result = f(rank, state, &inboxes[rank], outbox);
+            });
+        }
+
+        // Deliver: iterate sources in rank order so each destination inbox
+        // is ordered by (source rank, emission order).
+        let mut step_msgs = 0u64;
+        let mut step_bytes = 0u64;
+        let mut max_rank_msgs = 0u64;
+        let mut max_rank_bytes = 0u64;
+        let mut step_bulk_msgs = 0u64;
+        let mut step_bulk_bytes = 0u64;
+        for ob in outboxes {
+            let mut rank_msgs = 0u64;
+            let mut rank_bytes = 0u64;
+            for (dest, msg) in ob.msgs {
+                assert!(dest < self.n_ranks, "message to nonexistent rank {dest}");
+                let sz = msg.wire_size() as u64;
+                if msg.is_bulk() {
+                    step_bulk_msgs += 1;
+                    step_bulk_bytes += sz;
+                } else {
+                    rank_msgs += 1;
+                    rank_bytes += sz;
+                }
+                self.inboxes[dest].push(msg);
+            }
+            step_msgs += rank_msgs;
+            step_bytes += rank_bytes;
+            max_rank_msgs = max_rank_msgs.max(rank_msgs);
+            max_rank_bytes = max_rank_bytes.max(rank_bytes);
+        }
+        self.counters.supersteps += 1;
+        self.counters.messages += step_msgs;
+        self.counters.bytes += step_bytes;
+        self.counters.bulk_messages += step_bulk_msgs;
+        self.counters.bulk_bytes += step_bulk_bytes;
+        self.counters.max_rank_messages = self.counters.max_rank_messages.max(max_rank_msgs);
+        self.counters.max_rank_bytes = self.counters.max_rank_bytes.max(max_rank_bytes);
+        results
+    }
+}
+
+/// A shared accumulator for cheap global tallies from within a superstep
+/// (used where UPC++ code would use an atomic fetch-add on a dist_object).
+#[derive(Default)]
+pub struct SharedTally {
+    value: Mutex<u64>,
+}
+
+impl SharedTally {
+    pub fn new() -> Self {
+        Self::default()
+    }
+    pub fn add(&self, v: u64) {
+        *self.value.lock() += v;
+    }
+    pub fn get(&self) -> u64 {
+        *self.value.lock()
+    }
+    pub fn reset(&self) -> u64 {
+        std::mem::take(&mut *self.value.lock())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_arrive_next_superstep_in_order() {
+        let pool = WorkPool::new(2);
+        let mut bsp: Bsp<u64> = Bsp::new(4);
+        let mut states = vec![0u64; 4];
+
+        // Superstep 1: every rank sends (rank*10 + k) for k in 0..3 to rank 0.
+        bsp.superstep(&pool, &mut states, |rank, _s, inbox, out| {
+            assert!(inbox.is_empty());
+            for k in 0..3u64 {
+                out.send(0, rank as u64 * 10 + k);
+            }
+        });
+
+        // Superstep 2: rank 0 sees all 12 messages, ordered by source rank.
+        let results = bsp.superstep(&pool, &mut states, |rank, _s, inbox, _out| {
+            if rank == 0 {
+                let expect: Vec<u64> = (0..4u64).flat_map(|r| (0..3).map(move |k| r * 10 + k)).collect();
+                assert_eq!(inbox, expect.as_slice());
+                inbox.len() as u64
+            } else {
+                assert!(inbox.is_empty());
+                0
+            }
+        });
+        assert_eq!(results[0], 12);
+        assert_eq!(bsp.counters.supersteps, 2);
+        assert_eq!(bsp.counters.messages, 12);
+        assert_eq!(bsp.counters.bytes, 12 * 8);
+        assert_eq!(bsp.counters.max_rank_messages, 3);
+    }
+
+    #[test]
+    fn states_are_mutated_per_rank() {
+        let pool = WorkPool::new(0);
+        let mut bsp: Bsp<()> = Bsp::new(8);
+        let mut states: Vec<u64> = (0..8).collect();
+        bsp.superstep(&pool, &mut states, |rank, s, _inbox, _out| {
+            *s += rank as u64;
+        });
+        for (rank, s) in states.iter().enumerate() {
+            assert_eq!(*s, 2 * rank as u64);
+        }
+    }
+
+    #[test]
+    fn determinism_under_parallelism() {
+        // Run the same two-superstep exchange with different pool sizes and
+        // compare the full delivered inbox contents.
+        let run_safe = |threads: usize| -> Vec<Vec<u32>> {
+            let pool = WorkPool::new(threads);
+            let mut bsp: Bsp<u32> = Bsp::new(6);
+            let mut states = vec![Vec::<u32>::new(); 6];
+            bsp.superstep(&pool, &mut states, |rank, _s, _i, out| {
+                for d in 0..6 {
+                    if d != rank {
+                        out.send(d, (rank * 100 + d) as u32);
+                    }
+                }
+            });
+            bsp.superstep(&pool, &mut states, |_rank, s, inbox, _out| {
+                *s = inbox.to_vec();
+            });
+            states
+        };
+        let a = run_safe(0);
+        let b = run_safe(3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic]
+    fn send_to_invalid_rank_panics() {
+        let pool = WorkPool::new(0);
+        let mut bsp: Bsp<u8> = Bsp::new(2);
+        let mut states = vec![(); 2];
+        bsp.superstep(&pool, &mut states, |_r, _s, _i, out| out.send(5, 1));
+    }
+
+    #[test]
+    fn shared_tally() {
+        let t = SharedTally::new();
+        let pool = WorkPool::new(3);
+        pool.run_indexed(100, |_| t.add(1));
+        assert_eq!(t.get(), 100);
+        assert_eq!(t.reset(), 100);
+        assert_eq!(t.get(), 0);
+    }
+}

@@ -1,0 +1,125 @@
+//! Communication metering.
+//!
+//! The cost model (in `gpusim::cost`) converts these counters into simulated
+//! network time. Counters distinguish point-to-point traffic (RPCs / halo
+//! copies) from collectives (reductions), since their latency models differ.
+
+/// Accumulated communication volume for one runtime instance.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CommCounters {
+    /// Number of supersteps executed.
+    pub supersteps: u64,
+    /// Per-event point-to-point messages (RPCs).
+    pub messages: u64,
+    /// Per-event payload bytes.
+    pub bytes: u64,
+    /// Aggregated bulk puts (boundary strips / halo buffers): one per
+    /// (sender, receiver, wave). Their *count* scales with steps, not with
+    /// boundary size — the distinction matters for scale extrapolation.
+    pub bulk_messages: u64,
+    /// Bulk put payload bytes.
+    pub bulk_bytes: u64,
+    /// Collective (allreduce) invocations.
+    pub allreduces: u64,
+    /// Bytes contributed per rank per allreduce, summed.
+    pub allreduce_bytes: u64,
+    /// Maximum messages sent by any single rank in any superstep — the
+    /// per-step communication critical path.
+    pub max_rank_messages: u64,
+    /// Maximum bytes sent by any single rank in any superstep.
+    pub max_rank_bytes: u64,
+}
+
+impl CommCounters {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Merge another counter set (e.g. from a second runtime phase).
+    pub fn merge(&mut self, o: &CommCounters) {
+        self.supersteps += o.supersteps;
+        self.messages += o.messages;
+        self.bytes += o.bytes;
+        self.bulk_messages += o.bulk_messages;
+        self.bulk_bytes += o.bulk_bytes;
+        self.allreduces += o.allreduces;
+        self.allreduce_bytes += o.allreduce_bytes;
+        self.max_rank_messages = self.max_rank_messages.max(o.max_rank_messages);
+        self.max_rank_bytes = self.max_rank_bytes.max(o.max_rank_bytes);
+    }
+
+    /// Take the current values, resetting to zero.
+    pub fn take(&mut self) -> CommCounters {
+        std::mem::take(self)
+    }
+}
+
+/// Wire-size estimation for metered messages. Implemented by application
+/// message types; the default derives from `size_of`, which is accurate for
+/// the plain-old-data messages SIMCoV exchanges.
+pub trait WireSize {
+    fn wire_size(&self) -> usize;
+
+    /// Is this an aggregated bulk put (vs a per-event RPC)? Bulk puts are
+    /// metered in [`CommCounters::bulk_messages`].
+    fn is_bulk(&self) -> bool {
+        false
+    }
+}
+
+impl<T: Copy> WireSize for T {
+    fn wire_size(&self) -> usize {
+        std::mem::size_of::<T>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_and_take() {
+        let mut a = CommCounters {
+            supersteps: 1,
+            messages: 10,
+            bytes: 100,
+            bulk_messages: 2,
+            bulk_bytes: 1000,
+            allreduces: 2,
+            allreduce_bytes: 64,
+            max_rank_messages: 4,
+            max_rank_bytes: 40,
+        };
+        let b = CommCounters {
+            supersteps: 2,
+            messages: 5,
+            bytes: 50,
+            bulk_messages: 1,
+            bulk_bytes: 500,
+            allreduces: 1,
+            allreduce_bytes: 32,
+            max_rank_messages: 7,
+            max_rank_bytes: 30,
+        };
+        a.merge(&b);
+        assert_eq!(a.supersteps, 3);
+        assert_eq!(a.messages, 15);
+        assert_eq!(a.bytes, 150);
+        assert_eq!(a.bulk_messages, 3);
+        assert_eq!(a.bulk_bytes, 1500);
+        assert_eq!(a.allreduces, 3);
+        assert_eq!(a.allreduce_bytes, 96);
+        assert_eq!(a.max_rank_messages, 7);
+        assert_eq!(a.max_rank_bytes, 40);
+
+        let taken = a.take();
+        assert_eq!(taken.messages, 15);
+        assert_eq!(a, CommCounters::default());
+    }
+
+    #[test]
+    fn wire_size_of_pod() {
+        assert_eq!(42u64.wire_size(), 8);
+        assert_eq!((1u32, 2u32).wire_size(), 8);
+    }
+}

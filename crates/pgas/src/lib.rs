@@ -1,0 +1,27 @@
+//! # pgas — a BSP-style PGAS runtime (UPC++ stand-in)
+//!
+//! SIMCoV's original parallelization uses UPC++ [Bachan et al., IPDPS'19]:
+//! SPMD ranks, asynchronous remote procedure calls (RPCs), reductions and
+//! GPU-to-GPU copies. This crate substitutes that runtime for a
+//! single-process setting (see DESIGN.md): **logical ranks** execute
+//! *supersteps* on a shared thread pool, RPCs become typed messages delivered
+//! at superstep boundaries, and a tree allreduce combines per-rank
+//! contributions.
+//!
+//! SIMCoV's communication is bulk-synchronous per timestep (compute →
+//! exchange → apply), so the BSP restriction loses nothing while making
+//! execution deterministic: inboxes are canonicalized by source rank, and
+//! every rank's compute is a pure function of its state plus its inbox.
+//!
+//! Communication volumes (messages, bytes) are metered in [`CommCounters`];
+//! the `gpusim` cost model converts them into simulated network time.
+
+pub mod bsp;
+pub mod counters;
+pub mod pool;
+pub mod reduce;
+
+pub use bsp::{Bsp, Outbox};
+pub use counters::CommCounters;
+pub use pool::WorkPool;
+pub use reduce::{allreduce, tree_depth};

@@ -1,0 +1,256 @@
+//! A persistent work-sharing thread pool.
+//!
+//! The substrate under both the BSP rank executor and the simulated-GPU
+//! block executor. Work items are claimed from an atomic counter (dynamic
+//! self-scheduling), so uneven per-item cost — the norm for an ABM with
+//! localized activity — balances automatically.
+//!
+//! The pool is deliberately tiny and allocation-free on the hot path: one
+//! `Arc` per `run_indexed` call. With `n_threads == 0` (or 1 available core)
+//! work runs inline on the caller, which keeps single-core CI environments
+//! honest.
+
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+struct Job {
+    /// Erased work function: `f(index)` for indices in `0..n_items`.
+    work: Box<dyn Fn(usize) + Send + Sync>,
+    n_items: usize,
+    next: AtomicUsize,
+    remaining: AtomicUsize,
+}
+
+struct Shared {
+    /// Current job (generation-stamped) or `None`.
+    slot: Mutex<(u64, Option<Arc<Job>>)>,
+    work_ready: Condvar,
+    done: Condvar,
+    shutdown: AtomicUsize,
+}
+
+/// A fixed-size pool executing indexed parallel-for jobs.
+pub struct WorkPool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    n_threads: usize,
+}
+
+impl WorkPool {
+    /// Create a pool with `n_threads` worker threads. `0` means "run inline
+    /// on the caller" (no threads spawned).
+    pub fn new(n_threads: usize) -> Self {
+        let shared = Arc::new(Shared {
+            slot: Mutex::new((0, None)),
+            work_ready: Condvar::new(),
+            done: Condvar::new(),
+            shutdown: AtomicUsize::new(0),
+        });
+        let workers = (0..n_threads)
+            .map(|_| {
+                let sh = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(sh))
+            })
+            .collect();
+        WorkPool {
+            shared,
+            workers,
+            n_threads,
+        }
+    }
+
+    /// Pool sized to the machine (minus one core for the coordinator), at
+    /// least 1 worker when multiple cores exist, inline otherwise.
+    pub fn host_sized() -> Self {
+        let n = std::thread::available_parallelism()
+            .map(|v| v.get())
+            .unwrap_or(1);
+        WorkPool::new(n.saturating_sub(1))
+    }
+
+    pub fn n_threads(&self) -> usize {
+        self.n_threads
+    }
+
+    /// Run `f(i)` for every `i in 0..n_items`, potentially in parallel, and
+    /// return when all items are complete. The caller participates in the
+    /// work, so the pool makes progress even with zero workers.
+    pub fn run_indexed<F>(&self, n_items: usize, f: F)
+    where
+        F: Fn(usize) + Send + Sync,
+    {
+        if n_items == 0 {
+            return;
+        }
+        if self.n_threads == 0 || n_items == 1 {
+            for i in 0..n_items {
+                f(i);
+            }
+            return;
+        }
+        // SAFETY of the lifetime erasure below: the job is fully drained
+        // (remaining == 0) before this function returns, so the borrow of
+        // `f` never escapes the call.
+        let work: Box<dyn Fn(usize) + Send + Sync + '_> = Box::new(f);
+        let work: Box<dyn Fn(usize) + Send + Sync + 'static> =
+            unsafe { std::mem::transmute(work) };
+        let job = Arc::new(Job {
+            work,
+            n_items,
+            next: AtomicUsize::new(0),
+            remaining: AtomicUsize::new(n_items),
+        });
+
+        {
+            let mut slot = self.shared.slot.lock();
+            slot.0 += 1;
+            slot.1 = Some(Arc::clone(&job));
+            self.shared.work_ready.notify_all();
+        }
+
+        // The caller helps drain the job.
+        drain(&job);
+
+        // Wait for stragglers.
+        let mut slot = self.shared.slot.lock();
+        while job.remaining.load(Ordering::Acquire) != 0 {
+            self.shared.done.wait(&mut slot);
+        }
+        slot.1 = None;
+    }
+}
+
+fn drain(job: &Job) {
+    loop {
+        let i = job.next.fetch_add(1, Ordering::Relaxed);
+        if i >= job.n_items {
+            break;
+        }
+        (job.work)(i);
+        job.remaining.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+fn worker_loop(sh: Arc<Shared>) {
+    let mut seen_gen = 0u64;
+    loop {
+        let job = {
+            let mut slot = sh.slot.lock();
+            loop {
+                if sh.shutdown.load(Ordering::Acquire) != 0 {
+                    return;
+                }
+                if slot.0 != seen_gen {
+                    seen_gen = slot.0;
+                    if let Some(job) = slot.1.clone() {
+                        break job;
+                    }
+                }
+                sh.work_ready.wait(&mut slot);
+            }
+        };
+        drain(&job);
+        // Wake the coordinator if this worker finished the last item.
+        if job.remaining.load(Ordering::Acquire) == 0 {
+            let _guard = sh.slot.lock();
+            sh.done.notify_all();
+        }
+    }
+}
+
+impl Drop for WorkPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(1, Ordering::Release);
+        {
+            let _guard = self.shared.slot.lock();
+            self.shared.work_ready.notify_all();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn inline_pool_runs_everything() {
+        let pool = WorkPool::new(0);
+        let sum = AtomicU64::new(0);
+        pool.run_indexed(100, |i| {
+            sum.fetch_add(i as u64, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 4950);
+    }
+
+    #[test]
+    fn threaded_pool_runs_everything() {
+        let pool = WorkPool::new(3);
+        let sum = AtomicU64::new(0);
+        pool.run_indexed(1000, |i| {
+            sum.fetch_add(i as u64, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 499_500);
+    }
+
+    #[test]
+    fn repeated_jobs_do_not_cross_talk() {
+        let pool = WorkPool::new(2);
+        for round in 0..50u64 {
+            let count = AtomicU64::new(0);
+            pool.run_indexed(64, |_| {
+                count.fetch_add(1, Ordering::Relaxed);
+            });
+            assert_eq!(count.load(Ordering::Relaxed), 64, "round {round}");
+        }
+    }
+
+    #[test]
+    fn zero_items_is_a_noop() {
+        let pool = WorkPool::new(2);
+        pool.run_indexed(0, |_| panic!("must not run"));
+    }
+
+    #[test]
+    fn each_index_runs_exactly_once() {
+        let pool = WorkPool::new(4);
+        let n = 500;
+        let hits: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+        pool.run_indexed(n, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        for (i, h) in hits.iter().enumerate() {
+            assert_eq!(h.load(Ordering::Relaxed), 1, "index {i}");
+        }
+    }
+
+    #[test]
+    fn host_sized_constructs() {
+        let pool = WorkPool::host_sized();
+        let sum = AtomicU64::new(0);
+        pool.run_indexed(10, |i| {
+            sum.fetch_add(i as u64 + 1, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 55);
+    }
+
+    #[test]
+    fn uneven_work_completes() {
+        let pool = WorkPool::new(3);
+        let total = AtomicU64::new(0);
+        pool.run_indexed(32, |i| {
+            // Wildly uneven per-item cost.
+            let mut acc = 0u64;
+            for k in 0..(i * 10_000) {
+                acc = acc.wrapping_add(k as u64);
+            }
+            total.fetch_add(acc.wrapping_mul(0).wrapping_add(1), Ordering::Relaxed);
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 32);
+    }
+}

@@ -1,0 +1,82 @@
+//! Reductions across rank contributions.
+//!
+//! Models the UPC++ reduction directive SIMCoV uses to log per-step
+//! statistics (§3.3): each rank contributes a partial value and every rank
+//! observes the combined result. The combine order is fixed (rank order,
+//! left fold) so floating-point results are reproducible, and the simulated
+//! collective follows a binomial tree of depth ⌈log₂ n⌉ — the latency shape
+//! the cost model charges.
+
+use crate::counters::CommCounters;
+
+/// Depth of a binomial reduction tree over `n` participants.
+pub fn tree_depth(n: usize) -> u32 {
+    if n <= 1 {
+        0
+    } else {
+        usize::BITS - (n - 1).leading_zeros()
+    }
+}
+
+/// Combine per-rank contributions with `f`, left-folded in rank order, and
+/// meter the collective on `counters` (`bytes_per_rank` is the wire size of
+/// one contribution). Returns the globally combined value, which in a real
+/// PGAS run would be broadcast back to every rank.
+pub fn allreduce<T: Clone, F: Fn(T, T) -> T>(
+    contributions: &[T],
+    f: F,
+    bytes_per_rank: usize,
+    counters: &mut CommCounters,
+) -> T {
+    assert!(!contributions.is_empty(), "allreduce needs at least one rank");
+    counters.allreduces += 1;
+    counters.allreduce_bytes += (bytes_per_rank * contributions.len()) as u64;
+    let mut it = contributions.iter().cloned();
+    let first = it.next().expect("nonempty");
+    it.fold(first, f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tree_depth_values() {
+        assert_eq!(tree_depth(1), 0);
+        assert_eq!(tree_depth(2), 1);
+        assert_eq!(tree_depth(3), 2);
+        assert_eq!(tree_depth(4), 2);
+        assert_eq!(tree_depth(5), 3);
+        assert_eq!(tree_depth(128), 7);
+        assert_eq!(tree_depth(2048), 11);
+    }
+
+    #[test]
+    fn allreduce_sums_and_meters() {
+        let mut c = CommCounters::new();
+        let total = allreduce(&[1u64, 2, 3, 4], |a, b| a + b, 8, &mut c);
+        assert_eq!(total, 10);
+        assert_eq!(c.allreduces, 1);
+        assert_eq!(c.allreduce_bytes, 32);
+    }
+
+    #[test]
+    fn allreduce_order_is_rank_order() {
+        // Non-commutative combine exposes the fold order.
+        let mut c = CommCounters::new();
+        let s = allreduce(
+            &["a".to_string(), "b".into(), "c".into()],
+            |a, b| a + &b,
+            1,
+            &mut c,
+        );
+        assert_eq!(s, "abc");
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_allreduce_panics() {
+        let mut c = CommCounters::new();
+        allreduce::<u64, _>(&[], |a, b| a + b, 8, &mut c);
+    }
+}

@@ -1,0 +1,33 @@
+//! # simcov-cpu — the SIMCoV-CPU baseline executor
+//!
+//! The paper's "competitive baseline" (§2.2, §4): the simulation domain is
+//! distributed across CPU ranks (linear or block decomposition), each rank
+//! tracks an **active list** of voxels that can possibly change, and
+//! cross-boundary interactions are handled with **RPCs** — including the
+//! second communication wave (intent → result) that SIMCoV-GPU's bid
+//! algorithm eliminates. The §4.1 determinism fix (staged T-cell movement)
+//! is built in: planning, resolution and application are separate phases.
+//!
+//! Each timestep runs three BSP supersteps on the `pgas` runtime:
+//!
+//! 1. **plan** — drain neighbor state updates, apply extravasation trials,
+//!    plan T-cell actions; cross-boundary intents are RPC'd to the owner;
+//! 2. **resolve** — owners resolve contested targets (max-bid), apply
+//!    target-side effects, RPC results back; epithelial FSM + production;
+//!    boundary concentrations are RPC'd to neighbors;
+//! 3. **finish** — sources apply results, diffusion over active voxels,
+//!    statistics partials; boundary agent state is RPC'd to neighbors;
+//!    a UPC++-style allreduce combines the per-step statistics.
+//!
+//! The executor produces **bitwise identical** trajectories to
+//! [`simcov_core::serial::SerialSim`] for any rank count (workspace
+//! integration tests enforce this).
+
+pub mod active;
+pub mod msg;
+pub mod rank;
+pub mod sim;
+
+pub use msg::CpuMsg;
+pub use rank::CpuRank;
+pub use sim::{CpuSim, CpuSimConfig};

@@ -1,0 +1,116 @@
+//! RPC message types of the CPU baseline.
+//!
+//! These model the UPC++ communication SIMCoV-CPU issues: per-event RPCs
+//! for T-cell intents crossing a process boundary and their results (the
+//! second communication wave the GPU version eliminates), plus *aggregated*
+//! boundary-strip updates that keep neighbor ghost copies current —
+//! SIMCoV-CPU batches boundary state into bulk puts rather than issuing one
+//! RPC per voxel. The `pgas` runtime meters wire sizes via [`WireSize`].
+
+use pgas::counters::WireSize;
+use simcov_core::tcell::TCellSlot;
+
+/// An aggregated boundary-concentration cell (gid, virions, chemokine).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConcCell {
+    pub gid: u64,
+    pub virions: f32,
+    pub chem: f32,
+}
+
+/// An aggregated boundary-agent cell. `active` carries the activity
+/// predicate so the receiver can extend its active list across the process
+/// boundary (§3.2: "that RPC can add the affected voxels to the
+/// active-list").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AgentCell {
+    pub gid: u64,
+    pub epi_state: u8,
+    pub tcell: TCellSlot,
+    pub active: bool,
+}
+
+/// One RPC / bulk-put payload.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CpuMsg {
+    /// A T cell at `src` (global voxel id) wants to move to `target`
+    /// (owned by the receiving rank). Carries the bid and the cell's
+    /// remaining tissue lifetime so the owner can instantiate the moved
+    /// cell without another round trip.
+    MoveIntent {
+        src: u64,
+        target: u64,
+        bid: u128,
+        tissue_steps: u32,
+    },
+    /// A T cell at `src` wants to bind the expressing epithelial cell at
+    /// `target` (owned by the receiving rank).
+    BindIntent { src: u64, target: u64, bid: u128 },
+    /// Owner's verdict on a cross-boundary move intent.
+    MoveResult { src: u64, won: bool },
+    /// Owner's verdict on a cross-boundary bind intent.
+    BindResult { src: u64, won: bool },
+    /// Post-production (pre-diffusion) concentrations of the active
+    /// boundary voxels a neighbor's diffusion stencil needs this step
+    /// (one aggregated put per neighbor per step).
+    GhostConc(Vec<ConcCell>),
+    /// End-of-step state of the active boundary voxels, needed by the
+    /// neighbor's planning next step (one aggregated put per neighbor per
+    /// step; concentrations ride along for ghost extravasation checks).
+    GhostState {
+        agents: Vec<AgentCell>,
+        conc: Vec<ConcCell>,
+    },
+}
+
+impl WireSize for CpuMsg {
+    fn wire_size(&self) -> usize {
+        match self {
+            CpuMsg::MoveIntent { .. } => 36,
+            CpuMsg::BindIntent { .. } => 32,
+            CpuMsg::MoveResult { .. } | CpuMsg::BindResult { .. } => 9,
+            CpuMsg::GhostConc(cells) => 16 + cells.len() * 16,
+            CpuMsg::GhostState { agents, conc } => 16 + agents.len() * 14 + conc.len() * 16,
+        }
+    }
+
+    fn is_bulk(&self) -> bool {
+        matches!(self, CpuMsg::GhostConc(_) | CpuMsg::GhostState { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_sizes() {
+        assert_eq!(
+            CpuMsg::MoveResult { src: 1, won: true }.wire_size(),
+            9,
+            "results are tiny RPCs"
+        );
+        let batch = CpuMsg::GhostConc(vec![
+            ConcCell {
+                gid: 0,
+                virions: 0.0,
+                chem: 0.0
+            };
+            10
+        ]);
+        assert_eq!(batch.wire_size(), 16 + 160);
+        let state = CpuMsg::GhostState {
+            agents: vec![
+                AgentCell {
+                    gid: 0,
+                    epi_state: 1,
+                    tcell: TCellSlot::EMPTY,
+                    active: false
+                };
+                3
+            ],
+            conc: vec![],
+        };
+        assert_eq!(state.wire_size(), 16 + 42);
+    }
+}

@@ -1,0 +1,762 @@
+//! Per-rank state and the three per-step supersteps of the CPU baseline.
+
+use std::collections::HashMap;
+
+use gpusim::DeviceCounters;
+use pgas::Outbox;
+use simcov_core::decomp::{Partition, Subdomain};
+use simcov_core::epithelial::{EpiCells, EpiState};
+use simcov_core::extrav::TrialTable;
+use simcov_core::fields::Field;
+use simcov_core::grid::{Coord, GridDims};
+use simcov_core::halo::HaloBox;
+use simcov_core::params::SimParams;
+use simcov_core::rules::{
+    self, epi_update, extrav_lifetime, extrav_succeeds, plan_tcell, voxel_active, Bid, EpiTransition,
+    RuleView, TCellAction,
+};
+use simcov_core::stats::StepStats;
+use simcov_core::tcell::TCellSlot;
+use simcov_core::world::World;
+
+use crate::active::ActiveSet;
+use crate::msg::CpuMsg;
+
+/// One CPU rank: a subdomain plus ghost ring, an active list, and the
+/// step-scoped plan/resolve bookkeeping.
+pub struct CpuRank {
+    pub rank: usize,
+    pub hb: HaloBox,
+    dims: GridDims,
+    /// Neighbor ranks and their subdomains, for ghost routing.
+    neighbors: Vec<(usize, Subdomain)>,
+
+    // Local state over the halo box.
+    pub epi: EpiCells,
+    pub tcells: Vec<TCellSlot>,
+    pub virions: Field,
+    pub chem: Field,
+
+    /// Voxels processed this step (core, local indices).
+    processed: ActiveSet,
+    /// Activity found this step → seeds next step's processed set.
+    marks: ActiveSet,
+
+    // Step-scoped plan data.
+    local_actions: Vec<(u32, TCellAction)>,
+    pending_remote: Vec<(u32, bool)>, // (src local idx, is_bind)
+    fresh_placed: Vec<u32>,
+    move_bids: HashMap<u32, Bid>,
+    bind_bids: HashMap<u32, Bid>,
+    remote_intents: Vec<(usize, CpuMsg)>, // (sender rank, intent)
+    extravasated: u64,
+    /// Diffusion write-back staging: (local idx, new virions, new chem).
+    diffuse_out: Vec<(u32, f32, f32)>,
+
+    // Persistent per-rank statistics (core region only).
+    stat_healthy: u64,
+    stat_incubating: u64,
+    stat_expressing: u64,
+    stat_apoptotic: u64,
+    stat_dead: u64,
+    stat_tcells: u64,
+
+    pub counters: DeviceCounters,
+}
+
+/// Read view over the rank's halo box implementing the shared rule trait.
+struct LocalView<'a> {
+    dims: GridDims,
+    hb: &'a HaloBox,
+    epi: &'a EpiCells,
+    tcells: &'a [TCellSlot],
+    virions: &'a Field,
+    chem: &'a Field,
+}
+
+impl RuleView for LocalView<'_> {
+    #[inline]
+    fn dims(&self) -> GridDims {
+        self.dims
+    }
+    #[inline]
+    fn epi_state(&self, c: Coord) -> EpiState {
+        self.epi.get(self.hb.local(c))
+    }
+    #[inline]
+    fn tcell(&self, c: Coord) -> TCellSlot {
+        self.tcells[self.hb.local(c)]
+    }
+    #[inline]
+    fn virions(&self, c: Coord) -> f32 {
+        self.virions.get(self.hb.local(c))
+    }
+    #[inline]
+    fn chemokine(&self, c: Coord) -> f32 {
+        self.chem.get(self.hb.local(c))
+    }
+}
+
+impl CpuRank {
+    /// Build rank-local state from the initial world.
+    pub fn new(rank: usize, partition: &Partition, world: &World) -> Self {
+        let dims = partition.dims;
+        let sub = *partition.sub(rank);
+        let hb = HaloBox::new(dims, sub);
+        let n = hb.len();
+        let mut epi = EpiCells::airway(n);
+        let mut tcells = vec![TCellSlot::EMPTY; n];
+        let mut virions = Field::zeros(n);
+        let mut chem = Field::zeros(n);
+
+        let mut marks = ActiveSet::new(n);
+        let (mut h, mut inc, mut exp, mut apo, mut dead, mut tct) = (0, 0, 0, 0, 0, 0);
+        for li in 0..n {
+            let c = hb.global(li);
+            if !dims.in_bounds(c) {
+                continue;
+            }
+            let gi = dims.index(c);
+            epi.state[li] = world.epi.state[gi];
+            epi.timer[li] = world.epi.timer[gi];
+            tcells[li] = world.tcells[gi];
+            virions.set(li, world.virions.get(gi));
+            chem.set(li, world.chemokine.get(gi));
+            let active = voxel_active(epi.get(li), tcells[li], virions.get(li), chem.get(li));
+            if hb.is_core(c) {
+                match epi.get(li) {
+                    EpiState::Healthy => h += 1,
+                    EpiState::Incubating => inc += 1,
+                    EpiState::Expressing => exp += 1,
+                    EpiState::Apoptotic => apo += 1,
+                    EpiState::Dead => dead += 1,
+                    EpiState::Airway => {}
+                }
+                if tcells[li].occupied() {
+                    tct += 1;
+                }
+                if active {
+                    marks.insert(li as u32);
+                }
+            } else if active {
+                // Active ghost: its core neighbors must be processed.
+                for &(dx, dy, dz) in dims.neighbor_offsets() {
+                    let q = c.offset(dx, dy, dz);
+                    if dims.in_bounds(q) && hb.is_core(q) {
+                        marks.insert(hb.local(q) as u32);
+                    }
+                }
+            }
+        }
+
+        let neighbors = partition
+            .neighbor_ranks(rank)
+            .into_iter()
+            .map(|r| (r, *partition.sub(r)))
+            .collect();
+
+        CpuRank {
+            rank,
+            hb,
+            dims,
+            neighbors,
+            epi,
+            tcells,
+            virions,
+            chem,
+            processed: ActiveSet::new(n),
+            marks,
+            local_actions: Vec::new(),
+            pending_remote: Vec::new(),
+            fresh_placed: Vec::new(),
+            move_bids: HashMap::new(),
+            bind_bids: HashMap::new(),
+            remote_intents: Vec::new(),
+            extravasated: 0,
+            diffuse_out: Vec::new(),
+            stat_healthy: h,
+            stat_incubating: inc,
+            stat_expressing: exp,
+            stat_apoptotic: apo,
+            stat_dead: dead,
+            stat_tcells: tct,
+            counters: DeviceCounters::new(),
+        }
+    }
+
+    #[inline]
+    fn view(&self) -> LocalView<'_> {
+        LocalView {
+            dims: self.dims,
+            hb: &self.hb,
+            epi: &self.epi,
+            tcells: &self.tcells,
+            virions: &self.virions,
+            chem: &self.chem,
+        }
+    }
+
+    /// Mark a core coordinate (by local index) as active now → processed
+    /// next step.
+    #[inline]
+    fn mark(&mut self, li: usize) {
+        self.marks.insert(li as u32);
+    }
+
+    /// Insert a core voxel and its in-core neighbors into the processed set.
+    fn dilate_into_processed(&mut self, c: Coord) {
+        if self.hb.is_core(c) {
+            let li = self.hb.local(c) as u32;
+            self.processed.insert(li);
+        }
+        for &(dx, dy, dz) in self.dims.neighbor_offsets() {
+            let q = c.offset(dx, dy, dz);
+            if self.dims.in_bounds(q) && self.hb.is_core(q) {
+                self.processed.insert(self.hb.local(q) as u32);
+            }
+        }
+    }
+
+    /// Superstep 1: refresh ghosts, rebuild the active list, apply
+    /// extravasation trials, plan T-cell actions and RPC cross-boundary
+    /// intents. Returns this rank's extravasation count.
+    pub fn plan(
+        &mut self,
+        p: &SimParams,
+        t: u64,
+        trials: &TrialTable,
+        partition: &Partition,
+        inbox: &[CpuMsg],
+        out: &mut Outbox<CpuMsg>,
+    ) -> u64 {
+        // Rebuild the processed set from last step's activity marks.
+        self.processed.clear();
+        let marks: Vec<u32> = self.marks.sorted().to_vec();
+        self.marks.clear();
+        for m in marks {
+            let c = self.hb.global(m as usize);
+            self.dilate_into_processed(c);
+        }
+        // Drain ghost state updates (sent at the end of the previous step).
+        for msg in inbox {
+            if let CpuMsg::GhostState { agents, conc } = msg {
+                for cell in agents {
+                    let c = self.dims.coord(cell.gid as usize);
+                    debug_assert!(self.hb.covers(c) && !self.hb.is_core(c));
+                    let li = self.hb.local(c);
+                    self.epi.state[li] = cell.epi_state;
+                    self.tcells[li] = cell.tcell;
+                    if cell.active {
+                        self.dilate_into_processed(c);
+                    }
+                }
+                for cell in conc {
+                    // End-of-step concentration refresh for ghost cells
+                    // (used by extravasation checks and as step-start state).
+                    let c = self.dims.coord(cell.gid as usize);
+                    let li = self.hb.local(c);
+                    self.virions.set(li, cell.virions);
+                    self.chem.set(li, cell.chem);
+                }
+            } else {
+                unreachable!("unexpected message in plan superstep: {msg:?}");
+            }
+        }
+
+        // Extravasation over the halo reach: core trials apply fully; ghost
+        // trials are evaluated (identically to their owner) so fresh ghost
+        // cells block this rank's movers.
+        self.extravasated = 0;
+        self.fresh_placed.clear();
+        let (lo, hi) = (self.hb.lo, self.hb.hi);
+        let mut core_trials = 0u64;
+        for z in lo.z.max(0)..hi.z.min(self.dims.z as i64) {
+            for y in lo.y.max(0)..hi.y.min(self.dims.y as i64) {
+                let x0 = lo.x.max(0);
+                let x1 = hi.x.min(self.dims.x as i64);
+                if x0 >= x1 {
+                    continue;
+                }
+                let g0 = self.dims.index(Coord::new(x0, y, z));
+                let g1 = g0 + (x1 - x0) as usize;
+                for &(gv, trial) in trials.in_gid_range(g0, g1) {
+                    let c = self.dims.coord(gv);
+                    let li = self.hb.local(c);
+                    if self.tcells[li].occupied() {
+                        continue;
+                    }
+                    if extrav_succeeds(p, t, trial, self.chem.get(li)) {
+                        let life = extrav_lifetime(p, t, trial);
+                        self.tcells[li] = TCellSlot::fresh(life);
+                        if self.hb.is_core(c) {
+                            self.extravasated += 1;
+                            self.stat_tcells += 1;
+                            self.fresh_placed.push(li as u32);
+                            self.mark(li);
+                            core_trials += 1;
+                        }
+                    }
+                }
+            }
+        }
+        self.counters.update.elements += core_trials;
+
+        // Plan established T cells over the processed set.
+        self.local_actions.clear();
+        self.pending_remote.clear();
+        self.move_bids.clear();
+        self.bind_bids.clear();
+        self.remote_intents.clear();
+        let processed: Vec<u32> = self.processed.sorted().to_vec();
+        for &li in &processed {
+            let slot = self.tcells[li as usize];
+            if !slot.occupied() || slot.is_fresh() {
+                continue;
+            }
+            let c = self.hb.global(li as usize);
+            let action = plan_tcell(&self.view(), p, t, c);
+            match action {
+                TCellAction::TryMove { target, bid } | TCellAction::TryBind { target, bid } => {
+                    let is_bind = matches!(action, TCellAction::TryBind { .. });
+                    if self.hb.is_core(target) {
+                        let tl = self.hb.local(target) as u32;
+                        let map = if is_bind {
+                            &mut self.bind_bids
+                        } else {
+                            &mut self.move_bids
+                        };
+                        let e = map.entry(tl).or_insert(Bid::EMPTY);
+                        *e = e.merge(bid);
+                        self.local_actions.push((li, action));
+                    } else {
+                        let owner = partition.owner(target);
+                        let src = self.dims.index(c) as u64;
+                        let tgt = self.dims.index(target) as u64;
+                        let msg = if is_bind {
+                            CpuMsg::BindIntent {
+                                src,
+                                target: tgt,
+                                bid: bid.0,
+                            }
+                        } else {
+                            CpuMsg::MoveIntent {
+                                src,
+                                target: tgt,
+                                bid: bid.0,
+                                tissue_steps: slot.tissue_steps(),
+                            }
+                        };
+                        out.send(owner, msg);
+                        self.pending_remote.push((li, is_bind));
+                    }
+                }
+                _ => self.local_actions.push((li, action)),
+            }
+        }
+        self.extravasated
+    }
+
+    /// Superstep 2: resolve contested targets, apply local and target-side
+    /// effects, RPC results back, run the epithelial FSM + production, and
+    /// push boundary concentrations to neighbors.
+    pub fn resolve(&mut self, p: &SimParams, t: u64, inbox: &[CpuMsg], out: &mut Outbox<CpuMsg>) {
+        // Merge remote intents into the bid maps.
+        for (sender_idx, msg) in inbox.iter().enumerate() {
+            match msg {
+                CpuMsg::MoveIntent { target, bid, .. } => {
+                    let c = self.dims.coord(*target as usize);
+                    let tl = self.hb.local(c) as u32;
+                    let e = self.move_bids.entry(tl).or_insert(Bid::EMPTY);
+                    *e = e.merge(Bid(*bid));
+                    self.remote_intents.push((sender_idx, msg.clone()));
+                }
+                CpuMsg::BindIntent { target, bid, .. } => {
+                    let c = self.dims.coord(*target as usize);
+                    let tl = self.hb.local(c) as u32;
+                    let e = self.bind_bids.entry(tl).or_insert(Bid::EMPTY);
+                    *e = e.merge(Bid(*bid));
+                    self.remote_intents.push((sender_idx, msg.clone()));
+                }
+                _ => unreachable!("unexpected message in resolve superstep: {msg:?}"),
+            }
+        }
+
+        // Apply local actions.
+        let actions = std::mem::take(&mut self.local_actions);
+        for &(li, action) in &actions {
+            let li = li as usize;
+            let slot = self.tcells[li];
+            let ts = slot.tissue_steps();
+            match action {
+                TCellAction::Die => {
+                    self.tcells[li] = TCellSlot::EMPTY;
+                    self.stat_tcells -= 1;
+                }
+                TCellAction::StayBound => {
+                    self.tcells[li] = TCellSlot::established(ts - 1, slot.bind_steps() - 1);
+                    self.mark(li);
+                }
+                TCellAction::Stay => {
+                    self.tcells[li] = TCellSlot::established(ts - 1, 0);
+                    self.mark(li);
+                }
+                TCellAction::TryBind { target, bid } => {
+                    let tl = self.hb.local(target);
+                    if self.bind_bids[&(tl as u32)] == bid {
+                        self.apply_bind(p, t, target);
+                        self.tcells[li] = TCellSlot::established(ts - 1, p.tcell_binding_period);
+                    } else {
+                        self.tcells[li] = TCellSlot::established(ts - 1, 0);
+                    }
+                    self.mark(li);
+                }
+                TCellAction::TryMove { target, bid } => {
+                    let tl = self.hb.local(target);
+                    if self.move_bids[&(tl as u32)] == bid {
+                        self.tcells[tl] = TCellSlot::established(ts - 1, 0);
+                        self.tcells[li] = TCellSlot::EMPTY;
+                        self.mark(tl);
+                    } else {
+                        self.tcells[li] = TCellSlot::established(ts - 1, 0);
+                        self.mark(li);
+                    }
+                }
+            }
+        }
+        self.local_actions = actions;
+        self.local_actions.clear();
+
+        // Target-side effects of remote intents + result RPCs.
+        let intents = std::mem::take(&mut self.remote_intents);
+        for (_, msg) in &intents {
+            match *msg {
+                CpuMsg::MoveIntent {
+                    src,
+                    target,
+                    bid,
+                    tissue_steps,
+                } => {
+                    let c = self.dims.coord(target as usize);
+                    let tl = self.hb.local(c);
+                    let won = self.move_bids[&(tl as u32)] == Bid(bid);
+                    if won {
+                        self.tcells[tl] = TCellSlot::established(tissue_steps - 1, 0);
+                        self.stat_tcells += 1;
+                        self.mark(tl);
+                    }
+                    let src_owner = self.owner_of_gid(src);
+                    out.send(src_owner, CpuMsg::MoveResult { src, won });
+                }
+                CpuMsg::BindIntent { src, target, bid } => {
+                    let c = self.dims.coord(target as usize);
+                    let tl = self.hb.local(c);
+                    let won = self.bind_bids[&(tl as u32)] == Bid(bid);
+                    if won {
+                        self.apply_bind(p, t, c);
+                    }
+                    let src_owner = self.owner_of_gid(src);
+                    out.send(src_owner, CpuMsg::BindResult { src, won });
+                }
+                _ => unreachable!(),
+            }
+        }
+
+        // Epithelial FSM + production over the processed set.
+        let processed: Vec<u32> = self.processed.sorted().to_vec();
+        for &li in &processed {
+            let li = li as usize;
+            let s = self.epi.get(li);
+            if s == EpiState::Airway || s == EpiState::Dead {
+                continue;
+            }
+            let c = self.hb.global(li);
+            let gid = self.dims.index(c) as u64;
+            let u = epi_update(s, self.epi.timer[li], self.virions.get(li), p, t, gid);
+            self.epi.set(li, u.state, u.timer);
+            match u.transition {
+                EpiTransition::Infected => {
+                    self.stat_healthy -= 1;
+                    self.stat_incubating += 1;
+                }
+                EpiTransition::StartedExpressing => {
+                    self.stat_incubating -= 1;
+                    self.stat_expressing += 1;
+                }
+                EpiTransition::Died => {
+                    if s == EpiState::Expressing {
+                        self.stat_expressing -= 1;
+                    } else {
+                        self.stat_apoptotic -= 1;
+                    }
+                    self.stat_dead += 1;
+                }
+                EpiTransition::None => {}
+            }
+            if u.state.produces_virions() {
+                self.virions.set(
+                    li,
+                    simcov_core::diffusion::produce_virions(self.virions.get(li), p.virion_production),
+                );
+            }
+            if u.state.produces_chemokine() {
+                self.chem.set(
+                    li,
+                    simcov_core::diffusion::produce_chemokine(
+                        self.chem.get(li),
+                        p.chemokine_production,
+                    ),
+                );
+            }
+            if u.state.is_transient() {
+                self.mark(li);
+            }
+        }
+
+        // Push post-production boundary concentrations to neighbors whose
+        // diffusion stencils need them this step (one aggregated put per
+        // neighbor).
+        let mut per_neighbor: Vec<Vec<crate::msg::ConcCell>> =
+            vec![Vec::new(); self.neighbors.len()];
+        for &li in &processed {
+            let c = self.hb.global(li as usize);
+            if self.hb.is_boundary(c) {
+                let cell = crate::msg::ConcCell {
+                    gid: self.dims.index(c) as u64,
+                    virions: self.virions.get(li as usize),
+                    chem: self.chem.get(li as usize),
+                };
+                for (i, (_, nsub)) in self.neighbors.iter().enumerate() {
+                    if nsub.in_halo_reach(c) {
+                        per_neighbor[i].push(cell);
+                    }
+                }
+            }
+        }
+        for (i, cells) in per_neighbor.into_iter().enumerate() {
+            if !cells.is_empty() {
+                out.send(self.neighbors[i].0, CpuMsg::GhostConc(cells));
+            }
+        }
+    }
+
+    fn apply_bind(&mut self, p: &SimParams, t: u64, target: Coord) {
+        let tl = self.hb.local(target);
+        debug_assert_eq!(self.epi.get(tl), EpiState::Expressing);
+        let gid = self.dims.index(target) as u64;
+        self.epi
+            .set(tl, EpiState::Apoptotic, rules::apoptosis_timer(p, t, gid));
+        self.stat_expressing -= 1;
+        self.stat_apoptotic += 1;
+        self.mark(tl);
+    }
+
+    fn owner_of_gid(&self, gid: u64) -> usize {
+        // The source of a cross-boundary intent is always a neighbor.
+        let c = self.dims.coord(gid as usize);
+        for (nr, nsub) in &self.neighbors {
+            if nsub.contains(c) {
+                return *nr;
+            }
+        }
+        panic!("intent source {c:?} not owned by any neighbor of rank {}", self.rank);
+    }
+
+    /// Superstep 3: apply cross-boundary results, diffuse, produce the
+    /// statistics partial, and push end-of-step boundary state.
+    pub fn finish(
+        &mut self,
+        p: &SimParams,
+        t: u64,
+        inbox: &[CpuMsg],
+        out: &mut Outbox<CpuMsg>,
+    ) -> StepStats {
+        // Ghost concentrations for the stencil: anything not refreshed below
+        // was not processed by its owner this step, which (activity
+        // exactness) implies its post-production value is zero.
+        let n = self.hb.len();
+        for li in 0..n {
+            let c = self.hb.global(li);
+            if !self.hb.is_core(c) {
+                self.virions.set(li, 0.0);
+                self.chem.set(li, 0.0);
+            }
+        }
+        for msg in inbox {
+            match *msg {
+                CpuMsg::GhostConc(ref cells) => {
+                    for cell in cells {
+                        let c = self.dims.coord(cell.gid as usize);
+                        let li = self.hb.local(c);
+                        self.virions.set(li, cell.virions);
+                        self.chem.set(li, cell.chem);
+                    }
+                }
+                CpuMsg::MoveResult { src, won } => {
+                    let c = self.dims.coord(src as usize);
+                    let li = self.hb.local(c);
+                    let slot = self.tcells[li];
+                    let ts = slot.tissue_steps();
+                    if won {
+                        self.tcells[li] = TCellSlot::EMPTY;
+                        self.stat_tcells -= 1;
+                    } else {
+                        self.tcells[li] = TCellSlot::established(ts - 1, 0);
+                        self.mark(li);
+                    }
+                }
+                CpuMsg::BindResult { src, won } => {
+                    let c = self.dims.coord(src as usize);
+                    let li = self.hb.local(c);
+                    let slot = self.tcells[li];
+                    let ts = slot.tissue_steps();
+                    let bind = if won { p.tcell_binding_period } else { 0 };
+                    self.tcells[li] = TCellSlot::established(ts - 1, bind);
+                    self.mark(li);
+                }
+                _ => unreachable!("unexpected message in finish superstep: {msg:?}"),
+            }
+        }
+        self.pending_remote.clear();
+
+        // Settle fresh T cells.
+        let fresh = std::mem::take(&mut self.fresh_placed);
+        for &li in &fresh {
+            self.tcells[li as usize] = self.tcells[li as usize].settled();
+        }
+
+        // Diffusion over the processed set (staged write-back).
+        let processed: Vec<u32> = self.processed.sorted().to_vec();
+        self.diffuse_out.clear();
+        let mut virions_sum = 0.0f64;
+        let mut chem_sum = 0.0f64;
+        for &li in &processed {
+            let c = self.hb.global(li as usize);
+            let mut vsum = 0.0f32;
+            let mut csum = 0.0f32;
+            let mut nvalid = 0usize;
+            for &(dx, dy, dz) in self.dims.neighbor_offsets() {
+                let q = c.offset(dx, dy, dz);
+                if self.dims.in_bounds(q) {
+                    let ql = self.hb.local(q);
+                    vsum += self.virions.get(ql);
+                    csum += self.chem.get(ql);
+                    nvalid += 1;
+                }
+            }
+            let nv = simcov_core::diffusion::diffuse_voxel(
+                self.virions.get(li as usize),
+                vsum,
+                nvalid,
+                p.virion_diffusion,
+                p.virion_clearance,
+                p.min_virions,
+            );
+            let nc = simcov_core::diffusion::diffuse_voxel(
+                self.chem.get(li as usize),
+                csum,
+                nvalid,
+                p.chemokine_diffusion,
+                p.chemokine_decay,
+                p.min_chemokine,
+            );
+            self.diffuse_out.push((li, nv, nc));
+        }
+        let diffused = std::mem::take(&mut self.diffuse_out);
+        for &(li, nv, nc) in &diffused {
+            self.virions.set(li as usize, nv);
+            self.chem.set(li as usize, nc);
+            virions_sum += nv as f64;
+            chem_sum += nc as f64;
+            if nv > 0.0 || nc > 0.0 {
+                self.mark(li as usize);
+            }
+        }
+        self.diffuse_out = diffused;
+        self.diffuse_out.clear();
+
+        // Re-mark voxels that still hold agents/transient state.
+        for &li in &processed {
+            let li = li as usize;
+            if self.tcells[li].occupied() || self.epi.get(li).is_transient() {
+                self.mark(li);
+            }
+        }
+
+        self.counters.update.elements += processed.len() as u64;
+
+        // Push end-of-step boundary state to neighbors (one aggregated put
+        // per neighbor).
+        let mut agent_batches: Vec<Vec<crate::msg::AgentCell>> =
+            vec![Vec::new(); self.neighbors.len()];
+        let mut conc_batches: Vec<Vec<crate::msg::ConcCell>> =
+            vec![Vec::new(); self.neighbors.len()];
+        for &li in &processed {
+            let c = self.hb.global(li as usize);
+            if self.hb.is_boundary(c) {
+                let li = li as usize;
+                let gid = self.dims.index(c) as u64;
+                let active = voxel_active(
+                    self.epi.get(li),
+                    self.tcells[li],
+                    self.virions.get(li),
+                    self.chem.get(li),
+                );
+                let agent = crate::msg::AgentCell {
+                    gid,
+                    epi_state: self.epi.state[li],
+                    tcell: self.tcells[li],
+                    active,
+                };
+                let conc = crate::msg::ConcCell {
+                    gid,
+                    virions: self.virions.get(li),
+                    chem: self.chem.get(li),
+                };
+                for (i, (_, nsub)) in self.neighbors.iter().enumerate() {
+                    if nsub.in_halo_reach(c) {
+                        agent_batches[i].push(agent);
+                        conc_batches[i].push(conc);
+                    }
+                }
+            }
+        }
+        for i in 0..self.neighbors.len() {
+            if !agent_batches[i].is_empty() {
+                out.send(
+                    self.neighbors[i].0,
+                    CpuMsg::GhostState {
+                        agents: std::mem::take(&mut agent_batches[i]),
+                        conc: std::mem::take(&mut conc_batches[i]),
+                    },
+                );
+            }
+        }
+
+        StepStats {
+            step: t,
+            virions: virions_sum,
+            chemokine: chem_sum,
+            tcells_vasculature: 0, // filled by the driver from the pool
+            tcells_tissue: self.stat_tcells,
+            epi_healthy: self.stat_healthy,
+            epi_incubating: self.stat_incubating,
+            epi_expressing: self.stat_expressing,
+            epi_apoptotic: self.stat_apoptotic,
+            epi_dead: self.stat_dead,
+            extravasated: self.extravasated,
+        }
+    }
+
+    /// Copy this rank's core region into a global world (for verification).
+    pub fn write_into(&self, world: &mut World) {
+        for c in self.hb.core.iter_coords() {
+            let li = self.hb.local(c);
+            let gi = self.dims.index(c);
+            world.epi.state[gi] = self.epi.state[li];
+            world.epi.timer[gi] = self.epi.timer[li];
+            world.tcells[gi] = self.tcells[li];
+            world.virions.set(gi, self.virions.get(li));
+            world.chemokine.set(gi, self.chem.get(li));
+        }
+    }
+}

@@ -1,0 +1,246 @@
+//! The SIMCoV-CPU driver: owns the PGAS runtime, the rank states, the
+//! replicated vascular pool and the statistics log.
+
+use gpusim::DeviceCounters;
+use pgas::{allreduce, Bsp, WorkPool};
+use simcov_core::decomp::{Partition, Strategy};
+use simcov_core::extrav::TrialTable;
+use simcov_core::foi::FoiPattern;
+use simcov_core::params::SimParams;
+use simcov_core::stats::{StepStats, TimeSeries};
+use simcov_core::tcell::VascularPool;
+use simcov_core::world::World;
+
+use crate::msg::CpuMsg;
+use crate::rank::CpuRank;
+
+/// Configuration of a CPU-baseline run.
+#[derive(Debug, Clone)]
+pub struct CpuSimConfig {
+    pub params: SimParams,
+    /// Number of logical CPU ranks (cores in the paper's terms).
+    pub n_ranks: usize,
+    pub strategy: Strategy,
+    pub pattern: FoiPattern,
+}
+
+impl CpuSimConfig {
+    pub fn new(params: SimParams, n_ranks: usize) -> Self {
+        CpuSimConfig {
+            params,
+            n_ranks,
+            strategy: Strategy::Blocks,
+            pattern: FoiPattern::UniformLattice,
+        }
+    }
+}
+
+/// A running CPU-baseline simulation.
+pub struct CpuSim {
+    pub params: SimParams,
+    pub partition: Partition,
+    pool: WorkPool,
+    bsp: Bsp<CpuMsg>,
+    pub ranks: Vec<CpuRank>,
+    pub vascular: VascularPool,
+    pub step: u64,
+    pub history: TimeSeries,
+}
+
+impl CpuSim {
+    pub fn new(cfg: CpuSimConfig) -> Self {
+        cfg.params.validate().expect("invalid parameters");
+        let world = World::seeded(&cfg.params, cfg.pattern);
+        Self::from_world(cfg, world)
+    }
+
+    /// Build from an explicit initial world (carved airways, CT lesions...).
+    pub fn from_world(cfg: CpuSimConfig, world: World) -> Self {
+        assert_eq!(cfg.params.dims, world.dims);
+        let partition = Partition::new(cfg.params.dims, cfg.n_ranks, cfg.strategy);
+        let ranks: Vec<CpuRank> = (0..cfg.n_ranks)
+            .map(|r| CpuRank::new(r, &partition, &world))
+            .collect();
+        CpuSim {
+            params: cfg.params,
+            partition,
+            pool: WorkPool::host_sized(),
+            bsp: Bsp::new(cfg.n_ranks),
+            ranks,
+            vascular: VascularPool::new(),
+            step: 0,
+            history: TimeSeries::default(),
+        }
+    }
+
+    /// Advance one timestep (three supersteps + statistics allreduce).
+    pub fn advance_step(&mut self) {
+        let t = self.step;
+        let p = self.params.clone();
+        let trials = TrialTable::build(&p, t, self.vascular.circulating());
+        let partition = self.partition.clone();
+
+        // Superstep 1: plan.
+        let trials_ref = &trials;
+        let p_ref = &p;
+        let part_ref = &partition;
+        let _extrav: Vec<u64> = self.bsp.superstep(&self.pool, &mut self.ranks, |rank, s, inbox, out| {
+            debug_assert_eq!(rank, s.rank);
+            s.plan(p_ref, t, trials_ref, part_ref, inbox, out)
+        });
+
+        // Superstep 2: resolve + FSM + production.
+        self.bsp.superstep(&self.pool, &mut self.ranks, |_r, s, inbox, out| {
+            s.resolve(p_ref, t, inbox, out);
+        });
+
+        // Superstep 3: finish + stats partial.
+        let partials: Vec<StepStats> = self.bsp.superstep(&self.pool, &mut self.ranks, |_r, s, inbox, out| {
+            s.finish(p_ref, t, inbox, out)
+        });
+
+        // Statistics allreduce (the per-step UPC++ reduction of §3.3).
+        let mut stats = allreduce(
+            &partials,
+            |mut a, b| {
+                a += b;
+                a
+            },
+            std::mem::size_of::<StepStats>(),
+            &mut self.bsp.counters,
+        );
+        self.vascular.advance(
+            t,
+            p.tcell_generation_rate,
+            p.tcell_initial_delay,
+            p.tcell_vascular_period,
+            stats.extravasated,
+        );
+        stats.tcells_vasculature = self.vascular.circulating();
+        stats.step = t;
+        self.history.push(stats);
+        self.step += 1;
+    }
+
+    pub fn run(&mut self) {
+        while self.step < self.params.steps {
+            self.advance_step();
+        }
+    }
+
+    /// Assemble the full global world from all ranks (verification).
+    pub fn gather_world(&self) -> World {
+        let mut world = World::healthy(self.params.dims);
+        for r in &self.ranks {
+            r.write_into(&mut world);
+        }
+        world
+    }
+
+    /// Communication counters of the runtime.
+    pub fn comm_counters(&self) -> pgas::CommCounters {
+        self.bsp.counters
+    }
+
+    /// The busiest rank's work counters (the compute critical path).
+    pub fn max_rank_counters(&self) -> DeviceCounters {
+        self.ranks
+            .iter()
+            .fold(DeviceCounters::new(), |acc, r| acc.max(&r.counters))
+    }
+
+    /// Aggregate work counters across ranks.
+    pub fn total_counters(&self) -> DeviceCounters {
+        self.ranks.iter().fold(DeviceCounters::new(), |mut acc, r| {
+            acc.merge(&r.counters);
+            acc
+        })
+    }
+
+    pub fn last_stats(&self) -> Option<&StepStats> {
+        self.history.steps.last()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcov_core::grid::GridDims;
+    use simcov_core::serial::SerialSim;
+
+    fn test_params(steps: u64) -> SimParams {
+        SimParams::test_config(GridDims::new2d(24, 24), steps, 2, 42)
+    }
+
+    fn assert_matches_serial(n_ranks: usize, strategy: Strategy, steps: u64) {
+        let p = test_params(steps);
+        let mut serial = SerialSim::new(p.clone());
+        serial.run();
+
+        let mut cfg = CpuSimConfig::new(p, n_ranks);
+        cfg.strategy = strategy;
+        let mut cpu = CpuSim::new(cfg);
+        cpu.run();
+
+        let world = cpu.gather_world();
+        if let Some((idx, why)) = serial.world.first_difference(&world) {
+            panic!("state diverged at voxel {idx} after {steps} steps ({n_ranks} ranks): {why}");
+        }
+        // Integer statistics must agree exactly; float sums to tight tolerance.
+        for (a, b) in serial.history.steps.iter().zip(cpu.history.steps.iter()) {
+            assert!(
+                a.approx_eq(b, 1e-9),
+                "stats diverged at step {}: {a:?} vs {b:?}",
+                a.step
+            );
+        }
+    }
+
+    #[test]
+    fn matches_serial_2_ranks_linear() {
+        assert_matches_serial(2, Strategy::Linear, 150);
+    }
+
+    #[test]
+    fn matches_serial_4_ranks_blocks() {
+        assert_matches_serial(4, Strategy::Blocks, 150);
+    }
+
+    #[test]
+    fn matches_serial_9_ranks_blocks() {
+        assert_matches_serial(9, Strategy::Blocks, 100);
+    }
+
+    #[test]
+    fn matches_serial_single_rank() {
+        assert_matches_serial(1, Strategy::Blocks, 100);
+    }
+
+    #[test]
+    fn comm_counters_accumulate() {
+        let p = test_params(60);
+        let mut cpu = CpuSim::new(CpuSimConfig::new(p, 4));
+        cpu.run();
+        let cc = cpu.comm_counters();
+        assert_eq!(cc.supersteps, 60 * 3);
+        assert_eq!(cc.allreduces, 60);
+        assert!(cc.messages > 0, "boundary traffic expected");
+    }
+
+    #[test]
+    fn work_counters_track_active_voxels() {
+        let p = test_params(60);
+        let mut cpu = CpuSim::new(CpuSimConfig::new(p, 4));
+        cpu.run();
+        let total = cpu.total_counters();
+        assert!(total.update.elements > 0);
+        // Active-list processing must touch far fewer voxel-steps than a
+        // full sweep would.
+        let full_sweep = 24 * 24 * 60;
+        assert!(
+            total.update.elements < full_sweep,
+            "active list should skip inactive regions: {} >= {full_sweep}",
+            total.update.elements
+        );
+    }
+}

@@ -1,0 +1,746 @@
+//! Per-device state and the two per-step phases of SIMCoV-GPU.
+//!
+//! Each timestep is two BSP supersteps (two communication waves, Fig. 2):
+//!
+//! 1. **plan + bid** — refresh ghosts, periodic tile check, extravasation
+//!    over the halo reach, T-cell planning; every intent stores a bid at its
+//!    target voxel; bid contributions are copied to every device holding the
+//!    target.
+//! 2. **resolve + update** — merge bids (max); every holder of a voxel
+//!    independently determines the winner (deterministic tiebreak, §3.1):
+//!    sources erase moved cells, owners instantiate them, bind winners
+//!    trigger apoptosis. Then epithelial FSM + production run over owned
+//!    *and ghost* voxels (ghost recomputation is exact because the FSM is
+//!    voxel-local and all draws are counter-based), diffusion updates owned
+//!    voxels, statistics are reduced by the variant's strategy, and the
+//!    boundary state is pushed to neighbors.
+
+use gpusim::device::LinkTraffic;
+use gpusim::kernel::LaunchConfig;
+use gpusim::reduce::{atomic_reduce, tree_reduce};
+use gpusim::{DeviceCounters, KernelCategory};
+use pgas::Outbox;
+use simcov_core::decomp::{Partition, Subdomain};
+use simcov_core::epithelial::{EpiCells, EpiState};
+use simcov_core::extrav::TrialTable;
+use simcov_core::fields::Field;
+use simcov_core::grid::{Coord, GridDims};
+use simcov_core::halo::HaloBox;
+use simcov_core::params::SimParams;
+use simcov_core::rules::{
+    self, epi_update, extrav_lifetime, extrav_succeeds, plan_tcell, voxel_active, Bid, RuleView,
+    TCellAction,
+};
+use simcov_core::stats::StepStats;
+use simcov_core::tcell::TCellSlot;
+use simcov_core::world::World;
+
+use crate::msg::{BidCell, GpuMsg, HaloCell};
+use crate::tiles::{TileLayout, TileTracker};
+use crate::variants::GpuVariant;
+
+/// Statistic lanes reduced per step (virions, chemokine, tissue T cells,
+/// five epithelial state counts).
+const STAT_LANES: u64 = 8;
+/// Bytes read per voxel by the statistics sweep: the tiled layout reads
+/// tile-contiguous lines; the untiled layout wastes part of each cache line.
+const REDUCE_BYTES_TILED: u64 = 20;
+const REDUCE_BYTES_UNTILED: u64 = 28;
+/// Approximate bytes of state touched per voxel by an update kernel: the
+/// tile-contiguous layout (§3.2, Fig. 3) coalesces accesses; the untiled
+/// row-major layout wastes part of each cache line on strided SoA sweeps.
+const UPDATE_BYTES_TILED: u64 = 32;
+const UPDATE_BYTES_UNTILED: u64 = 52;
+
+/// One simulated device and its subdomain state (tile-ordered storage).
+pub struct GpuDevice {
+    pub id: usize,
+    pub layout: TileLayout,
+    dims: GridDims,
+    neighbors: Vec<(usize, Subdomain)>,
+    pub variant: GpuVariant,
+    devices_per_node: usize,
+
+    epi: EpiCells,
+    tcells: Vec<TCellSlot>,
+    virions: Field,
+    chem: Field,
+    move_bid: Vec<Bid>,
+    bind_bid: Vec<Bid>,
+    touched_bids: Vec<u32>,
+    tracker: TileTracker,
+
+    actions: Vec<(u32, TCellAction)>,
+    fresh_placed: Vec<u32>,
+    extravasated: u64,
+    diffuse_out: Vec<(u32, f32, f32)>,
+
+    pub counters: DeviceCounters,
+    pub link: LinkTraffic,
+}
+
+struct DeviceView<'a> {
+    dims: GridDims,
+    layout: &'a TileLayout,
+    epi: &'a EpiCells,
+    tcells: &'a [TCellSlot],
+    virions: &'a Field,
+    chem: &'a Field,
+}
+
+impl RuleView for DeviceView<'_> {
+    #[inline]
+    fn dims(&self) -> GridDims {
+        self.dims
+    }
+    #[inline]
+    fn epi_state(&self, c: Coord) -> EpiState {
+        self.epi.get(self.layout.local(c))
+    }
+    #[inline]
+    fn tcell(&self, c: Coord) -> TCellSlot {
+        self.tcells[self.layout.local(c)]
+    }
+    #[inline]
+    fn virions(&self, c: Coord) -> f32 {
+        self.virions.get(self.layout.local(c))
+    }
+    #[inline]
+    fn chemokine(&self, c: Coord) -> f32 {
+        self.chem.get(self.layout.local(c))
+    }
+}
+
+impl GpuDevice {
+    pub fn new(
+        id: usize,
+        partition: &Partition,
+        world: &World,
+        variant: GpuVariant,
+        tile_side: usize,
+        check_period: u64,
+        devices_per_node: usize,
+    ) -> Self {
+        let dims = partition.dims;
+        let hb = HaloBox::new(dims, *partition.sub(id));
+        let layout = TileLayout::new(hb, tile_side);
+        let n = layout.len();
+        let mut epi = EpiCells::airway(n);
+        let mut tcells = vec![TCellSlot::EMPTY; n];
+        let mut virions = Field::zeros(n);
+        let mut chem = Field::zeros(n);
+        for t in 0..layout.n_tiles() {
+            for (li, c) in layout.tile_coords(t) {
+                if !dims.in_bounds(c) {
+                    continue;
+                }
+                let gi = dims.index(c);
+                epi.state[li] = world.epi.state[gi];
+                epi.timer[li] = world.epi.timer[gi];
+                tcells[li] = world.tcells[gi];
+                virions.set(li, world.virions.get(gi));
+                chem.set(li, world.chemokine.get(gi));
+            }
+        }
+        let tracker = TileTracker::new(&layout, check_period);
+        let neighbors = partition
+            .neighbor_ranks(id)
+            .into_iter()
+            .map(|r| (r, *partition.sub(r)))
+            .collect();
+        GpuDevice {
+            id,
+            dims,
+            neighbors,
+            variant,
+            devices_per_node,
+            epi,
+            tcells,
+            virions,
+            chem,
+            move_bid: vec![Bid::EMPTY; n],
+            bind_bid: vec![Bid::EMPTY; n],
+            touched_bids: Vec::new(),
+            tracker,
+            actions: Vec::new(),
+            fresh_placed: Vec::new(),
+            extravasated: 0,
+            diffuse_out: Vec::new(),
+            counters: DeviceCounters::new(),
+            link: LinkTraffic::default(),
+            layout,
+        }
+    }
+
+    #[inline]
+    fn view(&self) -> DeviceView<'_> {
+        DeviceView {
+            dims: self.dims,
+            layout: &self.layout,
+            epi: &self.epi,
+            tcells: &self.tcells,
+            virions: &self.virions,
+            chem: &self.chem,
+        }
+    }
+
+    /// Tiles the update kernels visit this step (all tiles when tiling is
+    /// disabled).
+    fn work_tiles(&self) -> Vec<usize> {
+        if self.variant.tiling() {
+            self.tracker.active_tiles().collect()
+        } else {
+            (0..self.layout.n_tiles()).collect()
+        }
+    }
+
+    fn same_node(&self, peer: usize) -> bool {
+        self.id / self.devices_per_node == peer / self.devices_per_node
+    }
+
+    /// Superstep 1: ghosts, tile check, extravasation, planning, bid wave.
+    pub fn plan_and_bid(
+        &mut self,
+        p: &SimParams,
+        t: u64,
+        trials: &TrialTable,
+        inbox: &[GpuMsg],
+        out: &mut Outbox<GpuMsg>,
+    ) -> u64 {
+        // Ghost refresh from the previous step's halo wave.
+        let mut unpacked = 0u64;
+        for msg in inbox {
+            if let GpuMsg::Halo(cells) = msg {
+                for cell in cells {
+                    let c = self.dims.coord(cell.gid as usize);
+                    debug_assert!(self.layout.hb.covers(c) && !self.layout.hb.is_core(c));
+                    let li = self.layout.local(c);
+                    self.epi.state[li] = cell.epi_state;
+                    self.epi.timer[li] = cell.epi_timer;
+                    self.tcells[li] = cell.tcell;
+                    self.virions.set(li, cell.virions);
+                    self.chem.set(li, cell.chem);
+                }
+                unpacked += cells.len() as u64;
+            } else {
+                unreachable!("unexpected message in plan superstep");
+            }
+        }
+        if unpacked > 0 {
+            let h = self.counters.category_mut(KernelCategory::Halo);
+            h.launches += 1; // unpack kernel
+            h.elements += unpacked;
+            h.bytes += unpacked * 25;
+        }
+
+        // Periodic tile-activity check (§3.2).
+        if self.variant.tiling() && self.tracker.check_due(t) {
+            let mut found = vec![false; self.layout.n_tiles()];
+            let mut scanned = 0u64;
+            for tile in 0..self.layout.n_tiles() {
+                for (li, _c) in self.layout.tile_coords(tile) {
+                    scanned += 1;
+                    if voxel_active(
+                        self.epi.get(li),
+                        self.tcells[li],
+                        self.virions.get(li),
+                        self.chem.get(li),
+                    ) {
+                        found[tile] = true;
+                        break;
+                    }
+                }
+            }
+            // The real kernel cannot early-exit a warp-parallel scan; charge
+            // the full sweep.
+            let tc = self.counters.category_mut(KernelCategory::TileCheck);
+            tc.launches += 1;
+            tc.elements += self.layout.len() as u64;
+            tc.bytes += self.layout.len() as u64 * 13;
+            let _ = scanned;
+            self.tracker.apply_check(&self.layout, &found);
+        }
+
+        // Extravasation over the halo reach (ghost trials are evaluated
+        // identically to their owner so fresh ghost cells block our movers).
+        self.extravasated = 0;
+        self.fresh_placed.clear();
+        let hb = self.layout.hb;
+        let (lo, hi) = (hb.lo, hb.hi);
+        let mut evaluated = 0u64;
+        for z in lo.z.max(0)..hi.z.min(self.dims.z as i64) {
+            for y in lo.y.max(0)..hi.y.min(self.dims.y as i64) {
+                let x0 = lo.x.max(0);
+                let x1 = hi.x.min(self.dims.x as i64);
+                if x0 >= x1 {
+                    continue;
+                }
+                let g0 = self.dims.index(Coord::new(x0, y, z));
+                let g1 = g0 + (x1 - x0) as usize;
+                for &(gv, trial) in trials.in_gid_range(g0, g1) {
+                    let c = self.dims.coord(gv);
+                    let li = self.layout.local(c);
+                    if self.tcells[li].occupied() {
+                        continue;
+                    }
+                    if extrav_succeeds(p, t, trial, self.chem.get(li)) {
+                        let life = extrav_lifetime(p, t, trial);
+                        self.tcells[li] = TCellSlot::fresh(life);
+                        if hb.is_core(c) {
+                            self.extravasated += 1;
+                            self.fresh_placed.push(li as u32);
+                        }
+                    }
+                    evaluated += 1;
+                }
+            }
+        }
+        {
+            let u = self.counters.category_mut(KernelCategory::UpdateAgents);
+            u.launches += 1; // extravasation kernel
+            u.elements += evaluated;
+        }
+
+        // T-cell planning kernel ("Choose Direction" + bid store, Fig. 2).
+        self.actions.clear();
+        debug_assert!(self.touched_bids.is_empty());
+        let tiles = self.work_tiles();
+        let mut scanned = 0u64;
+        let mut bids_written = 0u64;
+        for tile in &tiles {
+            for (li, c) in self.layout.tile_coords(*tile) {
+                scanned += 1;
+                if !hb.is_core(c) {
+                    continue;
+                }
+                let slot = self.tcells[li];
+                if !slot.occupied() || slot.is_fresh() {
+                    continue;
+                }
+                let action = plan_tcell(&self.view(), p, t, c);
+                match action {
+                    TCellAction::TryMove { target, bid } => {
+                        let tl = self.layout.local(target);
+                        self.move_bid[tl] = self.move_bid[tl].merge(bid);
+                        self.touched_bids.push(tl as u32);
+                        bids_written += 1;
+                    }
+                    TCellAction::TryBind { target, bid } => {
+                        let tl = self.layout.local(target);
+                        self.bind_bid[tl] = self.bind_bid[tl].merge(bid);
+                        self.touched_bids.push(tl as u32);
+                        bids_written += 1;
+                    }
+                    _ => {}
+                }
+                self.actions.push((li as u32, action));
+            }
+        }
+        {
+            let u = self.counters.category_mut(KernelCategory::UpdateAgents);
+            u.launches += 1;
+            u.elements += scanned;
+            u.bytes += scanned * 8;
+            // Bid stores are global atomicMax operations (§3.1).
+            u.atomics += bids_written;
+        }
+
+        // Bid wave: send our contributions for every voxel a neighbor also
+        // holds. All holders converge by max-merge, so each device can
+        // resolve winners without a second wave (§3.1).
+        self.touched_bids.sort_unstable();
+        self.touched_bids.dedup();
+        let mut per_neighbor: Vec<Vec<BidCell>> = vec![Vec::new(); self.neighbors.len()];
+        for &tl in &self.touched_bids {
+            let c = self.layout.coord_of(tl as usize);
+            let cell = BidCell {
+                gid: self.dims.index(c) as u64,
+                move_bid: self.move_bid[tl as usize].0,
+                bind_bid: self.bind_bid[tl as usize].0,
+            };
+            for (i, (_, nsub)) in self.neighbors.iter().enumerate() {
+                if nsub.in_halo_reach(c) {
+                    per_neighbor[i].push(cell);
+                }
+            }
+        }
+        for (i, cells) in per_neighbor.into_iter().enumerate() {
+            let (nr, _) = self.neighbors[i];
+            let n_cells = cells.len() as u64;
+            let msg = GpuMsg::Bids(cells);
+            let bytes = pgas::counters::WireSize::wire_size(&msg) as u64;
+            self.link.record(bytes, self.same_node(nr));
+            let h = self.counters.category_mut(KernelCategory::Halo);
+            h.elements += n_cells;
+            h.bytes += n_cells * 40;
+            out.send(nr, msg);
+        }
+        self.counters.category_mut(KernelCategory::Halo).launches += 1; // pack kernel
+
+        self.extravasated
+    }
+
+    /// Superstep 2: merge bids, resolve and apply, FSM + production
+    /// (including ghost recomputation), diffusion, statistics reduction,
+    /// boundary push. Returns this device's statistics partial.
+    pub fn resolve_and_update(
+        &mut self,
+        p: &SimParams,
+        t: u64,
+        inbox: &[GpuMsg],
+        out: &mut Outbox<GpuMsg>,
+    ) -> StepStats {
+        let hb = self.layout.hb;
+
+        // Merge incoming bid contributions (commutative max — order-free).
+        let mut merged = 0u64;
+        for msg in inbox {
+            if let GpuMsg::Bids(cells) = msg {
+                for cell in cells {
+                    let c = self.dims.coord(cell.gid as usize);
+                    debug_assert!(hb.covers(c));
+                    let li = self.layout.local(c);
+                    self.move_bid[li] = self.move_bid[li].merge(Bid(cell.move_bid));
+                    self.bind_bid[li] = self.bind_bid[li].merge(Bid(cell.bind_bid));
+                    self.touched_bids.push(li as u32);
+                }
+                merged += cells.len() as u64;
+            } else {
+                unreachable!("unexpected message in resolve superstep");
+            }
+        }
+        if merged > 0 {
+            let h = self.counters.category_mut(KernelCategory::Halo);
+            h.launches += 1;
+            h.elements += merged;
+            h.atomics += merged * 2; // atomicMax merges into the bid fields
+        }
+        self.touched_bids.sort_unstable();
+        self.touched_bids.dedup();
+
+        // "Assign Winners" + "Set Flips" + "Move Agents" (Fig. 2) — three
+        // kernels over the action/bid sets.
+        let actions = std::mem::take(&mut self.actions);
+        for &(li, action) in &actions {
+            let li = li as usize;
+            let slot = self.tcells[li];
+            let ts = slot.tissue_steps();
+            match action {
+                TCellAction::Die => {
+                    self.tcells[li] = TCellSlot::EMPTY;
+                }
+                TCellAction::StayBound => {
+                    self.tcells[li] = TCellSlot::established(ts - 1, slot.bind_steps() - 1);
+                }
+                TCellAction::Stay => {
+                    self.tcells[li] = TCellSlot::established(ts - 1, 0);
+                }
+                TCellAction::TryBind { target, bid } => {
+                    let tl = self.layout.local(target);
+                    let bind = if self.bind_bid[tl] == bid {
+                        p.tcell_binding_period
+                    } else {
+                        0
+                    };
+                    self.tcells[li] = TCellSlot::established(ts - 1, bind);
+                }
+                TCellAction::TryMove { target, bid } => {
+                    let tl = self.layout.local(target);
+                    if self.move_bid[tl] == bid {
+                        // Winner: materialize at the target if we own it
+                        // (ghost targets are instantiated by their owner),
+                        // and erase here either way — the deterministic
+                        // tiebreak guarantees no duplication (§3.1).
+                        if hb.is_core(target) {
+                            self.tcells[tl] = TCellSlot::established(ts - 1, 0);
+                        }
+                        self.tcells[li] = TCellSlot::EMPTY;
+                    } else {
+                        self.tcells[li] = TCellSlot::established(ts - 1, 0);
+                    }
+                }
+            }
+        }
+        self.actions = actions;
+        self.actions.clear();
+
+        // Winning movers materialize at their targets; winning binds
+        // trigger apoptosis — including on ghost copies, which keeps the
+        // local FSM/production recomputation exact.
+        let touched = std::mem::take(&mut self.touched_bids);
+        for &tl in &touched {
+            let tl = tl as usize;
+            let c = self.layout.coord_of(tl);
+            let mb = self.move_bid[tl];
+            if !mb.is_empty() && hb.is_core(c) {
+                let src = self.dims.coord(mb.src() as usize);
+                debug_assert!(hb.covers(src));
+                if !hb.is_core(src) {
+                    // Remote winner: instantiate from the ghost copy
+                    // ("a T cell that has moved into the memory space of a
+                    // GPU can safely be instantiated without fear of
+                    // duplication", §3.1). Local winners were materialized
+                    // in the action loop above.
+                    let slot = self.tcells[self.layout.local(src)];
+                    debug_assert!(slot.occupied() && !slot.is_fresh());
+                    self.tcells[tl] = TCellSlot::established(slot.tissue_steps() - 1, 0);
+                }
+            }
+            let bb = self.bind_bid[tl];
+            if !bb.is_empty() && self.epi.get(tl) == EpiState::Expressing {
+                let gid = self.dims.index(c) as u64;
+                self.epi
+                    .set(tl, EpiState::Apoptotic, rules::apoptosis_timer(p, t, gid));
+            }
+            self.move_bid[tl] = Bid::EMPTY;
+            self.bind_bid[tl] = Bid::EMPTY;
+        }
+        self.touched_bids = touched;
+        self.touched_bids.clear();
+
+        // Settle fresh T cells.
+        let fresh = std::mem::take(&mut self.fresh_placed);
+        for &li in &fresh {
+            self.tcells[li as usize] = self.tcells[li as usize].settled();
+        }
+
+        // FSM + production over core AND ghost voxels of the work tiles.
+        let tiles = self.work_tiles();
+        let mut fsm_elems = 0u64;
+        for tile in &tiles {
+            for (li, c) in self.layout.tile_coords(*tile) {
+                if !self.dims.in_bounds(c) {
+                    continue;
+                }
+                fsm_elems += 1;
+                let s = self.epi.get(li);
+                if s == EpiState::Airway || s == EpiState::Dead {
+                    continue;
+                }
+                let gid = self.dims.index(c) as u64;
+                let u = epi_update(s, self.epi.timer[li], self.virions.get(li), p, t, gid);
+                self.epi.set(li, u.state, u.timer);
+                if u.state.produces_virions() {
+                    self.virions.set(
+                        li,
+                        simcov_core::diffusion::produce_virions(
+                            self.virions.get(li),
+                            p.virion_production,
+                        ),
+                    );
+                }
+                if u.state.produces_chemokine() {
+                    self.chem.set(
+                        li,
+                        simcov_core::diffusion::produce_chemokine(
+                            self.chem.get(li),
+                            p.chemokine_production,
+                        ),
+                    );
+                }
+            }
+        }
+        {
+            let ub = if self.variant.tiling() {
+                UPDATE_BYTES_TILED
+            } else {
+                UPDATE_BYTES_UNTILED
+            };
+            let u = self.counters.category_mut(KernelCategory::UpdateAgents);
+            u.launches += 4; // assign winners, set flips, move agents, FSM
+            u.elements += fsm_elems;
+            u.bytes += fsm_elems * ub;
+        }
+
+        // Diffusion over core voxels of the work tiles (staged write-back).
+        self.diffuse_out.clear();
+        let mut diff_elems = 0u64;
+        for tile in &tiles {
+            for (li, c) in self.layout.tile_coords(*tile) {
+                if !hb.is_core(c) {
+                    continue;
+                }
+                diff_elems += 1;
+                let mut vsum = 0.0f32;
+                let mut csum = 0.0f32;
+                let mut nvalid = 0usize;
+                for &(dx, dy, dz) in self.dims.neighbor_offsets() {
+                    let q = c.offset(dx, dy, dz);
+                    if self.dims.in_bounds(q) {
+                        let ql = self.layout.local(q);
+                        vsum += self.virions.get(ql);
+                        csum += self.chem.get(ql);
+                        nvalid += 1;
+                    }
+                }
+                let nv = simcov_core::diffusion::diffuse_voxel(
+                    self.virions.get(li),
+                    vsum,
+                    nvalid,
+                    p.virion_diffusion,
+                    p.virion_clearance,
+                    p.min_virions,
+                );
+                let nc = simcov_core::diffusion::diffuse_voxel(
+                    self.chem.get(li),
+                    csum,
+                    nvalid,
+                    p.chemokine_diffusion,
+                    p.chemokine_decay,
+                    p.min_chemokine,
+                );
+                self.diffuse_out.push((li as u32, nv, nc));
+            }
+        }
+        let diffused = std::mem::take(&mut self.diffuse_out);
+        for &(li, nv, nc) in &diffused {
+            self.virions.set(li as usize, nv);
+            self.chem.set(li as usize, nc);
+        }
+        self.diffuse_out = diffused;
+        self.diffuse_out.clear();
+        {
+            let db = if self.variant.tiling() { 24 } else { 36 };
+            let u = self.counters.category_mut(KernelCategory::UpdateAgents);
+            u.launches += 2; // virion + chemokine stencil kernels
+            u.elements += diff_elems * 2;
+            u.bytes += diff_elems * 2 * db;
+        }
+
+        // Statistics reduction over every owned voxel (§3.3): the sweep
+        // covers the full core regardless of tiling (dead/healthy counts
+        // live in inactive regions too); tiling only improves its locality.
+        let core_cells: Vec<u32> = self.core_indices();
+        let n = core_cells.len();
+        let bytes_per_elem = if self.variant.tiling() {
+            REDUCE_BYTES_TILED
+        } else {
+            REDUCE_BYTES_UNTILED
+        };
+        let (virions, chem, tcells, epi) = (&self.virions, &self.chem, &self.tcells, &self.epi);
+        let map = |i: usize| -> StepStats {
+            let li = core_cells[i] as usize;
+            let mut s = StepStats::default();
+            s.virions = virions.get(li) as f64;
+            s.chemokine = chem.get(li) as f64;
+            if tcells[li].occupied() {
+                s.tcells_tissue = 1;
+            }
+            match epi.get(li) {
+                EpiState::Healthy => s.epi_healthy = 1,
+                EpiState::Incubating => s.epi_incubating = 1,
+                EpiState::Expressing => s.epi_expressing = 1,
+                EpiState::Apoptotic => s.epi_apoptotic = 1,
+                EpiState::Dead => s.epi_dead = 1,
+                EpiState::Airway => {}
+            }
+            s
+        };
+        let combine = |a: &mut StepStats, b: &StepStats| {
+            *a += *b;
+        };
+        let mut stats = if self.variant.tree_reduce() {
+            tree_reduce(
+                &mut self.counters,
+                LaunchConfig::cover(n, 256),
+                n,
+                STAT_LANES,
+                bytes_per_elem,
+                StepStats::default(),
+                map,
+                combine,
+            )
+        } else {
+            // Unoptimized: a sweep whose per-element accumulation uses
+            // global atomics.
+            let r = atomic_reduce(
+                &mut self.counters,
+                n,
+                STAT_LANES,
+                StepStats::default(),
+                map,
+                combine,
+            );
+            let c = self.counters.category_mut(KernelCategory::ReduceStats);
+            c.launches += 1;
+            c.elements += n as u64;
+            c.bytes += n as u64 * bytes_per_elem;
+            r
+        };
+        stats.step = t;
+        stats.extravasated = self.extravasated;
+
+        // End-of-step halo wave: full boundary state to every neighbor.
+        let mut per_neighbor: Vec<Vec<HaloCell>> = vec![Vec::new(); self.neighbors.len()];
+        for &li in &core_cells {
+            let c = self.layout.coord_of(li as usize);
+            if !hb.is_boundary(c) {
+                continue;
+            }
+            let li = li as usize;
+            let cell = HaloCell {
+                gid: self.dims.index(c) as u64,
+                epi_state: self.epi.state[li],
+                epi_timer: self.epi.timer[li],
+                tcell: self.tcells[li],
+                virions: self.virions.get(li),
+                chem: self.chem.get(li),
+            };
+            for (i, (_, nsub)) in self.neighbors.iter().enumerate() {
+                if nsub.in_halo_reach(c) {
+                    per_neighbor[i].push(cell);
+                }
+            }
+        }
+        for (i, cells) in per_neighbor.into_iter().enumerate() {
+            let (nr, _) = self.neighbors[i];
+            let n_cells = cells.len() as u64;
+            let msg = GpuMsg::Halo(cells);
+            let bytes = pgas::counters::WireSize::wire_size(&msg) as u64;
+            self.link.record(bytes, self.same_node(nr));
+            let h = self.counters.category_mut(KernelCategory::Halo);
+            h.elements += n_cells;
+            h.bytes += n_cells * 25;
+            out.send(nr, msg);
+        }
+        self.counters.category_mut(KernelCategory::Halo).launches += 1; // pack
+
+        stats
+    }
+
+    /// Local storage indices of all core voxels, in tile order.
+    fn core_indices(&self) -> Vec<u32> {
+        let hb = self.layout.hb;
+        let mut out = Vec::with_capacity(hb.core.nvoxels());
+        for t in 0..self.layout.n_tiles() {
+            for (li, c) in self.layout.tile_coords(t) {
+                if hb.is_core(c) {
+                    out.push(li as u32);
+                }
+            }
+        }
+        out
+    }
+
+    /// Copy this device's core region into a global world (verification).
+    pub fn write_into(&self, world: &mut World) {
+        for t in 0..self.layout.n_tiles() {
+            for (li, c) in self.layout.tile_coords(t) {
+                if !self.layout.hb.is_core(c) {
+                    continue;
+                }
+                let gi = self.dims.index(c);
+                world.epi.state[gi] = self.epi.state[li];
+                world.epi.timer[gi] = self.epi.timer[li];
+                world.tcells[gi] = self.tcells[li];
+                world.virions.set(gi, self.virions.get(li));
+                world.chemokine.set(gi, self.chem.get(li));
+            }
+        }
+    }
+
+    /// Fraction of tiles currently active (diagnostics / tests).
+    pub fn active_tile_fraction(&self) -> f64 {
+        self.tracker.n_active() as f64 / self.layout.n_tiles().max(1) as f64
+    }
+}

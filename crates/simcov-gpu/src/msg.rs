@@ -1,0 +1,89 @@
+//! Inter-device messages of the GPU executor.
+//!
+//! Unlike the CPU baseline's many small RPCs, SIMCoV-GPU communicates in two
+//! bulk halo copies per step (Fig. 2): the bid wave after T-cell planning,
+//! and the boundary-state wave at the end of the step. Each message is one
+//! packed buffer per (device, neighbor) pair — the GPU-to-GPU copy pattern
+//! UPC++ performs.
+
+use pgas::counters::WireSize;
+use simcov_core::tcell::TCellSlot;
+
+/// One voxel's bid contributions (only non-empty entries travel).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BidCell {
+    pub gid: u64,
+    pub move_bid: u128,
+    pub bind_bid: u128,
+}
+
+/// One boundary voxel's full end-of-step state. Epithelial timers are
+/// included (unlike the CPU baseline) because neighbor devices recompute
+/// ghost FSM/production locally instead of receiving mid-step values.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HaloCell {
+    pub gid: u64,
+    pub epi_state: u8,
+    pub epi_timer: u32,
+    pub tcell: TCellSlot,
+    pub virions: f32,
+    pub chem: f32,
+}
+
+/// A bulk device-to-device copy.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GpuMsg {
+    /// The bid wave (§3.1): this device's bid contributions for voxels the
+    /// receiver also holds (as core or ghost). Receivers max-merge.
+    Bids(Vec<BidCell>),
+    /// The end-of-step boundary state wave.
+    Halo(Vec<HaloCell>),
+}
+
+impl GpuMsg {
+    /// Payload cells in the message.
+    pub fn n_cells(&self) -> usize {
+        match self {
+            GpuMsg::Bids(v) => v.len(),
+            GpuMsg::Halo(v) => v.len(),
+        }
+    }
+}
+
+impl WireSize for GpuMsg {
+    fn wire_size(&self) -> usize {
+        // Packed on-wire sizes, not Rust in-memory sizes: a bid entry is
+        // gid + two 16-byte bids; a halo cell packs to 25 bytes.
+        match self {
+            GpuMsg::Bids(v) => 16 + v.len() * 40,
+            GpuMsg::Halo(v) => 16 + v.len() * 25,
+        }
+    }
+
+    fn is_bulk(&self) -> bool {
+        // All GPU communication is bulk device-to-device copies.
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_sizes() {
+        let b = GpuMsg::Bids(vec![
+            BidCell {
+                gid: 1,
+                move_bid: 2,
+                bind_bid: 3,
+            };
+            10
+        ]);
+        assert_eq!(b.wire_size(), 16 + 400);
+        assert_eq!(b.n_cells(), 10);
+        let h = GpuMsg::Halo(vec![]);
+        assert_eq!(h.wire_size(), 16);
+        assert_eq!(h.n_cells(), 0);
+    }
+}

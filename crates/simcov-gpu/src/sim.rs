@@ -1,0 +1,352 @@
+//! The SIMCoV-GPU driver: owns the PGAS runtime, the devices, the replicated
+//! vascular pool and the statistics log.
+
+use gpusim::device::LinkTraffic;
+use gpusim::DeviceCounters;
+use pgas::{allreduce, Bsp, WorkPool};
+use simcov_core::decomp::{Partition, Strategy};
+use simcov_core::extrav::TrialTable;
+use simcov_core::foi::FoiPattern;
+use simcov_core::params::SimParams;
+use simcov_core::stats::{StepStats, TimeSeries};
+use simcov_core::tcell::VascularPool;
+use simcov_core::world::World;
+
+use crate::device::GpuDevice;
+use crate::msg::GpuMsg;
+use crate::variants::GpuVariant;
+
+/// Configuration of a multi-device GPU run.
+#[derive(Debug, Clone)]
+pub struct GpuSimConfig {
+    pub params: SimParams,
+    /// Number of simulated devices.
+    pub n_devices: usize,
+    pub strategy: Strategy,
+    pub pattern: FoiPattern,
+    pub variant: GpuVariant,
+    /// Memory-tile side in voxels (§3.2).
+    pub tile_side: usize,
+    /// Steps between active-tile checks; defaults to the tile side (the
+    /// paper's maximum safe period). Must be ≤ `tile_side`.
+    pub check_period: Option<u64>,
+    /// Devices per node (NVLink domain). Perlmutter: 4.
+    pub devices_per_node: usize,
+}
+
+impl GpuSimConfig {
+    pub fn new(params: SimParams, n_devices: usize) -> Self {
+        GpuSimConfig {
+            params,
+            n_devices,
+            strategy: Strategy::Blocks,
+            pattern: FoiPattern::UniformLattice,
+            variant: GpuVariant::Combined,
+            tile_side: 8,
+            check_period: None,
+            devices_per_node: 4,
+        }
+    }
+
+    pub fn with_variant(mut self, v: GpuVariant) -> Self {
+        self.variant = v;
+        self
+    }
+}
+
+/// A running multi-device SIMCoV-GPU simulation.
+pub struct GpuSim {
+    pub params: SimParams,
+    pub partition: Partition,
+    pool: WorkPool,
+    bsp: Bsp<GpuMsg>,
+    pub devices: Vec<GpuDevice>,
+    pub vascular: VascularPool,
+    pub step: u64,
+    pub history: TimeSeries,
+}
+
+impl GpuSim {
+    pub fn new(cfg: GpuSimConfig) -> Self {
+        cfg.params.validate().expect("invalid parameters");
+        let world = World::seeded(&cfg.params, cfg.pattern);
+        Self::from_world(cfg, world)
+    }
+
+    pub fn from_world(cfg: GpuSimConfig, world: World) -> Self {
+        assert_eq!(cfg.params.dims, world.dims);
+        let partition = Partition::new(cfg.params.dims, cfg.n_devices, cfg.strategy);
+        let devices: Vec<GpuDevice> = (0..cfg.n_devices)
+            .map(|d| {
+                GpuDevice::new(
+                    d,
+                    &partition,
+                    &world,
+                    cfg.variant,
+                    cfg.tile_side,
+                    cfg.check_period.unwrap_or(cfg.tile_side as u64),
+                    cfg.devices_per_node,
+                )
+            })
+            .collect();
+        GpuSim {
+            params: cfg.params,
+            partition,
+            pool: WorkPool::host_sized(),
+            bsp: Bsp::new(cfg.n_devices),
+            devices,
+            vascular: VascularPool::new(),
+            step: 0,
+            history: TimeSeries::default(),
+        }
+    }
+
+    /// Advance one timestep (two supersteps — the two communication waves
+    /// of Fig. 2 — plus the statistics allreduce).
+    pub fn advance_step(&mut self) {
+        let t = self.step;
+        let p = self.params.clone();
+        let trials = TrialTable::build(&p, t, self.vascular.circulating());
+        let p_ref = &p;
+        let trials_ref = &trials;
+
+        let _extrav: Vec<u64> =
+            self.bsp
+                .superstep(&self.pool, &mut self.devices, |_d, dev, inbox, out| {
+                    dev.plan_and_bid(p_ref, t, trials_ref, inbox, out)
+                });
+
+        let partials: Vec<StepStats> =
+            self.bsp
+                .superstep(&self.pool, &mut self.devices, |_d, dev, inbox, out| {
+                    dev.resolve_and_update(p_ref, t, inbox, out)
+                });
+
+        let mut stats = allreduce(
+            &partials,
+            |mut a, b| {
+                a += b;
+                a
+            },
+            std::mem::size_of::<StepStats>(),
+            &mut self.bsp.counters,
+        );
+        self.vascular.advance(
+            t,
+            p.tcell_generation_rate,
+            p.tcell_initial_delay,
+            p.tcell_vascular_period,
+            stats.extravasated,
+        );
+        stats.tcells_vasculature = self.vascular.circulating();
+        stats.step = t;
+        self.history.push(stats);
+        self.step += 1;
+    }
+
+    pub fn run(&mut self) {
+        while self.step < self.params.steps {
+            self.advance_step();
+        }
+    }
+
+    pub fn gather_world(&self) -> World {
+        let mut world = World::healthy(self.params.dims);
+        for d in &self.devices {
+            d.write_into(&mut world);
+        }
+        world
+    }
+
+    pub fn comm_counters(&self) -> pgas::CommCounters {
+        self.bsp.counters
+    }
+
+    /// The busiest device's work counters (compute critical path).
+    pub fn max_device_counters(&self) -> DeviceCounters {
+        self.devices
+            .iter()
+            .fold(DeviceCounters::new(), |acc, d| acc.max(&d.counters))
+    }
+
+    pub fn total_counters(&self) -> DeviceCounters {
+        self.devices.iter().fold(DeviceCounters::new(), |mut a, d| {
+            a.merge(&d.counters);
+            a
+        })
+    }
+
+    /// The busiest device's link traffic and the aggregate.
+    pub fn max_device_link(&self) -> LinkTraffic {
+        self.devices.iter().fold(LinkTraffic::default(), |a, d| LinkTraffic {
+            intra_msgs: a.intra_msgs.max(d.link.intra_msgs),
+            intra_bytes: a.intra_bytes.max(d.link.intra_bytes),
+            inter_msgs: a.inter_msgs.max(d.link.inter_msgs),
+            inter_bytes: a.inter_bytes.max(d.link.inter_bytes),
+        })
+    }
+
+    pub fn last_stats(&self) -> Option<&StepStats> {
+        self.history.steps.last()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcov_core::grid::GridDims;
+    use simcov_core::serial::SerialSim;
+
+    fn test_params(steps: u64) -> SimParams {
+        SimParams::test_config(GridDims::new2d(24, 24), steps, 2, 42)
+    }
+
+    fn assert_matches_serial(n_devices: usize, variant: GpuVariant, steps: u64) {
+        let p = test_params(steps);
+        let mut serial = SerialSim::new(p.clone());
+        serial.run();
+
+        let cfg = GpuSimConfig::new(p, n_devices).with_variant(variant);
+        let mut gpu = GpuSim::new(cfg);
+        gpu.run();
+
+        let world = gpu.gather_world();
+        if let Some((idx, why)) = serial.world.first_difference(&world) {
+            panic!(
+                "state diverged at voxel {idx} after {steps} steps ({n_devices} devices, {variant:?}): {why}"
+            );
+        }
+        for (a, b) in serial.history.steps.iter().zip(gpu.history.steps.iter()) {
+            assert!(
+                a.approx_eq(b, 1e-9),
+                "stats diverged at step {}: {a:?} vs {b:?}",
+                a.step
+            );
+        }
+    }
+
+    #[test]
+    fn combined_matches_serial_4_devices() {
+        assert_matches_serial(4, GpuVariant::Combined, 150);
+    }
+
+    #[test]
+    fn unoptimized_matches_serial_4_devices() {
+        assert_matches_serial(4, GpuVariant::Unoptimized, 100);
+    }
+
+    #[test]
+    fn fast_reduction_matches_serial_2_devices() {
+        assert_matches_serial(2, GpuVariant::FastReduction, 100);
+    }
+
+    #[test]
+    fn memory_tiling_matches_serial_9_devices() {
+        assert_matches_serial(9, GpuVariant::MemoryTiling, 100);
+    }
+
+    #[test]
+    fn single_device_matches_serial() {
+        assert_matches_serial(1, GpuVariant::Combined, 100);
+    }
+
+    #[test]
+    fn variants_agree_with_each_other_bitwise() {
+        let p = test_params(120);
+        let mut worlds = Vec::new();
+        for v in GpuVariant::ALL {
+            let mut sim = GpuSim::new(GpuSimConfig::new(p.clone(), 4).with_variant(v));
+            sim.run();
+            worlds.push((v, sim.gather_world()));
+        }
+        for w in &worlds[1..] {
+            assert!(
+                worlds[0].1.first_difference(&w.1).is_none(),
+                "variant {:?} diverged from {:?}",
+                w.0,
+                worlds[0].0
+            );
+        }
+    }
+
+    #[test]
+    fn tiling_reduces_update_work() {
+        // Needs a grid large enough to contain inactive interior tiles.
+        let mut p = SimParams::test_config(GridDims::new2d(64, 64), 60, 1, 7);
+        p.tcell_generation_rate = 0.0; // keep activity localized to the focus
+        let mut cfg = GpuSimConfig::new(p.clone(), 4).with_variant(GpuVariant::Combined);
+        cfg.tile_side = 4;
+        let mut tiled = GpuSim::new(cfg);
+        tiled.run();
+        let mut full =
+            GpuSim::new(GpuSimConfig::new(p, 4).with_variant(GpuVariant::FastReduction));
+        full.run();
+        let tiled_work = tiled.total_counters().update.elements;
+        let full_work = full.total_counters().update.elements;
+        assert!(
+            tiled_work < full_work,
+            "tiling should skip inactive tiles: {tiled_work} >= {full_work}"
+        );
+    }
+
+    #[test]
+    fn reduce_strategy_changes_atomic_counts() {
+        let p = test_params(60);
+        let mut tree =
+            GpuSim::new(GpuSimConfig::new(p.clone(), 4).with_variant(GpuVariant::FastReduction));
+        tree.run();
+        let mut atomic =
+            GpuSim::new(GpuSimConfig::new(p, 4).with_variant(GpuVariant::Unoptimized));
+        atomic.run();
+        assert!(
+            tree.total_counters().reduce.atomics * 10 < atomic.total_counters().reduce.atomics,
+            "tree reduction should slash atomics"
+        );
+        assert!(tree.total_counters().reduce.smem_ops > 0);
+    }
+
+    #[test]
+    fn check_period_does_not_change_results_but_changes_cost() {
+        let p = test_params(120);
+        let run = |period: u64| {
+            let mut cfg = GpuSimConfig::new(p.clone(), 4);
+            cfg.tile_side = 8;
+            cfg.check_period = Some(period);
+            let mut sim = GpuSim::new(cfg);
+            sim.run();
+            (sim.gather_world(), sim.total_counters().tile_check.launches)
+        };
+        let (w1, checks1) = run(1);
+        let (w8, checks8) = run(8);
+        assert!(w1.first_difference(&w8).is_none(), "period changed results");
+        assert!(
+            checks1 > checks8 * 4,
+            "shorter period must sweep more often: {checks1} vs {checks8}"
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn check_period_beyond_tile_side_rejected() {
+        let p = test_params(10);
+        let mut cfg = GpuSimConfig::new(p, 4);
+        cfg.tile_side = 4;
+        cfg.check_period = Some(5); // unsafe: buffer can be outrun
+        let _ = GpuSim::new(cfg);
+    }
+
+    #[test]
+    fn halo_traffic_recorded_with_locality() {
+        let p = test_params(60);
+        // 8 devices with 4 per node: both intra- and inter-node links exist.
+        let mut sim = GpuSim::new(GpuSimConfig::new(p, 8));
+        sim.run();
+        let total: LinkTraffic = sim.devices.iter().fold(LinkTraffic::default(), |mut a, d| {
+            a.merge(&d.link);
+            a
+        });
+        assert!(total.intra_msgs > 0);
+        assert!(total.inter_msgs > 0);
+        assert!(total.intra_bytes + total.inter_bytes > 0);
+    }
+}

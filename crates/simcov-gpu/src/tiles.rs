@@ -1,0 +1,398 @@
+//! Memory tiling (§3.2, Fig. 3).
+//!
+//! A device's halo box is carved into fixed-size tiles; each tile's voxels
+//! are stored contiguously (the zig-zag order of Fig. 3), which gives the
+//! data locality the paper credits for faster updates *and* faster
+//! reductions. Tiles are tracked active/inactive; kernels visit only active
+//! tiles. A periodic check kernel (period ≤ tile side) sweeps the space,
+//! reactivates tiles containing activity, and activates a one-tile-thick
+//! buffer around them — safe because nothing in SIMCoV moves faster than
+//! one voxel per step. Tiles containing ghost voxels are always active.
+
+use simcov_core::grid::Coord;
+use simcov_core::halo::HaloBox;
+
+/// Tile-major storage layout over a halo box.
+#[derive(Debug, Clone)]
+pub struct TileLayout {
+    pub hb: HaloBox,
+    /// Tile side in voxels (x and y; z too for 3D boxes).
+    pub tile: usize,
+    tiles_x: usize,
+    tiles_y: usize,
+    tiles_z: usize,
+    tile_volume: usize,
+}
+
+impl TileLayout {
+    pub fn new(hb: HaloBox, tile: usize) -> Self {
+        assert!(tile >= 1);
+        let (sx, sy, sz) = hb.size();
+        let tz = if sz == 1 { 1 } else { tile };
+        TileLayout {
+            hb,
+            tile,
+            tiles_x: sx.div_ceil(tile),
+            tiles_y: sy.div_ceil(tile),
+            tiles_z: sz.div_ceil(tz),
+            tile_volume: tile * tile * tz,
+        }
+    }
+
+    #[inline]
+    fn tz(&self) -> usize {
+        if self.hb.size().2 == 1 {
+            1
+        } else {
+            self.tile
+        }
+    }
+
+    /// Number of tiles.
+    #[inline]
+    pub fn n_tiles(&self) -> usize {
+        self.tiles_x * self.tiles_y * self.tiles_z
+    }
+
+    /// Padded storage length (tiles × tile volume).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n_tiles() * self.tile_volume
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Tile index containing a covered global coordinate.
+    #[inline]
+    pub fn tile_of(&self, c: Coord) -> usize {
+        debug_assert!(self.hb.covers(c));
+        let lx = (c.x - self.hb.lo.x) as usize / self.tile;
+        let ly = (c.y - self.hb.lo.y) as usize / self.tile;
+        let lz = (c.z - self.hb.lo.z) as usize / self.tz();
+        (lz * self.tiles_y + ly) * self.tiles_x + lx
+    }
+
+    /// Storage index of a covered global coordinate: tile-major, row-major
+    /// within the tile (the zig-zag order of Fig. 3).
+    #[inline]
+    pub fn local(&self, c: Coord) -> usize {
+        debug_assert!(self.hb.covers(c), "{c:?} outside {:?}", self.hb);
+        let x = (c.x - self.hb.lo.x) as usize;
+        let y = (c.y - self.hb.lo.y) as usize;
+        let z = (c.z - self.hb.lo.z) as usize;
+        let tz = self.tz();
+        let (tx, ox) = (x / self.tile, x % self.tile);
+        let (ty, oy) = (y / self.tile, y % self.tile);
+        let (tzi, oz) = (z / tz, z % tz);
+        let tile_idx = (tzi * self.tiles_y + ty) * self.tiles_x + tx;
+        tile_idx * self.tile_volume + (oz * self.tile + oy) * self.tile + ox
+    }
+
+    /// Global coordinate of a storage index (inverse of [`TileLayout::local`]).
+    /// Must only be called for indices of real (non-padding) cells.
+    #[inline]
+    pub fn coord_of(&self, idx: usize) -> Coord {
+        debug_assert!(idx < self.len());
+        let tz = self.tz();
+        let tile_idx = idx / self.tile_volume;
+        let off = idx % self.tile_volume;
+        let ox = off % self.tile;
+        let oy = (off / self.tile) % self.tile;
+        let oz = off / (self.tile * self.tile);
+        let tx = tile_idx % self.tiles_x;
+        let ty = (tile_idx / self.tiles_x) % self.tiles_y;
+        let tzi = tile_idx / (self.tiles_x * self.tiles_y);
+        Coord::new(
+            self.hb.lo.x + (tx * self.tile + ox) as i64,
+            self.hb.lo.y + (ty * self.tile + oy) as i64,
+            self.hb.lo.z + (tzi * tz + oz) as i64,
+        )
+    }
+
+    /// Iterate the in-box global coordinates of a tile together with their
+    /// storage indices, in storage order. Padded cells are skipped.
+    pub fn tile_coords(&self, tile_idx: usize) -> impl Iterator<Item = (usize, Coord)> + '_ {
+        let tx = tile_idx % self.tiles_x;
+        let ty = (tile_idx / self.tiles_x) % self.tiles_y;
+        let tzi = tile_idx / (self.tiles_x * self.tiles_y);
+        let tz = self.tz();
+        let base = tile_idx * self.tile_volume;
+        let (sx, sy, sz) = self.hb.size();
+        (0..tz).flat_map(move |oz| {
+            (0..self.tile).flat_map(move |oy| {
+                (0..self.tile).filter_map(move |ox| {
+                    let x = tx * self.tile + ox;
+                    let y = ty * self.tile + oy;
+                    let z = tzi * tz + oz;
+                    if x < sx && y < sy && z < sz {
+                        Some((
+                            base + (oz * self.tile + oy) * self.tile + ox,
+                            Coord::new(
+                                self.hb.lo.x + x as i64,
+                                self.hb.lo.y + y as i64,
+                                self.hb.lo.z + z as i64,
+                            ),
+                        ))
+                    } else {
+                        None
+                    }
+                })
+            })
+        })
+    }
+
+    /// Chebyshev-adjacent tiles (the one-tile activation buffer).
+    pub fn tile_neighbors(&self, tile_idx: usize) -> Vec<usize> {
+        let tx = (tile_idx % self.tiles_x) as i64;
+        let ty = ((tile_idx / self.tiles_x) % self.tiles_y) as i64;
+        let tz = (tile_idx / (self.tiles_x * self.tiles_y)) as i64;
+        let mut out = Vec::new();
+        for dz in -1i64..=1 {
+            for dy in -1i64..=1 {
+                for dx in -1i64..=1 {
+                    if dx == 0 && dy == 0 && dz == 0 {
+                        continue;
+                    }
+                    let (qx, qy, qz) = (tx + dx, ty + dy, tz + dz);
+                    if qx >= 0
+                        && qy >= 0
+                        && qz >= 0
+                        && (qx as usize) < self.tiles_x
+                        && (qy as usize) < self.tiles_y
+                        && (qz as usize) < self.tiles_z
+                    {
+                        out.push((qz as usize * self.tiles_y + qy as usize) * self.tiles_x
+                            + qx as usize);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Does this tile contain any ghost (non-core) voxel?
+    pub fn contains_ghost(&self, tile_idx: usize) -> bool {
+        self.tile_coords(tile_idx).any(|(_, c)| !self.hb.is_core(c))
+    }
+}
+
+/// Active-tile tracking with the periodic check schedule.
+#[derive(Debug, Clone)]
+pub struct TileTracker {
+    pub active: Vec<bool>,
+    always_active: Vec<bool>,
+    /// Steps between activity sweeps; must be ≤ tile side.
+    pub check_period: u64,
+}
+
+impl TileTracker {
+    /// Build a tracker; ghost-containing tiles are permanently active.
+    pub fn new(layout: &TileLayout, check_period: u64) -> Self {
+        assert!(
+            check_period >= 1 && check_period <= layout.tile as u64,
+            "check period {} must be in [1, tile side {}]",
+            check_period,
+            layout.tile
+        );
+        let always: Vec<bool> = (0..layout.n_tiles())
+            .map(|t| layout.contains_ghost(t))
+            .collect();
+        TileTracker {
+            active: always.clone(),
+            always_active: always,
+            check_period,
+        }
+    }
+
+    /// Is a check due at this step? (Step 0 always checks to capture the
+    /// initial condition.)
+    #[inline]
+    pub fn check_due(&self, step: u64) -> bool {
+        step.is_multiple_of(self.check_period)
+    }
+
+    /// Apply sweep results: `found[t]` says tile `t` contains activity.
+    /// Activates found tiles plus a one-tile buffer, plus permanent tiles.
+    pub fn apply_check(&mut self, layout: &TileLayout, found: &[bool]) {
+        assert_eq!(found.len(), layout.n_tiles());
+        for a in self.active.iter_mut() {
+            *a = false;
+        }
+        for (t, &f) in found.iter().enumerate() {
+            if f {
+                self.active[t] = true;
+                for n in layout.tile_neighbors(t) {
+                    self.active[n] = true;
+                }
+            }
+        }
+        for (t, &a) in self.always_active.iter().enumerate() {
+            if a {
+                self.active[t] = true;
+            }
+        }
+    }
+
+    pub fn n_active(&self) -> usize {
+        self.active.iter().filter(|&&a| a).count()
+    }
+
+    /// Indices of active tiles in order (the kernel's block list).
+    pub fn active_tiles(&self) -> impl Iterator<Item = usize> + '_ {
+        self.active
+            .iter()
+            .enumerate()
+            .filter(|(_, &a)| a)
+            .map(|(t, _)| t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcov_core::decomp::{Partition, Strategy};
+    use simcov_core::grid::GridDims;
+
+    fn layout_2d(grid: u32, ranks: usize, rank: usize, tile: usize) -> TileLayout {
+        let dims = GridDims::new2d(grid, grid);
+        let p = Partition::new(dims, ranks, Strategy::Blocks);
+        TileLayout::new(HaloBox::new(dims, *p.sub(rank)), tile)
+    }
+
+    #[test]
+    fn local_indices_unique_and_in_range() {
+        let l = layout_2d(16, 4, 0, 3);
+        let mut seen = std::collections::HashSet::new();
+        let (sx, sy, _) = l.hb.size();
+        for y in 0..sy {
+            for x in 0..sx {
+                let c = Coord::new(l.hb.lo.x + x as i64, l.hb.lo.y + y as i64, 0);
+                let idx = l.local(c);
+                assert!(idx < l.len());
+                assert!(seen.insert(idx), "duplicate index {idx} for {c:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn tile_coords_cover_box_exactly_once() {
+        let l = layout_2d(16, 4, 1, 3);
+        let mut seen = std::collections::HashSet::new();
+        for t in 0..l.n_tiles() {
+            for (idx, c) in l.tile_coords(t) {
+                assert!(l.hb.covers(c));
+                assert_eq!(l.local(c), idx);
+                assert_eq!(l.tile_of(c), t);
+                assert!(seen.insert(idx));
+            }
+        }
+        let (sx, sy, sz) = l.hb.size();
+        assert_eq!(seen.len(), sx * sy * sz);
+    }
+
+    #[test]
+    fn tile_contiguity() {
+        // Voxels of one tile occupy a contiguous index range (the locality
+        // property the paper exploits).
+        let l = layout_2d(32, 4, 0, 4);
+        for t in 0..l.n_tiles() {
+            let idxs: Vec<usize> = l.tile_coords(t).map(|(i, _)| i).collect();
+            if idxs.is_empty() {
+                continue;
+            }
+            let min = *idxs.iter().min().unwrap();
+            let max = *idxs.iter().max().unwrap();
+            assert!(min >= t * l.tile_volume);
+            assert!(max < (t + 1) * l.tile_volume);
+        }
+    }
+
+    #[test]
+    fn ghost_tiles_always_active() {
+        let l = layout_2d(32, 4, 0, 4);
+        let tracker = TileTracker::new(&l, 4);
+        // Some tiles must be permanently active (the box has a ghost ring).
+        assert!(tracker.n_active() > 0);
+        for t in tracker.active_tiles() {
+            assert!(l.contains_ghost(t));
+        }
+    }
+
+    #[test]
+    fn apply_check_dilates_by_one_tile() {
+        let l = layout_2d(33, 1, 0, 5);
+        let mut tracker = TileTracker::new(&l, 5);
+        let mut found = vec![false; l.n_tiles()];
+        // Activate a single interior tile.
+        let interior = (0..l.n_tiles())
+            .find(|&t| !l.contains_ghost(t) && l.tile_neighbors(t).len() == 8)
+            .expect("interior tile");
+        found[interior] = true;
+        tracker.apply_check(&l, &found);
+        assert!(tracker.active[interior]);
+        for n in l.tile_neighbors(interior) {
+            assert!(tracker.active[n], "buffer tile {n} must be active");
+        }
+        // Re-checking with no activity deactivates all but permanent tiles.
+        tracker.apply_check(&l, &vec![false; l.n_tiles()]);
+        assert!(!tracker.active[interior]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn check_period_cannot_exceed_tile_side() {
+        let l = layout_2d(16, 1, 0, 4);
+        TileTracker::new(&l, 5);
+    }
+
+    #[test]
+    fn layout_3d() {
+        let dims = GridDims::new3d(12, 12, 12);
+        let p = Partition::new(dims, 8, Strategy::Blocks);
+        let l = TileLayout::new(HaloBox::new(dims, *p.sub(0)), 4);
+        let mut seen = std::collections::HashSet::new();
+        for t in 0..l.n_tiles() {
+            for (idx, c) in l.tile_coords(t) {
+                assert_eq!(l.local(c), idx);
+                assert!(seen.insert(idx));
+            }
+        }
+        let (sx, sy, sz) = l.hb.size();
+        assert_eq!(seen.len(), sx * sy * sz);
+        assert_eq!((sx, sy, sz), (8, 8, 8));
+    }
+
+    #[test]
+    fn coord_of_inverts_local() {
+        for (grid, ranks, rank, tile) in [(16u32, 4usize, 0usize, 3usize), (33, 1, 0, 5)] {
+            let l = layout_2d(grid, ranks, rank, tile);
+            for t in 0..l.n_tiles() {
+                for (idx, c) in l.tile_coords(t) {
+                    assert_eq!(l.coord_of(idx), c);
+                }
+            }
+        }
+        // 3D.
+        let dims = GridDims::new3d(10, 10, 10);
+        let p = Partition::new(dims, 2, Strategy::Blocks);
+        let l = TileLayout::new(HaloBox::new(dims, *p.sub(0)), 3);
+        for t in 0..l.n_tiles() {
+            for (idx, c) in l.tile_coords(t) {
+                assert_eq!(l.coord_of(idx), c);
+            }
+        }
+    }
+
+    #[test]
+    fn check_due_schedule() {
+        let l = layout_2d(16, 1, 0, 4);
+        let t = TileTracker::new(&l, 4);
+        assert!(t.check_due(0));
+        assert!(!t.check_due(1));
+        assert!(t.check_due(4));
+        assert!(t.check_due(8));
+    }
+}

@@ -1,0 +1,63 @@
+//! The four optimization variants profiled in §3.4 / Fig. 4.
+
+use serde::{Deserialize, Serialize};
+
+/// Which GPU optimizations are enabled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GpuVariant {
+    /// Full-space iteration every step; statistics via per-element atomics
+    /// interleaved with the update kernels.
+    Unoptimized,
+    /// Full-space iteration; shared-memory tree reduction (§3.3).
+    FastReduction,
+    /// Active-tile iteration (§3.2); atomic statistics.
+    MemoryTiling,
+    /// Both optimizations — the shipping configuration.
+    Combined,
+}
+
+impl GpuVariant {
+    pub const ALL: [GpuVariant; 4] = [
+        GpuVariant::Unoptimized,
+        GpuVariant::FastReduction,
+        GpuVariant::MemoryTiling,
+        GpuVariant::Combined,
+    ];
+
+    /// Does this variant skip inactive tiles?
+    pub fn tiling(self) -> bool {
+        matches!(self, GpuVariant::MemoryTiling | GpuVariant::Combined)
+    }
+
+    /// Does this variant use the tree reduction?
+    pub fn tree_reduce(self) -> bool {
+        matches!(self, GpuVariant::FastReduction | GpuVariant::Combined)
+    }
+
+    pub const fn name(self) -> &'static str {
+        match self {
+            GpuVariant::Unoptimized => "Unoptimized",
+            GpuVariant::FastReduction => "Fast Reduction",
+            GpuVariant::MemoryTiling => "Memory Tiling",
+            GpuVariant::Combined => "Combined",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn feature_matrix() {
+        assert!(!GpuVariant::Unoptimized.tiling());
+        assert!(!GpuVariant::Unoptimized.tree_reduce());
+        assert!(!GpuVariant::FastReduction.tiling());
+        assert!(GpuVariant::FastReduction.tree_reduce());
+        assert!(GpuVariant::MemoryTiling.tiling());
+        assert!(!GpuVariant::MemoryTiling.tree_reduce());
+        assert!(GpuVariant::Combined.tiling());
+        assert!(GpuVariant::Combined.tree_reduce());
+        assert_eq!(GpuVariant::ALL.len(), 4);
+    }
+}

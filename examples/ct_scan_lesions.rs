@@ -1,0 +1,67 @@
+//! Initializing a simulation from CT-scan-like patchy lesions (paper §6):
+//! "CT scans of diseased patients do not contain point-like initial
+//! infection locations, but instead feature large patchy lesions" — this is
+//! the motivating use case for high-FOI performance (Fig. 8).
+//!
+//! Compares the disease trajectory and the executor work between point
+//! seeding and lesion seeding with the same total number of seeded voxels.
+//!
+//! ```sh
+//! cargo run --release --example ct_scan_lesions
+//! ```
+
+use simcov_repro::simcov_core::foi::{foi_voxels, FoiPattern};
+use simcov_repro::simcov_core::grid::GridDims;
+use simcov_repro::simcov_core::params::SimParams;
+use simcov_repro::simcov_core::stats::Metric;
+use simcov_repro::simcov_core::world::World;
+use simcov_repro::simcov_gpu::{GpuSim, GpuSimConfig};
+
+fn run(pattern: FoiPattern, label: &str, params: &SimParams) {
+    let world = World::seeded(params, pattern);
+    let seeded = world.virions.count_positive();
+    let mut cfg = GpuSimConfig::new(params.clone(), 4);
+    cfg.pattern = pattern;
+    let mut sim = GpuSim::from_world(cfg, world);
+    sim.run();
+    let last = *sim.last_stats().unwrap();
+    let work = sim.total_counters();
+    println!(
+        "{label:<22} seeded voxels {seeded:>5} | peak virions {:>12.3e} | dead {:>6} | \
+         peak T cells {:>5} | update work {:>12}",
+        sim.history.peak(Metric::Virions),
+        last.epi_dead,
+        sim.history.peak(Metric::TCellsTissue) as u64,
+        work.update.elements,
+    );
+}
+
+fn main() {
+    let dims = GridDims::new2d(192, 192);
+    let steps = 600;
+
+    // Point seeding: 96 isolated foci.
+    let mut point = SimParams::scaled_to(dims, steps, 96, 11);
+    point.validate().unwrap();
+
+    // CT-lesion seeding: 8 patchy lesions of radius 2 (about the same
+    // number of seeded voxels, distributed as clumps).
+    let lesions = FoiPattern::CtLesions {
+        clusters: 8,
+        radius: 2,
+    };
+    let lesion_voxels = foi_voxels(&point, lesions).len();
+    println!(
+        "CT-lesion initialization demo on {}x{} ({} steps); lesion pattern seeds {} voxels\n",
+        dims.x, dims.y, steps, lesion_voxels
+    );
+
+    run(FoiPattern::UniformLattice, "96 point foci", &point);
+    run(lesions, "8 patchy lesions", &point);
+
+    println!(
+        "\nPatchy lesions concentrate early activity (fewer, larger active regions), while\n\
+         point foci spread it; SIMCoV-GPU's active-tile tracking adapts to both (§3.2),\n\
+         and its FOI-scaling advantage (Fig 8) is what makes CT-scale seeding tractable."
+    );
+}

@@ -1,0 +1,12 @@
+//! Umbrella crate for the SIMCoV-GPU reproduction.
+//!
+//! Re-exports the component crates so examples and integration tests can use
+//! a single dependency. See `DESIGN.md` at the repository root for the system
+//! inventory and the per-experiment index, and `EXPERIMENTS.md` for
+//! paper-vs-measured results.
+
+pub use gpusim;
+pub use pgas;
+pub use simcov_core;
+pub use simcov_cpu;
+pub use simcov_gpu;

@@ -1,0 +1,129 @@
+//! Determinism and failure-injection tests for the runtime layers: results
+//! must be independent of thread scheduling, message arrival order, and
+//! repeated execution — the properties that make the §4.1 correctness
+//! comparison meaningful at all.
+
+use simcov_repro::pgas::{Bsp, WorkPool};
+use simcov_repro::simcov_core::foi::FoiPattern;
+use simcov_repro::simcov_core::grid::GridDims;
+use simcov_repro::simcov_core::params::SimParams;
+use simcov_repro::simcov_core::world::World;
+use simcov_repro::simcov_cpu::{CpuSim, CpuSimConfig};
+use simcov_repro::simcov_gpu::{GpuSim, GpuSimConfig};
+
+#[test]
+fn repeated_runs_are_bitwise_identical() {
+    let p = SimParams::test_config(GridDims::new2d(28, 28), 80, 3, 5);
+    let run = || {
+        let mut gpu = GpuSim::new(GpuSimConfig::new(p.clone(), 4));
+        gpu.run();
+        gpu.gather_world()
+    };
+    let a = run();
+    let b = run();
+    assert!(a.first_difference(&b).is_none());
+}
+
+#[test]
+fn rank_count_does_not_change_results() {
+    let p = SimParams::test_config(GridDims::new2d(30, 30), 80, 3, 6);
+    let world = World::seeded(&p, FoiPattern::UniformLattice);
+    let mut worlds = Vec::new();
+    for ranks in [1usize, 2, 3, 6, 9] {
+        let mut cpu = CpuSim::from_world(CpuSimConfig::new(p.clone(), ranks), world.clone());
+        cpu.run();
+        worlds.push(cpu.gather_world());
+    }
+    for w in &worlds[1..] {
+        assert!(worlds[0].first_difference(w).is_none());
+    }
+}
+
+#[test]
+fn device_count_does_not_change_results() {
+    let p = SimParams::test_config(GridDims::new2d(30, 30), 80, 3, 7);
+    let world = World::seeded(&p, FoiPattern::UniformLattice);
+    let mut worlds = Vec::new();
+    for devices in [1usize, 2, 4, 9] {
+        let mut gpu = GpuSim::from_world(GpuSimConfig::new(p.clone(), devices), world.clone());
+        gpu.run();
+        worlds.push(gpu.gather_world());
+    }
+    for w in &worlds[1..] {
+        assert!(worlds[0].first_difference(w).is_none());
+    }
+}
+
+#[test]
+fn bsp_results_independent_of_pool_size() {
+    // The runtime canonicalizes message delivery; rank results must not
+    // depend on how many worker threads execute the supersteps.
+    let run = |threads: usize| -> Vec<Vec<u64>> {
+        let pool = WorkPool::new(threads);
+        let mut bsp: Bsp<u64> = Bsp::new(8);
+        let mut states: Vec<Vec<u64>> = vec![Vec::new(); 8];
+        // Two rounds of all-to-all with data-dependent payloads.
+        for round in 0..2u64 {
+            bsp.superstep(&pool, &mut states, |rank, s, inbox, out| {
+                let got: u64 = inbox.iter().sum();
+                s.push(got);
+                for d in 0..8 {
+                    if d != rank {
+                        out.send(d, got + rank as u64 * 10 + round);
+                    }
+                }
+            });
+        }
+        states
+    };
+    let a = run(0);
+    let b = run(2);
+    let c = run(7);
+    assert_eq!(a, b);
+    assert_eq!(a, c);
+}
+
+#[test]
+fn message_storm_does_not_reorder_per_source() {
+    // Even under a message storm (many messages per pair), each inbox
+    // remains ordered by (source rank, emission order).
+    let pool = WorkPool::new(3);
+    let mut bsp: Bsp<(u64, u64)> = Bsp::new(5);
+    let mut states = vec![(); 5];
+    bsp.superstep(&pool, &mut states, |rank, _s, _i, out| {
+        for k in 0..100u64 {
+            out.send(0, (rank as u64, k));
+        }
+    });
+    bsp.superstep(&pool, &mut states, |rank, _s, inbox, _out| {
+        if rank == 0 {
+            assert_eq!(inbox.len(), 500);
+            let mut expect = Vec::new();
+            for src in 0..5u64 {
+                for k in 0..100u64 {
+                    expect.push((src, k));
+                }
+            }
+            assert_eq!(inbox, expect.as_slice());
+        }
+    });
+}
+
+#[test]
+fn partial_run_equals_full_run_prefix() {
+    // advance_step must be incremental: stopping and inspecting mid-run
+    // does not perturb the trajectory.
+    let p = SimParams::test_config(GridDims::new2d(24, 24), 60, 2, 8);
+    let mut full = GpuSim::new(GpuSimConfig::new(p.clone(), 4));
+    full.run();
+    let mut stepped = GpuSim::new(GpuSimConfig::new(p, 4));
+    for _ in 0..30 {
+        stepped.advance_step();
+    }
+    let _ = stepped.gather_world(); // inspect mid-run
+    for _ in 30..60 {
+        stepped.advance_step();
+    }
+    assert!(full.gather_world().first_difference(&stepped.gather_world()).is_none());
+    assert_eq!(full.history, stepped.history);
+}

@@ -1,0 +1,112 @@
+//! Property-based tests over randomized configurations: model invariants
+//! that must hold for *every* parameter draw, plus cross-executor equality
+//! as a property.
+
+use proptest::prelude::*;
+use simcov_repro::simcov_core::epithelial::EpiState;
+use simcov_repro::simcov_core::foi::FoiPattern;
+use simcov_repro::simcov_core::grid::GridDims;
+use simcov_repro::simcov_core::params::SimParams;
+use simcov_repro::simcov_core::serial::SerialSim;
+use simcov_repro::simcov_core::world::World;
+use simcov_repro::simcov_cpu::{CpuSim, CpuSimConfig};
+use simcov_repro::simcov_gpu::{GpuSim, GpuSimConfig, GpuVariant};
+
+/// A randomized small-but-meaningful configuration.
+fn arb_params() -> impl Strategy<Value = SimParams> {
+    (
+        12u32..28,
+        12u32..28,
+        30u64..90,
+        0u32..5,
+        any::<u64>(),
+        0.0f64..0.01,
+        0.0f32..0.5,
+        0.0f32..0.05,
+    )
+        .prop_map(|(x, y, steps, foi, seed, infectivity, diffusion, clearance)| {
+            let mut p = SimParams::test_config(GridDims::new2d(x, y), steps, foi, seed);
+            p.infectivity = infectivity;
+            p.virion_diffusion = diffusion;
+            p.virion_clearance = clearance;
+            p
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn serial_invariants_hold(p in arb_params()) {
+        let mut sim = SerialSim::new(p.clone());
+        let nvox = p.dims.nvoxels() as u64;
+        let n_airway = sim.world.count_epi(EpiState::Airway);
+        for _ in 0..p.steps {
+            sim.advance_step();
+            let s = *sim.last_stats().unwrap();
+            // Epithelial conservation: states partition the tissue.
+            prop_assert_eq!(
+                s.epi_healthy + s.epi_incubating + s.epi_expressing
+                    + s.epi_apoptotic + s.epi_dead + n_airway,
+                nvox
+            );
+            // Concentration bounds.
+            prop_assert!(s.virions >= 0.0);
+            prop_assert!(s.chemokine >= 0.0);
+            prop_assert!(s.chemokine <= nvox as f64, "chemokine capped at 1/voxel");
+            // Tissue T cells can never exceed voxels (one per voxel).
+            prop_assert!(s.tcells_tissue <= nvox);
+            // Per-voxel invariants.
+            for v in 0..p.dims.nvoxels() {
+                let c = sim.world.chemokine.get(v);
+                prop_assert!((0.0..=1.0).contains(&c));
+                prop_assert!(sim.world.virions.get(v) >= 0.0);
+                prop_assert!(!sim.world.tcells[v].is_fresh(), "fresh cleared at step end");
+            }
+        }
+    }
+
+    #[test]
+    fn executors_agree_on_random_configs(p in arb_params(), ranks in 2usize..6, devices in 2usize..6) {
+        let world = World::seeded(&p, FoiPattern::UniformLattice);
+        let mut serial = SerialSim::from_world(p.clone(), world.clone());
+        serial.run();
+        let mut cpu = CpuSim::from_world(CpuSimConfig::new(p.clone(), ranks), world.clone());
+        cpu.run();
+        let mut gpu = GpuSim::from_world(
+            GpuSimConfig::new(p, devices).with_variant(GpuVariant::Combined),
+            world,
+        );
+        gpu.run();
+        prop_assert!(serial.world.first_difference(&cpu.gather_world()).is_none());
+        prop_assert!(serial.world.first_difference(&gpu.gather_world()).is_none());
+    }
+
+    #[test]
+    fn dead_cells_never_resurrect(p in arb_params()) {
+        let mut sim = SerialSim::new(p.clone());
+        let mut dead_prev = 0u64;
+        for _ in 0..p.steps {
+            sim.advance_step();
+            let dead = sim.last_stats().unwrap().epi_dead;
+            prop_assert!(dead >= dead_prev, "dead count must be monotone");
+            dead_prev = dead;
+        }
+    }
+
+    #[test]
+    fn quiescent_stays_quiescent(
+        x in 12u32..24, y in 12u32..24, steps in 20u64..60, seed in any::<u64>()
+    ) {
+        // No FOI + no T-cell generation ⇒ nothing ever happens, and the
+        // active-list executors must do (almost) no work.
+        let mut p = SimParams::test_config(GridDims::new2d(x, y), steps, 0, seed);
+        p.tcell_generation_rate = 0.0;
+        let mut cpu = CpuSim::new(CpuSimConfig::new(p.clone(), 4));
+        cpu.run();
+        let s = *cpu.last_stats().unwrap();
+        prop_assert_eq!(s.epi_healthy, p.dims.nvoxels() as u64);
+        prop_assert_eq!(s.virions, 0.0);
+        prop_assert_eq!(cpu.total_counters().update.elements, 0, "no active voxels, no work");
+    }
+}
