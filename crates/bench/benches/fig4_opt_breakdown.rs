@@ -1,31 +1,22 @@
-//! Criterion bench for Fig 4: wall-clock of the four optimization variants
-//! on a dense-activity miniature (the simulated-time reproduction lives in
-//! the `fig4_breakdown` binary).
+//! Wall-clock microbench for Fig 4: the four optimization variants on a
+//! dense-activity miniature (the simulated-time reproduction lives in the
+//! `fig4_breakdown` binary).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use simcov_bench::microbench::Bench;
 use simcov_core::grid::GridDims;
 use simcov_core::params::SimParams;
 use simcov_gpu::{GpuSim, GpuSimConfig, GpuVariant};
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig4_variants");
+fn main() {
+    let mut b = Bench::from_args();
     for v in GpuVariant::ALL {
-        g.bench_with_input(BenchmarkId::from_parameter(v.name()), &v, |b, &v| {
-            b.iter(|| {
-                // Dense activity: 32 FOI on 64².
-                let p = SimParams::test_config(GridDims::new2d(64, 64), 40, 32, 3);
-                let mut sim = GpuSim::new(GpuSimConfig::new(p, 4).with_variant(v));
-                sim.run();
-                sim.last_stats().unwrap().virions
-            });
+        b.bench(&format!("fig4_variants/{}", v.name()), || {
+            // Dense activity: 32 FOI on 64².
+            let p = SimParams::test_config(GridDims::new2d(64, 64), 40, 32, 3);
+            let mut sim = GpuSim::new(GpuSimConfig::new(p, 4).with_variant(v));
+            sim.run();
+            sim.last_stats().unwrap().virions
         });
     }
-    g.finish();
+    b.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench
-}
-criterion_main!(benches);

@@ -1,7 +1,7 @@
-//! Criterion bench for Fig 5: the three executors running the identical
-//! correctness configuration (miniature).
+//! Wall-clock microbench for Fig 5: the three executors running the
+//! identical correctness configuration (miniature).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use simcov_bench::microbench::Bench;
 use simcov_core::grid::GridDims;
 use simcov_core::params::SimParams;
 use simcov_core::serial::SerialSim;
@@ -12,35 +12,22 @@ fn params() -> SimParams {
     SimParams::test_config(GridDims::new2d(48, 48), 60, 4, 9)
 }
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig5_executors");
-    g.bench_function("serial", |b| {
-        b.iter(|| {
-            let mut sim = SerialSim::new(params());
-            sim.run();
-            sim.last_stats().unwrap().virions
-        })
+fn main() {
+    let mut b = Bench::from_args();
+    b.bench("fig5_executors/serial", || {
+        let mut sim = SerialSim::new(params());
+        sim.run();
+        sim.last_stats().unwrap().virions
     });
-    g.bench_function("cpu_4ranks", |b| {
-        b.iter(|| {
-            let mut sim = CpuSim::new(CpuSimConfig::new(params(), 4));
-            sim.run();
-            sim.last_stats().unwrap().virions
-        })
+    b.bench("fig5_executors/cpu_4ranks", || {
+        let mut sim = CpuSim::new(CpuSimConfig::new(params(), 4));
+        sim.run();
+        sim.last_stats().unwrap().virions
     });
-    g.bench_function("gpu_4devices", |b| {
-        b.iter(|| {
-            let mut sim = GpuSim::new(GpuSimConfig::new(params(), 4));
-            sim.run();
-            sim.last_stats().unwrap().virions
-        })
+    b.bench("fig5_executors/gpu_4devices", || {
+        let mut sim = GpuSim::new(GpuSimConfig::new(params(), 4));
+        sim.run();
+        sim.last_stats().unwrap().virions
     });
-    g.finish();
+    b.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench
-}
-criterion_main!(benches);

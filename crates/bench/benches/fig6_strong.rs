@@ -1,30 +1,21 @@
-//! Criterion bench for Fig 6 (strong scaling): fixed problem, growing
-//! device count — wall-clock of the host implementation (the simulated-time
-//! reproduction lives in the `fig6_strong` binary).
+//! Wall-clock microbench for Fig 6 (strong scaling): fixed problem,
+//! growing device count — wall-clock of the host implementation (the
+//! simulated-time reproduction lives in the `fig6_strong` binary).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use simcov_bench::microbench::Bench;
 use simcov_core::grid::GridDims;
 use simcov_core::params::SimParams;
 use simcov_gpu::{GpuSim, GpuSimConfig};
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig6_strong_scaling");
+fn main() {
+    let mut b = Bench::from_args();
     for devices in [1usize, 4, 16] {
-        g.bench_with_input(BenchmarkId::from_parameter(devices), &devices, |b, &d| {
-            b.iter(|| {
-                let p = SimParams::test_config(GridDims::new2d(64, 64), 40, 16, 1);
-                let mut sim = GpuSim::new(GpuSimConfig::new(p, d));
-                sim.run();
-                sim.max_device_counters().update.elements
-            });
+        b.bench(&format!("fig6_strong_scaling/{devices}"), || {
+            let p = SimParams::test_config(GridDims::new2d(64, 64), 40, 16, 1);
+            let mut sim = GpuSim::new(GpuSimConfig::new(p, devices));
+            sim.run();
+            sim.max_device_counters().update.elements
         });
     }
-    g.finish();
+    b.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench
-}
-criterion_main!(benches);

@@ -1,30 +1,20 @@
-//! Criterion bench for Fig 7 (weak scaling): problem size grows with the
-//! device count — per-device wall-clock should stay roughly flat.
+//! Wall-clock microbench for Fig 7 (weak scaling): problem size grows with
+//! the device count — per-device wall-clock should stay roughly flat.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use simcov_bench::microbench::Bench;
 use simcov_core::grid::GridDims;
 use simcov_core::params::SimParams;
 use simcov_gpu::{GpuSim, GpuSimConfig};
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig7_weak_scaling");
+fn main() {
+    let mut b = Bench::from_args();
     for (devices, side, foi) in [(1usize, 32u32, 4u32), (4, 64, 16), (16, 128, 64)] {
-        let label = format!("{devices}dev_{side}sq");
-        g.bench_with_input(BenchmarkId::from_parameter(label), &devices, |b, &d| {
-            b.iter(|| {
-                let p = SimParams::test_config(GridDims::new2d(side, side), 30, foi, 1);
-                let mut sim = GpuSim::new(GpuSimConfig::new(p, d));
-                sim.run();
-                sim.max_device_counters().update.elements
-            });
+        b.bench(&format!("fig7_weak_scaling/{devices}dev_{side}sq"), || {
+            let p = SimParams::test_config(GridDims::new2d(side, side), 30, foi, 1);
+            let mut sim = GpuSim::new(GpuSimConfig::new(p, devices));
+            sim.run();
+            sim.max_device_counters().update.elements
         });
     }
-    g.finish();
+    b.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench
-}
-criterion_main!(benches);

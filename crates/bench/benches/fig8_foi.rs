@@ -1,38 +1,27 @@
-//! Criterion bench for Fig 8 (FOI scaling): CPU-baseline wall-clock grows
-//! with activity; the tiled GPU executor's grows sublinearly.
+//! Wall-clock microbench for Fig 8 (FOI scaling): CPU-baseline wall-clock
+//! grows with activity; the tiled GPU executor's grows sublinearly.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use simcov_bench::microbench::Bench;
 use simcov_core::grid::GridDims;
 use simcov_core::params::SimParams;
 use simcov_cpu::{CpuSim, CpuSimConfig};
 use simcov_gpu::{GpuSim, GpuSimConfig};
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig8_foi_scaling");
+fn main() {
+    let mut b = Bench::from_args();
     for foi in [4u32, 16, 64] {
-        g.bench_with_input(BenchmarkId::new("cpu", foi), &foi, |b, &foi| {
-            b.iter(|| {
-                let p = SimParams::test_config(GridDims::new2d(64, 64), 40, foi, 1);
-                let mut sim = CpuSim::new(CpuSimConfig::new(p, 4));
-                sim.run();
-                sim.total_counters().update.elements
-            });
+        b.bench(&format!("fig8_foi_scaling/cpu/{foi}"), || {
+            let p = SimParams::test_config(GridDims::new2d(64, 64), 40, foi, 1);
+            let mut sim = CpuSim::new(CpuSimConfig::new(p, 4));
+            sim.run();
+            sim.total_counters().update.elements
         });
-        g.bench_with_input(BenchmarkId::new("gpu", foi), &foi, |b, &foi| {
-            b.iter(|| {
-                let p = SimParams::test_config(GridDims::new2d(64, 64), 40, foi, 1);
-                let mut sim = GpuSim::new(GpuSimConfig::new(p, 4));
-                sim.run();
-                sim.total_counters().update.elements
-            });
+        b.bench(&format!("fig8_foi_scaling/gpu/{foi}"), || {
+            let p = SimParams::test_config(GridDims::new2d(64, 64), 40, foi, 1);
+            let mut sim = GpuSim::new(GpuSimConfig::new(p, 4));
+            sim.run();
+            sim.total_counters().update.elements
         });
     }
-    g.finish();
+    b.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench
-}
-criterion_main!(benches);

@@ -2,10 +2,10 @@
 //! reasons about — diffusion stencils, T-cell planning, reduction
 //! strategies, tiled-layout indexing, counter-RNG draws.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gpusim::kernel::LaunchConfig;
 use gpusim::reduce::{atomic_reduce, tree_reduce};
 use gpusim::DeviceCounters;
+use simcov_bench::microbench::Bench;
 use simcov_core::diffusion::diffuse_voxel;
 use simcov_core::grid::{Coord, GridDims};
 use simcov_core::halo::HaloBox;
@@ -17,63 +17,55 @@ use simcov_core::tcell::TCellSlot;
 use simcov_core::world::World;
 use simcov_gpu::tiles::TileLayout;
 
-fn bench_rng(c: &mut Criterion) {
-    c.bench_function("rng_counter_draw", |b| {
-        let mut i = 0u64;
-        b.iter(|| {
-            i += 1;
-            CounterRng::new(42, Stream::TCellBid, 7, i).next_u64()
-        })
+fn bench_rng(b: &mut Bench) {
+    let mut i = 0u64;
+    b.bench("rng_counter_draw", || {
+        i += 1;
+        CounterRng::new(42, Stream::TCellBid, 7, i).next_u64()
     });
-    c.bench_function("rng_poisson_480", |b| {
-        let mut i = 0u64;
-        b.iter(|| {
-            i += 1;
-            CounterRng::new(42, Stream::IncubationPeriod, 7, i).poisson(480.0)
-        })
+    let mut j = 0u64;
+    b.bench("rng_poisson_480", || {
+        j += 1;
+        CounterRng::new(42, Stream::IncubationPeriod, 7, j).poisson(480.0)
     });
 }
 
-fn bench_diffusion(c: &mut Criterion) {
-    c.bench_function("diffusion_stencil_64sq", |b| {
-        let dims = GridDims::new2d(64, 64);
-        let field: Vec<f32> = (0..dims.nvoxels()).map(|i| (i % 7) as f32).collect();
-        let mut out = vec![0.0f32; dims.nvoxels()];
-        b.iter(|| {
-            for v in 0..dims.nvoxels() {
-                let co = dims.coord(v);
-                let mut sum = 0.0;
-                let mut n = 0;
-                for u in dims.neighbors(co) {
-                    sum += field[u];
-                    n += 1;
-                }
-                out[v] = diffuse_voxel(field[v], sum, n, 0.15, 0.004, 1e-10);
+fn bench_diffusion(b: &mut Bench) {
+    let dims = GridDims::new2d(64, 64);
+    let field: Vec<f32> = (0..dims.nvoxels()).map(|i| (i % 7) as f32).collect();
+    let mut out = vec![0.0f32; dims.nvoxels()];
+    b.bench("diffusion_stencil_64sq", || {
+        for v in 0..dims.nvoxels() {
+            let co = dims.coord(v);
+            let mut sum = 0.0;
+            let mut n = 0;
+            for u in dims.neighbors(co) {
+                sum += field[u];
+                n += 1;
             }
-            out[0]
-        })
-    });
-}
-
-fn bench_tcell_plan(c: &mut Criterion) {
-    c.bench_function("tcell_plan_1k", |b| {
-        let dims = GridDims::new2d(64, 64);
-        let mut world = World::healthy(dims);
-        // Scatter 1000 T cells.
-        for k in 0..1000usize {
-            world.tcells[(k * 17) % dims.nvoxels()] = TCellSlot::established(100, 0);
+            out[v] = diffuse_voxel(field[v], sum, n, 0.15, 0.004, 1e-10);
         }
-        let p = SimParams::default();
-        b.iter(|| {
-            let mut acc = 0u64;
-            for v in 0..dims.nvoxels() {
-                if RuleView::tcell(&world, dims.coord(v)).occupied() {
-                    let a = plan_tcell(&world, &p, 3, dims.coord(v));
-                    acc = acc.wrapping_add(format_action(a));
-                }
+        out[0]
+    });
+}
+
+fn bench_tcell_plan(b: &mut Bench) {
+    let dims = GridDims::new2d(64, 64);
+    let mut world = World::healthy(dims);
+    // Scatter 1000 T cells.
+    for k in 0..1000usize {
+        world.tcells[(k * 17) % dims.nvoxels()] = TCellSlot::established(100, 0);
+    }
+    let p = SimParams::default();
+    b.bench("tcell_plan_1k", || {
+        let mut acc = 0u64;
+        for v in 0..dims.nvoxels() {
+            if RuleView::tcell(&world, dims.coord(v)).occupied() {
+                let a = plan_tcell(&world, &p, 3, dims.coord(v));
+                acc = acc.wrapping_add(format_action(a));
             }
-            acc
-        })
+        }
+        acc
     });
 }
 
@@ -84,87 +76,75 @@ fn format_action(a: simcov_core::rules::TCellAction) -> u64 {
     }
 }
 
-fn bench_reductions(c: &mut Criterion) {
+fn bench_reductions(b: &mut Bench) {
     let n = 65536usize;
     let data: Vec<f64> = (0..n).map(|i| i as f64 * 0.5).collect();
-    let mut g = c.benchmark_group("reduction");
-    g.bench_function("tree_64k", |b| {
-        b.iter(|| {
-            let mut cnt = DeviceCounters::new();
-            tree_reduce(
-                &mut cnt,
-                LaunchConfig::cover(n, 256),
-                n,
-                8,
-                8,
-                0.0f64,
-                |i| data[i],
-                |a, b| *a += b,
-            )
-        })
+    b.bench("reduction/tree_64k", || {
+        let mut cnt = DeviceCounters::new();
+        tree_reduce(
+            &mut cnt,
+            LaunchConfig::cover(n, 256),
+            n,
+            8,
+            8,
+            0.0f64,
+            |i| data[i],
+            |a, b| *a += b,
+        )
     });
-    g.bench_function("atomic_64k", |b| {
-        b.iter(|| {
-            let mut cnt = DeviceCounters::new();
-            atomic_reduce(&mut cnt, n, 8, 0.0f64, |i| data[i], |a, b| *a += b)
-        })
+    b.bench("reduction/atomic_64k", || {
+        let mut cnt = DeviceCounters::new();
+        atomic_reduce(&mut cnt, n, 8, 0.0f64, |i| data[i], |a, b| *a += b)
     });
-    g.finish();
 }
 
-fn bench_tile_layout(c: &mut Criterion) {
+fn bench_tile_layout(b: &mut Bench) {
     let dims = GridDims::new2d(256, 256);
     let p = simcov_core::decomp::Partition::new(dims, 4, simcov_core::decomp::Strategy::Blocks);
     let layout = TileLayout::new(HaloBox::new(dims, *p.sub(0)), 8);
-    let mut g = c.benchmark_group("layout_indexing");
-    g.bench_function("tiled_local", |b| {
-        b.iter(|| {
-            let mut acc = 0usize;
-            for y in 0..120i64 {
-                for x in 0..120i64 {
-                    acc = acc.wrapping_add(layout.local(Coord::new(x, y, 0)));
-                }
+    b.bench("layout_indexing/tiled_local", || {
+        let mut acc = 0usize;
+        for y in 0..120i64 {
+            for x in 0..120i64 {
+                acc = acc.wrapping_add(layout.local(Coord::new(x, y, 0)));
             }
-            acc
-        })
+        }
+        acc
     });
     let hb = HaloBox::new(dims, *p.sub(0));
-    g.bench_function("rowmajor_local", |b| {
-        b.iter(|| {
-            let mut acc = 0usize;
-            for y in 0..120i64 {
-                for x in 0..120i64 {
-                    acc = acc.wrapping_add(hb.local(Coord::new(x, y, 0)));
-                }
+    b.bench("layout_indexing/rowmajor_local", || {
+        let mut acc = 0usize;
+        for y in 0..120i64 {
+            for x in 0..120i64 {
+                acc = acc.wrapping_add(hb.local(Coord::new(x, y, 0)));
             }
-            acc
-        })
+        }
+        acc
     });
-    g.finish();
 }
 
-fn bench_serial_step(c: &mut Criterion) {
-    let mut g = c.benchmark_group("serial_step");
+fn bench_serial_step(b: &mut Bench) {
     for side in [32u32, 64] {
-        g.bench_with_input(BenchmarkId::from_parameter(side), &side, |b, &side| {
-            let p = SimParams::test_config(GridDims::new2d(side, side), 1000, 4, 7);
-            let mut sim = SerialSim::new(p);
-            // Warm the simulation into an active state.
-            for _ in 0..20 {
-                sim.advance_step();
-            }
-            b.iter(|| {
-                sim.advance_step();
-                sim.step
-            })
+        let p = SimParams::test_config(GridDims::new2d(side, side), 1000, 4, 7);
+        let mut sim = SerialSim::new(p);
+        // Warm the simulation into an active state.
+        for _ in 0..20 {
+            sim.advance_step();
+        }
+        b.bench(&format!("serial_step/{side}"), || {
+            sim.advance_step();
+            sim.step
         });
     }
-    g.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_rng, bench_diffusion, bench_tcell_plan, bench_reductions, bench_tile_layout, bench_serial_step
+fn main() {
+    let mut b = Bench::from_args();
+    bench_rng(&mut b);
+    bench_diffusion(&mut b);
+    bench_tcell_plan(&mut b);
+    bench_reductions(&mut b);
+    bench_tile_layout(&mut b);
+    bench_serial_step(&mut b);
+    b.finish();
 }
-criterion_main!(benches);

@@ -1,39 +1,32 @@
-//! Criterion bench for Table 2: the full peak-agreement analysis pipeline
-//! (multi-trial runs + envelope/peak statistics).
+//! Wall-clock microbench for Table 2: the full peak-agreement analysis
+//! pipeline (multi-trial runs + envelope/peak statistics).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use simcov_bench::microbench::Bench;
 use simcov_core::grid::GridDims;
 use simcov_core::params::SimParams;
 use simcov_core::stats::{mean_std, percent_agreement, Metric, TimeSeries};
 use simcov_cpu::{CpuSim, CpuSimConfig};
 use simcov_gpu::{GpuSim, GpuSimConfig};
 
-fn bench(c: &mut Criterion) {
-    c.bench_function("table2_agreement_pipeline", |b| {
-        b.iter(|| {
-            let mut cpu_runs: Vec<TimeSeries> = Vec::new();
-            let mut gpu_runs: Vec<TimeSeries> = Vec::new();
-            for trial in 0..2u64 {
-                let p = SimParams::test_config(GridDims::new2d(32, 32), 40, 4, 100 + trial);
-                let mut cpu = CpuSim::new(CpuSimConfig::new(p.clone(), 4));
-                cpu.run();
-                cpu_runs.push(cpu.history);
-                let mut gpu = GpuSim::new(GpuSimConfig::new(p, 4));
-                gpu.run();
-                gpu_runs.push(gpu.history);
-            }
-            let cpu_peaks: Vec<f64> = cpu_runs.iter().map(|r| r.peak(Metric::Virions)).collect();
-            let gpu_peaks: Vec<f64> = gpu_runs.iter().map(|r| r.peak(Metric::Virions)).collect();
-            let (cm, _) = mean_std(&cpu_peaks);
-            let (gm, _) = mean_std(&gpu_peaks);
-            percent_agreement(cm, gm)
-        })
+fn main() {
+    let mut b = Bench::from_args();
+    b.bench("table2_agreement_pipeline", || {
+        let mut cpu_runs: Vec<TimeSeries> = Vec::new();
+        let mut gpu_runs: Vec<TimeSeries> = Vec::new();
+        for trial in 0..2u64 {
+            let p = SimParams::test_config(GridDims::new2d(32, 32), 40, 4, 100 + trial);
+            let mut cpu = CpuSim::new(CpuSimConfig::new(p.clone(), 4));
+            cpu.run();
+            cpu_runs.push(cpu.history);
+            let mut gpu = GpuSim::new(GpuSimConfig::new(p, 4));
+            gpu.run();
+            gpu_runs.push(gpu.history);
+        }
+        let cpu_peaks: Vec<f64> = cpu_runs.iter().map(|r| r.peak(Metric::Virions)).collect();
+        let gpu_peaks: Vec<f64> = gpu_runs.iter().map(|r| r.peak(Metric::Virions)).collect();
+        let (cm, _) = mean_std(&cpu_peaks);
+        let (gm, _) = mean_std(&gpu_peaks);
+        percent_agreement(cm, gm)
     });
+    b.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench
-}
-criterion_main!(benches);

@@ -5,15 +5,24 @@
 //! This sweep quantifies that impact on the CPU baseline: strips minimize
 //! the neighbor count (2) but maximize boundary length; blocks minimize
 //! boundary length but talk to up to 8 neighbors.
+//!
+//! `--json <path>` additionally writes the sweep rows as JSON.
 
 use simcov_bench::configs::{paper, scale_from_env, Experiment, ScaledExperiment};
+use simcov_bench::json::{json_path_from_args, write_json, Json};
 use simcov_bench::report::{banner, Table};
 use simcov_core::decomp::Strategy;
 use simcov_cpu::{CpuSim, CpuSimConfig};
 
 fn main() {
     let scale = scale_from_env().max(64);
-    println!("{}", banner("Ablation: linear vs block decomposition (CPU baseline)", scale));
+    println!(
+        "{}",
+        banner(
+            "Ablation: linear vs block decomposition (CPU baseline)",
+            scale
+        )
+    );
     let e = Experiment {
         name: "decomp",
         grid_side: paper::STRONG_GRID,
@@ -29,7 +38,11 @@ fn main() {
         "boundary bytes",
         "max-rank voxel updates",
     ]);
-    for (strategy, name) in [(Strategy::Blocks, "blocks"), (Strategy::Linear, "linear strips")] {
+    let mut rows = Vec::new();
+    for (strategy, name) in [
+        (Strategy::Blocks, "blocks"),
+        (Strategy::Linear, "linear strips"),
+    ] {
         for ranks in [64usize, 128] {
             let se = ScaledExperiment::new(e, scale, 1);
             let mut cfg = CpuSimConfig::new(se.params, ranks);
@@ -37,14 +50,23 @@ fn main() {
             let mut sim = CpuSim::new(cfg);
             sim.run();
             let cc = sim.comm_counters();
+            let max_updates = sim.max_rank_counters().update.elements;
             table.row(vec![
                 name.to_string(),
                 ranks.to_string(),
                 cc.messages.to_string(),
                 cc.bulk_messages.to_string(),
                 (cc.bytes + cc.bulk_bytes).to_string(),
-                sim.max_rank_counters().update.elements.to_string(),
+                max_updates.to_string(),
             ]);
+            rows.push(Json::obj([
+                ("decomposition", Json::from(name)),
+                ("ranks", Json::from(ranks)),
+                ("p2p_rpcs", Json::from(cc.messages)),
+                ("bulk_puts", Json::from(cc.bulk_messages)),
+                ("boundary_bytes", Json::from(cc.bytes + cc.bulk_bytes)),
+                ("max_rank_voxel_updates", Json::from(max_updates)),
+            ]));
         }
     }
     println!("{}", table.render());
@@ -53,4 +75,7 @@ fn main() {
          puts; blocks cut total boundary length at the cost of 8-neighbor exchanges.\n\
          Both produce bitwise-identical simulations (tests/cross_executor.rs)."
     );
+    if let Some(path) = json_path_from_args() {
+        write_json(&path, &Json::obj([("rows", Json::Arr(rows))]));
+    }
 }

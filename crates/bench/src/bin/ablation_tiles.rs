@@ -5,15 +5,24 @@
 //! spend more on tile checks and ghost-tile overhead; large tiles waste
 //! update work on mostly-inactive tiles. The check period is bounded by
 //! the tile side (safety of the one-tile activation buffer).
+//!
+//! `--json <path>` additionally writes the sweep rows as JSON.
 
 use gpusim::{CostModel, GPU_A100};
 use simcov_bench::configs::{paper, scale_from_env, Experiment, ScaledExperiment};
+use simcov_bench::json::{json_path_from_args, write_json, Json};
 use simcov_bench::report::{banner, fmt_secs, Table};
 use simcov_gpu::{GpuSim, GpuSimConfig, GpuVariant};
 
 fn main() {
     let scale = scale_from_env().max(64); // keep the sweep cheap
-    println!("{}", banner("Ablation: tile side & check period (Combined variant)", scale));
+    println!(
+        "{}",
+        banner(
+            "Ablation: tile side & check period (Combined variant)",
+            scale
+        )
+    );
     let e = Experiment {
         name: "ablation",
         grid_side: paper::STRONG_GRID,
@@ -30,14 +39,8 @@ fn main() {
         "total compute (s)",
         "voxel updates",
     ]);
-    for (tile, period) in [
-        (2usize, 2u64),
-        (4, 4),
-        (8, 8),
-        (16, 16),
-        (8, 2),
-        (16, 4),
-    ] {
+    let mut rows = Vec::new();
+    for (tile, period) in [(2usize, 2u64), (4, 4), (8, 8), (16, 16), (8, 2), (16, 4)] {
         let se = ScaledExperiment::new(e, scale, 1);
         let mut cfg = GpuSimConfig::new(se.params, 4).with_variant(GpuVariant::Combined);
         cfg.tile_side = tile;
@@ -54,10 +57,21 @@ fn main() {
             fmt_secs(b.total()),
             c.update.elements.to_string(),
         ]);
+        rows.push(Json::obj([
+            ("tile_side", Json::from(tile)),
+            ("check_period", Json::from(period)),
+            ("update_s", Json::from(b.update_s)),
+            ("tile_checks_s", Json::from(b.tile_s)),
+            ("total_compute_s", Json::from(b.total())),
+            ("voxel_updates", Json::from(c.update.elements)),
+        ]));
     }
     println!("{}", table.render());
     println!(
         "Expected: update work shrinks with tile side down to the activity granularity,\n\
          while tile-check cost grows as the period (≤ tile side) shortens."
     );
+    if let Some(path) = json_path_from_args() {
+        write_json(&path, &Json::obj([("rows", Json::Arr(rows))]));
+    }
 }

@@ -1,89 +1,18 @@
 //! Fig. 4 — optimization breakdown (§3.4): the four SIMCoV-GPU variants
 //! profiled on a dense-activity simulation (1024 FOI, 4 devices, one node),
 //! split into "Update Agents" and "Reduce Statistics" time.
+//!
+//! `--json <path>` additionally writes the rows and shape checks as JSON.
 
-use simcov_bench::configs::{paper, scale_from_env, Experiment, ScaledExperiment};
-use simcov_bench::report::{banner, fmt_secs, Table};
-use simcov_bench::runner::run_gpu;
-use simcov_gpu::GpuVariant;
+use simcov_bench::configs::scale_from_env;
+use simcov_bench::experiments::fig4;
+use simcov_bench::json::{json_path_from_args, write_json};
 
 fn main() {
     let scale = scale_from_env();
-    println!(
-        "{}",
-        banner("Fig 4: SIMCoV-GPU optimization breakdown (1024 FOI, 4 GPUs)", scale)
-    );
-    let e = Experiment {
-        name: "fig4",
-        grid_side: paper::FIG4_GRID,
-        num_foi: paper::FIG4_FOI,
-        steps: paper::STEPS,
-        machine: paper::FIG4_MACHINE,
-    };
-    let mut table = Table::new(&[
-        "variant",
-        "update agents (s)",
-        "reduce statistics (s)",
-        "total (s)",
-    ]);
-    let mut totals = Vec::new();
-    for v in GpuVariant::ALL {
-        let se = ScaledExperiment::new(e, scale, 1);
-        let out = run_gpu(se.params, 4, v, scale);
-        // Fig 4's two categories: tile checks and halo work belong to the
-        // agent-update pipeline.
-        let update = out.breakdown.update_s + out.breakdown.tile_s + out.breakdown.halo_s
-            + out.comm_seconds;
-        let reduce = out.breakdown.reduce_s;
-        totals.push((v, update, reduce));
-        table.row(vec![
-            v.name().to_string(),
-            fmt_secs(update),
-            fmt_secs(reduce),
-            fmt_secs(update + reduce),
-        ]);
+    let result = fig4(scale);
+    println!("{}", result.render());
+    if let Some(path) = json_path_from_args() {
+        write_json(&path, &result.to_json());
     }
-    println!("{}", table.render());
-
-    // Shape assertions from the paper's Fig 4.
-    let get = |v: GpuVariant| totals.iter().find(|(x, _, _)| *x == v).unwrap();
-    let unopt = get(GpuVariant::Unoptimized);
-    let fast = get(GpuVariant::FastReduction);
-    let tiling = get(GpuVariant::MemoryTiling);
-    let combined = get(GpuVariant::Combined);
-    println!("Shape checks (paper Fig 4):");
-    println!(
-        "  reductions dominate the unoptimized variant: {} (reduce {} vs update {})",
-        if unopt.2 > unopt.1 { "✓" } else { "✗" },
-        fmt_secs(unopt.2),
-        fmt_secs(unopt.1)
-    );
-    println!(
-        "  fast reduction slashes reduce time: {} ({} -> {})",
-        if fast.2 < 0.5 * unopt.2 { "✓" } else { "✗" },
-        fmt_secs(unopt.2),
-        fmt_secs(fast.2)
-    );
-    println!(
-        "  memory tiling cuts update time: {} ({} -> {})",
-        if tiling.1 < unopt.1 { "✓" } else { "✗" },
-        fmt_secs(unopt.1),
-        fmt_secs(tiling.1)
-    );
-    println!(
-        "  memory tiling also helps reductions (locality): {} ({} -> {})",
-        if tiling.2 < unopt.2 { "✓" } else { "✗" },
-        fmt_secs(unopt.2),
-        fmt_secs(tiling.2)
-    );
-    println!(
-        "  optimizations compose ~independently: {} (combined {} vs best-single {})",
-        if combined.1 + combined.2 < (fast.1 + fast.2).min(tiling.1 + tiling.2) {
-            "✓"
-        } else {
-            "✗"
-        },
-        fmt_secs(combined.1 + combined.2),
-        fmt_secs((fast.1 + fast.2).min(tiling.1 + tiling.2))
-    );
 }

@@ -2,67 +2,24 @@
 //! over a simulated infection, across several seeds (the paper's 5 trials),
 //! with min/mean/max envelopes for virus count, tissue T cells and
 //! apoptotic epithelial cells.
+//!
+//! `--json <path>` additionally writes the per-panel envelopes as JSON.
 
-use simcov_bench::configs::{paper, scale_from_env, trials_from_env, ScaledExperiment};
-use simcov_bench::report::banner;
-use simcov_bench::runner::{run_cpu, run_gpu};
-use simcov_core::stats::{envelope, Metric, TimeSeries};
-use simcov_gpu::GpuVariant;
+use simcov_bench::configs::{scale_from_env, trials_from_env};
+use simcov_bench::experiments::{correctness_trials, fig5_panels, fig5_to_json, render_fig5};
+use simcov_bench::json::{json_path_from_args, write_json, Json};
 
 fn main() {
     let scale = scale_from_env();
     let trials = trials_from_env();
-    println!(
-        "{}",
-        banner("Fig 5: CPU vs GPU aggregate statistics over a simulated infection", scale)
-    );
-    let m = paper::CORRECTNESS.machine;
-    let mut cpu_runs: Vec<TimeSeries> = Vec::new();
-    let mut gpu_runs: Vec<TimeSeries> = Vec::new();
-    for trial in 0..trials {
-        let se = ScaledExperiment::new(paper::CORRECTNESS, scale, 1000 + trial as u64);
-        eprintln!("trial {trial}: CPU x{} ...", m.cpus);
-        cpu_runs.push(run_cpu(se.params.clone(), m.cpus, scale).history);
-        eprintln!("trial {trial}: GPU x{} ...", m.gpus);
-        gpu_runs.push(run_gpu(se.params, m.gpus, GpuVariant::Combined, scale).history);
+    let t = correctness_trials(scale, trials, 1000);
+    let panels = fig5_panels(&t);
+    println!("{}", render_fig5(scale, &panels));
+    if let Some(path) = json_path_from_args() {
+        let doc = Json::obj([
+            ("trials", Json::from(trials)),
+            ("panels", fig5_to_json(&panels)),
+        ]);
+        write_json(&path, &doc);
     }
-
-    for (panel, metric) in [
-        ("A) Virus", Metric::Virions),
-        ("B) Tissue T Cells", Metric::TCellsTissue),
-        ("C) Apoptotic Epithelial Cells", Metric::EpiApoptotic),
-    ] {
-        let cpu_env = envelope(&cpu_runs, metric);
-        let gpu_env = envelope(&gpu_runs, metric);
-        println!("--- {panel} ({}) ---", metric.name());
-        println!(
-            "{:>8}  {:>12} {:>12} {:>12}   {:>12} {:>12} {:>12}",
-            "step", "cpu_min", "cpu_mean", "cpu_max", "gpu_min", "gpu_mean", "gpu_max"
-        );
-        let n = cpu_env.len();
-        let stride = (n / 16).max(1);
-        for i in (0..n).step_by(stride) {
-            let c = cpu_env[i];
-            let g = gpu_env[i];
-            println!(
-                "{:>8}  {:>12.1} {:>12.1} {:>12.1}   {:>12.1} {:>12.1} {:>12.1}",
-                i, c.0, c.1, c.2, g.0, g.1, g.2
-            );
-        }
-        // Mean-trajectory agreement (identical per seed by construction —
-        // the stronger form of the paper's statistical agreement).
-        let max_rel = cpu_env
-            .iter()
-            .zip(&gpu_env)
-            .map(|(c, g)| {
-                let denom = c.1.abs().max(g.1.abs()).max(1.0);
-                (c.1 - g.1).abs() / denom
-            })
-            .fold(0.0f64, f64::max);
-        println!("max relative mean deviation CPU vs GPU: {max_rel:.2e}\n");
-    }
-    println!(
-        "Expected shape (paper Fig 5): CPU and GPU trajectories track each other closely\n\
-         through the full infection (growth, T-cell response, clearance); envelopes overlap."
-    );
 }

@@ -1,47 +1,17 @@
 //! Fig. 6 — strong scaling: fixed 10,000² / 16 FOI problem, compute
 //! resources doubling from {4 GPUs, 128 cores} to {64 GPUs, 2048 cores}.
+//!
+//! `--json <path>` additionally writes the sweep points as JSON.
 
-use simcov_bench::configs::{paper, scale_from_env, Experiment, ScaledExperiment};
-use simcov_bench::report::{banner, fmt_secs, shape_verdict, Table};
-use simcov_bench::runner::{run_cpu, run_gpu};
-use simcov_gpu::GpuVariant;
+use simcov_bench::configs::scale_from_env;
+use simcov_bench::experiments::fig6;
+use simcov_bench::json::{json_path_from_args, write_json};
 
 fn main() {
     let scale = scale_from_env();
-    println!("{}", banner("Fig 6: Strong scaling (10,000x10,000, 16 FOI)", scale));
-    let mut table = Table::new(&[
-        "{GPUs,CPUs}",
-        "CPU runtime (s)",
-        "GPU runtime (s)",
-        "speedup",
-        "paper speedup",
-        "shape",
-    ]);
-    for (i, m) in paper::STRONG_MACHINES.iter().enumerate() {
-        let e = Experiment {
-            name: "strong",
-            grid_side: paper::STRONG_GRID,
-            num_foi: paper::STRONG_FOI,
-            steps: paper::STEPS,
-            machine: *m,
-        };
-        let se = ScaledExperiment::new(e, scale, 1);
-        let cpu = run_cpu(se.params.clone(), m.cpus, scale);
-        let gpu = run_gpu(se.params, m.gpus, GpuVariant::Combined, scale);
-        let speedup = cpu.seconds / gpu.seconds;
-        let paper_speedup = paper::STRONG_SPEEDUPS[i];
-        table.row(vec![
-            format!("{{{},{}}}", m.gpus, m.cpus),
-            fmt_secs(cpu.seconds),
-            fmt_secs(gpu.seconds),
-            format!("{speedup:.2}x"),
-            format!("{paper_speedup:.2}x"),
-            shape_verdict(paper_speedup, speedup).to_string(),
-        ]);
+    let result = fig6(scale);
+    println!("{}", result.render_strong());
+    if let Some(path) = json_path_from_args() {
+        write_json(&path, &result.to_json());
     }
-    println!("{}", table.render());
-    println!(
-        "Expected shape: GPU wins ~5x at the base allocation; the advantage decays as GPUs\n\
-         exceed the problem size, dropping below 1x at {{64,2048}} (paper: 4.98 -> 0.85)."
-    );
 }

@@ -1,53 +1,17 @@
 //! Fig. 7 — weak scaling: problem size (voxels) and FOI double together
 //! with compute resources; grid side 10,000 → 40,000, FOI 16 → 256.
+//!
+//! `--json <path>` additionally writes the sweep points as JSON.
 
-use simcov_bench::configs::{paper, scale_from_env, Experiment, ScaledExperiment};
-use simcov_bench::report::{banner, fmt_secs, shape_verdict, Table};
-use simcov_bench::runner::{run_cpu, run_gpu};
-use simcov_gpu::GpuVariant;
+use simcov_bench::configs::scale_from_env;
+use simcov_bench::experiments::fig7;
+use simcov_bench::json::{json_path_from_args, write_json};
 
 fn main() {
     let scale = scale_from_env();
-    println!("{}", banner("Fig 7: Weak scaling (voxels, FOI and resources double)", scale));
-    let mut table = Table::new(&[
-        "{GPUs,CPUs}",
-        "grid",
-        "FOI",
-        "CPU runtime (s)",
-        "GPU runtime (s)",
-        "speedup",
-        "paper speedup",
-        "shape",
-    ]);
-    for i in 0..paper::WEAK_MACHINES.len() {
-        let m = paper::WEAK_MACHINES[i];
-        let e = Experiment {
-            name: "weak",
-            grid_side: paper::WEAK_GRIDS[i],
-            num_foi: paper::WEAK_FOIS[i],
-            steps: paper::STEPS,
-            machine: m,
-        };
-        let se = ScaledExperiment::new(e, scale, 1);
-        let cpu = run_cpu(se.params.clone(), m.cpus, scale);
-        let gpu = run_gpu(se.params, m.gpus, GpuVariant::Combined, scale);
-        let speedup = cpu.seconds / gpu.seconds;
-        let paper_speedup = paper::WEAK_SPEEDUPS[i];
-        table.row(vec![
-            format!("{{{},{}}}", m.gpus, m.cpus),
-            format!("{0}x{0}", paper::WEAK_GRIDS[i]),
-            paper::WEAK_FOIS[i].to_string(),
-            fmt_secs(cpu.seconds),
-            fmt_secs(gpu.seconds),
-            format!("{speedup:.2}x"),
-            format!("{paper_speedup:.2}x"),
-            shape_verdict(paper_speedup, speedup).to_string(),
-        ]);
+    let result = fig7(scale);
+    println!("{}", result.render_weak());
+    if let Some(path) = json_path_from_args() {
+        write_json(&path, &result.to_json());
     }
-    println!("{}", table.render());
-    println!(
-        "Expected shape: a sustained ~4x GPU advantage across the sweep, with an initial\n\
-         cost of parallelism between 4 and 16 GPUs before GPU runtime flattens\n\
-         (paper: 4.91, 4.38, 3.53, 3.48, 3.82)."
-    );
 }

@@ -2,64 +2,18 @@
 //! number of initial foci of infection doubles, 64 → 1024. (The paper ran
 //! no CPU trial at 1024 FOI; we run it anyway and also report the paper's
 //! extrapolated 11.97× point.)
+//!
+//! `--json <path>` additionally writes the sweep points as JSON.
 
-use simcov_bench::configs::{paper, scale_from_env, Experiment, ScaledExperiment};
-use simcov_bench::report::{banner, fmt_secs, shape_verdict, Table};
-use simcov_bench::runner::{run_cpu, run_gpu};
-use simcov_gpu::GpuVariant;
+use simcov_bench::configs::scale_from_env;
+use simcov_bench::experiments::fig8;
+use simcov_bench::json::{json_path_from_args, write_json};
 
 fn main() {
     let scale = scale_from_env();
-    println!("{}", banner("Fig 8: FOI scaling (20,000x20,000 on {16,512})", scale));
-    let m = paper::FOI_MACHINE;
-    let mut table = Table::new(&[
-        "FOI",
-        "CPU runtime (s)",
-        "GPU runtime (s)",
-        "speedup",
-        "paper speedup",
-        "shape",
-    ]);
-    let mut gpu_times = Vec::new();
-    for (i, &foi) in paper::FOI_COUNTS.iter().enumerate() {
-        let e = Experiment {
-            name: "foi",
-            grid_side: paper::FOI_GRID,
-            num_foi: foi,
-            steps: paper::STEPS,
-            machine: m,
-        };
-        let se = ScaledExperiment::new(e, scale, 1);
-        let cpu = run_cpu(se.params.clone(), m.cpus, scale);
-        let gpu = run_gpu(se.params, m.gpus, GpuVariant::Combined, scale);
-        gpu_times.push(gpu.seconds);
-        let speedup = cpu.seconds / gpu.seconds;
-        // The paper annotates speedups for 64..512 FOI; it ran no CPU
-        // trial at 1024 FOI.
-        let (paper_speedup, verdict) = if i < paper::FOI_SPEEDUPS.len() {
-            let ps = paper::FOI_SPEEDUPS[i];
-            (format!("{ps:.2}x"), shape_verdict(ps, speedup).to_string())
-        } else {
-            ("- (no CPU trial)".to_string(), "-".to_string())
-        };
-        table.row(vec![
-            foi.to_string(),
-            fmt_secs(cpu.seconds),
-            fmt_secs(gpu.seconds),
-            format!("{speedup:.2}x"),
-            paper_speedup,
-            verdict,
-        ]);
+    let result = fig8(scale);
+    println!("{}", result.render());
+    if let Some(path) = json_path_from_args() {
+        write_json(&path, &result.to_json());
     }
-    println!("{}", table.render());
-    // Sublinearity check: GPU runtime growth per FOI doubling.
-    let growth: Vec<f64> = gpu_times.windows(2).map(|w| w[1] / w[0]).collect();
-    println!(
-        "GPU runtime growth per FOI doubling: {:?} (expected sublinear, i.e. < 2x each)",
-        growth.iter().map(|g| format!("{g:.2}x")).collect::<Vec<_>>()
-    );
-    println!(
-        "Expected shape: GPU runtime grows sublinearly as activity saturates; the GPU\n\
-         advantage widens with FOI (paper: 3.53 -> 11.97 from 64 to 512 FOI)."
-    );
 }

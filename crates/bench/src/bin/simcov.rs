@@ -6,8 +6,15 @@
 //! ```text
 //! simcov <config-file> [--executor serial|cpu|gpu] [--units N]
 //!        [--out-csv FILE] [--frames DIR --n-frames K] [--variant NAME]
+//!        [--json FILE]
 //! ```
+//!
+//! `--json` writes a structured run summary; on the cpu/gpu executors it
+//! includes the per-step [`StepRecord`]s of the metrics layer (agents,
+//! active work units, communication volume, simulated and real seconds).
 
+use gpusim::{SharedSink, StepRecord};
+use simcov_bench::json::Json;
 use simcov_core::config::parse_config;
 use simcov_core::render::render_slice;
 use simcov_core::stats::TimeSeries;
@@ -24,13 +31,15 @@ struct Args {
     frames: Option<String>,
     n_frames: u64,
     variant: GpuVariant,
+    json: Option<String>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: simcov <config-file> [--executor serial|cpu|gpu] [--units N]\n\
          \t[--out-csv FILE] [--frames DIR] [--n-frames K]\n\
-         \t[--variant unoptimized|fast-reduction|memory-tiling|combined]"
+         \t[--variant unoptimized|fast-reduction|memory-tiling|combined]\n\
+         \t[--json FILE]"
     );
     std::process::exit(2);
 }
@@ -44,18 +53,25 @@ fn parse_args() -> Args {
         frames: None,
         n_frames: 8,
         variant: GpuVariant::Combined,
+        json: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
             "--executor" => args.executor = it.next().unwrap_or_else(|| usage()),
             "--units" => {
-                args.units = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+                args.units = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
             }
             "--out-csv" => args.out_csv = Some(it.next().unwrap_or_else(|| usage())),
             "--frames" => args.frames = Some(it.next().unwrap_or_else(|| usage())),
             "--n-frames" => {
-                args.n_frames = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+                args.n_frames = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
             }
             "--variant" => {
                 args.variant = match it.next().as_deref() {
@@ -66,6 +82,7 @@ fn parse_args() -> Args {
                     _ => usage(),
                 }
             }
+            "--json" => args.json = Some(it.next().unwrap_or_else(|| usage())),
             "--help" | "-h" => usage(),
             other if args.config.is_empty() && !other.starts_with('-') => {
                 args.config = other.to_string()
@@ -155,12 +172,28 @@ fn main() {
         }
     }
 
+    let dims = params.dims;
+    let num_foi = params.num_foi;
+    // The per-step metrics sink backing --json (serial has no runtime, so
+    // it reports the time series only).
+    let sink = SharedSink::new();
     let mut driver = match args.executor.as_str() {
         "serial" => Driver::Serial(simcov_core::serial::SerialSim::new(params)),
-        "cpu" => Driver::Cpu(CpuSim::new(CpuSimConfig::new(params, args.units))),
-        "gpu" => Driver::Gpu(GpuSim::new(
-            GpuSimConfig::new(params, args.units).with_variant(args.variant),
-        )),
+        "cpu" => {
+            let mut sim = CpuSim::new(CpuSimConfig::new(params, args.units));
+            if args.json.is_some() {
+                sim.set_metrics_sink(Box::new(sink.clone()));
+            }
+            Driver::Cpu(sim)
+        }
+        "gpu" => {
+            let mut sim =
+                GpuSim::new(GpuSimConfig::new(params, args.units).with_variant(args.variant));
+            if args.json.is_some() {
+                sim.set_metrics_sink(Box::new(sink.clone()));
+            }
+            Driver::Gpu(sim)
+        }
         _ => usage(),
     };
 
@@ -182,8 +215,69 @@ fn main() {
         eprintln!("time series -> {path} ({} rows)", history.len());
     }
     let last = history.steps.last().expect("at least one step");
+    if let Some(path) = &args.json {
+        let mut doc = Json::obj([
+            ("executor", Json::from(args.executor.as_str())),
+            ("units", Json::from(args.units)),
+            (
+                "dims",
+                Json::Arr(vec![
+                    Json::from(dims.x),
+                    Json::from(dims.y),
+                    Json::from(dims.z),
+                ]),
+            ),
+            ("steps", Json::from(steps)),
+            ("num_foi", Json::from(num_foi)),
+        ]);
+        doc.push(
+            "final",
+            Json::obj([
+                ("virions", Json::from(last.virions)),
+                ("tcells_tissue", Json::from(last.tcells_tissue)),
+                ("epi_healthy", Json::from(last.epi_healthy)),
+                ("epi_dead", Json::from(last.epi_dead)),
+            ]),
+        );
+        doc.push("step_records", step_records_json(&sink.records()));
+        fs::write(path, doc.render()).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        eprintln!("json summary -> {path}");
+    }
     println!(
         "final: virions {:.4e}, tissue T cells {}, healthy {}, dead {}",
         last.virions, last.tcells_tissue, last.epi_healthy, last.epi_dead
     );
+}
+
+fn step_records_json(records: &[StepRecord]) -> Json {
+    Json::Arr(
+        records
+            .iter()
+            .map(|r| {
+                let mut rec = Json::obj([
+                    ("step", Json::from(r.step)),
+                    ("agents", Json::from(r.agents)),
+                    ("virions", Json::from(r.virions)),
+                    ("chemokine", Json::from(r.chemokine)),
+                    ("active_units", Json::from(r.active_units)),
+                    ("comm_messages", Json::from(r.comm_messages)),
+                    ("comm_bytes", Json::from(r.comm_bytes)),
+                    ("sim_seconds", Json::from(r.sim_seconds)),
+                    ("real_seconds", Json::from(r.real_seconds)),
+                ]);
+                rec.push(
+                    "phase_seconds",
+                    Json::obj(
+                        r.phases
+                            .cost
+                            .phases()
+                            .iter()
+                            .map(|&(name, secs)| (name, Json::from(secs)))
+                            .collect::<Vec<_>>(),
+                    ),
+                );
+                rec
+            })
+            .collect(),
+    )
 }

@@ -1,7 +1,11 @@
 //! Table 1 — the configuration matrix of the performance evaluation,
 //! printed at paper scale and at the current reproduction scale.
+//!
+//! `--json <path>` additionally writes the matrix as JSON.
 
 use simcov_bench::configs::{paper, scale_from_env};
+use simcov_bench::experiments::table1_to_json;
+use simcov_bench::json::{json_path_from_args, write_json};
 use simcov_bench::report::Table;
 
 fn main() {
@@ -63,4 +67,7 @@ fn main() {
         paper::WEAK_GRIDS[4] / scale,
         paper::STEPS / scale as u64,
     );
+    if let Some(path) = json_path_from_args() {
+        write_json(&path, &table1_to_json());
+    }
 }

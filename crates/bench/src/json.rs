@@ -1,0 +1,264 @@
+//! A minimal hand-rolled JSON value builder and serializer.
+//!
+//! The workspace is dependency-free, so bench artifacts are emitted through
+//! this small tree type instead of serde. Only what the bench harness needs
+//! is implemented: construction from Rust primitives, object/array
+//! composition, and rendering to a valid RFC 8259 document (pretty-printed,
+//! two-space indent). Non-finite floats serialize as `null` — JSON has no
+//! encoding for them and a crash in a report writer would lose the run.
+
+/// A JSON value tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    /// All numbers ride as f64 (the JSON number model); u64 counters in
+    /// practice stay far below 2^53 so the conversion is exact.
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl From<bool> for Json {
+    fn from(v: bool) -> Self {
+        Json::Bool(v)
+    }
+}
+impl From<f64> for Json {
+    fn from(v: f64) -> Self {
+        Json::Num(v)
+    }
+}
+impl From<u64> for Json {
+    fn from(v: u64) -> Self {
+        Json::Num(v as f64)
+    }
+}
+impl From<u32> for Json {
+    fn from(v: u32) -> Self {
+        Json::Num(v as f64)
+    }
+}
+impl From<usize> for Json {
+    fn from(v: usize) -> Self {
+        Json::Num(v as f64)
+    }
+}
+impl From<&str> for Json {
+    fn from(v: &str) -> Self {
+        Json::Str(v.to_string())
+    }
+}
+impl From<String> for Json {
+    fn from(v: String) -> Self {
+        Json::Str(v)
+    }
+}
+impl<T: Into<Json>> From<Vec<T>> for Json {
+    fn from(v: Vec<T>) -> Self {
+        Json::Arr(v.into_iter().map(Into::into).collect())
+    }
+}
+impl<T: Into<Json> + Clone> From<&[T]> for Json {
+    fn from(v: &[T]) -> Self {
+        Json::Arr(v.iter().cloned().map(Into::into).collect())
+    }
+}
+impl<T: Into<Json>> From<Option<T>> for Json {
+    fn from(v: Option<T>) -> Self {
+        v.map_or(Json::Null, Into::into)
+    }
+}
+
+impl Json {
+    /// Build an object from `(key, value)` pairs, preserving order.
+    pub fn obj<K: Into<String>, V: Into<Json>>(pairs: impl IntoIterator<Item = (K, V)>) -> Json {
+        Json::Obj(
+            pairs
+                .into_iter()
+                .map(|(k, v)| (k.into(), v.into()))
+                .collect(),
+        )
+    }
+
+    /// Append a field to an object (panics on non-objects: builder misuse).
+    pub fn push<K: Into<String>, V: Into<Json>>(&mut self, key: K, value: V) {
+        match self {
+            Json::Obj(pairs) => pairs.push((key.into(), value.into())),
+            other => panic!("Json::push on non-object {other:?}"),
+        }
+    }
+
+    /// Serialize to a pretty-printed document (two-space indent, `\n`
+    /// separators, trailing newline).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, depth: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => {
+                if n.is_finite() {
+                    if *n == n.trunc() && n.abs() < 1e15 {
+                        // Integral values print without a fraction.
+                        out.push_str(&format!("{}", *n as i64));
+                    } else {
+                        out.push_str(&format!("{n}"));
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    indent(out, depth + 1);
+                    item.write(out, depth + 1);
+                }
+                out.push('\n');
+                indent(out, depth);
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                if pairs.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    indent(out, depth + 1);
+                    write_escaped(out, k);
+                    out.push_str(": ");
+                    v.write(out, depth + 1);
+                }
+                out.push('\n');
+                indent(out, depth);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// `--json <path>` from the process arguments, if present (the shared CLI
+/// convention of every bench binary).
+pub fn json_path_from_args() -> Option<String> {
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        if a == "--json" {
+            match it.next() {
+                Some(p) => return Some(p),
+                None => {
+                    eprintln!("--json requires a path");
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Write a rendered document, reporting the destination on stderr. Exits
+/// with status 2 on I/O failure (clean error, no panic — the artifact path
+/// is only known to be bad after the experiment has already run).
+pub fn write_json(path: &str, doc: &Json) {
+    if let Err(e) = std::fs::write(path, doc.render()) {
+        eprintln!("cannot write {path}: {e}");
+        std::process::exit(2);
+    }
+    eprintln!("json artifact -> {path}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_scalars() {
+        assert_eq!(Json::Null.render(), "null\n");
+        assert_eq!(Json::from(true).render(), "true\n");
+        assert_eq!(Json::from(42u64).render(), "42\n");
+        assert_eq!(Json::from(1.5).render(), "1.5\n");
+        assert_eq!(Json::from("hi").render(), "\"hi\"\n");
+    }
+
+    #[test]
+    fn escapes_strings() {
+        let s = Json::from("a\"b\\c\nd\te\u{1}").render();
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\\te\\u0001\"\n");
+    }
+
+    #[test]
+    fn non_finite_becomes_null() {
+        assert_eq!(Json::from(f64::NAN).render(), "null\n");
+        assert_eq!(Json::from(f64::INFINITY).render(), "null\n");
+    }
+
+    #[test]
+    fn renders_nested_structures() {
+        let mut doc = Json::obj([("name", Json::from("run"))]);
+        doc.push(
+            "points",
+            Json::Arr(vec![Json::from(1u64), Json::from(2u64)]),
+        );
+        doc.push("empty", Json::Arr(vec![]));
+        doc.push("nested", Json::obj([("ok", Json::from(true))]));
+        let text = doc.render();
+        assert_eq!(
+            text,
+            "{\n  \"name\": \"run\",\n  \"points\": [\n    1,\n    2\n  ],\n  \
+             \"empty\": [],\n  \"nested\": {\n    \"ok\": true\n  }\n}\n"
+        );
+    }
+
+    #[test]
+    fn integral_floats_have_no_fraction() {
+        assert_eq!(Json::from(3.0).render(), "3\n");
+        assert_eq!(Json::from(0.25).render(), "0.25\n");
+        // Big counters still within exact-f64 range keep full precision.
+        assert_eq!(
+            Json::from(9_007_199_254_740_992u64).render(),
+            "9007199254740992\n"
+        );
+    }
+}

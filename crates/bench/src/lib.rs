@@ -21,8 +21,12 @@
 //! simulated seconds on the paper's hardware.
 
 pub mod configs;
+pub mod experiments;
+pub mod json;
+pub mod microbench;
 pub mod report;
 pub mod runner;
 
 pub use configs::{paper, Experiment, MachineConfig, ScaledExperiment};
+pub use json::Json;
 pub use runner::{run_cpu, run_gpu, RunOutput};

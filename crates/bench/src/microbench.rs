@@ -1,0 +1,195 @@
+//! A minimal wall-clock microbenchmark harness (the workspace's stand-in
+//! for criterion, which an offline build cannot fetch).
+//!
+//! Each `benches/*.rs` target builds a [`Bench`], registers closures, and
+//! calls [`Bench::finish`]. Timing is batched: the harness calibrates a
+//! batch size whose run lasts ≥ 1 ms (so per-call overhead and clock
+//! granularity wash out, even for nanosecond-scale kernels), then samples a
+//! fixed number of batches and reports per-iteration min / median / mean.
+//!
+//! CLI (after `cargo bench -- ...`): a bare token filters benchmarks by
+//! substring; `--json <path>` writes the results as JSON; other `--flags`
+//! (e.g. cargo's own `--bench`) are ignored.
+
+use crate::json::{write_json, Json};
+use crate::report::Table;
+use std::hint::black_box;
+use std::time::Instant;
+
+const TARGET_BATCH_NS: u128 = 1_000_000; // 1 ms
+const MAX_BATCH: u64 = 1 << 22;
+const SAMPLES: usize = 20;
+const WARMUP_BATCHES: usize = 2;
+
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    pub name: String,
+    pub batch: u64,
+    pub min_ns: f64,
+    pub median_ns: f64,
+    pub mean_ns: f64,
+}
+
+pub struct Bench {
+    filter: Option<String>,
+    json: Option<String>,
+    results: Vec<BenchResult>,
+}
+
+impl Bench {
+    /// Build from the process arguments (see module docs for the CLI).
+    pub fn from_args() -> Self {
+        let mut filter = None;
+        let mut json = None;
+        let mut it = std::env::args().skip(1);
+        while let Some(a) = it.next() {
+            if a == "--json" {
+                json = it.next();
+            } else if !a.starts_with('-') {
+                filter = Some(a);
+            }
+        }
+        Bench {
+            filter,
+            json,
+            results: Vec::new(),
+        }
+    }
+
+    /// Register and immediately run one benchmark.
+    pub fn bench<R>(&mut self, name: &str, mut f: impl FnMut() -> R) {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        // Calibrate the batch size up to ≥ 1 ms per batch.
+        let mut batch = 1u64;
+        loop {
+            let t = Self::time_batch(batch, &mut f);
+            if t >= TARGET_BATCH_NS || batch >= MAX_BATCH {
+                break;
+            }
+            // Jump close to the target, at least doubling.
+            let projected = (TARGET_BATCH_NS as f64 / t.max(1) as f64).ceil() as u64;
+            batch = (batch * projected.max(2)).min(MAX_BATCH);
+        }
+        for _ in 0..WARMUP_BATCHES {
+            Self::time_batch(batch, &mut f);
+        }
+        let mut per_iter: Vec<f64> = (0..SAMPLES)
+            .map(|_| Self::time_batch(batch, &mut f) as f64 / batch as f64)
+            .collect();
+        per_iter.sort_by(|a, b| a.total_cmp(b));
+        let result = BenchResult {
+            name: name.to_string(),
+            batch,
+            min_ns: per_iter[0],
+            median_ns: per_iter[SAMPLES / 2],
+            mean_ns: per_iter.iter().sum::<f64>() / SAMPLES as f64,
+        };
+        eprintln!(
+            "{:<32} {:>12} min  {:>12} median",
+            result.name,
+            fmt_ns(result.min_ns),
+            fmt_ns(result.median_ns)
+        );
+        self.results.push(result);
+    }
+
+    fn time_batch<R>(batch: u64, f: &mut impl FnMut() -> R) -> u128 {
+        let t0 = Instant::now();
+        for _ in 0..batch {
+            black_box(f());
+        }
+        t0.elapsed().as_nanos()
+    }
+
+    /// Print the summary table (and the JSON artifact, if requested).
+    pub fn finish(self) {
+        let mut table = Table::new(&["benchmark", "min", "median", "mean", "batch"]);
+        for r in &self.results {
+            table.row(vec![
+                r.name.clone(),
+                fmt_ns(r.min_ns),
+                fmt_ns(r.median_ns),
+                fmt_ns(r.mean_ns),
+                r.batch.to_string(),
+            ]);
+        }
+        println!("\n{}", table.render());
+        if let Some(path) = &self.json {
+            let doc = Json::Arr(
+                self.results
+                    .iter()
+                    .map(|r| {
+                        Json::obj([
+                            ("name", Json::from(r.name.as_str())),
+                            ("min_ns", Json::from(r.min_ns)),
+                            ("median_ns", Json::from(r.median_ns)),
+                            ("mean_ns", Json::from(r.mean_ns)),
+                            ("batch", Json::from(r.batch)),
+                        ])
+                    })
+                    .collect(),
+            );
+            write_json(path, &doc);
+        }
+    }
+}
+
+/// Human-readable nanoseconds.
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_a_trivial_closure() {
+        let mut b = Bench {
+            filter: None,
+            json: None,
+            results: Vec::new(),
+        };
+        let mut x = 0u64;
+        b.bench("noop_add", || {
+            x = x.wrapping_add(1);
+            x
+        });
+        assert_eq!(b.results.len(), 1);
+        let r = &b.results[0];
+        assert!(r.min_ns > 0.0 && r.min_ns <= r.median_ns && r.batch >= 2);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut b = Bench {
+            filter: Some("match_me".into()),
+            json: None,
+            results: Vec::new(),
+        };
+        b.bench("other", || 1u64);
+        b.bench("match_me_exactly", || 1u64);
+        assert_eq!(b.results.len(), 1);
+        assert_eq!(b.results[0].name, "match_me_exactly");
+    }
+
+    #[test]
+    fn formats_scales() {
+        assert_eq!(fmt_ns(12.3), "12.3 ns");
+        assert_eq!(fmt_ns(4_500.0), "4.500 us");
+        assert_eq!(fmt_ns(7_800_000.0), "7.800 ms");
+        assert_eq!(fmt_ns(2.5e9), "2.500 s");
+    }
+}

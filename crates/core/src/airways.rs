@@ -38,8 +38,15 @@ impl Default for AirwayTree {
 }
 
 /// Rasterize a thick line segment into voxel indices.
-fn carve_segment(dims: GridDims, from: (f64, f64, f64), to: (f64, f64, f64), radius: f64, out: &mut Vec<usize>) {
-    let steps = ((to.0 - from.0).abs() + (to.1 - from.1).abs() + (to.2 - from.2).abs()).ceil() as usize + 1;
+fn carve_segment(
+    dims: GridDims,
+    from: (f64, f64, f64),
+    to: (f64, f64, f64),
+    radius: f64,
+    out: &mut Vec<usize>,
+) {
+    let steps =
+        ((to.0 - from.0).abs() + (to.1 - from.1).abs() + (to.2 - from.2).abs()).ceil() as usize + 1;
     let r = radius.max(0.5);
     let ri = r.ceil() as i64;
     for i in 0..=steps {
@@ -72,6 +79,7 @@ fn carve_segment(dims: GridDims, from: (f64, f64, f64), to: (f64, f64, f64), rad
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn branch(
     dims: GridDims,
     tree: &AirwayTree,
@@ -128,7 +136,11 @@ pub fn airway_voxels(dims: GridDims, tree: &AirwayTree) -> Vec<usize> {
     let start = (
         dims.x as f64 / 2.0,
         0.0,
-        if dims.is_2d() { 0.0 } else { dims.z as f64 / 2.0 },
+        if dims.is_2d() {
+            0.0
+        } else {
+            dims.z as f64 / 2.0
+        },
     );
     let trunk_len = dims.y as f64 * tree.trunk_fraction;
     branch(

@@ -55,15 +55,27 @@ struct Reader<'a> {
 
 impl<'a> Reader<'a> {
     fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
-        if self.pos + n > self.buf.len() {
-            return Err(format!(
-                "truncated checkpoint: need {n} bytes at offset {}",
-                self.pos
-            ));
-        }
-        let s = &self.buf[self.pos..self.pos + n];
-        self.pos += n;
+        // checked_add: a hostile length must not wrap `pos + n` past the
+        // bounds check into an out-of-range slice.
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&end| end <= self.buf.len())
+            .ok_or_else(|| {
+                format!(
+                    "truncated checkpoint: need {n} bytes at offset {}",
+                    self.pos
+                )
+            })?;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
         Ok(s)
+    }
+
+    /// Bytes left unread — an upper bound for any element count a hostile
+    /// blob may claim.
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
     }
     fn u32(&mut self) -> Result<u32, String> {
         Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
@@ -75,19 +87,24 @@ impl<'a> Reader<'a> {
         Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
     fn f32s(&mut self, n: usize) -> Result<Vec<f32>, String> {
-        let raw = self.take(n * 4)?;
+        let raw = self.take(checked_len(n, 4)?)?;
         Ok(raw
             .chunks_exact(4)
             .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
             .collect())
     }
     fn u32s(&mut self, n: usize) -> Result<Vec<u32>, String> {
-        let raw = self.take(n * 4)?;
+        let raw = self.take(checked_len(n, 4)?)?;
         Ok(raw
             .chunks_exact(4)
             .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
             .collect())
     }
+}
+
+fn checked_len(n: usize, elem: usize) -> Result<usize, String> {
+    n.checked_mul(elem)
+        .ok_or_else(|| format!("corrupt checkpoint: element count {n} overflows"))
 }
 
 /// Serialize a serial simulation's full resumable state (world, pool,
@@ -105,13 +122,7 @@ pub fn save(sim: &SerialSim) -> Vec<u8> {
     w.u32(dims.z);
     w.bytes(&sim.world.epi.state);
     w.u32s(&sim.world.epi.timer);
-    w.u32s(
-        &sim.world
-            .tcells
-            .iter()
-            .map(|t| t.0)
-            .collect::<Vec<u32>>(),
-    );
+    w.u32s(&sim.world.tcells.iter().map(|t| t.0).collect::<Vec<u32>>());
     w.f32s(&sim.world.virions.data);
     w.f32s(&sim.world.chemokine.data);
     let (cohorts, carry, total) = sim.pool.snapshot();
@@ -159,12 +170,36 @@ pub fn restore(params: SimParams, blob: &[u8]) -> Result<SerialSim, String> {
     let carry = r.f64()?;
     let total = r.u64()?;
     let n_cohorts = r.u64()? as usize;
+    // Each cohort occupies 16 bytes; a claimed count beyond the remaining
+    // payload is corrupt, and pre-allocating it would let a 20-byte blob
+    // demand gigabytes.
+    if n_cohorts > r.remaining() / 16 {
+        return Err(format!(
+            "corrupt checkpoint: {n_cohorts} cohorts claimed, {} bytes remain",
+            r.remaining()
+        ));
+    }
     let mut cohorts = Vec::with_capacity(n_cohorts);
     for _ in 0..n_cohorts {
         cohorts.push(Cohort {
             expiry_step: r.u64()?,
             count: r.u64()?,
         });
+    }
+    // The pool's own invariants hold for every blob `save` writes; a blob
+    // that violates them is corrupt and must be rejected here rather than
+    // trip assertions (or overflow) inside `from_snapshot`.
+    let claimed = cohorts
+        .iter()
+        .try_fold(0u64, |acc, c| acc.checked_add(c.count))
+        .ok_or("corrupt checkpoint: cohort counts overflow")?;
+    if claimed != total {
+        return Err(format!(
+            "corrupt checkpoint: cohorts sum to {claimed}, total says {total}"
+        ));
+    }
+    if !carry.is_finite() {
+        return Err("corrupt checkpoint: non-finite vascular carry".into());
     }
     let world = World {
         dims,
@@ -260,6 +295,63 @@ mod tests {
         blob[45] = 99;
         let e = restore(a.params.clone(), &blob).unwrap_err();
         assert!(e.contains("epithelial"), "{e}");
+    }
+
+    /// Fuzz `restore` against hostile input: truncations at every length,
+    /// random byte flips in valid blobs, and fully random blobs. Restoring
+    /// must return `Err` (or a valid sim) — never panic, never misallocate.
+    /// Catches the `pos + n` bounds-check overflow and the unchecked
+    /// cohort-count pre-allocation.
+    #[test]
+    fn fuzz_restore_never_panics() {
+        use crate::rng::{CounterRng, Stream};
+
+        let mut a = sim();
+        for _ in 0..20 {
+            a.advance_step();
+        }
+        let blob = save(&a);
+
+        // Every truncation of a valid blob must be rejected cleanly.
+        for len in 0..blob.len() {
+            assert!(
+                restore(a.params.clone(), &blob[..len]).is_err(),
+                "truncation to {len} bytes accepted"
+            );
+        }
+
+        // Byte flips anywhere in a valid blob: Err or a structurally valid
+        // sim (a flipped float payload can still restore), never a panic.
+        for case in 0..400u64 {
+            let mut rng = CounterRng::new(0xC0FFEE, Stream::ExtravVoxel, case, 0);
+            let mut mutated = blob.clone();
+            for _ in 0..1 + rng.below(8) {
+                let at = rng.below(mutated.len() as u64) as usize;
+                mutated[at] ^= rng.next_u64() as u8;
+            }
+            let _ = restore(a.params.clone(), &mutated);
+        }
+
+        // Fully random blobs of random lengths, plus adversarial giant
+        // little-endian length words sprayed through them.
+        for case in 0..400u64 {
+            let mut rng = CounterRng::new(0xFEED, Stream::ExtravProb, case, 0);
+            let len = rng.below(512) as usize;
+            let mut junk: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
+            if junk.len() >= 8 && rng.chance(0.5) {
+                // Start with valid magic so parsing reaches the length
+                // fields, then plant u64::MAX somewhere after the header.
+                junk[..8].copy_from_slice(MAGIC);
+                if junk.len() > 28 {
+                    let at = 12 + rng.below((junk.len() - 20) as u64) as usize;
+                    junk[at..at + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+                }
+            }
+            assert!(
+                restore(a.params.clone(), &junk).is_err(),
+                "random blob (case {case}) accepted"
+            );
+        }
     }
 
     #[test]

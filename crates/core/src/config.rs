@@ -174,10 +174,12 @@ mod tests {
 
     #[test]
     fn roundtrip() {
-        let mut p = SimParams::default();
-        p.dims = GridDims::new3d(30, 20, 10);
-        p.num_foi = 9;
-        p.infectivity = 0.0042;
+        let p = SimParams {
+            dims: GridDims::new3d(30, 20, 10),
+            num_foi: 9,
+            infectivity: 0.0042,
+            ..SimParams::default()
+        };
         let q = parse_config(&to_config(&p)).unwrap();
         assert_eq!(p, q);
     }

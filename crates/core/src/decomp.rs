@@ -7,10 +7,9 @@
 //! communication (the PGAS property).
 
 use crate::grid::{Coord, GridDims};
-use serde::{Deserialize, Serialize};
 
 /// Decomposition strategy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Strategy {
     /// 1D strips along the highest significant axis (y for 2D, z for 3D) —
     /// the "linear" layout of Fig 1B (top).
@@ -21,7 +20,7 @@ pub enum Strategy {
 }
 
 /// An axis-aligned subdomain `[lo, hi)` owned by one rank.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Subdomain {
     pub rank: usize,
     /// Inclusive lower corner.
@@ -81,7 +80,7 @@ impl Subdomain {
 
 /// A full partition of the grid into `n_ranks` subdomains on an
 /// `nx × ny × nz` rank lattice.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Partition {
     pub dims: GridDims,
     pub rank_grid: (usize, usize, usize),

@@ -7,10 +7,8 @@
 //! cells) → expressing (detectable) → dead, with a T-cell-triggered
 //! apoptotic branch from incubating/expressing.
 
-use serde::{Deserialize, Serialize};
-
 /// Epithelial cell state of a voxel, stored as one byte (the GPU layout).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[repr(u8)]
 pub enum EpiState {
     /// No epithelial cell in this voxel (airway / structural gap).

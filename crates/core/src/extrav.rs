@@ -57,9 +57,10 @@ mod tests {
     use crate::grid::GridDims;
 
     fn params() -> SimParams {
-        let mut p = SimParams::default();
-        p.dims = GridDims::new2d(32, 32);
-        p
+        SimParams {
+            dims: GridDims::new2d(32, 32),
+            ..SimParams::default()
+        }
     }
 
     #[test]

@@ -4,10 +4,8 @@
 //! serial executor indexes it with global voxel indices; parallel executors
 //! wrap it in their own layouts (subdomain strips, tiled + halo).
 
-use serde::{Deserialize, Serialize};
-
 /// A dense scalar field.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Field {
     pub data: Vec<f32>,
 }
@@ -83,6 +81,6 @@ mod tests {
         let mut f = Field::zeros(2);
         f.set(0, 1e8);
         f.set(1, 1.0);
-        assert_eq!(f.sum(), 1e8 as f64 + 1.0);
+        assert_eq!(f.sum(), 1e8f64 + 1.0);
     }
 }

@@ -8,11 +8,9 @@
 use crate::grid::{Coord, GridDims};
 use crate::params::SimParams;
 use crate::rng::{CounterRng, Stream};
-use serde::{Deserialize, Serialize};
 
 /// How the initial foci of infection are placed.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum FoiPattern {
     /// `num_foi` foci on a near-square lattice covering the grid evenly —
     /// "spatially distinct seeds of the infection" (§4.2). Deterministic.
@@ -25,7 +23,6 @@ pub enum FoiPattern {
     /// is seeded (§6's patient-CT initialization scenario).
     CtLesions { clusters: u32, radius: u32 },
 }
-
 
 /// Compute the seeded voxels (global linear indices, deduplicated and
 /// sorted) for a pattern. Each returned voxel receives
@@ -118,10 +115,11 @@ mod tests {
     use super::*;
 
     fn params(x: u32, y: u32, foi: u32) -> SimParams {
-        let mut p = SimParams::default();
-        p.dims = GridDims::new2d(x, y);
-        p.num_foi = foi;
-        p
+        SimParams {
+            dims: GridDims::new2d(x, y),
+            num_foi: foi,
+            ..SimParams::default()
+        }
     }
 
     #[test]

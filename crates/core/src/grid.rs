@@ -5,11 +5,9 @@
 //! order `(z, y, x)` — x fastest. All stochastic draws are keyed on global
 //! indices so partitioned executors agree with the serial reference.
 
-use serde::{Deserialize, Serialize};
-
 /// A signed voxel coordinate. Signed so neighbor arithmetic can go one step
 /// out of bounds before being rejected.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Coord {
     pub x: i64,
     pub y: i64,
@@ -40,7 +38,7 @@ impl Coord {
 
 /// Grid dimensions. 2D simulations use `z == 1` (the paper's evaluation is
 /// entirely 2D; 3D is supported throughout).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct GridDims {
     pub x: u32,
     pub y: u32,

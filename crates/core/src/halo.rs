@@ -6,13 +6,12 @@
 //! defaults and are never read because all rules bounds-check against the
 //! global grid first.
 
-use crate::grid::{Coord, GridDims};
 use crate::decomp::Subdomain;
-use serde::{Deserialize, Serialize};
+use crate::grid::{Coord, GridDims};
 
 /// A local box `[lo, hi)` in global coordinates covering a subdomain plus a
 /// one-voxel ghost ring (no ghost along z for 2D grids).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HaloBox {
     pub lo: Coord,
     pub hi: Coord,

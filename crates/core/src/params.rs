@@ -8,15 +8,13 @@
 //! [`SimParams::scaled_to`] rescales it by grid area when running the paper's
 //! scenarios on reduced grids.
 
-use serde::{Deserialize, Serialize};
-
 use crate::grid::GridDims;
 
 /// Steps per simulated day (1-minute timesteps).
 pub const STEPS_PER_DAY: u64 = 1440;
 
 /// Full model parameter set.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimParams {
     /// Grid dimensions in voxels.
     pub dims: GridDims,
@@ -139,11 +137,13 @@ impl SimParams {
     /// The whole-tissue T-cell generation rate additionally rescales by the
     /// voxel-count ratio to the paper's 10,000² reference slice.
     pub fn scaled_to(dims: GridDims, steps: u64, num_foi: u32, seed: u64) -> Self {
-        let mut p = SimParams::default();
-        p.dims = dims;
-        p.steps = steps;
-        p.num_foi = num_foi;
-        p.seed = seed;
+        let mut p = SimParams {
+            dims,
+            steps,
+            num_foi,
+            seed,
+            ..SimParams::default()
+        };
         let area_ratio = dims.nvoxels() as f64 / REFERENCE_DIMS.nvoxels() as f64;
         let step_ratio = steps as f64 / 33_120.0; // < 1 for compressed runs
         let s = 1.0 / step_ratio;
@@ -179,11 +179,13 @@ impl SimParams {
     /// [`SimParams::scaled_to`] this does not aim for paper-similar
     /// trajectories — just full code-path coverage in few steps.
     pub fn test_config(dims: GridDims, steps: u64, num_foi: u32, seed: u64) -> Self {
-        let mut p = SimParams::default();
-        p.dims = dims;
-        p.steps = steps;
-        p.num_foi = num_foi;
-        p.seed = seed;
+        let mut p = SimParams {
+            dims,
+            steps,
+            num_foi,
+            seed,
+            ..SimParams::default()
+        };
         p.infectivity = 0.002;
         p.tcell_initial_delay = steps / 10;
         p.tcell_generation_rate = (dims.nvoxels() as f64 / 200.0).max(2.0);
@@ -284,12 +286,14 @@ mod tests {
             let t = p.steps as f64;
             let l = p.dims.x as f64;
             let rate = 1.0 / p.incubation_period;
-            (
-                (2.0 * d * t).sqrt() / l,
-                (d * rate).sqrt() * t / l,
-            )
+            ((2.0 * d * t).sqrt() / l, (d * rate).sqrt() * t / l)
         };
-        let a = num(&SimParams::scaled_to(GridDims::new2d(312, 312), 1035, 16, 1));
+        let a = num(&SimParams::scaled_to(
+            GridDims::new2d(312, 312),
+            1035,
+            16,
+            1,
+        ));
         let b = num(&SimParams::scaled_to(GridDims::new2d(156, 156), 518, 16, 1));
         assert!((a.0 - b.0).abs() / a.0 < 0.05, "{a:?} vs {b:?}");
         assert!((a.1 - b.1).abs() / a.1 < 0.05, "{a:?} vs {b:?}");
@@ -304,16 +308,22 @@ mod tests {
 
     #[test]
     fn validation_rejects_bad_values() {
-        let mut p = SimParams::default();
-        p.virion_diffusion = 1.5;
+        let p = SimParams {
+            virion_diffusion: 1.5,
+            ..SimParams::default()
+        };
         assert!(p.validate().is_err());
 
-        let mut p = SimParams::default();
-        p.num_foi = u32::MAX;
+        let p = SimParams {
+            num_foi: u32::MAX,
+            ..SimParams::default()
+        };
         assert!(p.validate().is_err());
 
-        let mut p = SimParams::default();
-        p.tcell_binding_period = 0;
+        let p = SimParams {
+            tcell_binding_period: 0,
+            ..SimParams::default()
+        };
         assert!(p.validate().is_err());
     }
 

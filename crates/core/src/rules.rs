@@ -357,9 +357,10 @@ mod tests {
     }
 
     fn params(dims: GridDims) -> SimParams {
-        let mut p = SimParams::default();
-        p.dims = dims;
-        p
+        SimParams {
+            dims,
+            ..SimParams::default()
+        }
     }
 
     #[test]
@@ -543,12 +544,7 @@ mod tests {
 
     #[test]
     fn activity_predicate() {
-        assert!(!voxel_active(
-            EpiState::Healthy,
-            TCellSlot::EMPTY,
-            0.0,
-            0.0
-        ));
+        assert!(!voxel_active(EpiState::Healthy, TCellSlot::EMPTY, 0.0, 0.0));
         assert!(!voxel_active(EpiState::Dead, TCellSlot::EMPTY, 0.0, 0.0));
         assert!(voxel_active(
             EpiState::Healthy,

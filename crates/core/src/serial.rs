@@ -199,9 +199,10 @@ impl SerialSim {
         for v in 0..n {
             let s = self.world.epi.get(v);
             if s.produces_virions() {
-                self.world
-                    .virions
-                    .set(v, produce_virions(self.world.virions.get(v), p.virion_production));
+                self.world.virions.set(
+                    v,
+                    produce_virions(self.world.virions.get(v), p.virion_production),
+                );
             }
             if s.produces_chemokine() {
                 self.world.chemokine.set(
@@ -309,7 +310,10 @@ mod tests {
         );
         // The infection must have spread beyond the initial foci.
         let infected_area = (24 * 24) as u64 - last.epi_healthy;
-        assert!(infected_area > 2, "spread beyond the 2 seeds: {infected_area}");
+        assert!(
+            infected_area > 2,
+            "spread beyond the 2 seeds: {infected_area}"
+        );
     }
 
     #[test]

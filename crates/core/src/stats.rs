@@ -5,11 +5,10 @@
 //! Table 2) compares peak values and their spread across trials between the
 //! CPU and GPU implementations; the helpers for that analysis live here.
 
-use serde::{Deserialize, Serialize};
 use std::ops::AddAssign;
 
 /// Aggregate statistics for a single timestep.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct StepStats {
     pub step: u64,
     /// Total virion mass.
@@ -70,7 +69,7 @@ impl StepStats {
 }
 
 /// A run's statistics trajectory.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct TimeSeries {
     pub steps: Vec<StepStats>,
 }

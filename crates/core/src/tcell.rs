@@ -6,7 +6,6 @@
 //! aggregate vascular pool (§2.2): cohorts with an expiry step, replicated
 //! deterministically on every rank.
 
-use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// Packed per-voxel T-cell slot.
@@ -16,7 +15,7 @@ use std::collections::VecDeque;
 /// also act that step), `bind_steps` (bits 22–29, steps remaining bound to an
 /// epithelial cell) and `tissue_steps` (bits 0–21, remaining tissue
 /// lifetime).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TCellSlot(pub u32);
 
 const OCCUPIED: u32 = 1 << 31;
@@ -84,7 +83,7 @@ impl TCellSlot {
 /// together. SIMCoV's vascular residence is modeled as a fixed period per
 /// cohort (the aggregate-pool simplification documented in DESIGN.md; the
 /// per-cell tissue lifetime *is* Poisson-drawn at extravasation).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Cohort {
     pub expiry_step: u64,
     pub count: u64,
@@ -93,7 +92,7 @@ pub struct Cohort {
 /// The implicit vascular T-cell pool. Every rank holds an identical replica
 /// and advances it with the globally-reduced extravasation count, so pool
 /// evolution is deterministic and partition-independent.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct VascularPool {
     cohorts: VecDeque<Cohort>,
     /// Fractional generation carry so non-integer rates accumulate exactly.
@@ -114,7 +113,11 @@ impl VascularPool {
 
     /// Snapshot the pool state for checkpointing.
     pub fn snapshot(&self) -> (Vec<Cohort>, f64, u64) {
-        (self.cohorts.iter().copied().collect(), self.carry, self.total)
+        (
+            self.cohorts.iter().copied().collect(),
+            self.carry,
+            self.total,
+        )
     }
 
     /// Restore a pool from a [`VascularPool::snapshot`].
@@ -277,7 +280,7 @@ mod tests {
         let mut a = VascularPool::new();
         let mut b = VascularPool::new();
         for step in 0..100 {
-            let ex = (step % 3) as u64;
+            let ex = step % 3;
             a.advance(step, 2.7, 10, 40.0, ex);
             b.advance(step, 2.7, 10, 40.0, ex);
         }

@@ -161,9 +161,11 @@ mod tests {
 
     #[test]
     fn seeded_world_has_foi_virions() {
-        let mut p = SimParams::default();
-        p.dims = GridDims::new2d(32, 32);
-        p.num_foi = 4;
+        let p = SimParams {
+            dims: GridDims::new2d(32, 32),
+            num_foi: 4,
+            ..SimParams::default()
+        };
         let w = World::seeded(&p, FoiPattern::UniformLattice);
         assert_eq!(w.virions.count_positive(), 4);
         assert_eq!(

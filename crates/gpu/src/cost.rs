@@ -17,10 +17,9 @@
 
 use crate::counters::{CategoryCounters, DeviceCounters};
 use pgas::CommCounters;
-use serde::{Deserialize, Serialize};
 
 /// Per-processing-element compute characteristics.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HwProfile {
     pub name: &'static str,
     /// Cost per agent/field voxel update (ns).
@@ -74,7 +73,7 @@ pub const CPU_CORE: HwProfile = HwProfile {
 };
 
 /// A point-to-point link.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NetProfile {
     pub name: &'static str,
     /// Per-message latency/overhead (µs).
@@ -102,7 +101,7 @@ pub const NIC_SLINGSHOT: NetProfile = NetProfile {
 pub const RPC_OVERHEAD_US: f64 = 2.0;
 
 /// Simulated time broken down by work category (seconds).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct CostBreakdown {
     /// Agent/field updates (incl. their kernel launches).
     pub update_s: f64,
@@ -154,11 +153,10 @@ impl Default for CostModel {
 
 impl CostModel {
     fn category_time(hw: &HwProfile, c: &CategoryCounters, elem_ns: f64) -> f64 {
-        1e-9
-            * (c.elements as f64 * elem_ns
-                + c.bytes as f64 * hw.byte_ns
-                + c.atomics as f64 * hw.atomic_ns
-                + c.smem_ops as f64 * hw.smem_op_ns)
+        1e-9 * (c.elements as f64 * elem_ns
+            + c.bytes as f64 * hw.byte_ns
+            + c.atomics as f64 * hw.atomic_ns
+            + c.smem_ops as f64 * hw.smem_op_ns)
             + 1e-6 * c.launches as f64 * hw.launch_us
     }
 
@@ -174,8 +172,15 @@ impl CostModel {
 
     /// Link time for halo traffic split by locality: `(intra_msgs,
     /// intra_bytes, inter_msgs, inter_bytes)`.
-    pub fn link_time(&self, intra_msgs: u64, intra_bytes: u64, inter_msgs: u64, inter_bytes: u64) -> f64 {
-        1e-6 * (intra_msgs as f64 * self.intra.latency_us + inter_msgs as f64 * self.inter.latency_us)
+    pub fn link_time(
+        &self,
+        intra_msgs: u64,
+        intra_bytes: u64,
+        inter_msgs: u64,
+        inter_bytes: u64,
+    ) -> f64 {
+        1e-6 * (intra_msgs as f64 * self.intra.latency_us
+            + inter_msgs as f64 * self.inter.latency_us)
             + 1e-9
                 * (intra_bytes as f64 * self.intra.byte_ns
                     + inter_bytes as f64 * self.inter.byte_ns)
@@ -241,7 +246,10 @@ mod tests {
         let gpu_visit = GPU_A100.update_elem_ns + 32.0 * GPU_A100.byte_ns;
         let gpu_step = 6.0 * gpu_visit + GPU_A100.reduce_elem_ns + 20.0 * GPU_A100.byte_ns;
         let ratio = CPU_CORE.update_elem_ns / gpu_step;
-        assert!(ratio > 32.0, "one GPU must out-throughput 32 cores: {ratio}");
+        assert!(
+            ratio > 32.0,
+            "one GPU must out-throughput 32 cores: {ratio}"
+        );
     }
 
     #[test]

@@ -6,11 +6,9 @@
 //! cost model converts them to time, and [`DeviceCounters::extrapolate`]
 //! rescales a reduced-size run to paper-scale work.
 
-use serde::{Deserialize, Serialize};
-
 /// What kind of work a kernel performs — the paper's profiling categories
 /// (Fig. 4) plus the GPU-specific overheads it discusses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum KernelCategory {
     /// T-cell planning/moving, epithelial FSM, production, diffusion.
     UpdateAgents,
@@ -23,7 +21,7 @@ pub enum KernelCategory {
 }
 
 /// Work totals for one kernel category.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct CategoryCounters {
     /// Voxel updates / elements processed.
     pub elements: u64,
@@ -59,7 +57,7 @@ impl CategoryCounters {
 }
 
 /// All work performed by one device (or one CPU rank) over a run.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct DeviceCounters {
     pub update: CategoryCounters,
     pub reduce: CategoryCounters,

@@ -1,12 +1,11 @@
 //! A simulated device: identity, work counters and link-traffic accounting.
 
 use crate::counters::DeviceCounters;
-use serde::{Deserialize, Serialize};
 
 /// Halo traffic of one device split by link locality (NVLink within a node,
 /// NIC across nodes) — the distinction behind the paper's weak-scaling
 /// "initial cost of parallelism" between 4 and 16 GPUs (§4.3/§6).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct LinkTraffic {
     pub intra_msgs: u64,
     pub intra_bytes: u64,
@@ -47,7 +46,7 @@ impl LinkTraffic {
 }
 
 /// A simulated device owned by one logical rank.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Device {
     pub id: usize,
     pub counters: DeviceCounters,

@@ -24,9 +24,13 @@ pub mod cost;
 pub mod counters;
 pub mod device;
 pub mod kernel;
+pub mod metrics;
 pub mod reduce;
 
-pub use cost::{CostBreakdown, CostModel, HwProfile, NetProfile, CPU_CORE, GPU_A100, NIC_SLINGSHOT};
+pub use cost::{
+    CostBreakdown, CostModel, HwProfile, NetProfile, CPU_CORE, GPU_A100, NIC_SLINGSHOT,
+};
 pub use counters::{DeviceCounters, KernelCategory};
 pub use device::Device;
 pub use kernel::{launch, LaunchConfig};
+pub use metrics::{MetricsSink, PhaseSnapshot, SharedSink, SnapshotTaker, StepRecord};

@@ -1,0 +1,254 @@
+//! Structured per-step metrics: phase snapshots and the [`MetricsSink`]
+//! interface the executors emit into.
+//!
+//! The counters in [`crate::counters`] are cumulative totals; observability
+//! needs *per-step* deltas tied to named kernel phases (update / reduce /
+//! tile / halo) so that a regression in one phase is visible the step it
+//! happens. [`SnapshotTaker`] diffs cumulative [`DeviceCounters`] into
+//! per-step [`PhaseSnapshot`]s, and the simulation drivers publish one
+//! [`StepRecord`] per step through whatever [`MetricsSink`] the embedder
+//! installs (an in-memory [`SharedSink`] for tests and benches, a JSON
+//! writer in the bench harness, ...).
+
+use crate::cost::{CostBreakdown, CostModel, HwProfile};
+use crate::counters::{CategoryCounters, DeviceCounters, KernelCategory};
+use std::sync::{Arc, Mutex};
+
+impl KernelCategory {
+    /// Stable lowercase phase name, used as the key in structured output.
+    pub const fn name(self) -> &'static str {
+        match self {
+            KernelCategory::UpdateAgents => "update",
+            KernelCategory::ReduceStats => "reduce",
+            KernelCategory::TileCheck => "tile",
+            KernelCategory::Halo => "halo",
+        }
+    }
+
+    pub const ALL: [KernelCategory; 4] = [
+        KernelCategory::UpdateAgents,
+        KernelCategory::ReduceStats,
+        KernelCategory::TileCheck,
+        KernelCategory::Halo,
+    ];
+}
+
+impl CategoryCounters {
+    /// Per-field saturating difference (`self - earlier`): the work done
+    /// between two cumulative observations.
+    pub fn since(&self, earlier: &CategoryCounters) -> CategoryCounters {
+        CategoryCounters {
+            elements: self.elements.saturating_sub(earlier.elements),
+            bytes: self.bytes.saturating_sub(earlier.bytes),
+            atomics: self.atomics.saturating_sub(earlier.atomics),
+            smem_ops: self.smem_ops.saturating_sub(earlier.smem_ops),
+            launches: self.launches.saturating_sub(earlier.launches),
+        }
+    }
+}
+
+impl DeviceCounters {
+    /// Per-category saturating difference (`self - earlier`).
+    pub fn since(&self, earlier: &DeviceCounters) -> DeviceCounters {
+        DeviceCounters {
+            update: self.update.since(&earlier.update),
+            reduce: self.reduce.since(&earlier.reduce),
+            tile_check: self.tile_check.since(&earlier.tile_check),
+            halo: self.halo.since(&earlier.halo),
+        }
+    }
+}
+
+impl CostBreakdown {
+    /// The breakdown as `(phase name, seconds)` pairs, in the fixed
+    /// update / reduce / tile / halo order.
+    pub fn phases(&self) -> [(&'static str, f64); 4] {
+        [
+            (KernelCategory::UpdateAgents.name(), self.update_s),
+            (KernelCategory::ReduceStats.name(), self.reduce_s),
+            (KernelCategory::TileCheck.name(), self.tile_s),
+            (KernelCategory::Halo.name(), self.halo_s),
+        ]
+    }
+}
+
+/// One step's work, as a counter delta plus its simulated cost per phase.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PhaseSnapshot {
+    pub step: u64,
+    /// Work performed during this step (cumulative-counter delta).
+    pub work: DeviceCounters,
+    /// Simulated seconds per phase under the snapshot's hardware profile.
+    pub cost: CostBreakdown,
+}
+
+/// Diffs cumulative counters into per-step [`PhaseSnapshot`]s.
+#[derive(Debug, Default)]
+pub struct SnapshotTaker {
+    prev: DeviceCounters,
+}
+
+impl SnapshotTaker {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Snapshot the work between the previous call and `current`, costed
+    /// under `hw`.
+    pub fn take(
+        &mut self,
+        step: u64,
+        current: &DeviceCounters,
+        model: &CostModel,
+        hw: &HwProfile,
+    ) -> PhaseSnapshot {
+        let work = current.since(&self.prev);
+        self.prev = *current;
+        PhaseSnapshot {
+            step,
+            work,
+            cost: model.device_breakdown(hw, &work),
+        }
+    }
+}
+
+/// One structured record per simulation step, emitted by both executors.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StepRecord {
+    pub step: u64,
+    /// Agents in play: T cells resident in tissue.
+    pub agents: u64,
+    /// Total virion mass (model-level cross-executor comparable).
+    pub virions: f64,
+    /// Total chemokine mass.
+    pub chemokine: f64,
+    /// Active work units: active-list voxels (CPU) or active tiles (GPU),
+    /// summed over ranks/devices.
+    pub active_units: u64,
+    /// Point-to-point + bulk messages delivered this step.
+    pub comm_messages: u64,
+    /// Point-to-point + bulk payload bytes delivered this step.
+    pub comm_bytes: u64,
+    /// Simulated seconds of this step under the cost model: aggregate phase
+    /// cost normalized per rank/device (perfect-balance approximation).
+    pub sim_seconds: f64,
+    /// Measured wall-clock seconds of this step.
+    pub real_seconds: f64,
+    /// Per-phase snapshot of this step's aggregate device work.
+    pub phases: PhaseSnapshot,
+}
+
+/// Consumer of per-step records. `Send` so an installed sink never stops a
+/// simulation from moving across threads.
+pub trait MetricsSink: Send {
+    fn record(&mut self, rec: StepRecord);
+}
+
+/// A cloneable, thread-safe in-memory sink: hand one clone to the
+/// simulation and keep another to read the records afterwards.
+#[derive(Debug, Clone, Default)]
+pub struct SharedSink {
+    records: Arc<Mutex<Vec<StepRecord>>>,
+}
+
+impl SharedSink {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Copy of all records so far.
+    pub fn records(&self) -> Vec<StepRecord> {
+        self.records
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    pub fn len(&self) -> usize {
+        self.records.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl MetricsSink for SharedSink {
+    fn record(&mut self, rec: StepRecord) {
+        self.records
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(rec);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn category_names_are_stable() {
+        let names: Vec<&str> = KernelCategory::ALL.iter().map(|c| c.name()).collect();
+        assert_eq!(names, ["update", "reduce", "tile", "halo"]);
+    }
+
+    #[test]
+    fn since_is_a_saturating_delta() {
+        let mut a = DeviceCounters::new();
+        a.update.elements = 100;
+        a.reduce.atomics = 7;
+        let mut b = a;
+        b.update.elements = 150;
+        b.halo.bytes = 32;
+        let d = b.since(&a);
+        assert_eq!(d.update.elements, 50);
+        assert_eq!(d.reduce.atomics, 0);
+        assert_eq!(d.halo.bytes, 32);
+        // Saturation instead of wrap on (impossible) counter regression.
+        assert_eq!(a.since(&b).update.elements, 0);
+    }
+
+    #[test]
+    fn snapshot_taker_diffs_consecutive_steps() {
+        let model = CostModel::default();
+        let mut taker = SnapshotTaker::new();
+        let mut c = DeviceCounters::new();
+        c.update.elements = 1000;
+        let s0 = taker.take(0, &c, &model, &model.gpu);
+        assert_eq!(s0.work.update.elements, 1000);
+        assert!(s0.cost.update_s > 0.0);
+        c.update.elements = 1800;
+        c.reduce.launches = 2;
+        let s1 = taker.take(1, &c, &model, &model.gpu);
+        assert_eq!(s1.step, 1);
+        assert_eq!(s1.work.update.elements, 800);
+        assert_eq!(s1.work.reduce.launches, 2);
+    }
+
+    #[test]
+    fn phases_expose_breakdown_in_order() {
+        let b = CostBreakdown {
+            update_s: 1.0,
+            reduce_s: 2.0,
+            tile_s: 3.0,
+            halo_s: 4.0,
+        };
+        let p = b.phases();
+        assert_eq!(p[0], ("update", 1.0));
+        assert_eq!(p[3], ("halo", 4.0));
+    }
+
+    #[test]
+    fn shared_sink_accumulates_across_clones() {
+        let sink = SharedSink::new();
+        let mut writer = sink.clone();
+        for step in 0..3 {
+            writer.record(StepRecord {
+                step,
+                ..Default::default()
+            });
+        }
+        assert_eq!(sink.len(), 3);
+        assert_eq!(sink.records()[2].step, 2);
+    }
+}

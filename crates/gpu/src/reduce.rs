@@ -21,6 +21,7 @@ use crate::kernel::LaunchConfig;
 /// Fold `map(0..n)` with `combine`, metering the cost of a shared-memory
 /// tree reduction. `lanes` is the number of statistic lanes (atomics per
 /// block), `bytes_per_elem` the global-memory traffic per element read.
+#[allow(clippy::too_many_arguments)]
 pub fn tree_reduce<T, M, C>(
     counters: &mut DeviceCounters,
     cfg: LaunchConfig,

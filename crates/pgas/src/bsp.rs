@@ -13,7 +13,10 @@
 
 use crate::counters::{CommCounters, WireSize};
 use crate::pool::WorkPool;
-use parking_lot::Mutex;
+#[cfg(feature = "trace")]
+use crate::trace::SpanVolume;
+use crate::trace::Trace;
+use std::sync::Mutex;
 
 /// Per-rank message staging for one superstep.
 pub struct Outbox<M> {
@@ -45,6 +48,9 @@ pub struct Bsp<M> {
     n_ranks: usize,
     inboxes: Vec<Vec<M>>,
     pub counters: CommCounters,
+    /// Per-superstep event log (disabled by default; see
+    /// [`Bsp::enable_trace`]).
+    pub trace: Trace,
 }
 
 impl<M: Send + Sync + WireSize> Bsp<M> {
@@ -54,7 +60,15 @@ impl<M: Send + Sync + WireSize> Bsp<M> {
             n_ranks,
             inboxes: (0..n_ranks).map(|_| Vec::new()).collect(),
             counters: CommCounters::new(),
+            trace: Trace::disabled(),
         }
+    }
+
+    /// Start recording one trace event per superstep (wall-clock plus
+    /// delivered message/byte volume). Without the `trace` cargo feature
+    /// this enables the log but supersteps record nothing.
+    pub fn enable_trace(&mut self) {
+        self.trace.enable();
     }
 
     pub fn n_ranks(&self) -> usize {
@@ -76,6 +90,8 @@ impl<M: Send + Sync + WireSize> Bsp<M> {
         F: Fn(usize, &mut S, &[M], &mut Outbox<M>) -> R + Sync,
     {
         assert_eq!(states.len(), self.n_ranks, "one state per rank");
+        #[cfg(feature = "trace")]
+        let span = self.trace.span("superstep");
         let inboxes = std::mem::replace(
             &mut self.inboxes,
             (0..self.n_ranks).map(|_| Vec::new()).collect(),
@@ -154,6 +170,11 @@ impl<M: Send + Sync + WireSize> Bsp<M> {
         self.counters.bulk_bytes += step_bulk_bytes;
         self.counters.max_rank_messages = self.counters.max_rank_messages.max(max_rank_msgs);
         self.counters.max_rank_bytes = self.counters.max_rank_bytes.max(max_rank_bytes);
+        #[cfg(feature = "trace")]
+        self.trace.finish(
+            span,
+            SpanVolume::new(step_msgs, step_bytes, step_bulk_msgs, step_bulk_bytes),
+        );
         results
     }
 }
@@ -169,14 +190,17 @@ impl SharedTally {
     pub fn new() -> Self {
         Self::default()
     }
+    fn lock(&self) -> std::sync::MutexGuard<'_, u64> {
+        self.value.lock().unwrap_or_else(|e| e.into_inner())
+    }
     pub fn add(&self, v: u64) {
-        *self.value.lock() += v;
+        *self.lock() += v;
     }
     pub fn get(&self) -> u64 {
-        *self.value.lock()
+        *self.lock()
     }
     pub fn reset(&self) -> u64 {
-        std::mem::take(&mut *self.value.lock())
+        std::mem::take(&mut *self.lock())
     }
 }
 
@@ -201,7 +225,9 @@ mod tests {
         // Superstep 2: rank 0 sees all 12 messages, ordered by source rank.
         let results = bsp.superstep(&pool, &mut states, |rank, _s, inbox, _out| {
             if rank == 0 {
-                let expect: Vec<u64> = (0..4u64).flat_map(|r| (0..3).map(move |k| r * 10 + k)).collect();
+                let expect: Vec<u64> = (0..4u64)
+                    .flat_map(|r| (0..3).map(move |k| r * 10 + k))
+                    .collect();
                 assert_eq!(inbox, expect.as_slice());
                 inbox.len() as u64
             } else {

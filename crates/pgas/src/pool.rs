@@ -9,19 +9,49 @@
 //! `Arc` per `run_indexed` call. With `n_threads == 0` (or 1 available core)
 //! work runs inline on the caller, which keeps single-core CI environments
 //! honest.
+//!
+//! ## Panic safety
+//!
+//! A panicking work item must not deadlock the pool or poison it for later
+//! jobs. Every claimed index decrements `remaining` through a drop guard, so
+//! the coordinator's completion wait always terminates; the first panic
+//! payload is captured, the rest of the job is cancelled (claimed indices
+//! are skipped), and the payload is re-raised on the coordinator thread once
+//! all workers have quiesced. The coordinator itself never unwinds out of
+//! `run_indexed` while workers could still call the job closure — that
+//! closure is borrowed from the caller's stack frame.
 
-use parking_lot::{Condvar, Mutex};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 
+/// Lock a mutex, ignoring poison: the pool catches work-item panics itself,
+/// and none of the guarded sections can panic while holding the lock.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
 struct Job {
-    /// Erased work function: `f(index)` for indices in `0..n_items`.
-    work: Box<dyn Fn(usize) + Send + Sync>,
+    /// Work function `f(index)` for indices in `0..n_items`, borrowed from
+    /// the coordinator's stack frame. Valid for the whole job lifetime
+    /// because `run_indexed` does not return (or unwind) until `remaining`
+    /// reaches zero; never dereferenced after the last index completes.
+    work: *const (dyn Fn(usize) + Send + Sync),
     n_items: usize,
     next: AtomicUsize,
     remaining: AtomicUsize,
+    /// Set by the first panicking item; cancels the rest of the job.
+    panicked: AtomicBool,
+    /// The first panic payload, re-raised by the coordinator.
+    payload: Mutex<Option<Box<dyn Any + Send>>>,
 }
+
+// SAFETY: `work` points at an `F: Fn(usize) + Send + Sync` owned by the
+// coordinator, which outlives every dereference (see the field docs).
+unsafe impl Send for Job {}
+unsafe impl Sync for Job {}
 
 struct Shared {
     /// Current job (generation-stamped) or `None`.
@@ -77,6 +107,10 @@ impl WorkPool {
     /// Run `f(i)` for every `i in 0..n_items`, potentially in parallel, and
     /// return when all items are complete. The caller participates in the
     /// work, so the pool makes progress even with zero workers.
+    ///
+    /// If any item panics, the job is cancelled (not-yet-started items are
+    /// skipped), all in-flight items are allowed to finish, and the first
+    /// panic is re-raised here. The pool itself stays usable.
     pub fn run_indexed<F>(&self, n_items: usize, f: F)
     where
         F: Fn(usize) + Send + Sync,
@@ -90,35 +124,59 @@ impl WorkPool {
             }
             return;
         }
-        // SAFETY of the lifetime erasure below: the job is fully drained
-        // (remaining == 0) before this function returns, so the borrow of
-        // `f` never escapes the call.
-        let work: Box<dyn Fn(usize) + Send + Sync + '_> = Box::new(f);
-        let work: Box<dyn Fn(usize) + Send + Sync + 'static> =
-            unsafe { std::mem::transmute(work) };
+        // Erase the borrow's lifetime for storage in the shared job slot.
+        // SAFETY: see `Job::work` — the pointer is only dereferenced while
+        // this frame is pinned below the completion wait.
+        let work_ref: &(dyn Fn(usize) + Send + Sync) = &f;
+        let work: *const (dyn Fn(usize) + Send + Sync) = unsafe { std::mem::transmute(work_ref) };
         let job = Arc::new(Job {
             work,
             n_items,
             next: AtomicUsize::new(0),
             remaining: AtomicUsize::new(n_items),
+            panicked: AtomicBool::new(false),
+            payload: Mutex::new(None),
         });
 
         {
-            let mut slot = self.shared.slot.lock();
+            let mut slot = lock(&self.shared.slot);
             slot.0 += 1;
             slot.1 = Some(Arc::clone(&job));
             self.shared.work_ready.notify_all();
         }
 
-        // The caller helps drain the job.
+        // The caller helps drain the job. `drain` catches item panics, so
+        // this never unwinds while workers still hold the `work` pointer.
         drain(&job);
 
         // Wait for stragglers.
-        let mut slot = self.shared.slot.lock();
+        let mut slot = lock(&self.shared.slot);
         while job.remaining.load(Ordering::Acquire) != 0 {
-            self.shared.done.wait(&mut slot);
+            slot = self
+                .shared
+                .done
+                .wait(slot)
+                .unwrap_or_else(|e| e.into_inner());
         }
         slot.1 = None;
+        drop(slot);
+
+        // All items are accounted for; no thread will touch `f` again.
+        let payload = lock(&job.payload).take();
+        if let Some(payload) = payload {
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+/// Decrements `Job::remaining` when dropped, including during an unwind —
+/// this is what makes a panicking work item unable to strand the
+/// coordinator on the `done` condvar.
+struct CompletionGuard<'a>(&'a Job);
+
+impl Drop for CompletionGuard<'_> {
+    fn drop(&mut self) {
+        self.0.remaining.fetch_sub(1, Ordering::AcqRel);
     }
 }
 
@@ -128,8 +186,21 @@ fn drain(job: &Job) {
         if i >= job.n_items {
             break;
         }
-        (job.work)(i);
-        job.remaining.fetch_sub(1, Ordering::AcqRel);
+        let _guard = CompletionGuard(job);
+        if job.panicked.load(Ordering::Relaxed) {
+            // Job cancelled: account for the claimed index without running.
+            continue;
+        }
+        // SAFETY: `i < n_items`, so the job is not yet complete and the
+        // coordinator is still pinned inside `run_indexed`; `work` is valid.
+        let work = unsafe { &*job.work };
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| work(i))) {
+            job.panicked.store(true, Ordering::Relaxed);
+            let mut slot = lock(&job.payload);
+            if slot.is_none() {
+                *slot = Some(payload);
+            }
+        }
     }
 }
 
@@ -137,7 +208,7 @@ fn worker_loop(sh: Arc<Shared>) {
     let mut seen_gen = 0u64;
     loop {
         let job = {
-            let mut slot = sh.slot.lock();
+            let mut slot = lock(&sh.slot);
             loop {
                 if sh.shutdown.load(Ordering::Acquire) != 0 {
                     return;
@@ -148,13 +219,13 @@ fn worker_loop(sh: Arc<Shared>) {
                         break job;
                     }
                 }
-                sh.work_ready.wait(&mut slot);
+                slot = sh.work_ready.wait(slot).unwrap_or_else(|e| e.into_inner());
             }
         };
         drain(&job);
         // Wake the coordinator if this worker finished the last item.
         if job.remaining.load(Ordering::Acquire) == 0 {
-            let _guard = sh.slot.lock();
+            let _guard = lock(&sh.slot);
             sh.done.notify_all();
         }
     }
@@ -164,7 +235,7 @@ impl Drop for WorkPool {
     fn drop(&mut self) {
         self.shared.shutdown.store(1, Ordering::Release);
         {
-            let _guard = self.shared.slot.lock();
+            let _guard = lock(&self.shared.slot);
             self.shared.work_ready.notify_all();
         }
         for w in self.workers.drain(..) {
@@ -252,5 +323,62 @@ mod tests {
             total.fetch_add(acc.wrapping_mul(0).wrapping_add(1), Ordering::Relaxed);
         });
         assert_eq!(total.load(Ordering::Relaxed), 32);
+    }
+
+    #[test]
+    fn panicking_item_neither_deadlocks_nor_poisons() {
+        let pool = WorkPool::new(3);
+        // The panic must propagate to the caller with its payload intact...
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            pool.run_indexed(64, |i| {
+                if i == 17 {
+                    panic!("item 17 exploded");
+                }
+            });
+        }));
+        let payload = caught.expect_err("panic must propagate");
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(msg, "item 17 exploded");
+
+        // ...and the pool must remain fully usable afterwards.
+        for _ in 0..10 {
+            let count = AtomicU64::new(0);
+            pool.run_indexed(128, |_| {
+                count.fetch_add(1, Ordering::Relaxed);
+            });
+            assert_eq!(count.load(Ordering::Relaxed), 128);
+        }
+    }
+
+    #[test]
+    fn panic_on_every_item_still_terminates() {
+        let pool = WorkPool::new(2);
+        for round in 0..5 {
+            let r = catch_unwind(AssertUnwindSafe(|| {
+                pool.run_indexed(32, |_| panic!("boom"));
+            }));
+            assert!(r.is_err(), "round {round} must propagate the panic");
+        }
+        // Still functional.
+        let sum = AtomicU64::new(0);
+        pool.run_indexed(8, |i| {
+            sum.fetch_add(i as u64, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 28);
+    }
+
+    #[test]
+    fn inline_pool_propagates_panics() {
+        let pool = WorkPool::new(0);
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            pool.run_indexed(4, |i| {
+                if i == 2 {
+                    panic!("inline boom");
+                }
+            });
+        }));
+        assert!(r.is_err());
+        // Usable afterwards.
+        pool.run_indexed(4, |_| {});
     }
 }

@@ -28,7 +28,10 @@ pub fn allreduce<T: Clone, F: Fn(T, T) -> T>(
     bytes_per_rank: usize,
     counters: &mut CommCounters,
 ) -> T {
-    assert!(!contributions.is_empty(), "allreduce needs at least one rank");
+    assert!(
+        !contributions.is_empty(),
+        "allreduce needs at least one rank"
+    );
     counters.allreduces += 1;
     counters.allreduce_bytes += (bytes_per_rank * contributions.len()) as u64;
     let mut it = contributions.iter().cloned();

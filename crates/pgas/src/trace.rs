@@ -1,0 +1,237 @@
+//! Structured runtime tracing: span-style timers feeding a monotonic event
+//! log.
+//!
+//! The observability substrate of the runtime. [`Bsp::superstep`] records one
+//! event per superstep — wall-clock duration, point-to-point and bulk message
+//! counts and bytes — and any other layer can open ad-hoc [`Span`]s against
+//! the same log. Everything is zero-dependency and stays off the hot path:
+//! with tracing disabled (the default) the per-superstep cost is a single
+//! branch, and the `trace` cargo feature removes even that at compile time.
+//!
+//! [`Bsp::superstep`]: crate::bsp::Bsp::superstep
+
+use std::time::Instant;
+
+/// One finished span in the event log. Times are nanoseconds relative to the
+/// trace origin, so events from one trace are directly comparable and
+/// serialize compactly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Monotonic sequence number (0, 1, 2, ... in completion order).
+    pub seq: u64,
+    /// What this span measured (e.g. `"superstep"`).
+    pub label: &'static str,
+    /// Start offset from the trace origin, in nanoseconds.
+    pub start_ns: u64,
+    /// Wall-clock duration, in nanoseconds.
+    pub wall_ns: u64,
+    /// Point-to-point messages attributed to this span.
+    pub messages: u64,
+    /// Point-to-point payload bytes attributed to this span.
+    pub bytes: u64,
+    /// Aggregated bulk messages attributed to this span.
+    pub bulk_messages: u64,
+    /// Bulk payload bytes attributed to this span.
+    pub bulk_bytes: u64,
+}
+
+/// An open span: created by [`Trace::span`], closed by [`Trace::finish`] (or
+/// dropped without recording when tracing is disabled).
+#[derive(Debug)]
+pub struct Span {
+    label: &'static str,
+    start: Option<Instant>,
+}
+
+impl Span {
+    /// A span that records nothing when finished.
+    pub fn disabled(label: &'static str) -> Self {
+        Span { label, start: None }
+    }
+}
+
+/// A monotonic event log with an origin instant.
+///
+/// Disabled traces record nothing and allocate nothing; `Trace::default()`
+/// is disabled so embedding a `Trace` in runtime structs costs one bool on
+/// the hot path.
+#[derive(Debug, Default)]
+pub struct Trace {
+    enabled: bool,
+    origin: Option<Instant>,
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// A disabled trace (records nothing).
+    pub fn disabled() -> Self {
+        Trace::default()
+    }
+
+    /// An enabled trace whose origin is "now".
+    pub fn enabled() -> Self {
+        Trace {
+            enabled: true,
+            origin: Some(Instant::now()),
+            events: Vec::new(),
+        }
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Turn recording on (idempotent; the origin is set on first enable).
+    pub fn enable(&mut self) {
+        self.enabled = true;
+        if self.origin.is_none() {
+            self.origin = Some(Instant::now());
+        }
+    }
+
+    /// Open a span. Cheap no-op (no clock read) when disabled.
+    pub fn span(&self, label: &'static str) -> Span {
+        if !self.enabled {
+            return Span::disabled(label);
+        }
+        Span {
+            label,
+            start: Some(Instant::now()),
+        }
+    }
+
+    /// Close a span, attributing communication volume to it. No-op for
+    /// spans opened while the trace was disabled.
+    pub fn finish(&mut self, span: Span, volume: SpanVolume) {
+        let (Some(start), Some(origin)) = (span.start, self.origin) else {
+            return;
+        };
+        let seq = self.events.len() as u64;
+        self.events.push(TraceEvent {
+            seq,
+            label: span.label,
+            start_ns: start.duration_since(origin).as_nanos() as u64,
+            wall_ns: start.elapsed().as_nanos() as u64,
+            messages: volume.messages,
+            bytes: volume.bytes,
+            bulk_messages: volume.bulk_messages,
+            bulk_bytes: volume.bulk_bytes,
+        });
+    }
+
+    /// The full event log, in completion order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Events recorded under one label.
+    pub fn events_for<'a>(
+        &'a self,
+        label: &'static str,
+    ) -> impl Iterator<Item = &'a TraceEvent> + 'a {
+        self.events.iter().filter(move |e| e.label == label)
+    }
+
+    /// Sum of `(messages + bulk_messages, bytes + bulk_bytes)` over all
+    /// events — comparable against [`crate::CommCounters`] totals.
+    pub fn total_volume(&self) -> SpanVolume {
+        let mut v = SpanVolume::default();
+        for e in &self.events {
+            v.messages += e.messages;
+            v.bytes += e.bytes;
+            v.bulk_messages += e.bulk_messages;
+            v.bulk_bytes += e.bulk_bytes;
+        }
+        v
+    }
+
+    /// Total wall-clock nanoseconds across all recorded spans.
+    pub fn total_wall_ns(&self) -> u64 {
+        self.events.iter().map(|e| e.wall_ns).sum()
+    }
+}
+
+/// Communication volume attributed to a span.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpanVolume {
+    pub messages: u64,
+    pub bytes: u64,
+    pub bulk_messages: u64,
+    pub bulk_bytes: u64,
+}
+
+impl SpanVolume {
+    pub fn new(messages: u64, bytes: u64, bulk_messages: u64, bulk_bytes: u64) -> Self {
+        SpanVolume {
+            messages,
+            bytes,
+            bulk_messages,
+            bulk_bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut t = Trace::disabled();
+        let s = t.span("superstep");
+        t.finish(s, SpanVolume::new(10, 100, 1, 50));
+        assert!(t.events().is_empty());
+        assert_eq!(t.total_volume(), SpanVolume::default());
+    }
+
+    #[test]
+    fn enabled_trace_is_monotonic() {
+        let mut t = Trace::enabled();
+        for i in 0..5u64 {
+            let s = t.span("superstep");
+            std::thread::sleep(std::time::Duration::from_micros(50));
+            t.finish(s, SpanVolume::new(i, i * 8, 0, 0));
+        }
+        let evs = t.events();
+        assert_eq!(evs.len(), 5);
+        for (i, e) in evs.iter().enumerate() {
+            assert_eq!(e.seq, i as u64);
+            assert!(e.wall_ns > 0, "span must have measured time");
+        }
+        // Completion order implies non-decreasing start offsets here (spans
+        // are sequential).
+        for w in evs.windows(2) {
+            assert!(w[1].start_ns >= w[0].start_ns);
+        }
+        let v = t.total_volume();
+        assert_eq!(v.messages, 1 + 2 + 3 + 4);
+        assert_eq!(v.bytes, (1 + 2 + 3 + 4) * 8);
+        assert!(t.total_wall_ns() > 0);
+    }
+
+    #[test]
+    fn enable_is_idempotent_and_late() {
+        let mut t = Trace::disabled();
+        let s = t.span("early");
+        t.finish(s, SpanVolume::default());
+        assert!(t.events().is_empty(), "pre-enable spans are dropped");
+        t.enable();
+        t.enable();
+        let s = t.span("late");
+        t.finish(s, SpanVolume::new(1, 2, 3, 4));
+        assert_eq!(t.events().len(), 1);
+        assert_eq!(t.events()[0].label, "late");
+    }
+
+    #[test]
+    fn label_filter() {
+        let mut t = Trace::enabled();
+        for label in ["a", "b", "a"] {
+            let s = t.span(label);
+            t.finish(s, SpanVolume::default());
+        }
+        assert_eq!(t.events_for("a").count(), 2);
+        assert_eq!(t.events_for("b").count(), 1);
+        assert_eq!(t.events_for("c").count(), 0);
+    }
+}

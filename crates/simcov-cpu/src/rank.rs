@@ -12,8 +12,8 @@ use simcov_core::grid::{Coord, GridDims};
 use simcov_core::halo::HaloBox;
 use simcov_core::params::SimParams;
 use simcov_core::rules::{
-    self, epi_update, extrav_lifetime, extrav_succeeds, plan_tcell, voxel_active, Bid, EpiTransition,
-    RuleView, TCellAction,
+    self, epi_update, extrav_lifetime, extrav_succeeds, plan_tcell, voxel_active, Bid,
+    EpiTransition, RuleView, TCellAction,
 };
 use simcov_core::stats::StepStats;
 use simcov_core::tcell::TCellSlot;
@@ -111,6 +111,7 @@ impl CpuRank {
 
         let mut marks = ActiveSet::new(n);
         let (mut h, mut inc, mut exp, mut apo, mut dead, mut tct) = (0, 0, 0, 0, 0, 0);
+        #[allow(clippy::needless_range_loop)] // `li` indexes five parallel arrays
         for li in 0..n {
             let c = hb.global(li);
             if !dims.in_bounds(c) {
@@ -194,6 +195,12 @@ impl CpuRank {
             virions: &self.virions,
             chem: &self.chem,
         }
+    }
+
+    /// Voxels on this rank's active list for the current step (the
+    /// processed set rebuilt in `plan`).
+    pub fn n_active(&self) -> usize {
+        self.processed.len()
     }
 
     /// Mark a core coordinate (by local index) as active now → processed
@@ -495,7 +502,10 @@ impl CpuRank {
             if u.state.produces_virions() {
                 self.virions.set(
                     li,
-                    simcov_core::diffusion::produce_virions(self.virions.get(li), p.virion_production),
+                    simcov_core::diffusion::produce_virions(
+                        self.virions.get(li),
+                        p.virion_production,
+                    ),
                 );
             }
             if u.state.produces_chemokine() {
@@ -558,7 +568,10 @@ impl CpuRank {
                 return *nr;
             }
         }
-        panic!("intent source {c:?} not owned by any neighbor of rank {}", self.rank);
+        panic!(
+            "intent source {c:?} not owned by any neighbor of rank {}",
+            self.rank
+        );
     }
 
     /// Superstep 3: apply cross-boundary results, diffuse, produce the

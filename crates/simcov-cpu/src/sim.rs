@@ -1,7 +1,8 @@
 //! The SIMCoV-CPU driver: owns the PGAS runtime, the rank states, the
 //! replicated vascular pool and the statistics log.
 
-use gpusim::DeviceCounters;
+use gpusim::metrics::{MetricsSink, SnapshotTaker, StepRecord};
+use gpusim::{CostModel, DeviceCounters};
 use pgas::{allreduce, Bsp, WorkPool};
 use simcov_core::decomp::{Partition, Strategy};
 use simcov_core::extrav::TrialTable;
@@ -45,6 +46,11 @@ pub struct CpuSim {
     pub vascular: VascularPool,
     pub step: u64,
     pub history: TimeSeries,
+    /// Installed per-step metrics consumer (None: metrics are off and the
+    /// step loop takes no clock readings).
+    metrics: Option<Box<dyn MetricsSink>>,
+    snapshots: SnapshotTaker,
+    prev_comm: pgas::CommCounters,
 }
 
 impl CpuSim {
@@ -70,11 +76,33 @@ impl CpuSim {
             vascular: VascularPool::new(),
             step: 0,
             history: TimeSeries::default(),
+            metrics: None,
+            snapshots: SnapshotTaker::new(),
+            prev_comm: pgas::CommCounters::default(),
         }
+    }
+
+    /// Install a per-step metrics consumer; every subsequent
+    /// [`advance_step`](Self::advance_step) emits one [`StepRecord`].
+    pub fn set_metrics_sink(&mut self, sink: Box<dyn MetricsSink>) {
+        self.metrics = Some(sink);
+    }
+
+    /// Turn on per-superstep tracing in the underlying BSP runtime.
+    pub fn enable_trace(&mut self) {
+        self.bsp.enable_trace();
+    }
+
+    /// The runtime's superstep trace (empty unless [`enable_trace`](Self::enable_trace)
+    /// was called).
+    pub fn trace(&self) -> &pgas::Trace {
+        &self.bsp.trace
     }
 
     /// Advance one timestep (three supersteps + statistics allreduce).
     pub fn advance_step(&mut self) {
+        // Only read the clock when someone is listening.
+        let t0 = self.metrics.as_ref().map(|_| std::time::Instant::now());
         let t = self.step;
         let p = self.params.clone();
         let trials = TrialTable::build(&p, t, self.vascular.circulating());
@@ -84,20 +112,25 @@ impl CpuSim {
         let trials_ref = &trials;
         let p_ref = &p;
         let part_ref = &partition;
-        let _extrav: Vec<u64> = self.bsp.superstep(&self.pool, &mut self.ranks, |rank, s, inbox, out| {
-            debug_assert_eq!(rank, s.rank);
-            s.plan(p_ref, t, trials_ref, part_ref, inbox, out)
-        });
+        let _extrav: Vec<u64> =
+            self.bsp
+                .superstep(&self.pool, &mut self.ranks, |rank, s, inbox, out| {
+                    debug_assert_eq!(rank, s.rank);
+                    s.plan(p_ref, t, trials_ref, part_ref, inbox, out)
+                });
 
         // Superstep 2: resolve + FSM + production.
-        self.bsp.superstep(&self.pool, &mut self.ranks, |_r, s, inbox, out| {
-            s.resolve(p_ref, t, inbox, out);
-        });
+        self.bsp
+            .superstep(&self.pool, &mut self.ranks, |_r, s, inbox, out| {
+                s.resolve(p_ref, t, inbox, out);
+            });
 
         // Superstep 3: finish + stats partial.
-        let partials: Vec<StepStats> = self.bsp.superstep(&self.pool, &mut self.ranks, |_r, s, inbox, out| {
-            s.finish(p_ref, t, inbox, out)
-        });
+        let partials: Vec<StepStats> =
+            self.bsp
+                .superstep(&self.pool, &mut self.ranks, |_r, s, inbox, out| {
+                    s.finish(p_ref, t, inbox, out)
+                });
 
         // Statistics allreduce (the per-step UPC++ reduction of §3.3).
         let mut stats = allreduce(
@@ -120,6 +153,38 @@ impl CpuSim {
         stats.step = t;
         self.history.push(stats);
         self.step += 1;
+        if let Some(t0) = t0 {
+            self.emit_step_record(t, t0.elapsed().as_secs_f64());
+        }
+    }
+
+    fn emit_step_record(&mut self, step: u64, real_seconds: f64) {
+        let comm = self.bsp.counters;
+        let d_msgs = (comm.messages + comm.bulk_messages)
+            .saturating_sub(self.prev_comm.messages + self.prev_comm.bulk_messages);
+        let d_bytes = (comm.bytes + comm.bulk_bytes)
+            .saturating_sub(self.prev_comm.bytes + self.prev_comm.bulk_bytes);
+        self.prev_comm = comm;
+
+        let model = CostModel::default();
+        let total = self.total_counters();
+        let phases = self.snapshots.take(step, &total, &model, &model.cpu);
+        let stats = self.history.steps.last().expect("step just pushed");
+        let rec = StepRecord {
+            step,
+            agents: stats.tcells_tissue,
+            virions: stats.virions,
+            chemokine: stats.chemokine,
+            active_units: self.ranks.iter().map(|r| r.n_active() as u64).sum(),
+            comm_messages: d_msgs,
+            comm_bytes: d_bytes,
+            sim_seconds: phases.cost.total() / self.partition.n_ranks().max(1) as f64,
+            real_seconds,
+            phases,
+        };
+        if let Some(sink) = self.metrics.as_mut() {
+            sink.record(rec);
+        }
     }
 
     pub fn run(&mut self) {

@@ -237,6 +237,7 @@ impl GpuDevice {
         if self.variant.tiling() && self.tracker.check_due(t) {
             let mut found = vec![false; self.layout.n_tiles()];
             let mut scanned = 0u64;
+            #[allow(clippy::needless_range_loop)] // `tile` also drives tile_coords
             for tile in 0..self.layout.n_tiles() {
                 for (li, _c) in self.layout.tile_coords(tile) {
                     scanned += 1;
@@ -620,9 +621,11 @@ impl GpuDevice {
         let (virions, chem, tcells, epi) = (&self.virions, &self.chem, &self.tcells, &self.epi);
         let map = |i: usize| -> StepStats {
             let li = core_cells[i] as usize;
-            let mut s = StepStats::default();
-            s.virions = virions.get(li) as f64;
-            s.chemokine = chem.get(li) as f64;
+            let mut s = StepStats {
+                virions: virions.get(li) as f64,
+                chemokine: chem.get(li) as f64,
+                ..StepStats::default()
+            };
             if tcells[li].occupied() {
                 s.tcells_tissue = 1;
             }
@@ -737,6 +740,11 @@ impl GpuDevice {
                 world.chemokine.set(gi, self.chem.get(li));
             }
         }
+    }
+
+    /// Number of tiles currently active on this device.
+    pub fn n_active_tiles(&self) -> usize {
+        self.tracker.n_active()
     }
 
     /// Fraction of tiles currently active (diagnostics / tests).

@@ -2,7 +2,8 @@
 //! vascular pool and the statistics log.
 
 use gpusim::device::LinkTraffic;
-use gpusim::DeviceCounters;
+use gpusim::metrics::{MetricsSink, SnapshotTaker, StepRecord};
+use gpusim::{CostModel, DeviceCounters};
 use pgas::{allreduce, Bsp, WorkPool};
 use simcov_core::decomp::{Partition, Strategy};
 use simcov_core::extrav::TrialTable;
@@ -64,6 +65,11 @@ pub struct GpuSim {
     pub vascular: VascularPool,
     pub step: u64,
     pub history: TimeSeries,
+    /// Installed per-step metrics consumer (None: metrics are off and the
+    /// step loop takes no clock readings).
+    metrics: Option<Box<dyn MetricsSink>>,
+    snapshots: SnapshotTaker,
+    prev_comm: pgas::CommCounters,
 }
 
 impl GpuSim {
@@ -98,12 +104,34 @@ impl GpuSim {
             vascular: VascularPool::new(),
             step: 0,
             history: TimeSeries::default(),
+            metrics: None,
+            snapshots: SnapshotTaker::new(),
+            prev_comm: pgas::CommCounters::default(),
         }
+    }
+
+    /// Install a per-step metrics consumer; every subsequent
+    /// [`advance_step`](Self::advance_step) emits one [`StepRecord`].
+    pub fn set_metrics_sink(&mut self, sink: Box<dyn MetricsSink>) {
+        self.metrics = Some(sink);
+    }
+
+    /// Turn on per-superstep tracing in the underlying BSP runtime.
+    pub fn enable_trace(&mut self) {
+        self.bsp.enable_trace();
+    }
+
+    /// The runtime's superstep trace (empty unless [`enable_trace`](Self::enable_trace)
+    /// was called).
+    pub fn trace(&self) -> &pgas::Trace {
+        &self.bsp.trace
     }
 
     /// Advance one timestep (two supersteps — the two communication waves
     /// of Fig. 2 — plus the statistics allreduce).
     pub fn advance_step(&mut self) {
+        // Only read the clock when someone is listening.
+        let t0 = self.metrics.as_ref().map(|_| std::time::Instant::now());
         let t = self.step;
         let p = self.params.clone();
         let trials = TrialTable::build(&p, t, self.vascular.circulating());
@@ -142,6 +170,38 @@ impl GpuSim {
         stats.step = t;
         self.history.push(stats);
         self.step += 1;
+        if let Some(t0) = t0 {
+            self.emit_step_record(t, t0.elapsed().as_secs_f64());
+        }
+    }
+
+    fn emit_step_record(&mut self, step: u64, real_seconds: f64) {
+        let comm = self.bsp.counters;
+        let d_msgs = (comm.messages + comm.bulk_messages)
+            .saturating_sub(self.prev_comm.messages + self.prev_comm.bulk_messages);
+        let d_bytes = (comm.bytes + comm.bulk_bytes)
+            .saturating_sub(self.prev_comm.bytes + self.prev_comm.bulk_bytes);
+        self.prev_comm = comm;
+
+        let model = CostModel::default();
+        let total = self.total_counters();
+        let phases = self.snapshots.take(step, &total, &model, &model.gpu);
+        let stats = self.history.steps.last().expect("step just pushed");
+        let rec = StepRecord {
+            step,
+            agents: stats.tcells_tissue,
+            virions: stats.virions,
+            chemokine: stats.chemokine,
+            active_units: self.devices.iter().map(|d| d.n_active_tiles() as u64).sum(),
+            comm_messages: d_msgs,
+            comm_bytes: d_bytes,
+            sim_seconds: phases.cost.total() / self.partition.n_ranks().max(1) as f64,
+            real_seconds,
+            phases,
+        };
+        if let Some(sink) = self.metrics.as_mut() {
+            sink.record(rec);
+        }
     }
 
     pub fn run(&mut self) {
@@ -178,12 +238,14 @@ impl GpuSim {
 
     /// The busiest device's link traffic and the aggregate.
     pub fn max_device_link(&self) -> LinkTraffic {
-        self.devices.iter().fold(LinkTraffic::default(), |a, d| LinkTraffic {
-            intra_msgs: a.intra_msgs.max(d.link.intra_msgs),
-            intra_bytes: a.intra_bytes.max(d.link.intra_bytes),
-            inter_msgs: a.inter_msgs.max(d.link.inter_msgs),
-            inter_bytes: a.inter_bytes.max(d.link.inter_bytes),
-        })
+        self.devices
+            .iter()
+            .fold(LinkTraffic::default(), |a, d| LinkTraffic {
+                intra_msgs: a.intra_msgs.max(d.link.intra_msgs),
+                intra_bytes: a.intra_bytes.max(d.link.intra_bytes),
+                inter_msgs: a.inter_msgs.max(d.link.inter_msgs),
+                inter_bytes: a.inter_bytes.max(d.link.inter_bytes),
+            })
     }
 
     pub fn last_stats(&self) -> Option<&StepStats> {
@@ -278,8 +340,7 @@ mod tests {
         cfg.tile_side = 4;
         let mut tiled = GpuSim::new(cfg);
         tiled.run();
-        let mut full =
-            GpuSim::new(GpuSimConfig::new(p, 4).with_variant(GpuVariant::FastReduction));
+        let mut full = GpuSim::new(GpuSimConfig::new(p, 4).with_variant(GpuVariant::FastReduction));
         full.run();
         let tiled_work = tiled.total_counters().update.elements;
         let full_work = full.total_counters().update.elements;
@@ -295,8 +356,7 @@ mod tests {
         let mut tree =
             GpuSim::new(GpuSimConfig::new(p.clone(), 4).with_variant(GpuVariant::FastReduction));
         tree.run();
-        let mut atomic =
-            GpuSim::new(GpuSimConfig::new(p, 4).with_variant(GpuVariant::Unoptimized));
+        let mut atomic = GpuSim::new(GpuSimConfig::new(p, 4).with_variant(GpuVariant::Unoptimized));
         atomic.run();
         assert!(
             tree.total_counters().reduce.atomics * 10 < atomic.total_counters().reduce.atomics,

@@ -164,8 +164,9 @@ impl TileLayout {
                         && (qy as usize) < self.tiles_y
                         && (qz as usize) < self.tiles_z
                     {
-                        out.push((qz as usize * self.tiles_y + qy as usize) * self.tiles_x
-                            + qx as usize);
+                        out.push(
+                            (qz as usize * self.tiles_y + qy as usize) * self.tiles_x + qx as usize,
+                        );
                     }
                 }
             }

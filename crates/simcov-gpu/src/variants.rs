@@ -1,9 +1,7 @@
 //! The four optimization variants profiled in §3.4 / Fig. 4.
 
-use serde::{Deserialize, Serialize};
-
 /// Which GPU optimizations are enabled.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum GpuVariant {
     /// Full-space iteration every step; statistics via per-element atomics
     /// interleaved with the update kernels.

@@ -19,7 +19,7 @@ use simcov_repro::simcov_gpu::{GpuSim, GpuSimConfig};
 
 fn main() {
     let dims = GridDims::new3d(48, 48, 48);
-    let mut params = SimParams::scaled_to(dims, 300, 8, 5);
+    let params = SimParams::scaled_to(dims, 300, 8, 5);
     params.validate().unwrap();
 
     // Carve a 5-generation airway tree through the volume.

@@ -51,7 +51,7 @@ fn main() {
     let mut frames = 0;
     while sim.step < steps {
         sim.advance_step();
-        if sim.step % frame_every == 0 || sim.step == steps {
+        if sim.step.is_multiple_of(frame_every) || sim.step == steps {
             let world = sim.gather_world();
             let img = render_slice(&world, 0, 288);
             let path = format!("{dir}/step_{:05}.ppm", sim.step);

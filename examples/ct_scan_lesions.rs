@@ -41,7 +41,7 @@ fn main() {
     let steps = 600;
 
     // Point seeding: 96 isolated foci.
-    let mut point = SimParams::scaled_to(dims, steps, 96, 11);
+    let point = SimParams::scaled_to(dims, steps, 96, 11);
     point.validate().unwrap();
 
     // CT-lesion seeding: 8 patchy lesions of radius 2 (about the same

@@ -258,8 +258,7 @@ impl ForagerRank {
                     self.ants[li] = 2;
                 }
                 2 => {
-                    self.pheromone[li] =
-                        (self.pheromone[li] + PHEROMONE_DEPOSIT).min(1.0);
+                    self.pheromone[li] = (self.pheromone[li] + PHEROMONE_DEPOSIT).min(1.0);
                     if c.chebyshev(nest) <= 2 {
                         self.ants[li] = 1;
                         delivered_now += 1;
@@ -364,7 +363,9 @@ fn main() {
     for t in 0..STEPS {
         bsp.superstep(&pool, &mut ranks, |_r, s, inbox, out| s.plan(t, inbox, out));
         let delivered: u64 = bsp
-            .superstep(&pool, &mut ranks, |_r, s, inbox, out| s.update(t, inbox, out))
+            .superstep(&pool, &mut ranks, |_r, s, inbox, out| {
+                s.update(t, inbox, out)
+            })
             .iter()
             .sum();
         let _ = delivered;

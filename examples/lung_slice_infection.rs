@@ -71,9 +71,18 @@ fn main() {
         }
     }
 
-    println!("peak viral load:        {:.3e}", sim.history.peak(Metric::Virions));
-    println!("peak tissue T cells:    {}", sim.history.peak(Metric::TCellsTissue));
-    println!("peak apoptotic cells:   {}", sim.history.peak(Metric::EpiApoptotic));
+    println!(
+        "peak viral load:        {:.3e}",
+        sim.history.peak(Metric::Virions)
+    );
+    println!(
+        "peak tissue T cells:    {}",
+        sim.history.peak(Metric::TCellsTissue)
+    );
+    println!(
+        "peak apoptotic cells:   {}",
+        sim.history.peak(Metric::EpiApoptotic)
+    );
     println!(
         "epithelium killed:      {} of {}",
         sim.history.steps.last().unwrap().epi_dead,
@@ -81,7 +90,12 @@ fn main() {
     );
     println!(
         "active tiles at end:    {:.1}% (memory tiling, §3.2)",
-        100.0 * sim.devices.iter().map(|d| d.active_tile_fraction()).sum::<f64>()
+        100.0
+            * sim
+                .devices
+                .iter()
+                .map(|d| d.active_tile_fraction())
+                .sum::<f64>()
             / sim.devices.len() as f64
     );
 }

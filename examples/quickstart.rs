@@ -65,7 +65,8 @@ fn main() {
     let c = gpu.total_counters();
     println!(
         "GPU work: {} voxel updates, {} reduce elements, {} kernel launches, {} halo bytes",
-        c.update.elements, c.reduce.elements,
+        c.update.elements,
+        c.reduce.elements,
         c.update.launches + c.reduce.launches + c.tile_check.launches + c.halo.launches,
         c.halo.bytes
     );

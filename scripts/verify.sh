@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Full local verification gate: formatting, lints, build, tests, and a smoke
+# run of the reproduction suite producing a JSON artifact. Run from the
+# repository root. Everything is offline; no network access is needed.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== rustfmt =="
+cargo fmt --check
+
+echo "== clippy (deny warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== build (release) =="
+cargo build --release --workspace
+
+echo "== tests =="
+cargo test -q --workspace
+
+# Smoke artifact goes to target/ so it never clobbers the committed
+# scale-64 baseline BENCH_results.json (regenerate that with
+# `SIMCOV_SCALE=64 SIMCOV_TRIALS=3 cargo run --release -p simcov-bench
+# --bin repro_all -- --json BENCH_results.json`).
+echo "== bench smoke (scaled-down repro, JSON artifact) =="
+SIMCOV_SCALE="${SIMCOV_SCALE:-256}" SIMCOV_TRIALS="${SIMCOV_TRIALS:-2}" \
+    cargo run --release -p simcov-bench --bin repro_all -- --json target/BENCH_smoke.json >/dev/null
+
+python3 - <<'EOF'
+import json
+doc = json.load(open("target/BENCH_smoke.json"))
+for key in ("suite", "scale", "table1", "fig4", "fig5_and_table2", "fig6", "fig7", "fig8"):
+    assert key in doc, f"BENCH_smoke.json missing key: {key}"
+print("BENCH_smoke.json OK:", ", ".join(sorted(doc)))
+EOF
+
+echo "== all checks passed =="

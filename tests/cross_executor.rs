@@ -28,7 +28,11 @@ fn check_all(params: SimParams, world: World, ranks: &[usize], devices: &[usize]
                 panic!("CPU({r} ranks, {strategy:?}) diverged at voxel {idx}: {why}");
             }
             for (a, b) in serial.history.steps.iter().zip(cpu.history.steps.iter()) {
-                assert!(a.approx_eq(b, 1e-9), "CPU stats diverged at step {}", a.step);
+                assert!(
+                    a.approx_eq(b, 1e-9),
+                    "CPU stats diverged at step {}",
+                    a.step
+                );
             }
         }
     }
@@ -41,7 +45,11 @@ fn check_all(params: SimParams, world: World, ranks: &[usize], devices: &[usize]
                 panic!("GPU({d} devices, {v:?}) diverged at voxel {idx}: {why}");
             }
             for (a, b) in serial.history.steps.iter().zip(gpu.history.steps.iter()) {
-                assert!(a.approx_eq(b, 1e-9), "GPU stats diverged at step {}", a.step);
+                assert!(
+                    a.approx_eq(b, 1e-9),
+                    "GPU stats diverged at step {}",
+                    a.step
+                );
             }
         }
     }
@@ -102,8 +110,14 @@ fn many_seeds_quick() {
         cpu.run();
         let mut gpu = GpuSim::from_world(GpuSimConfig::new(params, 4), world);
         gpu.run();
-        assert!(serial.world.first_difference(&cpu.gather_world()).is_none(), "seed {seed} cpu");
-        assert!(serial.world.first_difference(&gpu.gather_world()).is_none(), "seed {seed} gpu");
+        assert!(
+            serial.world.first_difference(&cpu.gather_world()).is_none(),
+            "seed {seed} cpu"
+        );
+        assert!(
+            serial.world.first_difference(&gpu.gather_world()).is_none(),
+            "seed {seed} gpu"
+        );
     }
 }
 

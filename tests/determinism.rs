@@ -124,6 +124,9 @@ fn partial_run_equals_full_run_prefix() {
     for _ in 30..60 {
         stepped.advance_step();
     }
-    assert!(full.gather_world().first_difference(&stepped.gather_world()).is_none());
+    assert!(full
+        .gather_world()
+        .first_difference(&stepped.gather_world())
+        .is_none());
     assert_eq!(full.history, stepped.history);
 }

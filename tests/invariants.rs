@@ -1,0 +1,170 @@
+//! Property-style tests over randomized configurations: model invariants
+//! that must hold for *every* parameter draw, plus cross-executor equality
+//! as a property. Randomness comes from the workspace's own deterministic
+//! [`CounterRng`] (no external property-testing dependency), so every case
+//! is reproducible from its printed case index.
+
+use simcov_repro::simcov_core::epithelial::EpiState;
+use simcov_repro::simcov_core::foi::FoiPattern;
+use simcov_repro::simcov_core::grid::GridDims;
+use simcov_repro::simcov_core::params::SimParams;
+use simcov_repro::simcov_core::rng::{CounterRng, Stream};
+use simcov_repro::simcov_core::serial::SerialSim;
+use simcov_repro::simcov_core::world::World;
+use simcov_repro::simcov_cpu::{CpuSim, CpuSimConfig};
+use simcov_repro::simcov_gpu::{GpuSim, GpuSimConfig, GpuVariant};
+
+const CASES: u64 = 12;
+
+/// Deterministic per-case draw helper over `[lo, hi)`.
+struct Draw(CounterRng);
+
+impl Draw {
+    fn new(suite: u64, case: u64) -> Self {
+        Draw(CounterRng::new(
+            0x1b5a_11a7 ^ suite,
+            Stream::FoiPlacement,
+            case,
+            0,
+        ))
+    }
+    fn int(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.0.below(hi - lo)
+    }
+    fn f64(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + self.0.next_f64() * (hi - lo)
+    }
+    fn f32(&mut self, lo: f32, hi: f32) -> f32 {
+        self.f64(lo as f64, hi as f64) as f32
+    }
+}
+
+/// A randomized small-but-meaningful configuration (the counterpart of the
+/// old proptest `arb_params` strategy).
+fn arb_params(d: &mut Draw) -> SimParams {
+    let x = d.int(12, 28) as u32;
+    let y = d.int(12, 28) as u32;
+    let steps = d.int(30, 90);
+    let foi = d.int(0, 5) as u32;
+    let seed = d.0.next_u64();
+    let mut p = SimParams::test_config(GridDims::new2d(x, y), steps, foi, seed);
+    p.infectivity = d.f64(0.0, 0.01);
+    p.virion_diffusion = d.f32(0.0, 0.5);
+    p.virion_clearance = d.f32(0.0, 0.05);
+    p
+}
+
+#[test]
+fn serial_invariants_hold() {
+    for case in 0..CASES {
+        let p = arb_params(&mut Draw::new(1, case));
+        let mut sim = SerialSim::new(p.clone());
+        let nvox = p.dims.nvoxels() as u64;
+        let n_airway = sim.world.count_epi(EpiState::Airway);
+        for _ in 0..p.steps {
+            sim.advance_step();
+            let s = *sim.last_stats().unwrap();
+            // Epithelial conservation: states partition the tissue.
+            assert_eq!(
+                s.epi_healthy
+                    + s.epi_incubating
+                    + s.epi_expressing
+                    + s.epi_apoptotic
+                    + s.epi_dead
+                    + n_airway,
+                nvox,
+                "case {case}"
+            );
+            // Concentration bounds.
+            assert!(s.virions >= 0.0, "case {case}");
+            assert!(s.chemokine >= 0.0, "case {case}");
+            assert!(
+                s.chemokine <= nvox as f64,
+                "case {case}: chemokine capped at 1/voxel"
+            );
+            // Tissue T cells can never exceed voxels (one per voxel).
+            assert!(s.tcells_tissue <= nvox, "case {case}");
+            // Per-voxel invariants.
+            for v in 0..p.dims.nvoxels() {
+                let c = sim.world.chemokine.get(v);
+                assert!((0.0..=1.0).contains(&c), "case {case}");
+                assert!(sim.world.virions.get(v) >= 0.0, "case {case}");
+                assert!(
+                    !sim.world.tcells[v].is_fresh(),
+                    "case {case}: fresh cleared at step end"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn executors_agree_on_random_configs() {
+    for case in 0..CASES {
+        let mut d = Draw::new(2, case);
+        let p = arb_params(&mut d);
+        let ranks = d.int(2, 6) as usize;
+        let devices = d.int(2, 6) as usize;
+        let world = World::seeded(&p, FoiPattern::UniformLattice);
+        let mut serial = SerialSim::from_world(p.clone(), world.clone());
+        serial.run();
+        let mut cpu = CpuSim::from_world(CpuSimConfig::new(p.clone(), ranks), world.clone());
+        cpu.run();
+        let mut gpu = GpuSim::from_world(
+            GpuSimConfig::new(p, devices).with_variant(GpuVariant::Combined),
+            world,
+        );
+        gpu.run();
+        assert!(
+            serial.world.first_difference(&cpu.gather_world()).is_none(),
+            "case {case}: cpu diverged ({ranks} ranks)"
+        );
+        assert!(
+            serial.world.first_difference(&gpu.gather_world()).is_none(),
+            "case {case}: gpu diverged ({devices} devices)"
+        );
+    }
+}
+
+#[test]
+fn dead_cells_never_resurrect() {
+    for case in 0..CASES {
+        let p = arb_params(&mut Draw::new(3, case));
+        let mut sim = SerialSim::new(p.clone());
+        let mut dead_prev = 0u64;
+        for _ in 0..p.steps {
+            sim.advance_step();
+            let dead = sim.last_stats().unwrap().epi_dead;
+            assert!(
+                dead >= dead_prev,
+                "case {case}: dead count must be monotone"
+            );
+            dead_prev = dead;
+        }
+    }
+}
+
+#[test]
+fn quiescent_stays_quiescent() {
+    for case in 0..CASES {
+        let mut d = Draw::new(4, case);
+        let x = d.int(12, 24) as u32;
+        let y = d.int(12, 24) as u32;
+        let steps = d.int(20, 60);
+        let seed = d.0.next_u64();
+        // No FOI + no T-cell generation ⇒ nothing ever happens, and the
+        // active-list executors must do (almost) no work.
+        let mut p = SimParams::test_config(GridDims::new2d(x, y), steps, 0, seed);
+        p.tcell_generation_rate = 0.0;
+        let mut cpu = CpuSim::new(CpuSimConfig::new(p.clone(), 4));
+        cpu.run();
+        let s = *cpu.last_stats().unwrap();
+        assert_eq!(s.epi_healthy, p.dims.nvoxels() as u64, "case {case}");
+        assert_eq!(s.virions, 0.0, "case {case}");
+        assert_eq!(
+            cpu.total_counters().update.elements,
+            0,
+            "case {case}: no active voxels, no work"
+        );
+    }
+}

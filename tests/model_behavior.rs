@@ -34,7 +34,10 @@ fn infection_spreads_spatially_from_focus() {
         .map(|v| dims.coord(v).chebyshev(center))
         .max()
         .unwrap_or(0);
-    assert!(final_r > max_r_early, "infection front must advance: {max_r_early} -> {final_r}");
+    assert!(
+        final_r > max_r_early,
+        "infection front must advance: {max_r_early} -> {final_r}"
+    );
     assert!(final_r >= 3, "infection must spread several voxels");
 }
 
@@ -111,7 +114,10 @@ fn extravasation_targets_inflamed_tissue() {
     }
     // The near quadrant-equivalent area is ~(33/64)² ≈ 27 % of the grid;
     // uniform entry would put ~73 % of T-cell-steps far away.
-    assert!(near > far, "T cells should concentrate near the infection: near={near} far={far}");
+    assert!(
+        near > far,
+        "T cells should concentrate near the infection: near={near} far={far}"
+    );
 }
 
 #[test]
@@ -125,7 +131,9 @@ fn airways_block_local_spread() {
     p.virion_clearance = 0.05;
     let mut world = World::seeded(&p, FoiPattern::UniformLattice);
     // Seed on the left side; wall of airway columns x = 18..=22.
-    world.virions.set(dims.index(Coord::new(8, 10, 0)), 10_000.0);
+    world
+        .virions
+        .set(dims.index(Coord::new(8, 10, 0)), 10_000.0);
     let wall: Vec<usize> = (0..dims.nvoxels())
         .filter(|&v| {
             let c = dims.coord(v);
@@ -166,9 +174,8 @@ fn incubating_cells_are_invisible_to_tcells() {
         world.epi.set(n, EpiState::Incubating, 100);
     }
     for step in 0..20u64 {
-        match plan_tcell(&world, &p, step, c) {
-            TCellAction::TryBind { .. } => panic!("bound an incubating (undetectable) cell"),
-            _ => {}
+        if let TCellAction::TryBind { .. } = plan_tcell(&world, &p, step, c) {
+            panic!("bound an incubating (undetectable) cell");
         }
     }
 }
@@ -185,5 +192,8 @@ fn higher_infectivity_accelerates_takeoff() {
     };
     let low = run(0.0005);
     let high = run(0.01);
-    assert!(high > low, "higher infectivity must raise peak load: {high} vs {low}");
+    assert!(
+        high > low,
+        "higher infectivity must raise peak load: {high} vs {low}"
+    );
 }

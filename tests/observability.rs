@@ -1,0 +1,144 @@
+//! Integration tests for the observability layer: per-step [`StepRecord`]s
+//! emitted through a [`MetricsSink`] must agree across executors, and the
+//! runtime's per-superstep trace must reconcile exactly with the BSP
+//! communication counters.
+
+use simcov_repro::gpusim::SharedSink;
+use simcov_repro::simcov_core::grid::GridDims;
+use simcov_repro::simcov_core::params::SimParams;
+use simcov_repro::simcov_cpu::{CpuSim, CpuSimConfig};
+use simcov_repro::simcov_gpu::{GpuSim, GpuSimConfig};
+
+fn params(seed: u64) -> SimParams {
+    SimParams::test_config(GridDims::new2d(32, 32), 30, 6, seed)
+}
+
+/// Both executors, same seed: the model-level fields of every per-step
+/// record (agents, virions, chemokine) must be identical, step for step.
+#[test]
+fn cpu_and_gpu_step_records_agree() {
+    for seed in [3u64, 17, 99] {
+        let cpu_sink = SharedSink::new();
+        let mut cpu = CpuSim::new(CpuSimConfig::new(params(seed), 4));
+        cpu.set_metrics_sink(Box::new(cpu_sink.clone()));
+        cpu.run();
+
+        let gpu_sink = SharedSink::new();
+        let mut gpu = GpuSim::new(GpuSimConfig::new(params(seed), 4));
+        gpu.set_metrics_sink(Box::new(gpu_sink.clone()));
+        gpu.run();
+
+        let cpu_recs = cpu_sink.records();
+        let gpu_recs = gpu_sink.records();
+        assert_eq!(cpu_recs.len(), 30, "one record per step (seed {seed})");
+        assert_eq!(cpu_recs.len(), gpu_recs.len());
+        for (c, g) in cpu_recs.iter().zip(gpu_recs.iter()) {
+            assert_eq!(c.step, g.step);
+            assert_eq!(
+                c.agents, g.agents,
+                "tissue T-cell counts diverged at step {} (seed {seed})",
+                c.step
+            );
+            assert_eq!(
+                c.virions, g.virions,
+                "virion mass diverged at step {} (seed {seed})",
+                c.step
+            );
+            assert_eq!(
+                c.chemokine, g.chemokine,
+                "chemokine mass diverged at step {} (seed {seed})",
+                c.step
+            );
+            assert!(c.real_seconds > 0.0 && g.real_seconds > 0.0);
+            assert!(c.sim_seconds.is_finite() && g.sim_seconds.is_finite());
+        }
+    }
+}
+
+/// Step records are well-formed: steps are consecutive, and the per-step
+/// communication deltas sum back to the runtime's cumulative counters.
+#[test]
+fn step_record_comm_deltas_sum_to_counters() {
+    let sink = SharedSink::new();
+    let mut sim = CpuSim::new(CpuSimConfig::new(params(7), 5));
+    sim.set_metrics_sink(Box::new(sink.clone()));
+    sim.run();
+
+    let recs = sink.records();
+    for (i, r) in recs.iter().enumerate() {
+        assert_eq!(r.step, i as u64, "steps must be consecutive from 0");
+    }
+    let comm = sim.comm_counters();
+    let rec_msgs: u64 = recs.iter().map(|r| r.comm_messages).sum();
+    let rec_bytes: u64 = recs.iter().map(|r| r.comm_bytes).sum();
+    assert_eq!(rec_msgs, comm.messages + comm.bulk_messages);
+    assert_eq!(rec_bytes, comm.bytes + comm.bulk_bytes);
+}
+
+/// The trace's per-superstep events must reconcile exactly with the BSP
+/// counters: one event per superstep, and summed volumes equal the
+/// cumulative totals — on both executors.
+#[test]
+fn trace_comm_totals_equal_bsp_counters() {
+    let mut cpu = CpuSim::new(CpuSimConfig::new(params(11), 4));
+    cpu.enable_trace();
+    cpu.run();
+    check_trace_matches_counters(cpu.trace(), cpu.comm_counters(), "cpu");
+
+    let mut gpu = GpuSim::new(GpuSimConfig::new(params(11), 4));
+    gpu.enable_trace();
+    gpu.run();
+    check_trace_matches_counters(gpu.trace(), gpu.comm_counters(), "gpu");
+}
+
+fn check_trace_matches_counters(
+    trace: &simcov_repro::pgas::Trace,
+    comm: simcov_repro::pgas::CommCounters,
+    who: &str,
+) {
+    let events: Vec<_> = trace.events_for("superstep").collect();
+    assert_eq!(
+        events.len() as u64,
+        comm.supersteps,
+        "{who}: one trace event per superstep"
+    );
+    let v = trace.total_volume();
+    assert_eq!(v.messages, comm.messages, "{who}: p2p message totals");
+    assert_eq!(v.bytes, comm.bytes, "{who}: p2p byte totals");
+    assert_eq!(
+        v.bulk_messages, comm.bulk_messages,
+        "{who}: bulk message totals"
+    );
+    assert_eq!(v.bulk_bytes, comm.bulk_bytes, "{who}: bulk byte totals");
+    for e in &events {
+        assert!(e.wall_ns > 0, "{who}: every superstep span measured time");
+    }
+}
+
+/// Metrics must be pure observation: installing a sink must not change the
+/// trajectory.
+#[test]
+fn metrics_sink_does_not_perturb_simulation() {
+    let mut plain = CpuSim::new(CpuSimConfig::new(params(23), 3));
+    plain.run();
+
+    let sink = SharedSink::new();
+    let mut observed = CpuSim::new(CpuSimConfig::new(params(23), 3));
+    observed.set_metrics_sink(Box::new(sink.clone()));
+    observed.enable_trace();
+    observed.run();
+
+    assert_eq!(plain.history.steps.len(), observed.history.steps.len());
+    for (a, b) in plain
+        .history
+        .steps
+        .iter()
+        .zip(observed.history.steps.iter())
+    {
+        assert!(
+            a.approx_eq(b, 0.0),
+            "observation changed the trajectory at step {}",
+            a.step
+        );
+    }
+}

@@ -40,7 +40,10 @@ fn gpu_full_sweep_variants_do_not_grow_with_foi() {
     // FSM/diffusion sweeps are identical; only T-cell/extravasation work
     // differs slightly.
     let ratio = elems[1] as f64 / elems[0] as f64;
-    assert!(ratio < 1.3, "full-sweep work should be ~activity-independent: {ratio}");
+    assert!(
+        ratio < 1.3,
+        "full-sweep work should be ~activity-independent: {ratio}"
+    );
 }
 
 #[test]
@@ -48,9 +51,8 @@ fn reduction_cost_dominates_unoptimized_variant() {
     // Fig 4's headline: reductions are the biggest cost without the fast
     // reduction, and the tree reduction removes almost all of it.
     let model = CostModel::default();
-    let mut unopt = GpuSim::new(
-        GpuSimConfig::new(params(48, 60, 8), 4).with_variant(GpuVariant::Unoptimized),
-    );
+    let mut unopt =
+        GpuSim::new(GpuSimConfig::new(params(48, 60, 8), 4).with_variant(GpuVariant::Unoptimized));
     unopt.run();
     // Zero out launch overheads: at this miniature scale fixed per-step
     // launches dominate everything; the paper-scale balance is between the
@@ -70,9 +72,8 @@ fn reduction_cost_dominates_unoptimized_variant() {
         b_unopt.update_s
     );
 
-    let mut fast = GpuSim::new(
-        GpuSimConfig::new(params(48, 60, 8), 4).with_variant(GpuVariant::Combined),
-    );
+    let mut fast =
+        GpuSim::new(GpuSimConfig::new(params(48, 60, 8), 4).with_variant(GpuVariant::Combined));
     fast.run();
     let b_fast = model.device_breakdown(&GPU_A100, &strip_launches(fast.max_device_counters()));
     assert!(
