@@ -6,6 +6,7 @@ use simcov_core::grid::GridDims;
 use simcov_core::params::SimParams;
 use simcov_core::serial::SerialSim;
 use simcov_cpu::{CpuSim, CpuSimConfig};
+use simcov_driver::Simulation;
 use simcov_gpu::{GpuSim, GpuSimConfig};
 
 fn params() -> SimParams {
@@ -20,13 +21,13 @@ fn main() {
         sim.last_stats().unwrap().virions
     });
     b.bench("fig5_executors/cpu_4ranks", || {
-        let mut sim = CpuSim::new(CpuSimConfig::new(params(), 4));
-        sim.run();
+        let mut sim = CpuSim::new(CpuSimConfig::new(params(), 4)).expect("valid config");
+        sim.run().expect("healthy run");
         sim.last_stats().unwrap().virions
     });
     b.bench("fig5_executors/gpu_4devices", || {
-        let mut sim = GpuSim::new(GpuSimConfig::new(params(), 4));
-        sim.run();
+        let mut sim = GpuSim::new(GpuSimConfig::new(params(), 4)).expect("valid config");
+        sim.run().expect("healthy run");
         sim.last_stats().unwrap().virions
     });
     b.finish();

@@ -5,6 +5,7 @@
 use simcov_bench::microbench::Bench;
 use simcov_core::grid::GridDims;
 use simcov_core::params::SimParams;
+use simcov_driver::Simulation;
 use simcov_gpu::{GpuSim, GpuSimConfig};
 
 fn main() {
@@ -12,8 +13,8 @@ fn main() {
     for devices in [1usize, 4, 16] {
         b.bench(&format!("fig6_strong_scaling/{devices}"), || {
             let p = SimParams::test_config(GridDims::new2d(64, 64), 40, 16, 1);
-            let mut sim = GpuSim::new(GpuSimConfig::new(p, devices));
-            sim.run();
+            let mut sim = GpuSim::new(GpuSimConfig::new(p, devices)).expect("valid config");
+            sim.run().expect("healthy run");
             sim.max_device_counters().update.elements
         });
     }

@@ -5,6 +5,7 @@ use simcov_bench::microbench::Bench;
 use simcov_core::grid::GridDims;
 use simcov_core::params::SimParams;
 use simcov_cpu::{CpuSim, CpuSimConfig};
+use simcov_driver::Simulation;
 use simcov_gpu::{GpuSim, GpuSimConfig};
 
 fn main() {
@@ -12,14 +13,14 @@ fn main() {
     for foi in [4u32, 16, 64] {
         b.bench(&format!("fig8_foi_scaling/cpu/{foi}"), || {
             let p = SimParams::test_config(GridDims::new2d(64, 64), 40, foi, 1);
-            let mut sim = CpuSim::new(CpuSimConfig::new(p, 4));
-            sim.run();
+            let mut sim = CpuSim::new(CpuSimConfig::new(p, 4)).expect("valid config");
+            sim.run().expect("healthy run");
             sim.total_counters().update.elements
         });
         b.bench(&format!("fig8_foi_scaling/gpu/{foi}"), || {
             let p = SimParams::test_config(GridDims::new2d(64, 64), 40, foi, 1);
-            let mut sim = GpuSim::new(GpuSimConfig::new(p, 4));
-            sim.run();
+            let mut sim = GpuSim::new(GpuSimConfig::new(p, 4)).expect("valid config");
+            sim.run().expect("healthy run");
             sim.total_counters().update.elements
         });
     }

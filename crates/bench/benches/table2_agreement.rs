@@ -6,6 +6,7 @@ use simcov_core::grid::GridDims;
 use simcov_core::params::SimParams;
 use simcov_core::stats::{mean_std, percent_agreement, Metric, TimeSeries};
 use simcov_cpu::{CpuSim, CpuSimConfig};
+use simcov_driver::Simulation;
 use simcov_gpu::{GpuSim, GpuSimConfig};
 
 fn main() {
@@ -15,12 +16,12 @@ fn main() {
         let mut gpu_runs: Vec<TimeSeries> = Vec::new();
         for trial in 0..2u64 {
             let p = SimParams::test_config(GridDims::new2d(32, 32), 40, 4, 100 + trial);
-            let mut cpu = CpuSim::new(CpuSimConfig::new(p.clone(), 4));
-            cpu.run();
-            cpu_runs.push(cpu.history);
-            let mut gpu = GpuSim::new(GpuSimConfig::new(p, 4));
-            gpu.run();
-            gpu_runs.push(gpu.history);
+            let mut cpu = CpuSim::new(CpuSimConfig::new(p.clone(), 4)).expect("valid config");
+            cpu.run().expect("healthy run");
+            cpu_runs.push(cpu.history().clone());
+            let mut gpu = GpuSim::new(GpuSimConfig::new(p, 4)).expect("valid config");
+            gpu.run().expect("healthy run");
+            gpu_runs.push(gpu.history().clone());
         }
         let cpu_peaks: Vec<f64> = cpu_runs.iter().map(|r| r.peak(Metric::Virions)).collect();
         let gpu_peaks: Vec<f64> = gpu_runs.iter().map(|r| r.peak(Metric::Virions)).collect();

@@ -13,6 +13,7 @@ use simcov_bench::json::{json_path_from_args, write_json, Json};
 use simcov_bench::report::{banner, Table};
 use simcov_core::decomp::Strategy;
 use simcov_cpu::{CpuSim, CpuSimConfig};
+use simcov_driver::Simulation;
 
 fn main() {
     let scale = scale_from_env().max(64);
@@ -45,10 +46,9 @@ fn main() {
     ] {
         for ranks in [64usize, 128] {
             let se = ScaledExperiment::new(e, scale, 1);
-            let mut cfg = CpuSimConfig::new(se.params, ranks);
-            cfg.strategy = strategy;
-            let mut sim = CpuSim::new(cfg);
-            sim.run();
+            let cfg = CpuSimConfig::new(se.params, ranks).with_strategy(strategy);
+            let mut sim = CpuSim::new(cfg).expect("valid config");
+            sim.run().expect("healthy run");
             let cc = sim.comm_counters();
             let max_updates = sim.max_rank_counters().update.elements;
             table.row(vec![

@@ -12,6 +12,7 @@ use gpusim::{CostModel, GPU_A100};
 use simcov_bench::configs::{paper, scale_from_env, Experiment, ScaledExperiment};
 use simcov_bench::json::{json_path_from_args, write_json, Json};
 use simcov_bench::report::{banner, fmt_secs, Table};
+use simcov_driver::Simulation;
 use simcov_gpu::{GpuSim, GpuSimConfig, GpuVariant};
 
 fn main() {
@@ -42,11 +43,12 @@ fn main() {
     let mut rows = Vec::new();
     for (tile, period) in [(2usize, 2u64), (4, 4), (8, 8), (16, 16), (8, 2), (16, 4)] {
         let se = ScaledExperiment::new(e, scale, 1);
-        let mut cfg = GpuSimConfig::new(se.params, 4).with_variant(GpuVariant::Combined);
-        cfg.tile_side = tile;
-        cfg.check_period = Some(period);
-        let mut sim = GpuSim::new(cfg);
-        sim.run();
+        let cfg = GpuSimConfig::new(se.params, 4)
+            .with_variant(GpuVariant::Combined)
+            .with_tile_side(tile)
+            .with_check_period(period);
+        let mut sim = GpuSim::new(cfg).expect("valid config");
+        sim.run().expect("healthy run");
         let c = sim.max_device_counters().extrapolate(scale as f64);
         let b = model.device_breakdown(&GPU_A100, &c);
         table.row(vec![

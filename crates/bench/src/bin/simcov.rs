@@ -18,8 +18,8 @@ use simcov_bench::json::Json;
 use simcov_core::config::parse_config;
 use simcov_core::render::render_slice;
 use simcov_core::stats::TimeSeries;
-use simcov_core::world::World;
 use simcov_cpu::{CpuSim, CpuSimConfig};
+use simcov_driver::{SerialDriver, Simulation};
 use simcov_gpu::{GpuSim, GpuSimConfig, GpuVariant};
 use std::fs;
 
@@ -142,66 +142,33 @@ fn main() {
         fs::create_dir_all(dir).expect("create frames dir");
     }
 
-    // A step driver unified over executors.
-    enum Driver {
-        Serial(simcov_core::serial::SerialSim),
-        Cpu(CpuSim),
-        Gpu(GpuSim),
-    }
-    impl Driver {
-        fn advance(&mut self) {
-            match self {
-                Driver::Serial(s) => s.advance_step(),
-                Driver::Cpu(s) => s.advance_step(),
-                Driver::Gpu(s) => s.advance_step(),
-            }
-        }
-        fn world(&self) -> World {
-            match self {
-                Driver::Serial(s) => s.world.clone(),
-                Driver::Cpu(s) => s.gather_world(),
-                Driver::Gpu(s) => s.gather_world(),
-            }
-        }
-        fn history(&self) -> &TimeSeries {
-            match self {
-                Driver::Serial(s) => &s.history,
-                Driver::Cpu(s) => &s.history,
-                Driver::Gpu(s) => &s.history,
-            }
-        }
-    }
-
     let dims = params.dims;
     let num_foi = params.num_foi;
-    // The per-step metrics sink backing --json (serial has no runtime, so
-    // it reports the time series only).
+    // The per-step metrics sink backing --json.
     let sink = SharedSink::new();
-    let mut driver = match args.executor.as_str() {
-        "serial" => Driver::Serial(simcov_core::serial::SerialSim::new(params)),
-        "cpu" => {
-            let mut sim = CpuSim::new(CpuSimConfig::new(params, args.units));
-            if args.json.is_some() {
-                sim.set_metrics_sink(Box::new(sink.clone()));
-            }
-            Driver::Cpu(sim)
-        }
-        "gpu" => {
-            let mut sim =
-                GpuSim::new(GpuSimConfig::new(params, args.units).with_variant(args.variant));
-            if args.json.is_some() {
-                sim.set_metrics_sink(Box::new(sink.clone()));
-            }
-            Driver::Gpu(sim)
-        }
+    // One object-safe driver API over all three executors.
+    let mut driver: Box<dyn Simulation> = match args.executor.as_str() {
+        "serial" => Box::new(SerialDriver::new(params).unwrap_or_else(|e| panic!("{e}"))),
+        "cpu" => Box::new(
+            CpuSim::new(CpuSimConfig::new(params, args.units)).unwrap_or_else(|e| panic!("{e}")),
+        ),
+        "gpu" => Box::new(
+            GpuSim::new(GpuSimConfig::new(params, args.units).with_variant(args.variant))
+                .unwrap_or_else(|e| panic!("{e}")),
+        ),
         _ => usage(),
     };
+    if args.json.is_some() {
+        driver.set_metrics_sink(Box::new(sink.clone()));
+    }
 
     for step in 1..=steps {
-        driver.advance();
+        driver
+            .advance_step()
+            .unwrap_or_else(|e| panic!("step {step} failed: {e}"));
         if let Some(dir) = &args.frames {
             if step % frame_every == 0 || step == steps {
-                let img = render_slice(&driver.world(), 0, 512);
+                let img = render_slice(&driver.gather_world(), 0, 512);
                 let path = format!("{dir}/step_{step:06}.ppm");
                 fs::write(&path, img.to_ppm()).expect("write frame");
                 eprintln!("frame {path}");
@@ -276,6 +243,25 @@ fn step_records_json(records: &[StepRecord]) -> Json {
                             .collect::<Vec<_>>(),
                     ),
                 );
+                if !r.recoveries.is_empty() {
+                    rec.push(
+                        "recoveries",
+                        Json::Arr(
+                            r.recoveries
+                                .iter()
+                                .map(|rv| {
+                                    Json::obj([
+                                        ("failed_step", Json::from(rv.failed_step)),
+                                        ("rollback_step", Json::from(rv.rollback_step)),
+                                        ("replayed_steps", Json::from(rv.replayed_steps)),
+                                        ("survivors", Json::from(rv.survivors)),
+                                        ("attempt", Json::from(rv.attempt as u64)),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    );
+                }
                 rec
             })
             .collect(),

@@ -6,6 +6,7 @@ use pgas::CommCounters;
 use simcov_core::params::SimParams;
 use simcov_core::stats::TimeSeries;
 use simcov_cpu::{CpuSim, CpuSimConfig};
+use simcov_driver::Simulation;
 use simcov_gpu::{GpuSim, GpuSimConfig, GpuVariant};
 
 /// Result of one executor run, extrapolated to paper scale.
@@ -39,6 +40,12 @@ fn extrapolate_comm(cc: &CommCounters, s: f64) -> CommCounters {
         allreduce_bytes: f(cc.allreduce_bytes, s),
         max_rank_messages: f(cc.max_rank_messages, s),
         max_rank_bytes: f(cc.max_rank_bytes, s),
+        // Fault metering does not scale with the domain: injected events
+        // fire a fixed schedule regardless of grid size.
+        stalls: cc.stalls,
+        stall_ns: cc.stall_ns,
+        duplicates_suppressed: cc.duplicates_suppressed,
+        dropped_messages: cc.dropped_messages,
     }
 }
 
@@ -46,8 +53,9 @@ fn extrapolate_comm(cc: &CommCounters, s: f64) -> CommCounters {
 /// linear `scale`.
 pub fn run_gpu(params: SimParams, n_devices: usize, variant: GpuVariant, scale: u32) -> RunOutput {
     let steps = params.steps;
-    let mut sim = GpuSim::new(GpuSimConfig::new(params, n_devices).with_variant(variant));
-    sim.run();
+    let mut sim = GpuSim::new(GpuSimConfig::new(params, n_devices).with_variant(variant))
+        .expect("valid bench config");
+    sim.run().expect("healthy bench run");
     let model = CostModel::default();
     let s = scale as f64;
 
@@ -69,14 +77,14 @@ pub fn run_gpu(params: SimParams, n_devices: usize, variant: GpuVariant, scale: 
         seconds: breakdown.total() + comm_seconds,
         breakdown,
         comm_seconds,
-        history: sim.history,
+        history: sim.history().clone(),
     }
 }
 
 /// Run the SIMCoV-CPU baseline on `n_ranks` logical ranks and extrapolate.
 pub fn run_cpu(params: SimParams, n_ranks: usize, scale: u32) -> RunOutput {
-    let mut sim = CpuSim::new(CpuSimConfig::new(params, n_ranks));
-    sim.run();
+    let mut sim = CpuSim::new(CpuSimConfig::new(params, n_ranks)).expect("valid bench config");
+    sim.run().expect("healthy bench run");
     let model = CostModel::default();
     let s = scale as f64;
 
@@ -89,7 +97,7 @@ pub fn run_cpu(params: SimParams, n_ranks: usize, scale: u32) -> RunOutput {
         seconds: breakdown.total() + comm_seconds,
         breakdown,
         comm_seconds,
-        history: sim.history,
+        history: sim.history().clone(),
     }
 }
 

@@ -217,6 +217,209 @@ pub fn restore(params: SimParams, blob: &[u8]) -> Result<SerialSim, String> {
     Ok(sim)
 }
 
+// ---------------------------------------------------------------------------
+// In-memory incremental checkpoints (recovery support)
+// ---------------------------------------------------------------------------
+//
+// The binary blob format above serves cold restarts between processes. The
+// fault-recovery loop in the driver crate needs something different: a
+// *cheap, frequent, in-process* snapshot it can roll a run back to after a
+// rank failure. Checkpoints here stay as live structures (no encoding), and
+// successive saves pay only for the voxels that changed — SIMCoV's activity
+// is spatially sparse, so a delta is typically a small fraction of the grid.
+// The `*_bytes` accounting mirrors what an encoded incremental checkpoint
+// would cost, which the fault-sweep bench plots as checkpoint overhead.
+
+use crate::stats::TimeSeries;
+
+/// One voxel's complete state, the unit of incremental checkpoint deltas.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VoxelState {
+    pub epi_state: u8,
+    pub epi_timer: u32,
+    pub tcell: TCellSlot,
+    pub virions: f32,
+    pub chemokine: f32,
+}
+
+impl VoxelState {
+    /// Encoded footprint of one delta entry: u32 index + payload.
+    pub const ENCODED_BYTES: usize = 4 + 1 + 4 + 4 + 4 + 4;
+
+    fn capture(w: &World, i: usize) -> VoxelState {
+        VoxelState {
+            epi_state: w.epi.state[i],
+            epi_timer: w.epi.timer[i],
+            tcell: w.tcells[i],
+            virions: w.virions.get(i),
+            chemokine: w.chemokine.get(i),
+        }
+    }
+
+    fn differs(&self, w: &World, i: usize) -> bool {
+        self.epi_state != w.epi.state[i]
+            || self.epi_timer != w.epi.timer[i]
+            || self.tcell != w.tcells[i]
+            || self.virions.to_bits() != w.virions.get(i).to_bits()
+            || self.chemokine.to_bits() != w.chemokine.get(i).to_bits()
+    }
+
+    fn apply(self, w: &mut World, i: usize) {
+        w.epi.state[i] = self.epi_state;
+        w.epi.timer[i] = self.epi_timer;
+        w.tcells[i] = self.tcell;
+        w.virions.set(i, self.virions);
+        w.chemokine.set(i, self.chemokine);
+    }
+}
+
+/// A sparse world-to-world diff: every voxel whose state changed, with its
+/// new value. Comparison is bitwise (float payloads compared as bits), so
+/// `apply` reproduces the target world exactly.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WorldDelta {
+    pub changed: Vec<(u32, VoxelState)>,
+}
+
+impl WorldDelta {
+    /// Diff two same-shaped worlds.
+    pub fn diff(prev: &World, next: &World) -> WorldDelta {
+        assert_eq!(prev.dims, next.dims, "delta across different grids");
+        let mut changed = Vec::new();
+        for i in 0..next.nvoxels() {
+            let v = VoxelState::capture(next, i);
+            if v.differs(prev, i) {
+                changed.push((i as u32, v));
+            }
+        }
+        WorldDelta { changed }
+    }
+
+    /// Apply in place: `apply(diff(a, b), a) == b`, bitwise.
+    pub fn apply(&self, w: &mut World) {
+        for &(i, v) in &self.changed {
+            v.apply(w, i as usize);
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.changed.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.changed.is_empty()
+    }
+
+    /// What this delta would cost encoded (index + payload per entry).
+    pub fn encoded_bytes(&self) -> usize {
+        self.changed.len() * VoxelState::ENCODED_BYTES
+    }
+}
+
+/// A resumable snapshot of a driver-level run: the canonical world, the
+/// replicated vascular pool, the statistics history, at step `step`.
+/// Live structures, not encoded — rollback is a clone, not a parse.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunCheckpoint {
+    pub step: u64,
+    pub world: World,
+    pub pool: VascularPool,
+    pub history: TimeSeries,
+}
+
+/// Accounting for one [`CheckpointStore::save`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CheckpointStats {
+    pub step: u64,
+    /// Cost of a dense (full-world) checkpoint at this step.
+    pub full_bytes: u64,
+    /// Cost actually paid: dense for the first save, delta afterwards.
+    pub delta_bytes: u64,
+    /// Voxels that changed since the previous checkpoint.
+    pub changed_voxels: u64,
+}
+
+/// What a dense encoding of this world would occupy (the blob format's
+/// per-voxel payload; headers excluded).
+pub fn dense_world_bytes(w: &World) -> u64 {
+    (w.nvoxels() * (1 + 4 + 4 + 4 + 4)) as u64
+}
+
+/// An in-memory incremental checkpoint store holding the latest
+/// [`RunCheckpoint`]. The first save is a full clone; every later save
+/// diffs against the stored world and patches it in place, paying only for
+/// changed voxels. Cumulative byte counters feed the fault-sweep bench's
+/// checkpoint-overhead curves.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CheckpointStore {
+    latest: Option<RunCheckpoint>,
+    /// Number of saves performed.
+    pub saves: u64,
+    /// Cumulative dense cost (what non-incremental checkpointing would pay).
+    pub full_bytes: u64,
+    /// Cumulative incremental cost actually paid.
+    pub delta_bytes: u64,
+}
+
+impl CheckpointStore {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a checkpoint of the run at `step`.
+    pub fn save(
+        &mut self,
+        step: u64,
+        world: &World,
+        pool: &VascularPool,
+        history: &TimeSeries,
+    ) -> CheckpointStats {
+        let full = dense_world_bytes(world);
+        let stats = match &mut self.latest {
+            None => {
+                self.latest = Some(RunCheckpoint {
+                    step,
+                    world: world.clone(),
+                    pool: pool.clone(),
+                    history: history.clone(),
+                });
+                CheckpointStats {
+                    step,
+                    full_bytes: full,
+                    delta_bytes: full,
+                    changed_voxels: world.nvoxels() as u64,
+                }
+            }
+            Some(cp) => {
+                let delta = WorldDelta::diff(&cp.world, world);
+                delta.apply(&mut cp.world);
+                debug_assert_eq!(&cp.world, world, "incremental patch must reproduce");
+                cp.step = step;
+                cp.pool = pool.clone();
+                cp.history = history.clone();
+                CheckpointStats {
+                    step,
+                    full_bytes: full,
+                    // When nearly every voxel changed, the per-entry index
+                    // overhead makes the delta dearer than a dense dump; a
+                    // real store would write dense, so account that way.
+                    delta_bytes: (delta.encoded_bytes() as u64).min(full),
+                    changed_voxels: delta.len() as u64,
+                }
+            }
+        };
+        self.saves += 1;
+        self.full_bytes += stats.full_bytes;
+        self.delta_bytes += stats.delta_bytes;
+        stats
+    }
+
+    /// The most recent checkpoint, if any save has happened.
+    pub fn latest(&self) -> Option<&RunCheckpoint> {
+        self.latest.as_ref()
+    }
+}
+
 /// A cheap structural fingerprint of the parameters (hash of the debug
 /// formatting — parameters are plain data, so this is stable within a
 /// build and catches accidental mismatches).
@@ -352,6 +555,68 @@ mod tests {
                 "random blob (case {case}) accepted"
             );
         }
+    }
+
+    #[test]
+    fn world_delta_roundtrips_bitwise() {
+        let mut a = sim();
+        for _ in 0..10 {
+            a.advance_step();
+        }
+        let before = a.world.clone();
+        for _ in 0..5 {
+            a.advance_step();
+        }
+        let delta = WorldDelta::diff(&before, &a.world);
+        assert!(!delta.is_empty(), "an active run must change voxels");
+        assert!(
+            delta.len() < a.world.nvoxels(),
+            "activity is sparse: {} of {} voxels",
+            delta.len(),
+            a.world.nvoxels()
+        );
+        let mut patched = before;
+        delta.apply(&mut patched);
+        assert_eq!(patched, a.world);
+        assert_eq!(
+            delta.encoded_bytes(),
+            delta.len() * VoxelState::ENCODED_BYTES
+        );
+        // Self-diff is empty.
+        assert!(WorldDelta::diff(&a.world, &a.world).is_empty());
+    }
+
+    #[test]
+    fn checkpoint_store_is_incremental() {
+        let mut a = sim();
+        let mut store = CheckpointStore::new();
+        let first = store.save(0, &a.world, &a.pool, &a.history);
+        assert_eq!(first.delta_bytes, first.full_bytes, "first save is dense");
+        let mut last_world = a.world.clone();
+        for k in 1..=3u64 {
+            // Early steps: activity is still localized around the foci, so
+            // the incremental save must beat a dense one.
+            for _ in 0..2 {
+                a.advance_step();
+            }
+            let s = store.save(a.step, &a.world, &a.pool, &a.history);
+            assert_eq!(s.step, a.step);
+            assert!(
+                s.delta_bytes < s.full_bytes,
+                "incremental save must be cheaper than dense ({} voxels changed of {})",
+                s.changed_voxels,
+                a.world.nvoxels()
+            );
+            let cp = store.latest().expect("saved");
+            assert_eq!(cp.step, a.step);
+            assert_eq!(cp.world, a.world, "stored world tracks the run");
+            assert_eq!(cp.pool, a.pool);
+            assert_eq!(cp.history, a.history);
+            assert_ne!(cp.world, last_world, "run actually advanced (k={k})");
+            last_world = a.world.clone();
+        }
+        assert_eq!(store.saves, 4);
+        assert!(store.delta_bytes < store.full_bytes);
     }
 
     #[test]

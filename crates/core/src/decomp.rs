@@ -153,28 +153,43 @@ impl Partition {
     /// grid cannot host that many ranks (more ranks than voxels along the
     /// split axes).
     pub fn new(dims: GridDims, n_ranks: usize, strategy: Strategy) -> Self {
-        assert!(n_ranks >= 1, "need at least one rank");
+        Self::try_new(dims, n_ranks, strategy).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`Partition::new`]: reports an unusable
+    /// `(dims, n_ranks, strategy)` combination instead of panicking, so
+    /// driver construction can surface a typed configuration error.
+    pub fn try_new(dims: GridDims, n_ranks: usize, strategy: Strategy) -> Result<Self, String> {
+        if n_ranks == 0 {
+            return Err("need at least one rank".to_string());
+        }
         let rank_grid = match strategy {
             Strategy::Linear => {
                 if dims.is_2d() {
-                    assert!(
-                        n_ranks as u64 <= dims.y as u64,
-                        "linear decomposition: {n_ranks} ranks > {} rows",
-                        dims.y
-                    );
+                    if n_ranks as u64 > dims.y as u64 {
+                        return Err(format!(
+                            "linear decomposition: {n_ranks} ranks > {} rows",
+                            dims.y
+                        ));
+                    }
                     (1, n_ranks, 1)
                 } else {
-                    assert!(n_ranks as u64 <= dims.z as u64);
+                    if n_ranks as u64 > dims.z as u64 {
+                        return Err(format!(
+                            "linear decomposition: {n_ranks} ranks > {} planes",
+                            dims.z
+                        ));
+                    }
                     (1, 1, n_ranks)
                 }
             }
             Strategy::Blocks => {
                 let f = factor(dims, n_ranks);
-                assert_eq!(
-                    f.0 * f.1 * f.2,
-                    n_ranks,
-                    "no valid factorization of {n_ranks} ranks over {dims:?}"
-                );
+                if f.0 * f.1 * f.2 != n_ranks {
+                    return Err(format!(
+                        "no valid factorization of {n_ranks} ranks over {dims:?}"
+                    ));
+                }
                 f
             }
         };
@@ -200,11 +215,11 @@ impl Partition {
                 }
             }
         }
-        Partition {
+        Ok(Partition {
             dims,
             rank_grid,
             subs,
-        }
+        })
     }
 
     #[inline]
@@ -268,6 +283,19 @@ impl Partition {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn try_new_reports_bad_configs() {
+        let dims = GridDims::new2d(8, 4);
+        assert!(Partition::try_new(dims, 0, Strategy::Linear).is_err());
+        // Linear over 4 rows cannot host 5 ranks.
+        let err = Partition::try_new(dims, 5, Strategy::Linear).unwrap_err();
+        assert!(err.contains("4 rows"), "{err}");
+        // But 4 ranks fit, fallibly and infallibly alike.
+        let a = Partition::try_new(dims, 4, Strategy::Linear).unwrap();
+        let b = Partition::new(dims, 4, Strategy::Linear);
+        assert_eq!(a, b);
+    }
 
     #[test]
     fn partition_covers_grid_exactly() {

@@ -1,0 +1,246 @@
+//! Exact (superaccumulator) summation of `f32` samples.
+//!
+//! The statistics reduction sums per-voxel `f32` concentrations into run
+//! totals. Plain `f64` accumulation is *order dependent* — re-associating the
+//! sum across a different rank/device partition perturbs the result by ULPs —
+//! which would make the recovery protocol's "bitwise identical `TimeSeries`"
+//! guarantee impossible: recovery re-partitions the domain across survivors.
+//!
+//! [`ExactSum`] sidesteps rounding entirely: every `f32` is a rational with a
+//! 24-bit significand and an exponent in `[-149, 104]`, so the sum of any
+//! realistic number of them fits exactly in a 320-bit fixed-point register
+//! (bit 0 = 2⁻¹⁴⁹, top value bit ≤ 2¹²⁸·2⁴³ headroom ≈ 8·10¹² additions of
+//! `f32::MAX` before overflow). Addition of limbs is associative and
+//! commutative, so **any** partition, reduction-tree shape or replay order
+//! produces bit-identical totals — the serial reference, the CPU executor and
+//! the GPU executor all agree exactly, before and after a recovery.
+
+use std::ops::AddAssign;
+
+/// Number of 64-bit limbs: 320 bits spans `[2⁻¹⁴⁹, 2¹⁷¹)`.
+const LIMBS: usize = 5;
+
+/// A fixed-point superaccumulator for non-negative finite `f32` values.
+///
+/// Little-endian limbs; bit 0 of limb 0 has weight 2⁻¹⁴⁹ (the smallest
+/// subnormal `f32`), so every `f32` embeds exactly.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExactSum {
+    limbs: [u64; LIMBS],
+}
+
+impl ExactSum {
+    pub const fn zero() -> Self {
+        ExactSum { limbs: [0; LIMBS] }
+    }
+
+    /// True if no non-zero value has been added.
+    pub fn is_zero(&self) -> bool {
+        self.limbs == [0; LIMBS]
+    }
+
+    /// Add one sample exactly. The model's concentration fields are clamped
+    /// non-negative, so only non-negative finite inputs are supported
+    /// (debug-asserted; negative/NaN inputs indicate a model bug upstream).
+    pub fn add_f32(&mut self, v: f32) {
+        debug_assert!(
+            v.is_finite() && v >= 0.0,
+            "ExactSum supports non-negative finite samples, got {v}"
+        );
+        let bits = v.to_bits();
+        let exp = ((bits >> 23) & 0xFF) as i32;
+        let frac = bits & 0x7F_FFFF;
+        let (mant, e) = if exp == 0 {
+            if frac == 0 {
+                return; // ±0 contributes nothing
+            }
+            (frac as u64, -149) // subnormal: frac · 2⁻¹⁴⁹
+        } else {
+            ((frac | 0x80_0000) as u64, exp - 150) // normal: (2²³+frac) · 2^(exp−150)
+        };
+        // Weight of the mantissa's bit 0 relative to the register's bit 0.
+        let p = (e + 149) as u32;
+        self.add_wide((p / 64) as usize, (mant as u128) << (p % 64));
+    }
+
+    /// Add `wide` at limb offset `limb`, propagating carries upward.
+    fn add_wide(&mut self, limb: usize, wide: u128) {
+        let mut i = limb;
+        let mut rem = wide;
+        while rem != 0 {
+            assert!(i < LIMBS, "ExactSum overflow (≫10¹² f32::MAX additions)");
+            let (sum, carry) = self.limbs[i].overflowing_add(rem as u64);
+            self.limbs[i] = sum;
+            rem = (rem >> 64) + carry as u128;
+            i += 1;
+        }
+    }
+
+    /// Round the exact total to the nearest `f64` (deterministic for a given
+    /// exact value — independent of how the total was assembled).
+    pub fn to_f64(&self) -> f64 {
+        // High-to-low cascade: each fold is exact until the value exceeds
+        // 2⁵³, after which rounding depends only on the exact prefix value.
+        let mut acc = 0.0f64;
+        for limb in self.limbs.iter().rev() {
+            acc = acc * 18_446_744_073_709_551_616.0 + *limb as f64; // ·2⁶⁴
+        }
+        acc * 2f64.powi(-149)
+    }
+}
+
+impl AddAssign for ExactSum {
+    /// Merge two accumulators (the reduction combine). Limb-wise addition
+    /// with carry: exactly associative and commutative.
+    fn add_assign(&mut self, o: ExactSum) {
+        let mut carry = 0u128;
+        for i in 0..LIMBS {
+            let s = self.limbs[i] as u128 + o.limbs[i] as u128 + carry;
+            self.limbs[i] = s as u64;
+            carry = s >> 64;
+        }
+        assert!(carry == 0, "ExactSum overflow in merge");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mix(mut x: u64) -> u64 {
+        x ^= x >> 30;
+        x = x.wrapping_mul(0xbf58476d1ce4e5b9);
+        x ^= x >> 27;
+        x = x.wrapping_mul(0x94d049bb133111eb);
+        x ^ (x >> 31)
+    }
+
+    fn sample_values(n: usize, seed: u64) -> Vec<f32> {
+        (0..n)
+            .map(|i| {
+                // Mix magnitudes wildly: uniform mantissa, exponent spread
+                // over ~60 binades, plus exact zeros and subnormals.
+                let u = mix(seed ^ (i as u64).wrapping_mul(0x9e3779b97f4a7c15));
+                match u % 7 {
+                    0 => 0.0,
+                    1 => f32::from_bits((u % 0x7F_FFFF) as u32 + 1), // subnormal
+                    _ => {
+                        let m = (u >> 8) as f32 / (1u64 << 56) as f32 + 0.5;
+                        let e = ((u >> 3) % 61) as i32 - 30;
+                        m * 2f32.powi(e)
+                    }
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn embeds_single_values_exactly() {
+        for v in [
+            0.0f32,
+            1.0,
+            0.5,
+            3.25,
+            f32::MAX,
+            f32::MIN_POSITIVE,
+            f32::from_bits(1), // smallest subnormal
+            1e-38,
+            6.1e4,
+        ] {
+            let mut s = ExactSum::zero();
+            s.add_f32(v);
+            assert_eq!(s.to_f64(), v as f64, "exact embed of {v}");
+        }
+    }
+
+    #[test]
+    fn order_and_grouping_invariant() {
+        let vals = sample_values(4096, 42);
+        // Straight left-to-right.
+        let mut a = ExactSum::zero();
+        for &v in &vals {
+            a.add_f32(v);
+        }
+        // Reversed.
+        let mut b = ExactSum::zero();
+        for &v in vals.iter().rev() {
+            b.add_f32(v);
+        }
+        // Blocked into 7 uneven partial sums, merged pairwise like a
+        // reduction tree.
+        let mut parts: Vec<ExactSum> = vals
+            .chunks(vals.len() / 7 + 1)
+            .map(|c| {
+                let mut s = ExactSum::zero();
+                for &v in c {
+                    s.add_f32(v);
+                }
+                s
+            })
+            .collect();
+        while parts.len() > 1 {
+            let hi = parts.split_off(parts.len().div_ceil(2));
+            for (i, h) in hi.into_iter().enumerate() {
+                parts[i] += h;
+            }
+        }
+        assert_eq!(a, b);
+        assert_eq!(a, parts[0]);
+        assert_eq!(a.to_f64().to_bits(), parts[0].to_f64().to_bits());
+    }
+
+    #[test]
+    fn agrees_with_naive_f64_within_ulps() {
+        let vals = sample_values(10_000, 7);
+        let naive: f64 = vals.iter().map(|&v| v as f64).sum();
+        let mut s = ExactSum::zero();
+        for &v in &vals {
+            s.add_f32(v);
+        }
+        let exact = s.to_f64();
+        let rel = (exact - naive).abs() / naive.abs().max(1e-300);
+        assert!(rel < 1e-11, "exact {exact} vs naive {naive} (rel {rel})");
+    }
+
+    #[test]
+    fn small_integer_sums_are_exact() {
+        let mut s = ExactSum::zero();
+        for _ in 0..1000 {
+            s.add_f32(1.5);
+        }
+        assert_eq!(s.to_f64(), 1500.0);
+    }
+
+    #[test]
+    fn merge_is_commutative() {
+        let vals = sample_values(512, 9);
+        let (lo, hi) = vals.split_at(200);
+        let mk = |vs: &[f32]| {
+            let mut s = ExactSum::zero();
+            for &v in vs {
+                s.add_f32(v);
+            }
+            s
+        };
+        let mut ab = mk(lo);
+        ab += mk(hi);
+        let mut ba = mk(hi);
+        ba += mk(lo);
+        assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn overflow_headroom_is_ample() {
+        // A worst-case realistic run: 10⁹ voxels of 10⁶ each stays far from
+        // the 2¹⁷¹ register ceiling.
+        let mut s = ExactSum::zero();
+        for _ in 0..1_000 {
+            s.add_f32(1e6);
+        }
+        let mut total = ExactSum::zero();
+        for _ in 0..1_000 {
+            total += s;
+        }
+        assert!((total.to_f64() - 1e12).abs() < 1.0);
+    }
+}

@@ -23,7 +23,7 @@
 //!
 //! ## Timestep structure (paper Fig. 1C, with the §4.1 staging fix)
 //!
-//! 1. vascular T-cell pool update + extravasation trials ([`rules::extravasation`])
+//! 1. vascular T-cell pool update + extravasation trials ([`rules::extrav_succeeds`])
 //! 2. T-cell stage: aging, bind intents, move intents with 64-bit bids
 //! 3. conflict resolution: per-target `max (bid, source)` wins
 //! 4. apply binds/moves
@@ -37,6 +37,7 @@ pub mod config;
 pub mod decomp;
 pub mod diffusion;
 pub mod epithelial;
+pub mod exact;
 pub mod extrav;
 pub mod fields;
 pub mod foi;
@@ -52,11 +53,12 @@ pub mod tcell;
 pub mod world;
 
 pub use epithelial::{EpiCells, EpiState};
+pub use exact::ExactSum;
 pub use fields::Field;
 pub use grid::{Coord, GridDims};
 pub use params::SimParams;
 pub use rng::CounterRng;
 pub use serial::SerialSim;
-pub use stats::{StepStats, TimeSeries};
+pub use stats::{StatsPartial, StepStats, TimeSeries};
 pub use tcell::{TCellSlot, VascularPool};
 pub use world::World;

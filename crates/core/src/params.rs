@@ -1,7 +1,7 @@
 //! Model parameters with the published SIMCoV SARS-CoV-2 defaults.
 //!
 //! The defaults follow the "default COVID-19 parameters from Moses et
-//! al. [25]" that the paper's evaluation uses. One simulation timestep is one
+//! al. \[25\]" that the paper's evaluation uses. One simulation timestep is one
 //! minute of simulated time (33,120 steps ≈ 23 days, §4.1); one voxel is
 //! 5 µm³. Rates are per-voxel/per-step and therefore independent of grid
 //! size, except the T-cell generation rate, which is a whole-lung quantity —

@@ -14,7 +14,7 @@ use crate::params::SimParams;
 use crate::rules::{
     self, epi_update, extrav_lifetime, extrav_succeeds, extrav_voxel, plan_tcell, Bid, TCellAction,
 };
-use crate::stats::{StepStats, TimeSeries};
+use crate::stats::{StatsPartial, StepStats, TimeSeries};
 use crate::tcell::{TCellSlot, VascularPool};
 use crate::world::World;
 
@@ -257,15 +257,17 @@ impl SerialSim {
             p.tcell_vascular_period,
             extravasated,
         );
-        let mut stats = StepStats {
+        // Exact accumulation (see `exact::ExactSum`) so the serial totals
+        // are bit-identical to any partitioned executor's reduction.
+        let mut stats = StatsPartial {
             step: t,
             extravasated,
             tcells_vasculature: self.pool.circulating(),
             ..Default::default()
         };
         for v in 0..n {
-            stats.virions += self.world.virions.get(v) as f64;
-            stats.chemokine += self.world.chemokine.get(v) as f64;
+            stats.add_virions(self.world.virions.get(v));
+            stats.add_chemokine(self.world.chemokine.get(v));
             if self.world.tcells[v].occupied() {
                 stats.tcells_tissue += 1;
             }
@@ -278,7 +280,7 @@ impl SerialSim {
                 EpiState::Airway => {}
             }
         }
-        self.history.push(stats);
+        self.history.push(stats.finalize());
         self.step += 1;
     }
 

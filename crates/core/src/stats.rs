@@ -5,6 +5,7 @@
 //! Table 2) compares peak values and their spread across trials between the
 //! CPU and GPU implementations; the helpers for that analysis live here.
 
+use crate::exact::ExactSum;
 use std::ops::AddAssign;
 
 /// Aggregate statistics for a single timestep.
@@ -65,6 +66,79 @@ impl StepStats {
             && self.extravasated == o.extravasated
             && close(self.virions, o.virions, tol)
             && close(self.chemokine, o.chemokine, tol)
+    }
+}
+
+/// The in-flight form of [`StepStats`] used during the statistics reduction:
+/// float masses accumulate in [`ExactSum`] superaccumulators so the combined
+/// total is *independent of partitioning and reduction order* — any rank
+/// count, tree shape or post-recovery re-partition produces bit-identical
+/// statistics. [`StatsPartial::finalize`] rounds to the `f64` fields of
+/// [`StepStats`] once, after the reduction.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StatsPartial {
+    pub step: u64,
+    pub virions: ExactSum,
+    pub chemokine: ExactSum,
+    pub tcells_vasculature: u64,
+    pub tcells_tissue: u64,
+    pub epi_healthy: u64,
+    pub epi_incubating: u64,
+    pub epi_expressing: u64,
+    pub epi_apoptotic: u64,
+    pub epi_dead: u64,
+    pub extravasated: u64,
+}
+
+impl AddAssign for StatsPartial {
+    /// Combine partial statistics from two ranks/devices (the reduction
+    /// operator). Exactly associative and commutative.
+    fn add_assign(&mut self, o: StatsPartial) {
+        debug_assert!(self.step == o.step || self.step == 0 || o.step == 0);
+        self.step = self.step.max(o.step);
+        self.virions += o.virions;
+        self.chemokine += o.chemokine;
+        self.tcells_vasculature = self.tcells_vasculature.max(o.tcells_vasculature);
+        self.tcells_tissue += o.tcells_tissue;
+        self.epi_healthy += o.epi_healthy;
+        self.epi_incubating += o.epi_incubating;
+        self.epi_expressing += o.epi_expressing;
+        self.epi_apoptotic += o.epi_apoptotic;
+        self.epi_dead += o.epi_dead;
+        self.extravasated += o.extravasated;
+    }
+}
+
+impl StatsPartial {
+    /// Accumulate one voxel's virion concentration exactly.
+    #[inline]
+    pub fn add_virions(&mut self, v: f32) {
+        self.virions.add_f32(v);
+    }
+
+    /// Accumulate one voxel's chemokine concentration exactly.
+    #[inline]
+    pub fn add_chemokine(&mut self, c: f32) {
+        self.chemokine.add_f32(c);
+    }
+
+    /// Round the exact totals into the reporting form. Deterministic for a
+    /// given exact value, so the resulting [`StepStats`] carries the
+    /// partition invariance through.
+    pub fn finalize(&self) -> StepStats {
+        StepStats {
+            step: self.step,
+            virions: self.virions.to_f64(),
+            chemokine: self.chemokine.to_f64(),
+            tcells_vasculature: self.tcells_vasculature,
+            tcells_tissue: self.tcells_tissue,
+            epi_healthy: self.epi_healthy,
+            epi_incubating: self.epi_incubating,
+            epi_expressing: self.epi_expressing,
+            epi_apoptotic: self.epi_apoptotic,
+            epi_dead: self.epi_dead,
+            extravasated: self.extravasated,
+        }
     }
 }
 

@@ -1,0 +1,153 @@
+//! The shared driver core: state and bookkeeping common to every executor.
+//!
+//! `CpuSim` and `GpuSim` were ~300-line near-duplicates; everything that is
+//! not executor-specific (parameters, partition, vascular pool, history,
+//! metrics plumbing, comm-delta bookkeeping, recovery state) now lives here
+//! once, embedded by both.
+
+use gpusim::metrics::{MetricsSink, SnapshotTaker};
+use gpusim::DeviceCounters;
+use pgas::fault::{FaultPlan, RecoveryRecord};
+use pgas::{CommCounters, WorkPool};
+use simcov_core::checkpoint::CheckpointStore;
+use simcov_core::decomp::{Partition, Strategy};
+use simcov_core::params::SimParams;
+use simcov_core::stats::TimeSeries;
+use simcov_core::tcell::VascularPool;
+use simcov_core::world::World;
+
+use crate::error::ConfigError;
+
+/// How the driver checkpoints and retries around injected/detected faults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryPolicy {
+    /// Steps between in-memory incremental checkpoints. A checkpoint is
+    /// always taken before the first step; shorter periods bound replay
+    /// cost at the price of more frequent snapshots.
+    pub checkpoint_period: u64,
+    /// Consecutive failed attempts at one step before giving up.
+    pub max_retries: u32,
+    /// Simulated exponential backoff base before retry `k`
+    /// (`base << (k-1)` ns) — metered, never slept.
+    pub backoff_base_ns: u64,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy {
+            checkpoint_period: 16,
+            max_retries: 8,
+            backoff_base_ns: 1_000_000,
+        }
+    }
+}
+
+/// Recovery state for one run: the policy, the incremental checkpoint
+/// store, and the log of every recovery performed.
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryManager {
+    pub policy: RecoveryPolicy,
+    pub store: CheckpointStore,
+    pub log: Vec<RecoveryRecord>,
+}
+
+impl RecoveryManager {
+    pub fn new(policy: RecoveryPolicy) -> Self {
+        RecoveryManager {
+            policy,
+            store: CheckpointStore::new(),
+            log: Vec::new(),
+        }
+    }
+}
+
+/// State shared by every executor: everything a driver owns that is not the
+/// rank/device collection or the typed BSP mailboxes.
+pub struct DriverCore {
+    pub params: SimParams,
+    pub strategy: Strategy,
+    pub partition: Partition,
+    pub pool: WorkPool,
+    pub vascular: VascularPool,
+    pub step: u64,
+    pub history: TimeSeries,
+    /// Installed per-step metrics consumer (None: metrics are off and the
+    /// step loop takes no clock readings).
+    pub metrics: Option<Box<dyn MetricsSink>>,
+    pub snapshots: SnapshotTaker,
+    pub prev_comm: CommCounters,
+    /// Work counters of unit generations destroyed by recovery rebuilds;
+    /// totals are `retired + live` so recovered work is never lost.
+    pub retired_counters: DeviceCounters,
+    /// Engaged recovery machinery (None: failures are fatal).
+    pub recovery: Option<RecoveryManager>,
+    /// Recoveries completed since the last emitted step record.
+    pub pending_recoveries: Vec<RecoveryRecord>,
+}
+
+impl DriverCore {
+    /// Validate shared configuration and build the core. `fault_plan`
+    /// non-empty or an explicit `policy` engages recovery.
+    pub fn new(
+        params: SimParams,
+        n_units: usize,
+        strategy: Strategy,
+        fault_plan: &FaultPlan,
+        policy: Option<RecoveryPolicy>,
+    ) -> Result<Self, ConfigError> {
+        params.validate().map_err(ConfigError::InvalidParams)?;
+        if n_units == 0 {
+            return Err(ConfigError::ZeroUnits);
+        }
+        let partition =
+            Partition::try_new(params.dims, n_units, strategy).map_err(ConfigError::Partition)?;
+        let recovery = match (policy, fault_plan.is_exhausted()) {
+            (Some(p), _) => Some(RecoveryManager::new(p)),
+            (None, false) => Some(RecoveryManager::new(RecoveryPolicy::default())),
+            (None, true) => None,
+        };
+        Ok(DriverCore {
+            params,
+            strategy,
+            partition,
+            pool: WorkPool::host_sized(),
+            vascular: VascularPool::new(),
+            step: 0,
+            history: TimeSeries::default(),
+            metrics: None,
+            snapshots: SnapshotTaker::new(),
+            prev_comm: CommCounters::default(),
+            retired_counters: DeviceCounters::new(),
+            recovery: None,
+            pending_recoveries: Vec::new(),
+        }
+        .with_recovery_manager(recovery))
+    }
+
+    fn with_recovery_manager(mut self, recovery: Option<RecoveryManager>) -> Self {
+        self.recovery = recovery;
+        self
+    }
+
+    /// Check an explicit initial world against the configured grid.
+    pub fn check_world(&self, world: &World) -> Result<(), ConfigError> {
+        if world.dims != self.params.dims {
+            return Err(ConfigError::DimsMismatch {
+                expected: self.params.dims,
+                got: world.dims,
+            });
+        }
+        Ok(())
+    }
+
+    /// Is a checkpoint due before computing the current step?
+    pub fn checkpoint_due(&self) -> bool {
+        match &self.recovery {
+            None => false,
+            Some(rm) => match rm.store.latest() {
+                None => true,
+                Some(cp) => self.step >= cp.step + rm.policy.checkpoint_period.max(1),
+            },
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! `simcov-driver`: the unified driver layer over the SIMCoV executors.
+//!
+//! This crate owns everything the serial, CPU and GPU executors used to
+//! duplicate or lack:
+//!
+//! - [`Simulation`] — the object-safe driver API (`Box<dyn Simulation>`)
+//!   the CLI, benches and tests program against;
+//! - [`Executor`] — the small executor-specific contract; the step loop,
+//!   checkpointing, recovery and metrics emission are implemented once in
+//!   the blanket `impl<E: Executor> Simulation for E`;
+//! - [`DriverCore`] — the shared per-run state both executors embed;
+//! - [`RecoveryPolicy`] / [`RecoveryManager`] — checkpoint-based rollback
+//!   and elastic re-partitioning around injected or detected faults;
+//! - [`ConfigError`] / [`SimError`] — typed errors replacing the panicking
+//!   construction paths.
+
+pub mod core;
+pub mod error;
+pub mod simulation;
+
+pub use crate::core::{DriverCore, RecoveryManager, RecoveryPolicy};
+pub use error::{ConfigError, SimError};
+pub use simulation::{Executor, SerialDriver, Simulation};

@@ -1,0 +1,548 @@
+//! The unified [`Simulation`] driver API and the [`Executor`] contract the
+//! CPU and GPU executors implement.
+//!
+//! `Simulation` is the object-safe surface embedders program against
+//! (`Box<dyn Simulation>` in the CLI and benches); `Executor` is the small
+//! set of executor-specific hooks — everything else (the per-step loop,
+//! checkpointing, fault recovery, metrics emission) is implemented once in
+//! the blanket `impl<E: Executor> Simulation for E`.
+
+use std::time::Instant;
+
+use gpusim::metrics::{MetricsSink, StepRecord};
+use gpusim::{CostModel, DeviceCounters, HwProfile};
+use pgas::fault::{RecoveryRecord, SuperstepFailure};
+use pgas::{CommCounters, Trace};
+use simcov_core::checkpoint::RunCheckpoint;
+use simcov_core::extrav::TrialTable;
+use simcov_core::foi::FoiPattern;
+use simcov_core::params::SimParams;
+use simcov_core::serial::SerialSim;
+use simcov_core::stats::{StatsPartial, StepStats, TimeSeries};
+use simcov_core::world::World;
+
+use crate::core::DriverCore;
+use crate::error::{ConfigError, SimError};
+
+/// Executor-specific hooks. Implementations own a [`DriverCore`] plus their
+/// rank/device collection and BSP mailboxes; the step loop, checkpointing
+/// and recovery live in the blanket [`Simulation`] impl.
+///
+/// Method names are deliberately distinct from [`Simulation`]'s so that a
+/// concrete executor never has two candidate methods for one call.
+pub trait Executor {
+    fn core(&self) -> &DriverCore;
+    fn core_mut(&mut self) -> &mut DriverCore;
+
+    /// Stable executor name (`"cpu"`, `"gpu"`), used in structured output.
+    fn exec_name(&self) -> &'static str;
+
+    /// Number of live execution units (ranks or devices).
+    fn unit_count(&self) -> usize;
+
+    /// Active work units right now: active-list voxels (CPU) or active
+    /// tiles (GPU), summed over units.
+    fn live_active_units(&self) -> u64;
+
+    /// Aggregate work counters of the live units (excludes generations
+    /// retired by recovery — see [`DriverCore::retired_counters`]).
+    fn live_counters(&self) -> DeviceCounters;
+
+    /// The hardware profile this executor is costed under.
+    fn hw_profile<'a>(&self, model: &'a CostModel) -> &'a HwProfile;
+
+    fn bsp_counters(&self) -> CommCounters;
+    fn bsp_trace(&self) -> &Trace;
+    fn bsp_enable_trace(&mut self);
+
+    /// Compute step `t`: run the executor's supersteps and return the
+    /// globally-reduced statistics partial. On `Err` the unit states are
+    /// not trustworthy; the driver rolls back and rebuilds.
+    fn compute_step(
+        &mut self,
+        t: u64,
+        trials: &TrialTable,
+    ) -> Result<StatsPartial, SuperstepFailure>;
+
+    /// Tear down the unit collection and rebuild it over `n_units` units
+    /// from `world` (re-partitioning the grid — the elastic shrink after a
+    /// rank death). Must update [`DriverCore::partition`] and carry the BSP
+    /// runtime forward via [`pgas::Bsp::rebuilt`] so cumulative counters,
+    /// the trace and the remaining fault plan survive.
+    fn rebuild(&mut self, world: &World, n_units: usize) -> Result<(), ConfigError>;
+
+    /// Assemble the full world from the distributed subdomains.
+    fn assemble_world(&self) -> World;
+}
+
+/// The unified driver API: one object-safe surface over the serial, CPU and
+/// GPU executors. Obtain one from `CpuSim`, `GpuSim` or [`SerialDriver`];
+/// everything downstream (CLI, benches, tests) programs against
+/// `&mut dyn Simulation`.
+pub trait Simulation {
+    /// Stable executor name (`"serial"`, `"cpu"`, `"gpu"`).
+    fn name(&self) -> &'static str;
+
+    fn params(&self) -> &SimParams;
+
+    /// Next step to compute (= steps completed so far).
+    fn step(&self) -> u64;
+
+    /// Advance one timestep. With recovery engaged, detected failures roll
+    /// back to the last checkpoint, re-partition across survivors and
+    /// replay — so one call may compute several steps, and `Ok` means the
+    /// trajectory has advanced by exactly one step beyond where it was.
+    fn advance_step(&mut self) -> Result<(), SimError>;
+
+    /// Run all configured steps.
+    fn run(&mut self) -> Result<(), SimError> {
+        while self.step() < self.params().steps {
+            self.advance_step()?;
+        }
+        Ok(())
+    }
+
+    fn history(&self) -> &TimeSeries;
+
+    fn last_stats(&self) -> Option<StepStats> {
+        self.history().steps.last().copied()
+    }
+
+    /// Assemble the full world (gathered from subdomains where distributed).
+    fn gather_world(&self) -> World;
+
+    /// Number of execution units (1 for serial, ranks for CPU, devices for
+    /// GPU). May shrink after a recovery from rank death.
+    fn n_units(&self) -> usize;
+
+    /// Active work units right now (executor-specific granularity).
+    fn active_units(&self) -> u64;
+
+    /// Install a per-step metrics consumer; records flow from the next step.
+    fn set_metrics_sink(&mut self, sink: Box<dyn MetricsSink>);
+
+    /// Start recording runtime trace events (no-op for serial).
+    fn enable_trace(&mut self);
+
+    fn trace(&self) -> &Trace;
+
+    /// Cumulative communication counters (zeros for serial).
+    fn comm_counters(&self) -> CommCounters;
+
+    /// Cumulative work counters, including generations retired by recovery.
+    fn total_counters(&self) -> DeviceCounters;
+
+    /// Snapshot the full model state for later [`Simulation::restore`].
+    fn checkpoint(&self) -> RunCheckpoint;
+
+    /// Restore a [`Simulation::checkpoint`] — the world, vascular pool,
+    /// history and step counter are replaced wholesale.
+    fn restore(&mut self, cp: &RunCheckpoint) -> Result<(), SimError>;
+
+    /// Every fault recovery performed so far, in order.
+    fn recovery_log(&self) -> &[RecoveryRecord];
+}
+
+impl<E: Executor> Simulation for E {
+    fn name(&self) -> &'static str {
+        self.exec_name()
+    }
+
+    fn params(&self) -> &SimParams {
+        &self.core().params
+    }
+
+    fn step(&self) -> u64 {
+        self.core().step
+    }
+
+    fn advance_step(&mut self) -> Result<(), SimError> {
+        let target = self.core().step + 1;
+        let mut attempt: u32 = 0;
+        // After a rollback `core.step` drops below `target`; the loop
+        // replays the intermediate steps until the trajectory is one step
+        // further than when we were called.
+        while self.core().step < target {
+            if self.core().checkpoint_due() {
+                let world = self.assemble_world();
+                let core = self.core_mut();
+                let rm = core
+                    .recovery
+                    .as_mut()
+                    .expect("checkpoint_due implies a recovery manager");
+                rm.store
+                    .save(core.step, &world, &core.vascular, &core.history);
+            }
+            let t = self.core().step;
+            let start = self.core().metrics.as_ref().map(|_| Instant::now());
+            let trials =
+                TrialTable::build(&self.core().params, t, self.core().vascular.circulating());
+            match self.compute_step(t, &trials) {
+                Ok(partial) => {
+                    attempt = 0;
+                    finish_step(self, t, partial, start);
+                }
+                Err(failure) => {
+                    attempt += 1;
+                    recover(self, failure, attempt)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn history(&self) -> &TimeSeries {
+        &self.core().history
+    }
+
+    fn gather_world(&self) -> World {
+        self.assemble_world()
+    }
+
+    fn n_units(&self) -> usize {
+        self.unit_count()
+    }
+
+    fn active_units(&self) -> u64 {
+        self.live_active_units()
+    }
+
+    fn set_metrics_sink(&mut self, sink: Box<dyn MetricsSink>) {
+        self.core_mut().metrics = Some(sink);
+    }
+
+    fn enable_trace(&mut self) {
+        self.bsp_enable_trace();
+    }
+
+    fn trace(&self) -> &Trace {
+        self.bsp_trace()
+    }
+
+    fn comm_counters(&self) -> CommCounters {
+        self.bsp_counters()
+    }
+
+    fn total_counters(&self) -> DeviceCounters {
+        let mut total = self.core().retired_counters;
+        total.merge(&self.live_counters());
+        total
+    }
+
+    fn checkpoint(&self) -> RunCheckpoint {
+        RunCheckpoint {
+            step: self.core().step,
+            world: self.assemble_world(),
+            pool: self.core().vascular.clone(),
+            history: self.core().history.clone(),
+        }
+    }
+
+    fn restore(&mut self, cp: &RunCheckpoint) -> Result<(), SimError> {
+        if cp.world.dims != self.core().params.dims {
+            return Err(SimError::Restore(format!(
+                "checkpoint dims {:?} do not match configured {:?}",
+                cp.world.dims,
+                self.core().params.dims
+            )));
+        }
+        let n = self.unit_count();
+        self.rebuild(&cp.world, n).map_err(SimError::Config)?;
+        let core = self.core_mut();
+        core.vascular = cp.pool.clone();
+        core.history = cp.history.clone();
+        core.step = cp.step;
+        // The restored state starts a new timeline: recovery must never
+        // roll back across it to a checkpoint from the old one.
+        if let Some(rm) = core.recovery.as_mut() {
+            rm.store = simcov_core::checkpoint::CheckpointStore::new();
+        }
+        Ok(())
+    }
+
+    fn recovery_log(&self) -> &[RecoveryRecord] {
+        self.core()
+            .recovery
+            .as_ref()
+            .map(|rm| rm.log.as_slice())
+            .unwrap_or(&[])
+    }
+}
+
+/// Fold a completed step into the shared state and emit its record.
+fn finish_step<E: Executor + ?Sized>(
+    exec: &mut E,
+    t: u64,
+    partial: StatsPartial,
+    start: Option<Instant>,
+) {
+    let mut stats = partial.finalize();
+    {
+        let core = exec.core_mut();
+        let (rate, delay, period) = (
+            core.params.tcell_generation_rate,
+            core.params.tcell_initial_delay,
+            core.params.tcell_vascular_period,
+        );
+        core.vascular
+            .advance(t, rate, delay, period, stats.extravasated);
+        stats.tcells_vasculature = core.vascular.circulating();
+        stats.step = t;
+        core.history.push(stats);
+        core.step = t + 1;
+    }
+    if exec.core().metrics.is_some() {
+        emit_step_record(exec, t, stats, start);
+    }
+}
+
+/// Publish one [`StepRecord`]. Replayed steps (after a rollback) emit again
+/// under the same step number — replay cost is visible in the stream, and
+/// the recoveries that triggered it ride on the first record emitted after
+/// them.
+fn emit_step_record<E: Executor + ?Sized>(
+    exec: &mut E,
+    step: u64,
+    stats: StepStats,
+    start: Option<Instant>,
+) {
+    let comm = exec.bsp_counters();
+    let active_units = exec.live_active_units();
+    let units = exec.unit_count().max(1) as f64;
+    let model = CostModel::default();
+    let mut total = exec.core().retired_counters;
+    total.merge(&exec.live_counters());
+    let hw = exec.hw_profile(&model);
+    let core = exec.core_mut();
+    let snap = core.snapshots.take(step, &total, &model, hw);
+    let prev = core.prev_comm;
+    let rec = StepRecord {
+        step,
+        agents: stats.tcells_tissue,
+        virions: stats.virions,
+        chemokine: stats.chemokine,
+        active_units,
+        comm_messages: (comm.messages + comm.bulk_messages) - (prev.messages + prev.bulk_messages),
+        comm_bytes: (comm.bytes + comm.bulk_bytes) - (prev.bytes + prev.bulk_bytes),
+        sim_seconds: snap.cost.total() / units,
+        real_seconds: start.map(|s| s.elapsed().as_secs_f64()).unwrap_or(0.0),
+        phases: snap,
+        recoveries: std::mem::take(&mut core.pending_recoveries),
+    };
+    core.prev_comm = comm;
+    if let Some(sink) = core.metrics.as_mut() {
+        sink.record(rec);
+    }
+}
+
+/// Roll back to the last checkpoint, re-partition across survivors and
+/// prime the replay. `attempt` counts consecutive failures at the current
+/// position (resets on any completed step).
+fn recover<E: Executor + ?Sized>(
+    exec: &mut E,
+    failure: SuperstepFailure,
+    attempt: u32,
+) -> Result<(), SimError> {
+    let failed_step = exec.core().step;
+    let policy = match exec.core().recovery.as_ref() {
+        None => return Err(SimError::Unrecoverable(failure)),
+        Some(rm) if rm.store.latest().is_none() => return Err(SimError::Unrecoverable(failure)),
+        Some(rm) => rm.policy,
+    };
+    if attempt > policy.max_retries {
+        return Err(SimError::RetriesExhausted {
+            last: failure,
+            attempts: attempt,
+        });
+    }
+    let cp = exec
+        .core()
+        .recovery
+        .as_ref()
+        .and_then(|rm| rm.store.latest())
+        .expect("checked above")
+        .clone();
+
+    // Retire the live work counters before the unit collection is torn
+    // down, so totals never lose the failed epoch's work.
+    let live = exec.live_counters();
+    exec.core_mut().retired_counters.merge(&live);
+
+    let survivors = if failure.dead_ranks.is_empty() {
+        exec.unit_count()
+    } else {
+        exec.unit_count()
+            .saturating_sub(failure.dead_ranks.len())
+            .max(1)
+    };
+    exec.rebuild(&cp.world, survivors)
+        .map_err(SimError::Config)?;
+
+    // Simulated exponential backoff — metered in the record, never slept.
+    let backoff_ns = policy.backoff_base_ns << (attempt - 1).min(20);
+    let record = RecoveryRecord {
+        failed_step,
+        superstep: failure.superstep,
+        dead_ranks: failure.dead_ranks,
+        dropped_messages: failure.dropped_messages,
+        rollback_step: cp.step,
+        replayed_steps: failed_step - cp.step,
+        survivors,
+        attempt,
+        backoff_ns,
+    };
+    let core = exec.core_mut();
+    core.vascular = cp.pool;
+    core.history = cp.history;
+    core.step = cp.step;
+    let rm = core.recovery.as_mut().expect("checked above");
+    rm.log.push(record.clone());
+    core.pending_recoveries.push(record);
+    Ok(())
+}
+
+/// The serial reference executor behind the unified driver API.
+///
+/// [`SerialSim`] has no runtime (no ranks, no mailboxes, no fault surface),
+/// so it implements [`Simulation`] directly rather than through
+/// [`Executor`]: traces and communication counters are empty, recovery is
+/// unavailable, and checkpoint/restore operate on the whole world.
+pub struct SerialDriver {
+    sim: SerialSim,
+    metrics: Option<Box<dyn MetricsSink>>,
+    /// Permanently-disabled trace handed out by [`Simulation::trace`].
+    empty_trace: Trace,
+}
+
+impl SerialDriver {
+    pub fn new(params: SimParams) -> Result<Self, ConfigError> {
+        Self::with_pattern(params, FoiPattern::UniformLattice)
+    }
+
+    pub fn with_pattern(params: SimParams, pattern: FoiPattern) -> Result<Self, ConfigError> {
+        params.validate().map_err(ConfigError::InvalidParams)?;
+        Ok(SerialDriver {
+            sim: SerialSim::with_pattern(params, pattern),
+            metrics: None,
+            empty_trace: Trace::disabled(),
+        })
+    }
+
+    pub fn from_world(params: SimParams, world: World) -> Result<Self, ConfigError> {
+        params.validate().map_err(ConfigError::InvalidParams)?;
+        if world.dims != params.dims {
+            return Err(ConfigError::DimsMismatch {
+                expected: params.dims,
+                got: world.dims,
+            });
+        }
+        Ok(SerialDriver {
+            sim: SerialSim::from_world(params, world),
+            metrics: None,
+            empty_trace: Trace::disabled(),
+        })
+    }
+
+    pub fn inner(&self) -> &SerialSim {
+        &self.sim
+    }
+
+    pub fn inner_mut(&mut self) -> &mut SerialSim {
+        &mut self.sim
+    }
+}
+
+impl Simulation for SerialDriver {
+    fn name(&self) -> &'static str {
+        "serial"
+    }
+
+    fn params(&self) -> &SimParams {
+        &self.sim.params
+    }
+
+    fn step(&self) -> u64 {
+        self.sim.step
+    }
+
+    fn advance_step(&mut self) -> Result<(), SimError> {
+        let start = self.metrics.as_ref().map(|_| Instant::now());
+        let t = self.sim.step;
+        self.sim.advance_step();
+        if let Some(sink) = self.metrics.as_mut() {
+            let s = self.sim.last_stats().copied().unwrap_or_default();
+            sink.record(StepRecord {
+                step: t,
+                agents: s.tcells_tissue,
+                virions: s.virions,
+                chemokine: s.chemokine,
+                active_units: self.sim.world.nvoxels() as u64,
+                real_seconds: start.map(|i| i.elapsed().as_secs_f64()).unwrap_or(0.0),
+                ..Default::default()
+            });
+        }
+        Ok(())
+    }
+
+    fn history(&self) -> &TimeSeries {
+        &self.sim.history
+    }
+
+    fn gather_world(&self) -> World {
+        self.sim.world.clone()
+    }
+
+    fn n_units(&self) -> usize {
+        1
+    }
+
+    /// The serial executor sweeps every voxel every step.
+    fn active_units(&self) -> u64 {
+        self.sim.world.nvoxels() as u64
+    }
+
+    fn set_metrics_sink(&mut self, sink: Box<dyn MetricsSink>) {
+        self.metrics = Some(sink);
+    }
+
+    fn enable_trace(&mut self) {}
+
+    fn trace(&self) -> &Trace {
+        &self.empty_trace
+    }
+
+    fn comm_counters(&self) -> CommCounters {
+        CommCounters::new()
+    }
+
+    fn total_counters(&self) -> DeviceCounters {
+        DeviceCounters::new()
+    }
+
+    fn checkpoint(&self) -> RunCheckpoint {
+        RunCheckpoint {
+            step: self.sim.step,
+            world: self.sim.world.clone(),
+            pool: self.sim.pool.clone(),
+            history: self.sim.history.clone(),
+        }
+    }
+
+    fn restore(&mut self, cp: &RunCheckpoint) -> Result<(), SimError> {
+        if cp.world.dims != self.sim.params.dims {
+            return Err(SimError::Restore(format!(
+                "checkpoint dims {:?} do not match configured {:?}",
+                cp.world.dims, self.sim.params.dims
+            )));
+        }
+        self.sim.world = cp.world.clone();
+        self.sim.pool = cp.pool.clone();
+        self.sim.history = cp.history.clone();
+        self.sim.step = cp.step;
+        Ok(())
+    }
+
+    fn recovery_log(&self) -> &[RecoveryRecord] {
+        &[]
+    }
+}

@@ -16,7 +16,7 @@
 //!
 //! The block/thread structure of real kernels is preserved where it affects
 //! results or cost: the tree reduction ([`reduce::tree_reduce`]) mirrors the
-//! shared-memory halving reduction of Harris [17] with one global atomic per
+//! shared-memory halving reduction of Harris \[17\] with one global atomic per
 //! block, versus the per-element atomic accumulation of the unoptimized
 //! variant ([`reduce::atomic_reduce`]).
 

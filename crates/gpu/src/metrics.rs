@@ -12,6 +12,7 @@
 
 use crate::cost::{CostBreakdown, CostModel, HwProfile};
 use crate::counters::{CategoryCounters, DeviceCounters, KernelCategory};
+use pgas::fault::RecoveryRecord;
 use std::sync::{Arc, Mutex};
 
 impl KernelCategory {
@@ -113,7 +114,9 @@ impl SnapshotTaker {
 }
 
 /// One structured record per simulation step, emitted by both executors.
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
+/// (Not `Copy`: a record owns the recovery events that completed during the
+/// step, which is almost always an empty `Vec`.)
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct StepRecord {
     pub step: u64,
     /// Agents in play: T cells resident in tissue.
@@ -136,6 +139,9 @@ pub struct StepRecord {
     pub real_seconds: f64,
     /// Per-phase snapshot of this step's aggregate device work.
     pub phases: PhaseSnapshot,
+    /// Fault recoveries (rollback + re-partition + replay) that completed
+    /// while computing this step. Empty in healthy runs.
+    pub recoveries: Vec<RecoveryRecord>,
 }
 
 /// Consumer of per-step records. `Send` so an installed sink never stops a

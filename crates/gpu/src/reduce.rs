@@ -2,7 +2,7 @@
 //!
 //! SIMCoV-GPU found that a full-sweep reduction over every voxel beats
 //! interleaving atomics with the update kernels, and that a shared-memory
-//! tree reduction (Harris [17]) further cuts the atomic count to one per
+//! tree reduction (Harris \[17\]) further cuts the atomic count to one per
 //! block. Both strategies are implemented here over the same fold (so the
 //! *result* is identical and deterministic); what differs is the metered
 //! cost:

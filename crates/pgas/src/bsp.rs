@@ -12,6 +12,7 @@
 //! counter-based model RNG this makes multi-rank execution bit-reproducible.
 
 use crate::counters::{CommCounters, WireSize};
+use crate::fault::{FaultKind, FaultPlan, SuperstepFailure};
 use crate::pool::WorkPool;
 #[cfg(feature = "trace")]
 use crate::trace::SpanVolume;
@@ -51,6 +52,9 @@ pub struct Bsp<M> {
     /// Per-superstep event log (disabled by default; see
     /// [`Bsp::enable_trace`]).
     pub trace: Trace,
+    /// Scheduled fault injections (empty by default; see
+    /// [`Bsp::inject_faults`]).
+    plan: FaultPlan,
 }
 
 impl<M: Send + Sync + WireSize> Bsp<M> {
@@ -61,6 +65,36 @@ impl<M: Send + Sync + WireSize> Bsp<M> {
             inboxes: (0..n_ranks).map(|_| Vec::new()).collect(),
             counters: CommCounters::new(),
             trace: Trace::disabled(),
+            plan: FaultPlan::none(),
+        }
+    }
+
+    /// Arm a fault schedule. Events fire at the global superstep index
+    /// recorded in [`CommCounters::supersteps`], which keeps increasing
+    /// across rollbacks — a replayed superstep never re-fires a past fault.
+    pub fn inject_faults(&mut self, plan: FaultPlan) {
+        self.plan = plan;
+    }
+
+    /// The currently armed fault schedule.
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Consume this runtime and return a fresh one over `n_ranks` ranks,
+    /// carrying the cumulative counters, trace log and remaining fault plan
+    /// forward. Used by recovery: after a rank death the driver rolls back
+    /// to a checkpoint and rebuilds the domain across the survivors —
+    /// in-flight messages from the failed epoch must not leak into the new
+    /// one, so inboxes start empty.
+    pub fn rebuilt(self, n_ranks: usize) -> Bsp<M> {
+        assert!(n_ranks >= 1);
+        Bsp {
+            n_ranks,
+            inboxes: (0..n_ranks).map(|_| Vec::new()).collect(),
+            counters: self.counters,
+            trace: self.trace,
+            plan: self.plan,
         }
     }
 
@@ -83,7 +117,40 @@ impl<M: Send + Sync + WireSize> Bsp<M> {
     /// Execute one superstep: `f(rank, state, inbox, outbox) -> R` runs for
     /// every rank (in parallel on `pool`), then all outboxes are delivered.
     /// Returns the per-rank results in rank order.
+    ///
+    /// Infallible wrapper over [`Bsp::try_superstep`]: with no fault plan
+    /// armed a superstep cannot fail; with one armed, an unhandled failure
+    /// panics (drivers that arm faults use `try_superstep` and recover).
     pub fn superstep<S, R, F>(&mut self, pool: &WorkPool, states: &mut [S], f: F) -> Vec<R>
+    where
+        S: Send,
+        R: Send + Default,
+        F: Fn(usize, &mut S, &[M], &mut Outbox<M>) -> R + Sync,
+    {
+        self.try_superstep(pool, states, f)
+            .unwrap_or_else(|e| panic!("unrecovered superstep failure: {e}"))
+    }
+
+    /// Execute one superstep, reporting failures instead of panicking.
+    ///
+    /// Faults due at this superstep (per the armed [`FaultPlan`]) are
+    /// injected: dead ranks never run and leave their heartbeat slot cold;
+    /// dropped outboxes are discarded in flight; duplicated outboxes are
+    /// delivered once with the copies metered in
+    /// [`CommCounters::duplicates_suppressed`]; stalls are metered in
+    /// [`CommCounters::stalls`]. At the barrier, missing heartbeats and
+    /// message loss surface as [`SuperstepFailure`].
+    ///
+    /// On `Err` the runtime's inboxes are *not* trustworthy (the failed
+    /// epoch's messages are partially delivered) — callers roll back to a
+    /// checkpoint and rebuild via [`Bsp::rebuilt`]. The superstep counter
+    /// still advances, so the retried superstep gets a fresh fault index.
+    pub fn try_superstep<S, R, F>(
+        &mut self,
+        pool: &WorkPool,
+        states: &mut [S],
+        f: F,
+    ) -> Result<Vec<R>, SuperstepFailure>
     where
         S: Send,
         R: Send + Default,
@@ -92,37 +159,72 @@ impl<M: Send + Sync + WireSize> Bsp<M> {
         assert_eq!(states.len(), self.n_ranks, "one state per rank");
         #[cfg(feature = "trace")]
         let span = self.trace.span("superstep");
+        let step_index = self.counters.supersteps;
+
+        // Collect faults due now. Ranks are interpreted modulo the current
+        // rank count so plans stay valid after an elastic shrink.
+        let mut killed: Vec<usize> = Vec::new();
+        let mut drops: Vec<usize> = Vec::new();
+        let mut dups: Vec<usize> = Vec::new();
+        if !self.plan.is_exhausted() {
+            let n = self.n_ranks;
+            for ev in self.plan.take_due(step_index) {
+                let rank = ev.rank % n;
+                match ev.kind {
+                    FaultKind::RankDeath => killed.push(rank),
+                    FaultKind::MessageDrop => drops.push(rank),
+                    FaultKind::MessageDuplicate => dups.push(rank),
+                    FaultKind::SlowRank { stall_ns } => {
+                        self.counters.stalls += 1;
+                        self.counters.stall_ns += stall_ns;
+                    }
+                }
+            }
+            killed.sort_unstable();
+            killed.dedup();
+        }
+
         let inboxes = std::mem::replace(
             &mut self.inboxes,
             (0..self.n_ranks).map(|_| Vec::new()).collect(),
         );
 
-        // Per-rank result and outbox slots, written exclusively by the rank
-        // that owns them.
+        // Per-rank result, outbox and heartbeat slots, written exclusively
+        // by the rank that owns them.
         let mut results: Vec<R> = (0..self.n_ranks).map(|_| R::default()).collect();
         let mut outboxes: Vec<Outbox<M>> = (0..self.n_ranks).map(|_| Outbox::new()).collect();
+        let mut heartbeats: Vec<bool> = vec![false; self.n_ranks];
 
         {
             struct Slots<S, R, M> {
                 states: *mut S,
                 results: *mut R,
                 outboxes: *mut Outbox<M>,
+                heartbeats: *mut bool,
             }
             // SAFETY: each index is claimed by exactly one pool worker
             // (WorkPool::run_indexed guarantees single execution per index),
-            // so each rank's state/result/outbox slot has a unique writer.
+            // so each rank's state/result/outbox/heartbeat slot has a unique
+            // writer.
             unsafe impl<S, R, M> Sync for Slots<S, R, M> {}
             let slots = Slots {
                 states: states.as_mut_ptr(),
                 results: results.as_mut_ptr(),
                 outboxes: outboxes.as_mut_ptr(),
+                heartbeats: heartbeats.as_mut_ptr(),
             };
             let inboxes = &inboxes;
             let f = &f;
+            let killed = &killed;
             // Bind a reference so the closure captures the whole `Slots`
             // (which is `Sync`) rather than its raw-pointer fields.
             let slots = &slots;
             pool.run_indexed(self.n_ranks, |rank| {
+                if killed.binary_search(&rank).is_ok() {
+                    // Injected death: the rank vanishes before computing,
+                    // leaving its heartbeat slot cold for the barrier check.
+                    return;
+                }
                 // SAFETY: see Slots above — `rank` is unique per invocation.
                 let (state, result, outbox) = unsafe {
                     (
@@ -132,18 +234,41 @@ impl<M: Send + Sync + WireSize> Bsp<M> {
                     )
                 };
                 *result = f(rank, state, &inboxes[rank], outbox);
+                // SAFETY: unique writer per rank, as above.
+                unsafe { *slots.heartbeats.add(rank) = true };
             });
         }
 
-        // Deliver: iterate sources in rank order so each destination inbox
-        // is ordered by (source rank, emission order).
+        // Barrier, part 1 — heartbeat scan: any rank that did not check in
+        // is structurally detected as dead, however it was lost.
+        let dead_ranks: Vec<usize> = heartbeats
+            .iter()
+            .enumerate()
+            .filter(|(_, alive)| !**alive)
+            .map(|(rank, _)| rank)
+            .collect();
+
+        // Barrier, part 2 — delivery: iterate sources in rank order so each
+        // destination inbox is ordered by (source rank, emission order).
         let mut step_msgs = 0u64;
         let mut step_bytes = 0u64;
         let mut max_rank_msgs = 0u64;
         let mut max_rank_bytes = 0u64;
         let mut step_bulk_msgs = 0u64;
         let mut step_bulk_bytes = 0u64;
-        for ob in outboxes {
+        let mut dropped = 0u64;
+        for (src, ob) in outboxes.into_iter().enumerate() {
+            if drops.contains(&src) {
+                // Lost in flight. Detected at the barrier (delivery is
+                // acknowledged), so the loss fails the superstep below.
+                dropped += ob.msgs.len() as u64;
+                continue;
+            }
+            if dups.contains(&src) {
+                // Delivered twice by the network; the exactly-once layer
+                // keeps the first copy and meters the rest.
+                self.counters.duplicates_suppressed += ob.msgs.len() as u64;
+            }
             let mut rank_msgs = 0u64;
             let mut rank_bytes = 0u64;
             for (dest, msg) in ob.msgs {
@@ -170,12 +295,20 @@ impl<M: Send + Sync + WireSize> Bsp<M> {
         self.counters.bulk_bytes += step_bulk_bytes;
         self.counters.max_rank_messages = self.counters.max_rank_messages.max(max_rank_msgs);
         self.counters.max_rank_bytes = self.counters.max_rank_bytes.max(max_rank_bytes);
+        self.counters.dropped_messages += dropped;
         #[cfg(feature = "trace")]
         self.trace.finish(
             span,
             SpanVolume::new(step_msgs, step_bytes, step_bulk_msgs, step_bulk_bytes),
         );
-        results
+        if !dead_ranks.is_empty() || dropped > 0 {
+            return Err(SuperstepFailure {
+                superstep: step_index,
+                dead_ranks,
+                dropped_messages: dropped,
+            });
+        }
+        Ok(results)
     }
 }
 
@@ -287,6 +420,140 @@ mod tests {
         let mut bsp: Bsp<u8> = Bsp::new(2);
         let mut states = vec![(); 2];
         bsp.superstep(&pool, &mut states, |_r, _s, _i, out| out.send(5, 1));
+    }
+
+    #[test]
+    fn injected_rank_death_is_detected_at_barrier() {
+        use crate::fault::{FaultEvent, FaultKind, FaultPlan};
+        let pool = WorkPool::new(2);
+        let mut bsp: Bsp<u32> = Bsp::new(4);
+        bsp.inject_faults(FaultPlan::from_events(vec![FaultEvent {
+            superstep: 1,
+            rank: 2,
+            kind: FaultKind::RankDeath,
+        }]));
+        let mut states = vec![0u32; 4];
+        // Superstep 0: clean.
+        bsp.try_superstep(&pool, &mut states, |_r, s, _i, _o| {
+            *s += 1;
+        })
+        .expect("no fault due yet");
+        // Superstep 1: rank 2 dies — its state is untouched and the barrier
+        // reports exactly that rank missing.
+        let err = bsp
+            .try_superstep(&pool, &mut states, |_r, s, _i, _o| {
+                *s += 1;
+            })
+            .expect_err("rank death must fail the superstep");
+        assert_eq!(err.superstep, 1);
+        assert_eq!(err.dead_ranks, vec![2]);
+        assert_eq!(err.dropped_messages, 0);
+        assert_eq!(states, vec![2, 2, 1, 2]);
+        assert_eq!(bsp.counters.supersteps, 2, "failed supersteps still count");
+    }
+
+    #[test]
+    fn dropped_outbox_fails_the_superstep() {
+        use crate::fault::{FaultEvent, FaultKind, FaultPlan};
+        let pool = WorkPool::new(0);
+        let mut bsp: Bsp<u64> = Bsp::new(3);
+        bsp.inject_faults(FaultPlan::from_events(vec![FaultEvent {
+            superstep: 0,
+            rank: 1,
+            kind: FaultKind::MessageDrop,
+        }]));
+        let mut states = vec![(); 3];
+        let err = bsp
+            .try_superstep(&pool, &mut states, |rank, _s, _i, out| {
+                out.send((rank + 1) % 3, rank as u64);
+            })
+            .expect_err("message loss must fail the superstep");
+        assert!(err.dead_ranks.is_empty());
+        assert_eq!(err.dropped_messages, 1);
+        assert_eq!(bsp.counters.dropped_messages, 1);
+        // Rank 1's message never arrived; the other two were delivered.
+        assert_eq!(bsp.pending(0), 1);
+        assert_eq!(bsp.pending(1), 1);
+        assert_eq!(bsp.pending(2), 0);
+    }
+
+    #[test]
+    fn duplicates_are_suppressed_not_failures() {
+        use crate::fault::{FaultEvent, FaultKind, FaultPlan};
+        let pool = WorkPool::new(0);
+        let mut bsp: Bsp<u64> = Bsp::new(2);
+        bsp.inject_faults(FaultPlan::from_events(vec![FaultEvent {
+            superstep: 0,
+            rank: 0,
+            kind: FaultKind::MessageDuplicate,
+        }]));
+        let mut states = vec![(); 2];
+        bsp.try_superstep(&pool, &mut states, |rank, _s, _i, out| {
+            out.send(1 - rank, 7u64);
+            out.send(1 - rank, 8u64);
+        })
+        .expect("duplication is not a failure");
+        // Exactly-once delivery: each inbox still holds one copy of each.
+        assert_eq!(bsp.pending(0), 2);
+        assert_eq!(bsp.pending(1), 2);
+        assert_eq!(bsp.counters.duplicates_suppressed, 2);
+        assert_eq!(bsp.counters.messages, 4, "suppressed copies not metered");
+    }
+
+    #[test]
+    fn stalls_are_metered_only() {
+        use crate::fault::{FaultEvent, FaultKind, FaultPlan};
+        let pool = WorkPool::new(0);
+        let mut bsp: Bsp<()> = Bsp::new(2);
+        bsp.inject_faults(FaultPlan::from_events(vec![FaultEvent {
+            superstep: 0,
+            rank: 1,
+            kind: FaultKind::SlowRank { stall_ns: 12_345 },
+        }]));
+        let mut states = vec![0u32; 2];
+        bsp.try_superstep(&pool, &mut states, |_r, s, _i, _o| *s += 1)
+            .expect("a stall is not a failure");
+        assert_eq!(states, vec![1, 1]);
+        assert_eq!(bsp.counters.stalls, 1);
+        assert_eq!(bsp.counters.stall_ns, 12_345);
+    }
+
+    #[test]
+    fn rebuilt_shrinks_and_carries_counters() {
+        let pool = WorkPool::new(0);
+        let mut bsp: Bsp<u64> = Bsp::new(4);
+        let mut states = vec![(); 4];
+        bsp.superstep(&pool, &mut states, |rank, _s, _i, out| {
+            out.send((rank + 1) % 4, 1u64);
+        });
+        assert_eq!(bsp.counters.messages, 4);
+        let bsp = bsp.rebuilt(3);
+        assert_eq!(bsp.n_ranks(), 3);
+        // Counters carried, stale in-flight messages discarded.
+        assert_eq!(bsp.counters.messages, 4);
+        for r in 0..3 {
+            assert_eq!(bsp.pending(r), 0);
+        }
+    }
+
+    #[test]
+    fn plan_ranks_wrap_after_shrink() {
+        use crate::fault::{FaultEvent, FaultKind, FaultPlan};
+        let pool = WorkPool::new(0);
+        let mut bsp: Bsp<()> = Bsp::new(4);
+        // Rank 3 will not exist once the domain shrinks to 2 ranks; the
+        // event must still fire (on rank 3 % 2 == 1).
+        bsp.inject_faults(FaultPlan::from_events(vec![FaultEvent {
+            superstep: 0,
+            rank: 3,
+            kind: FaultKind::RankDeath,
+        }]));
+        let mut bsp = bsp.rebuilt(2);
+        let mut states = vec![(); 2];
+        let err = bsp
+            .try_superstep(&pool, &mut states, |_r, _s, _i, _o| {})
+            .expect_err("wrapped rank death");
+        assert_eq!(err.dead_ranks, vec![1]);
     }
 
     #[test]

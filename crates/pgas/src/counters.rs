@@ -28,6 +28,14 @@ pub struct CommCounters {
     pub max_rank_messages: u64,
     /// Maximum bytes sent by any single rank in any superstep.
     pub max_rank_bytes: u64,
+    /// Injected slow-rank stalls observed at barriers (fault layer).
+    pub stalls: u64,
+    /// Total simulated straggler lateness, nanoseconds.
+    pub stall_ns: u64,
+    /// Messages the exactly-once delivery layer discarded as duplicates.
+    pub duplicates_suppressed: u64,
+    /// Messages lost in flight (each loss also fails its superstep).
+    pub dropped_messages: u64,
 }
 
 impl CommCounters {
@@ -46,6 +54,10 @@ impl CommCounters {
         self.allreduce_bytes += o.allreduce_bytes;
         self.max_rank_messages = self.max_rank_messages.max(o.max_rank_messages);
         self.max_rank_bytes = self.max_rank_bytes.max(o.max_rank_bytes);
+        self.stalls += o.stalls;
+        self.stall_ns += o.stall_ns;
+        self.duplicates_suppressed += o.duplicates_suppressed;
+        self.dropped_messages += o.dropped_messages;
     }
 
     /// Take the current values, resetting to zero.
@@ -89,6 +101,10 @@ mod tests {
             allreduce_bytes: 64,
             max_rank_messages: 4,
             max_rank_bytes: 40,
+            stalls: 1,
+            stall_ns: 500,
+            duplicates_suppressed: 2,
+            dropped_messages: 1,
         };
         let b = CommCounters {
             supersteps: 2,
@@ -100,6 +116,10 @@ mod tests {
             allreduce_bytes: 32,
             max_rank_messages: 7,
             max_rank_bytes: 30,
+            stalls: 2,
+            stall_ns: 300,
+            duplicates_suppressed: 1,
+            dropped_messages: 0,
         };
         a.merge(&b);
         assert_eq!(a.supersteps, 3);
@@ -111,6 +131,10 @@ mod tests {
         assert_eq!(a.allreduce_bytes, 96);
         assert_eq!(a.max_rank_messages, 7);
         assert_eq!(a.max_rank_bytes, 40);
+        assert_eq!(a.stalls, 3);
+        assert_eq!(a.stall_ns, 800);
+        assert_eq!(a.duplicates_suppressed, 3);
+        assert_eq!(a.dropped_messages, 1);
 
         let taken = a.take();
         assert_eq!(taken.messages, 15);

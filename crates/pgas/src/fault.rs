@@ -1,0 +1,354 @@
+//! Deterministic fault injection and failure reporting.
+//!
+//! The paper's exascale target assumes long multi-node runs where rank and
+//! GPU failure is routine. This module gives the BSP runtime a *seeded,
+//! reproducible* failure model so recovery machinery can be exercised and
+//! benchmarked offline: a [`FaultPlan`] schedules rank deaths, message drops,
+//! message duplications and slow-rank stalls at superstep boundaries, and
+//! [`Bsp::try_superstep`] converts the injected faults into structural
+//! detection ([`SuperstepFailure`]) exactly as a heartbeat/timeout layer
+//! would on real hardware.
+//!
+//! Fault semantics at the superstep barrier:
+//!
+//! - **Rank death** — the rank's closure never runs, its heartbeat slot stays
+//!   cold, and the barrier reports it in [`SuperstepFailure::dead_ranks`].
+//! - **Message drop** — the rank computes but its outbox is lost in flight;
+//!   the barrier reports the loss (payload acknowledgements are part of the
+//!   delivery protocol, so drops are detectable).
+//! - **Message duplication** — the network delivers a rank's outbox twice;
+//!   the runtime's exactly-once layer suppresses the second copy and meters
+//!   it in [`CommCounters::duplicates_suppressed`]. Not a failure.
+//! - **Slow rank** — the rank is healthy but late; metered in
+//!   [`CommCounters::stalls`] / [`CommCounters::stall_ns`] as simulated
+//!   straggler time. Not a failure.
+//!
+//! [`Bsp::try_superstep`]: crate::bsp::Bsp::try_superstep
+//! [`CommCounters::duplicates_suppressed`]: crate::CommCounters
+//! [`CommCounters::stalls`]: crate::CommCounters
+//! [`CommCounters::stall_ns`]: crate::CommCounters
+
+use std::fmt;
+
+/// What kind of fault strikes a rank at a superstep boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The rank dies before computing: no heartbeat, no outbox.
+    RankDeath,
+    /// The rank computes, but its outgoing messages are lost in flight.
+    MessageDrop,
+    /// The network delivers the rank's outbox twice; the exactly-once layer
+    /// suppresses the duplicates.
+    MessageDuplicate,
+    /// The rank is `stall_ns` nanoseconds late to the barrier (simulated —
+    /// metered, never slept).
+    SlowRank { stall_ns: u64 },
+}
+
+/// One scheduled fault: `kind` strikes `rank` at global superstep index
+/// `superstep` (the runtime's cumulative [`supersteps`] counter, which keeps
+/// increasing across rollbacks — a replayed superstep gets a fresh index, so
+/// a scheduled fault fires exactly once).
+///
+/// `rank` is interpreted modulo the runtime's *current* rank count at fire
+/// time, so a plan generated for `n` ranks remains valid after recovery
+/// shrinks the domain.
+///
+/// [`supersteps`]: crate::CommCounters::supersteps
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    pub superstep: u64,
+    pub rank: usize,
+    pub kind: FaultKind,
+}
+
+/// Per-rank per-superstep fault probabilities for [`FaultPlan::seeded`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultRates {
+    /// Probability a rank dies at a given superstep boundary.
+    pub death: f64,
+    /// Probability a rank's outbox is dropped.
+    pub drop: f64,
+    /// Probability a rank's outbox is duplicated.
+    pub duplicate: f64,
+    /// Probability a rank stalls.
+    pub stall: f64,
+    /// Simulated lateness of each stall, nanoseconds.
+    pub stall_ns: u64,
+}
+
+impl Default for FaultRates {
+    fn default() -> Self {
+        FaultRates {
+            death: 0.0,
+            drop: 0.0,
+            duplicate: 0.0,
+            stall: 0.0,
+            stall_ns: 50_000,
+        }
+    }
+}
+
+/// A deterministic schedule of faults, sorted by superstep index.
+///
+/// The plan is consumed as the runtime executes: [`FaultPlan::take_due`]
+/// returns (and retires) every event scheduled at or before the given
+/// superstep. An empty plan costs one branch per superstep.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    /// Remaining events, sorted ascending by `superstep`.
+    events: Vec<FaultEvent>,
+    /// Index of the first unconsumed event.
+    cursor: usize,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Build a plan from explicit events (sorted internally).
+    pub fn from_events(mut events: Vec<FaultEvent>) -> Self {
+        events.sort_by_key(|e| e.superstep);
+        FaultPlan { events, cursor: 0 }
+    }
+
+    /// Sample a plan from per-rank per-superstep `rates`, deterministically
+    /// from `seed`, covering superstep indices `0..horizon` for `n_ranks`
+    /// ranks. The same `(seed, rates, n_ranks, horizon)` always produces the
+    /// same plan.
+    pub fn seeded(seed: u64, rates: &FaultRates, n_ranks: usize, horizon: u64) -> Self {
+        let mut rng = SplitMix64::new(seed);
+        let mut events = Vec::new();
+        for superstep in 0..horizon {
+            for rank in 0..n_ranks {
+                // Draw all four channels unconditionally so the stream
+                // consumed per (superstep, rank) cell is fixed — editing one
+                // rate never reshuffles the other channels.
+                let u_death = rng.next_f64();
+                let u_drop = rng.next_f64();
+                let u_dup = rng.next_f64();
+                let u_stall = rng.next_f64();
+                if u_death < rates.death {
+                    events.push(FaultEvent {
+                        superstep,
+                        rank,
+                        kind: FaultKind::RankDeath,
+                    });
+                } else if u_drop < rates.drop {
+                    events.push(FaultEvent {
+                        superstep,
+                        rank,
+                        kind: FaultKind::MessageDrop,
+                    });
+                } else if u_dup < rates.duplicate {
+                    events.push(FaultEvent {
+                        superstep,
+                        rank,
+                        kind: FaultKind::MessageDuplicate,
+                    });
+                } else if u_stall < rates.stall {
+                    events.push(FaultEvent {
+                        superstep,
+                        rank,
+                        kind: FaultKind::SlowRank {
+                            stall_ns: rates.stall_ns,
+                        },
+                    });
+                }
+            }
+        }
+        FaultPlan { events, cursor: 0 }
+    }
+
+    /// True if no events remain to fire.
+    pub fn is_exhausted(&self) -> bool {
+        self.cursor >= self.events.len()
+    }
+
+    /// Number of events not yet fired.
+    pub fn remaining(&self) -> usize {
+        self.events.len() - self.cursor
+    }
+
+    /// All scheduled events (fired and pending), in superstep order.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Consume and return every event scheduled at or before `superstep`.
+    /// Returns an empty slice's worth of nothing fast when the plan is idle.
+    pub fn take_due(&mut self, superstep: u64) -> &[FaultEvent] {
+        let start = self.cursor;
+        while self.cursor < self.events.len() && self.events[self.cursor].superstep <= superstep {
+            self.cursor += 1;
+        }
+        &self.events[start..self.cursor]
+    }
+}
+
+/// A superstep that did not complete cleanly: ranks went missing at the
+/// barrier and/or in-flight messages were lost. The runtime's state is
+/// not trustworthy after a failure — callers roll back to a checkpoint and
+/// rebuild (see the driver crate's recovery loop).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SuperstepFailure {
+    /// Global superstep index (cumulative counter) at which the failure hit.
+    pub superstep: u64,
+    /// Ranks whose heartbeat was missing at the barrier.
+    pub dead_ranks: Vec<usize>,
+    /// Point-to-point + bulk messages lost in flight.
+    pub dropped_messages: u64,
+}
+
+impl fmt::Display for SuperstepFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "superstep {} failed: {} dead rank(s) {:?}, {} message(s) dropped",
+            self.superstep,
+            self.dead_ranks.len(),
+            self.dead_ranks,
+            self.dropped_messages
+        )
+    }
+}
+
+impl std::error::Error for SuperstepFailure {}
+
+/// One recovery performed by the driver: rollback to a checkpoint,
+/// re-partition across survivors, replay. Surfaced through the metrics layer
+/// (`gpusim::metrics::StepRecord::recoveries`) so bench artifacts can plot
+/// recovery cost.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryRecord {
+    /// Simulation step that was being computed when the failure hit.
+    pub failed_step: u64,
+    /// Global superstep index of the failed superstep.
+    pub superstep: u64,
+    /// Ranks declared dead (empty for pure message-loss failures).
+    pub dead_ranks: Vec<usize>,
+    /// Messages lost in flight.
+    pub dropped_messages: u64,
+    /// Step the run was rolled back to (the checkpointed step).
+    pub rollback_step: u64,
+    /// Steps that had to be recomputed: `failed_step - rollback_step`.
+    pub replayed_steps: u64,
+    /// Rank count after re-partitioning.
+    pub survivors: usize,
+    /// 1-based retry attempt within one driver advance.
+    pub attempt: u32,
+    /// Simulated backoff before this attempt, nanoseconds.
+    pub backoff_ns: u64,
+}
+
+/// SplitMix64 — tiny, seedable, full-period; used only for fault sampling so
+/// the model's counter-based RNG stream is untouched.
+struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in [0, 1).
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_plan_is_deterministic() {
+        let rates = FaultRates {
+            death: 0.02,
+            drop: 0.05,
+            duplicate: 0.05,
+            stall: 0.1,
+            stall_ns: 1000,
+        };
+        let a = FaultPlan::seeded(42, &rates, 8, 200);
+        let b = FaultPlan::seeded(42, &rates, 8, 200);
+        assert_eq!(a, b);
+        assert!(!a.is_exhausted(), "rates this high must yield events");
+        let c = FaultPlan::seeded(43, &rates, 8, 200);
+        assert_ne!(a, c, "different seed, different plan");
+    }
+
+    #[test]
+    fn seeded_plan_rate_is_plausible() {
+        let rates = FaultRates {
+            death: 0.1,
+            ..FaultRates::default()
+        };
+        let plan = FaultPlan::seeded(7, &rates, 10, 1000);
+        // Expect ~1000 deaths out of 10_000 cells; accept a wide band.
+        let n = plan.events().len();
+        assert!((700..1300).contains(&n), "got {n} events");
+        assert!(plan.events().iter().all(|e| e.kind == FaultKind::RankDeath));
+    }
+
+    #[test]
+    fn take_due_consumes_in_order() {
+        let mut plan = FaultPlan::from_events(vec![
+            FaultEvent {
+                superstep: 5,
+                rank: 1,
+                kind: FaultKind::MessageDrop,
+            },
+            FaultEvent {
+                superstep: 2,
+                rank: 0,
+                kind: FaultKind::RankDeath,
+            },
+            FaultEvent {
+                superstep: 5,
+                rank: 2,
+                kind: FaultKind::MessageDuplicate,
+            },
+        ]);
+        assert_eq!(plan.remaining(), 3);
+        assert!(plan.take_due(1).is_empty());
+        let due = plan.take_due(2);
+        assert_eq!(due.len(), 1);
+        assert_eq!(due[0].kind, FaultKind::RankDeath);
+        let due = plan.take_due(10);
+        assert_eq!(due.len(), 2);
+        assert!(plan.is_exhausted());
+        assert!(plan.take_due(u64::MAX).is_empty());
+    }
+
+    #[test]
+    fn zero_rates_yield_empty_plan() {
+        let plan = FaultPlan::seeded(1, &FaultRates::default(), 64, 10_000);
+        assert!(plan.is_exhausted());
+        assert_eq!(plan, FaultPlan::none());
+    }
+
+    #[test]
+    fn failure_displays() {
+        let f = SuperstepFailure {
+            superstep: 17,
+            dead_ranks: vec![3],
+            dropped_messages: 2,
+        };
+        let s = format!("{f}");
+        assert!(s.contains("superstep 17"));
+        assert!(s.contains("[3]"));
+        assert!(s.contains("2 message(s)"));
+    }
+}

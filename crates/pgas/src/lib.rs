@@ -18,12 +18,14 @@
 
 pub mod bsp;
 pub mod counters;
+pub mod fault;
 pub mod pool;
 pub mod reduce;
 pub mod trace;
 
 pub use bsp::{Bsp, Outbox};
 pub use counters::CommCounters;
+pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultRates, RecoveryRecord, SuperstepFailure};
 pub use pool::WorkPool;
 pub use reduce::{allreduce, tree_depth};
 pub use trace::{Span, SpanVolume, Trace, TraceEvent};

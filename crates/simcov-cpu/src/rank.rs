@@ -6,6 +6,7 @@ use gpusim::DeviceCounters;
 use pgas::Outbox;
 use simcov_core::decomp::{Partition, Subdomain};
 use simcov_core::epithelial::{EpiCells, EpiState};
+use simcov_core::exact::ExactSum;
 use simcov_core::extrav::TrialTable;
 use simcov_core::fields::Field;
 use simcov_core::grid::{Coord, GridDims};
@@ -15,7 +16,7 @@ use simcov_core::rules::{
     self, epi_update, extrav_lifetime, extrav_succeeds, plan_tcell, voxel_active, Bid,
     EpiTransition, RuleView, TCellAction,
 };
-use simcov_core::stats::StepStats;
+use simcov_core::stats::StatsPartial;
 use simcov_core::tcell::TCellSlot;
 use simcov_core::world::World;
 
@@ -576,13 +577,17 @@ impl CpuRank {
 
     /// Superstep 3: apply cross-boundary results, diffuse, produce the
     /// statistics partial, and push end-of-step boundary state.
+    ///
+    /// Concentration sums are accumulated into [`ExactSum`]s so the global
+    /// reduction is independent of the partition — a recovery that shrinks
+    /// the rank count reproduces the failure-free statistics bitwise.
     pub fn finish(
         &mut self,
         p: &SimParams,
         t: u64,
         inbox: &[CpuMsg],
         out: &mut Outbox<CpuMsg>,
-    ) -> StepStats {
+    ) -> StatsPartial {
         // Ghost concentrations for the stencil: anything not refreshed below
         // was not processed by its owner this step, which (activity
         // exactness) implies its post-production value is zero.
@@ -640,8 +645,8 @@ impl CpuRank {
         // Diffusion over the processed set (staged write-back).
         let processed: Vec<u32> = self.processed.sorted().to_vec();
         self.diffuse_out.clear();
-        let mut virions_sum = 0.0f64;
-        let mut chem_sum = 0.0f64;
+        let mut virions_sum = ExactSum::zero();
+        let mut chem_sum = ExactSum::zero();
         for &li in &processed {
             let c = self.hb.global(li as usize);
             let mut vsum = 0.0f32;
@@ -678,8 +683,8 @@ impl CpuRank {
         for &(li, nv, nc) in &diffused {
             self.virions.set(li as usize, nv);
             self.chem.set(li as usize, nc);
-            virions_sum += nv as f64;
-            chem_sum += nc as f64;
+            virions_sum.add_f32(nv);
+            chem_sum.add_f32(nc);
             if nv > 0.0 || nc > 0.0 {
                 self.mark(li as usize);
             }
@@ -745,7 +750,7 @@ impl CpuRank {
             }
         }
 
-        StepStats {
+        StatsPartial {
             step: t,
             virions: virions_sum,
             chemokine: chem_sum,

@@ -1,16 +1,20 @@
-//! The SIMCoV-CPU driver: owns the PGAS runtime, the rank states, the
-//! replicated vascular pool and the statistics log.
+//! The SIMCoV-CPU executor behind the unified [`Simulation`](simcov_driver::Simulation) driver API.
+//!
+//! `CpuSim` owns the PGAS runtime and the rank states; everything else —
+//! the step loop, statistics, checkpointing, fault recovery, metrics — is
+//! the shared driver core ([`simcov_driver::DriverCore`]) driven through
+//! the [`simcov_driver::Executor`] contract.
 
-use gpusim::metrics::{MetricsSink, SnapshotTaker, StepRecord};
-use gpusim::{CostModel, DeviceCounters};
-use pgas::{allreduce, Bsp, WorkPool};
+use gpusim::{CostModel, DeviceCounters, HwProfile};
+use pgas::fault::{FaultPlan, SuperstepFailure};
+use pgas::{allreduce, Bsp, CommCounters, Trace};
 use simcov_core::decomp::{Partition, Strategy};
 use simcov_core::extrav::TrialTable;
 use simcov_core::foi::FoiPattern;
 use simcov_core::params::SimParams;
-use simcov_core::stats::{StepStats, TimeSeries};
-use simcov_core::tcell::VascularPool;
+use simcov_core::stats::StatsPartial;
 use simcov_core::world::World;
+use simcov_driver::{ConfigError, DriverCore, Executor, RecoveryPolicy};
 
 use crate::msg::CpuMsg;
 use crate::rank::CpuRank;
@@ -23,6 +27,11 @@ pub struct CpuSimConfig {
     pub n_ranks: usize,
     pub strategy: Strategy,
     pub pattern: FoiPattern,
+    /// Fault schedule to arm on the BSP runtime (empty: healthy run).
+    pub fault_plan: FaultPlan,
+    /// Explicit recovery policy. `None` engages the default policy when a
+    /// fault plan is armed, and no recovery otherwise.
+    pub recovery: Option<RecoveryPolicy>,
 }
 
 impl CpuSimConfig {
@@ -32,179 +41,68 @@ impl CpuSimConfig {
             n_ranks,
             strategy: Strategy::Blocks,
             pattern: FoiPattern::UniformLattice,
+            fault_plan: FaultPlan::none(),
+            recovery: None,
         }
+    }
+
+    pub fn with_strategy(mut self, strategy: Strategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    pub fn with_pattern(mut self, pattern: FoiPattern) -> Self {
+        self.pattern = pattern;
+        self
+    }
+
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = plan;
+        self
+    }
+
+    pub fn with_recovery(mut self, policy: RecoveryPolicy) -> Self {
+        self.recovery = Some(policy);
+        self
     }
 }
 
-/// A running CPU-baseline simulation.
+/// A running CPU-baseline simulation. Program against it through the
+/// [`Simulation`](simcov_driver::Simulation) trait.
 pub struct CpuSim {
-    pub params: SimParams,
-    pub partition: Partition,
-    pool: WorkPool,
+    core: DriverCore,
     bsp: Bsp<CpuMsg>,
     pub ranks: Vec<CpuRank>,
-    pub vascular: VascularPool,
-    pub step: u64,
-    pub history: TimeSeries,
-    /// Installed per-step metrics consumer (None: metrics are off and the
-    /// step loop takes no clock readings).
-    metrics: Option<Box<dyn MetricsSink>>,
-    snapshots: SnapshotTaker,
-    prev_comm: pgas::CommCounters,
 }
 
 impl CpuSim {
-    pub fn new(cfg: CpuSimConfig) -> Self {
-        cfg.params.validate().expect("invalid parameters");
+    pub fn new(cfg: CpuSimConfig) -> Result<Self, ConfigError> {
+        cfg.params.validate().map_err(ConfigError::InvalidParams)?;
         let world = World::seeded(&cfg.params, cfg.pattern);
         Self::from_world(cfg, world)
     }
 
     /// Build from an explicit initial world (carved airways, CT lesions...).
-    pub fn from_world(cfg: CpuSimConfig, world: World) -> Self {
-        assert_eq!(cfg.params.dims, world.dims);
-        let partition = Partition::new(cfg.params.dims, cfg.n_ranks, cfg.strategy);
+    pub fn from_world(cfg: CpuSimConfig, world: World) -> Result<Self, ConfigError> {
+        let core = DriverCore::new(
+            cfg.params,
+            cfg.n_ranks,
+            cfg.strategy,
+            &cfg.fault_plan,
+            cfg.recovery,
+        )?;
+        core.check_world(&world)?;
         let ranks: Vec<CpuRank> = (0..cfg.n_ranks)
-            .map(|r| CpuRank::new(r, &partition, &world))
+            .map(|r| CpuRank::new(r, &core.partition, &world))
             .collect();
-        CpuSim {
-            params: cfg.params,
-            partition,
-            pool: WorkPool::host_sized(),
-            bsp: Bsp::new(cfg.n_ranks),
-            ranks,
-            vascular: VascularPool::new(),
-            step: 0,
-            history: TimeSeries::default(),
-            metrics: None,
-            snapshots: SnapshotTaker::new(),
-            prev_comm: pgas::CommCounters::default(),
-        }
+        let mut bsp = Bsp::new(cfg.n_ranks);
+        bsp.inject_faults(cfg.fault_plan);
+        Ok(CpuSim { core, bsp, ranks })
     }
 
-    /// Install a per-step metrics consumer; every subsequent
-    /// [`advance_step`](Self::advance_step) emits one [`StepRecord`].
-    pub fn set_metrics_sink(&mut self, sink: Box<dyn MetricsSink>) {
-        self.metrics = Some(sink);
-    }
-
-    /// Turn on per-superstep tracing in the underlying BSP runtime.
-    pub fn enable_trace(&mut self) {
-        self.bsp.enable_trace();
-    }
-
-    /// The runtime's superstep trace (empty unless [`enable_trace`](Self::enable_trace)
-    /// was called).
-    pub fn trace(&self) -> &pgas::Trace {
-        &self.bsp.trace
-    }
-
-    /// Advance one timestep (three supersteps + statistics allreduce).
-    pub fn advance_step(&mut self) {
-        // Only read the clock when someone is listening.
-        let t0 = self.metrics.as_ref().map(|_| std::time::Instant::now());
-        let t = self.step;
-        let p = self.params.clone();
-        let trials = TrialTable::build(&p, t, self.vascular.circulating());
-        let partition = self.partition.clone();
-
-        // Superstep 1: plan.
-        let trials_ref = &trials;
-        let p_ref = &p;
-        let part_ref = &partition;
-        let _extrav: Vec<u64> =
-            self.bsp
-                .superstep(&self.pool, &mut self.ranks, |rank, s, inbox, out| {
-                    debug_assert_eq!(rank, s.rank);
-                    s.plan(p_ref, t, trials_ref, part_ref, inbox, out)
-                });
-
-        // Superstep 2: resolve + FSM + production.
-        self.bsp
-            .superstep(&self.pool, &mut self.ranks, |_r, s, inbox, out| {
-                s.resolve(p_ref, t, inbox, out);
-            });
-
-        // Superstep 3: finish + stats partial.
-        let partials: Vec<StepStats> =
-            self.bsp
-                .superstep(&self.pool, &mut self.ranks, |_r, s, inbox, out| {
-                    s.finish(p_ref, t, inbox, out)
-                });
-
-        // Statistics allreduce (the per-step UPC++ reduction of §3.3).
-        let mut stats = allreduce(
-            &partials,
-            |mut a, b| {
-                a += b;
-                a
-            },
-            std::mem::size_of::<StepStats>(),
-            &mut self.bsp.counters,
-        );
-        self.vascular.advance(
-            t,
-            p.tcell_generation_rate,
-            p.tcell_initial_delay,
-            p.tcell_vascular_period,
-            stats.extravasated,
-        );
-        stats.tcells_vasculature = self.vascular.circulating();
-        stats.step = t;
-        self.history.push(stats);
-        self.step += 1;
-        if let Some(t0) = t0 {
-            self.emit_step_record(t, t0.elapsed().as_secs_f64());
-        }
-    }
-
-    fn emit_step_record(&mut self, step: u64, real_seconds: f64) {
-        let comm = self.bsp.counters;
-        let d_msgs = (comm.messages + comm.bulk_messages)
-            .saturating_sub(self.prev_comm.messages + self.prev_comm.bulk_messages);
-        let d_bytes = (comm.bytes + comm.bulk_bytes)
-            .saturating_sub(self.prev_comm.bytes + self.prev_comm.bulk_bytes);
-        self.prev_comm = comm;
-
-        let model = CostModel::default();
-        let total = self.total_counters();
-        let phases = self.snapshots.take(step, &total, &model, &model.cpu);
-        let stats = self.history.steps.last().expect("step just pushed");
-        let rec = StepRecord {
-            step,
-            agents: stats.tcells_tissue,
-            virions: stats.virions,
-            chemokine: stats.chemokine,
-            active_units: self.ranks.iter().map(|r| r.n_active() as u64).sum(),
-            comm_messages: d_msgs,
-            comm_bytes: d_bytes,
-            sim_seconds: phases.cost.total() / self.partition.n_ranks().max(1) as f64,
-            real_seconds,
-            phases,
-        };
-        if let Some(sink) = self.metrics.as_mut() {
-            sink.record(rec);
-        }
-    }
-
-    pub fn run(&mut self) {
-        while self.step < self.params.steps {
-            self.advance_step();
-        }
-    }
-
-    /// Assemble the full global world from all ranks (verification).
-    pub fn gather_world(&self) -> World {
-        let mut world = World::healthy(self.params.dims);
-        for r in &self.ranks {
-            r.write_into(&mut world);
-        }
-        world
-    }
-
-    /// Communication counters of the runtime.
-    pub fn comm_counters(&self) -> pgas::CommCounters {
-        self.bsp.counters
+    /// The current domain decomposition (re-partitioned after recovery).
+    pub fn partition(&self) -> &Partition {
+        &self.core.partition
     }
 
     /// The busiest rank's work counters (the compute critical path).
@@ -213,17 +111,116 @@ impl CpuSim {
             .iter()
             .fold(DeviceCounters::new(), |acc, r| acc.max(&r.counters))
     }
+}
 
-    /// Aggregate work counters across ranks.
-    pub fn total_counters(&self) -> DeviceCounters {
+impl Executor for CpuSim {
+    fn core(&self) -> &DriverCore {
+        &self.core
+    }
+
+    fn core_mut(&mut self) -> &mut DriverCore {
+        &mut self.core
+    }
+
+    fn exec_name(&self) -> &'static str {
+        "cpu"
+    }
+
+    fn unit_count(&self) -> usize {
+        self.ranks.len()
+    }
+
+    fn live_active_units(&self) -> u64 {
+        self.ranks.iter().map(|r| r.n_active() as u64).sum()
+    }
+
+    fn live_counters(&self) -> DeviceCounters {
         self.ranks.iter().fold(DeviceCounters::new(), |mut acc, r| {
             acc.merge(&r.counters);
             acc
         })
     }
 
-    pub fn last_stats(&self) -> Option<&StepStats> {
-        self.history.steps.last()
+    fn hw_profile<'a>(&self, model: &'a CostModel) -> &'a HwProfile {
+        &model.cpu
+    }
+
+    fn bsp_counters(&self) -> CommCounters {
+        self.bsp.counters
+    }
+
+    fn bsp_trace(&self) -> &Trace {
+        &self.bsp.trace
+    }
+
+    fn bsp_enable_trace(&mut self) {
+        self.bsp.enable_trace();
+    }
+
+    /// One timestep = three supersteps + the statistics allreduce.
+    fn compute_step(
+        &mut self,
+        t: u64,
+        trials: &TrialTable,
+    ) -> Result<StatsPartial, SuperstepFailure> {
+        let p = self.core.params.clone();
+        let partition = self.core.partition.clone();
+        let p_ref = &p;
+        let part_ref = &partition;
+
+        // Superstep 1: plan.
+        let _extrav: Vec<u64> =
+            self.bsp
+                .try_superstep(&self.core.pool, &mut self.ranks, |rank, s, inbox, out| {
+                    debug_assert_eq!(rank, s.rank);
+                    s.plan(p_ref, t, trials, part_ref, inbox, out)
+                })?;
+
+        // Superstep 2: resolve + FSM + production.
+        self.bsp
+            .try_superstep(&self.core.pool, &mut self.ranks, |_r, s, inbox, out| {
+                s.resolve(p_ref, t, inbox, out);
+            })?;
+
+        // Superstep 3: finish + stats partial.
+        let partials: Vec<StatsPartial> =
+            self.bsp
+                .try_superstep(&self.core.pool, &mut self.ranks, |_r, s, inbox, out| {
+                    s.finish(p_ref, t, inbox, out)
+                })?;
+
+        // Statistics allreduce (the per-step UPC++ reduction of §3.3).
+        // Exact summation makes the result independent of rank count.
+        Ok(allreduce(
+            &partials,
+            |mut a, b| {
+                a += b;
+                a
+            },
+            std::mem::size_of::<StatsPartial>(),
+            &mut self.bsp.counters,
+        ))
+    }
+
+    fn rebuild(&mut self, world: &World, n_units: usize) -> Result<(), ConfigError> {
+        let partition = Partition::try_new(self.core.params.dims, n_units, self.core.strategy)
+            .map_err(ConfigError::Partition)?;
+        self.ranks = (0..n_units)
+            .map(|r| CpuRank::new(r, &partition, world))
+            .collect();
+        let bsp = std::mem::replace(&mut self.bsp, Bsp::new(1));
+        self.bsp = bsp.rebuilt(n_units);
+        self.core.partition = partition;
+        Ok(())
+    }
+
+    /// Assemble the full global world from all ranks (verification).
+    fn assemble_world(&self) -> World {
+        let mut world = World::healthy(self.core.params.dims);
+        for r in &self.ranks {
+            r.write_into(&mut world);
+        }
+        world
     }
 }
 
@@ -232,6 +229,7 @@ mod tests {
     use super::*;
     use simcov_core::grid::GridDims;
     use simcov_core::serial::SerialSim;
+    use simcov_driver::Simulation;
 
     fn test_params(steps: u64) -> SimParams {
         SimParams::test_config(GridDims::new2d(24, 24), steps, 2, 42)
@@ -242,23 +240,21 @@ mod tests {
         let mut serial = SerialSim::new(p.clone());
         serial.run();
 
-        let mut cfg = CpuSimConfig::new(p, n_ranks);
-        cfg.strategy = strategy;
-        let mut cpu = CpuSim::new(cfg);
-        cpu.run();
+        let cfg = CpuSimConfig::new(p, n_ranks).with_strategy(strategy);
+        let mut cpu = CpuSim::new(cfg).expect("valid config");
+        cpu.run().expect("healthy run");
 
         let world = cpu.gather_world();
         if let Some((idx, why)) = serial.world.first_difference(&world) {
             panic!("state diverged at voxel {idx} after {steps} steps ({n_ranks} ranks): {why}");
         }
-        // Integer statistics must agree exactly; float sums to tight tolerance.
-        for (a, b) in serial.history.steps.iter().zip(cpu.history.steps.iter()) {
-            assert!(
-                a.approx_eq(b, 1e-9),
-                "stats diverged at step {}: {a:?} vs {b:?}",
-                a.step
-            );
-        }
+        // Exact statistics reduction: serial and distributed histories are
+        // bitwise identical, not just close.
+        assert_eq!(
+            serial.history,
+            *cpu.history(),
+            "stats must be bitwise identical across executors"
+        );
     }
 
     #[test]
@@ -284,8 +280,8 @@ mod tests {
     #[test]
     fn comm_counters_accumulate() {
         let p = test_params(60);
-        let mut cpu = CpuSim::new(CpuSimConfig::new(p, 4));
-        cpu.run();
+        let mut cpu = CpuSim::new(CpuSimConfig::new(p, 4)).unwrap();
+        cpu.run().unwrap();
         let cc = cpu.comm_counters();
         assert_eq!(cc.supersteps, 60 * 3);
         assert_eq!(cc.allreduces, 60);
@@ -295,8 +291,8 @@ mod tests {
     #[test]
     fn work_counters_track_active_voxels() {
         let p = test_params(60);
-        let mut cpu = CpuSim::new(CpuSimConfig::new(p, 4));
-        cpu.run();
+        let mut cpu = CpuSim::new(CpuSimConfig::new(p, 4)).unwrap();
+        cpu.run().unwrap();
         let total = cpu.total_counters();
         assert!(total.update.elements > 0);
         // Active-list processing must touch far fewer voxel-steps than a
@@ -307,5 +303,14 @@ mod tests {
             "active list should skip inactive regions: {} >= {full_sweep}",
             total.update.elements
         );
+    }
+
+    #[test]
+    fn zero_ranks_is_a_config_error() {
+        let p = test_params(10);
+        match CpuSim::new(CpuSimConfig::new(p, 0)) {
+            Err(ConfigError::ZeroUnits) => {}
+            other => panic!("expected ZeroUnits, got {:?}", other.err()),
+        }
     }
 }

@@ -31,7 +31,7 @@ use simcov_core::rules::{
     self, epi_update, extrav_lifetime, extrav_succeeds, plan_tcell, voxel_active, Bid, RuleView,
     TCellAction,
 };
-use simcov_core::stats::StepStats;
+use simcov_core::stats::StatsPartial;
 use simcov_core::tcell::TCellSlot;
 use simcov_core::world::World;
 
@@ -384,13 +384,20 @@ impl GpuDevice {
     /// Superstep 2: merge bids, resolve and apply, FSM + production
     /// (including ghost recomputation), diffusion, statistics reduction,
     /// boundary push. Returns this device's statistics partial.
+    ///
+    /// The reduction accumulates concentrations into [`ExactSum`]
+    /// superaccumulators ([`StatsPartial`]), so the global result is
+    /// independent of device count and reduction shape — recovery can
+    /// re-partition without perturbing the trajectory's statistics.
+    ///
+    /// [`ExactSum`]: simcov_core::exact::ExactSum
     pub fn resolve_and_update(
         &mut self,
         p: &SimParams,
         t: u64,
         inbox: &[GpuMsg],
         out: &mut Outbox<GpuMsg>,
-    ) -> StepStats {
+    ) -> StatsPartial {
         let hb = self.layout.hb;
 
         // Merge incoming bid contributions (commutative max — order-free).
@@ -619,13 +626,11 @@ impl GpuDevice {
             REDUCE_BYTES_UNTILED
         };
         let (virions, chem, tcells, epi) = (&self.virions, &self.chem, &self.tcells, &self.epi);
-        let map = |i: usize| -> StepStats {
+        let map = |i: usize| -> StatsPartial {
             let li = core_cells[i] as usize;
-            let mut s = StepStats {
-                virions: virions.get(li) as f64,
-                chemokine: chem.get(li) as f64,
-                ..StepStats::default()
-            };
+            let mut s = StatsPartial::default();
+            s.add_virions(virions.get(li));
+            s.add_chemokine(chem.get(li));
             if tcells[li].occupied() {
                 s.tcells_tissue = 1;
             }
@@ -639,7 +644,7 @@ impl GpuDevice {
             }
             s
         };
-        let combine = |a: &mut StepStats, b: &StepStats| {
+        let combine = |a: &mut StatsPartial, b: &StatsPartial| {
             *a += *b;
         };
         let mut stats = if self.variant.tree_reduce() {
@@ -649,7 +654,7 @@ impl GpuDevice {
                 n,
                 STAT_LANES,
                 bytes_per_elem,
-                StepStats::default(),
+                StatsPartial::default(),
                 map,
                 combine,
             )
@@ -660,7 +665,7 @@ impl GpuDevice {
                 &mut self.counters,
                 n,
                 STAT_LANES,
-                StepStats::default(),
+                StatsPartial::default(),
                 map,
                 combine,
             );

@@ -1,17 +1,21 @@
-//! The SIMCoV-GPU driver: owns the PGAS runtime, the devices, the replicated
-//! vascular pool and the statistics log.
+//! The SIMCoV-GPU executor behind the unified [`Simulation`](simcov_driver::Simulation) driver API.
+//!
+//! `GpuSim` owns the PGAS runtime and the simulated devices; the step loop,
+//! statistics, checkpointing, fault recovery and metrics live in the shared
+//! driver core ([`simcov_driver::DriverCore`]) driven through the
+//! [`simcov_driver::Executor`] contract.
 
 use gpusim::device::LinkTraffic;
-use gpusim::metrics::{MetricsSink, SnapshotTaker, StepRecord};
-use gpusim::{CostModel, DeviceCounters};
-use pgas::{allreduce, Bsp, WorkPool};
+use gpusim::{CostModel, DeviceCounters, HwProfile};
+use pgas::fault::{FaultPlan, SuperstepFailure};
+use pgas::{allreduce, Bsp, CommCounters, Trace};
 use simcov_core::decomp::{Partition, Strategy};
 use simcov_core::extrav::TrialTable;
 use simcov_core::foi::FoiPattern;
 use simcov_core::params::SimParams;
-use simcov_core::stats::{StepStats, TimeSeries};
-use simcov_core::tcell::VascularPool;
+use simcov_core::stats::StatsPartial;
 use simcov_core::world::World;
+use simcov_driver::{ConfigError, DriverCore, Executor, RecoveryPolicy};
 
 use crate::device::GpuDevice;
 use crate::msg::GpuMsg;
@@ -33,6 +37,11 @@ pub struct GpuSimConfig {
     pub check_period: Option<u64>,
     /// Devices per node (NVLink domain). Perlmutter: 4.
     pub devices_per_node: usize,
+    /// Fault schedule to arm on the BSP runtime (empty: healthy run).
+    pub fault_plan: FaultPlan,
+    /// Explicit recovery policy. `None` engages the default policy when a
+    /// fault plan is armed, and no recovery otherwise.
+    pub recovery: Option<RecoveryPolicy>,
 }
 
 impl GpuSimConfig {
@@ -46,6 +55,8 @@ impl GpuSimConfig {
             tile_side: 8,
             check_period: None,
             devices_per_node: 4,
+            fault_plan: FaultPlan::none(),
+            recovery: None,
         }
     }
 
@@ -53,173 +64,124 @@ impl GpuSimConfig {
         self.variant = v;
         self
     }
+
+    pub fn with_strategy(mut self, strategy: Strategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    pub fn with_pattern(mut self, pattern: FoiPattern) -> Self {
+        self.pattern = pattern;
+        self
+    }
+
+    pub fn with_tile_side(mut self, tile_side: usize) -> Self {
+        self.tile_side = tile_side;
+        self
+    }
+
+    pub fn with_check_period(mut self, period: u64) -> Self {
+        self.check_period = Some(period);
+        self
+    }
+
+    pub fn with_devices_per_node(mut self, devices_per_node: usize) -> Self {
+        self.devices_per_node = devices_per_node;
+        self
+    }
+
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = plan;
+        self
+    }
+
+    pub fn with_recovery(mut self, policy: RecoveryPolicy) -> Self {
+        self.recovery = Some(policy);
+        self
+    }
+
+    /// Validate the GPU-specific knobs (the shared ones are checked by
+    /// [`DriverCore::new`]).
+    fn validate(&self) -> Result<(), ConfigError> {
+        if self.tile_side == 0 {
+            return Err(ConfigError::ZeroTileSide);
+        }
+        if self.devices_per_node == 0 {
+            return Err(ConfigError::ZeroDevicesPerNode);
+        }
+        let period = self.check_period.unwrap_or(self.tile_side as u64);
+        // An active tile's halo buffer absorbs one voxel of spread per
+        // step; after `tile_side` unchecked steps it can be outrun, so any
+        // longer period risks missing activity (paper §3.2).
+        if period == 0 || period > self.tile_side as u64 {
+            return Err(ConfigError::CheckPeriodOutOfRange {
+                check_period: period,
+                tile_side: self.tile_side,
+            });
+        }
+        Ok(())
+    }
 }
 
-/// A running multi-device SIMCoV-GPU simulation.
+/// A running multi-device SIMCoV-GPU simulation. Program against it through
+/// the [`Simulation`](simcov_driver::Simulation) trait.
 pub struct GpuSim {
-    pub params: SimParams,
-    pub partition: Partition,
-    pool: WorkPool,
+    core: DriverCore,
     bsp: Bsp<GpuMsg>,
     pub devices: Vec<GpuDevice>,
-    pub vascular: VascularPool,
-    pub step: u64,
-    pub history: TimeSeries,
-    /// Installed per-step metrics consumer (None: metrics are off and the
-    /// step loop takes no clock readings).
-    metrics: Option<Box<dyn MetricsSink>>,
-    snapshots: SnapshotTaker,
-    prev_comm: pgas::CommCounters,
+    variant: GpuVariant,
+    tile_side: usize,
+    check_period: u64,
+    devices_per_node: usize,
 }
 
 impl GpuSim {
-    pub fn new(cfg: GpuSimConfig) -> Self {
-        cfg.params.validate().expect("invalid parameters");
+    pub fn new(cfg: GpuSimConfig) -> Result<Self, ConfigError> {
+        cfg.params.validate().map_err(ConfigError::InvalidParams)?;
         let world = World::seeded(&cfg.params, cfg.pattern);
         Self::from_world(cfg, world)
     }
 
-    pub fn from_world(cfg: GpuSimConfig, world: World) -> Self {
-        assert_eq!(cfg.params.dims, world.dims);
-        let partition = Partition::new(cfg.params.dims, cfg.n_devices, cfg.strategy);
+    pub fn from_world(cfg: GpuSimConfig, world: World) -> Result<Self, ConfigError> {
+        cfg.validate()?;
+        let core = DriverCore::new(
+            cfg.params,
+            cfg.n_devices,
+            cfg.strategy,
+            &cfg.fault_plan,
+            cfg.recovery,
+        )?;
+        core.check_world(&world)?;
+        let check_period = cfg.check_period.unwrap_or(cfg.tile_side as u64);
         let devices: Vec<GpuDevice> = (0..cfg.n_devices)
             .map(|d| {
                 GpuDevice::new(
                     d,
-                    &partition,
+                    &core.partition,
                     &world,
                     cfg.variant,
                     cfg.tile_side,
-                    cfg.check_period.unwrap_or(cfg.tile_side as u64),
+                    check_period,
                     cfg.devices_per_node,
                 )
             })
             .collect();
-        GpuSim {
-            params: cfg.params,
-            partition,
-            pool: WorkPool::host_sized(),
-            bsp: Bsp::new(cfg.n_devices),
+        let mut bsp = Bsp::new(cfg.n_devices);
+        bsp.inject_faults(cfg.fault_plan);
+        Ok(GpuSim {
+            core,
+            bsp,
             devices,
-            vascular: VascularPool::new(),
-            step: 0,
-            history: TimeSeries::default(),
-            metrics: None,
-            snapshots: SnapshotTaker::new(),
-            prev_comm: pgas::CommCounters::default(),
-        }
+            variant: cfg.variant,
+            tile_side: cfg.tile_side,
+            check_period,
+            devices_per_node: cfg.devices_per_node,
+        })
     }
 
-    /// Install a per-step metrics consumer; every subsequent
-    /// [`advance_step`](Self::advance_step) emits one [`StepRecord`].
-    pub fn set_metrics_sink(&mut self, sink: Box<dyn MetricsSink>) {
-        self.metrics = Some(sink);
-    }
-
-    /// Turn on per-superstep tracing in the underlying BSP runtime.
-    pub fn enable_trace(&mut self) {
-        self.bsp.enable_trace();
-    }
-
-    /// The runtime's superstep trace (empty unless [`enable_trace`](Self::enable_trace)
-    /// was called).
-    pub fn trace(&self) -> &pgas::Trace {
-        &self.bsp.trace
-    }
-
-    /// Advance one timestep (two supersteps — the two communication waves
-    /// of Fig. 2 — plus the statistics allreduce).
-    pub fn advance_step(&mut self) {
-        // Only read the clock when someone is listening.
-        let t0 = self.metrics.as_ref().map(|_| std::time::Instant::now());
-        let t = self.step;
-        let p = self.params.clone();
-        let trials = TrialTable::build(&p, t, self.vascular.circulating());
-        let p_ref = &p;
-        let trials_ref = &trials;
-
-        let _extrav: Vec<u64> =
-            self.bsp
-                .superstep(&self.pool, &mut self.devices, |_d, dev, inbox, out| {
-                    dev.plan_and_bid(p_ref, t, trials_ref, inbox, out)
-                });
-
-        let partials: Vec<StepStats> =
-            self.bsp
-                .superstep(&self.pool, &mut self.devices, |_d, dev, inbox, out| {
-                    dev.resolve_and_update(p_ref, t, inbox, out)
-                });
-
-        let mut stats = allreduce(
-            &partials,
-            |mut a, b| {
-                a += b;
-                a
-            },
-            std::mem::size_of::<StepStats>(),
-            &mut self.bsp.counters,
-        );
-        self.vascular.advance(
-            t,
-            p.tcell_generation_rate,
-            p.tcell_initial_delay,
-            p.tcell_vascular_period,
-            stats.extravasated,
-        );
-        stats.tcells_vasculature = self.vascular.circulating();
-        stats.step = t;
-        self.history.push(stats);
-        self.step += 1;
-        if let Some(t0) = t0 {
-            self.emit_step_record(t, t0.elapsed().as_secs_f64());
-        }
-    }
-
-    fn emit_step_record(&mut self, step: u64, real_seconds: f64) {
-        let comm = self.bsp.counters;
-        let d_msgs = (comm.messages + comm.bulk_messages)
-            .saturating_sub(self.prev_comm.messages + self.prev_comm.bulk_messages);
-        let d_bytes = (comm.bytes + comm.bulk_bytes)
-            .saturating_sub(self.prev_comm.bytes + self.prev_comm.bulk_bytes);
-        self.prev_comm = comm;
-
-        let model = CostModel::default();
-        let total = self.total_counters();
-        let phases = self.snapshots.take(step, &total, &model, &model.gpu);
-        let stats = self.history.steps.last().expect("step just pushed");
-        let rec = StepRecord {
-            step,
-            agents: stats.tcells_tissue,
-            virions: stats.virions,
-            chemokine: stats.chemokine,
-            active_units: self.devices.iter().map(|d| d.n_active_tiles() as u64).sum(),
-            comm_messages: d_msgs,
-            comm_bytes: d_bytes,
-            sim_seconds: phases.cost.total() / self.partition.n_ranks().max(1) as f64,
-            real_seconds,
-            phases,
-        };
-        if let Some(sink) = self.metrics.as_mut() {
-            sink.record(rec);
-        }
-    }
-
-    pub fn run(&mut self) {
-        while self.step < self.params.steps {
-            self.advance_step();
-        }
-    }
-
-    pub fn gather_world(&self) -> World {
-        let mut world = World::healthy(self.params.dims);
-        for d in &self.devices {
-            d.write_into(&mut world);
-        }
-        world
-    }
-
-    pub fn comm_counters(&self) -> pgas::CommCounters {
-        self.bsp.counters
+    /// The current domain decomposition (re-partitioned after recovery).
+    pub fn partition(&self) -> &Partition {
+        &self.core.partition
     }
 
     /// The busiest device's work counters (compute critical path).
@@ -229,14 +191,7 @@ impl GpuSim {
             .fold(DeviceCounters::new(), |acc, d| acc.max(&d.counters))
     }
 
-    pub fn total_counters(&self) -> DeviceCounters {
-        self.devices.iter().fold(DeviceCounters::new(), |mut a, d| {
-            a.merge(&d.counters);
-            a
-        })
-    }
-
-    /// The busiest device's link traffic and the aggregate.
+    /// The busiest device's link traffic fields, taken independently.
     pub fn max_device_link(&self) -> LinkTraffic {
         self.devices
             .iter()
@@ -247,9 +202,114 @@ impl GpuSim {
                 inter_bytes: a.inter_bytes.max(d.link.inter_bytes),
             })
     }
+}
 
-    pub fn last_stats(&self) -> Option<&StepStats> {
-        self.history.steps.last()
+impl Executor for GpuSim {
+    fn core(&self) -> &DriverCore {
+        &self.core
+    }
+
+    fn core_mut(&mut self) -> &mut DriverCore {
+        &mut self.core
+    }
+
+    fn exec_name(&self) -> &'static str {
+        "gpu"
+    }
+
+    fn unit_count(&self) -> usize {
+        self.devices.len()
+    }
+
+    fn live_active_units(&self) -> u64 {
+        self.devices.iter().map(|d| d.n_active_tiles() as u64).sum()
+    }
+
+    fn live_counters(&self) -> DeviceCounters {
+        self.devices.iter().fold(DeviceCounters::new(), |mut a, d| {
+            a.merge(&d.counters);
+            a
+        })
+    }
+
+    fn hw_profile<'a>(&self, model: &'a CostModel) -> &'a HwProfile {
+        &model.gpu
+    }
+
+    fn bsp_counters(&self) -> CommCounters {
+        self.bsp.counters
+    }
+
+    fn bsp_trace(&self) -> &Trace {
+        &self.bsp.trace
+    }
+
+    fn bsp_enable_trace(&mut self) {
+        self.bsp.enable_trace();
+    }
+
+    /// One timestep = two supersteps (the two communication waves of
+    /// Fig. 2) + the statistics allreduce.
+    fn compute_step(
+        &mut self,
+        t: u64,
+        trials: &TrialTable,
+    ) -> Result<StatsPartial, SuperstepFailure> {
+        let p = self.core.params.clone();
+        let p_ref = &p;
+
+        let _extrav: Vec<u64> =
+            self.bsp
+                .try_superstep(&self.core.pool, &mut self.devices, |_d, dev, inbox, out| {
+                    dev.plan_and_bid(p_ref, t, trials, inbox, out)
+                })?;
+
+        let partials: Vec<StatsPartial> =
+            self.bsp
+                .try_superstep(&self.core.pool, &mut self.devices, |_d, dev, inbox, out| {
+                    dev.resolve_and_update(p_ref, t, inbox, out)
+                })?;
+
+        // Exact summation makes the result independent of device count.
+        Ok(allreduce(
+            &partials,
+            |mut a, b| {
+                a += b;
+                a
+            },
+            std::mem::size_of::<StatsPartial>(),
+            &mut self.bsp.counters,
+        ))
+    }
+
+    fn rebuild(&mut self, world: &World, n_units: usize) -> Result<(), ConfigError> {
+        let partition = Partition::try_new(self.core.params.dims, n_units, self.core.strategy)
+            .map_err(ConfigError::Partition)?;
+        self.devices = (0..n_units)
+            .map(|d| {
+                GpuDevice::new(
+                    d,
+                    &partition,
+                    world,
+                    self.variant,
+                    self.tile_side,
+                    self.check_period,
+                    self.devices_per_node,
+                )
+            })
+            .collect();
+        let bsp = std::mem::replace(&mut self.bsp, Bsp::new(1));
+        self.bsp = bsp.rebuilt(n_units);
+        self.core.partition = partition;
+        Ok(())
+    }
+
+    fn assemble_world(&self) -> World {
+        let mut world = World::healthy(self.core.params.dims);
+        for d in &self.devices {
+            d.write_into(&mut world);
+        }
+        world
     }
 }
 
@@ -258,6 +318,7 @@ mod tests {
     use super::*;
     use simcov_core::grid::GridDims;
     use simcov_core::serial::SerialSim;
+    use simcov_driver::Simulation;
 
     fn test_params(steps: u64) -> SimParams {
         SimParams::test_config(GridDims::new2d(24, 24), steps, 2, 42)
@@ -269,8 +330,8 @@ mod tests {
         serial.run();
 
         let cfg = GpuSimConfig::new(p, n_devices).with_variant(variant);
-        let mut gpu = GpuSim::new(cfg);
-        gpu.run();
+        let mut gpu = GpuSim::new(cfg).expect("valid config");
+        gpu.run().expect("healthy run");
 
         let world = gpu.gather_world();
         if let Some((idx, why)) = serial.world.first_difference(&world) {
@@ -278,13 +339,13 @@ mod tests {
                 "state diverged at voxel {idx} after {steps} steps ({n_devices} devices, {variant:?}): {why}"
             );
         }
-        for (a, b) in serial.history.steps.iter().zip(gpu.history.steps.iter()) {
-            assert!(
-                a.approx_eq(b, 1e-9),
-                "stats diverged at step {}: {a:?} vs {b:?}",
-                a.step
-            );
-        }
+        // Exact statistics reduction: serial and GPU histories are bitwise
+        // identical, not just close.
+        assert_eq!(
+            serial.history,
+            *gpu.history(),
+            "stats must be bitwise identical across executors"
+        );
     }
 
     #[test]
@@ -317,8 +378,8 @@ mod tests {
         let p = test_params(120);
         let mut worlds = Vec::new();
         for v in GpuVariant::ALL {
-            let mut sim = GpuSim::new(GpuSimConfig::new(p.clone(), 4).with_variant(v));
-            sim.run();
+            let mut sim = GpuSim::new(GpuSimConfig::new(p.clone(), 4).with_variant(v)).unwrap();
+            sim.run().unwrap();
             worlds.push((v, sim.gather_world()));
         }
         for w in &worlds[1..] {
@@ -336,12 +397,14 @@ mod tests {
         // Needs a grid large enough to contain inactive interior tiles.
         let mut p = SimParams::test_config(GridDims::new2d(64, 64), 60, 1, 7);
         p.tcell_generation_rate = 0.0; // keep activity localized to the focus
-        let mut cfg = GpuSimConfig::new(p.clone(), 4).with_variant(GpuVariant::Combined);
-        cfg.tile_side = 4;
-        let mut tiled = GpuSim::new(cfg);
-        tiled.run();
-        let mut full = GpuSim::new(GpuSimConfig::new(p, 4).with_variant(GpuVariant::FastReduction));
-        full.run();
+        let cfg = GpuSimConfig::new(p.clone(), 4)
+            .with_variant(GpuVariant::Combined)
+            .with_tile_side(4);
+        let mut tiled = GpuSim::new(cfg).unwrap();
+        tiled.run().unwrap();
+        let mut full =
+            GpuSim::new(GpuSimConfig::new(p, 4).with_variant(GpuVariant::FastReduction)).unwrap();
+        full.run().unwrap();
         let tiled_work = tiled.total_counters().update.elements;
         let full_work = full.total_counters().update.elements;
         assert!(
@@ -354,10 +417,12 @@ mod tests {
     fn reduce_strategy_changes_atomic_counts() {
         let p = test_params(60);
         let mut tree =
-            GpuSim::new(GpuSimConfig::new(p.clone(), 4).with_variant(GpuVariant::FastReduction));
-        tree.run();
-        let mut atomic = GpuSim::new(GpuSimConfig::new(p, 4).with_variant(GpuVariant::Unoptimized));
-        atomic.run();
+            GpuSim::new(GpuSimConfig::new(p.clone(), 4).with_variant(GpuVariant::FastReduction))
+                .unwrap();
+        tree.run().unwrap();
+        let mut atomic =
+            GpuSim::new(GpuSimConfig::new(p, 4).with_variant(GpuVariant::Unoptimized)).unwrap();
+        atomic.run().unwrap();
         assert!(
             tree.total_counters().reduce.atomics * 10 < atomic.total_counters().reduce.atomics,
             "tree reduction should slash atomics"
@@ -369,11 +434,11 @@ mod tests {
     fn check_period_does_not_change_results_but_changes_cost() {
         let p = test_params(120);
         let run = |period: u64| {
-            let mut cfg = GpuSimConfig::new(p.clone(), 4);
-            cfg.tile_side = 8;
-            cfg.check_period = Some(period);
-            let mut sim = GpuSim::new(cfg);
-            sim.run();
+            let cfg = GpuSimConfig::new(p.clone(), 4)
+                .with_tile_side(8)
+                .with_check_period(period);
+            let mut sim = GpuSim::new(cfg).unwrap();
+            sim.run().unwrap();
             (sim.gather_world(), sim.total_counters().tile_check.launches)
         };
         let (w1, checks1) = run(1);
@@ -386,21 +451,26 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
     fn check_period_beyond_tile_side_rejected() {
         let p = test_params(10);
-        let mut cfg = GpuSimConfig::new(p, 4);
-        cfg.tile_side = 4;
-        cfg.check_period = Some(5); // unsafe: buffer can be outrun
-        let _ = GpuSim::new(cfg);
+        let cfg = GpuSimConfig::new(p, 4)
+            .with_tile_side(4)
+            .with_check_period(5); // unsafe: buffer can be outrun
+        match GpuSim::new(cfg) {
+            Err(ConfigError::CheckPeriodOutOfRange {
+                check_period: 5,
+                tile_side: 4,
+            }) => {}
+            other => panic!("expected CheckPeriodOutOfRange, got {:?}", other.err()),
+        }
     }
 
     #[test]
     fn halo_traffic_recorded_with_locality() {
         let p = test_params(60);
         // 8 devices with 4 per node: both intra- and inter-node links exist.
-        let mut sim = GpuSim::new(GpuSimConfig::new(p, 8));
-        sim.run();
+        let mut sim = GpuSim::new(GpuSimConfig::new(p, 8)).unwrap();
+        sim.run().unwrap();
         let total: LinkTraffic = sim.devices.iter().fold(LinkTraffic::default(), |mut a, d| {
             a.merge(&d.link);
             a

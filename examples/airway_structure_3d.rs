@@ -15,6 +15,7 @@ use simcov_repro::simcov_core::grid::GridDims;
 use simcov_repro::simcov_core::params::SimParams;
 use simcov_repro::simcov_core::serial::SerialSim;
 use simcov_repro::simcov_core::world::World;
+use simcov_repro::simcov_driver::Simulation;
 use simcov_repro::simcov_gpu::{GpuSim, GpuSimConfig};
 
 fn main() {
@@ -41,8 +42,9 @@ fn main() {
 
     // Run on 8 simulated devices with 3D block decomposition and verify
     // against the serial reference.
-    let mut gpu = GpuSim::from_world(GpuSimConfig::new(params.clone(), 8), world.clone());
-    gpu.run();
+    let mut gpu = GpuSim::from_world(GpuSimConfig::new(params.clone(), 8), world.clone())
+        .expect("valid config");
+    gpu.run().expect("healthy run");
     let mut serial = SerialSim::from_world(params, world);
     serial.run();
     assert!(
@@ -58,7 +60,7 @@ fn main() {
     }
     println!("all {} airway voxels remained inert", airways.len());
 
-    let last = *gpu.last_stats().unwrap();
+    let last = gpu.last_stats().unwrap();
     println!(
         "final state: virions {:.3e}, dead epithelium {}, tissue T cells {}",
         last.virions, last.epi_dead, last.tcells_tissue

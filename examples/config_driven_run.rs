@@ -9,6 +9,7 @@
 
 use simcov_repro::simcov_core::config::{parse_config, to_config};
 use simcov_repro::simcov_core::render::render_slice;
+use simcov_repro::simcov_driver::Simulation;
 use simcov_repro::simcov_gpu::{GpuSim, GpuSimConfig};
 use std::fs;
 
@@ -43,18 +44,18 @@ fn main() {
     println!("parsed config:\n{}", to_config(&params));
 
     let steps = params.steps;
-    let mut sim = GpuSim::new(GpuSimConfig::new(params, 4));
+    let mut sim = GpuSim::new(GpuSimConfig::new(params, 4)).expect("valid config");
 
     let dir = "simcov_frames";
     fs::create_dir_all(dir).expect("create frame dir");
     let frame_every = steps / 6;
     let mut frames = 0;
-    while sim.step < steps {
-        sim.advance_step();
-        if sim.step.is_multiple_of(frame_every) || sim.step == steps {
+    while sim.step() < steps {
+        sim.advance_step().expect("healthy step");
+        if sim.step().is_multiple_of(frame_every) || sim.step() == steps {
             let world = sim.gather_world();
             let img = render_slice(&world, 0, 288);
-            let path = format!("{dir}/step_{:05}.ppm", sim.step);
+            let path = format!("{dir}/step_{:05}.ppm", sim.step());
             fs::write(&path, img.to_ppm()).expect("write frame");
             frames += 1;
             let s = sim.last_stats().unwrap();

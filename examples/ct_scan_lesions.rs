@@ -15,23 +15,23 @@ use simcov_repro::simcov_core::grid::GridDims;
 use simcov_repro::simcov_core::params::SimParams;
 use simcov_repro::simcov_core::stats::Metric;
 use simcov_repro::simcov_core::world::World;
+use simcov_repro::simcov_driver::Simulation;
 use simcov_repro::simcov_gpu::{GpuSim, GpuSimConfig};
 
 fn run(pattern: FoiPattern, label: &str, params: &SimParams) {
     let world = World::seeded(params, pattern);
     let seeded = world.virions.count_positive();
-    let mut cfg = GpuSimConfig::new(params.clone(), 4);
-    cfg.pattern = pattern;
-    let mut sim = GpuSim::from_world(cfg, world);
-    sim.run();
-    let last = *sim.last_stats().unwrap();
+    let cfg = GpuSimConfig::new(params.clone(), 4).with_pattern(pattern);
+    let mut sim = GpuSim::from_world(cfg, world).expect("valid config");
+    sim.run().expect("healthy run");
+    let last = sim.last_stats().unwrap();
     let work = sim.total_counters();
     println!(
         "{label:<22} seeded voxels {seeded:>5} | peak virions {:>12.3e} | dead {:>6} | \
          peak T cells {:>5} | update work {:>12}",
-        sim.history.peak(Metric::Virions),
+        sim.history().peak(Metric::Virions),
         last.epi_dead,
-        sim.history.peak(Metric::TCellsTissue) as u64,
+        sim.history().peak(Metric::TCellsTissue) as u64,
         work.update.elements,
     );
 }

@@ -11,6 +11,7 @@ use simcov_repro::simcov_core::epithelial::EpiState;
 use simcov_repro::simcov_core::grid::{Coord, GridDims};
 use simcov_repro::simcov_core::params::SimParams;
 use simcov_repro::simcov_core::stats::Metric;
+use simcov_repro::simcov_driver::Simulation;
 use simcov_repro::simcov_gpu::{GpuSim, GpuSimConfig};
 
 /// Render the world as ASCII: infection states and T cells.
@@ -53,14 +54,14 @@ fn main() {
     // 10,000^2 -> 156^2, 33,120 steps -> 518, 16 FOI.
     let params = SimParams::scaled_to(GridDims::new2d(156, 156), 518, 16, 7);
     let steps = params.steps;
-    let mut sim = GpuSim::new(GpuSimConfig::new(params, 4));
+    let mut sim = GpuSim::new(GpuSimConfig::new(params, 4)).expect("valid config");
 
     println!("legend: . healthy | ~ virions | i incubating | E expressing | a apoptotic | # dead | T T cell\n");
     let snaps = [steps / 4, steps / 2, 3 * steps / 4, steps - 1];
     let mut next = 0usize;
-    while sim.step < steps {
-        sim.advance_step();
-        if next < snaps.len() && sim.step - 1 == snaps[next] {
+    while sim.step() < steps {
+        sim.advance_step().expect("healthy step");
+        if next < snaps.len() && sim.step() - 1 == snaps[next] {
             let s = sim.last_stats().unwrap();
             println!(
                 "--- step {} | virions {:.2e} | tissue T cells {} | dead {} ---",
@@ -73,20 +74,20 @@ fn main() {
 
     println!(
         "peak viral load:        {:.3e}",
-        sim.history.peak(Metric::Virions)
+        sim.history().peak(Metric::Virions)
     );
     println!(
         "peak tissue T cells:    {}",
-        sim.history.peak(Metric::TCellsTissue)
+        sim.history().peak(Metric::TCellsTissue)
     );
     println!(
         "peak apoptotic cells:   {}",
-        sim.history.peak(Metric::EpiApoptotic)
+        sim.history().peak(Metric::EpiApoptotic)
     );
     println!(
         "epithelium killed:      {} of {}",
-        sim.history.steps.last().unwrap().epi_dead,
-        sim.params.dims.nvoxels()
+        sim.history().steps.last().unwrap().epi_dead,
+        sim.params().dims.nvoxels()
     );
     println!(
         "active tiles at end:    {:.1}% (memory tiling, §3.2)",

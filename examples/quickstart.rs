@@ -11,6 +11,7 @@ use simcov_repro::simcov_core::params::SimParams;
 use simcov_repro::simcov_core::serial::SerialSim;
 use simcov_repro::simcov_core::stats::Metric;
 use simcov_repro::simcov_cpu::{CpuSim, CpuSimConfig};
+use simcov_repro::simcov_driver::Simulation;
 use simcov_repro::simcov_gpu::{GpuSim, GpuSimConfig};
 
 fn main() {
@@ -28,12 +29,12 @@ fn main() {
     serial.run();
 
     // 2. CPU baseline on 4 ranks (active lists + RPCs).
-    let mut cpu = CpuSim::new(CpuSimConfig::new(params.clone(), 4));
-    cpu.run();
+    let mut cpu = CpuSim::new(CpuSimConfig::new(params.clone(), 4)).expect("valid config");
+    cpu.run().expect("healthy run");
 
     // 3. GPU executor on 4 simulated devices (tiles + halos + bids).
-    let mut gpu = GpuSim::new(GpuSimConfig::new(params, 4));
-    gpu.run();
+    let mut gpu = GpuSim::new(GpuSimConfig::new(params, 4)).expect("valid config");
+    gpu.run().expect("healthy run");
 
     // All three produce the same simulation, voxel for voxel.
     assert!(

@@ -14,6 +14,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== build (release) =="
 cargo build --release --workspace
 
+echo "== docs (deny warnings) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
+
 echo "== tests =="
 cargo test -q --workspace
 
@@ -31,6 +34,25 @@ doc = json.load(open("target/BENCH_smoke.json"))
 for key in ("suite", "scale", "table1", "fig4", "fig5_and_table2", "fig6", "fig7", "fig8"):
     assert key in doc, f"BENCH_smoke.json missing key: {key}"
 print("BENCH_smoke.json OK:", ", ".join(sorted(doc)))
+EOF
+
+# The fault sweep asserts in-process that every recovered run is bitwise
+# identical to its failure-free baseline; the JSON check covers the artifact.
+echo "== fault sweep smoke (recovery + JSON artifact) =="
+cargo run --release -p simcov-bench --bin fault_sweep -- \
+    --json target/BENCH_fault_sweep.json >/dev/null
+
+python3 - <<'EOF'
+import json
+doc = json.load(open("target/BENCH_fault_sweep.json"))
+assert doc.get("suite") == "fault_sweep", "wrong suite tag"
+rows = doc["rows"]
+assert rows, "fault sweep produced no rows"
+for r in rows:
+    assert r["identical_to_failure_free"], f"recovery diverged: {r}"
+    assert r["checkpoint_delta_bytes"] <= r["checkpoint_full_bytes"], f"delta > dense: {r}"
+assert any(r["recoveries"] > 0 for r in rows), "no cell exercised recovery"
+print(f"BENCH_fault_sweep.json OK: {len(rows)} cells, all bitwise-identical")
 EOF
 
 echo "== all checks passed =="

@@ -9,4 +9,5 @@ pub use gpusim;
 pub use pgas;
 pub use simcov_core;
 pub use simcov_cpu;
+pub use simcov_driver;
 pub use simcov_gpu;

@@ -12,6 +12,7 @@ use simcov_repro::simcov_core::params::SimParams;
 use simcov_repro::simcov_core::serial::SerialSim;
 use simcov_repro::simcov_core::world::World;
 use simcov_repro::simcov_cpu::{CpuSim, CpuSimConfig};
+use simcov_repro::simcov_driver::Simulation;
 use simcov_repro::simcov_gpu::{GpuSim, GpuSimConfig, GpuVariant};
 
 fn check_all(params: SimParams, world: World, ranks: &[usize], devices: &[usize]) {
@@ -20,37 +21,33 @@ fn check_all(params: SimParams, world: World, ranks: &[usize], devices: &[usize]
 
     for &r in ranks {
         for strategy in [Strategy::Blocks, Strategy::Linear] {
-            let mut cfg = CpuSimConfig::new(params.clone(), r);
-            cfg.strategy = strategy;
-            let mut cpu = CpuSim::from_world(cfg, world.clone());
-            cpu.run();
+            let cfg = CpuSimConfig::new(params.clone(), r).with_strategy(strategy);
+            let mut cpu = CpuSim::from_world(cfg, world.clone()).expect("valid config");
+            cpu.run().expect("healthy run");
             if let Some((idx, why)) = serial.world.first_difference(&cpu.gather_world()) {
                 panic!("CPU({r} ranks, {strategy:?}) diverged at voxel {idx}: {why}");
             }
-            for (a, b) in serial.history.steps.iter().zip(cpu.history.steps.iter()) {
-                assert!(
-                    a.approx_eq(b, 1e-9),
-                    "CPU stats diverged at step {}",
-                    a.step
-                );
-            }
+            // Exact summation makes the whole time series bitwise identical.
+            assert_eq!(
+                serial.history,
+                *cpu.history(),
+                "CPU({r} ranks, {strategy:?}) stats diverged"
+            );
         }
     }
     for &d in devices {
         for v in GpuVariant::ALL {
             let cfg = GpuSimConfig::new(params.clone(), d).with_variant(v);
-            let mut gpu = GpuSim::from_world(cfg, world.clone());
-            gpu.run();
+            let mut gpu = GpuSim::from_world(cfg, world.clone()).expect("valid config");
+            gpu.run().expect("healthy run");
             if let Some((idx, why)) = serial.world.first_difference(&gpu.gather_world()) {
                 panic!("GPU({d} devices, {v:?}) diverged at voxel {idx}: {why}");
             }
-            for (a, b) in serial.history.steps.iter().zip(gpu.history.steps.iter()) {
-                assert!(
-                    a.approx_eq(b, 1e-9),
-                    "GPU stats diverged at step {}",
-                    a.step
-                );
-            }
+            assert_eq!(
+                serial.history,
+                *gpu.history(),
+                "GPU({d} devices, {v:?}) stats diverged"
+            );
         }
     }
 }
@@ -106,10 +103,12 @@ fn many_seeds_quick() {
         let world = World::seeded(&params, FoiPattern::UniformLattice);
         let mut serial = SerialSim::from_world(params.clone(), world.clone());
         serial.run();
-        let mut cpu = CpuSim::from_world(CpuSimConfig::new(params.clone(), 4), world.clone());
-        cpu.run();
-        let mut gpu = GpuSim::from_world(GpuSimConfig::new(params, 4), world);
-        gpu.run();
+        let mut cpu = CpuSim::from_world(CpuSimConfig::new(params.clone(), 4), world.clone())
+            .expect("valid config");
+        cpu.run().expect("healthy run");
+        let mut gpu =
+            GpuSim::from_world(GpuSimConfig::new(params, 4), world).expect("valid config");
+        gpu.run().expect("healthy run");
         assert!(
             serial.world.first_difference(&cpu.gather_world()).is_none(),
             "seed {seed} cpu"
@@ -135,10 +134,9 @@ fn tile_side_does_not_change_results() {
     let world = World::seeded(&params, FoiPattern::UniformLattice);
     let mut reference: Option<World> = None;
     for tile_side in [2usize, 4, 8, 16] {
-        let mut cfg = GpuSimConfig::new(params.clone(), 4);
-        cfg.tile_side = tile_side;
-        let mut gpu = GpuSim::from_world(cfg, world.clone());
-        gpu.run();
+        let cfg = GpuSimConfig::new(params.clone(), 4).with_tile_side(tile_side);
+        let mut gpu = GpuSim::from_world(cfg, world.clone()).expect("valid config");
+        gpu.run().expect("healthy run");
         let w = gpu.gather_world();
         if let Some(r) = &reference {
             assert!(

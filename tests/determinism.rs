@@ -9,14 +9,15 @@ use simcov_repro::simcov_core::grid::GridDims;
 use simcov_repro::simcov_core::params::SimParams;
 use simcov_repro::simcov_core::world::World;
 use simcov_repro::simcov_cpu::{CpuSim, CpuSimConfig};
+use simcov_repro::simcov_driver::Simulation;
 use simcov_repro::simcov_gpu::{GpuSim, GpuSimConfig};
 
 #[test]
 fn repeated_runs_are_bitwise_identical() {
     let p = SimParams::test_config(GridDims::new2d(28, 28), 80, 3, 5);
     let run = || {
-        let mut gpu = GpuSim::new(GpuSimConfig::new(p.clone(), 4));
-        gpu.run();
+        let mut gpu = GpuSim::new(GpuSimConfig::new(p.clone(), 4)).expect("valid config");
+        gpu.run().expect("healthy run");
         gpu.gather_world()
     };
     let a = run();
@@ -30,8 +31,9 @@ fn rank_count_does_not_change_results() {
     let world = World::seeded(&p, FoiPattern::UniformLattice);
     let mut worlds = Vec::new();
     for ranks in [1usize, 2, 3, 6, 9] {
-        let mut cpu = CpuSim::from_world(CpuSimConfig::new(p.clone(), ranks), world.clone());
-        cpu.run();
+        let mut cpu = CpuSim::from_world(CpuSimConfig::new(p.clone(), ranks), world.clone())
+            .expect("valid config");
+        cpu.run().expect("healthy run");
         worlds.push(cpu.gather_world());
     }
     for w in &worlds[1..] {
@@ -45,8 +47,9 @@ fn device_count_does_not_change_results() {
     let world = World::seeded(&p, FoiPattern::UniformLattice);
     let mut worlds = Vec::new();
     for devices in [1usize, 2, 4, 9] {
-        let mut gpu = GpuSim::from_world(GpuSimConfig::new(p.clone(), devices), world.clone());
-        gpu.run();
+        let mut gpu = GpuSim::from_world(GpuSimConfig::new(p.clone(), devices), world.clone())
+            .expect("valid config");
+        gpu.run().expect("healthy run");
         worlds.push(gpu.gather_world());
     }
     for w in &worlds[1..] {
@@ -114,19 +117,19 @@ fn partial_run_equals_full_run_prefix() {
     // advance_step must be incremental: stopping and inspecting mid-run
     // does not perturb the trajectory.
     let p = SimParams::test_config(GridDims::new2d(24, 24), 60, 2, 8);
-    let mut full = GpuSim::new(GpuSimConfig::new(p.clone(), 4));
-    full.run();
-    let mut stepped = GpuSim::new(GpuSimConfig::new(p, 4));
+    let mut full = GpuSim::new(GpuSimConfig::new(p.clone(), 4)).expect("valid config");
+    full.run().expect("healthy run");
+    let mut stepped = GpuSim::new(GpuSimConfig::new(p, 4)).expect("valid config");
     for _ in 0..30 {
-        stepped.advance_step();
+        stepped.advance_step().expect("healthy step");
     }
     let _ = stepped.gather_world(); // inspect mid-run
     for _ in 30..60 {
-        stepped.advance_step();
+        stepped.advance_step().expect("healthy step");
     }
     assert!(full
         .gather_world()
         .first_difference(&stepped.gather_world())
         .is_none());
-    assert_eq!(full.history, stepped.history);
+    assert_eq!(full.history(), stepped.history());
 }

@@ -1,0 +1,267 @@
+//! Fault-injection and recovery tests for the elastic BSP runtime: injected
+//! rank deaths and message losses must be detected, rolled back to the last
+//! checkpoint, re-partitioned across the survivors and replayed — and the
+//! recovered trajectory must be **bitwise identical** to the failure-free
+//! run (exact summation makes per-step statistics independent of the
+//! partitioning, so an elastic shrink is invisible in the results).
+
+use simcov_repro::pgas::{FaultEvent, FaultKind, FaultPlan, FaultRates};
+use simcov_repro::simcov_core::grid::GridDims;
+use simcov_repro::simcov_core::params::SimParams;
+use simcov_repro::simcov_cpu::{CpuSim, CpuSimConfig};
+use simcov_repro::simcov_driver::{RecoveryPolicy, SerialDriver, SimError, Simulation};
+use simcov_repro::simcov_gpu::{GpuSim, GpuSimConfig};
+
+fn params(seed: u64) -> SimParams {
+    SimParams::test_config(GridDims::new2d(32, 32), 60, 8, seed)
+}
+
+fn death(superstep: u64, rank: usize) -> FaultEvent {
+    FaultEvent {
+        superstep,
+        rank,
+        kind: FaultKind::RankDeath,
+    }
+}
+
+/// Rank death mid-run on the CPU executor: the driver rolls back, shrinks
+/// to the survivors and replays; the final world and the whole per-step
+/// time series are bitwise identical to the failure-free run.
+#[test]
+fn cpu_rank_death_recovery_is_bitwise_identical() {
+    let mut clean = CpuSim::new(CpuSimConfig::new(params(3), 4)).expect("valid config");
+    clean.run().expect("no faults");
+    assert!(clean.recovery_log().is_empty());
+
+    // The CPU executor runs 3 supersteps per step: superstep 90 = step 30.
+    let plan = FaultPlan::from_events(vec![death(90, 1)]);
+    let mut faulty =
+        CpuSim::new(CpuSimConfig::new(params(3), 4).with_fault_plan(plan)).expect("valid config");
+    faulty.run().expect("recovery must absorb the death");
+
+    let log = faulty.recovery_log();
+    assert_eq!(log.len(), 1, "exactly one recovery");
+    assert_eq!(log[0].dead_ranks, vec![1]);
+    assert_eq!(log[0].survivors, 3);
+    assert!(log[0].replayed_steps > 0, "rollback must replay something");
+    assert_eq!(faulty.n_units(), 3, "domain shrank to the survivors");
+
+    assert_eq!(clean.history(), faulty.history(), "time series diverged");
+    assert!(
+        clean
+            .gather_world()
+            .first_difference(&faulty.gather_world())
+            .is_none(),
+        "world diverged after recovery"
+    );
+}
+
+/// The same property on the GPU executor (2 supersteps per step).
+#[test]
+fn gpu_device_death_recovery_is_bitwise_identical() {
+    let mut clean = GpuSim::new(GpuSimConfig::new(params(5), 4)).expect("valid config");
+    clean.run().expect("no faults");
+
+    let plan = FaultPlan::from_events(vec![death(40, 2)]);
+    let mut faulty = GpuSim::new(
+        GpuSimConfig::new(params(5), 4)
+            .with_fault_plan(plan)
+            .with_recovery(RecoveryPolicy {
+                checkpoint_period: 4,
+                ..RecoveryPolicy::default()
+            }),
+    )
+    .expect("valid config");
+    faulty.run().expect("recovery must absorb the death");
+
+    assert_eq!(faulty.recovery_log().len(), 1);
+    assert_eq!(faulty.n_units(), 3);
+    assert_eq!(clean.history(), faulty.history(), "time series diverged");
+    assert!(
+        clean
+            .gather_world()
+            .first_difference(&faulty.gather_world())
+            .is_none(),
+        "world diverged after recovery"
+    );
+}
+
+/// Message loss (no dead ranks): the failed superstep's messages are lost in
+/// flight, the driver rolls back and replays over the *same* rank count.
+#[test]
+fn message_drop_triggers_rollback_without_shrink() {
+    let mut clean = CpuSim::new(CpuSimConfig::new(params(7), 4)).expect("valid config");
+    clean.run().expect("no faults");
+
+    let plan = FaultPlan::from_events(vec![FaultEvent {
+        superstep: 95, // a state-exchange superstep mid-infection: halos flow
+        rank: 0,
+        kind: FaultKind::MessageDrop,
+    }]);
+    let mut faulty =
+        CpuSim::new(CpuSimConfig::new(params(7), 4).with_fault_plan(plan)).expect("valid config");
+    faulty.run().expect("recovery must absorb the drop");
+
+    let log = faulty.recovery_log();
+    assert_eq!(log.len(), 1, "the drop must have been detected");
+    assert!(log[0].dead_ranks.is_empty());
+    assert!(log[0].dropped_messages > 0);
+    assert_eq!(
+        log[0].survivors, 4,
+        "message loss does not shrink the domain"
+    );
+    assert_eq!(faulty.n_units(), 4);
+    assert_eq!(clean.history(), faulty.history(), "time series diverged");
+}
+
+/// Duplicated deliveries are suppressed by the exactly-once layer and slow
+/// ranks are metered, neither perturbs the trajectory nor triggers recovery.
+#[test]
+fn duplicates_and_stalls_are_metered_not_fatal() {
+    let mut clean = CpuSim::new(CpuSimConfig::new(params(11), 4)).expect("valid config");
+    clean.run().expect("no faults");
+
+    let plan = FaultPlan::from_events(vec![
+        FaultEvent {
+            superstep: 95, // state-exchange superstep: halo traffic to copy
+            rank: 2,
+            kind: FaultKind::MessageDuplicate,
+        },
+        FaultEvent {
+            superstep: 120,
+            rank: 1,
+            kind: FaultKind::SlowRank { stall_ns: 250_000 },
+        },
+    ]);
+    let mut sim =
+        CpuSim::new(CpuSimConfig::new(params(11), 4).with_fault_plan(plan)).expect("valid config");
+    sim.run().expect("benign faults must not fail the run");
+
+    assert!(sim.recovery_log().is_empty(), "no recovery needed");
+    let comm = sim.comm_counters();
+    assert!(comm.duplicates_suppressed > 0, "duplicates were suppressed");
+    assert_eq!(comm.stalls, 1);
+    assert_eq!(comm.stall_ns, 250_000);
+    assert_eq!(clean.history(), sim.history(), "observability-only faults");
+}
+
+/// A failure storm at one step exhausts the retry budget and surfaces as
+/// [`SimError::RetriesExhausted`] instead of looping forever.
+#[test]
+fn unrelenting_failures_exhaust_retries() {
+    // Kill a rank at every superstep from 9 on: each retry fails again.
+    let plan = FaultPlan::from_events((9..60).map(|s| death(s, 0)).collect());
+    let mut sim = CpuSim::new(
+        CpuSimConfig::new(params(13), 4)
+            .with_fault_plan(plan)
+            .with_recovery(RecoveryPolicy {
+                checkpoint_period: 1,
+                max_retries: 2,
+                backoff_base_ns: 1_000,
+            }),
+    )
+    .expect("valid config");
+    match sim.run() {
+        Err(SimError::RetriesExhausted { attempts, .. }) => {
+            assert_eq!(attempts, 3, "max_retries=2 gives up on attempt 3");
+        }
+        other => panic!("expected RetriesExhausted, got {other:?}"),
+    }
+    assert_eq!(
+        sim.recovery_log().len(),
+        2,
+        "two recoveries before giving up"
+    );
+}
+
+/// Without recovery engaged (no plan, no policy) a failure is fatal — and a
+/// seeded plan engages the default policy automatically.
+#[test]
+fn seeded_plans_engage_recovery_by_default() {
+    let rates = FaultRates {
+        death: 0.002,
+        ..FaultRates::default()
+    };
+    // 60 steps * 3 supersteps on 4 ranks at 0.2% — a couple of deaths.
+    let plan = FaultPlan::seeded(0xFA17, &rates, 4, 180);
+    let n_deaths = plan.events().len();
+    assert!(n_deaths > 0, "seed must schedule at least one death");
+
+    let mut clean = CpuSim::new(CpuSimConfig::new(params(17), 4)).expect("valid config");
+    clean.run().expect("no faults");
+    let mut sim =
+        CpuSim::new(CpuSimConfig::new(params(17), 4).with_fault_plan(plan)).expect("valid config");
+    sim.run().expect("default recovery must engage");
+    assert!(!sim.recovery_log().is_empty());
+    assert_eq!(clean.history(), sim.history(), "time series diverged");
+}
+
+/// Checkpoint/restore through the trait: restoring rewinds the trajectory
+/// and a replay from the checkpoint reproduces the original run exactly.
+#[test]
+fn checkpoint_restore_replays_identically() {
+    let mut sim = CpuSim::new(CpuSimConfig::new(params(19), 4)).expect("valid config");
+    for _ in 0..20 {
+        sim.advance_step().expect("healthy step");
+    }
+    let cp = sim.checkpoint();
+    assert_eq!(cp.step, 20);
+    sim.run().expect("healthy run");
+    let full_history = sim.history().clone();
+    let full_world = sim.gather_world();
+
+    sim.restore(&cp).expect("restore");
+    assert_eq!(sim.step(), 20, "restore rewinds the step counter");
+    sim.run().expect("healthy replay");
+    assert_eq!(full_history, *sim.history(), "replay diverged");
+    assert!(full_world.first_difference(&sim.gather_world()).is_none());
+}
+
+/// Restoring a checkpoint from a different grid is a typed error.
+#[test]
+fn restore_rejects_mismatched_dims() {
+    let other = SerialDriver::new(SimParams::test_config(GridDims::new2d(16, 16), 10, 1, 1))
+        .expect("valid config");
+    let cp = other.checkpoint();
+    let mut sim = CpuSim::new(CpuSimConfig::new(params(23), 4)).expect("valid config");
+    match sim.restore(&cp) {
+        Err(SimError::Restore(msg)) => assert!(msg.contains("dims"), "got: {msg}"),
+        other => panic!("expected SimError::Restore, got {other:?}"),
+    }
+}
+
+/// The unified driver API: all three executors behind `Box<dyn Simulation>`
+/// produce the identical trajectory, and the trait surface (name, units,
+/// history, gather) works through the object.
+#[test]
+fn trait_objects_run_all_executors_identically() {
+    let p = params(29);
+    let mut sims: Vec<Box<dyn Simulation>> = vec![
+        Box::new(SerialDriver::new(p.clone()).expect("valid config")),
+        Box::new(CpuSim::new(CpuSimConfig::new(p.clone(), 3)).expect("valid config")),
+        Box::new(GpuSim::new(GpuSimConfig::new(p, 4)).expect("valid config")),
+    ];
+    for sim in &mut sims {
+        sim.run().expect("healthy run");
+    }
+    assert_eq!(sims[0].name(), "serial");
+    assert_eq!(sims[1].name(), "cpu");
+    assert_eq!(sims[2].name(), "gpu");
+    assert_eq!(sims[0].n_units(), 1);
+    assert_eq!(sims[1].n_units(), 3);
+    assert_eq!(sims[2].n_units(), 4);
+    let reference = sims[0].gather_world();
+    for sim in &sims[1..] {
+        assert_eq!(
+            sims[0].history(),
+            sim.history(),
+            "{}: time series diverged",
+            sim.name()
+        );
+        assert!(
+            reference.first_difference(&sim.gather_world()).is_none(),
+            "{}: world diverged",
+            sim.name()
+        );
+    }
+}

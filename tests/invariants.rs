@@ -12,6 +12,7 @@ use simcov_repro::simcov_core::rng::{CounterRng, Stream};
 use simcov_repro::simcov_core::serial::SerialSim;
 use simcov_repro::simcov_core::world::World;
 use simcov_repro::simcov_cpu::{CpuSim, CpuSimConfig};
+use simcov_repro::simcov_driver::Simulation;
 use simcov_repro::simcov_gpu::{GpuSim, GpuSimConfig, GpuVariant};
 
 const CASES: u64 = 12;
@@ -108,13 +109,15 @@ fn executors_agree_on_random_configs() {
         let world = World::seeded(&p, FoiPattern::UniformLattice);
         let mut serial = SerialSim::from_world(p.clone(), world.clone());
         serial.run();
-        let mut cpu = CpuSim::from_world(CpuSimConfig::new(p.clone(), ranks), world.clone());
-        cpu.run();
+        let mut cpu = CpuSim::from_world(CpuSimConfig::new(p.clone(), ranks), world.clone())
+            .expect("valid config");
+        cpu.run().expect("healthy run");
         let mut gpu = GpuSim::from_world(
             GpuSimConfig::new(p, devices).with_variant(GpuVariant::Combined),
             world,
-        );
-        gpu.run();
+        )
+        .expect("valid config");
+        gpu.run().expect("healthy run");
         assert!(
             serial.world.first_difference(&cpu.gather_world()).is_none(),
             "case {case}: cpu diverged ({ranks} ranks)"
@@ -156,9 +159,9 @@ fn quiescent_stays_quiescent() {
         // active-list executors must do (almost) no work.
         let mut p = SimParams::test_config(GridDims::new2d(x, y), steps, 0, seed);
         p.tcell_generation_rate = 0.0;
-        let mut cpu = CpuSim::new(CpuSimConfig::new(p.clone(), 4));
-        cpu.run();
-        let s = *cpu.last_stats().unwrap();
+        let mut cpu = CpuSim::new(CpuSimConfig::new(p.clone(), 4)).expect("valid config");
+        cpu.run().expect("healthy run");
+        let s = cpu.last_stats().unwrap();
         assert_eq!(s.epi_healthy, p.dims.nvoxels() as u64, "case {case}");
         assert_eq!(s.virions, 0.0, "case {case}");
         assert_eq!(

@@ -7,6 +7,7 @@ use simcov_repro::gpusim::SharedSink;
 use simcov_repro::simcov_core::grid::GridDims;
 use simcov_repro::simcov_core::params::SimParams;
 use simcov_repro::simcov_cpu::{CpuSim, CpuSimConfig};
+use simcov_repro::simcov_driver::Simulation;
 use simcov_repro::simcov_gpu::{GpuSim, GpuSimConfig};
 
 fn params(seed: u64) -> SimParams {
@@ -19,14 +20,14 @@ fn params(seed: u64) -> SimParams {
 fn cpu_and_gpu_step_records_agree() {
     for seed in [3u64, 17, 99] {
         let cpu_sink = SharedSink::new();
-        let mut cpu = CpuSim::new(CpuSimConfig::new(params(seed), 4));
+        let mut cpu = CpuSim::new(CpuSimConfig::new(params(seed), 4)).expect("valid config");
         cpu.set_metrics_sink(Box::new(cpu_sink.clone()));
-        cpu.run();
+        cpu.run().expect("healthy run");
 
         let gpu_sink = SharedSink::new();
-        let mut gpu = GpuSim::new(GpuSimConfig::new(params(seed), 4));
+        let mut gpu = GpuSim::new(GpuSimConfig::new(params(seed), 4)).expect("valid config");
         gpu.set_metrics_sink(Box::new(gpu_sink.clone()));
-        gpu.run();
+        gpu.run().expect("healthy run");
 
         let cpu_recs = cpu_sink.records();
         let gpu_recs = gpu_sink.records();
@@ -60,9 +61,9 @@ fn cpu_and_gpu_step_records_agree() {
 #[test]
 fn step_record_comm_deltas_sum_to_counters() {
     let sink = SharedSink::new();
-    let mut sim = CpuSim::new(CpuSimConfig::new(params(7), 5));
+    let mut sim = CpuSim::new(CpuSimConfig::new(params(7), 5)).expect("valid config");
     sim.set_metrics_sink(Box::new(sink.clone()));
-    sim.run();
+    sim.run().expect("healthy run");
 
     let recs = sink.records();
     for (i, r) in recs.iter().enumerate() {
@@ -80,14 +81,14 @@ fn step_record_comm_deltas_sum_to_counters() {
 /// cumulative totals — on both executors.
 #[test]
 fn trace_comm_totals_equal_bsp_counters() {
-    let mut cpu = CpuSim::new(CpuSimConfig::new(params(11), 4));
+    let mut cpu = CpuSim::new(CpuSimConfig::new(params(11), 4)).expect("valid config");
     cpu.enable_trace();
-    cpu.run();
+    cpu.run().expect("healthy run");
     check_trace_matches_counters(cpu.trace(), cpu.comm_counters(), "cpu");
 
-    let mut gpu = GpuSim::new(GpuSimConfig::new(params(11), 4));
+    let mut gpu = GpuSim::new(GpuSimConfig::new(params(11), 4)).expect("valid config");
     gpu.enable_trace();
-    gpu.run();
+    gpu.run().expect("healthy run");
     check_trace_matches_counters(gpu.trace(), gpu.comm_counters(), "gpu");
 }
 
@@ -119,21 +120,21 @@ fn check_trace_matches_counters(
 /// trajectory.
 #[test]
 fn metrics_sink_does_not_perturb_simulation() {
-    let mut plain = CpuSim::new(CpuSimConfig::new(params(23), 3));
-    plain.run();
+    let mut plain = CpuSim::new(CpuSimConfig::new(params(23), 3)).expect("valid config");
+    plain.run().expect("healthy run");
 
     let sink = SharedSink::new();
-    let mut observed = CpuSim::new(CpuSimConfig::new(params(23), 3));
+    let mut observed = CpuSim::new(CpuSimConfig::new(params(23), 3)).expect("valid config");
     observed.set_metrics_sink(Box::new(sink.clone()));
     observed.enable_trace();
-    observed.run();
+    observed.run().expect("healthy run");
 
-    assert_eq!(plain.history.steps.len(), observed.history.steps.len());
+    assert_eq!(plain.history().steps.len(), observed.history().steps.len());
     for (a, b) in plain
-        .history
+        .history()
         .steps
         .iter()
-        .zip(observed.history.steps.iter())
+        .zip(observed.history().steps.iter())
     {
         assert!(
             a.approx_eq(b, 0.0),

@@ -6,6 +6,7 @@ use simcov_repro::gpusim::{CostModel, GPU_A100};
 use simcov_repro::simcov_core::grid::GridDims;
 use simcov_repro::simcov_core::params::SimParams;
 use simcov_repro::simcov_cpu::{CpuSim, CpuSimConfig};
+use simcov_repro::simcov_driver::Simulation;
 use simcov_repro::simcov_gpu::{GpuSim, GpuSimConfig, GpuVariant};
 
 fn params(side: u32, steps: u64, foi: u32) -> SimParams {
@@ -18,8 +19,9 @@ fn cpu_work_grows_with_foi() {
     // the mechanism behind Fig 8.
     let mut work = Vec::new();
     for foi in [1u32, 4, 16] {
-        let mut cpu = CpuSim::new(CpuSimConfig::new(params(48, 120, foi), 4));
-        cpu.run();
+        let mut cpu =
+            CpuSim::new(CpuSimConfig::new(params(48, 120, foi), 4)).expect("valid config");
+        cpu.run().expect("healthy run");
         work.push(cpu.total_counters().update.elements);
     }
     assert!(work[0] < work[1] && work[1] < work[2], "work {work:?}");
@@ -33,8 +35,9 @@ fn gpu_full_sweep_variants_do_not_grow_with_foi() {
     for foi in [1u32, 16] {
         let mut gpu = GpuSim::new(
             GpuSimConfig::new(params(48, 60, foi), 4).with_variant(GpuVariant::FastReduction),
-        );
-        gpu.run();
+        )
+        .expect("valid config");
+        gpu.run().expect("healthy run");
         elems.push(gpu.total_counters().update.elements);
     }
     // FSM/diffusion sweeps are identical; only T-cell/extravasation work
@@ -52,8 +55,9 @@ fn reduction_cost_dominates_unoptimized_variant() {
     // reduction, and the tree reduction removes almost all of it.
     let model = CostModel::default();
     let mut unopt =
-        GpuSim::new(GpuSimConfig::new(params(48, 60, 8), 4).with_variant(GpuVariant::Unoptimized));
-    unopt.run();
+        GpuSim::new(GpuSimConfig::new(params(48, 60, 8), 4).with_variant(GpuVariant::Unoptimized))
+            .expect("valid config");
+    unopt.run().expect("healthy run");
     // Zero out launch overheads: at this miniature scale fixed per-step
     // launches dominate everything; the paper-scale balance is between the
     // per-voxel work terms.
@@ -73,8 +77,9 @@ fn reduction_cost_dominates_unoptimized_variant() {
     );
 
     let mut fast =
-        GpuSim::new(GpuSimConfig::new(params(48, 60, 8), 4).with_variant(GpuVariant::Combined));
-    fast.run();
+        GpuSim::new(GpuSimConfig::new(params(48, 60, 8), 4).with_variant(GpuVariant::Combined))
+            .expect("valid config");
+    fast.run().expect("healthy run");
     let b_fast = model.device_breakdown(&GPU_A100, &strip_launches(fast.max_device_counters()));
     assert!(
         b_fast.reduce_s < 0.2 * b_unopt.reduce_s,
@@ -88,8 +93,8 @@ fn reduction_cost_dominates_unoptimized_variant() {
 fn more_devices_less_max_device_work() {
     let mut prev = u64::MAX;
     for d in [1usize, 4, 16] {
-        let mut gpu = GpuSim::new(GpuSimConfig::new(params(64, 60, 16), d));
-        gpu.run();
+        let mut gpu = GpuSim::new(GpuSimConfig::new(params(64, 60, 16), d)).expect("valid config");
+        gpu.run().expect("healthy run");
         let w = gpu.max_device_counters().reduce.elements;
         assert!(w < prev, "reduce sweep per device must shrink with devices");
         prev = w;
@@ -101,8 +106,8 @@ fn halo_traffic_scales_with_boundary_not_area() {
     // Doubling the grid side should roughly double (not quadruple) the
     // per-device halo traffic.
     let run = |side: u32| {
-        let mut gpu = GpuSim::new(GpuSimConfig::new(params(side, 40, 4), 4));
-        gpu.run();
+        let mut gpu = GpuSim::new(GpuSimConfig::new(params(side, 40, 4), 4)).expect("valid config");
+        gpu.run().expect("healthy run");
         gpu.total_counters().halo.bytes
     };
     let small = run(32);
@@ -119,11 +124,11 @@ fn comm_supersteps_cpu_three_gpu_two() {
     // The GPU algorithm needs one fewer communication wave than the CPU's
     // intent→result RPC pattern (§3.1) — plus the state wave each.
     let p = params(32, 50, 2);
-    let mut cpu = CpuSim::new(CpuSimConfig::new(p.clone(), 4));
-    cpu.run();
+    let mut cpu = CpuSim::new(CpuSimConfig::new(p.clone(), 4)).expect("valid config");
+    cpu.run().expect("healthy run");
     assert_eq!(cpu.comm_counters().supersteps, 50 * 3);
-    let mut gpu = GpuSim::new(GpuSimConfig::new(p, 4));
-    gpu.run();
+    let mut gpu = GpuSim::new(GpuSimConfig::new(p, 4)).expect("valid config");
+    gpu.run().expect("healthy run");
     assert_eq!(gpu.comm_counters().supersteps, 50 * 2);
 }
 
@@ -141,8 +146,8 @@ fn multinode_sync_shapes_strong_scaling() {
 
 #[test]
 fn extrapolation_preserves_per_step_ratios() {
-    let mut gpu = GpuSim::new(GpuSimConfig::new(params(48, 60, 8), 4));
-    gpu.run();
+    let mut gpu = GpuSim::new(GpuSimConfig::new(params(48, 60, 8), 4)).expect("valid config");
+    gpu.run().expect("healthy run");
     let c = gpu.max_device_counters();
     let e = c.extrapolate(8.0);
     // Area-class: ×8³; launches: ×8.
