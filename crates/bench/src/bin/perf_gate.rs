@@ -1,0 +1,416 @@
+//! Benchmark-regression gate over the hot kernels.
+//!
+//! Runs the in-house microbench harness over the paths this codebase
+//! optimizes — the diffusion stencil (naive per-neighbor indexing vs the
+//! SoA [`StencilDeltas`] fast path), the halo exchange (per-message
+//! delivery vs the coalesced [`Mailboxes`] barrier), exact summation, and a
+//! small end-to-end serial step — then:
+//!
+//! 1. writes the results as a JSON artifact (`--json`, default
+//!    `BENCH_perf.json`),
+//! 2. checks the *in-run* speedups: either the diffusion or the
+//!    halo-exchange fast path must beat its naive counterpart by at least
+//!    [`MIN_SPEEDUP`] (machine-independent — both sides measured in the
+//!    same process),
+//! 3. compares each kernel's best (min) time against the committed
+//!    baseline (`--baseline`, default `BENCH_baseline.json`) and fails on
+//!    regressions beyond the tolerance band (`--tolerance`, default 0.25).
+//!
+//! `--update-baseline` rewrites the baseline from this run and skips the
+//! comparison; `--smoke` cuts the sample count for CI (batch calibration
+//! still targets ≥ 1 ms per batch, so minima stay comparable). Kernels
+//! present in the run but absent from the baseline warn and pass, so adding
+//! a benchmark does not require regenerating the baseline in the same
+//! commit.
+
+use pgas::{Mailboxes, Outbox, WorkPool};
+use simcov_bench::json::{write_json, Json};
+use simcov_bench::microbench::{Bench, BenchResult};
+use simcov_core::diffusion::diffuse_voxel;
+use simcov_core::exact::ExactSum;
+use simcov_core::fields::Field;
+use simcov_core::grid::GridDims;
+use simcov_core::params::SimParams;
+use simcov_core::serial::SerialSim;
+use simcov_core::soa::StencilDeltas;
+
+/// At least one hot-path rewrite must hold this speedup over its naive form.
+const MIN_SPEEDUP: f64 = 1.5;
+
+struct Cli {
+    json: String,
+    baseline: String,
+    tolerance: f64,
+    update_baseline: bool,
+    smoke: bool,
+}
+
+fn parse_cli() -> Cli {
+    let mut cli = Cli {
+        json: "BENCH_perf.json".to_string(),
+        baseline: "BENCH_baseline.json".to_string(),
+        tolerance: 0.25,
+        update_baseline: false,
+        smoke: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => cli.json = expect_value(&a, it.next()),
+            "--baseline" => cli.baseline = expect_value(&a, it.next()),
+            "--tolerance" => {
+                cli.tolerance = expect_value(&a, it.next()).parse().unwrap_or_else(|_| {
+                    eprintln!("--tolerance requires a number");
+                    std::process::exit(2);
+                })
+            }
+            "--update-baseline" => cli.update_baseline = true,
+            "--smoke" => cli.smoke = true,
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!(
+                    "usage: perf_gate [--json PATH] [--baseline PATH] \
+                     [--tolerance FRAC] [--update-baseline] [--smoke]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    cli
+}
+
+fn expect_value(flag: &str, v: Option<String>) -> String {
+    v.unwrap_or_else(|| {
+        eprintln!("{flag} requires a value");
+        std::process::exit(2);
+    })
+}
+
+/// Two 64×64 fields with mixed magnitudes, the diffusion workload.
+fn diffusion_inputs(dims: GridDims) -> (Field, Field) {
+    let n = dims.nvoxels();
+    let mut a = Field::zeros(n);
+    let mut b = Field::zeros(n);
+    for i in 0..n {
+        a.set(i, ((i % 13) as f32) * 0.37 + 0.01);
+        b.set(i, ((i % 7) as f32) * 1.21);
+    }
+    (a, b)
+}
+
+/// Pre-PR diffusion shape: every voxel walks its Moore neighborhood through
+/// the bounds-checked coordinate iterator.
+fn diffusion_naive(dims: GridDims, a: &Field, b: &Field, out: &mut [f32]) -> f32 {
+    for (v, o) in out.iter_mut().enumerate() {
+        let c = dims.coord(v);
+        let mut vs = 0.0f32;
+        let mut cs = 0.0f32;
+        let mut nvalid = 0usize;
+        for u in dims.neighbors(c) {
+            vs += a.get(u);
+            cs += b.get(u);
+            nvalid += 1;
+        }
+        *o = diffuse_voxel(a.get(v), vs, nvalid, 0.15, 0.004, 1e-10)
+            + diffuse_voxel(b.get(v), cs, nvalid, 0.1, 0.01, 1e-10);
+    }
+    out[0]
+}
+
+/// SoA/tiled diffusion shape: interior voxels gather through the
+/// precomputed stride table, boundary voxels keep the checked path.
+fn diffusion_stencil(
+    dims: GridDims,
+    st: &StencilDeltas,
+    a: &Field,
+    b: &Field,
+    out: &mut [f32],
+) -> f32 {
+    for (v, o) in out.iter_mut().enumerate() {
+        let c = dims.coord(v);
+        let (vs, cs, nvalid) = if st.is_interior(c) {
+            let (vs, cs) = st.sum2(v, a, b);
+            (vs, cs, st.len())
+        } else {
+            let mut vs = 0.0f32;
+            let mut cs = 0.0f32;
+            let mut nvalid = 0usize;
+            for u in dims.neighbors(c) {
+                vs += a.get(u);
+                cs += b.get(u);
+                nvalid += 1;
+            }
+            (vs, cs, nvalid)
+        };
+        *o = diffuse_voxel(a.get(v), vs, nvalid, 0.15, 0.004, 1e-10)
+            + diffuse_voxel(b.get(v), cs, nvalid, 0.1, 0.01, 1e-10);
+    }
+    out[0]
+}
+
+/// Halo-exchange message stand-in: a 32-byte POD payload (metered through
+/// the blanket `WireSize` impl), typical of a packed boundary record.
+type HaloMsg = [u64; 4];
+
+const HALO_RANKS: usize = 8;
+const HALO_MSGS_PER_PAIR: usize = 64;
+
+fn fill_outboxes(obs: &mut [Outbox<HaloMsg>]) {
+    for (src, ob) in obs.iter_mut().enumerate() {
+        for dst in 0..HALO_RANKS {
+            if dst == src {
+                continue;
+            }
+            for k in 0..HALO_MSGS_PER_PAIR {
+                ob.send(dst, [src as u64, dst as u64, k as u64, 0]);
+            }
+        }
+    }
+}
+
+/// Pre-PR exchange shape: fresh inbox allocations every superstep, one push
+/// and one metering update per logical message, single-threaded.
+fn halo_per_message() -> usize {
+    let mut staged: Vec<Vec<(usize, HaloMsg)>> = (0..HALO_RANKS).map(|_| Vec::new()).collect();
+    for (src, out) in staged.iter_mut().enumerate() {
+        for dst in 0..HALO_RANKS {
+            if dst == src {
+                continue;
+            }
+            for k in 0..HALO_MSGS_PER_PAIR {
+                out.push((dst, [src as u64, dst as u64, k as u64, 0]));
+            }
+        }
+    }
+    let mut inboxes: Vec<Vec<HaloMsg>> = (0..HALO_RANKS).map(|_| Vec::new()).collect();
+    let mut msgs = 0u64;
+    let mut bytes = 0u64;
+    for out in &staged {
+        for &(dst, msg) in out {
+            msgs += 1;
+            bytes += std::mem::size_of::<HaloMsg>() as u64;
+            inboxes[dst].push(msg);
+        }
+    }
+    std::hint::black_box((msgs, bytes));
+    inboxes.iter().map(Vec::len).sum()
+}
+
+fn run_benches(smoke: bool) -> Vec<BenchResult> {
+    let mut b = if smoke {
+        Bench::new().with_samples(5)
+    } else {
+        Bench::new()
+    };
+
+    // --- Diffusion: naive vs SoA stencil (identical numerical work). ---
+    let dims = GridDims::new2d(64, 64);
+    let st = StencilDeltas::for_grid(dims);
+    let (fa, fb) = diffusion_inputs(dims);
+    let mut out_naive = vec![0.0f32; dims.nvoxels()];
+    let mut out_stencil = vec![0.0f32; dims.nvoxels()];
+    diffusion_naive(dims, &fa, &fb, &mut out_naive);
+    diffusion_stencil(dims, &st, &fa, &fb, &mut out_stencil);
+    assert!(
+        out_naive
+            .iter()
+            .zip(&out_stencil)
+            .all(|(x, y)| x.to_bits() == y.to_bits()),
+        "stencil fast path must be bitwise identical to the naive sweep"
+    );
+    b.bench("diffusion/naive_64sq", || {
+        diffusion_naive(dims, &fa, &fb, &mut out_naive)
+    });
+    b.bench("diffusion/stencil_64sq", || {
+        diffusion_stencil(dims, &st, &fa, &fb, &mut out_stencil)
+    });
+
+    // --- Halo exchange: per-message delivery vs coalesced mailboxes. ---
+    b.bench("halo_exchange/per_message", halo_per_message);
+    let pool = WorkPool::new(0);
+    let mut mail: Mailboxes<HaloMsg> = Mailboxes::new(HALO_RANKS);
+    let mut obs: Vec<Outbox<HaloMsg>> = (0..HALO_RANKS)
+        .map(|_| Outbox::for_ranks(HALO_RANKS))
+        .collect();
+    b.bench("halo_exchange/coalesced", || {
+        for ob in &mut obs {
+            ob.clear();
+        }
+        fill_outboxes(&mut obs);
+        let vol = mail.exchange(&pool, &mut obs, &[], &[]);
+        vol.batch_bytes
+    });
+
+    // --- Exact summation (the reproducible-reduction primitive). ---
+    let values: Vec<f32> = (0..1024)
+        .map(|i| ((i as f32) - 512.0) * 1.7e-3 + if i % 2 == 0 { 1e4 } else { -1e4 })
+        .collect();
+    b.bench("exact_sum/1k", || {
+        let mut s = ExactSum::default();
+        for &v in &values {
+            s.add_f32(v);
+        }
+        s.to_f64()
+    });
+
+    // --- Small end-to-end run on the serial reference executor. Each
+    // iteration runs the same deterministic 8-step simulation from scratch,
+    // so the workload is stationary (a warmed sim that keeps advancing
+    // during sampling would drift as the infection evolves).
+    let p = SimParams::test_config(GridDims::new2d(32, 32), 1000, 4, 7);
+    b.bench("e2e/serial_8steps_32", || {
+        let mut sim = SerialSim::new(p.clone());
+        for _ in 0..8 {
+            sim.advance_step();
+        }
+        sim.step
+    });
+
+    let results = b.results().to_vec();
+    b.finish();
+    results
+}
+
+fn results_to_json(results: &[BenchResult], cli: &Cli, speedups: &[(String, f64)]) -> Json {
+    let mut doc = Json::obj([("suite", Json::from("perf_gate"))]);
+    doc.push("mode", if cli.smoke { "smoke" } else { "full" });
+    doc.push("tolerance", cli.tolerance);
+    doc.push(
+        "kernels",
+        Json::Arr(
+            results
+                .iter()
+                .map(|r| {
+                    Json::obj([
+                        ("name", Json::from(r.name.as_str())),
+                        ("min_ns", Json::from(r.min_ns)),
+                        ("median_ns", Json::from(r.median_ns)),
+                        ("mean_ns", Json::from(r.mean_ns)),
+                        ("batch", Json::from(r.batch)),
+                    ])
+                })
+                .collect(),
+        ),
+    );
+    doc.push(
+        "speedups",
+        Json::Obj(
+            speedups
+                .iter()
+                .map(|(k, v)| (k.clone(), Json::from(*v)))
+                .collect(),
+        ),
+    );
+    doc
+}
+
+fn find_min(results: &[BenchResult], name: &str) -> Option<f64> {
+    results.iter().find(|r| r.name == name).map(|r| r.min_ns)
+}
+
+/// Baseline min_ns per kernel from a committed perf_gate artifact.
+fn baseline_mins(text: &str) -> Result<Vec<(String, f64)>, String> {
+    let doc = Json::parse(text)?;
+    let kernels = doc
+        .get("kernels")
+        .and_then(Json::as_arr)
+        .ok_or("baseline has no 'kernels' array")?;
+    let mut out = Vec::new();
+    for k in kernels {
+        let name = k
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or("kernel entry without 'name'")?;
+        let min = k
+            .get("min_ns")
+            .and_then(Json::as_f64)
+            .ok_or("kernel entry without 'min_ns'")?;
+        out.push((name.to_string(), min));
+    }
+    Ok(out)
+}
+
+fn main() {
+    let cli = parse_cli();
+    let results = run_benches(cli.smoke);
+
+    // In-run speedups: both sides timed in this process, so the check is
+    // machine-independent.
+    let speedup = |num: &str, den: &str| -> f64 {
+        match (find_min(&results, num), find_min(&results, den)) {
+            (Some(a), Some(b)) if b > 0.0 => a / b,
+            _ => 0.0,
+        }
+    };
+    let sp_diffusion = speedup("diffusion/naive_64sq", "diffusion/stencil_64sq");
+    let sp_halo = speedup("halo_exchange/per_message", "halo_exchange/coalesced");
+    let speedups = vec![
+        ("diffusion".to_string(), sp_diffusion),
+        ("halo_exchange".to_string(), sp_halo),
+    ];
+    eprintln!("speedup diffusion stencil/naive:   {sp_diffusion:.2}x");
+    eprintln!("speedup halo coalesced/per-message: {sp_halo:.2}x");
+
+    let doc = results_to_json(&results, &cli, &speedups);
+    write_json(&cli.json, &doc);
+
+    if cli.update_baseline {
+        write_json(&cli.baseline, &doc);
+        eprintln!("baseline updated; no comparison performed");
+        return;
+    }
+
+    let mut failures = Vec::new();
+    if sp_diffusion < MIN_SPEEDUP && sp_halo < MIN_SPEEDUP {
+        failures.push(format!(
+            "no hot kernel reaches {MIN_SPEEDUP}x: diffusion {sp_diffusion:.2}x, \
+             halo {sp_halo:.2}x"
+        ));
+    }
+
+    match std::fs::read_to_string(&cli.baseline) {
+        Err(e) => {
+            eprintln!(
+                "warning: no baseline at {} ({e}); regression check skipped",
+                cli.baseline
+            );
+        }
+        Ok(text) => match baseline_mins(&text) {
+            Err(e) => failures.push(format!("baseline {} is malformed: {e}", cli.baseline)),
+            Ok(base) => {
+                for r in &results {
+                    match base.iter().find(|(n, _)| n == &r.name) {
+                        None => eprintln!("warning: kernel '{}' not in baseline (new?)", r.name),
+                        Some(&(_, base_min)) => {
+                            let limit = base_min * (1.0 + cli.tolerance);
+                            if r.min_ns > limit {
+                                failures.push(format!(
+                                    "{}: {:.1} ns exceeds baseline {:.1} ns by more than {:.0}%",
+                                    r.name,
+                                    r.min_ns,
+                                    base_min,
+                                    cli.tolerance * 100.0
+                                ));
+                            } else {
+                                eprintln!(
+                                    "ok {:<28} {:>10.1} ns (baseline {:>10.1} ns, limit {:>10.1})",
+                                    r.name, r.min_ns, base_min, limit
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        },
+    }
+
+    if failures.is_empty() {
+        eprintln!("perf gate: PASS");
+    } else {
+        eprintln!("perf gate: FAIL");
+        for f in &failures {
+            eprintln!("  - {f}");
+        }
+        std::process::exit(1);
+    }
+}

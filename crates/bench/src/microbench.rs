@@ -33,27 +33,47 @@ pub struct BenchResult {
 pub struct Bench {
     filter: Option<String>,
     json: Option<String>,
+    samples: usize,
     results: Vec<BenchResult>,
 }
 
 impl Bench {
+    /// An empty harness with no filter, no JSON sink, default sample count.
+    pub fn new() -> Self {
+        Bench {
+            filter: None,
+            json: None,
+            samples: SAMPLES,
+            results: Vec::new(),
+        }
+    }
+
     /// Build from the process arguments (see module docs for the CLI).
     pub fn from_args() -> Self {
-        let mut filter = None;
-        let mut json = None;
+        let mut b = Bench::new();
         let mut it = std::env::args().skip(1);
         while let Some(a) = it.next() {
             if a == "--json" {
-                json = it.next();
+                b.json = it.next();
             } else if !a.starts_with('-') {
-                filter = Some(a);
+                b.filter = Some(a);
             }
         }
-        Bench {
-            filter,
-            json,
-            results: Vec::new(),
-        }
+        b
+    }
+
+    /// Override the per-benchmark sample count (minimum 1). Smoke/CI modes
+    /// use a small count: batch calibration still targets ≥ 1 ms per batch,
+    /// so medians stay comparable to full runs, just noisier.
+    pub fn with_samples(mut self, samples: usize) -> Self {
+        self.samples = samples.max(1);
+        self
+    }
+
+    /// Results gathered so far, for callers that gate on timings
+    /// programmatically instead of (or in addition to) printing the table.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
     }
 
     /// Register and immediately run one benchmark.
@@ -77,7 +97,7 @@ impl Bench {
         for _ in 0..WARMUP_BATCHES {
             Self::time_batch(batch, &mut f);
         }
-        let mut per_iter: Vec<f64> = (0..SAMPLES)
+        let mut per_iter: Vec<f64> = (0..self.samples)
             .map(|_| Self::time_batch(batch, &mut f) as f64 / batch as f64)
             .collect();
         per_iter.sort_by(|a, b| a.total_cmp(b));
@@ -85,8 +105,8 @@ impl Bench {
             name: name.to_string(),
             batch,
             min_ns: per_iter[0],
-            median_ns: per_iter[SAMPLES / 2],
-            mean_ns: per_iter.iter().sum::<f64>() / SAMPLES as f64,
+            median_ns: per_iter[self.samples / 2],
+            mean_ns: per_iter.iter().sum::<f64>() / self.samples as f64,
         };
         eprintln!(
             "{:<32} {:>12} min  {:>12} median",
@@ -138,6 +158,12 @@ impl Bench {
     }
 }
 
+impl Default for Bench {
+    fn default() -> Self {
+        Bench::new()
+    }
+}
+
 /// Human-readable nanoseconds.
 fn fmt_ns(ns: f64) -> String {
     if ns >= 1e9 {
@@ -157,11 +183,7 @@ mod tests {
 
     #[test]
     fn measures_a_trivial_closure() {
-        let mut b = Bench {
-            filter: None,
-            json: None,
-            results: Vec::new(),
-        };
+        let mut b = Bench::new().with_samples(5);
         let mut x = 0u64;
         b.bench("noop_add", || {
             x = x.wrapping_add(1);
@@ -174,11 +196,8 @@ mod tests {
 
     #[test]
     fn filter_skips_nonmatching() {
-        let mut b = Bench {
-            filter: Some("match_me".into()),
-            json: None,
-            results: Vec::new(),
-        };
+        let mut b = Bench::new().with_samples(2);
+        b.filter = Some("match_me".into());
         b.bench("other", || 1u64);
         b.bench("match_me_exactly", || 1u64);
         assert_eq!(b.results.len(), 1);

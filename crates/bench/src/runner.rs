@@ -36,6 +36,10 @@ fn extrapolate_comm(cc: &CommCounters, s: f64) -> CommCounters {
         bytes: f(cc.bytes, s * s),
         bulk_messages: f(cc.bulk_messages, s),
         bulk_bytes: f(cc.bulk_bytes, s * s),
+        // Batches happen once per (src, dst, superstep) like bulk puts;
+        // their bytes scale with the boundary.
+        batches: f(cc.batches, s),
+        batch_bytes: f(cc.batch_bytes, s * s),
         allreduces: f(cc.allreduces, s),
         allreduce_bytes: f(cc.allreduce_bytes, s),
         max_rank_messages: f(cc.max_rank_messages, s),
@@ -46,6 +50,7 @@ fn extrapolate_comm(cc: &CommCounters, s: f64) -> CommCounters {
         stall_ns: cc.stall_ns,
         duplicates_suppressed: cc.duplicates_suppressed,
         dropped_messages: cc.dropped_messages,
+        shuffled_inboxes: cc.shuffled_inboxes,
     }
 }
 

@@ -48,6 +48,7 @@ pub mod render;
 pub mod rng;
 pub mod rules;
 pub mod serial;
+pub mod soa;
 pub mod stats;
 pub mod tcell;
 pub mod world;
@@ -59,6 +60,7 @@ pub use grid::{Coord, GridDims};
 pub use params::SimParams;
 pub use rng::CounterRng;
 pub use serial::SerialSim;
+pub use soa::{StencilDeltas, VoxelSoA};
 pub use stats::{StatsPartial, StepStats, TimeSeries};
 pub use tcell::{TCellSlot, VascularPool};
 pub use world::World;

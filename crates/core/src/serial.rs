@@ -14,6 +14,7 @@ use crate::params::SimParams;
 use crate::rules::{
     self, epi_update, extrav_lifetime, extrav_succeeds, extrav_voxel, plan_tcell, Bid, TCellAction,
 };
+use crate::soa::StencilDeltas;
 use crate::stats::{StatsPartial, StepStats, TimeSeries};
 use crate::tcell::{TCellSlot, VascularPool};
 use crate::world::World;
@@ -28,6 +29,7 @@ pub struct SerialSim {
     pub history: TimeSeries,
     scratch_virions: Field,
     scratch_chem: Field,
+    stencil: StencilDeltas,
 }
 
 impl SerialSim {
@@ -40,6 +42,7 @@ impl SerialSim {
         params.validate().expect("invalid parameters");
         let world = World::seeded(&params, pattern);
         let n = world.nvoxels();
+        let stencil = StencilDeltas::for_grid(params.dims);
         SerialSim {
             params,
             world,
@@ -48,6 +51,7 @@ impl SerialSim {
             history: TimeSeries::default(),
             scratch_virions: Field::zeros(n),
             scratch_chem: Field::zeros(n),
+            stencil,
         }
     }
 
@@ -57,6 +61,7 @@ impl SerialSim {
         params.validate().expect("invalid parameters");
         assert_eq!(params.dims, world.dims);
         let n = world.nvoxels();
+        let stencil = StencilDeltas::for_grid(params.dims);
         SerialSim {
             params,
             world,
@@ -65,6 +70,7 @@ impl SerialSim {
             history: TimeSeries::default(),
             scratch_virions: Field::zeros(n),
             scratch_chem: Field::zeros(n),
+            stencil,
         }
     }
 
@@ -213,16 +219,27 @@ impl SerialSim {
         }
         for v in 0..n {
             let c = dims.coord(v);
-            let mut vsum = 0.0f32;
-            let mut csum = 0.0f32;
-            let mut nvalid = 0usize;
-            for &(dx, dy, dz) in dims.neighbor_offsets() {
-                if let Some(u) = dims.checked_index(c.offset(dx, dy, dz)) {
-                    vsum += self.world.virions.get(u);
-                    csum += self.world.chemokine.get(u);
-                    nvalid += 1;
+            // Interior voxels gather by constant stride deltas (same values
+            // in the same offset-table order — bitwise identical to the
+            // checked path); only the grid surface pays per-neighbor checks.
+            let (vsum, csum, nvalid) = if self.stencil.is_interior(c) {
+                let (vs, cs) = self
+                    .stencil
+                    .sum2(v, &self.world.virions, &self.world.chemokine);
+                (vs, cs, self.stencil.len())
+            } else {
+                let mut vs = 0.0f32;
+                let mut cs = 0.0f32;
+                let mut nv = 0usize;
+                for &(dx, dy, dz) in dims.neighbor_offsets() {
+                    if let Some(u) = dims.checked_index(c.offset(dx, dy, dz)) {
+                        vs += self.world.virions.get(u);
+                        cs += self.world.chemokine.get(u);
+                        nv += 1;
+                    }
                 }
-            }
+                (vs, cs, nv)
+            };
             self.scratch_virions.set(
                 v,
                 diffuse_voxel(

@@ -10,44 +10,29 @@
 //! Delivery is canonicalized: a rank's inbox holds messages ordered by
 //! (source rank, emission order within the source). Together with the
 //! counter-based model RNG this makes multi-rank execution bit-reproducible.
+//!
+//! The exchange itself runs on the double-buffered lock-free mailbox layer
+//! (see [`crate::mailbox`]): outboxes are bucketed by destination, each
+//! (src, dst) pair coalesces into one length-prefixed batch at the barrier,
+//! and the per-rank inbox buffers swap front/back so allocations are reused.
 
 use crate::counters::{CommCounters, WireSize};
 use crate::fault::{FaultKind, FaultPlan, SuperstepFailure};
+use crate::mailbox::{Mailboxes, Outbox};
 use crate::pool::WorkPool;
 #[cfg(feature = "trace")]
 use crate::trace::SpanVolume;
 use crate::trace::Trace;
 use std::sync::Mutex;
 
-/// Per-rank message staging for one superstep.
-pub struct Outbox<M> {
-    msgs: Vec<(usize, M)>,
-}
-
-impl<M> Outbox<M> {
-    fn new() -> Self {
-        Outbox { msgs: Vec::new() }
-    }
-
-    /// Queue `msg` for delivery to `dest` at the next superstep boundary
-    /// (the RPC analogue).
-    pub fn send(&mut self, dest: usize, msg: M) {
-        self.msgs.push((dest, msg));
-    }
-
-    pub fn len(&self) -> usize {
-        self.msgs.len()
-    }
-
-    pub fn is_empty(&self) -> bool {
-        self.msgs.is_empty()
-    }
-}
-
 /// A BSP domain over `n_ranks` logical ranks exchanging messages of type `M`.
 pub struct Bsp<M> {
     n_ranks: usize,
-    inboxes: Vec<Vec<M>>,
+    /// Double-buffered inboxes (front read during compute, back assembled at
+    /// the barrier).
+    mail: Mailboxes<M>,
+    /// Per-rank bucketed outboxes, reused superstep over superstep.
+    outboxes: Vec<Outbox<M>>,
     pub counters: CommCounters,
     /// Per-superstep event log (disabled by default; see
     /// [`Bsp::enable_trace`]).
@@ -62,7 +47,8 @@ impl<M: Send + Sync + WireSize> Bsp<M> {
         assert!(n_ranks >= 1);
         Bsp {
             n_ranks,
-            inboxes: (0..n_ranks).map(|_| Vec::new()).collect(),
+            mail: Mailboxes::new(n_ranks),
+            outboxes: (0..n_ranks).map(|_| Outbox::for_ranks(n_ranks)).collect(),
             counters: CommCounters::new(),
             trace: Trace::disabled(),
             plan: FaultPlan::none(),
@@ -91,7 +77,8 @@ impl<M: Send + Sync + WireSize> Bsp<M> {
         assert!(n_ranks >= 1);
         Bsp {
             n_ranks,
-            inboxes: (0..n_ranks).map(|_| Vec::new()).collect(),
+            mail: Mailboxes::new(n_ranks),
+            outboxes: (0..n_ranks).map(|_| Outbox::for_ranks(n_ranks)).collect(),
             counters: self.counters,
             trace: self.trace,
             plan: self.plan,
@@ -111,7 +98,7 @@ impl<M: Send + Sync + WireSize> Bsp<M> {
 
     /// Messages currently pending for `rank` (delivered next superstep).
     pub fn pending(&self, rank: usize) -> usize {
-        self.inboxes[rank].len()
+        self.mail.pending(rank)
     }
 
     /// Execute one superstep: `f(rank, state, inbox, outbox) -> R` runs for
@@ -166,6 +153,7 @@ impl<M: Send + Sync + WireSize> Bsp<M> {
         let mut killed: Vec<usize> = Vec::new();
         let mut drops: Vec<usize> = Vec::new();
         let mut dups: Vec<usize> = Vec::new();
+        let mut shuffles: Vec<(usize, u64)> = Vec::new();
         if !self.plan.is_exhausted() {
             let n = self.n_ranks;
             for ev in self.plan.take_due(step_index) {
@@ -178,21 +166,27 @@ impl<M: Send + Sync + WireSize> Bsp<M> {
                         self.counters.stalls += 1;
                         self.counters.stall_ns += stall_ns;
                     }
+                    FaultKind::DeliveryShuffle { seed } => {
+                        // Distinct permutation per (superstep, rank), still
+                        // fully determined by the planted seed.
+                        let stream = seed
+                            .wrapping_add(step_index.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                            .wrapping_add((rank as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9));
+                        shuffles.push((rank, stream));
+                    }
                 }
             }
             killed.sort_unstable();
             killed.dedup();
         }
 
-        let inboxes = std::mem::replace(
-            &mut self.inboxes,
-            (0..self.n_ranks).map(|_| Vec::new()).collect(),
-        );
+        for ob in &mut self.outboxes {
+            ob.clear();
+        }
 
         // Per-rank result, outbox and heartbeat slots, written exclusively
         // by the rank that owns them.
         let mut results: Vec<R> = (0..self.n_ranks).map(|_| R::default()).collect();
-        let mut outboxes: Vec<Outbox<M>> = (0..self.n_ranks).map(|_| Outbox::new()).collect();
         let mut heartbeats: Vec<bool> = vec![false; self.n_ranks];
 
         {
@@ -210,10 +204,10 @@ impl<M: Send + Sync + WireSize> Bsp<M> {
             let slots = Slots {
                 states: states.as_mut_ptr(),
                 results: results.as_mut_ptr(),
-                outboxes: outboxes.as_mut_ptr(),
+                outboxes: self.outboxes.as_mut_ptr(),
                 heartbeats: heartbeats.as_mut_ptr(),
             };
-            let inboxes = &inboxes;
+            let inboxes = self.mail.front();
             let f = &f;
             let killed = &killed;
             // Bind a reference so the closure captures the whole `Slots`
@@ -248,64 +242,40 @@ impl<M: Send + Sync + WireSize> Bsp<M> {
             .map(|(rank, _)| rank)
             .collect();
 
-        // Barrier, part 2 — delivery: iterate sources in rank order so each
-        // destination inbox is ordered by (source rank, emission order).
-        let mut step_msgs = 0u64;
-        let mut step_bytes = 0u64;
-        let mut max_rank_msgs = 0u64;
-        let mut max_rank_bytes = 0u64;
-        let mut step_bulk_msgs = 0u64;
-        let mut step_bulk_bytes = 0u64;
-        let mut dropped = 0u64;
-        for (src, ob) in outboxes.into_iter().enumerate() {
-            if drops.contains(&src) {
-                // Lost in flight. Detected at the barrier (delivery is
-                // acknowledged), so the loss fails the superstep below.
-                dropped += ob.msgs.len() as u64;
-                continue;
+        // Barrier, part 2 — exchange. Duplicated outboxes are delivered
+        // once by the exactly-once layer with the copies metered; dropped
+        // outboxes are lost in flight and fail the superstep below. The
+        // mailbox layer assembles the next superstep's inboxes in parallel
+        // and swaps the double buffers.
+        for &src in &dups {
+            if !drops.contains(&src) {
+                self.counters.duplicates_suppressed += self.outboxes[src].len() as u64;
             }
-            if dups.contains(&src) {
-                // Delivered twice by the network; the exactly-once layer
-                // keeps the first copy and meters the rest.
-                self.counters.duplicates_suppressed += ob.msgs.len() as u64;
-            }
-            let mut rank_msgs = 0u64;
-            let mut rank_bytes = 0u64;
-            for (dest, msg) in ob.msgs {
-                assert!(dest < self.n_ranks, "message to nonexistent rank {dest}");
-                let sz = msg.wire_size() as u64;
-                if msg.is_bulk() {
-                    step_bulk_msgs += 1;
-                    step_bulk_bytes += sz;
-                } else {
-                    rank_msgs += 1;
-                    rank_bytes += sz;
-                }
-                self.inboxes[dest].push(msg);
-            }
-            step_msgs += rank_msgs;
-            step_bytes += rank_bytes;
-            max_rank_msgs = max_rank_msgs.max(rank_msgs);
-            max_rank_bytes = max_rank_bytes.max(rank_bytes);
         }
+        let vol = self
+            .mail
+            .exchange(pool, &mut self.outboxes, &drops, &shuffles);
         self.counters.supersteps += 1;
-        self.counters.messages += step_msgs;
-        self.counters.bytes += step_bytes;
-        self.counters.bulk_messages += step_bulk_msgs;
-        self.counters.bulk_bytes += step_bulk_bytes;
-        self.counters.max_rank_messages = self.counters.max_rank_messages.max(max_rank_msgs);
-        self.counters.max_rank_bytes = self.counters.max_rank_bytes.max(max_rank_bytes);
-        self.counters.dropped_messages += dropped;
+        self.counters.messages += vol.msgs;
+        self.counters.bytes += vol.bytes;
+        self.counters.bulk_messages += vol.bulk_msgs;
+        self.counters.bulk_bytes += vol.bulk_bytes;
+        self.counters.batches += vol.batches;
+        self.counters.batch_bytes += vol.batch_bytes;
+        self.counters.max_rank_messages = self.counters.max_rank_messages.max(vol.max_rank_msgs);
+        self.counters.max_rank_bytes = self.counters.max_rank_bytes.max(vol.max_rank_bytes);
+        self.counters.dropped_messages += vol.dropped;
+        self.counters.shuffled_inboxes += shuffles.len() as u64;
         #[cfg(feature = "trace")]
         self.trace.finish(
             span,
-            SpanVolume::new(step_msgs, step_bytes, step_bulk_msgs, step_bulk_bytes),
+            SpanVolume::new(vol.msgs, vol.bytes, vol.bulk_msgs, vol.bulk_bytes),
         );
-        if !dead_ranks.is_empty() || dropped > 0 {
+        if !dead_ranks.is_empty() || vol.dropped > 0 {
             return Err(SuperstepFailure {
                 superstep: step_index,
                 dead_ranks,
-                dropped_messages: dropped,
+                dropped_messages: vol.dropped,
             });
         }
         Ok(results)
@@ -373,6 +343,39 @@ mod tests {
         assert_eq!(bsp.counters.messages, 12);
         assert_eq!(bsp.counters.bytes, 12 * 8);
         assert_eq!(bsp.counters.max_rank_messages, 3);
+        // Coalescing: the 12 messages ship as 4 (src, dst=0) batches, each
+        // paying the framing header once with payloads counted once.
+        assert_eq!(bsp.counters.batches, 4);
+        assert_eq!(
+            bsp.counters.batch_bytes,
+            4 * crate::mailbox::BATCH_HEADER_BYTES + 12 * 8
+        );
+    }
+
+    #[test]
+    fn delivery_shuffle_permutes_but_preserves_content() {
+        use crate::fault::FaultPlan;
+        let pool = WorkPool::new(0);
+        let mut bsp: Bsp<u64> = Bsp::new(4);
+        bsp.inject_faults(FaultPlan::shuffled(0xC0FFEE, 4, 8));
+        let mut states = vec![Vec::<u64>::new(); 4];
+        bsp.superstep(&pool, &mut states, |rank, _s, _i, out| {
+            for k in 0..4u64 {
+                out.send(0, rank as u64 * 10 + k);
+            }
+        });
+        bsp.superstep(&pool, &mut states, |_rank, s, inbox, _out| {
+            *s = inbox.to_vec();
+        });
+        let canonical: Vec<u64> = (0..4u64)
+            .flat_map(|r| (0..4).map(move |k| r * 10 + k))
+            .collect();
+        assert_ne!(states[0], canonical, "16 messages: shuffle must reorder");
+        let mut sorted = states[0].clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, canonical, "every message delivered exactly once");
+        assert_eq!(bsp.counters.shuffled_inboxes, 8, "4 ranks x 2 supersteps");
+        assert_eq!(bsp.counters.messages, 16, "shuffles never change volume");
     }
 
     #[test]

@@ -19,6 +19,13 @@ pub struct CommCounters {
     pub bulk_messages: u64,
     /// Bulk put payload bytes.
     pub bulk_bytes: u64,
+    /// Coalesced exchange batches shipped: one per (src, dst) rank pair
+    /// with traffic per superstep, however many logical messages it carries.
+    pub batches: u64,
+    /// On-wire bytes of those batches: one
+    /// [`BATCH_HEADER_BYTES`](crate::mailbox::BATCH_HEADER_BYTES) framing
+    /// header per batch plus every message payload counted exactly once.
+    pub batch_bytes: u64,
     /// Collective (allreduce) invocations.
     pub allreduces: u64,
     /// Bytes contributed per rank per allreduce, summed.
@@ -36,6 +43,9 @@ pub struct CommCounters {
     pub duplicates_suppressed: u64,
     /// Messages lost in flight (each loss also fails its superstep).
     pub dropped_messages: u64,
+    /// Inboxes whose delivery order was permuted by an injected
+    /// [`DeliveryShuffle`](crate::fault::FaultKind::DeliveryShuffle) fault.
+    pub shuffled_inboxes: u64,
 }
 
 impl CommCounters {
@@ -50,6 +60,8 @@ impl CommCounters {
         self.bytes += o.bytes;
         self.bulk_messages += o.bulk_messages;
         self.bulk_bytes += o.bulk_bytes;
+        self.batches += o.batches;
+        self.batch_bytes += o.batch_bytes;
         self.allreduces += o.allreduces;
         self.allreduce_bytes += o.allreduce_bytes;
         self.max_rank_messages = self.max_rank_messages.max(o.max_rank_messages);
@@ -58,6 +70,7 @@ impl CommCounters {
         self.stall_ns += o.stall_ns;
         self.duplicates_suppressed += o.duplicates_suppressed;
         self.dropped_messages += o.dropped_messages;
+        self.shuffled_inboxes += o.shuffled_inboxes;
     }
 
     /// Take the current values, resetting to zero.
@@ -97,6 +110,8 @@ mod tests {
             bytes: 100,
             bulk_messages: 2,
             bulk_bytes: 1000,
+            batches: 3,
+            batch_bytes: 1100,
             allreduces: 2,
             allreduce_bytes: 64,
             max_rank_messages: 4,
@@ -105,6 +120,7 @@ mod tests {
             stall_ns: 500,
             duplicates_suppressed: 2,
             dropped_messages: 1,
+            shuffled_inboxes: 1,
         };
         let b = CommCounters {
             supersteps: 2,
@@ -112,6 +128,8 @@ mod tests {
             bytes: 50,
             bulk_messages: 1,
             bulk_bytes: 500,
+            batches: 2,
+            batch_bytes: 550,
             allreduces: 1,
             allreduce_bytes: 32,
             max_rank_messages: 7,
@@ -120,6 +138,7 @@ mod tests {
             stall_ns: 300,
             duplicates_suppressed: 1,
             dropped_messages: 0,
+            shuffled_inboxes: 2,
         };
         a.merge(&b);
         assert_eq!(a.supersteps, 3);
@@ -127,6 +146,8 @@ mod tests {
         assert_eq!(a.bytes, 150);
         assert_eq!(a.bulk_messages, 3);
         assert_eq!(a.bulk_bytes, 1500);
+        assert_eq!(a.batches, 5);
+        assert_eq!(a.batch_bytes, 1650);
         assert_eq!(a.allreduces, 3);
         assert_eq!(a.allreduce_bytes, 96);
         assert_eq!(a.max_rank_messages, 7);
@@ -135,6 +156,7 @@ mod tests {
         assert_eq!(a.stall_ns, 800);
         assert_eq!(a.duplicates_suppressed, 3);
         assert_eq!(a.dropped_messages, 1);
+        assert_eq!(a.shuffled_inboxes, 3);
 
         let taken = a.take();
         assert_eq!(taken.messages, 15);

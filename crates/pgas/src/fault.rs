@@ -43,6 +43,12 @@ pub enum FaultKind {
     /// The rank is `stall_ns` nanoseconds late to the barrier (simulated —
     /// metered, never slept).
     SlowRank { stall_ns: u64 },
+    /// The network reorders the rank's *incoming* deliveries within the
+    /// superstep: its assembled inbox is permuted with a shuffle seeded from
+    /// `seed` (and the superstep/rank indices, so repeated events give
+    /// distinct permutations). Not a failure — the schedule-adversarial
+    /// suite uses this to prove the model is delivery-order independent.
+    DeliveryShuffle { seed: u64 },
 }
 
 /// One scheduled fault: `kind` strikes `rank` at global superstep index
@@ -162,6 +168,24 @@ impl FaultPlan {
         FaultPlan { events, cursor: 0 }
     }
 
+    /// A schedule that permutes every rank's delivery order at every
+    /// superstep in `0..horizon` — the adversarial message schedule. Each
+    /// (superstep, rank) cell gets a distinct permutation derived from
+    /// `seed`, so the whole storm is reproducible.
+    pub fn shuffled(seed: u64, n_ranks: usize, horizon: u64) -> Self {
+        let mut events = Vec::with_capacity(n_ranks * horizon as usize);
+        for superstep in 0..horizon {
+            for rank in 0..n_ranks {
+                events.push(FaultEvent {
+                    superstep,
+                    rank,
+                    kind: FaultKind::DeliveryShuffle { seed },
+                });
+            }
+        }
+        FaultPlan { events, cursor: 0 }
+    }
+
     /// True if no events remain to fire.
     pub fn is_exhausted(&self) -> bool {
         self.cursor >= self.events.len()
@@ -243,18 +267,19 @@ pub struct RecoveryRecord {
     pub backoff_ns: u64,
 }
 
-/// SplitMix64 — tiny, seedable, full-period; used only for fault sampling so
-/// the model's counter-based RNG stream is untouched.
-struct SplitMix64 {
+/// SplitMix64 — tiny, seedable, full-period; used only for fault sampling
+/// and delivery shuffles so the model's counter-based RNG stream is
+/// untouched.
+pub(crate) struct SplitMix64 {
     state: u64,
 }
 
 impl SplitMix64 {
-    fn new(seed: u64) -> Self {
+    pub(crate) fn new(seed: u64) -> Self {
         SplitMix64 { state: seed }
     }
 
-    fn next_u64(&mut self) -> u64 {
+    pub(crate) fn next_u64(&mut self) -> u64 {
         self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
         let mut z = self.state;
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);

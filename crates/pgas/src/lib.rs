@@ -19,13 +19,15 @@
 pub mod bsp;
 pub mod counters;
 pub mod fault;
+pub mod mailbox;
 pub mod pool;
 pub mod reduce;
 pub mod trace;
 
-pub use bsp::{Bsp, Outbox};
+pub use bsp::Bsp;
 pub use counters::CommCounters;
 pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultRates, RecoveryRecord, SuperstepFailure};
+pub use mailbox::{ExchangeVolume, Mailboxes, Outbox, BATCH_HEADER_BYTES};
 pub use pool::WorkPool;
 pub use reduce::{allreduce, tree_depth};
 pub use trace::{Span, SpanVolume, Trace, TraceEvent};

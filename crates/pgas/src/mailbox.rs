@@ -1,0 +1,351 @@
+//! Double-buffered mailboxes and coalesced exchange batches.
+//!
+//! The superstep barrier used to deliver every logical message individually
+//! into freshly allocated per-rank inboxes, on a single thread. This module
+//! replaces that path with the exchange layer the paper's UPC++ runtime
+//! actually models:
+//!
+//! - **Bucketed outboxes** — [`Outbox::send`] stages each message directly
+//!   into its per-destination bucket, so everything one rank sends to another
+//!   within a superstep is one contiguous run by the time the barrier runs.
+//! - **Coalesced batches** — each non-empty (src, dst) bucket ships as one
+//!   length-prefixed buffer: [`BATCH_HEADER_BYTES`] of framing per batch plus
+//!   every payload counted exactly once. [`ExchangeVolume`] reports both the
+//!   legacy per-logical-message totals and the coalesced batch totals.
+//! - **Double-buffered inboxes** — ranks read the *front* buffers during
+//!   compute while the barrier assembles the next superstep's traffic into
+//!   the *back* buffers, then the two sets swap in O(1). Buffer allocations
+//!   are reused superstep over superstep.
+//! - **Lock-free assembly** — destination `d`'s back buffer is written by
+//!   exactly one pool worker, and bucket (src, d) is drained by exactly that
+//!   worker, so the whole delivery fan-in runs in parallel without a single
+//!   lock or atomic on the data path.
+//!
+//! Delivery stays canonical: sources are appended in ascending rank order,
+//! so an inbox is ordered by (source rank, emission order within the source)
+//! exactly as before — bit-reproducibility is preserved. The
+//! [`DeliveryShuffle`](crate::fault::FaultKind::DeliveryShuffle) fault hook
+//! permutes an assembled inbox with a seeded shuffle, which the
+//! schedule-adversarial test suite uses to prove the model does not depend
+//! on that ordering.
+
+use crate::counters::WireSize;
+use crate::fault::SplitMix64;
+use crate::pool::WorkPool;
+
+/// Framing overhead of one coalesced (src, dst) batch: an 8-byte message
+/// count plus an 8-byte payload length, paid once per batch — never per
+/// logical message.
+pub const BATCH_HEADER_BYTES: u64 = 16;
+
+/// Per-rank message staging for one superstep, bucketed by destination so
+/// the barrier can ship each (src, dst) pair as one coalesced batch.
+pub struct Outbox<M> {
+    buckets: Vec<Vec<M>>,
+    total: usize,
+}
+
+impl<M> Outbox<M> {
+    /// An empty outbox with one destination bucket per rank.
+    pub fn for_ranks(n_ranks: usize) -> Self {
+        Outbox {
+            buckets: (0..n_ranks).map(|_| Vec::new()).collect(),
+            total: 0,
+        }
+    }
+
+    /// Queue `msg` for delivery to `dest` at the next superstep boundary
+    /// (the RPC analogue).
+    pub fn send(&mut self, dest: usize, msg: M) {
+        assert!(
+            dest < self.buckets.len(),
+            "message to nonexistent rank {dest}"
+        );
+        self.buckets[dest].push(msg);
+        self.total += 1;
+    }
+
+    /// Total messages staged, across all destinations.
+    pub fn len(&self) -> usize {
+        self.total
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Empty every bucket, keeping their capacity for reuse.
+    pub fn clear(&mut self) {
+        for b in &mut self.buckets {
+            b.clear();
+        }
+        self.total = 0;
+    }
+}
+
+/// Exact communication volume of one barrier exchange.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExchangeVolume {
+    /// Per-event point-to-point messages delivered.
+    pub msgs: u64,
+    /// Their payload bytes.
+    pub bytes: u64,
+    /// Bulk puts delivered.
+    pub bulk_msgs: u64,
+    /// Their payload bytes.
+    pub bulk_bytes: u64,
+    /// Coalesced (src, dst) batches shipped (one per pair with traffic).
+    pub batches: u64,
+    /// On-wire batch bytes: one header per batch + each payload once.
+    pub batch_bytes: u64,
+    /// Largest per-event message count sent by any single rank.
+    pub max_rank_msgs: u64,
+    /// Largest per-event byte count sent by any single rank.
+    pub max_rank_bytes: u64,
+    /// Messages lost to an injected drop fault.
+    pub dropped: u64,
+}
+
+/// Double-buffered per-rank inboxes: `front` is read during compute, `back`
+/// is assembled at the barrier, then the two swap.
+pub struct Mailboxes<M> {
+    front: Vec<Vec<M>>,
+    back: Vec<Vec<M>>,
+}
+
+impl<M> Mailboxes<M> {
+    /// Empty front/back inbox pairs for `n_ranks` ranks.
+    pub fn new(n_ranks: usize) -> Self {
+        Mailboxes {
+            front: (0..n_ranks).map(|_| Vec::new()).collect(),
+            back: (0..n_ranks).map(|_| Vec::new()).collect(),
+        }
+    }
+
+    /// The readable (front) inboxes for the current superstep.
+    pub fn front(&self) -> &[Vec<M>] {
+        &self.front
+    }
+
+    pub fn pending(&self, rank: usize) -> usize {
+        self.front[rank].len()
+    }
+}
+
+impl<M: Send + WireSize> Mailboxes<M> {
+    /// Run one barrier exchange: meter every (src, dst) bucket, assemble the
+    /// back inboxes in parallel (lock-free — see the module docs for the
+    /// unique-writer argument), apply any due delivery shuffles, and swap
+    /// the buffers. Sources listed in `drops` are lost in flight (metered in
+    /// [`ExchangeVolume::dropped`], not delivered); `shuffles` holds
+    /// `(dest, seed)` pairs whose assembled inbox is permuted.
+    pub fn exchange(
+        &mut self,
+        pool: &WorkPool,
+        outboxes: &mut [Outbox<M>],
+        drops: &[usize],
+        shuffles: &[(usize, u64)],
+    ) -> ExchangeVolume {
+        let n = self.front.len();
+        debug_assert_eq!(outboxes.len(), n, "one outbox per rank");
+
+        // Metering pass: exact legacy per-logical-message totals plus the
+        // coalesced batch totals. One batch per non-empty (src, dst) bucket;
+        // its wire size is the framing header plus each payload exactly once.
+        let mut vol = ExchangeVolume::default();
+        for (src, ob) in outboxes.iter().enumerate() {
+            if drops.contains(&src) {
+                vol.dropped += ob.total as u64;
+                continue;
+            }
+            let mut rank_msgs = 0u64;
+            let mut rank_bytes = 0u64;
+            for bucket in &ob.buckets {
+                if bucket.is_empty() {
+                    continue;
+                }
+                let mut payload = 0u64;
+                for msg in bucket {
+                    let sz = msg.wire_size() as u64;
+                    payload += sz;
+                    if msg.is_bulk() {
+                        vol.bulk_msgs += 1;
+                        vol.bulk_bytes += sz;
+                    } else {
+                        rank_msgs += 1;
+                        rank_bytes += sz;
+                    }
+                }
+                vol.batches += 1;
+                vol.batch_bytes += BATCH_HEADER_BYTES + payload;
+            }
+            vol.msgs += rank_msgs;
+            vol.bytes += rank_bytes;
+            vol.max_rank_msgs = vol.max_rank_msgs.max(rank_msgs);
+            vol.max_rank_bytes = vol.max_rank_bytes.max(rank_bytes);
+        }
+
+        // Assembly: worker `d` owns back[d] and drains bucket (src, d) of
+        // every source, in ascending source order — the canonical inbox
+        // ordering. `Vec::append` moves whole buckets (a memcpy), leaving
+        // their capacity behind for the next superstep.
+        {
+            let bucket_bases: Vec<*mut Vec<M>> = outboxes
+                .iter_mut()
+                .map(|ob| ob.buckets.as_mut_ptr())
+                .collect();
+            struct Grid<M> {
+                buckets: *const *mut Vec<M>,
+                back: *mut Vec<M>,
+            }
+            // SAFETY: WorkPool::run_indexed claims each index exactly once,
+            // so back[d] has a unique writer and bucket (src, d) a unique
+            // reader; no two workers touch the same Vec.
+            unsafe impl<M> Sync for Grid<M> {}
+            let grid = Grid {
+                buckets: bucket_bases.as_ptr(),
+                back: self.back.as_mut_ptr(),
+            };
+            let grid = &grid;
+            pool.run_indexed(n, |d| {
+                // SAFETY: see Grid above — `d` is unique per invocation.
+                let back = unsafe { &mut *grid.back.add(d) };
+                back.clear();
+                for src in 0..n {
+                    if drops.contains(&src) {
+                        continue;
+                    }
+                    // SAFETY: bucket (src, d) is touched only by worker `d`.
+                    let bucket = unsafe { &mut *(*grid.buckets.add(src)).add(d) };
+                    back.append(bucket);
+                }
+                if let Some(&(_, seed)) = shuffles.iter().find(|&&(rank, _)| rank == d) {
+                    shuffle(back, seed);
+                }
+            });
+        }
+
+        std::mem::swap(&mut self.front, &mut self.back);
+        vol
+    }
+}
+
+/// Seeded Fisher–Yates permutation (the delivery-shuffle fault).
+fn shuffle<M>(v: &mut [M], seed: u64) {
+    let mut rng = SplitMix64::new(seed);
+    for i in (1..v.len()).rev() {
+        let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+        v.swap(i, j);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A non-`Copy` bulk message so the blanket `WireSize` impl does not
+    /// apply: models a halo buffer with a 16-byte per-message envelope.
+    struct Blob(Vec<u8>);
+
+    impl WireSize for Blob {
+        fn wire_size(&self) -> usize {
+            16 + self.0.len()
+        }
+        fn is_bulk(&self) -> bool {
+            true
+        }
+    }
+
+    /// Satellite fix pin: batch byte accounting counts the coalesced buffer
+    /// payload once plus one 16-byte framing header per (src, dst) batch —
+    /// never a header per logical message.
+    #[test]
+    fn batch_bytes_count_payload_once_per_batch() {
+        let pool = WorkPool::new(0);
+        let mut mail: Mailboxes<Blob> = Mailboxes::new(3);
+        let mut obs: Vec<Outbox<Blob>> = (0..3).map(|_| Outbox::for_ranks(3)).collect();
+        // Rank 0 sends two blobs to rank 1 (one batch) and one to rank 2;
+        // rank 1 sends one blob to rank 2.
+        obs[0].send(1, Blob(vec![0; 10]));
+        obs[0].send(1, Blob(vec![0; 20]));
+        obs[0].send(2, Blob(vec![0; 5]));
+        obs[1].send(2, Blob(vec![0; 7]));
+        let vol = mail.exchange(&pool, &mut obs, &[], &[]);
+
+        // Legacy accounting: every logical bulk message with its own
+        // 16-byte envelope, exactly as before coalescing.
+        assert_eq!(vol.bulk_msgs, 4);
+        assert_eq!(vol.bulk_bytes, (16 + 10) + (16 + 20) + (16 + 5) + (16 + 7));
+        assert_eq!(vol.msgs, 0, "bulk traffic is not per-event");
+
+        // Coalesced accounting: three non-empty (src, dst) pairs → three
+        // batches; each pays BATCH_HEADER_BYTES once, payloads once.
+        assert_eq!(vol.batches, 3);
+        let payload = (16 + 10) + (16 + 20) + (16 + 5) + (16 + 7);
+        assert_eq!(vol.batch_bytes, 3 * BATCH_HEADER_BYTES + payload);
+
+        assert_eq!(mail.pending(0), 0);
+        assert_eq!(mail.pending(1), 2);
+        assert_eq!(mail.pending(2), 2);
+    }
+
+    #[test]
+    fn per_event_messages_meter_like_before() {
+        let pool = WorkPool::new(0);
+        let mut mail: Mailboxes<u64> = Mailboxes::new(2);
+        let mut obs: Vec<Outbox<u64>> = (0..2).map(|_| Outbox::for_ranks(2)).collect();
+        obs[0].send(1, 7);
+        obs[0].send(1, 8);
+        obs[1].send(0, 9);
+        let vol = mail.exchange(&pool, &mut obs, &[], &[]);
+        assert_eq!(vol.msgs, 3);
+        assert_eq!(vol.bytes, 3 * 8);
+        assert_eq!(vol.max_rank_msgs, 2);
+        assert_eq!(vol.max_rank_bytes, 16);
+        assert_eq!(vol.batches, 2);
+        assert_eq!(vol.batch_bytes, 2 * BATCH_HEADER_BYTES + 3 * 8);
+    }
+
+    /// Double buffering reuses allocations: after two exchanges the front
+    /// and back vectors have swapped twice and nothing leaks across
+    /// supersteps.
+    #[test]
+    fn buffers_swap_and_clear_between_supersteps() {
+        let pool = WorkPool::new(0);
+        let mut mail: Mailboxes<u32> = Mailboxes::new(2);
+        let mut obs: Vec<Outbox<u32>> = (0..2).map(|_| Outbox::for_ranks(2)).collect();
+        obs[0].send(1, 1);
+        mail.exchange(&pool, &mut obs, &[], &[]);
+        assert_eq!(mail.front()[1], vec![1]);
+
+        for ob in &mut obs {
+            ob.clear();
+        }
+        obs[1].send(0, 2);
+        mail.exchange(&pool, &mut obs, &[], &[]);
+        assert_eq!(mail.front()[0], vec![2]);
+        assert!(mail.front()[1].is_empty(), "old front was recycled clean");
+    }
+
+    #[test]
+    fn shuffle_is_seeded_and_permutes() {
+        let pool = WorkPool::new(0);
+        let run = |seed: u64| -> Vec<u32> {
+            let mut mail: Mailboxes<u32> = Mailboxes::new(2);
+            let mut obs: Vec<Outbox<u32>> = (0..2).map(|_| Outbox::for_ranks(2)).collect();
+            for v in 0..16 {
+                obs[0].send(1, v);
+            }
+            mail.exchange(&pool, &mut obs, &[], &[(1, seed)]);
+            mail.front()[1].clone()
+        };
+        let a = run(0xBEEF);
+        let b = run(0xBEEF);
+        let c = run(0xF00D);
+        assert_eq!(a, b, "same seed, same permutation");
+        assert_ne!(a, c, "different seed, different permutation");
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..16).collect::<Vec<_>>(), "a permutation");
+    }
+}

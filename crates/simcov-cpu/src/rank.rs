@@ -5,10 +5,9 @@ use std::collections::HashMap;
 use gpusim::DeviceCounters;
 use pgas::Outbox;
 use simcov_core::decomp::{Partition, Subdomain};
-use simcov_core::epithelial::{EpiCells, EpiState};
+use simcov_core::epithelial::EpiState;
 use simcov_core::exact::ExactSum;
 use simcov_core::extrav::TrialTable;
-use simcov_core::fields::Field;
 use simcov_core::grid::{Coord, GridDims};
 use simcov_core::halo::HaloBox;
 use simcov_core::params::SimParams;
@@ -16,6 +15,7 @@ use simcov_core::rules::{
     self, epi_update, extrav_lifetime, extrav_succeeds, plan_tcell, voxel_active, Bid,
     EpiTransition, RuleView, TCellAction,
 };
+use simcov_core::soa::{StencilDeltas, VoxelSoA};
 use simcov_core::stats::StatsPartial;
 use simcov_core::tcell::TCellSlot;
 use simcov_core::world::World;
@@ -32,11 +32,10 @@ pub struct CpuRank {
     /// Neighbor ranks and their subdomains, for ghost routing.
     neighbors: Vec<(usize, Subdomain)>,
 
-    // Local state over the halo box.
-    pub epi: EpiCells,
-    pub tcells: Vec<TCellSlot>,
-    pub virions: Field,
-    pub chem: Field,
+    /// Local SoA voxel state over the halo box.
+    pub soa: VoxelSoA,
+    /// Constant stencil deltas for the halo box's row-major strides.
+    stencil: StencilDeltas,
 
     /// Voxels processed this step (core, local indices).
     processed: ActiveSet,
@@ -69,10 +68,7 @@ pub struct CpuRank {
 struct LocalView<'a> {
     dims: GridDims,
     hb: &'a HaloBox,
-    epi: &'a EpiCells,
-    tcells: &'a [TCellSlot],
-    virions: &'a Field,
-    chem: &'a Field,
+    soa: &'a VoxelSoA,
 }
 
 impl RuleView for LocalView<'_> {
@@ -82,19 +78,19 @@ impl RuleView for LocalView<'_> {
     }
     #[inline]
     fn epi_state(&self, c: Coord) -> EpiState {
-        self.epi.get(self.hb.local(c))
+        self.soa.epi.get(self.hb.local(c))
     }
     #[inline]
     fn tcell(&self, c: Coord) -> TCellSlot {
-        self.tcells[self.hb.local(c)]
+        self.soa.tcells[self.hb.local(c)]
     }
     #[inline]
     fn virions(&self, c: Coord) -> f32 {
-        self.virions.get(self.hb.local(c))
+        self.soa.virions.get(self.hb.local(c))
     }
     #[inline]
     fn chemokine(&self, c: Coord) -> f32 {
-        self.chem.get(self.hb.local(c))
+        self.soa.chem.get(self.hb.local(c))
     }
 }
 
@@ -105,28 +101,31 @@ impl CpuRank {
         let sub = *partition.sub(rank);
         let hb = HaloBox::new(dims, sub);
         let n = hb.len();
-        let mut epi = EpiCells::airway(n);
-        let mut tcells = vec![TCellSlot::EMPTY; n];
-        let mut virions = Field::zeros(n);
-        let mut chem = Field::zeros(n);
+        let mut soa = VoxelSoA::airway(n);
+        let (sx, sy, _) = hb.size();
+        let stencil = StencilDeltas::for_strides(dims, sx, sy);
 
         let mut marks = ActiveSet::new(n);
         let (mut h, mut inc, mut exp, mut apo, mut dead, mut tct) = (0, 0, 0, 0, 0, 0);
-        #[allow(clippy::needless_range_loop)] // `li` indexes five parallel arrays
         for li in 0..n {
             let c = hb.global(li);
             if !dims.in_bounds(c) {
                 continue;
             }
             let gi = dims.index(c);
-            epi.state[li] = world.epi.state[gi];
-            epi.timer[li] = world.epi.timer[gi];
-            tcells[li] = world.tcells[gi];
-            virions.set(li, world.virions.get(gi));
-            chem.set(li, world.chemokine.get(gi));
-            let active = voxel_active(epi.get(li), tcells[li], virions.get(li), chem.get(li));
+            soa.epi.state[li] = world.epi.state[gi];
+            soa.epi.timer[li] = world.epi.timer[gi];
+            soa.tcells[li] = world.tcells[gi];
+            soa.virions.set(li, world.virions.get(gi));
+            soa.chem.set(li, world.chemokine.get(gi));
+            let active = voxel_active(
+                soa.epi.get(li),
+                soa.tcells[li],
+                soa.virions.get(li),
+                soa.chem.get(li),
+            );
             if hb.is_core(c) {
-                match epi.get(li) {
+                match soa.epi.get(li) {
                     EpiState::Healthy => h += 1,
                     EpiState::Incubating => inc += 1,
                     EpiState::Expressing => exp += 1,
@@ -134,7 +133,7 @@ impl CpuRank {
                     EpiState::Dead => dead += 1,
                     EpiState::Airway => {}
                 }
-                if tcells[li].occupied() {
+                if soa.tcells[li].occupied() {
                     tct += 1;
                 }
                 if active {
@@ -162,10 +161,8 @@ impl CpuRank {
             hb,
             dims,
             neighbors,
-            epi,
-            tcells,
-            virions,
-            chem,
+            soa,
+            stencil,
             processed: ActiveSet::new(n),
             marks,
             local_actions: Vec::new(),
@@ -191,10 +188,7 @@ impl CpuRank {
         LocalView {
             dims: self.dims,
             hb: &self.hb,
-            epi: &self.epi,
-            tcells: &self.tcells,
-            virions: &self.virions,
-            chem: &self.chem,
+            soa: &self.soa,
         }
     }
 
@@ -252,8 +246,8 @@ impl CpuRank {
                     let c = self.dims.coord(cell.gid as usize);
                     debug_assert!(self.hb.covers(c) && !self.hb.is_core(c));
                     let li = self.hb.local(c);
-                    self.epi.state[li] = cell.epi_state;
-                    self.tcells[li] = cell.tcell;
+                    self.soa.epi.state[li] = cell.epi_state;
+                    self.soa.tcells[li] = cell.tcell;
                     if cell.active {
                         self.dilate_into_processed(c);
                     }
@@ -263,8 +257,8 @@ impl CpuRank {
                     // (used by extravasation checks and as step-start state).
                     let c = self.dims.coord(cell.gid as usize);
                     let li = self.hb.local(c);
-                    self.virions.set(li, cell.virions);
-                    self.chem.set(li, cell.chem);
+                    self.soa.virions.set(li, cell.virions);
+                    self.soa.chem.set(li, cell.chem);
                 }
             } else {
                 unreachable!("unexpected message in plan superstep: {msg:?}");
@@ -290,12 +284,12 @@ impl CpuRank {
                 for &(gv, trial) in trials.in_gid_range(g0, g1) {
                     let c = self.dims.coord(gv);
                     let li = self.hb.local(c);
-                    if self.tcells[li].occupied() {
+                    if self.soa.tcells[li].occupied() {
                         continue;
                     }
-                    if extrav_succeeds(p, t, trial, self.chem.get(li)) {
+                    if extrav_succeeds(p, t, trial, self.soa.chem.get(li)) {
                         let life = extrav_lifetime(p, t, trial);
-                        self.tcells[li] = TCellSlot::fresh(life);
+                        self.soa.tcells[li] = TCellSlot::fresh(life);
                         if self.hb.is_core(c) {
                             self.extravasated += 1;
                             self.stat_tcells += 1;
@@ -317,7 +311,7 @@ impl CpuRank {
         self.remote_intents.clear();
         let processed: Vec<u32> = self.processed.sorted().to_vec();
         for &li in &processed {
-            let slot = self.tcells[li as usize];
+            let slot = self.soa.tcells[li as usize];
             if !slot.occupied() || slot.is_fresh() {
                 continue;
             }
@@ -393,39 +387,40 @@ impl CpuRank {
         let actions = std::mem::take(&mut self.local_actions);
         for &(li, action) in &actions {
             let li = li as usize;
-            let slot = self.tcells[li];
+            let slot = self.soa.tcells[li];
             let ts = slot.tissue_steps();
             match action {
                 TCellAction::Die => {
-                    self.tcells[li] = TCellSlot::EMPTY;
+                    self.soa.tcells[li] = TCellSlot::EMPTY;
                     self.stat_tcells -= 1;
                 }
                 TCellAction::StayBound => {
-                    self.tcells[li] = TCellSlot::established(ts - 1, slot.bind_steps() - 1);
+                    self.soa.tcells[li] = TCellSlot::established(ts - 1, slot.bind_steps() - 1);
                     self.mark(li);
                 }
                 TCellAction::Stay => {
-                    self.tcells[li] = TCellSlot::established(ts - 1, 0);
+                    self.soa.tcells[li] = TCellSlot::established(ts - 1, 0);
                     self.mark(li);
                 }
                 TCellAction::TryBind { target, bid } => {
                     let tl = self.hb.local(target);
                     if self.bind_bids[&(tl as u32)] == bid {
                         self.apply_bind(p, t, target);
-                        self.tcells[li] = TCellSlot::established(ts - 1, p.tcell_binding_period);
+                        self.soa.tcells[li] =
+                            TCellSlot::established(ts - 1, p.tcell_binding_period);
                     } else {
-                        self.tcells[li] = TCellSlot::established(ts - 1, 0);
+                        self.soa.tcells[li] = TCellSlot::established(ts - 1, 0);
                     }
                     self.mark(li);
                 }
                 TCellAction::TryMove { target, bid } => {
                     let tl = self.hb.local(target);
                     if self.move_bids[&(tl as u32)] == bid {
-                        self.tcells[tl] = TCellSlot::established(ts - 1, 0);
-                        self.tcells[li] = TCellSlot::EMPTY;
+                        self.soa.tcells[tl] = TCellSlot::established(ts - 1, 0);
+                        self.soa.tcells[li] = TCellSlot::EMPTY;
                         self.mark(tl);
                     } else {
-                        self.tcells[li] = TCellSlot::established(ts - 1, 0);
+                        self.soa.tcells[li] = TCellSlot::established(ts - 1, 0);
                         self.mark(li);
                     }
                 }
@@ -448,7 +443,7 @@ impl CpuRank {
                     let tl = self.hb.local(c);
                     let won = self.move_bids[&(tl as u32)] == Bid(bid);
                     if won {
-                        self.tcells[tl] = TCellSlot::established(tissue_steps - 1, 0);
+                        self.soa.tcells[tl] = TCellSlot::established(tissue_steps - 1, 0);
                         self.stat_tcells += 1;
                         self.mark(tl);
                     }
@@ -473,14 +468,21 @@ impl CpuRank {
         let processed: Vec<u32> = self.processed.sorted().to_vec();
         for &li in &processed {
             let li = li as usize;
-            let s = self.epi.get(li);
+            let s = self.soa.epi.get(li);
             if s == EpiState::Airway || s == EpiState::Dead {
                 continue;
             }
             let c = self.hb.global(li);
             let gid = self.dims.index(c) as u64;
-            let u = epi_update(s, self.epi.timer[li], self.virions.get(li), p, t, gid);
-            self.epi.set(li, u.state, u.timer);
+            let u = epi_update(
+                s,
+                self.soa.epi.timer[li],
+                self.soa.virions.get(li),
+                p,
+                t,
+                gid,
+            );
+            self.soa.epi.set(li, u.state, u.timer);
             match u.transition {
                 EpiTransition::Infected => {
                     self.stat_healthy -= 1;
@@ -501,19 +503,19 @@ impl CpuRank {
                 EpiTransition::None => {}
             }
             if u.state.produces_virions() {
-                self.virions.set(
+                self.soa.virions.set(
                     li,
                     simcov_core::diffusion::produce_virions(
-                        self.virions.get(li),
+                        self.soa.virions.get(li),
                         p.virion_production,
                     ),
                 );
             }
             if u.state.produces_chemokine() {
-                self.chem.set(
+                self.soa.chem.set(
                     li,
                     simcov_core::diffusion::produce_chemokine(
-                        self.chem.get(li),
+                        self.soa.chem.get(li),
                         p.chemokine_production,
                     ),
                 );
@@ -533,8 +535,8 @@ impl CpuRank {
             if self.hb.is_boundary(c) {
                 let cell = crate::msg::ConcCell {
                     gid: self.dims.index(c) as u64,
-                    virions: self.virions.get(li as usize),
-                    chem: self.chem.get(li as usize),
+                    virions: self.soa.virions.get(li as usize),
+                    chem: self.soa.chem.get(li as usize),
                 };
                 for (i, (_, nsub)) in self.neighbors.iter().enumerate() {
                     if nsub.in_halo_reach(c) {
@@ -552,9 +554,10 @@ impl CpuRank {
 
     fn apply_bind(&mut self, p: &SimParams, t: u64, target: Coord) {
         let tl = self.hb.local(target);
-        debug_assert_eq!(self.epi.get(tl), EpiState::Expressing);
+        debug_assert_eq!(self.soa.epi.get(tl), EpiState::Expressing);
         let gid = self.dims.index(target) as u64;
-        self.epi
+        self.soa
+            .epi
             .set(tl, EpiState::Apoptotic, rules::apoptosis_timer(p, t, gid));
         self.stat_expressing -= 1;
         self.stat_apoptotic += 1;
@@ -595,8 +598,8 @@ impl CpuRank {
         for li in 0..n {
             let c = self.hb.global(li);
             if !self.hb.is_core(c) {
-                self.virions.set(li, 0.0);
-                self.chem.set(li, 0.0);
+                self.soa.virions.set(li, 0.0);
+                self.soa.chem.set(li, 0.0);
             }
         }
         for msg in inbox {
@@ -605,30 +608,30 @@ impl CpuRank {
                     for cell in cells {
                         let c = self.dims.coord(cell.gid as usize);
                         let li = self.hb.local(c);
-                        self.virions.set(li, cell.virions);
-                        self.chem.set(li, cell.chem);
+                        self.soa.virions.set(li, cell.virions);
+                        self.soa.chem.set(li, cell.chem);
                     }
                 }
                 CpuMsg::MoveResult { src, won } => {
                     let c = self.dims.coord(src as usize);
                     let li = self.hb.local(c);
-                    let slot = self.tcells[li];
+                    let slot = self.soa.tcells[li];
                     let ts = slot.tissue_steps();
                     if won {
-                        self.tcells[li] = TCellSlot::EMPTY;
+                        self.soa.tcells[li] = TCellSlot::EMPTY;
                         self.stat_tcells -= 1;
                     } else {
-                        self.tcells[li] = TCellSlot::established(ts - 1, 0);
+                        self.soa.tcells[li] = TCellSlot::established(ts - 1, 0);
                         self.mark(li);
                     }
                 }
                 CpuMsg::BindResult { src, won } => {
                     let c = self.dims.coord(src as usize);
                     let li = self.hb.local(c);
-                    let slot = self.tcells[li];
+                    let slot = self.soa.tcells[li];
                     let ts = slot.tissue_steps();
                     let bind = if won { p.tcell_binding_period } else { 0 };
-                    self.tcells[li] = TCellSlot::established(ts - 1, bind);
+                    self.soa.tcells[li] = TCellSlot::established(ts - 1, bind);
                     self.mark(li);
                 }
                 _ => unreachable!("unexpected message in finish superstep: {msg:?}"),
@@ -639,7 +642,7 @@ impl CpuRank {
         // Settle fresh T cells.
         let fresh = std::mem::take(&mut self.fresh_placed);
         for &li in &fresh {
-            self.tcells[li as usize] = self.tcells[li as usize].settled();
+            self.soa.tcells[li as usize] = self.soa.tcells[li as usize].settled();
         }
 
         // Diffusion over the processed set (staged write-back).
@@ -649,20 +652,32 @@ impl CpuRank {
         let mut chem_sum = ExactSum::zero();
         for &li in &processed {
             let c = self.hb.global(li as usize);
-            let mut vsum = 0.0f32;
-            let mut csum = 0.0f32;
-            let mut nvalid = 0usize;
-            for &(dx, dy, dz) in self.dims.neighbor_offsets() {
-                let q = c.offset(dx, dy, dz);
-                if self.dims.in_bounds(q) {
-                    let ql = self.hb.local(q);
-                    vsum += self.virions.get(ql);
-                    csum += self.chem.get(ql);
-                    nvalid += 1;
+            // Interior voxels (full Moore neighborhood inside the global
+            // grid) gather by constant halo-box stride deltas — same values
+            // in the same offset-table order, so the f32 sums are bitwise
+            // identical to the checked path below.
+            let (vsum, csum, nvalid) = if self.stencil.is_interior(c) {
+                let (vs, cs) = self
+                    .stencil
+                    .sum2(li as usize, &self.soa.virions, &self.soa.chem);
+                (vs, cs, self.stencil.len())
+            } else {
+                let mut vs = 0.0f32;
+                let mut cs = 0.0f32;
+                let mut nv = 0usize;
+                for &(dx, dy, dz) in self.dims.neighbor_offsets() {
+                    let q = c.offset(dx, dy, dz);
+                    if self.dims.in_bounds(q) {
+                        let ql = self.hb.local(q);
+                        vs += self.soa.virions.get(ql);
+                        cs += self.soa.chem.get(ql);
+                        nv += 1;
+                    }
                 }
-            }
+                (vs, cs, nv)
+            };
             let nv = simcov_core::diffusion::diffuse_voxel(
-                self.virions.get(li as usize),
+                self.soa.virions.get(li as usize),
                 vsum,
                 nvalid,
                 p.virion_diffusion,
@@ -670,7 +685,7 @@ impl CpuRank {
                 p.min_virions,
             );
             let nc = simcov_core::diffusion::diffuse_voxel(
-                self.chem.get(li as usize),
+                self.soa.chem.get(li as usize),
                 csum,
                 nvalid,
                 p.chemokine_diffusion,
@@ -681,8 +696,8 @@ impl CpuRank {
         }
         let diffused = std::mem::take(&mut self.diffuse_out);
         for &(li, nv, nc) in &diffused {
-            self.virions.set(li as usize, nv);
-            self.chem.set(li as usize, nc);
+            self.soa.virions.set(li as usize, nv);
+            self.soa.chem.set(li as usize, nc);
             virions_sum.add_f32(nv);
             chem_sum.add_f32(nc);
             if nv > 0.0 || nc > 0.0 {
@@ -695,7 +710,7 @@ impl CpuRank {
         // Re-mark voxels that still hold agents/transient state.
         for &li in &processed {
             let li = li as usize;
-            if self.tcells[li].occupied() || self.epi.get(li).is_transient() {
+            if self.soa.tcells[li].occupied() || self.soa.epi.get(li).is_transient() {
                 self.mark(li);
             }
         }
@@ -714,21 +729,21 @@ impl CpuRank {
                 let li = li as usize;
                 let gid = self.dims.index(c) as u64;
                 let active = voxel_active(
-                    self.epi.get(li),
-                    self.tcells[li],
-                    self.virions.get(li),
-                    self.chem.get(li),
+                    self.soa.epi.get(li),
+                    self.soa.tcells[li],
+                    self.soa.virions.get(li),
+                    self.soa.chem.get(li),
                 );
                 let agent = crate::msg::AgentCell {
                     gid,
-                    epi_state: self.epi.state[li],
-                    tcell: self.tcells[li],
+                    epi_state: self.soa.epi.state[li],
+                    tcell: self.soa.tcells[li],
                     active,
                 };
                 let conc = crate::msg::ConcCell {
                     gid,
-                    virions: self.virions.get(li),
-                    chem: self.chem.get(li),
+                    virions: self.soa.virions.get(li),
+                    chem: self.soa.chem.get(li),
                 };
                 for (i, (_, nsub)) in self.neighbors.iter().enumerate() {
                     if nsub.in_halo_reach(c) {
@@ -770,11 +785,11 @@ impl CpuRank {
         for c in self.hb.core.iter_coords() {
             let li = self.hb.local(c);
             let gi = self.dims.index(c);
-            world.epi.state[gi] = self.epi.state[li];
-            world.epi.timer[gi] = self.epi.timer[li];
-            world.tcells[gi] = self.tcells[li];
-            world.virions.set(gi, self.virions.get(li));
-            world.chemokine.set(gi, self.chem.get(li));
+            world.epi.state[gi] = self.soa.epi.state[li];
+            world.epi.timer[gi] = self.soa.epi.timer[li];
+            world.tcells[gi] = self.soa.tcells[li];
+            world.virions.set(gi, self.soa.virions.get(li));
+            world.chemokine.set(gi, self.soa.chem.get(li));
         }
     }
 }

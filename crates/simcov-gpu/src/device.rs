@@ -21,9 +21,8 @@ use gpusim::reduce::{atomic_reduce, tree_reduce};
 use gpusim::{DeviceCounters, KernelCategory};
 use pgas::Outbox;
 use simcov_core::decomp::{Partition, Subdomain};
-use simcov_core::epithelial::{EpiCells, EpiState};
+use simcov_core::epithelial::EpiState;
 use simcov_core::extrav::TrialTable;
-use simcov_core::fields::Field;
 use simcov_core::grid::{Coord, GridDims};
 use simcov_core::halo::HaloBox;
 use simcov_core::params::SimParams;
@@ -31,6 +30,7 @@ use simcov_core::rules::{
     self, epi_update, extrav_lifetime, extrav_succeeds, plan_tcell, voxel_active, Bid, RuleView,
     TCellAction,
 };
+use simcov_core::soa::{StencilDeltas, VoxelSoA};
 use simcov_core::stats::StatsPartial;
 use simcov_core::tcell::TCellSlot;
 use simcov_core::world::World;
@@ -61,10 +61,10 @@ pub struct GpuDevice {
     pub variant: GpuVariant,
     devices_per_node: usize,
 
-    epi: EpiCells,
-    tcells: Vec<TCellSlot>,
-    virions: Field,
-    chem: Field,
+    /// SoA voxel state in tile-major padded storage.
+    soa: VoxelSoA,
+    /// Constant stencil deltas for within-tile strides `(1, tile, tile²)`.
+    stencil: StencilDeltas,
     move_bid: Vec<Bid>,
     bind_bid: Vec<Bid>,
     touched_bids: Vec<u32>,
@@ -82,10 +82,7 @@ pub struct GpuDevice {
 struct DeviceView<'a> {
     dims: GridDims,
     layout: &'a TileLayout,
-    epi: &'a EpiCells,
-    tcells: &'a [TCellSlot],
-    virions: &'a Field,
-    chem: &'a Field,
+    soa: &'a VoxelSoA,
 }
 
 impl RuleView for DeviceView<'_> {
@@ -95,19 +92,19 @@ impl RuleView for DeviceView<'_> {
     }
     #[inline]
     fn epi_state(&self, c: Coord) -> EpiState {
-        self.epi.get(self.layout.local(c))
+        self.soa.epi.get(self.layout.local(c))
     }
     #[inline]
     fn tcell(&self, c: Coord) -> TCellSlot {
-        self.tcells[self.layout.local(c)]
+        self.soa.tcells[self.layout.local(c)]
     }
     #[inline]
     fn virions(&self, c: Coord) -> f32 {
-        self.virions.get(self.layout.local(c))
+        self.soa.virions.get(self.layout.local(c))
     }
     #[inline]
     fn chemokine(&self, c: Coord) -> f32 {
-        self.chem.get(self.layout.local(c))
+        self.soa.chem.get(self.layout.local(c))
     }
 }
 
@@ -125,21 +122,19 @@ impl GpuDevice {
         let hb = HaloBox::new(dims, *partition.sub(id));
         let layout = TileLayout::new(hb, tile_side);
         let n = layout.len();
-        let mut epi = EpiCells::airway(n);
-        let mut tcells = vec![TCellSlot::EMPTY; n];
-        let mut virions = Field::zeros(n);
-        let mut chem = Field::zeros(n);
+        let mut soa = VoxelSoA::airway(n);
+        let stencil = StencilDeltas::for_strides(dims, tile_side, tile_side);
         for t in 0..layout.n_tiles() {
             for (li, c) in layout.tile_coords(t) {
                 if !dims.in_bounds(c) {
                     continue;
                 }
                 let gi = dims.index(c);
-                epi.state[li] = world.epi.state[gi];
-                epi.timer[li] = world.epi.timer[gi];
-                tcells[li] = world.tcells[gi];
-                virions.set(li, world.virions.get(gi));
-                chem.set(li, world.chemokine.get(gi));
+                soa.epi.state[li] = world.epi.state[gi];
+                soa.epi.timer[li] = world.epi.timer[gi];
+                soa.tcells[li] = world.tcells[gi];
+                soa.virions.set(li, world.virions.get(gi));
+                soa.chem.set(li, world.chemokine.get(gi));
             }
         }
         let tracker = TileTracker::new(&layout, check_period);
@@ -154,10 +149,8 @@ impl GpuDevice {
             neighbors,
             variant,
             devices_per_node,
-            epi,
-            tcells,
-            virions,
-            chem,
+            soa,
+            stencil,
             move_bid: vec![Bid::EMPTY; n],
             bind_bid: vec![Bid::EMPTY; n],
             touched_bids: Vec::new(),
@@ -177,10 +170,7 @@ impl GpuDevice {
         DeviceView {
             dims: self.dims,
             layout: &self.layout,
-            epi: &self.epi,
-            tcells: &self.tcells,
-            virions: &self.virions,
-            chem: &self.chem,
+            soa: &self.soa,
         }
     }
 
@@ -215,11 +205,11 @@ impl GpuDevice {
                     let c = self.dims.coord(cell.gid as usize);
                     debug_assert!(self.layout.hb.covers(c) && !self.layout.hb.is_core(c));
                     let li = self.layout.local(c);
-                    self.epi.state[li] = cell.epi_state;
-                    self.epi.timer[li] = cell.epi_timer;
-                    self.tcells[li] = cell.tcell;
-                    self.virions.set(li, cell.virions);
-                    self.chem.set(li, cell.chem);
+                    self.soa.epi.state[li] = cell.epi_state;
+                    self.soa.epi.timer[li] = cell.epi_timer;
+                    self.soa.tcells[li] = cell.tcell;
+                    self.soa.virions.set(li, cell.virions);
+                    self.soa.chem.set(li, cell.chem);
                 }
                 unpacked += cells.len() as u64;
             } else {
@@ -237,18 +227,24 @@ impl GpuDevice {
         if self.variant.tiling() && self.tracker.check_due(t) {
             let mut found = vec![false; self.layout.n_tiles()];
             let mut scanned = 0u64;
-            #[allow(clippy::needless_range_loop)] // `tile` also drives tile_coords
+            #[allow(clippy::needless_range_loop)] // `tile` also drives tile_span
             for tile in 0..self.layout.n_tiles() {
-                for (li, _c) in self.layout.tile_coords(tile) {
-                    scanned += 1;
-                    if voxel_active(
-                        self.epi.get(li),
-                        self.tcells[li],
-                        self.virions.get(li),
-                        self.chem.get(li),
-                    ) {
-                        found[tile] = true;
-                        break;
+                let span = self.layout.tile_span(tile);
+                'scan: for oz in 0..span.nz {
+                    for oy in 0..span.ny {
+                        let row = span.base + oz * span.sz_stride + oy * span.sy_stride;
+                        for li in row..row + span.nx {
+                            scanned += 1;
+                            if voxel_active(
+                                self.soa.epi.get(li),
+                                self.soa.tcells[li],
+                                self.soa.virions.get(li),
+                                self.soa.chem.get(li),
+                            ) {
+                                found[tile] = true;
+                                break 'scan;
+                            }
+                        }
                     }
                 }
             }
@@ -281,12 +277,12 @@ impl GpuDevice {
                 for &(gv, trial) in trials.in_gid_range(g0, g1) {
                     let c = self.dims.coord(gv);
                     let li = self.layout.local(c);
-                    if self.tcells[li].occupied() {
+                    if self.soa.tcells[li].occupied() {
                         continue;
                     }
-                    if extrav_succeeds(p, t, trial, self.chem.get(li)) {
+                    if extrav_succeeds(p, t, trial, self.soa.chem.get(li)) {
                         let life = extrav_lifetime(p, t, trial);
-                        self.tcells[li] = TCellSlot::fresh(life);
+                        self.soa.tcells[li] = TCellSlot::fresh(life);
                         if hb.is_core(c) {
                             self.extravasated += 1;
                             self.fresh_placed.push(li as u32);
@@ -309,32 +305,40 @@ impl GpuDevice {
         let mut scanned = 0u64;
         let mut bids_written = 0u64;
         for tile in &tiles {
-            for (li, c) in self.layout.tile_coords(*tile) {
-                scanned += 1;
-                if !hb.is_core(c) {
-                    continue;
-                }
-                let slot = self.tcells[li];
-                if !slot.occupied() || slot.is_fresh() {
-                    continue;
-                }
-                let action = plan_tcell(&self.view(), p, t, c);
-                match action {
-                    TCellAction::TryMove { target, bid } => {
-                        let tl = self.layout.local(target);
-                        self.move_bid[tl] = self.move_bid[tl].merge(bid);
-                        self.touched_bids.push(tl as u32);
-                        bids_written += 1;
+            let span = self.layout.tile_span(*tile);
+            for oz in 0..span.nz {
+                for oy in 0..span.ny {
+                    let row = span.base + oz * span.sz_stride + oy * span.sy_stride;
+                    for ox in 0..span.nx {
+                        let li = row + ox;
+                        scanned += 1;
+                        let slot = self.soa.tcells[li];
+                        if !slot.occupied() || slot.is_fresh() {
+                            continue;
+                        }
+                        let c = span.origin.offset(ox as i64, oy as i64, oz as i64);
+                        if !hb.is_core(c) {
+                            continue;
+                        }
+                        let action = plan_tcell(&self.view(), p, t, c);
+                        match action {
+                            TCellAction::TryMove { target, bid } => {
+                                let tl = self.layout.local(target);
+                                self.move_bid[tl] = self.move_bid[tl].merge(bid);
+                                self.touched_bids.push(tl as u32);
+                                bids_written += 1;
+                            }
+                            TCellAction::TryBind { target, bid } => {
+                                let tl = self.layout.local(target);
+                                self.bind_bid[tl] = self.bind_bid[tl].merge(bid);
+                                self.touched_bids.push(tl as u32);
+                                bids_written += 1;
+                            }
+                            _ => {}
+                        }
+                        self.actions.push((li as u32, action));
                     }
-                    TCellAction::TryBind { target, bid } => {
-                        let tl = self.layout.local(target);
-                        self.bind_bid[tl] = self.bind_bid[tl].merge(bid);
-                        self.touched_bids.push(tl as u32);
-                        bids_written += 1;
-                    }
-                    _ => {}
                 }
-                self.actions.push((li as u32, action));
             }
         }
         {
@@ -431,17 +435,17 @@ impl GpuDevice {
         let actions = std::mem::take(&mut self.actions);
         for &(li, action) in &actions {
             let li = li as usize;
-            let slot = self.tcells[li];
+            let slot = self.soa.tcells[li];
             let ts = slot.tissue_steps();
             match action {
                 TCellAction::Die => {
-                    self.tcells[li] = TCellSlot::EMPTY;
+                    self.soa.tcells[li] = TCellSlot::EMPTY;
                 }
                 TCellAction::StayBound => {
-                    self.tcells[li] = TCellSlot::established(ts - 1, slot.bind_steps() - 1);
+                    self.soa.tcells[li] = TCellSlot::established(ts - 1, slot.bind_steps() - 1);
                 }
                 TCellAction::Stay => {
-                    self.tcells[li] = TCellSlot::established(ts - 1, 0);
+                    self.soa.tcells[li] = TCellSlot::established(ts - 1, 0);
                 }
                 TCellAction::TryBind { target, bid } => {
                     let tl = self.layout.local(target);
@@ -450,7 +454,7 @@ impl GpuDevice {
                     } else {
                         0
                     };
-                    self.tcells[li] = TCellSlot::established(ts - 1, bind);
+                    self.soa.tcells[li] = TCellSlot::established(ts - 1, bind);
                 }
                 TCellAction::TryMove { target, bid } => {
                     let tl = self.layout.local(target);
@@ -460,11 +464,11 @@ impl GpuDevice {
                         // and erase here either way — the deterministic
                         // tiebreak guarantees no duplication (§3.1).
                         if hb.is_core(target) {
-                            self.tcells[tl] = TCellSlot::established(ts - 1, 0);
+                            self.soa.tcells[tl] = TCellSlot::established(ts - 1, 0);
                         }
-                        self.tcells[li] = TCellSlot::EMPTY;
+                        self.soa.tcells[li] = TCellSlot::EMPTY;
                     } else {
-                        self.tcells[li] = TCellSlot::established(ts - 1, 0);
+                        self.soa.tcells[li] = TCellSlot::established(ts - 1, 0);
                     }
                 }
             }
@@ -489,15 +493,16 @@ impl GpuDevice {
                     // GPU can safely be instantiated without fear of
                     // duplication", §3.1). Local winners were materialized
                     // in the action loop above.
-                    let slot = self.tcells[self.layout.local(src)];
+                    let slot = self.soa.tcells[self.layout.local(src)];
                     debug_assert!(slot.occupied() && !slot.is_fresh());
-                    self.tcells[tl] = TCellSlot::established(slot.tissue_steps() - 1, 0);
+                    self.soa.tcells[tl] = TCellSlot::established(slot.tissue_steps() - 1, 0);
                 }
             }
             let bb = self.bind_bid[tl];
-            if !bb.is_empty() && self.epi.get(tl) == EpiState::Expressing {
+            if !bb.is_empty() && self.soa.epi.get(tl) == EpiState::Expressing {
                 let gid = self.dims.index(c) as u64;
-                self.epi
+                self.soa
+                    .epi
                     .set(tl, EpiState::Apoptotic, rules::apoptosis_timer(p, t, gid));
             }
             self.move_bid[tl] = Bid::EMPTY;
@@ -509,42 +514,57 @@ impl GpuDevice {
         // Settle fresh T cells.
         let fresh = std::mem::take(&mut self.fresh_placed);
         for &li in &fresh {
-            self.tcells[li as usize] = self.tcells[li as usize].settled();
+            self.soa.tcells[li as usize] = self.soa.tcells[li as usize].settled();
         }
 
         // FSM + production over core AND ghost voxels of the work tiles.
         let tiles = self.work_tiles();
         let mut fsm_elems = 0u64;
         for tile in &tiles {
-            for (li, c) in self.layout.tile_coords(*tile) {
-                if !self.dims.in_bounds(c) {
-                    continue;
-                }
-                fsm_elems += 1;
-                let s = self.epi.get(li);
-                if s == EpiState::Airway || s == EpiState::Dead {
-                    continue;
-                }
-                let gid = self.dims.index(c) as u64;
-                let u = epi_update(s, self.epi.timer[li], self.virions.get(li), p, t, gid);
-                self.epi.set(li, u.state, u.timer);
-                if u.state.produces_virions() {
-                    self.virions.set(
-                        li,
-                        simcov_core::diffusion::produce_virions(
-                            self.virions.get(li),
-                            p.virion_production,
-                        ),
-                    );
-                }
-                if u.state.produces_chemokine() {
-                    self.chem.set(
-                        li,
-                        simcov_core::diffusion::produce_chemokine(
-                            self.chem.get(li),
-                            p.chemokine_production,
-                        ),
-                    );
+            let span = self.layout.tile_span(*tile);
+            for oz in 0..span.nz {
+                for oy in 0..span.ny {
+                    let row = span.base + oz * span.sz_stride + oy * span.sy_stride;
+                    for ox in 0..span.nx {
+                        let li = row + ox;
+                        let c = span.origin.offset(ox as i64, oy as i64, oz as i64);
+                        if !self.dims.in_bounds(c) {
+                            continue;
+                        }
+                        fsm_elems += 1;
+                        let s = self.soa.epi.get(li);
+                        if s == EpiState::Airway || s == EpiState::Dead {
+                            continue;
+                        }
+                        let gid = self.dims.index(c) as u64;
+                        let u = epi_update(
+                            s,
+                            self.soa.epi.timer[li],
+                            self.soa.virions.get(li),
+                            p,
+                            t,
+                            gid,
+                        );
+                        self.soa.epi.set(li, u.state, u.timer);
+                        if u.state.produces_virions() {
+                            self.soa.virions.set(
+                                li,
+                                simcov_core::diffusion::produce_virions(
+                                    self.soa.virions.get(li),
+                                    p.virion_production,
+                                ),
+                            );
+                        }
+                        if u.state.produces_chemokine() {
+                            self.soa.chem.set(
+                                li,
+                                simcov_core::diffusion::produce_chemokine(
+                                    self.soa.chem.get(li),
+                                    p.chemokine_production,
+                                ),
+                            );
+                        }
+                    }
                 }
             }
         }
@@ -563,47 +583,71 @@ impl GpuDevice {
         // Diffusion over core voxels of the work tiles (staged write-back).
         self.diffuse_out.clear();
         let mut diff_elems = 0u64;
+        let is_2d = self.dims.is_2d();
         for tile in &tiles {
-            for (li, c) in self.layout.tile_coords(*tile) {
-                if !hb.is_core(c) {
-                    continue;
-                }
-                diff_elems += 1;
-                let mut vsum = 0.0f32;
-                let mut csum = 0.0f32;
-                let mut nvalid = 0usize;
-                for &(dx, dy, dz) in self.dims.neighbor_offsets() {
-                    let q = c.offset(dx, dy, dz);
-                    if self.dims.in_bounds(q) {
-                        let ql = self.layout.local(q);
-                        vsum += self.virions.get(ql);
-                        csum += self.chem.get(ql);
-                        nvalid += 1;
+            let span = self.layout.tile_span(*tile);
+            for oz in 0..span.nz {
+                let z_inner = is_2d || (oz >= 1 && oz + 1 < span.nz);
+                for oy in 0..span.ny {
+                    let y_inner = oy >= 1 && oy + 1 < span.ny;
+                    let row = span.base + oz * span.sz_stride + oy * span.sy_stride;
+                    for ox in 0..span.nx {
+                        let li = row + ox;
+                        let c = span.origin.offset(ox as i64, oy as i64, oz as i64);
+                        if !hb.is_core(c) {
+                            continue;
+                        }
+                        diff_elems += 1;
+                        // Fast path: the whole Moore neighborhood lies inside
+                        // this tile (tile-interior voxel) and inside the
+                        // global grid, so the gather is a constant-stride
+                        // sweep over the tile's contiguous storage — same
+                        // values in the same offset order as the checked
+                        // path, hence bitwise identical.
+                        let tile_inner = z_inner && y_inner && ox >= 1 && ox + 1 < span.nx;
+                        let (vsum, csum, nvalid) = if tile_inner && self.stencil.is_interior(c) {
+                            let (vs, cs) = self.stencil.sum2(li, &self.soa.virions, &self.soa.chem);
+                            (vs, cs, self.stencil.len())
+                        } else {
+                            let mut vs = 0.0f32;
+                            let mut cs = 0.0f32;
+                            let mut nv = 0usize;
+                            for &(dx, dy, dz) in self.dims.neighbor_offsets() {
+                                let q = c.offset(dx, dy, dz);
+                                if self.dims.in_bounds(q) {
+                                    let ql = self.layout.local(q);
+                                    vs += self.soa.virions.get(ql);
+                                    cs += self.soa.chem.get(ql);
+                                    nv += 1;
+                                }
+                            }
+                            (vs, cs, nv)
+                        };
+                        let nv = simcov_core::diffusion::diffuse_voxel(
+                            self.soa.virions.get(li),
+                            vsum,
+                            nvalid,
+                            p.virion_diffusion,
+                            p.virion_clearance,
+                            p.min_virions,
+                        );
+                        let nc = simcov_core::diffusion::diffuse_voxel(
+                            self.soa.chem.get(li),
+                            csum,
+                            nvalid,
+                            p.chemokine_diffusion,
+                            p.chemokine_decay,
+                            p.min_chemokine,
+                        );
+                        self.diffuse_out.push((li as u32, nv, nc));
                     }
                 }
-                let nv = simcov_core::diffusion::diffuse_voxel(
-                    self.virions.get(li),
-                    vsum,
-                    nvalid,
-                    p.virion_diffusion,
-                    p.virion_clearance,
-                    p.min_virions,
-                );
-                let nc = simcov_core::diffusion::diffuse_voxel(
-                    self.chem.get(li),
-                    csum,
-                    nvalid,
-                    p.chemokine_diffusion,
-                    p.chemokine_decay,
-                    p.min_chemokine,
-                );
-                self.diffuse_out.push((li as u32, nv, nc));
             }
         }
         let diffused = std::mem::take(&mut self.diffuse_out);
         for &(li, nv, nc) in &diffused {
-            self.virions.set(li as usize, nv);
-            self.chem.set(li as usize, nc);
+            self.soa.virions.set(li as usize, nv);
+            self.soa.chem.set(li as usize, nc);
         }
         self.diffuse_out = diffused;
         self.diffuse_out.clear();
@@ -625,7 +669,12 @@ impl GpuDevice {
         } else {
             REDUCE_BYTES_UNTILED
         };
-        let (virions, chem, tcells, epi) = (&self.virions, &self.chem, &self.tcells, &self.epi);
+        let (virions, chem, tcells, epi) = (
+            &self.soa.virions,
+            &self.soa.chem,
+            &self.soa.tcells,
+            &self.soa.epi,
+        );
         let map = |i: usize| -> StatsPartial {
             let li = core_cells[i] as usize;
             let mut s = StatsPartial::default();
@@ -688,11 +737,11 @@ impl GpuDevice {
             let li = li as usize;
             let cell = HaloCell {
                 gid: self.dims.index(c) as u64,
-                epi_state: self.epi.state[li],
-                epi_timer: self.epi.timer[li],
-                tcell: self.tcells[li],
-                virions: self.virions.get(li),
-                chem: self.chem.get(li),
+                epi_state: self.soa.epi.state[li],
+                epi_timer: self.soa.epi.timer[li],
+                tcell: self.soa.tcells[li],
+                virions: self.soa.virions.get(li),
+                chem: self.soa.chem.get(li),
             };
             for (i, (_, nsub)) in self.neighbors.iter().enumerate() {
                 if nsub.in_halo_reach(c) {
@@ -721,9 +770,15 @@ impl GpuDevice {
         let hb = self.layout.hb;
         let mut out = Vec::with_capacity(hb.core.nvoxels());
         for t in 0..self.layout.n_tiles() {
-            for (li, c) in self.layout.tile_coords(t) {
-                if hb.is_core(c) {
-                    out.push(li as u32);
+            let span = self.layout.tile_span(t);
+            for oz in 0..span.nz {
+                for oy in 0..span.ny {
+                    let row = span.base + oz * span.sz_stride + oy * span.sy_stride;
+                    for ox in 0..span.nx {
+                        if hb.is_core(span.origin.offset(ox as i64, oy as i64, oz as i64)) {
+                            out.push((row + ox) as u32);
+                        }
+                    }
                 }
             }
         }
@@ -738,11 +793,11 @@ impl GpuDevice {
                     continue;
                 }
                 let gi = self.dims.index(c);
-                world.epi.state[gi] = self.epi.state[li];
-                world.epi.timer[gi] = self.epi.timer[li];
-                world.tcells[gi] = self.tcells[li];
-                world.virions.set(gi, self.virions.get(li));
-                world.chemokine.set(gi, self.chem.get(li));
+                world.epi.state[gi] = self.soa.epi.state[li];
+                world.epi.timer[gi] = self.soa.epi.timer[li];
+                world.tcells[gi] = self.soa.tcells[li];
+                world.virions.set(gi, self.soa.virions.get(li));
+                world.chemokine.set(gi, self.soa.chem.get(li));
             }
         }
     }

@@ -112,6 +112,35 @@ impl TileLayout {
         )
     }
 
+    /// The valid (non-padded) extent of a tile: storage base, global
+    /// origin, per-axis voxel counts and within-tile strides. Nested loops
+    /// over a span visit exactly the cells [`TileLayout::tile_coords`]
+    /// yields, in the same storage order, without the iterator-chain and
+    /// per-cell division overhead — the blocked form the update kernels use.
+    pub fn tile_span(&self, tile_idx: usize) -> TileSpan {
+        let tx = tile_idx % self.tiles_x;
+        let ty = (tile_idx / self.tiles_x) % self.tiles_y;
+        let tzi = tile_idx / (self.tiles_x * self.tiles_y);
+        let tz = self.tz();
+        let (sx, sy, sz) = self.hb.size();
+        let x0 = tx * self.tile;
+        let y0 = ty * self.tile;
+        let z0 = tzi * tz;
+        TileSpan {
+            base: tile_idx * self.tile_volume,
+            origin: Coord::new(
+                self.hb.lo.x + x0 as i64,
+                self.hb.lo.y + y0 as i64,
+                self.hb.lo.z + z0 as i64,
+            ),
+            nx: self.tile.min(sx - x0),
+            ny: self.tile.min(sy - y0),
+            nz: tz.min(sz - z0),
+            sy_stride: self.tile,
+            sz_stride: self.tile * self.tile,
+        }
+    }
+
     /// Iterate the in-box global coordinates of a tile together with their
     /// storage indices, in storage order. Padded cells are skipped.
     pub fn tile_coords(&self, tile_idx: usize) -> impl Iterator<Item = (usize, Coord)> + '_ {
@@ -178,6 +207,23 @@ impl TileLayout {
     pub fn contains_ghost(&self, tile_idx: usize) -> bool {
         self.tile_coords(tile_idx).any(|(_, c)| !self.hb.is_core(c))
     }
+}
+
+/// The valid (non-padded) extent of one tile (see [`TileLayout::tile_span`]).
+///
+/// The cell at tile offsets `(ox, oy, oz)` has storage index
+/// `base + oz * sz_stride + oy * sy_stride + ox` and global coordinate
+/// `origin + (ox, oy, oz)`; valid offsets are `ox < nx`, `oy < ny`,
+/// `oz < nz`.
+#[derive(Debug, Clone, Copy)]
+pub struct TileSpan {
+    pub base: usize,
+    pub origin: Coord,
+    pub nx: usize,
+    pub ny: usize,
+    pub nz: usize,
+    pub sy_stride: usize,
+    pub sz_stride: usize,
 }
 
 /// Active-tile tracking with the periodic check schedule.
@@ -383,6 +429,36 @@ mod tests {
         for t in 0..l.n_tiles() {
             for (idx, c) in l.tile_coords(t) {
                 assert_eq!(l.coord_of(idx), c);
+            }
+        }
+    }
+
+    #[test]
+    fn tile_span_matches_tile_coords() {
+        // The blocked loop form must visit exactly the same (index, coord)
+        // sequence as the iterator form, including on edge tiles with
+        // padding and in 3D.
+        let mut layouts = vec![layout_2d(16, 4, 0, 3), layout_2d(33, 1, 0, 5)];
+        let dims = GridDims::new3d(10, 10, 10);
+        let p = Partition::new(dims, 2, Strategy::Blocks);
+        layouts.push(TileLayout::new(HaloBox::new(dims, *p.sub(0)), 3));
+        for l in &layouts {
+            for t in 0..l.n_tiles() {
+                let span = l.tile_span(t);
+                let mut from_span = Vec::new();
+                for oz in 0..span.nz {
+                    for oy in 0..span.ny {
+                        let row = span.base + oz * span.sz_stride + oy * span.sy_stride;
+                        for ox in 0..span.nx {
+                            from_span.push((
+                                row + ox,
+                                span.origin.offset(ox as i64, oy as i64, oz as i64),
+                            ));
+                        }
+                    }
+                }
+                let from_iter: Vec<_> = l.tile_coords(t).collect();
+                assert_eq!(from_span, from_iter, "tile {t}");
             }
         }
     }

@@ -55,4 +55,26 @@ assert any(r["recoveries"] > 0 for r in rows), "no cell exercised recovery"
 print(f"BENCH_fault_sweep.json OK: {len(rows)} cells, all bitwise-identical")
 EOF
 
+# The perf gate fails (exit 1) if any hot kernel's best time regresses more
+# than 25% past the committed BENCH_baseline.json, or if neither the
+# diffusion stencil nor the coalesced halo exchange holds a >= 1.5x speedup
+# over its naive form. Refresh the baseline (on a quiet machine, full
+# sampling) with `cargo run --release -p simcov-bench --bin perf_gate --
+# --update-baseline`.
+echo "== perf gate (hot-kernel regression check vs BENCH_baseline.json) =="
+cargo run --release -p simcov-bench --bin perf_gate -- \
+    --smoke --tolerance "${SIMCOV_PERF_TOL:-0.25}" \
+    --json target/BENCH_perf_smoke.json >/dev/null
+
+python3 - <<'EOF'
+import json
+doc = json.load(open("target/BENCH_perf_smoke.json"))
+assert doc.get("suite") == "perf_gate", "wrong suite tag"
+assert doc["kernels"], "perf gate produced no kernel timings"
+best = max(doc["speedups"].values())
+assert best >= 1.5, f"no hot kernel at 1.5x: {doc['speedups']}"
+print(f"BENCH_perf_smoke.json OK: {len(doc['kernels'])} kernels, "
+      f"best speedup {best:.2f}x")
+EOF
+
 echo "== all checks passed =="

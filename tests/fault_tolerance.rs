@@ -265,3 +265,116 @@ fn trait_objects_run_all_executors_identically() {
         );
     }
 }
+
+/// Edge case: the rank dies on the exact superstep at which the checkpoint
+/// for that very step was taken. The rollback target is the checkpoint just
+/// written, so the replay is minimal — and still bitwise identical.
+#[test]
+fn death_on_the_exact_checkpoint_superstep_recovers() {
+    let mut clean = CpuSim::new(CpuSimConfig::new(params(31), 4)).expect("valid config");
+    clean.run().expect("no faults");
+
+    // checkpoint_period = 8 ⇒ a checkpoint lands before step 8; the CPU
+    // executor's superstep 24 is the first superstep of that same step.
+    let plan = FaultPlan::from_events(vec![death(24, 1)]);
+    let mut faulty = CpuSim::new(
+        CpuSimConfig::new(params(31), 4)
+            .with_fault_plan(plan)
+            .with_recovery(RecoveryPolicy {
+                checkpoint_period: 8,
+                ..RecoveryPolicy::default()
+            }),
+    )
+    .expect("valid config");
+    faulty.run().expect("recovery must absorb the death");
+
+    let log = faulty.recovery_log();
+    assert_eq!(log.len(), 1);
+    assert_eq!(log[0].dead_ranks, vec![1]);
+    assert!(
+        log[0].replayed_steps <= 1,
+        "fault on the checkpoint step itself must replay at most that step, \
+         got {}",
+        log[0].replayed_steps
+    );
+    assert_eq!(clean.history(), faulty.history(), "time series diverged");
+    assert!(
+        clean
+            .gather_world()
+            .first_difference(&faulty.gather_world())
+            .is_none(),
+        "world diverged after recovery"
+    );
+}
+
+/// Edge case: two ranks die in the *same* superstep. Detection must gather
+/// both into one recovery (not two), the domain shrinks straight to the two
+/// survivors, and the trajectory stays bitwise identical.
+#[test]
+fn two_ranks_dying_in_one_superstep_recover_together() {
+    let mut clean = CpuSim::new(CpuSimConfig::new(params(37), 4)).expect("valid config");
+    clean.run().expect("no faults");
+
+    let plan = FaultPlan::from_events(vec![death(90, 1), death(90, 3)]);
+    let mut faulty =
+        CpuSim::new(CpuSimConfig::new(params(37), 4).with_fault_plan(plan)).expect("valid config");
+    faulty.run().expect("recovery must absorb both deaths");
+
+    let log = faulty.recovery_log();
+    assert_eq!(log.len(), 1, "one superstep, one recovery");
+    assert_eq!(log[0].dead_ranks, vec![1, 3]);
+    assert_eq!(log[0].survivors, 2);
+    assert_eq!(faulty.n_units(), 2);
+    assert_eq!(clean.history(), faulty.history(), "time series diverged");
+    assert!(
+        clean
+            .gather_world()
+            .first_difference(&faulty.gather_world())
+            .is_none(),
+        "world diverged after recovery"
+    );
+}
+
+/// Edge case: every rank but one dies. The domain collapses to a single
+/// unit (the elastic lower bound) and the lone survivor still reproduces
+/// the failure-free trajectory bit for bit — on both executors.
+#[test]
+fn recovery_with_a_single_survivor_is_bitwise_identical() {
+    let mut clean = CpuSim::new(CpuSimConfig::new(params(41), 4)).expect("valid config");
+    clean.run().expect("no faults");
+
+    let plan = FaultPlan::from_events(vec![death(90, 0), death(90, 1), death(90, 2)]);
+    let mut faulty =
+        CpuSim::new(CpuSimConfig::new(params(41), 4).with_fault_plan(plan)).expect("valid config");
+    faulty.run().expect("the lone survivor must finish the run");
+
+    let log = faulty.recovery_log();
+    assert_eq!(log.len(), 1);
+    assert_eq!(log[0].dead_ranks, vec![0, 1, 2]);
+    assert_eq!(log[0].survivors, 1);
+    assert_eq!(faulty.n_units(), 1);
+    assert_eq!(clean.history(), faulty.history(), "time series diverged");
+    assert!(
+        clean
+            .gather_world()
+            .first_difference(&faulty.gather_world())
+            .is_none(),
+        "world diverged after recovery"
+    );
+
+    // The same collapse on the GPU executor (superstep 60 = step 30 there).
+    let mut gclean = GpuSim::new(GpuSimConfig::new(params(43), 4)).expect("valid config");
+    gclean.run().expect("no faults");
+    let gplan = FaultPlan::from_events(vec![death(60, 1), death(60, 2), death(60, 3)]);
+    let mut gfaulty =
+        GpuSim::new(GpuSimConfig::new(params(43), 4).with_fault_plan(gplan)).expect("valid config");
+    gfaulty
+        .run()
+        .expect("the lone survivor must finish the run");
+    assert_eq!(gfaulty.n_units(), 1);
+    assert_eq!(
+        gclean.history(),
+        gfaulty.history(),
+        "GPU time series diverged"
+    );
+}

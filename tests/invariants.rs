@@ -5,6 +5,7 @@
 //! is reproducible from its printed case index.
 
 use simcov_repro::simcov_core::epithelial::EpiState;
+use simcov_repro::simcov_core::exact::ExactSum;
 use simcov_repro::simcov_core::foi::FoiPattern;
 use simcov_repro::simcov_core::grid::GridDims;
 use simcov_repro::simcov_core::params::SimParams;
@@ -170,4 +171,181 @@ fn quiescent_stays_quiescent() {
             "case {case}: no active voxels, no work"
         );
     }
+}
+
+// ---------------------------------------------------------------------------
+// Exact-summation properties. The bitwise reproducibility of every executor
+// rests on `core::exact::ExactSum` being a true monoid over f32 samples:
+// order- and partition-independent, with `zero()` as the neutral element.
+// These seeded property tests exercise it over adversarial cohorts — random
+// exponents across the whole f32 range, subnormals, and huge/tiny mixtures
+// where naive f32 (and even f64) accumulation loses the small addends.
+
+/// A random non-negative finite f32 with a uniformly random bit pattern:
+/// exponents spread over the full range, including subnormals.
+fn arb_sample(rng: &mut CounterRng) -> f32 {
+    let bits = (rng.next_u64() as u32) & 0x7FFF_FFFF;
+    let v = f32::from_bits(bits);
+    if v.is_finite() {
+        v
+    } else {
+        // Demote the inf/NaN exponent to a subnormal with the same fraction.
+        f32::from_bits(bits & 0x007F_FFFF)
+    }
+}
+
+/// An adversarial cohort: random-bit samples plus a cancellation-heavy tail
+/// of huge values interleaved with tiny and subnormal ones.
+fn arb_cohort(d: &mut Draw, len: usize) -> Vec<f32> {
+    let mut v: Vec<f32> = (0..len).map(|_| arb_sample(&mut d.0)).collect();
+    for k in 0..len / 4 {
+        v.push(2.0e38 * (1.0 + (k % 3) as f32 * 0.1)); // ≤ 2.4e38, still finite
+        v.push(f32::from_bits(1 + k as u32)); // smallest subnormals
+        v.push(1.0e-38);
+    }
+    v
+}
+
+fn seeded_shuffle<T>(v: &mut [T], rng: &mut CounterRng) {
+    for i in (1..v.len()).rev() {
+        let j = rng.below(i as u64 + 1) as usize;
+        v.swap(i, j);
+    }
+}
+
+fn exact_of(values: &[f32]) -> ExactSum {
+    let mut s = ExactSum::zero();
+    for &v in values {
+        s.add_f32(v);
+    }
+    s
+}
+
+/// Any permutation of the cohort accumulates to the same exact value (same
+/// limbs, same rounded f64 bits).
+#[test]
+fn exact_sum_is_permutation_invariant() {
+    for case in 0..CASES {
+        let mut d = Draw::new(10, case);
+        let n = d.int(64, 512) as usize;
+        let cohort = arb_cohort(&mut d, n);
+        let reference = exact_of(&cohort);
+        for round in 0..4u64 {
+            let mut permuted = cohort.clone();
+            seeded_shuffle(&mut permuted, &mut d.0);
+            let s = exact_of(&permuted);
+            assert_eq!(s, reference, "case {case} round {round}: limbs differ");
+            assert_eq!(
+                s.to_f64().to_bits(),
+                reference.to_f64().to_bits(),
+                "case {case} round {round}: rounded totals differ"
+            );
+        }
+    }
+}
+
+/// `zero()` is neutral: merging it anywhere changes nothing, an empty sum
+/// reports zero, and adding literal zeros leaves the accumulator untouched.
+#[test]
+fn exact_sum_zero_is_neutral() {
+    assert!(ExactSum::zero().is_zero());
+    assert_eq!(ExactSum::zero().to_f64(), 0.0);
+    for case in 0..CASES {
+        let mut d = Draw::new(11, case);
+        let n = d.int(16, 128) as usize;
+        let cohort = arb_cohort(&mut d, n);
+        let reference = exact_of(&cohort);
+
+        let mut left = ExactSum::zero();
+        left += reference;
+        let mut right = reference;
+        right += ExactSum::zero();
+        assert_eq!(left, reference, "case {case}: zero += s");
+        assert_eq!(right, reference, "case {case}: s += zero");
+
+        let mut with_zeros = ExactSum::zero();
+        for (k, &v) in cohort.iter().enumerate() {
+            if k % 3 == 0 {
+                with_zeros.add_f32(0.0);
+            }
+            with_zeros.add_f32(v);
+        }
+        assert_eq!(with_zeros, reference, "case {case}: interleaved zeros");
+    }
+}
+
+/// Merge is associative over random partitions: folding the same cohort's
+/// blocks left-to-right, right-to-left, or as a balanced tree yields the
+/// same exact value as straight accumulation.
+#[test]
+fn exact_sum_merge_is_associative_over_partitions() {
+    for case in 0..CASES {
+        let mut d = Draw::new(12, case);
+        let n = d.int(96, 384) as usize;
+        let cohort = arb_cohort(&mut d, n);
+        let reference = exact_of(&cohort);
+
+        // Random partition into 3..=9 contiguous blocks.
+        let n_blocks = d.int(3, 10) as usize;
+        let mut partials: Vec<ExactSum> = Vec::new();
+        let mut start = 0usize;
+        for b in 0..n_blocks {
+            let end = if b == n_blocks - 1 {
+                cohort.len()
+            } else {
+                let remaining = cohort.len() - start;
+                start + d.int(0, remaining as u64 / 2 + 1) as usize
+            };
+            partials.push(exact_of(&cohort[start..end]));
+            start = end;
+        }
+
+        let mut fold_left = ExactSum::zero();
+        for &p in &partials {
+            fold_left += p;
+        }
+        let mut fold_right = ExactSum::zero();
+        for &p in partials.iter().rev() {
+            fold_right += p;
+        }
+        let mut tree = partials.clone();
+        while tree.len() > 1 {
+            let mut next = Vec::new();
+            for pair in tree.chunks(2) {
+                let mut m = pair[0];
+                if let Some(&b) = pair.get(1) {
+                    m += b;
+                }
+                next.push(m);
+            }
+            tree = next;
+        }
+
+        assert_eq!(fold_left, reference, "case {case}: left fold");
+        assert_eq!(fold_right, reference, "case {case}: right fold");
+        assert_eq!(tree[0], reference, "case {case}: tree merge");
+    }
+}
+
+/// Witness that the order-invariance property is not vacuous: on a classic
+/// absorption cohort (one 2²⁴ plus 255 ones) a plain f32 running sum gives
+/// different answers forward vs reversed, while the exact accumulator
+/// agrees with itself — and with the true total — in both orders.
+#[test]
+fn exact_sum_beats_naive_f32_on_reordering() {
+    let mut cohort = vec![16_777_216.0f32]; // 2^24: spacing 2, so +1.0 is lost
+    cohort.resize(256, 1.0);
+    let reversed: Vec<f32> = cohort.iter().rev().copied().collect();
+
+    let naive_fwd: f32 = cohort.iter().sum();
+    let naive_rev: f32 = reversed.iter().sum();
+    assert_ne!(
+        naive_fwd.to_bits(),
+        naive_rev.to_bits(),
+        "cohort too tame: naive f32 summation never noticed the reorder"
+    );
+
+    let exact_fwd = exact_of(&cohort);
+    assert_eq!(exact_fwd, exact_of(&reversed), "exact sum reordered");
+    assert_eq!(exact_fwd.to_f64(), 16_777_216.0 + 255.0);
 }

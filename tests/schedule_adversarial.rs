@@ -1,0 +1,106 @@
+//! Schedule-adversarial delivery tests: the model's results must not depend
+//! on the order in which messages land within a superstep.
+//!
+//! The BSP runtime canonicalizes every inbox by (source rank, emission
+//! order) before compute, and per-voxel application is order-insensitive by
+//! construction (exact summation, max-merge). These tests attack that claim
+//! directly: a [`FaultPlan::shuffled`] storm permutes **every** rank's
+//! assembled inbox at **every** superstep with seeded Fisher–Yates draws,
+//! and the whole trajectory — per-step statistics and the final world —
+//! must stay bitwise identical to the unperturbed run, on both parallel
+//! executors.
+
+use simcov_repro::pgas::FaultPlan;
+use simcov_repro::simcov_core::grid::GridDims;
+use simcov_repro::simcov_core::params::SimParams;
+use simcov_repro::simcov_cpu::{CpuSim, CpuSimConfig};
+use simcov_repro::simcov_driver::Simulation;
+use simcov_repro::simcov_gpu::{GpuSim, GpuSimConfig};
+
+fn params(seed: u64) -> SimParams {
+    SimParams::test_config(GridDims::new2d(32, 32), 60, 8, seed)
+}
+
+/// Every superstep of a 60-step CPU run under a distinct per-(superstep,
+/// rank) permutation: bitwise identity of history and world.
+#[test]
+fn cpu_shuffled_delivery_is_bitwise_identical() {
+    let mut clean = CpuSim::new(CpuSimConfig::new(params(21), 4)).expect("valid config");
+    clean.run().expect("no faults");
+
+    // The CPU executor runs 3 supersteps per step.
+    let plan = FaultPlan::shuffled(0xD15C0, 4, 60 * 3);
+    let mut shuffled =
+        CpuSim::new(CpuSimConfig::new(params(21), 4).with_fault_plan(plan)).expect("valid config");
+    shuffled.run().expect("shuffles are benign");
+
+    assert!(
+        shuffled.recovery_log().is_empty(),
+        "a reordering must never look like a failure"
+    );
+    assert!(
+        shuffled.comm_counters().shuffled_inboxes > 0,
+        "the storm must actually have fired"
+    );
+    assert_eq!(
+        clean.history(),
+        shuffled.history(),
+        "delivery order leaked into the time series"
+    );
+    assert!(
+        clean
+            .gather_world()
+            .first_difference(&shuffled.gather_world())
+            .is_none(),
+        "delivery order leaked into the final world"
+    );
+}
+
+/// The same property on the GPU executor (2 supersteps per step).
+#[test]
+fn gpu_shuffled_delivery_is_bitwise_identical() {
+    let mut clean = GpuSim::new(GpuSimConfig::new(params(23), 4)).expect("valid config");
+    clean.run().expect("no faults");
+
+    let plan = FaultPlan::shuffled(0x5EED, 4, 60 * 2);
+    let mut shuffled =
+        GpuSim::new(GpuSimConfig::new(params(23), 4).with_fault_plan(plan)).expect("valid config");
+    shuffled.run().expect("shuffles are benign");
+
+    assert!(shuffled.recovery_log().is_empty());
+    assert!(shuffled.comm_counters().shuffled_inboxes > 0);
+    assert_eq!(
+        clean.history(),
+        shuffled.history(),
+        "delivery order leaked into the time series"
+    );
+    assert!(
+        clean
+            .gather_world()
+            .first_difference(&shuffled.gather_world())
+            .is_none(),
+        "delivery order leaked into the final world"
+    );
+}
+
+/// Two different shuffle seeds produce two different delivery schedules but
+/// the same trajectory — and both match a third, unshuffled run even when
+/// the executors disagree on rank count.
+#[test]
+fn shuffle_seed_and_rank_count_are_both_invisible() {
+    let mut reference = CpuSim::new(CpuSimConfig::new(params(29), 2)).expect("valid config");
+    reference.run().expect("no faults");
+
+    for (seed, ranks) in [(0xAAAAu64, 4usize), (0xBBBB, 8)] {
+        let plan = FaultPlan::shuffled(seed, ranks, 60 * 3);
+        let mut sim = CpuSim::new(CpuSimConfig::new(params(29), ranks).with_fault_plan(plan))
+            .expect("valid config");
+        sim.run().expect("shuffles are benign");
+        assert!(sim.comm_counters().shuffled_inboxes > 0);
+        assert_eq!(
+            reference.history(),
+            sim.history(),
+            "seed {seed:#x} on {ranks} ranks diverged"
+        );
+    }
+}
