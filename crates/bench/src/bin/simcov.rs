@@ -6,12 +6,19 @@
 //! ```text
 //! simcov <config-file> [--executor serial|cpu|gpu] [--units N]
 //!        [--out-csv FILE] [--frames DIR --n-frames K] [--variant NAME]
-//!        [--json FILE]
+//!        [--json FILE] [--persist FILE] [--persist-every K]
+//!        [--resume FILE] [--halt-after N]
 //! ```
 //!
 //! `--json` writes a structured run summary; on the cpu/gpu executors it
 //! includes the per-step [`StepRecord`]s of the metrics layer (agents,
 //! active work units, communication volume, simulated and real seconds).
+//!
+//! `--persist` writes a durable CRC-guarded checkpoint file every
+//! `--persist-every` steps (atomic staged rename), `--resume` restarts a
+//! run from such a file, and `--halt-after N` aborts the process right
+//! after step `N` without any final persist — a SIGKILL stand-in for
+//! crash-restart testing (exit code 3).
 
 use gpusim::{SharedSink, StepRecord};
 use simcov_bench::json::Json;
@@ -32,6 +39,10 @@ struct Args {
     n_frames: u64,
     variant: GpuVariant,
     json: Option<String>,
+    persist: Option<String>,
+    persist_every: u64,
+    resume: Option<String>,
+    halt_after: Option<u64>,
 }
 
 fn usage() -> ! {
@@ -39,7 +50,8 @@ fn usage() -> ! {
         "usage: simcov <config-file> [--executor serial|cpu|gpu] [--units N]\n\
          \t[--out-csv FILE] [--frames DIR] [--n-frames K]\n\
          \t[--variant unoptimized|fast-reduction|memory-tiling|combined]\n\
-         \t[--json FILE]"
+         \t[--json FILE] [--persist FILE] [--persist-every K]\n\
+         \t[--resume FILE] [--halt-after N]"
     );
     std::process::exit(2);
 }
@@ -54,6 +66,10 @@ fn parse_args() -> Args {
         n_frames: 8,
         variant: GpuVariant::Combined,
         json: None,
+        persist: None,
+        persist_every: 10,
+        resume: None,
+        halt_after: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -83,6 +99,22 @@ fn parse_args() -> Args {
                 }
             }
             "--json" => args.json = Some(it.next().unwrap_or_else(|| usage())),
+            "--persist" => args.persist = Some(it.next().unwrap_or_else(|| usage())),
+            "--persist-every" => {
+                args.persist_every = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&k| k > 0)
+                    .unwrap_or_else(|| usage())
+            }
+            "--resume" => args.resume = Some(it.next().unwrap_or_else(|| usage())),
+            "--halt-after" => {
+                args.halt_after = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
             "--help" | "-h" => usage(),
             other if args.config.is_empty() && !other.starts_with('-') => {
                 args.config = other.to_string()
@@ -144,6 +176,7 @@ fn main() {
 
     let dims = params.dims;
     let num_foi = params.num_foi;
+    let ck_params = params.clone();
     // The per-step metrics sink backing --json.
     let sink = SharedSink::new();
     // One object-safe driver API over all three executors.
@@ -161,18 +194,41 @@ fn main() {
     if args.json.is_some() {
         driver.set_metrics_sink(Box::new(sink.clone()));
     }
+    if let Some(path) = &args.resume {
+        let cp = simcov_driver::load_checkpoint(std::path::Path::new(path), &ck_params)
+            .unwrap_or_else(|e| panic!("cannot resume from {path}: {e}"));
+        let at = cp.step;
+        driver
+            .restore(&cp)
+            .unwrap_or_else(|e| panic!("cannot restore {path}: {e}"));
+        eprintln!("resumed from {path} at step {at}");
+    }
 
-    for step in 1..=steps {
+    while driver.step() < steps {
+        let step = driver.step() + 1;
         driver
             .advance_step()
             .unwrap_or_else(|e| panic!("step {step} failed: {e}"));
         if let Some(dir) = &args.frames {
-            if step % frame_every == 0 || step == steps {
+            if step.is_multiple_of(frame_every) || step == steps {
                 let img = render_slice(&driver.gather_world(), 0, 512);
                 let path = format!("{dir}/step_{step:06}.ppm");
                 fs::write(&path, img.to_ppm()).expect("write frame");
                 eprintln!("frame {path}");
             }
+        }
+        if let Some(path) = &args.persist {
+            if step.is_multiple_of(args.persist_every) || step == steps {
+                let cp = driver.checkpoint();
+                simcov_driver::persist_checkpoint(std::path::Path::new(path), &ck_params, &cp)
+                    .unwrap_or_else(|e| panic!("cannot persist {path}: {e}"));
+            }
+        }
+        if args.halt_after == Some(step) {
+            // Simulated SIGKILL: stop dead with no final persist, CSV or
+            // JSON. Only checkpoints already persisted survive.
+            eprintln!("halting after step {step} (simulated crash)");
+            std::process::exit(3);
         }
     }
 

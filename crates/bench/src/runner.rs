@@ -51,6 +51,13 @@ fn extrapolate_comm(cc: &CommCounters, s: f64) -> CommCounters {
         duplicates_suppressed: cc.duplicates_suppressed,
         dropped_messages: cc.dropped_messages,
         shuffled_inboxes: cc.shuffled_inboxes,
+        // Integrity digests cover every batch byte, so checksum traffic
+        // scales with the boundary like batch bytes; corruption events
+        // fire a fixed schedule.
+        integrity_bytes: f(cc.integrity_bytes, s * s),
+        corruptions_landed: cc.corruptions_landed,
+        corrupt_batches: cc.corrupt_batches,
+        retransmits: cc.retransmits,
     }
 }
 

@@ -4,17 +4,110 @@
 //!
 //! Long SIMCoV campaigns (33,120+ steps) need restartability on shared
 //! clusters; the format here is a simple versioned little-endian layout
-//! with no external dependencies.
+//! with no external dependencies. Two blob versions share one header:
+//! version 1 ([`save`]/[`restore`]) captures a serial sim's resumable
+//! state; version 2 ([`encode_run`]/[`restore_run`]) captures a driver-run
+//! [`RunCheckpoint`] including the statistics history, and is what the
+//! durable crash-restart files persist.
+//!
+//! Every parse failure is a typed [`CheckpointError`]; hostile input is
+//! bounds-checked before any allocation.
 
 use crate::fields::Field;
 use crate::grid::GridDims;
+use crate::integrity::crc_run;
 use crate::params::SimParams;
 use crate::serial::SerialSim;
+use crate::stats::{StepStats, TimeSeries};
 use crate::tcell::{Cohort, TCellSlot, VascularPool};
 use crate::world::World;
+use pgas::SplitMix64;
+use std::collections::VecDeque;
 
 const MAGIC: &[u8; 8] = b"SIMCOVCK";
 const VERSION: u32 = 1;
+/// Blob version for [`encode_run`]: version 1 state plus the statistics
+/// history trailer.
+const RUN_VERSION: u32 = 2;
+
+/// Why a checkpoint blob failed to restore. `Display` strings are part of
+/// the diagnostic surface (tests pin their phrasing).
+#[derive(Debug, Clone, PartialEq)]
+pub enum CheckpointError {
+    /// The blob does not start with the SIMCoV checkpoint magic.
+    BadMagic,
+    /// A version this build cannot parse (or the wrong version for the
+    /// entry point: [`restore`] reads v1, [`restore_run`] reads v2).
+    UnsupportedVersion(u32),
+    /// The blob was written under different simulation parameters.
+    FingerprintMismatch,
+    /// The blob ends before a declared field.
+    Truncated { need: usize, offset: usize },
+    /// Grid dims in the blob disagree with the resuming parameters.
+    DimsMismatch { got: GridDims, expected: GridDims },
+    /// An epithelial state byte outside the enum's range — corrupt payload.
+    BadEpiState(u8),
+    /// An element count whose byte size overflows.
+    ElementCountOverflow(usize),
+    /// More cohorts claimed than the remaining payload could hold.
+    CohortsExceedPayload { claimed: usize, remaining: usize },
+    /// Cohort counts overflow u64 when summed.
+    CohortCountsOverflow,
+    /// Cohort counts disagree with the pool's cached total.
+    CohortSumMismatch { claimed: u64, total: u64 },
+    /// The vascular carry is NaN or infinite.
+    NonFiniteCarry,
+    /// More history records claimed than the remaining payload could hold.
+    HistoryExceedsPayload { claimed: usize, remaining: usize },
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::BadMagic => write!(f, "not a SIMCoV checkpoint (bad magic)"),
+            CheckpointError::UnsupportedVersion(v) => {
+                write!(f, "unsupported checkpoint version {v}")
+            }
+            CheckpointError::FingerprintMismatch => write!(
+                f,
+                "parameter fingerprint mismatch: resuming with different parameters"
+            ),
+            CheckpointError::Truncated { need, offset } => {
+                write!(
+                    f,
+                    "truncated checkpoint: need {need} bytes at offset {offset}"
+                )
+            }
+            CheckpointError::DimsMismatch { got, expected } => {
+                write!(f, "dims mismatch: {got:?} vs {expected:?}")
+            }
+            CheckpointError::BadEpiState(b) => write!(f, "corrupt epithelial state byte {b}"),
+            CheckpointError::ElementCountOverflow(n) => {
+                write!(f, "corrupt checkpoint: element count {n} overflows")
+            }
+            CheckpointError::CohortsExceedPayload { claimed, remaining } => write!(
+                f,
+                "corrupt checkpoint: {claimed} cohorts claimed, {remaining} bytes remain"
+            ),
+            CheckpointError::CohortCountsOverflow => {
+                write!(f, "corrupt checkpoint: cohort counts overflow")
+            }
+            CheckpointError::CohortSumMismatch { claimed, total } => write!(
+                f,
+                "corrupt checkpoint: cohorts sum to {claimed}, total says {total}"
+            ),
+            CheckpointError::NonFiniteCarry => {
+                write!(f, "corrupt checkpoint: non-finite vascular carry")
+            }
+            CheckpointError::HistoryExceedsPayload { claimed, remaining } => write!(
+                f,
+                "corrupt checkpoint: {claimed} history records claimed, {remaining} bytes remain"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
 
 struct Writer {
     buf: Vec<u8>,
@@ -54,18 +147,16 @@ struct Reader<'a> {
 }
 
 impl<'a> Reader<'a> {
-    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CheckpointError> {
         // checked_add: a hostile length must not wrap `pos + n` past the
         // bounds check into an out-of-range slice.
         let end = self
             .pos
             .checked_add(n)
             .filter(|&end| end <= self.buf.len())
-            .ok_or_else(|| {
-                format!(
-                    "truncated checkpoint: need {n} bytes at offset {}",
-                    self.pos
-                )
+            .ok_or(CheckpointError::Truncated {
+                need: n,
+                offset: self.pos,
             })?;
         let s = &self.buf[self.pos..end];
         self.pos = end;
@@ -77,23 +168,23 @@ impl<'a> Reader<'a> {
     fn remaining(&self) -> usize {
         self.buf.len() - self.pos
     }
-    fn u32(&mut self) -> Result<u32, String> {
+    fn u32(&mut self) -> Result<u32, CheckpointError> {
         Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
     }
-    fn u64(&mut self) -> Result<u64, String> {
+    fn u64(&mut self) -> Result<u64, CheckpointError> {
         Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
-    fn f64(&mut self) -> Result<f64, String> {
+    fn f64(&mut self) -> Result<f64, CheckpointError> {
         Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
-    fn f32s(&mut self, n: usize) -> Result<Vec<f32>, String> {
+    fn f32s(&mut self, n: usize) -> Result<Vec<f32>, CheckpointError> {
         let raw = self.take(checked_len(n, 4)?)?;
         Ok(raw
             .chunks_exact(4)
             .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
             .collect())
     }
-    fn u32s(&mut self, n: usize) -> Result<Vec<u32>, String> {
+    fn u32s(&mut self, n: usize) -> Result<Vec<u32>, CheckpointError> {
         let raw = self.take(checked_len(n, 4)?)?;
         Ok(raw
             .chunks_exact(4)
@@ -102,30 +193,24 @@ impl<'a> Reader<'a> {
     }
 }
 
-fn checked_len(n: usize, elem: usize) -> Result<usize, String> {
+fn checked_len(n: usize, elem: usize) -> Result<usize, CheckpointError> {
     n.checked_mul(elem)
-        .ok_or_else(|| format!("corrupt checkpoint: element count {n} overflows"))
+        .ok_or(CheckpointError::ElementCountOverflow(n))
 }
 
-/// Serialize a serial simulation's full resumable state (world, pool,
-/// step counter). Parameters are *not* embedded — resuming requires the
-/// same `SimParams`, which is checked via a fingerprint.
-pub fn save(sim: &SerialSim) -> Vec<u8> {
-    let mut w = Writer::new();
-    w.bytes(MAGIC);
-    w.u32(VERSION);
-    w.u64(params_fingerprint(&sim.params));
-    w.u64(sim.step);
-    let dims = sim.world.dims;
+/// Write the shared resumable payload: step, dims, world fields, pool.
+fn encode_state(w: &mut Writer, step: u64, world: &World, pool: &VascularPool) {
+    w.u64(step);
+    let dims = world.dims;
     w.u32(dims.x);
     w.u32(dims.y);
     w.u32(dims.z);
-    w.bytes(&sim.world.epi.state);
-    w.u32s(&sim.world.epi.timer);
-    w.u32s(&sim.world.tcells.iter().map(|t| t.0).collect::<Vec<u32>>());
-    w.f32s(&sim.world.virions.data);
-    w.f32s(&sim.world.chemokine.data);
-    let (cohorts, carry, total) = sim.pool.snapshot();
+    w.bytes(&world.epi.state);
+    w.u32s(&world.epi.timer);
+    w.u32s(&world.tcells.iter().map(|t| t.0).collect::<Vec<u32>>());
+    w.f32s(&world.virions.data);
+    w.f32s(&world.chemokine.data);
+    let (cohorts, carry, total) = pool.snapshot();
     w.f64(carry);
     w.u64(total);
     w.u64(cohorts.len() as u64);
@@ -133,34 +218,26 @@ pub fn save(sim: &SerialSim) -> Vec<u8> {
         w.u64(c.expiry_step);
         w.u64(c.count);
     }
-    w.buf
 }
 
-/// Restore a simulation from [`save`] output. The statistics history is
-/// not part of the checkpoint; the resumed run logs from the current step.
-pub fn restore(params: SimParams, blob: &[u8]) -> Result<SerialSim, String> {
-    let mut r = Reader { buf: blob, pos: 0 };
-    if r.take(8)? != MAGIC {
-        return Err("not a SIMCoV checkpoint (bad magic)".into());
-    }
-    let version = r.u32()?;
-    if version != VERSION {
-        return Err(format!("unsupported checkpoint version {version}"));
-    }
-    let fp = r.u64()?;
-    if fp != params_fingerprint(&params) {
-        return Err("parameter fingerprint mismatch: resuming with different parameters".into());
-    }
+/// Parse the shared resumable payload back, validating every claim.
+fn decode_state(
+    r: &mut Reader,
+    params: &SimParams,
+) -> Result<(u64, World, VascularPool), CheckpointError> {
     let step = r.u64()?;
     let dims = GridDims::new3d(r.u32()?, r.u32()?, r.u32()?);
     if dims != params.dims {
-        return Err(format!("dims mismatch: {dims:?} vs {:?}", params.dims));
+        return Err(CheckpointError::DimsMismatch {
+            got: dims,
+            expected: params.dims,
+        });
     }
     let n = dims.nvoxels();
     let epi_state = r.take(n)?.to_vec();
     for &b in &epi_state {
         if b > 5 {
-            return Err(format!("corrupt epithelial state byte {b}"));
+            return Err(CheckpointError::BadEpiState(b));
         }
     }
     let epi_timer = r.u32s(n)?;
@@ -174,10 +251,10 @@ pub fn restore(params: SimParams, blob: &[u8]) -> Result<SerialSim, String> {
     // payload is corrupt, and pre-allocating it would let a 20-byte blob
     // demand gigabytes.
     if n_cohorts > r.remaining() / 16 {
-        return Err(format!(
-            "corrupt checkpoint: {n_cohorts} cohorts claimed, {} bytes remain",
-            r.remaining()
-        ));
+        return Err(CheckpointError::CohortsExceedPayload {
+            claimed: n_cohorts,
+            remaining: r.remaining(),
+        });
     }
     let mut cohorts = Vec::with_capacity(n_cohorts);
     for _ in 0..n_cohorts {
@@ -192,14 +269,12 @@ pub fn restore(params: SimParams, blob: &[u8]) -> Result<SerialSim, String> {
     let claimed = cohorts
         .iter()
         .try_fold(0u64, |acc, c| acc.checked_add(c.count))
-        .ok_or("corrupt checkpoint: cohort counts overflow")?;
+        .ok_or(CheckpointError::CohortCountsOverflow)?;
     if claimed != total {
-        return Err(format!(
-            "corrupt checkpoint: cohorts sum to {claimed}, total says {total}"
-        ));
+        return Err(CheckpointError::CohortSumMismatch { claimed, total });
     }
     if !carry.is_finite() {
-        return Err("corrupt checkpoint: non-finite vascular carry".into());
+        return Err(CheckpointError::NonFiniteCarry);
     }
     let world = World {
         dims,
@@ -211,10 +286,123 @@ pub fn restore(params: SimParams, blob: &[u8]) -> Result<SerialSim, String> {
         virions: Field { data: virions },
         chemokine: Field { data: chemokine },
     };
+    Ok((
+        step,
+        world,
+        VascularPool::from_snapshot(cohorts, carry, total),
+    ))
+}
+
+/// Check the shared header, returning the blob's version for the caller to
+/// match against its expected entry point.
+fn decode_header(r: &mut Reader, params: &SimParams) -> Result<u32, CheckpointError> {
+    if r.take(8)? != MAGIC {
+        return Err(CheckpointError::BadMagic);
+    }
+    let version = r.u32()?;
+    if version != VERSION && version != RUN_VERSION {
+        return Err(CheckpointError::UnsupportedVersion(version));
+    }
+    let fp = r.u64()?;
+    if fp != params_fingerprint(params) {
+        return Err(CheckpointError::FingerprintMismatch);
+    }
+    Ok(version)
+}
+
+/// Serialize a serial simulation's full resumable state (world, pool,
+/// step counter). Parameters are *not* embedded — resuming requires the
+/// same `SimParams`, which is checked via a fingerprint.
+pub fn save(sim: &SerialSim) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.bytes(MAGIC);
+    w.u32(VERSION);
+    w.u64(params_fingerprint(&sim.params));
+    encode_state(&mut w, sim.step, &sim.world, &sim.pool);
+    w.buf
+}
+
+/// Restore a simulation from [`save`] output. The statistics history is
+/// not part of the checkpoint; the resumed run logs from the current step.
+pub fn restore(params: SimParams, blob: &[u8]) -> Result<SerialSim, CheckpointError> {
+    let mut r = Reader { buf: blob, pos: 0 };
+    let version = decode_header(&mut r, &params)?;
+    if version != VERSION {
+        return Err(CheckpointError::UnsupportedVersion(version));
+    }
+    let (step, world, pool) = decode_state(&mut r, &params)?;
     let mut sim = SerialSim::from_world(params, world);
-    sim.pool = VascularPool::from_snapshot(cohorts, carry, total);
+    sim.pool = pool;
     sim.step = step;
     Ok(sim)
+}
+
+/// Bytes one encoded [`StepStats`] record occupies in a version-2 blob.
+const STEP_STATS_BYTES: usize = 11 * 8;
+
+/// Serialize a [`RunCheckpoint`] (version 2): the version-1 resumable
+/// state plus the statistics history, so a crash restart reproduces the
+/// full time series, not just the final state.
+pub fn encode_run(params: &SimParams, cp: &RunCheckpoint) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.bytes(MAGIC);
+    w.u32(RUN_VERSION);
+    w.u64(params_fingerprint(params));
+    encode_state(&mut w, cp.step, &cp.world, &cp.pool);
+    w.u64(cp.history.steps.len() as u64);
+    for s in &cp.history.steps {
+        w.u64(s.step);
+        w.f64(s.virions);
+        w.f64(s.chemokine);
+        w.u64(s.tcells_vasculature);
+        w.u64(s.tcells_tissue);
+        w.u64(s.epi_healthy);
+        w.u64(s.epi_incubating);
+        w.u64(s.epi_expressing);
+        w.u64(s.epi_apoptotic);
+        w.u64(s.epi_dead);
+        w.u64(s.extravasated);
+    }
+    w.buf
+}
+
+/// Restore a [`RunCheckpoint`] from [`encode_run`] output.
+pub fn restore_run(params: &SimParams, blob: &[u8]) -> Result<RunCheckpoint, CheckpointError> {
+    let mut r = Reader { buf: blob, pos: 0 };
+    let version = decode_header(&mut r, params)?;
+    if version != RUN_VERSION {
+        return Err(CheckpointError::UnsupportedVersion(version));
+    }
+    let (step, world, pool) = decode_state(&mut r, params)?;
+    let n_records = r.u64()? as usize;
+    if n_records > r.remaining() / STEP_STATS_BYTES {
+        return Err(CheckpointError::HistoryExceedsPayload {
+            claimed: n_records,
+            remaining: r.remaining(),
+        });
+    }
+    let mut history = TimeSeries::default();
+    for _ in 0..n_records {
+        history.push(StepStats {
+            step: r.u64()?,
+            virions: r.f64()?,
+            chemokine: r.f64()?,
+            tcells_vasculature: r.u64()?,
+            tcells_tissue: r.u64()?,
+            epi_healthy: r.u64()?,
+            epi_incubating: r.u64()?,
+            epi_expressing: r.u64()?,
+            epi_apoptotic: r.u64()?,
+            epi_dead: r.u64()?,
+            extravasated: r.u64()?,
+        });
+    }
+    Ok(RunCheckpoint {
+        step,
+        world,
+        pool,
+        history,
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -229,8 +417,12 @@ pub fn restore(params: SimParams, blob: &[u8]) -> Result<SerialSim, String> {
 // is spatially sparse, so a delta is typically a small fraction of the grid.
 // The `*_bytes` accounting mirrors what an encoded incremental checkpoint
 // would cost, which the fault-sweep bench plots as checkpoint overhead.
-
-use crate::stats::TimeSeries;
+//
+// Against *silent* corruption a single rollback target is not enough: if the
+// newest checkpoint itself absorbed a flipped bit, rolling back to it just
+// replays the corruption. The store therefore keeps a short chain of sealed
+// generations; `latest_verified` re-derives each generation's CRC seal and
+// quarantines any that no longer match, falling back to the newest clean one.
 
 /// One voxel's complete state, the unit of incremental checkpoint deltas.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -345,25 +537,65 @@ pub fn dense_world_bytes(w: &World) -> u64 {
     (w.nvoxels() * (1 + 4 + 4 + 4 + 4)) as u64
 }
 
-/// An in-memory incremental checkpoint store holding the latest
-/// [`RunCheckpoint`]. The first save is a full clone; every later save
-/// diffs against the stored world and patches it in place, paying only for
-/// changed voxels. Cumulative byte counters feed the fault-sweep bench's
-/// checkpoint-overhead curves.
-#[derive(Debug, Clone, Default, PartialEq)]
+/// How many sealed generations the store retains by default. One guards
+/// against fail-stop loss; the extra depth guards against a *corrupt*
+/// newest generation (quarantine falls back to an older clean one).
+pub const DEFAULT_GENERATIONS: usize = 3;
+
+/// A retained checkpoint generation with its CRC seal, taken from the live
+/// state at save time. A generation whose re-derived CRC disagrees with
+/// its seal was corrupted at rest and must not be restored.
+#[derive(Debug, Clone, PartialEq)]
+struct Generation {
+    cp: RunCheckpoint,
+    seal: u64,
+}
+
+/// An in-memory incremental checkpoint store holding a short chain of
+/// sealed [`RunCheckpoint`] generations (newest last). The first save is a
+/// full clone; every later save diffs against the newest generation and
+/// pays only for changed voxels. Cumulative byte counters feed the
+/// fault-sweep bench's checkpoint-overhead curves.
+#[derive(Debug, Clone, PartialEq)]
 pub struct CheckpointStore {
-    latest: Option<RunCheckpoint>,
+    generations: VecDeque<Generation>,
+    capacity: usize,
     /// Number of saves performed.
     pub saves: u64,
     /// Cumulative dense cost (what non-incremental checkpointing would pay).
     pub full_bytes: u64,
     /// Cumulative incremental cost actually paid.
     pub delta_bytes: u64,
+    /// Generations discarded because their seal no longer verified.
+    pub quarantined: u64,
+}
+
+impl Default for CheckpointStore {
+    fn default() -> Self {
+        Self::with_generations(DEFAULT_GENERATIONS)
+    }
 }
 
 impl CheckpointStore {
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// A store retaining up to `k` generations (at least one).
+    pub fn with_generations(k: usize) -> Self {
+        CheckpointStore {
+            generations: VecDeque::new(),
+            capacity: k.max(1),
+            saves: 0,
+            full_bytes: 0,
+            delta_bytes: 0,
+            quarantined: 0,
+        }
+    }
+
+    /// Retained generation count.
+    pub fn generations(&self) -> usize {
+        self.generations.len()
     }
 
     /// Record a checkpoint of the run at `step`.
@@ -375,13 +607,17 @@ impl CheckpointStore {
         history: &TimeSeries,
     ) -> CheckpointStats {
         let full = dense_world_bytes(world);
-        let stats = match &mut self.latest {
+        let seal = crc_run(step, world, pool);
+        let stats = match self.generations.back() {
             None => {
-                self.latest = Some(RunCheckpoint {
-                    step,
-                    world: world.clone(),
-                    pool: pool.clone(),
-                    history: history.clone(),
+                self.generations.push_back(Generation {
+                    cp: RunCheckpoint {
+                        step,
+                        world: world.clone(),
+                        pool: pool.clone(),
+                        history: history.clone(),
+                    },
+                    seal,
                 });
                 CheckpointStats {
                     step,
@@ -390,13 +626,23 @@ impl CheckpointStore {
                     changed_voxels: world.nvoxels() as u64,
                 }
             }
-            Some(cp) => {
-                let delta = WorldDelta::diff(&cp.world, world);
-                delta.apply(&mut cp.world);
-                debug_assert_eq!(&cp.world, world, "incremental patch must reproduce");
-                cp.step = step;
-                cp.pool = pool.clone();
-                cp.history = history.clone();
+            Some(prev) => {
+                let delta = WorldDelta::diff(&prev.cp.world, world);
+                // Materialize the new generation by patching a clone of the
+                // previous one — the same work an encoded incremental store
+                // would do, and it keeps the patch path honest.
+                let mut next_world = prev.cp.world.clone();
+                delta.apply(&mut next_world);
+                debug_assert_eq!(&next_world, world, "incremental patch must reproduce");
+                self.generations.push_back(Generation {
+                    cp: RunCheckpoint {
+                        step,
+                        world: next_world,
+                        pool: pool.clone(),
+                        history: history.clone(),
+                    },
+                    seal,
+                });
                 CheckpointStats {
                     step,
                     full_bytes: full,
@@ -408,22 +654,71 @@ impl CheckpointStore {
                 }
             }
         };
+        while self.generations.len() > self.capacity {
+            self.generations.pop_front();
+        }
         self.saves += 1;
         self.full_bytes += stats.full_bytes;
         self.delta_bytes += stats.delta_bytes;
         stats
     }
 
-    /// The most recent checkpoint, if any save has happened.
+    /// The most recent checkpoint, if any save has happened. Does *not*
+    /// verify seals — fail-stop recovery can trust it; silent-corruption
+    /// recovery must go through [`latest_verified`](Self::latest_verified).
     pub fn latest(&self) -> Option<&RunCheckpoint> {
-        self.latest.as_ref()
+        self.generations.back().map(|g| &g.cp)
+    }
+
+    /// The newest generation whose CRC seal still verifies. Generations
+    /// that fail verification are quarantined (dropped and counted); if
+    /// every generation is corrupt the store ends up empty and the caller
+    /// must treat the run as unrecoverable from memory.
+    pub fn latest_verified(&mut self) -> Option<&RunCheckpoint> {
+        while let Some(g) = self.generations.back() {
+            if crc_run(g.cp.step, &g.cp.world, &g.cp.pool) == g.seal {
+                break;
+            }
+            self.generations.pop_back();
+            self.quarantined += 1;
+        }
+        self.generations.back().map(|g| &g.cp)
+    }
+
+    /// Test/injection hook: flip one seeded bit in the *newest* generation's
+    /// world, modeling corruption of a checkpoint at rest. Returns false if
+    /// the store is empty.
+    pub fn inject_corruption(&mut self, seed: u64) -> bool {
+        let Some(g) = self.generations.back_mut() else {
+            return false;
+        };
+        let mut rng = SplitMix64::new(seed);
+        let n = g.cp.world.nvoxels() as u64;
+        let i = (rng.next_u64() % n) as usize;
+        let w = &mut g.cp.world;
+        match rng.next_u64() % 3 {
+            0 => {
+                let bit = 1u32 << (rng.next_u64() % 32);
+                let v = w.virions.get(i);
+                w.virions.set(i, f32::from_bits(v.to_bits() ^ bit));
+            }
+            1 => {
+                let bit = 1u32 << (rng.next_u64() % 32);
+                let c = w.chemokine.get(i);
+                w.chemokine.set(i, f32::from_bits(c.to_bits() ^ bit));
+            }
+            _ => {
+                w.epi.timer[i] ^= 1 << (rng.next_u64() % 32);
+            }
+        }
+        true
     }
 }
 
 /// A cheap structural fingerprint of the parameters (hash of the debug
 /// formatting — parameters are plain data, so this is stable within a
 /// build and catches accidental mismatches).
-fn params_fingerprint(p: &SimParams) -> u64 {
+pub(crate) fn params_fingerprint(p: &SimParams) -> u64 {
     let s = format!("{p:?}");
     let mut h = 0xcbf29ce484222325u64; // FNV-1a
     for b in s.bytes() {
@@ -473,7 +768,8 @@ mod tests {
         let mut other = a.params.clone();
         other.infectivity *= 2.0;
         let e = restore(other, &blob).unwrap_err();
-        assert!(e.contains("fingerprint"), "{e}");
+        assert_eq!(e, CheckpointError::FingerprintMismatch);
+        assert!(e.to_string().contains("fingerprint"), "{e}");
     }
 
     #[test]
@@ -483,10 +779,16 @@ mod tests {
         let mut blob = save(&a);
         // Truncation.
         let short = &blob[..blob.len() / 2];
-        assert!(restore(a.params.clone(), short).is_err());
+        assert!(matches!(
+            restore(a.params.clone(), short),
+            Err(CheckpointError::Truncated { .. })
+        ));
         // Bad magic.
         blob[0] ^= 0xff;
-        assert!(restore(a.params.clone(), &blob).is_err());
+        assert_eq!(
+            restore(a.params.clone(), &blob).unwrap_err(),
+            CheckpointError::BadMagic
+        );
     }
 
     #[test]
@@ -497,7 +799,64 @@ mod tests {
         // Corrupt an epithelial state byte (header is 8+4+8+8+12 = 40).
         blob[45] = 99;
         let e = restore(a.params.clone(), &blob).unwrap_err();
-        assert!(e.contains("epithelial"), "{e}");
+        assert_eq!(e, CheckpointError::BadEpiState(99));
+        assert!(e.to_string().contains("epithelial"), "{e}");
+    }
+
+    #[test]
+    fn version_mismatch_between_entry_points() {
+        let mut a = sim();
+        a.advance_step();
+        let v1 = save(&a);
+        assert_eq!(
+            restore_run(&a.params, &v1).unwrap_err(),
+            CheckpointError::UnsupportedVersion(1)
+        );
+        let cp = RunCheckpoint {
+            step: a.step,
+            world: a.world.clone(),
+            pool: a.pool.clone(),
+            history: a.history.clone(),
+        };
+        let v2 = encode_run(&a.params, &cp);
+        assert_eq!(
+            restore(a.params.clone(), &v2).unwrap_err(),
+            CheckpointError::UnsupportedVersion(2)
+        );
+        // An unknown future version is rejected at the header.
+        let mut v9 = v1.clone();
+        v9[8..12].copy_from_slice(&9u32.to_le_bytes());
+        assert_eq!(
+            restore(a.params.clone(), &v9).unwrap_err(),
+            CheckpointError::UnsupportedVersion(9)
+        );
+    }
+
+    #[test]
+    fn run_blob_roundtrips_with_history() {
+        let mut a = sim();
+        for _ in 0..30 {
+            a.advance_step();
+        }
+        assert!(!a.history.is_empty(), "serial sim logs history");
+        let cp = RunCheckpoint {
+            step: a.step,
+            world: a.world.clone(),
+            pool: a.pool.clone(),
+            history: a.history.clone(),
+        };
+        let blob = encode_run(&a.params, &cp);
+        let back = restore_run(&a.params, &blob).unwrap();
+        assert_eq!(back, cp, "run checkpoint roundtrips bitwise");
+
+        // A hostile history count must be rejected without allocation.
+        let mut hostile = blob.clone();
+        let hist_at = blob.len() - 8 - cp.history.steps.len() * STEP_STATS_BYTES;
+        hostile[hist_at..hist_at + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(matches!(
+            restore_run(&a.params, &hostile).unwrap_err(),
+            CheckpointError::HistoryExceedsPayload { .. }
+        ));
     }
 
     /// Fuzz `restore` against hostile input: truncations at every length,
@@ -617,6 +976,48 @@ mod tests {
         }
         assert_eq!(store.saves, 4);
         assert!(store.delta_bytes < store.full_bytes);
+        // Four saves into a default (3-generation) store: the oldest was
+        // evicted, the newest is still `latest`.
+        assert_eq!(store.generations(), DEFAULT_GENERATIONS);
+    }
+
+    #[test]
+    fn quarantine_falls_back_to_the_newest_clean_generation() {
+        let mut a = sim();
+        let mut store = CheckpointStore::new();
+        let mut steps = Vec::new();
+        for _ in 0..3 {
+            for _ in 0..2 {
+                a.advance_step();
+            }
+            store.save(a.step, &a.world, &a.pool, &a.history);
+            steps.push(a.step);
+        }
+        assert_eq!(store.generations(), 3);
+        // Clean store: latest_verified is simply latest.
+        assert_eq!(store.latest_verified().unwrap().step, steps[2]);
+        assert_eq!(store.quarantined, 0);
+
+        // Corrupt the newest generation: verification must skip it.
+        assert!(store.inject_corruption(0xBAD_5EED));
+        assert_eq!(store.latest().unwrap().step, steps[2], "latest is blind");
+        let verified = store.latest_verified().unwrap();
+        assert_eq!(verified.step, steps[1], "fell back one generation");
+        assert_eq!(store.quarantined, 1);
+        assert_eq!(store.generations(), 2);
+
+        // Corrupt every remaining generation: the store runs dry.
+        assert!(store.inject_corruption(0xBAD_5EED + 1));
+        store.latest_verified();
+        assert!(store.inject_corruption(0xBAD_5EED + 2));
+        assert!(store.latest_verified().is_none());
+        assert_eq!(store.quarantined, 3);
+        assert_eq!(store.generations(), 0);
+
+        // The store still works after running dry.
+        a.advance_step();
+        store.save(a.step, &a.world, &a.pool, &a.history);
+        assert_eq!(store.latest_verified().unwrap().step, a.step);
     }
 
     #[test]

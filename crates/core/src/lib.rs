@@ -43,6 +43,7 @@ pub mod fields;
 pub mod foi;
 pub mod grid;
 pub mod halo;
+pub mod integrity;
 pub mod params;
 pub mod render;
 pub mod rng;
@@ -53,10 +54,14 @@ pub mod stats;
 pub mod tcell;
 pub mod world;
 
+pub use checkpoint::{CheckpointError, CheckpointStore, RunCheckpoint};
 pub use epithelial::{EpiCells, EpiState};
 pub use exact::ExactSum;
 pub use fields::Field;
 pub use grid::{Coord, GridDims};
+pub use integrity::{
+    crc_run, crc_state, AuditReport, IntegrityMonitor, IntegrityViolation, DEFAULT_AUDIT_PERIOD,
+};
 pub use params::SimParams;
 pub use rng::CounterRng;
 pub use serial::SerialSim;

@@ -94,10 +94,10 @@ pub struct Cohort {
 /// evolution is deterministic and partition-independent.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct VascularPool {
-    cohorts: VecDeque<Cohort>,
+    pub(crate) cohorts: VecDeque<Cohort>,
     /// Fractional generation carry so non-integer rates accumulate exactly.
-    carry: f64,
-    total: u64,
+    pub(crate) carry: f64,
+    pub(crate) total: u64,
 }
 
 impl VascularPool {

@@ -7,10 +7,11 @@
 
 use gpusim::metrics::{MetricsSink, SnapshotTaker};
 use gpusim::DeviceCounters;
-use pgas::fault::{FaultPlan, RecoveryRecord};
+use pgas::fault::{FaultPlan, IntegrityRecord, PendingStateCorruption, RecoveryRecord};
 use pgas::{CommCounters, WorkPool};
 use simcov_core::checkpoint::CheckpointStore;
 use simcov_core::decomp::{Partition, Strategy};
+use simcov_core::integrity::{IntegrityMonitor, DEFAULT_AUDIT_PERIOD};
 use simcov_core::params::SimParams;
 use simcov_core::stats::TimeSeries;
 use simcov_core::tcell::VascularPool;
@@ -38,6 +39,24 @@ impl Default for RecoveryPolicy {
             checkpoint_period: 16,
             max_retries: 8,
             backoff_base_ns: 1_000_000,
+        }
+    }
+}
+
+impl RecoveryPolicy {
+    /// Simulated backoff before retry `attempt` (1-based): `base << (attempt-1)`,
+    /// saturating at `u64::MAX` instead of overflowing once the shift would
+    /// push bits off the top — a hostile or runaway retry count must not
+    /// wrap the meter back to small values.
+    pub fn backoff_ns(&self, attempt: u32) -> u64 {
+        if self.backoff_base_ns == 0 {
+            return 0;
+        }
+        let shift = attempt.saturating_sub(1);
+        if shift > self.backoff_base_ns.leading_zeros() {
+            u64::MAX
+        } else {
+            self.backoff_base_ns << shift
         }
     }
 }
@@ -83,6 +102,20 @@ pub struct DriverCore {
     pub recovery: Option<RecoveryManager>,
     /// Recoveries completed since the last emitted step record.
     pub pending_recoveries: Vec<RecoveryRecord>,
+    /// Engaged SDC defense (None: no scrubbing or auditing).
+    pub integrity: Option<IntegrityMonitor>,
+    /// Integrity events detected since the last emitted step record.
+    pub pending_integrity: Vec<IntegrityRecord>,
+    /// Every integrity event of the run, in detection order (the SDC sweep
+    /// reads this even when no metrics sink is installed).
+    pub integrity_log: Vec<IntegrityRecord>,
+    /// State corruptions applied to unit state whose detection is still
+    /// outstanding — consumed (oldest first) when a scrub or audit fires to
+    /// attribute the detection to its injection step.
+    pub outstanding_corruptions: Vec<PendingStateCorruption>,
+    /// Simulation step at which each outstanding corruption was applied,
+    /// parallel to `outstanding_corruptions`.
+    pub outstanding_steps: Vec<u64>,
 }
 
 impl DriverCore {
@@ -106,6 +139,11 @@ impl DriverCore {
             (None, false) => Some(RecoveryManager::new(RecoveryPolicy::default())),
             (None, true) => None,
         };
+        // A plan that can corrupt silently engages the SDC defense at the
+        // default audit cadence; executors can tighten it via their configs.
+        let integrity = fault_plan
+            .has_corruption()
+            .then(|| IntegrityMonitor::new(DEFAULT_AUDIT_PERIOD));
         Ok(DriverCore {
             params,
             strategy,
@@ -120,6 +158,11 @@ impl DriverCore {
             retired_counters: DeviceCounters::new(),
             recovery: None,
             pending_recoveries: Vec::new(),
+            integrity,
+            pending_integrity: Vec::new(),
+            integrity_log: Vec::new(),
+            outstanding_corruptions: Vec::new(),
+            outstanding_steps: Vec::new(),
         }
         .with_recovery_manager(recovery))
     }
@@ -140,6 +183,24 @@ impl DriverCore {
         Ok(())
     }
 
+    /// Engage (or retune) the SDC defense: scrub every step, audit every
+    /// `audit_period` steps (0 = scrub only).
+    pub fn enable_integrity(&mut self, audit_period: u64) {
+        match self.integrity.as_mut() {
+            Some(mon) => mon.audit_period = audit_period,
+            None => self.integrity = Some(IntegrityMonitor::new(audit_period)),
+        }
+    }
+
+    /// Record one integrity event on the log and (when a metrics sink is
+    /// installed) the pending stream the next step record drains.
+    pub fn push_integrity(&mut self, rec: IntegrityRecord) {
+        if self.metrics.is_some() {
+            self.pending_integrity.push(rec.clone());
+        }
+        self.integrity_log.push(rec);
+    }
+
     /// Is a checkpoint due before computing the current step?
     pub fn checkpoint_due(&self) -> bool {
         match &self.recovery {
@@ -149,5 +210,35 @@ impl DriverCore {
                 Some(cp) => self.step >= cp.step + rm.policy.checkpoint_period.max(1),
             },
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_saturates_instead_of_wrapping() {
+        let policy = RecoveryPolicy::default();
+        assert_eq!(policy.backoff_ns(0), policy.backoff_base_ns);
+        assert_eq!(policy.backoff_ns(1), policy.backoff_base_ns);
+        assert_eq!(policy.backoff_ns(2), policy.backoff_base_ns * 2);
+        assert_eq!(policy.backoff_ns(5), policy.backoff_base_ns * 16);
+        // 1_000_000 ≈ 2^20: shift 44 is the last that fits, 45 saturates.
+        assert_eq!(policy.backoff_ns(45), 1_000_000u64 << 44);
+        assert_eq!(policy.backoff_ns(46), u64::MAX);
+        assert_eq!(policy.backoff_ns(u32::MAX), u64::MAX);
+        // Exactly at the boundary: the largest shift that still fits.
+        let p1 = RecoveryPolicy {
+            backoff_base_ns: 1,
+            ..policy
+        };
+        assert_eq!(p1.backoff_ns(64), 1u64 << 63);
+        assert_eq!(p1.backoff_ns(65), u64::MAX);
+        let p0 = RecoveryPolicy {
+            backoff_base_ns: 0,
+            ..policy
+        };
+        assert_eq!(p0.backoff_ns(u32::MAX), 0);
     }
 }

@@ -5,8 +5,10 @@
 //! bad input as data, so every invalid configuration maps to a
 //! [`ConfigError`] variant and every runtime failure to a [`SimError`].
 
-use pgas::fault::SuperstepFailure;
+use pgas::fault::SuperstepError;
+use simcov_core::checkpoint::CheckpointError;
 use simcov_core::grid::GridDims;
+use simcov_core::integrity::IntegrityViolation;
 use std::fmt;
 
 /// Why a simulation could not be constructed.
@@ -61,17 +63,25 @@ pub enum SimError {
     /// Construction-grade error surfaced at runtime (e.g. a rebuild after
     /// recovery could not re-partition the grid).
     Config(ConfigError),
-    /// A superstep failed and no recovery is possible: either no recovery
-    /// manager is engaged or no checkpoint exists to roll back to.
-    Unrecoverable(SuperstepFailure),
+    /// A superstep failed (fail-stop or unhealed corruption) and no
+    /// recovery is possible: either no recovery manager is engaged or no
+    /// checkpoint exists to roll back to.
+    Unrecoverable(SuperstepError),
     /// Recovery was attempted but failures kept recurring past the retry
     /// budget.
-    RetriesExhausted {
-        last: SuperstepFailure,
-        attempts: u32,
+    RetriesExhausted { last: SuperstepError, attempts: u32 },
+    /// Silent state corruption was detected but no *verified* checkpoint
+    /// generation remained to roll back to.
+    Integrity {
+        step: u64,
+        violation: IntegrityViolation,
     },
+    /// A checkpoint blob could not be parsed (durable restart path).
+    Checkpoint(CheckpointError),
     /// A checkpoint could not be restored into this simulation.
     Restore(String),
+    /// A durable checkpoint file could not be written or read.
+    Persist(String),
 }
 
 impl fmt::Display for SimError {
@@ -90,7 +100,12 @@ impl fmt::Display for SimError {
                     "recovery retries exhausted after {attempts} attempts: {last}"
                 )
             }
+            SimError::Integrity { step, violation } => {
+                write!(f, "state integrity violation at step {step}: {violation}")
+            }
+            SimError::Checkpoint(e) => write!(f, "checkpoint error: {e}"),
             SimError::Restore(why) => write!(f, "cannot restore checkpoint: {why}"),
+            SimError::Persist(why) => write!(f, "cannot persist checkpoint: {why}"),
         }
     }
 }
@@ -100,6 +115,12 @@ impl std::error::Error for SimError {}
 impl From<ConfigError> for SimError {
     fn from(e: ConfigError) -> Self {
         SimError::Config(e)
+    }
+}
+
+impl From<CheckpointError> for SimError {
+    fn from(e: CheckpointError) -> Self {
+        SimError::Checkpoint(e)
     }
 }
 
@@ -116,15 +137,23 @@ mod tests {
         assert!(format!("{e}").contains("9"));
         assert!(format!("{e}").contains("8"));
         let s = SimError::RetriesExhausted {
-            last: SuperstepFailure {
+            last: pgas::fault::SuperstepFailure {
                 superstep: 4,
                 dead_ranks: vec![0],
                 dropped_messages: 0,
-            },
+            }
+            .into(),
             attempts: 8,
         };
         assert!(format!("{s}").contains("8 attempts"));
         let via: SimError = ConfigError::ZeroUnits.into();
         assert!(matches!(via, SimError::Config(ConfigError::ZeroUnits)));
+        let iv = SimError::Integrity {
+            step: 12,
+            violation: IntegrityViolation::BadCarry,
+        };
+        assert!(format!("{iv}").contains("step 12"));
+        let ce: SimError = CheckpointError::BadMagic.into();
+        assert!(format!("{ce}").contains("bad magic"));
     }
 }

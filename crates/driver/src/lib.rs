@@ -12,12 +12,16 @@
 //! - [`RecoveryPolicy`] / [`RecoveryManager`] — checkpoint-based rollback
 //!   and elastic re-partitioning around injected or detected faults;
 //! - [`ConfigError`] / [`SimError`] — typed errors replacing the panicking
-//!   construction paths.
+//!   construction paths;
+//! - [`durable`] — CRC-guarded on-disk checkpoint persistence for crash
+//!   restart (`--resume` in the CLI).
 
 pub mod core;
+pub mod durable;
 pub mod error;
 pub mod simulation;
 
 pub use crate::core::{DriverCore, RecoveryManager, RecoveryPolicy};
+pub use durable::{load_checkpoint, persist_checkpoint};
 pub use error::{ConfigError, SimError};
 pub use simulation::{Executor, SerialDriver, Simulation};

@@ -11,11 +11,15 @@ use std::time::Instant;
 
 use gpusim::metrics::{MetricsSink, StepRecord};
 use gpusim::{CostModel, DeviceCounters, HwProfile};
-use pgas::fault::{RecoveryRecord, SuperstepFailure};
+use pgas::fault::{
+    CorruptionKind, IntegrityAction, IntegrityDetector, IntegrityRecord, PendingStateCorruption,
+    RecoveryRecord, SuperstepError,
+};
 use pgas::{CommCounters, Trace};
 use simcov_core::checkpoint::RunCheckpoint;
 use simcov_core::extrav::TrialTable;
 use simcov_core::foi::FoiPattern;
+use simcov_core::integrity::IntegrityViolation;
 use simcov_core::params::SimParams;
 use simcov_core::serial::SerialSim;
 use simcov_core::stats::{StatsPartial, StepStats, TimeSeries};
@@ -57,12 +61,28 @@ pub trait Executor {
 
     /// Compute step `t`: run the executor's supersteps and return the
     /// globally-reduced statistics partial. On `Err` the unit states are
-    /// not trustworthy; the driver rolls back and rebuilds.
-    fn compute_step(
-        &mut self,
-        t: u64,
-        trials: &TrialTable,
-    ) -> Result<StatsPartial, SuperstepFailure>;
+    /// not trustworthy; the driver rolls back and rebuilds. The error
+    /// distinguishes fail-stop failures from unhealed in-flight corruption
+    /// ([`SuperstepError::Integrity`]); both take the rollback tier.
+    fn compute_step(&mut self, t: u64, trials: &TrialTable)
+        -> Result<StatsPartial, SuperstepError>;
+
+    /// Drain the state-corruption events the fault plan scheduled during
+    /// the last `compute_step`. The driver applies them *after* resealing,
+    /// so the next prologue scrub is guaranteed to detect them.
+    fn take_pending_state_corruptions(&mut self) -> Vec<PendingStateCorruption> {
+        Vec::new()
+    }
+
+    /// Flip one seeded bit in unit `unit`'s resident model state (the SDC
+    /// injection the driver performs on behalf of the fault plan).
+    fn corrupt_unit_state(&mut self, _unit: usize, _seed: u64) {}
+
+    /// Drain integrity records accumulated by the BSP layer (in-barrier
+    /// retransmit heals); the driver stamps them with the simulation step.
+    fn take_bsp_integrity_records(&mut self) -> Vec<IntegrityRecord> {
+        Vec::new()
+    }
 
     /// Tear down the unit collection and rebuild it over `n_units` units
     /// from `world` (re-partitioning the grid — the elastic shrink after a
@@ -163,6 +183,12 @@ impl<E: Executor> Simulation for E {
         // replays the intermediate steps until the trajectory is one step
         // further than when we were called.
         while self.core().step < target {
+            // Prologue: verify the canonical state *before* compute consumes
+            // it and before a checkpoint could capture it. On a violation
+            // this rolls the run back to the newest verified generation.
+            if self.core().integrity.is_some() {
+                prologue_verify(self, &mut attempt)?;
+            }
             if self.core().checkpoint_due() {
                 let world = self.assemble_world();
                 let core = self.core_mut();
@@ -181,6 +207,7 @@ impl<E: Executor> Simulation for E {
                 Ok(partial) => {
                     attempt = 0;
                     finish_step(self, t, partial, start);
+                    epilogue_integrity(self, t);
                 }
                 Err(failure) => {
                     attempt += 1;
@@ -257,6 +284,12 @@ impl<E: Executor> Simulation for E {
         if let Some(rm) = core.recovery.as_mut() {
             rm.store = simcov_core::checkpoint::CheckpointStore::new();
         }
+        // Likewise the seal: the old one described the replaced state.
+        core.outstanding_corruptions.clear();
+        core.outstanding_steps.clear();
+        if let Some(mon) = core.integrity.as_mut() {
+            mon.reseal(&cp.world, &cp.pool);
+        }
         Ok(())
     }
 
@@ -328,6 +361,7 @@ fn emit_step_record<E: Executor + ?Sized>(
         real_seconds: start.map(|s| s.elapsed().as_secs_f64()).unwrap_or(0.0),
         phases: snap,
         recoveries: std::mem::take(&mut core.pending_recoveries),
+        integrity: std::mem::take(&mut core.pending_integrity),
     };
     core.prev_comm = comm;
     if let Some(sink) = core.metrics.as_mut() {
@@ -335,15 +369,179 @@ fn emit_step_record<E: Executor + ?Sized>(
     }
 }
 
+/// Prologue of every step while the SDC defense is engaged: scrub the
+/// canonical state against last step's seal, and run the invariant audit
+/// when due. A violation takes the rollback tier of the healing ladder.
+fn prologue_verify<E: Executor + ?Sized>(exec: &mut E, attempt: &mut u32) -> Result<(), SimError> {
+    let step = exec.core().step;
+    let audit_due = exec
+        .core()
+        .integrity
+        .as_ref()
+        .is_some_and(|mon| mon.audit_due(step));
+    let world = exec.assemble_world();
+    let core = exec.core_mut();
+    let Some(mon) = core.integrity.as_mut() else {
+        return Ok(());
+    };
+    let verdict = match mon.scrub(&world, &core.vascular) {
+        Err(v) => Some((v, IntegrityDetector::SealScrub)),
+        Ok(()) if audit_due => mon
+            .audit(&world, &core.vascular)
+            .err()
+            .map(|v| (v, IntegrityDetector::InvariantAudit)),
+        Ok(()) => None,
+    };
+    if let Some((violation, detector)) = verdict {
+        *attempt += 1;
+        integrity_rollback(exec, step, violation, detector, *attempt)?;
+    }
+    Ok(())
+}
+
+/// Epilogue of every completed step: stamp and publish the BSP layer's
+/// in-barrier heal records, reseal the post-step state, then apply any
+/// scheduled state corruption *after* the seal — so the flip lands on
+/// sealed state and the next prologue scrub is guaranteed to catch it.
+fn epilogue_integrity<E: Executor + ?Sized>(exec: &mut E, t: u64) {
+    let mut heals = exec.take_bsp_integrity_records();
+    if !heals.is_empty() {
+        let core = exec.core_mut();
+        for mut r in heals.drain(..) {
+            r.step = t;
+            r.injected_step = t;
+            core.push_integrity(r);
+        }
+    }
+    if exec.core().integrity.is_some() {
+        let world = exec.assemble_world();
+        let core = exec.core_mut();
+        if let Some(mon) = core.integrity.as_mut() {
+            mon.reseal(&world, &core.vascular);
+        }
+    }
+    let pending = exec.take_pending_state_corruptions();
+    for p in pending {
+        let unit = p.rank % exec.unit_count().max(1);
+        exec.corrupt_unit_state(unit, p.seed);
+        let core = exec.core_mut();
+        core.outstanding_corruptions.push(p);
+        core.outstanding_steps.push(t);
+    }
+}
+
+/// The rollback tier for *detected state corruption*: quarantine any
+/// checkpoint generation whose seal no longer verifies, restore the newest
+/// clean one, and reseal. Unlike fail-stop recovery no ranks died, so the
+/// partition geometry is kept.
+fn integrity_rollback<E: Executor + ?Sized>(
+    exec: &mut E,
+    failed_step: u64,
+    violation: IntegrityViolation,
+    detector: IntegrityDetector,
+    attempt: u32,
+) -> Result<(), SimError> {
+    let fatal = |step: u64, violation: IntegrityViolation| SimError::Integrity { step, violation };
+    let policy = match exec.core().recovery.as_ref() {
+        None => return Err(fatal(failed_step, violation)),
+        Some(rm) => rm.policy,
+    };
+    if attempt > policy.max_retries {
+        return Err(fatal(failed_step, violation));
+    }
+    // Quarantine corrupt generations; count how many fell.
+    let (cp, quarantined) = {
+        let rm = exec.core_mut().recovery.as_mut().expect("checked above");
+        let before = rm.store.quarantined;
+        let cp = rm.store.latest_verified().cloned();
+        (cp, rm.store.quarantined - before)
+    };
+    let core = exec.core_mut();
+    for _ in 0..quarantined {
+        core.push_integrity(IntegrityRecord {
+            step: failed_step,
+            injected_step: failed_step,
+            superstep: 0,
+            injected_superstep: 0,
+            kind: CorruptionKind::Checkpoint,
+            detector: IntegrityDetector::CheckpointSeal,
+            action: IntegrityAction::Quarantine,
+        });
+    }
+    // Attribute the detection to every outstanding injected corruption (a
+    // scrub fires once however many flips landed since the seal).
+    let injected: Vec<(PendingStateCorruption, u64)> = core
+        .outstanding_corruptions
+        .drain(..)
+        .zip(core.outstanding_steps.drain(..))
+        .collect();
+    if injected.is_empty() {
+        core.push_integrity(IntegrityRecord {
+            step: failed_step,
+            injected_step: failed_step,
+            superstep: 0,
+            injected_superstep: 0,
+            kind: CorruptionKind::State,
+            detector,
+            action: IntegrityAction::Rollback,
+        });
+    }
+    for (p, injected_step) in injected {
+        core.push_integrity(IntegrityRecord {
+            step: failed_step,
+            injected_step,
+            superstep: 0,
+            injected_superstep: p.superstep,
+            kind: CorruptionKind::State,
+            detector,
+            action: IntegrityAction::Rollback,
+        });
+    }
+    let Some(cp) = cp else {
+        // Every generation was corrupt: nothing trustworthy to roll to.
+        return Err(fatal(failed_step, violation));
+    };
+
+    let live = exec.live_counters();
+    exec.core_mut().retired_counters.merge(&live);
+    let survivors = exec.unit_count();
+    exec.rebuild(&cp.world, survivors)
+        .map_err(SimError::Config)?;
+
+    let record = RecoveryRecord {
+        failed_step,
+        superstep: 0,
+        dead_ranks: Vec::new(),
+        dropped_messages: 0,
+        rollback_step: cp.step,
+        replayed_steps: failed_step - cp.step,
+        survivors,
+        attempt,
+        backoff_ns: policy.backoff_ns(attempt),
+    };
+    let core = exec.core_mut();
+    core.vascular = cp.pool;
+    core.history = cp.history;
+    core.step = cp.step;
+    if let Some(mon) = core.integrity.as_mut() {
+        mon.reseal(&cp.world, &core.vascular);
+    }
+    let rm = core.recovery.as_mut().expect("checked above");
+    rm.log.push(record.clone());
+    core.pending_recoveries.push(record);
+    Ok(())
+}
+
 /// Roll back to the last checkpoint, re-partition across survivors and
 /// prime the replay. `attempt` counts consecutive failures at the current
 /// position (resets on any completed step).
 fn recover<E: Executor + ?Sized>(
     exec: &mut E,
-    failure: SuperstepFailure,
+    failure: SuperstepError,
     attempt: u32,
 ) -> Result<(), SimError> {
     let failed_step = exec.core().step;
+    let verify = exec.core().integrity.is_some();
     let policy = match exec.core().recovery.as_ref() {
         None => return Err(SimError::Unrecoverable(failure)),
         Some(rm) if rm.store.latest().is_none() => return Err(SimError::Unrecoverable(failure)),
@@ -355,36 +553,72 @@ fn recover<E: Executor + ?Sized>(
             attempts: attempt,
         });
     }
-    let cp = exec
-        .core()
-        .recovery
-        .as_ref()
-        .and_then(|rm| rm.store.latest())
-        .expect("checked above")
-        .clone();
+    // With the SDC defense engaged, never roll back onto a generation whose
+    // seal no longer verifies; without it, `latest` is trusted (fail-stop).
+    let (cp, quarantined) = {
+        let rm = exec.core_mut().recovery.as_mut().expect("checked above");
+        if verify {
+            let before = rm.store.quarantined;
+            let cp = rm.store.latest_verified().cloned();
+            (cp, rm.store.quarantined - before)
+        } else {
+            (rm.store.latest().cloned(), 0)
+        }
+    };
+    for _ in 0..quarantined {
+        exec.core_mut().push_integrity(IntegrityRecord {
+            step: failed_step,
+            injected_step: failed_step,
+            superstep: 0,
+            injected_superstep: 0,
+            kind: CorruptionKind::Checkpoint,
+            detector: IntegrityDetector::CheckpointSeal,
+            action: IntegrityAction::Quarantine,
+        });
+    }
+    let Some(cp) = cp else {
+        return Err(SimError::Unrecoverable(failure));
+    };
+    // An unhealed in-flight corruption that forced this rollback is a
+    // detected-and-healed event for the integrity stream.
+    if let SuperstepError::Integrity(ref i) = failure {
+        for _ in 0..i.unhealed.max(1) {
+            exec.core_mut().push_integrity(IntegrityRecord {
+                step: failed_step,
+                injected_step: failed_step,
+                superstep: i.superstep,
+                injected_superstep: i.superstep,
+                kind: CorruptionKind::Payload,
+                detector: IntegrityDetector::BatchCrc,
+                action: IntegrityAction::Rollback,
+            });
+        }
+    }
 
     // Retire the live work counters before the unit collection is torn
     // down, so totals never lose the failed epoch's work.
     let live = exec.live_counters();
     exec.core_mut().retired_counters.merge(&live);
 
-    let survivors = if failure.dead_ranks.is_empty() {
+    let (superstep, dead_ranks, dropped_messages) = match &failure {
+        SuperstepError::Failure(f) => (f.superstep, f.dead_ranks.clone(), f.dropped_messages),
+        SuperstepError::Integrity(i) => (i.superstep, Vec::new(), 0),
+    };
+    let survivors = if dead_ranks.is_empty() {
         exec.unit_count()
     } else {
-        exec.unit_count()
-            .saturating_sub(failure.dead_ranks.len())
-            .max(1)
+        exec.unit_count().saturating_sub(dead_ranks.len()).max(1)
     };
     exec.rebuild(&cp.world, survivors)
         .map_err(SimError::Config)?;
 
     // Simulated exponential backoff — metered in the record, never slept.
-    let backoff_ns = policy.backoff_base_ns << (attempt - 1).min(20);
+    let backoff_ns = policy.backoff_ns(attempt);
     let record = RecoveryRecord {
         failed_step,
-        superstep: failure.superstep,
-        dead_ranks: failure.dead_ranks,
-        dropped_messages: failure.dropped_messages,
+        superstep,
+        dead_ranks,
+        dropped_messages,
         rollback_step: cp.step,
         replayed_steps: failed_step - cp.step,
         survivors,
@@ -395,6 +629,13 @@ fn recover<E: Executor + ?Sized>(
     core.vascular = cp.pool;
     core.history = cp.history;
     core.step = cp.step;
+    // The rollback replaced the state wholesale: any applied-but-undetected
+    // corruption was wiped with it, so forget the attributions.
+    core.outstanding_corruptions.clear();
+    core.outstanding_steps.clear();
+    if let Some(mon) = core.integrity.as_mut() {
+        mon.reseal(&cp.world, &core.vascular);
+    }
     let rm = core.recovery.as_mut().expect("checked above");
     rm.log.push(record.clone());
     core.pending_recoveries.push(record);

@@ -12,7 +12,7 @@
 
 use crate::cost::{CostBreakdown, CostModel, HwProfile};
 use crate::counters::{CategoryCounters, DeviceCounters, KernelCategory};
-use pgas::fault::RecoveryRecord;
+use pgas::fault::{IntegrityRecord, RecoveryRecord};
 use std::sync::{Arc, Mutex};
 
 impl KernelCategory {
@@ -142,6 +142,9 @@ pub struct StepRecord {
     /// Fault recoveries (rollback + re-partition + replay) that completed
     /// while computing this step. Empty in healthy runs.
     pub recoveries: Vec<RecoveryRecord>,
+    /// Integrity events (detected corruption + the healing tier that fixed
+    /// it) attributed to this step. Empty in healthy runs.
+    pub integrity: Vec<IntegrityRecord>,
 }
 
 /// Consumer of per-step records. `Send` so an installed sink never stops a

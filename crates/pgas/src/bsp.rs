@@ -17,13 +17,22 @@
 //! and the per-rank inbox buffers swap front/back so allocations are reused.
 
 use crate::counters::{CommCounters, WireSize};
-use crate::fault::{FaultKind, FaultPlan, SuperstepFailure};
-use crate::mailbox::{Mailboxes, Outbox};
+use crate::crc::Payload;
+use crate::fault::{
+    CorruptionKind, FaultKind, FaultPlan, IntegrityAction, IntegrityDetector, IntegrityFailure,
+    IntegrityRecord, PendingStateCorruption, SuperstepError, SuperstepFailure,
+};
+use crate::mailbox::{ExchangeFaults, Mailboxes, Outbox};
 use crate::pool::WorkPool;
 #[cfg(feature = "trace")]
 use crate::trace::SpanVolume;
 use crate::trace::Trace;
 use std::sync::Mutex;
+
+/// Corrupt batches healed per superstep before the superstep is failed and
+/// the driver's rollback tier takes over. Real interconnects bound the
+/// retransmit window the same way; tests lower it to force the escalation.
+pub const DEFAULT_RETRANSMIT_BUDGET: u64 = 8;
 
 /// A BSP domain over `n_ranks` logical ranks exchanging messages of type `M`.
 pub struct Bsp<M> {
@@ -40,9 +49,20 @@ pub struct Bsp<M> {
     /// Scheduled fault injections (empty by default; see
     /// [`Bsp::inject_faults`]).
     plan: FaultPlan,
+    /// Compute + verify per-batch CRC64 checksums at every exchange.
+    /// Auto-engaged when the armed plan schedules corruption; off on the
+    /// healthy hot path.
+    verify_batches: bool,
+    /// Corrupt batches healed in-barrier per superstep before escalating.
+    retransmit_budget: u64,
+    /// State-corruption strikes collected from the plan, awaiting the
+    /// executor (the BSP cannot touch application state).
+    pending_state: Vec<PendingStateCorruption>,
+    /// In-barrier batch heals awaiting the driver's metrics drain.
+    integrity_records: Vec<IntegrityRecord>,
 }
 
-impl<M: Send + Sync + WireSize> Bsp<M> {
+impl<M: Send + Sync + WireSize + Payload> Bsp<M> {
     pub fn new(n_ranks: usize) -> Self {
         assert!(n_ranks >= 1);
         Bsp {
@@ -52,13 +72,22 @@ impl<M: Send + Sync + WireSize> Bsp<M> {
             counters: CommCounters::new(),
             trace: Trace::disabled(),
             plan: FaultPlan::none(),
+            verify_batches: false,
+            retransmit_budget: DEFAULT_RETRANSMIT_BUDGET,
+            pending_state: Vec::new(),
+            integrity_records: Vec::new(),
         }
     }
 
     /// Arm a fault schedule. Events fire at the global superstep index
     /// recorded in [`CommCounters::supersteps`], which keeps increasing
     /// across rollbacks — a replayed superstep never re-fires a past fault.
+    ///
+    /// Arming a plan that schedules corruption auto-engages batch
+    /// verification for the rest of the run (every coalesced batch then
+    /// carries a CRC64 trailer verified at delivery).
     pub fn inject_faults(&mut self, plan: FaultPlan) {
+        self.verify_batches = self.verify_batches || plan.has_corruption();
         self.plan = plan;
     }
 
@@ -67,12 +96,45 @@ impl<M: Send + Sync + WireSize> Bsp<M> {
         &self.plan
     }
 
+    /// Force batch CRC verification on even without a corruption plan
+    /// (used by overhead benches and the false-positive sweeps).
+    pub fn enable_integrity(&mut self) {
+        self.verify_batches = true;
+    }
+
+    /// Is per-batch CRC verification engaged?
+    pub fn integrity_enabled(&self) -> bool {
+        self.verify_batches
+    }
+
+    /// Cap the corrupt batches healed in-barrier per superstep; anything
+    /// beyond fails the superstep with an [`IntegrityFailure`].
+    pub fn set_retransmit_budget(&mut self, budget: u64) {
+        self.retransmit_budget = budget;
+    }
+
+    /// Drain the state-corruption strikes collected so far. The executor
+    /// applies each to the owning rank's resident state *after* the driver
+    /// seals the step, so the seal-scrub catches the flip before the next
+    /// step consumes it.
+    pub fn take_pending_state_corruptions(&mut self) -> Vec<PendingStateCorruption> {
+        std::mem::take(&mut self.pending_state)
+    }
+
+    /// Drain the in-barrier heal records (one per retransmitted batch) for
+    /// the metrics stream. `step` is left 0 — the driver stamps it.
+    pub fn take_integrity_records(&mut self) -> Vec<IntegrityRecord> {
+        std::mem::take(&mut self.integrity_records)
+    }
+
     /// Consume this runtime and return a fresh one over `n_ranks` ranks,
     /// carrying the cumulative counters, trace log and remaining fault plan
     /// forward. Used by recovery: after a rank death the driver rolls back
     /// to a checkpoint and rebuilds the domain across the survivors —
     /// in-flight messages from the failed epoch must not leak into the new
-    /// one, so inboxes start empty.
+    /// one, so inboxes start empty. Integrity settings and still-pending
+    /// state corruption carry over: a DRAM bit flip does not heal itself
+    /// just because the epoch was rebuilt.
     pub fn rebuilt(self, n_ranks: usize) -> Bsp<M> {
         assert!(n_ranks >= 1);
         Bsp {
@@ -82,6 +144,10 @@ impl<M: Send + Sync + WireSize> Bsp<M> {
             counters: self.counters,
             trace: self.trace,
             plan: self.plan,
+            verify_batches: self.verify_batches,
+            retransmit_budget: self.retransmit_budget,
+            pending_state: self.pending_state,
+            integrity_records: self.integrity_records,
         }
     }
 
@@ -132,12 +198,18 @@ impl<M: Send + Sync + WireSize> Bsp<M> {
     /// epoch's messages are partially delivered) — callers roll back to a
     /// checkpoint and rebuild via [`Bsp::rebuilt`]. The superstep counter
     /// still advances, so the retried superstep gets a fresh fault index.
+    ///
+    /// With integrity verification engaged, every coalesced batch is CRC64
+    /// verified at delivery. Corrupt batches are healed by in-barrier
+    /// retransmits up to the budget; beyond it the superstep fails with
+    /// [`SuperstepError::Integrity`]. A structural failure (dead ranks,
+    /// lost messages) takes precedence when both strike the same superstep.
     pub fn try_superstep<S, R, F>(
         &mut self,
         pool: &WorkPool,
         states: &mut [S],
         f: F,
-    ) -> Result<Vec<R>, SuperstepFailure>
+    ) -> Result<Vec<R>, SuperstepError>
     where
         S: Send,
         R: Send + Default,
@@ -154,6 +226,7 @@ impl<M: Send + Sync + WireSize> Bsp<M> {
         let mut drops: Vec<usize> = Vec::new();
         let mut dups: Vec<usize> = Vec::new();
         let mut shuffles: Vec<(usize, u64)> = Vec::new();
+        let mut corruptions: Vec<(usize, u64)> = Vec::new();
         if !self.plan.is_exhausted() {
             let n = self.n_ranks;
             for ev in self.plan.take_due(step_index) {
@@ -173,6 +246,14 @@ impl<M: Send + Sync + WireSize> Bsp<M> {
                             .wrapping_add(step_index.wrapping_mul(0x9E37_79B9_7F4A_7C15))
                             .wrapping_add((rank as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9));
                         shuffles.push((rank, stream));
+                    }
+                    FaultKind::PayloadCorruption { seed } => corruptions.push((rank, seed)),
+                    FaultKind::StateCorruption { seed } => {
+                        self.pending_state.push(PendingStateCorruption {
+                            superstep: step_index,
+                            rank,
+                            seed,
+                        });
                     }
                 }
             }
@@ -252,9 +333,17 @@ impl<M: Send + Sync + WireSize> Bsp<M> {
                 self.counters.duplicates_suppressed += self.outboxes[src].len() as u64;
             }
         }
-        let vol = self
-            .mail
-            .exchange(pool, &mut self.outboxes, &drops, &shuffles);
+        let vol = self.mail.exchange_faulted(
+            pool,
+            &mut self.outboxes,
+            &ExchangeFaults {
+                drops: &drops,
+                shuffles: &shuffles,
+                corruptions: &corruptions,
+                verify: self.verify_batches || !corruptions.is_empty(),
+                retransmit_budget: self.retransmit_budget,
+            },
+        );
         self.counters.supersteps += 1;
         self.counters.messages += vol.msgs;
         self.counters.bytes += vol.bytes;
@@ -266,17 +355,40 @@ impl<M: Send + Sync + WireSize> Bsp<M> {
         self.counters.max_rank_bytes = self.counters.max_rank_bytes.max(vol.max_rank_bytes);
         self.counters.dropped_messages += vol.dropped;
         self.counters.shuffled_inboxes += shuffles.len() as u64;
+        self.counters.integrity_bytes += vol.integrity_bytes;
+        self.counters.corruptions_landed += vol.corruptions_landed;
+        self.counters.corrupt_batches += vol.corrupt_batches;
+        self.counters.retransmits += vol.retransmits;
+        for _ in 0..vol.retransmits {
+            self.integrity_records.push(IntegrityRecord {
+                step: 0,          // stamped by the driver when drained
+                injected_step: 0, // likewise
+                superstep: step_index,
+                injected_superstep: step_index,
+                kind: CorruptionKind::Payload,
+                detector: IntegrityDetector::BatchCrc,
+                action: IntegrityAction::Retransmit,
+            });
+        }
         #[cfg(feature = "trace")]
         self.trace.finish(
             span,
             SpanVolume::new(vol.msgs, vol.bytes, vol.bulk_msgs, vol.bulk_bytes),
         );
         if !dead_ranks.is_empty() || vol.dropped > 0 {
-            return Err(SuperstepFailure {
+            return Err(SuperstepError::Failure(SuperstepFailure {
                 superstep: step_index,
                 dead_ranks,
                 dropped_messages: vol.dropped,
-            });
+            }));
+        }
+        if vol.unhealed > 0 {
+            return Err(SuperstepError::Integrity(IntegrityFailure {
+                superstep: step_index,
+                corrupt_batches: vol.corrupt_batches,
+                healed: vol.retransmits,
+                unhealed: vol.unhealed,
+            }));
         }
         Ok(results)
     }
@@ -448,6 +560,9 @@ mod tests {
                 *s += 1;
             })
             .expect_err("rank death must fail the superstep");
+        let SuperstepError::Failure(err) = err else {
+            panic!("expected a structural failure, got {err}");
+        };
         assert_eq!(err.superstep, 1);
         assert_eq!(err.dead_ranks, vec![2]);
         assert_eq!(err.dropped_messages, 0);
@@ -471,6 +586,9 @@ mod tests {
                 out.send((rank + 1) % 3, rank as u64);
             })
             .expect_err("message loss must fail the superstep");
+        let SuperstepError::Failure(err) = err else {
+            panic!("expected a structural failure, got {err}");
+        };
         assert!(err.dead_ranks.is_empty());
         assert_eq!(err.dropped_messages, 1);
         assert_eq!(bsp.counters.dropped_messages, 1);
@@ -556,7 +674,124 @@ mod tests {
         let err = bsp
             .try_superstep(&pool, &mut states, |_r, _s, _i, _o| {})
             .expect_err("wrapped rank death");
+        let SuperstepError::Failure(err) = err else {
+            panic!("expected a structural failure, got {err}");
+        };
         assert_eq!(err.dead_ranks, vec![1]);
+    }
+
+    /// A corruptible test message: one u64 whose bits are fully covered by
+    /// the digest (the blanket no-op `Payload` impl applies to `u64` itself,
+    /// so a newtype carries the real impl).
+    #[derive(Clone, Debug, PartialEq, Default)]
+    struct Word(u64);
+
+    impl WireSize for Word {
+        fn wire_size(&self) -> usize {
+            8
+        }
+    }
+
+    impl crate::crc::Payload for Word {
+        fn digest(&self, crc: &mut crate::crc::Crc64) {
+            crc.write_u64(self.0);
+        }
+        fn corrupt(&mut self, seed: u64) {
+            self.0 ^= 1 << (seed % 64);
+        }
+        fn corruptible(&self) -> bool {
+            true
+        }
+    }
+
+    #[test]
+    fn payload_corruption_is_healed_within_the_barrier() {
+        use crate::fault::{FaultEvent, FaultPlan};
+        let pool = WorkPool::new(0);
+        let run = |plan: FaultPlan| -> (Vec<Vec<u64>>, CommCounters) {
+            let mut bsp: Bsp<Word> = Bsp::new(3);
+            bsp.inject_faults(plan);
+            let mut states = vec![Vec::<u64>::new(); 3];
+            bsp.superstep(&pool, &mut states, |rank, _s, _i, out| {
+                for d in 0..3 {
+                    if d != rank {
+                        out.send(d, Word((rank * 100 + d) as u64));
+                    }
+                }
+            });
+            bsp.superstep(&pool, &mut states, |_rank, s, inbox, _o| {
+                *s = inbox.iter().map(|w| w.0).collect();
+            });
+            (states, bsp.counters)
+        };
+        let (clean, clean_counters) = run(FaultPlan::none());
+        let (healed, counters) = run(FaultPlan::from_events(vec![FaultEvent {
+            superstep: 0,
+            rank: 1,
+            kind: FaultKind::PayloadCorruption { seed: 0xFEED },
+        }]));
+        assert_eq!(clean, healed, "healed delivery must be pristine");
+        assert_eq!(counters.corruptions_landed, 1);
+        assert_eq!(counters.corrupt_batches, 1, "the flip was detected");
+        assert_eq!(counters.retransmits, 1, "and healed in-barrier");
+        assert_eq!(clean_counters.corrupt_batches, 0);
+        assert_eq!(clean_counters.integrity_bytes, 0, "defense off when clean");
+        assert!(counters.integrity_bytes > 0, "verified batches ship CRCs");
+    }
+
+    #[test]
+    fn exhausted_retransmit_budget_surfaces_integrity_failure() {
+        use crate::fault::{FaultEvent, FaultPlan};
+        let pool = WorkPool::new(0);
+        let mut bsp: Bsp<Word> = Bsp::new(2);
+        bsp.set_retransmit_budget(0);
+        bsp.inject_faults(FaultPlan::from_events(vec![FaultEvent {
+            superstep: 0,
+            rank: 0,
+            kind: FaultKind::PayloadCorruption { seed: 7 },
+        }]));
+        let mut states = vec![(); 2];
+        let err = bsp
+            .try_superstep(&pool, &mut states, |rank, _s, _i, out| {
+                out.send(1 - rank, Word(rank as u64));
+            })
+            .expect_err("zero budget must fail the superstep");
+        let SuperstepError::Integrity(err) = err else {
+            panic!("expected an integrity failure, got {err}");
+        };
+        assert_eq!(err.superstep, 0);
+        assert_eq!(err.corrupt_batches, 1);
+        assert_eq!(err.healed, 0);
+        assert_eq!(err.unhealed, 1);
+        assert_eq!(bsp.counters.supersteps, 1, "failed supersteps still count");
+    }
+
+    #[test]
+    fn state_corruption_is_collected_for_the_executor() {
+        use crate::fault::{FaultEvent, FaultPlan};
+        let pool = WorkPool::new(0);
+        let mut bsp: Bsp<Word> = Bsp::new(4);
+        bsp.inject_faults(FaultPlan::from_events(vec![FaultEvent {
+            superstep: 1,
+            rank: 6, // wraps to rank 2 on a 4-rank domain
+            kind: FaultKind::StateCorruption { seed: 0xAB },
+        }]));
+        assert!(bsp.integrity_enabled(), "corruption plan engages integrity");
+        let mut states = vec![(); 4];
+        for _ in 0..3 {
+            bsp.try_superstep(&pool, &mut states, |_r, _s, _i, _o| {})
+                .expect("state corruption alone never fails a superstep");
+        }
+        let pending = bsp.take_pending_state_corruptions();
+        assert_eq!(
+            pending,
+            vec![PendingStateCorruption {
+                superstep: 1,
+                rank: 2,
+                seed: 0xAB
+            }]
+        );
+        assert!(bsp.take_pending_state_corruptions().is_empty(), "drained");
     }
 
     #[test]

@@ -46,6 +46,15 @@ pub struct CommCounters {
     /// Inboxes whose delivery order was permuted by an injected
     /// [`DeliveryShuffle`](crate::fault::FaultKind::DeliveryShuffle) fault.
     pub shuffled_inboxes: u64,
+    /// CRC64 trailer bytes shipped with verified batches (8 per batch; 0
+    /// when integrity verification is off — the healthy default).
+    pub integrity_bytes: u64,
+    /// Injected in-flight corruptions that actually changed a batch.
+    pub corruptions_landed: u64,
+    /// Coalesced batches whose delivery-side CRC64 mismatched.
+    pub corrupt_batches: u64,
+    /// Corrupt batches healed by an in-barrier retransmit.
+    pub retransmits: u64,
 }
 
 impl CommCounters {
@@ -71,6 +80,10 @@ impl CommCounters {
         self.duplicates_suppressed += o.duplicates_suppressed;
         self.dropped_messages += o.dropped_messages;
         self.shuffled_inboxes += o.shuffled_inboxes;
+        self.integrity_bytes += o.integrity_bytes;
+        self.corruptions_landed += o.corruptions_landed;
+        self.corrupt_batches += o.corrupt_batches;
+        self.retransmits += o.retransmits;
     }
 
     /// Take the current values, resetting to zero.
@@ -121,6 +134,10 @@ mod tests {
             duplicates_suppressed: 2,
             dropped_messages: 1,
             shuffled_inboxes: 1,
+            integrity_bytes: 16,
+            corruptions_landed: 2,
+            corrupt_batches: 2,
+            retransmits: 1,
         };
         let b = CommCounters {
             supersteps: 2,
@@ -139,6 +156,10 @@ mod tests {
             duplicates_suppressed: 1,
             dropped_messages: 0,
             shuffled_inboxes: 2,
+            integrity_bytes: 8,
+            corruptions_landed: 1,
+            corrupt_batches: 1,
+            retransmits: 1,
         };
         a.merge(&b);
         assert_eq!(a.supersteps, 3);
@@ -157,6 +178,10 @@ mod tests {
         assert_eq!(a.duplicates_suppressed, 3);
         assert_eq!(a.dropped_messages, 1);
         assert_eq!(a.shuffled_inboxes, 3);
+        assert_eq!(a.integrity_bytes, 24);
+        assert_eq!(a.corruptions_landed, 3);
+        assert_eq!(a.corrupt_batches, 3);
+        assert_eq!(a.retransmits, 2);
 
         let taken = a.take();
         assert_eq!(taken.messages, 15);

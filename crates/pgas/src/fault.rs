@@ -49,6 +49,18 @@ pub enum FaultKind {
     /// distinct permutations). Not a failure — the schedule-adversarial
     /// suite uses this to prove the model is delivery-order independent.
     DeliveryShuffle { seed: u64 },
+    /// Silent data corruption in flight: one seeded bit flip lands in one of
+    /// the rank's outgoing coalesced (src, dst) mailbox batches after the
+    /// send-side checksum is taken. Detected by the delivery-side CRC64
+    /// verify; healed by an in-barrier retransmit (or surfaced as an
+    /// [`IntegrityFailure`] when the retransmit budget is exhausted).
+    PayloadCorruption { seed: u64 },
+    /// Silent data corruption at rest: one seeded bit flip lands in the
+    /// rank's resident voxel/cohort state between supersteps. The BSP layer
+    /// only *schedules* it (state layout is application-owned); the executor
+    /// applies the flip after the step's seal is taken, and the driver's
+    /// seal-scrub catches it before the next step consumes the state.
+    StateCorruption { seed: u64 },
 }
 
 /// One scheduled fault: `kind` strikes `rank` at global superstep index
@@ -81,6 +93,12 @@ pub struct FaultRates {
     pub stall: f64,
     /// Simulated lateness of each stall, nanoseconds.
     pub stall_ns: u64,
+    /// Probability a bit flip lands in one of the rank's in-flight mailbox
+    /// batches ([`FaultKind::PayloadCorruption`]).
+    pub payload_corruption: f64,
+    /// Probability a bit flip lands in the rank's resident state between
+    /// supersteps ([`FaultKind::StateCorruption`]).
+    pub state_corruption: f64,
 }
 
 impl Default for FaultRates {
@@ -91,6 +109,8 @@ impl Default for FaultRates {
             duplicate: 0.0,
             stall: 0.0,
             stall_ns: 50_000,
+            payload_corruption: 0.0,
+            state_corruption: 0.0,
         }
     }
 }
@@ -165,6 +185,38 @@ impl FaultPlan {
                 }
             }
         }
+        // The SDC channels draw from their own decorrelated stream so plans
+        // sampled before corruption rates existed stay byte-stable, and
+        // editing a corruption rate never reshuffles the fail-stop channels.
+        if rates.payload_corruption > 0.0 || rates.state_corruption > 0.0 {
+            let mut rng = SplitMix64::new(seed ^ 0x5DC5_DC5D_C5DC_5DC5);
+            for superstep in 0..horizon {
+                for rank in 0..n_ranks {
+                    // Four draws per cell, unconditionally, for the same
+                    // stream-stability reason as above.
+                    let u_payload = rng.next_f64();
+                    let u_state = rng.next_f64();
+                    let s_payload = rng.next_u64();
+                    let s_state = rng.next_u64();
+                    if u_payload < rates.payload_corruption {
+                        events.push(FaultEvent {
+                            superstep,
+                            rank,
+                            kind: FaultKind::PayloadCorruption { seed: s_payload },
+                        });
+                    } else if u_state < rates.state_corruption {
+                        events.push(FaultEvent {
+                            superstep,
+                            rank,
+                            kind: FaultKind::StateCorruption { seed: s_state },
+                        });
+                    }
+                }
+            }
+            // Stable sort: fail-stop events keep preceding same-superstep
+            // corruption events, so merged plans stay deterministic.
+            events.sort_by_key(|e| e.superstep);
+        }
         FaultPlan { events, cursor: 0 }
     }
 
@@ -199,6 +251,19 @@ impl FaultPlan {
     /// All scheduled events (fired and pending), in superstep order.
     pub fn events(&self) -> &[FaultEvent] {
         &self.events
+    }
+
+    /// Does the plan schedule any silent-data-corruption event? The runtime
+    /// uses this to auto-engage batch checksumming and state seal-scrubbing
+    /// only when corruption can actually strike, keeping the healthy hot
+    /// path untouched.
+    pub fn has_corruption(&self) -> bool {
+        self.events.iter().any(|e| {
+            matches!(
+                e.kind,
+                FaultKind::PayloadCorruption { .. } | FaultKind::StateCorruption { .. }
+            )
+        })
     }
 
     /// Consume and return every event scheduled at or before `superstep`.
@@ -241,6 +306,183 @@ impl fmt::Display for SuperstepFailure {
 
 impl std::error::Error for SuperstepFailure {}
 
+/// A superstep during which the delivery-side CRC64 verify found corrupt
+/// coalesced batches that could **not** all be healed within the barrier
+/// (the per-superstep retransmit budget ran out). The delivered inboxes are
+/// not trustworthy — callers roll back to a verified checkpoint exactly as
+/// for a [`SuperstepFailure`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IntegrityFailure {
+    /// Global superstep index (cumulative counter) at which corruption hit.
+    pub superstep: u64,
+    /// Coalesced batches whose delivery-side CRC64 mismatched.
+    pub corrupt_batches: u64,
+    /// Batches healed by an in-barrier retransmit.
+    pub healed: u64,
+    /// Batches left corrupt after the retransmit budget was exhausted.
+    pub unhealed: u64,
+}
+
+impl fmt::Display for IntegrityFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "superstep {} integrity failure: {} corrupt batch(es), {} healed in-barrier, {} beyond the retransmit budget",
+            self.superstep, self.corrupt_batches, self.healed, self.unhealed
+        )
+    }
+}
+
+impl std::error::Error for IntegrityFailure {}
+
+/// Why a superstep did not complete cleanly: a fail-stop structural failure
+/// (dead ranks / lost messages) or a data-integrity failure (unhealed
+/// corrupt batches). When both strike the same superstep the structural
+/// failure takes precedence — rollback covers both.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SuperstepError {
+    /// Ranks died or messages were lost; see [`SuperstepFailure`].
+    Failure(SuperstepFailure),
+    /// Corrupt batches survived the in-barrier retransmit budget.
+    Integrity(IntegrityFailure),
+}
+
+impl SuperstepError {
+    /// Global superstep index at which the error hit.
+    pub fn superstep(&self) -> u64 {
+        match self {
+            SuperstepError::Failure(f) => f.superstep,
+            SuperstepError::Integrity(i) => i.superstep,
+        }
+    }
+}
+
+impl fmt::Display for SuperstepError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SuperstepError::Failure(e) => e.fmt(f),
+            SuperstepError::Integrity(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for SuperstepError {}
+
+impl From<SuperstepFailure> for SuperstepError {
+    fn from(f: SuperstepFailure) -> Self {
+        SuperstepError::Failure(f)
+    }
+}
+
+impl From<IntegrityFailure> for SuperstepError {
+    fn from(f: IntegrityFailure) -> Self {
+        SuperstepError::Integrity(f)
+    }
+}
+
+/// Which class of silent data corruption an [`IntegrityRecord`] concerns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CorruptionKind {
+    /// A bit flip in an in-flight coalesced mailbox batch.
+    Payload,
+    /// A bit flip in a rank's resident voxel/cohort state.
+    State,
+    /// A bit flip inside a stored checkpoint generation.
+    Checkpoint,
+}
+
+impl CorruptionKind {
+    pub fn name(&self) -> &'static str {
+        match self {
+            CorruptionKind::Payload => "payload",
+            CorruptionKind::State => "state",
+            CorruptionKind::Checkpoint => "checkpoint",
+        }
+    }
+}
+
+/// Which detector in the lattice caught the corruption.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IntegrityDetector {
+    /// Delivery-side CRC64 over a coalesced (src, dst) batch.
+    BatchCrc,
+    /// End-of-step state seal verified before the next step consumes it.
+    SealScrub,
+    /// ABFT conservation-invariant audit (exact summation).
+    InvariantAudit,
+    /// CRC64 seal over a stored checkpoint generation.
+    CheckpointSeal,
+}
+
+impl IntegrityDetector {
+    pub fn name(&self) -> &'static str {
+        match self {
+            IntegrityDetector::BatchCrc => "batch-crc",
+            IntegrityDetector::SealScrub => "seal-scrub",
+            IntegrityDetector::InvariantAudit => "invariant-audit",
+            IntegrityDetector::CheckpointSeal => "checkpoint-seal",
+        }
+    }
+}
+
+/// Which rung of the self-healing ladder repaired the damage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IntegrityAction {
+    /// The corrupt batch was retransmitted within the barrier.
+    Retransmit,
+    /// The run rolled back to the last verified checkpoint and replayed.
+    Rollback,
+    /// A corrupt checkpoint generation was quarantined; recovery fell back
+    /// to an older generation.
+    Quarantine,
+}
+
+impl IntegrityAction {
+    pub fn name(&self) -> &'static str {
+        match self {
+            IntegrityAction::Retransmit => "retransmit",
+            IntegrityAction::Rollback => "rollback",
+            IntegrityAction::Quarantine => "quarantine",
+        }
+    }
+}
+
+/// A [`FaultKind::StateCorruption`] strike collected by the BSP layer for
+/// the executor to apply — the runtime schedules the flip but cannot touch
+/// application-owned rank state. `superstep` is the global index at which
+/// the strike was scheduled (used for detection-latency accounting).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PendingStateCorruption {
+    pub superstep: u64,
+    pub rank: usize,
+    pub seed: u64,
+}
+
+/// One detected (and healed) corruption, surfaced through the metrics layer
+/// (`gpusim::metrics::StepRecord::integrity`) so bench artifacts can plot
+/// detection latency and recovery cost.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IntegrityRecord {
+    /// Simulation step at which the corruption was *detected*.
+    pub step: u64,
+    /// Simulation step at which the corruption was *injected* (equal to
+    /// `step` for in-barrier batch detection; earlier for state corruption
+    /// caught by a later scrub). `step - injected_step` is the detection
+    /// latency the SDC sweep plots.
+    pub injected_step: u64,
+    /// Global superstep index at detection (0 for step-boundary detectors).
+    pub superstep: u64,
+    /// Global superstep index at which the corruption was *injected* (equal
+    /// to `superstep` for in-barrier batch detection).
+    pub injected_superstep: u64,
+    /// What was corrupted.
+    pub kind: CorruptionKind,
+    /// Which detector caught it.
+    pub detector: IntegrityDetector,
+    /// Which healing tier repaired it.
+    pub action: IntegrityAction,
+}
+
 /// One recovery performed by the driver: rollback to a checkpoint,
 /// re-partition across survivors, replay. Surfaced through the metrics layer
 /// (`gpusim::metrics::StepRecord::recoveries`) so bench artifacts can plot
@@ -267,19 +509,21 @@ pub struct RecoveryRecord {
     pub backoff_ns: u64,
 }
 
-/// SplitMix64 — tiny, seedable, full-period; used only for fault sampling
-/// and delivery shuffles so the model's counter-based RNG stream is
-/// untouched.
-pub(crate) struct SplitMix64 {
+/// SplitMix64 — tiny, seedable, full-period; used only for fault sampling,
+/// delivery shuffles and corruption targeting so the model's counter-based
+/// RNG stream is untouched. Public so the fault-injection layers in other
+/// crates (state bit flips in executors, checkpoint corruption in the
+/// driver) derive their targets from the same deterministic generator.
+pub struct SplitMix64 {
     state: u64,
 }
 
 impl SplitMix64 {
-    pub(crate) fn new(seed: u64) -> Self {
+    pub fn new(seed: u64) -> Self {
         SplitMix64 { state: seed }
     }
 
-    pub(crate) fn next_u64(&mut self) -> u64 {
+    pub fn next_u64(&mut self) -> u64 {
         self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
         let mut z = self.state;
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
@@ -288,7 +532,7 @@ impl SplitMix64 {
     }
 
     /// Uniform in [0, 1).
-    fn next_f64(&mut self) -> f64 {
+    pub fn next_f64(&mut self) -> f64 {
         (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 }
@@ -305,6 +549,7 @@ mod tests {
             duplicate: 0.05,
             stall: 0.1,
             stall_ns: 1000,
+            ..FaultRates::default()
         };
         let a = FaultPlan::seeded(42, &rates, 8, 200);
         let b = FaultPlan::seeded(42, &rates, 8, 200);
@@ -355,6 +600,82 @@ mod tests {
         assert_eq!(due.len(), 2);
         assert!(plan.is_exhausted());
         assert!(plan.take_due(u64::MAX).is_empty());
+    }
+
+    #[test]
+    fn corruption_rates_sample_their_own_stream() {
+        // Turning corruption on must not disturb the fail-stop channels.
+        let fail_stop = FaultRates {
+            death: 0.01,
+            drop: 0.02,
+            ..FaultRates::default()
+        };
+        let with_sdc = FaultRates {
+            payload_corruption: 0.05,
+            state_corruption: 0.05,
+            ..fail_stop
+        };
+        let legacy = FaultPlan::seeded(42, &fail_stop, 8, 200);
+        let merged = FaultPlan::seeded(42, &with_sdc, 8, 200);
+        let merged_fail_stop: Vec<_> = merged
+            .events()
+            .iter()
+            .filter(|e| {
+                !matches!(
+                    e.kind,
+                    FaultKind::PayloadCorruption { .. } | FaultKind::StateCorruption { .. }
+                )
+            })
+            .copied()
+            .collect();
+        assert_eq!(legacy.events(), merged_fail_stop.as_slice());
+        assert!(merged.has_corruption());
+        assert!(!legacy.has_corruption());
+        // Corruption event seeds must differ between events (each flip
+        // targets a different bit).
+        let seeds: Vec<u64> = merged
+            .events()
+            .iter()
+            .filter_map(|e| match e.kind {
+                FaultKind::PayloadCorruption { seed } | FaultKind::StateCorruption { seed } => {
+                    Some(seed)
+                }
+                _ => None,
+            })
+            .collect();
+        assert!(seeds.len() > 10, "rates this high must yield corruptions");
+        let mut dedup = seeds.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), seeds.len(), "per-event seeds must be unique");
+        // Still sorted by superstep — take_due relies on it.
+        assert!(merged
+            .events()
+            .windows(2)
+            .all(|w| w[0].superstep <= w[1].superstep));
+    }
+
+    #[test]
+    fn integrity_failure_displays_and_wraps() {
+        let i = IntegrityFailure {
+            superstep: 9,
+            corrupt_batches: 3,
+            healed: 2,
+            unhealed: 1,
+        };
+        let s = format!("{i}");
+        assert!(s.contains("superstep 9"));
+        assert!(s.contains("3 corrupt batch(es)"));
+        assert!(s.contains("1 beyond the retransmit budget"));
+        let e = SuperstepError::from(i.clone());
+        assert_eq!(e.superstep(), 9);
+        assert_eq!(format!("{e}"), s);
+        let f = SuperstepError::from(SuperstepFailure {
+            superstep: 4,
+            dead_ranks: vec![1],
+            dropped_messages: 0,
+        });
+        assert_eq!(f.superstep(), 4);
     }
 
     #[test]

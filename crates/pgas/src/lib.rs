@@ -15,19 +15,31 @@
 //!
 //! Communication volumes (messages, bytes) are metered in [`CommCounters`];
 //! the `gpusim` cost model converts them into simulated network time.
+//!
+//! Silent-data-corruption defense lives alongside the fail-stop fault model:
+//! [`crc`] provides the zero-dependency CRC64 and the [`Payload`] integrity
+//! trait, the mailbox layer checksums every coalesced batch when corruption
+//! can strike, and [`fault`] schedules the corruption itself
+//! ([`FaultKind::PayloadCorruption`] / [`FaultKind::StateCorruption`]).
 
 pub mod bsp;
 pub mod counters;
+pub mod crc;
 pub mod fault;
 pub mod mailbox;
 pub mod pool;
 pub mod reduce;
 pub mod trace;
 
-pub use bsp::Bsp;
+pub use bsp::{Bsp, DEFAULT_RETRANSMIT_BUDGET};
 pub use counters::CommCounters;
-pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultRates, RecoveryRecord, SuperstepFailure};
-pub use mailbox::{ExchangeVolume, Mailboxes, Outbox, BATCH_HEADER_BYTES};
+pub use crc::{crc64, Crc64, Payload};
+pub use fault::{
+    CorruptionKind, FaultEvent, FaultKind, FaultPlan, FaultRates, IntegrityAction,
+    IntegrityDetector, IntegrityFailure, IntegrityRecord, PendingStateCorruption, RecoveryRecord,
+    SplitMix64, SuperstepError, SuperstepFailure,
+};
+pub use mailbox::{ExchangeFaults, ExchangeVolume, Mailboxes, Outbox, BATCH_HEADER_BYTES};
 pub use pool::WorkPool;
 pub use reduce::{allreduce, tree_depth};
 pub use trace::{Span, SpanVolume, Trace, TraceEvent};

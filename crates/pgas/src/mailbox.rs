@@ -20,6 +20,13 @@
 //!   exactly one pool worker, and bucket (src, d) is drained by exactly that
 //!   worker, so the whole delivery fan-in runs in parallel without a single
 //!   lock or atomic on the data path.
+//! - **Batch integrity** — when verification is engaged (any plan scheduling
+//!   [`PayloadCorruption`]), every coalesced batch carries a CRC64 computed
+//!   send-side over the pristine content and re-verified by the assembling
+//!   worker at delivery. A mismatching batch is healed by an in-barrier
+//!   retransmit (modeled as re-applying the XOR flip, which restores the
+//!   pristine bytes) up to a deterministic per-superstep budget; anything
+//!   beyond the budget is reported so the caller can fail the superstep.
 //!
 //! Delivery stays canonical: sources are appended in ascending rank order,
 //! so an inbox is ordered by (source rank, emission order within the source)
@@ -28,15 +35,24 @@
 //! permutes an assembled inbox with a seeded shuffle, which the
 //! schedule-adversarial test suite uses to prove the model does not depend
 //! on that ordering.
+//!
+//! [`PayloadCorruption`]: crate::fault::FaultKind::PayloadCorruption
 
 use crate::counters::WireSize;
+use crate::crc::{Crc64, Payload};
 use crate::fault::SplitMix64;
 use crate::pool::WorkPool;
 
+pub mod frame;
+
 /// Framing overhead of one coalesced (src, dst) batch: an 8-byte message
 /// count plus an 8-byte payload length, paid once per batch — never per
-/// logical message.
+/// logical message. The CRC64 trailer added when integrity verification is
+/// engaged is metered separately in [`ExchangeVolume::integrity_bytes`].
 pub const BATCH_HEADER_BYTES: u64 = 16;
+
+/// On-wire bytes of the CRC64 trailer each verified batch carries.
+pub const BATCH_CRC_BYTES: u64 = 8;
 
 /// Per-rank message staging for one superstep, bucketed by destination so
 /// the barrier can ship each (src, dst) pair as one coalesced batch.
@@ -104,6 +120,59 @@ pub struct ExchangeVolume {
     pub max_rank_bytes: u64,
     /// Messages lost to an injected drop fault.
     pub dropped: u64,
+    /// CRC64 trailer bytes shipped (8 per verified batch; 0 when integrity
+    /// verification is off).
+    pub integrity_bytes: u64,
+    /// Batches whose in-flight corruption actually changed their content
+    /// (a flip that cancels itself out is vacuous and not counted).
+    pub corruptions_landed: u64,
+    /// Batches whose delivery-side CRC64 mismatched.
+    pub corrupt_batches: u64,
+    /// Corrupt batches healed by an in-barrier retransmit.
+    pub retransmits: u64,
+    /// Corrupt batches left unhealed (retransmit budget exhausted) — the
+    /// caller must fail the superstep.
+    pub unhealed: u64,
+}
+
+/// Everything the fault layer can do to one barrier exchange. Split out so
+/// the healthy call sites stay terse ([`ExchangeFaults::default`] injects
+/// nothing and verifies nothing).
+pub struct ExchangeFaults<'a> {
+    /// Source ranks whose entire outbox is lost in flight.
+    pub drops: &'a [usize],
+    /// `(dest, seed)` pairs whose assembled inbox is permuted.
+    pub shuffles: &'a [(usize, u64)],
+    /// `(src, seed)` payload-corruption events: one seeded bit flip lands in
+    /// one of `src`'s in-flight batches, after the send-side CRC is taken.
+    pub corruptions: &'a [(usize, u64)],
+    /// Compute and verify per-batch CRC64 checksums.
+    pub verify: bool,
+    /// Corrupt batches healed in-barrier before the superstep is failed.
+    pub retransmit_budget: u64,
+}
+
+impl Default for ExchangeFaults<'static> {
+    fn default() -> Self {
+        ExchangeFaults {
+            drops: &[],
+            shuffles: &[],
+            corruptions: &[],
+            verify: false,
+            retransmit_budget: u64::MAX,
+        }
+    }
+}
+
+/// One landed in-flight bit flip: message `idx` of bucket (src, dst) was
+/// XOR-corrupted with `seed`. `heal` marks whether the retransmit budget
+/// covers this batch.
+struct Flip {
+    src: usize,
+    dst: usize,
+    idx: usize,
+    seed: u64,
+    heal: bool,
 }
 
 /// Double-buffered per-rank inboxes: `front` is read during compute, `back`
@@ -132,13 +201,22 @@ impl<M> Mailboxes<M> {
     }
 }
 
-impl<M: Send + WireSize> Mailboxes<M> {
-    /// Run one barrier exchange: meter every (src, dst) bucket, assemble the
-    /// back inboxes in parallel (lock-free — see the module docs for the
-    /// unique-writer argument), apply any due delivery shuffles, and swap
-    /// the buffers. Sources listed in `drops` are lost in flight (metered in
-    /// [`ExchangeVolume::dropped`], not delivered); `shuffles` holds
-    /// `(dest, seed)` pairs whose assembled inbox is permuted.
+/// Send-side/delivery-side digest of one coalesced batch: message count
+/// first (so truncation is detectable), then every payload's wire content.
+fn batch_crc<M: Payload>(bucket: &[M]) -> u64 {
+    let mut c = Crc64::new();
+    c.write_len(bucket.len());
+    for m in bucket {
+        m.digest(&mut c);
+    }
+    c.finish()
+}
+
+impl<M: Send + WireSize + Payload> Mailboxes<M> {
+    /// Run one barrier exchange with no faults and no verification — the
+    /// healthy hot path benchmarked by the perf gate. Equivalent to
+    /// [`Mailboxes::exchange_faulted`] with `drops`/`shuffles` and default
+    /// integrity settings.
     pub fn exchange(
         &mut self,
         pool: &WorkPool,
@@ -146,13 +224,51 @@ impl<M: Send + WireSize> Mailboxes<M> {
         drops: &[usize],
         shuffles: &[(usize, u64)],
     ) -> ExchangeVolume {
+        self.exchange_faulted(
+            pool,
+            outboxes,
+            &ExchangeFaults {
+                drops,
+                shuffles,
+                ..ExchangeFaults::default()
+            },
+        )
+    }
+
+    /// Run one barrier exchange: meter every (src, dst) bucket, assemble the
+    /// back inboxes in parallel (lock-free — see the module docs for the
+    /// unique-writer argument), apply any due faults, and swap the buffers.
+    ///
+    /// When `faults.verify` is set, the metering pass also digests every
+    /// batch (CRC64 over the pristine content), scheduled corruption bit
+    /// flips are applied "in flight" *after* the digests are taken, and each
+    /// assembling worker re-verifies its batches at delivery. Corrupt
+    /// batches are healed by an in-barrier retransmit up to
+    /// `faults.retransmit_budget`; [`ExchangeVolume::unhealed`] reports
+    /// anything beyond it.
+    pub fn exchange_faulted(
+        &mut self,
+        pool: &WorkPool,
+        outboxes: &mut [Outbox<M>],
+        faults: &ExchangeFaults<'_>,
+    ) -> ExchangeVolume {
         let n = self.front.len();
         debug_assert_eq!(outboxes.len(), n, "one outbox per rank");
+        let drops = faults.drops;
+        let shuffles = faults.shuffles;
+        let verify = faults.verify;
+        // Injecting corruption needs the pristine digests even when delivery
+        // verification is off (to tell a landed flip from a cancelled one),
+        // but only `verify` ships CRC trailers or detects anything.
+        let track = verify || !faults.corruptions.is_empty();
 
         // Metering pass: exact legacy per-logical-message totals plus the
         // coalesced batch totals. One batch per non-empty (src, dst) bucket;
         // its wire size is the framing header plus each payload exactly once.
+        // When verifying, this same pass takes the send-side CRC of every
+        // batch while the content is still pristine.
         let mut vol = ExchangeVolume::default();
+        let mut crcs: Vec<u64> = if track { vec![0; n * n] } else { Vec::new() };
         for (src, ob) in outboxes.iter().enumerate() {
             if drops.contains(&src) {
                 vol.dropped += ob.total as u64;
@@ -160,7 +276,7 @@ impl<M: Send + WireSize> Mailboxes<M> {
             }
             let mut rank_msgs = 0u64;
             let mut rank_bytes = 0u64;
-            for bucket in &ob.buckets {
+            for (dst, bucket) in ob.buckets.iter().enumerate() {
                 if bucket.is_empty() {
                     continue;
                 }
@@ -178,6 +294,12 @@ impl<M: Send + WireSize> Mailboxes<M> {
                 }
                 vol.batches += 1;
                 vol.batch_bytes += BATCH_HEADER_BYTES + payload;
+                if track {
+                    crcs[src * n + dst] = batch_crc(bucket);
+                    if verify {
+                        vol.integrity_bytes += BATCH_CRC_BYTES;
+                    }
+                }
             }
             vol.msgs += rank_msgs;
             vol.bytes += rank_bytes;
@@ -185,10 +307,71 @@ impl<M: Send + WireSize> Mailboxes<M> {
             vol.max_rank_bytes = vol.max_rank_bytes.max(rank_bytes);
         }
 
+        // Corruption strikes in flight — after the send-side digests, before
+        // delivery. Each event picks one of the source's corruptible batches
+        // and one message within it, all derived from the event seed.
+        let mut flips: Vec<Flip> = Vec::new();
+        for &(src, seed) in faults.corruptions {
+            if src >= n || drops.contains(&src) {
+                continue; // a dropped outbox has nothing left to corrupt
+            }
+            let mut rng = SplitMix64::new(seed);
+            let candidates: Vec<usize> = outboxes[src]
+                .buckets
+                .iter()
+                .enumerate()
+                .filter(|(_, b)| b.iter().any(|m| m.corruptible()))
+                .map(|(d, _)| d)
+                .collect();
+            if candidates.is_empty() {
+                continue; // nothing in flight with flippable bits: vacuous
+            }
+            let dst = candidates[(rng.next_u64() % candidates.len() as u64) as usize];
+            let bucket = &mut outboxes[src].buckets[dst];
+            let targets: Vec<usize> = (0..bucket.len())
+                .filter(|&i| bucket[i].corruptible())
+                .collect();
+            let idx = targets[(rng.next_u64() % targets.len() as u64) as usize];
+            let flip_seed = rng.next_u64();
+            bucket[idx].corrupt(flip_seed);
+            flips.push(Flip {
+                src,
+                dst,
+                idx,
+                seed: flip_seed,
+                heal: false,
+            });
+        }
+        // Count batches whose content actually changed (two flips can cancel
+        // each other out bit-for-bit; such a batch is vacuously clean and
+        // must not be promised as "detectable"). Then spend the retransmit
+        // budget in flight order — deterministic, no races with assembly.
+        if !flips.is_empty() {
+            let mut landed: Vec<(usize, usize)> = Vec::new();
+            for f in &flips {
+                if !landed.contains(&(f.src, f.dst)) {
+                    landed.push((f.src, f.dst));
+                }
+            }
+            landed.retain(|&(s, d)| batch_crc(&outboxes[s].buckets[d]) != crcs_at(&crcs, n, s, d));
+            vol.corruptions_landed = landed.len() as u64;
+            let budget = faults.retransmit_budget.min(landed.len() as u64) as usize;
+            let healed: &[(usize, usize)] = &landed[..budget];
+            for f in &mut flips {
+                f.heal = healed.contains(&(f.src, f.dst));
+            }
+            flips.retain(|f| landed.contains(&(f.src, f.dst)));
+        }
+
         // Assembly: worker `d` owns back[d] and drains bucket (src, d) of
         // every source, in ascending source order — the canonical inbox
         // ordering. `Vec::append` moves whole buckets (a memcpy), leaving
-        // their capacity behind for the next superstep.
+        // their capacity behind for the next superstep. When verifying,
+        // worker `d` also re-digests each of its batches before the append,
+        // heals budgeted flips (XOR is self-inverse, so re-applying the flip
+        // restores the pristine bytes — the retransmit model), and tallies
+        // into its private slot of `islots`.
+        let mut islots: Vec<[u64; 3]> = vec![[0u64; 3]; if verify { n } else { 0 }];
         {
             let bucket_bases: Vec<*mut Vec<M>> = outboxes
                 .iter_mut()
@@ -197,16 +380,20 @@ impl<M: Send + WireSize> Mailboxes<M> {
             struct Grid<M> {
                 buckets: *const *mut Vec<M>,
                 back: *mut Vec<M>,
+                islots: *mut [u64; 3],
             }
             // SAFETY: WorkPool::run_indexed claims each index exactly once,
-            // so back[d] has a unique writer and bucket (src, d) a unique
-            // reader; no two workers touch the same Vec.
+            // so back[d] and islots[d] have a unique writer and bucket
+            // (src, d) a unique reader; no two workers touch the same slot.
             unsafe impl<M> Sync for Grid<M> {}
             let grid = Grid {
                 buckets: bucket_bases.as_ptr(),
                 back: self.back.as_mut_ptr(),
+                islots: islots.as_mut_ptr(),
             };
             let grid = &grid;
+            let crcs = &crcs;
+            let flips = &flips;
             pool.run_indexed(n, |d| {
                 // SAFETY: see Grid above — `d` is unique per invocation.
                 let back = unsafe { &mut *grid.back.add(d) };
@@ -217,6 +404,24 @@ impl<M: Send + WireSize> Mailboxes<M> {
                     }
                     // SAFETY: bucket (src, d) is touched only by worker `d`.
                     let bucket = unsafe { &mut *(*grid.buckets.add(src)).add(d) };
+                    if verify && !bucket.is_empty() {
+                        let expected = crcs_at(crcs, n, src, d);
+                        if batch_crc(bucket) != expected {
+                            // SAFETY: islots[d] is written only by worker `d`.
+                            let slot = unsafe { &mut *grid.islots.add(d) };
+                            slot[0] += 1; // corrupt batch detected
+                            let mine = flips.iter().filter(|f| f.src == src && f.dst == d);
+                            if mine.clone().all(|f| f.heal) {
+                                for f in mine {
+                                    bucket[f.idx].corrupt(f.seed);
+                                }
+                                debug_assert_eq!(batch_crc(bucket), expected);
+                                slot[1] += 1; // healed by retransmit
+                            } else {
+                                slot[2] += 1; // budget exhausted
+                            }
+                        }
+                    }
                     back.append(bucket);
                 }
                 if let Some(&(_, seed)) = shuffles.iter().find(|&&(rank, _)| rank == d) {
@@ -224,10 +429,19 @@ impl<M: Send + WireSize> Mailboxes<M> {
                 }
             });
         }
+        for slot in &islots {
+            vol.corrupt_batches += slot[0];
+            vol.retransmits += slot[1];
+            vol.unhealed += slot[2];
+        }
 
         std::mem::swap(&mut self.front, &mut self.back);
         vol
     }
+}
+
+fn crcs_at(crcs: &[u64], n: usize, src: usize, dst: usize) -> u64 {
+    crcs[src * n + dst]
 }
 
 /// Seeded Fisher–Yates permutation (the delivery-shuffle fault).
@@ -243,8 +457,9 @@ fn shuffle<M>(v: &mut [M], seed: u64) {
 mod tests {
     use super::*;
 
-    /// A non-`Copy` bulk message so the blanket `WireSize` impl does not
-    /// apply: models a halo buffer with a 16-byte per-message envelope.
+    /// A non-`Copy` bulk message so the blanket `WireSize`/`Payload` impls
+    /// do not apply: models a halo buffer with a 16-byte per-message
+    /// envelope and real digest/corrupt coverage of every content bit.
     struct Blob(Vec<u8>);
 
     impl WireSize for Blob {
@@ -253,6 +468,23 @@ mod tests {
         }
         fn is_bulk(&self) -> bool {
             true
+        }
+    }
+
+    impl Payload for Blob {
+        fn digest(&self, crc: &mut Crc64) {
+            crc.write_len(self.0.len());
+            crc.update(&self.0);
+        }
+        fn corrupt(&mut self, seed: u64) {
+            if self.0.is_empty() {
+                return;
+            }
+            let bit = seed % (self.0.len() as u64 * 8);
+            self.0[(bit / 8) as usize] ^= 1 << (bit % 8);
+        }
+        fn corruptible(&self) -> bool {
+            !self.0.is_empty()
         }
     }
 
@@ -283,6 +515,7 @@ mod tests {
         assert_eq!(vol.batches, 3);
         let payload = (16 + 10) + (16 + 20) + (16 + 5) + (16 + 7);
         assert_eq!(vol.batch_bytes, 3 * BATCH_HEADER_BYTES + payload);
+        assert_eq!(vol.integrity_bytes, 0, "no CRC trailers when not verifying");
 
         assert_eq!(mail.pending(0), 0);
         assert_eq!(mail.pending(1), 2);
@@ -347,5 +580,128 @@ mod tests {
         let mut sorted = a.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..16).collect::<Vec<_>>(), "a permutation");
+    }
+
+    fn staged(n: usize) -> (Mailboxes<Blob>, Vec<Outbox<Blob>>) {
+        let mail: Mailboxes<Blob> = Mailboxes::new(n);
+        let mut obs: Vec<Outbox<Blob>> = (0..n).map(|_| Outbox::for_ranks(n)).collect();
+        for (src, ob) in obs.iter_mut().enumerate() {
+            for dst in 0..n {
+                if src != dst {
+                    ob.send(dst, Blob(vec![(src * n + dst) as u8; 24]));
+                }
+            }
+        }
+        (mail, obs)
+    }
+
+    /// An in-flight bit flip is detected by the delivery-side CRC, healed by
+    /// the in-barrier retransmit, and the delivered inboxes are bit-for-bit
+    /// the inboxes a clean exchange delivers.
+    #[test]
+    fn corruption_is_detected_and_healed_in_barrier() {
+        let pool = WorkPool::new(0);
+        let (mut clean_mail, mut clean_obs) = staged(3);
+        clean_mail.exchange(&pool, &mut clean_obs, &[], &[]);
+
+        let (mut mail, mut obs) = staged(3);
+        let vol = mail.exchange_faulted(
+            &pool,
+            &mut obs,
+            &ExchangeFaults {
+                corruptions: &[(0, 0xC0FFEE), (2, 0xD00D)],
+                verify: true,
+                ..ExchangeFaults::default()
+            },
+        );
+        assert_eq!(vol.corruptions_landed, 2);
+        assert_eq!(vol.corrupt_batches, 2, "every landed flip detected");
+        assert_eq!(vol.retransmits, 2, "and healed within the barrier");
+        assert_eq!(vol.unhealed, 0);
+        assert_eq!(vol.integrity_bytes, vol.batches * BATCH_CRC_BYTES);
+        for d in 0..3 {
+            let a: Vec<&[u8]> = clean_mail.front()[d]
+                .iter()
+                .map(|b| b.0.as_slice())
+                .collect();
+            let b: Vec<&[u8]> = mail.front()[d].iter().map(|b| b.0.as_slice()).collect();
+            assert_eq!(a, b, "healed delivery must be pristine at dest {d}");
+        }
+    }
+
+    /// With a zero retransmit budget the corruption is still detected but
+    /// left unhealed — the caller must fail the superstep and roll back.
+    #[test]
+    fn exhausted_retransmit_budget_reports_unhealed() {
+        let pool = WorkPool::new(0);
+        let (mut mail, mut obs) = staged(3);
+        let vol = mail.exchange_faulted(
+            &pool,
+            &mut obs,
+            &ExchangeFaults {
+                corruptions: &[(1, 0xBAD)],
+                verify: true,
+                retransmit_budget: 0,
+                ..ExchangeFaults::default()
+            },
+        );
+        assert_eq!(vol.corruptions_landed, 1);
+        assert_eq!(vol.corrupt_batches, 1);
+        assert_eq!(vol.retransmits, 0);
+        assert_eq!(vol.unhealed, 1);
+    }
+
+    /// A clean verified exchange reports no corruption: the detector has no
+    /// false positives, and verification does not perturb delivery.
+    #[test]
+    fn verification_has_no_false_positives() {
+        let pool = WorkPool::new(0);
+        let (mut clean_mail, mut clean_obs) = staged(4);
+        clean_mail.exchange(&pool, &mut clean_obs, &[], &[]);
+        let (mut mail, mut obs) = staged(4);
+        let vol = mail.exchange_faulted(
+            &pool,
+            &mut obs,
+            &ExchangeFaults {
+                verify: true,
+                ..ExchangeFaults::default()
+            },
+        );
+        assert_eq!(vol.corrupt_batches, 0);
+        assert_eq!(vol.retransmits, 0);
+        assert_eq!(vol.unhealed, 0);
+        assert!(vol.integrity_bytes > 0);
+        for d in 0..4 {
+            let a: Vec<&[u8]> = clean_mail.front()[d]
+                .iter()
+                .map(|b| b.0.as_slice())
+                .collect();
+            let b: Vec<&[u8]> = mail.front()[d].iter().map(|b| b.0.as_slice()).collect();
+            assert_eq!(a, b);
+        }
+    }
+
+    /// Corruption aimed at a rank with nothing corruptible in flight (or a
+    /// dropped outbox) is vacuous — nothing lands, nothing is reported.
+    #[test]
+    fn vacuous_corruption_does_not_land() {
+        let pool = WorkPool::new(0);
+        let mut mail: Mailboxes<Blob> = Mailboxes::new(2);
+        let mut obs: Vec<Outbox<Blob>> = (0..2).map(|_| Outbox::for_ranks(2)).collect();
+        obs[0].send(1, Blob(vec![7; 8]));
+        // Rank 1 sends nothing; rank 0's outbox is dropped in flight.
+        let vol = mail.exchange_faulted(
+            &pool,
+            &mut obs,
+            &ExchangeFaults {
+                drops: &[0],
+                corruptions: &[(0, 0x1), (1, 0x2)],
+                verify: true,
+                ..ExchangeFaults::default()
+            },
+        );
+        assert_eq!(vol.corruptions_landed, 0);
+        assert_eq!(vol.corrupt_batches, 0);
+        assert_eq!(vol.dropped, 1);
     }
 }

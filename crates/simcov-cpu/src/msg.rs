@@ -8,6 +8,8 @@
 //! RPC per voxel. The `pgas` runtime meters wire sizes via [`WireSize`].
 
 use pgas::counters::WireSize;
+use pgas::crc::{Crc64, Payload};
+use pgas::fault::SplitMix64;
 use simcov_core::tcell::TCellSlot;
 
 /// An aggregated boundary-concentration cell (gid, virions, chemokine).
@@ -79,9 +81,219 @@ impl WireSize for CpuMsg {
     }
 }
 
+impl Payload for CpuMsg {
+    fn digest(&self, crc: &mut Crc64) {
+        match self {
+            CpuMsg::MoveIntent {
+                src,
+                target,
+                bid,
+                tissue_steps,
+            } => {
+                crc.write_u8(0);
+                crc.write_u64(*src);
+                crc.write_u64(*target);
+                crc.write_u128(*bid);
+                crc.write_u32(*tissue_steps);
+            }
+            CpuMsg::BindIntent { src, target, bid } => {
+                crc.write_u8(1);
+                crc.write_u64(*src);
+                crc.write_u64(*target);
+                crc.write_u128(*bid);
+            }
+            CpuMsg::MoveResult { src, won } => {
+                crc.write_u8(2);
+                crc.write_u64(*src);
+                crc.write_u8(*won as u8);
+            }
+            CpuMsg::BindResult { src, won } => {
+                crc.write_u8(3);
+                crc.write_u64(*src);
+                crc.write_u8(*won as u8);
+            }
+            CpuMsg::GhostConc(cells) => {
+                crc.write_u8(4);
+                crc.write_len(cells.len());
+                for c in cells {
+                    c.digest_into(crc);
+                }
+            }
+            CpuMsg::GhostState { agents, conc } => {
+                crc.write_u8(5);
+                crc.write_len(agents.len());
+                for a in agents {
+                    crc.write_u64(a.gid);
+                    crc.write_u8(a.epi_state);
+                    crc.write_u32(a.tcell.0);
+                    crc.write_u8(a.active as u8);
+                }
+                crc.write_len(conc.len());
+                for c in conc {
+                    c.digest_into(crc);
+                }
+            }
+        }
+    }
+
+    fn corrupt(&mut self, seed: u64) {
+        let mut rng = SplitMix64::new(seed);
+        match self {
+            CpuMsg::MoveIntent {
+                src,
+                target,
+                bid,
+                tissue_steps,
+            } => match rng.next_u64() % 4 {
+                0 => *src ^= 1 << (rng.next_u64() % 64),
+                1 => *target ^= 1 << (rng.next_u64() % 64),
+                2 => *bid ^= 1 << (rng.next_u64() % 128),
+                _ => *tissue_steps ^= 1 << (rng.next_u64() % 32),
+            },
+            CpuMsg::BindIntent { src, target, bid } => match rng.next_u64() % 3 {
+                0 => *src ^= 1 << (rng.next_u64() % 64),
+                1 => *target ^= 1 << (rng.next_u64() % 64),
+                _ => *bid ^= 1 << (rng.next_u64() % 128),
+            },
+            CpuMsg::MoveResult { src, won } | CpuMsg::BindResult { src, won } => {
+                if rng.next_u64().is_multiple_of(2) {
+                    *src ^= 1 << (rng.next_u64() % 64);
+                } else {
+                    *won = !*won;
+                }
+            }
+            CpuMsg::GhostConc(cells) => {
+                if let Some(c) = pick(cells, &mut rng) {
+                    c.corrupt_with(&mut rng);
+                }
+            }
+            CpuMsg::GhostState { agents, conc } => {
+                let n = agents.len() + conc.len();
+                if n == 0 {
+                    return;
+                }
+                let i = (rng.next_u64() % n as u64) as usize;
+                if i < agents.len() {
+                    let a = &mut agents[i];
+                    match rng.next_u64() % 4 {
+                        0 => a.gid ^= 1 << (rng.next_u64() % 64),
+                        1 => a.epi_state ^= 1 << (rng.next_u64() % 8),
+                        2 => a.tcell.0 ^= 1 << (rng.next_u64() % 32),
+                        _ => a.active = !a.active,
+                    }
+                } else {
+                    conc[i - agents.len()].corrupt_with(&mut rng);
+                }
+            }
+        }
+    }
+
+    fn corruptible(&self) -> bool {
+        match self {
+            CpuMsg::GhostConc(cells) => !cells.is_empty(),
+            CpuMsg::GhostState { agents, conc } => !agents.is_empty() || !conc.is_empty(),
+            _ => true,
+        }
+    }
+}
+
+impl ConcCell {
+    fn digest_into(&self, crc: &mut Crc64) {
+        crc.write_u64(self.gid);
+        crc.write_f32(self.virions);
+        crc.write_f32(self.chem);
+    }
+
+    fn corrupt_with(&mut self, rng: &mut SplitMix64) {
+        match rng.next_u64() % 3 {
+            0 => self.gid ^= 1 << (rng.next_u64() % 64),
+            1 => {
+                let bit = 1u32 << (rng.next_u64() % 32);
+                self.virions = f32::from_bits(self.virions.to_bits() ^ bit);
+            }
+            _ => {
+                let bit = 1u32 << (rng.next_u64() % 32);
+                self.chem = f32::from_bits(self.chem.to_bits() ^ bit);
+            }
+        }
+    }
+}
+
+fn pick<'a, T>(v: &'a mut [T], rng: &mut SplitMix64) -> Option<&'a mut T> {
+    if v.is_empty() {
+        None
+    } else {
+        let i = (rng.next_u64() % v.len() as u64) as usize;
+        Some(&mut v[i])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn corruption_is_a_self_inverse_and_never_silent() {
+        let msgs = vec![
+            CpuMsg::MoveIntent {
+                src: 7,
+                target: 9,
+                bid: 0xDEAD_BEEF,
+                tissue_steps: 40,
+            },
+            CpuMsg::BindIntent {
+                src: 3,
+                target: 4,
+                bid: 11,
+            },
+            CpuMsg::MoveResult { src: 5, won: true },
+            CpuMsg::BindResult { src: 6, won: false },
+            CpuMsg::GhostConc(vec![
+                ConcCell {
+                    gid: 1,
+                    virions: 0.25,
+                    chem: 0.5
+                };
+                4
+            ]),
+            CpuMsg::GhostState {
+                agents: vec![
+                    AgentCell {
+                        gid: 2,
+                        epi_state: 1,
+                        tcell: TCellSlot::EMPTY,
+                        active: true
+                    };
+                    3
+                ],
+                conc: vec![
+                    ConcCell {
+                        gid: 3,
+                        virions: 1.0,
+                        chem: 0.0
+                    };
+                    2
+                ],
+            },
+        ];
+        for msg in msgs {
+            assert!(msg.corruptible());
+            for seed in 0..64u64 {
+                let mut m = msg.clone();
+                m.corrupt(seed);
+                let digest = |m: &CpuMsg| {
+                    let mut c = Crc64::new();
+                    m.digest(&mut c);
+                    c.finish()
+                };
+                assert_ne!(digest(&m), digest(&msg), "flip changed the digest");
+                m.corrupt(seed);
+                assert_eq!(m, msg, "second application restores the original");
+            }
+        }
+        // Empty aggregates expose no bits to flip.
+        assert!(!CpuMsg::GhostConc(vec![]).corruptible());
+    }
 
     #[test]
     fn wire_sizes() {

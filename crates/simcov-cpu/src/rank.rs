@@ -3,6 +3,7 @@
 use std::collections::HashMap;
 
 use gpusim::DeviceCounters;
+use pgas::fault::SplitMix64;
 use pgas::Outbox;
 use simcov_core::decomp::{Partition, Subdomain};
 use simcov_core::epithelial::EpiState;
@@ -777,6 +778,44 @@ impl CpuRank {
             epi_apoptotic: self.stat_apoptotic,
             epi_dead: self.stat_dead,
             extravasated: self.extravasated,
+        }
+    }
+
+    /// Flip one seeded bit in this rank's *owned* (core) state — the
+    /// DRAM-style silent corruption modeled by
+    /// `FaultKind::StateCorruption`. Targets the same field family as
+    /// `CheckpointStore::inject_corruption` (virion bits, chemokine bits,
+    /// or an epithelial timer), so both injection sites stress the same
+    /// invariants the integrity scrub/audit checks. XOR semantics: the
+    /// same seed applied twice restores the original state.
+    pub fn corrupt_bit(&mut self, seed: u64) {
+        let mut rng = SplitMix64::new(seed);
+        let n = self.hb.core.nvoxels() as u64;
+        if n == 0 {
+            return;
+        }
+        let pick = (rng.next_u64() % n) as usize;
+        let c = self
+            .hb
+            .core
+            .iter_coords()
+            .nth(pick)
+            .expect("pick < nvoxels");
+        let li = self.hb.local(c);
+        match rng.next_u64() % 3 {
+            0 => {
+                let bit = 1u32 << (rng.next_u64() % 32);
+                let v = self.soa.virions.get(li);
+                self.soa.virions.set(li, f32::from_bits(v.to_bits() ^ bit));
+            }
+            1 => {
+                let bit = 1u32 << (rng.next_u64() % 32);
+                let v = self.soa.chem.get(li);
+                self.soa.chem.set(li, f32::from_bits(v.to_bits() ^ bit));
+            }
+            _ => {
+                self.soa.epi.timer[li] ^= 1 << (rng.next_u64() % 32);
+            }
         }
     }
 

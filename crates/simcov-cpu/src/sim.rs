@@ -6,7 +6,7 @@
 //! the [`simcov_driver::Executor`] contract.
 
 use gpusim::{CostModel, DeviceCounters, HwProfile};
-use pgas::fault::{FaultPlan, SuperstepFailure};
+use pgas::fault::{FaultPlan, IntegrityRecord, PendingStateCorruption, SuperstepError};
 use pgas::{allreduce, Bsp, CommCounters, Trace};
 use simcov_core::decomp::{Partition, Strategy};
 use simcov_core::extrav::TrialTable;
@@ -32,6 +32,13 @@ pub struct CpuSimConfig {
     /// Explicit recovery policy. `None` engages the default policy when a
     /// fault plan is armed, and no recovery otherwise.
     pub recovery: Option<RecoveryPolicy>,
+    /// Integrity audit period override. `None` keeps the default behavior
+    /// (audits engage automatically when the fault plan injects
+    /// corruption); `Some(p)` engages the monitor explicitly with period
+    /// `p` (0 = scrub-only, no periodic invariant audit).
+    pub audit_period: Option<u64>,
+    /// In-barrier retransmit budget override for corrupt batches.
+    pub retransmit_budget: Option<u64>,
 }
 
 impl CpuSimConfig {
@@ -43,6 +50,8 @@ impl CpuSimConfig {
             pattern: FoiPattern::UniformLattice,
             fault_plan: FaultPlan::none(),
             recovery: None,
+            audit_period: None,
+            retransmit_budget: None,
         }
     }
 
@@ -65,6 +74,16 @@ impl CpuSimConfig {
         self.recovery = Some(policy);
         self
     }
+
+    pub fn with_audit_period(mut self, period: u64) -> Self {
+        self.audit_period = Some(period);
+        self
+    }
+
+    pub fn with_retransmit_budget(mut self, budget: u64) -> Self {
+        self.retransmit_budget = Some(budget);
+        self
+    }
 }
 
 /// A running CPU-baseline simulation. Program against it through the
@@ -84,19 +103,25 @@ impl CpuSim {
 
     /// Build from an explicit initial world (carved airways, CT lesions...).
     pub fn from_world(cfg: CpuSimConfig, world: World) -> Result<Self, ConfigError> {
-        let core = DriverCore::new(
+        let mut core = DriverCore::new(
             cfg.params,
             cfg.n_ranks,
             cfg.strategy,
             &cfg.fault_plan,
             cfg.recovery,
         )?;
+        if let Some(period) = cfg.audit_period {
+            core.enable_integrity(period);
+        }
         core.check_world(&world)?;
         let ranks: Vec<CpuRank> = (0..cfg.n_ranks)
             .map(|r| CpuRank::new(r, &core.partition, &world))
             .collect();
         let mut bsp = Bsp::new(cfg.n_ranks);
         bsp.inject_faults(cfg.fault_plan);
+        if let Some(budget) = cfg.retransmit_budget {
+            bsp.set_retransmit_budget(budget);
+        }
         Ok(CpuSim { core, bsp, ranks })
     }
 
@@ -162,7 +187,7 @@ impl Executor for CpuSim {
         &mut self,
         t: u64,
         trials: &TrialTable,
-    ) -> Result<StatsPartial, SuperstepFailure> {
+    ) -> Result<StatsPartial, SuperstepError> {
         let p = self.core.params.clone();
         let partition = self.core.partition.clone();
         let p_ref = &p;
@@ -200,6 +225,20 @@ impl Executor for CpuSim {
             std::mem::size_of::<StatsPartial>(),
             &mut self.bsp.counters,
         ))
+    }
+
+    fn take_pending_state_corruptions(&mut self) -> Vec<PendingStateCorruption> {
+        self.bsp.take_pending_state_corruptions()
+    }
+
+    fn corrupt_unit_state(&mut self, unit: usize, seed: u64) {
+        if let Some(r) = self.ranks.get_mut(unit) {
+            r.corrupt_bit(seed);
+        }
+    }
+
+    fn take_bsp_integrity_records(&mut self) -> Vec<IntegrityRecord> {
+        self.bsp.take_integrity_records()
     }
 
     fn rebuild(&mut self, world: &World, n_units: usize) -> Result<(), ConfigError> {

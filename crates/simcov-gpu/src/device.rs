@@ -19,6 +19,7 @@ use gpusim::device::LinkTraffic;
 use gpusim::kernel::LaunchConfig;
 use gpusim::reduce::{atomic_reduce, tree_reduce};
 use gpusim::{DeviceCounters, KernelCategory};
+use pgas::fault::SplitMix64;
 use pgas::Outbox;
 use simcov_core::decomp::{Partition, Subdomain};
 use simcov_core::epithelial::EpiState;
@@ -137,7 +138,15 @@ impl GpuDevice {
                 soa.chem.set(li, world.chemokine.get(gi));
             }
         }
-        let tracker = TileTracker::new(&layout, check_period);
+        let mut tracker = TileTracker::new(&layout, check_period);
+        if variant.tiling() {
+            // Seed the active set from the actual state instead of waiting
+            // for the next phase-aligned check: a device built mid-run (a
+            // rollback or durable resume landing between checks) must not
+            // freeze interior tiles until the schedule comes around.
+            let found = scan_tile_activity(&layout, &soa);
+            tracker.apply_check(&layout, &found);
+        }
         let neighbors = partition
             .neighbor_ranks(id)
             .into_iter()
@@ -225,36 +234,13 @@ impl GpuDevice {
 
         // Periodic tile-activity check (§3.2).
         if self.variant.tiling() && self.tracker.check_due(t) {
-            let mut found = vec![false; self.layout.n_tiles()];
-            let mut scanned = 0u64;
-            #[allow(clippy::needless_range_loop)] // `tile` also drives tile_span
-            for tile in 0..self.layout.n_tiles() {
-                let span = self.layout.tile_span(tile);
-                'scan: for oz in 0..span.nz {
-                    for oy in 0..span.ny {
-                        let row = span.base + oz * span.sz_stride + oy * span.sy_stride;
-                        for li in row..row + span.nx {
-                            scanned += 1;
-                            if voxel_active(
-                                self.soa.epi.get(li),
-                                self.soa.tcells[li],
-                                self.soa.virions.get(li),
-                                self.soa.chem.get(li),
-                            ) {
-                                found[tile] = true;
-                                break 'scan;
-                            }
-                        }
-                    }
-                }
-            }
+            let found = scan_tile_activity(&self.layout, &self.soa);
             // The real kernel cannot early-exit a warp-parallel scan; charge
             // the full sweep.
             let tc = self.counters.category_mut(KernelCategory::TileCheck);
             tc.launches += 1;
             tc.elements += self.layout.len() as u64;
             tc.bytes += self.layout.len() as u64 * 13;
-            let _ = scanned;
             self.tracker.apply_check(&self.layout, &found);
         }
 
@@ -785,6 +771,45 @@ impl GpuDevice {
         out
     }
 
+    /// Flip one seeded bit in this device's *owned* (core) state — the
+    /// HBM-style silent corruption modeled by
+    /// `FaultKind::StateCorruption`. Targets the same field family as
+    /// `CheckpointStore::inject_corruption` (virion bits, chemokine bits,
+    /// or an epithelial timer), so every injection site stresses the same
+    /// invariants the integrity scrub/audit checks. XOR semantics: the
+    /// same seed applied twice restores the original state.
+    pub fn corrupt_bit(&mut self, seed: u64) {
+        let mut rng = SplitMix64::new(seed);
+        let n = self.layout.hb.core.nvoxels() as u64;
+        if n == 0 {
+            return;
+        }
+        let pick = (rng.next_u64() % n) as usize;
+        let c = self
+            .layout
+            .hb
+            .core
+            .iter_coords()
+            .nth(pick)
+            .expect("pick < nvoxels");
+        let li = self.layout.local(c);
+        match rng.next_u64() % 3 {
+            0 => {
+                let bit = 1u32 << (rng.next_u64() % 32);
+                let v = self.soa.virions.get(li);
+                self.soa.virions.set(li, f32::from_bits(v.to_bits() ^ bit));
+            }
+            1 => {
+                let bit = 1u32 << (rng.next_u64() % 32);
+                let v = self.soa.chem.get(li);
+                self.soa.chem.set(li, f32::from_bits(v.to_bits() ^ bit));
+            }
+            _ => {
+                self.soa.epi.timer[li] ^= 1 << (rng.next_u64() % 32);
+            }
+        }
+    }
+
     /// Copy this device's core region into a global world (verification).
     pub fn write_into(&self, world: &mut World) {
         for t in 0..self.layout.n_tiles() {
@@ -811,4 +836,32 @@ impl GpuDevice {
     pub fn active_tile_fraction(&self) -> f64 {
         self.tracker.n_active() as f64 / self.layout.n_tiles().max(1) as f64
     }
+}
+
+/// Per-tile activity scan: `found[t]` iff tile `t` holds an active voxel.
+/// Shared by the periodic check kernel and device construction (the latter
+/// so a device rebuilt mid-run starts with the true active set).
+fn scan_tile_activity(layout: &TileLayout, soa: &VoxelSoA) -> Vec<bool> {
+    let mut found = vec![false; layout.n_tiles()];
+    #[allow(clippy::needless_range_loop)] // `tile` also drives tile_span
+    for tile in 0..layout.n_tiles() {
+        let span = layout.tile_span(tile);
+        'scan: for oz in 0..span.nz {
+            for oy in 0..span.ny {
+                let row = span.base + oz * span.sz_stride + oy * span.sy_stride;
+                for li in row..row + span.nx {
+                    if voxel_active(
+                        soa.epi.get(li),
+                        soa.tcells[li],
+                        soa.virions.get(li),
+                        soa.chem.get(li),
+                    ) {
+                        found[tile] = true;
+                        break 'scan;
+                    }
+                }
+            }
+        }
+    }
+    found
 }

@@ -7,6 +7,8 @@
 //! UPC++ performs.
 
 use pgas::counters::WireSize;
+use pgas::crc::{Crc64, Payload};
+use pgas::fault::SplitMix64;
 use simcov_core::tcell::TCellSlot;
 
 /// One voxel's bid contributions (only non-empty entries travel).
@@ -66,9 +68,122 @@ impl WireSize for GpuMsg {
     }
 }
 
+impl Payload for GpuMsg {
+    fn digest(&self, crc: &mut Crc64) {
+        match self {
+            GpuMsg::Bids(cells) => {
+                crc.write_u8(0);
+                crc.write_len(cells.len());
+                for c in cells {
+                    crc.write_u64(c.gid);
+                    crc.write_u128(c.move_bid);
+                    crc.write_u128(c.bind_bid);
+                }
+            }
+            GpuMsg::Halo(cells) => {
+                crc.write_u8(1);
+                crc.write_len(cells.len());
+                for c in cells {
+                    crc.write_u64(c.gid);
+                    crc.write_u8(c.epi_state);
+                    crc.write_u32(c.epi_timer);
+                    crc.write_u32(c.tcell.0);
+                    crc.write_f32(c.virions);
+                    crc.write_f32(c.chem);
+                }
+            }
+        }
+    }
+
+    fn corrupt(&mut self, seed: u64) {
+        let mut rng = SplitMix64::new(seed);
+        match self {
+            GpuMsg::Bids(cells) => {
+                if cells.is_empty() {
+                    return;
+                }
+                let i = (rng.next_u64() % cells.len() as u64) as usize;
+                let c = &mut cells[i];
+                match rng.next_u64() % 3 {
+                    0 => c.gid ^= 1 << (rng.next_u64() % 64),
+                    1 => c.move_bid ^= 1 << (rng.next_u64() % 128),
+                    _ => c.bind_bid ^= 1 << (rng.next_u64() % 128),
+                }
+            }
+            GpuMsg::Halo(cells) => {
+                if cells.is_empty() {
+                    return;
+                }
+                let i = (rng.next_u64() % cells.len() as u64) as usize;
+                let c = &mut cells[i];
+                match rng.next_u64() % 6 {
+                    0 => c.gid ^= 1 << (rng.next_u64() % 64),
+                    1 => c.epi_state ^= 1 << (rng.next_u64() % 8),
+                    2 => c.epi_timer ^= 1 << (rng.next_u64() % 32),
+                    3 => c.tcell.0 ^= 1 << (rng.next_u64() % 32),
+                    4 => {
+                        let bit = 1u32 << (rng.next_u64() % 32);
+                        c.virions = f32::from_bits(c.virions.to_bits() ^ bit);
+                    }
+                    _ => {
+                        let bit = 1u32 << (rng.next_u64() % 32);
+                        c.chem = f32::from_bits(c.chem.to_bits() ^ bit);
+                    }
+                }
+            }
+        }
+    }
+
+    fn corruptible(&self) -> bool {
+        self.n_cells() > 0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn corruption_is_a_self_inverse_and_never_silent() {
+        let msgs = vec![
+            GpuMsg::Bids(vec![
+                BidCell {
+                    gid: 9,
+                    move_bid: 0xABCD,
+                    bind_bid: 0x1234,
+                };
+                5
+            ]),
+            GpuMsg::Halo(vec![
+                HaloCell {
+                    gid: 3,
+                    epi_state: 2,
+                    epi_timer: 17,
+                    tcell: TCellSlot::EMPTY,
+                    virions: 0.75,
+                    chem: 0.125,
+                };
+                4
+            ]),
+        ];
+        let digest = |m: &GpuMsg| {
+            let mut c = Crc64::new();
+            m.digest(&mut c);
+            c.finish()
+        };
+        for msg in msgs {
+            assert!(msg.corruptible());
+            for seed in 0..64u64 {
+                let mut m = msg.clone();
+                m.corrupt(seed);
+                assert_ne!(digest(&m), digest(&msg), "flip changed the digest");
+                m.corrupt(seed);
+                assert_eq!(m, msg, "second application restores the original");
+            }
+        }
+        assert!(!GpuMsg::Bids(vec![]).corruptible());
+        assert!(!GpuMsg::Halo(vec![]).corruptible());
+    }
 
     #[test]
     fn wire_sizes() {

@@ -7,7 +7,7 @@
 
 use gpusim::device::LinkTraffic;
 use gpusim::{CostModel, DeviceCounters, HwProfile};
-use pgas::fault::{FaultPlan, SuperstepFailure};
+use pgas::fault::{FaultPlan, IntegrityRecord, PendingStateCorruption, SuperstepError};
 use pgas::{allreduce, Bsp, CommCounters, Trace};
 use simcov_core::decomp::{Partition, Strategy};
 use simcov_core::extrav::TrialTable;
@@ -42,6 +42,13 @@ pub struct GpuSimConfig {
     /// Explicit recovery policy. `None` engages the default policy when a
     /// fault plan is armed, and no recovery otherwise.
     pub recovery: Option<RecoveryPolicy>,
+    /// Integrity audit period override. `None` keeps the default behavior
+    /// (audits engage automatically when the fault plan injects
+    /// corruption); `Some(p)` engages the monitor explicitly with period
+    /// `p` (0 = scrub-only, no periodic invariant audit).
+    pub audit_period: Option<u64>,
+    /// In-barrier retransmit budget override for corrupt batches.
+    pub retransmit_budget: Option<u64>,
 }
 
 impl GpuSimConfig {
@@ -57,6 +64,8 @@ impl GpuSimConfig {
             devices_per_node: 4,
             fault_plan: FaultPlan::none(),
             recovery: None,
+            audit_period: None,
+            retransmit_budget: None,
         }
     }
 
@@ -97,6 +106,16 @@ impl GpuSimConfig {
 
     pub fn with_recovery(mut self, policy: RecoveryPolicy) -> Self {
         self.recovery = Some(policy);
+        self
+    }
+
+    pub fn with_audit_period(mut self, period: u64) -> Self {
+        self.audit_period = Some(period);
+        self
+    }
+
+    pub fn with_retransmit_budget(mut self, budget: u64) -> Self {
+        self.retransmit_budget = Some(budget);
         self
     }
 
@@ -144,13 +163,16 @@ impl GpuSim {
 
     pub fn from_world(cfg: GpuSimConfig, world: World) -> Result<Self, ConfigError> {
         cfg.validate()?;
-        let core = DriverCore::new(
+        let mut core = DriverCore::new(
             cfg.params,
             cfg.n_devices,
             cfg.strategy,
             &cfg.fault_plan,
             cfg.recovery,
         )?;
+        if let Some(period) = cfg.audit_period {
+            core.enable_integrity(period);
+        }
         core.check_world(&world)?;
         let check_period = cfg.check_period.unwrap_or(cfg.tile_side as u64);
         let devices: Vec<GpuDevice> = (0..cfg.n_devices)
@@ -168,6 +190,9 @@ impl GpuSim {
             .collect();
         let mut bsp = Bsp::new(cfg.n_devices);
         bsp.inject_faults(cfg.fault_plan);
+        if let Some(budget) = cfg.retransmit_budget {
+            bsp.set_retransmit_budget(budget);
+        }
         Ok(GpuSim {
             core,
             bsp,
@@ -254,7 +279,7 @@ impl Executor for GpuSim {
         &mut self,
         t: u64,
         trials: &TrialTable,
-    ) -> Result<StatsPartial, SuperstepFailure> {
+    ) -> Result<StatsPartial, SuperstepError> {
         let p = self.core.params.clone();
         let p_ref = &p;
 
@@ -280,6 +305,20 @@ impl Executor for GpuSim {
             std::mem::size_of::<StatsPartial>(),
             &mut self.bsp.counters,
         ))
+    }
+
+    fn take_pending_state_corruptions(&mut self) -> Vec<PendingStateCorruption> {
+        self.bsp.take_pending_state_corruptions()
+    }
+
+    fn corrupt_unit_state(&mut self, unit: usize, seed: u64) {
+        if let Some(d) = self.devices.get_mut(unit) {
+            d.corrupt_bit(seed);
+        }
+    }
+
+    fn take_bsp_integrity_records(&mut self) -> Vec<IntegrityRecord> {
+        self.bsp.take_integrity_records()
     }
 
     fn rebuild(&mut self, world: &World, n_units: usize) -> Result<(), ConfigError> {

@@ -43,6 +43,10 @@ enum Msg {
     Halo(Vec<(u64, Ant, f32, f32)>), // gid, ant, pheromone, food
 }
 
+// Opaque to the SDC payload injector: the example runs no fault plans, so
+// the default no-op digest/corrupt hooks are all it needs.
+impl simcov_repro::pgas::Payload for Msg {}
+
 impl simcov_repro::pgas::counters::WireSize for Msg {
     fn wire_size(&self) -> usize {
         match self {

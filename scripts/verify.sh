@@ -55,6 +55,68 @@ assert any(r["recoveries"] > 0 for r in rows), "no cell exercised recovery"
 print(f"BENCH_fault_sweep.json OK: {len(rows)} cells, all bitwise-identical")
 EOF
 
+# The SDC sweep asserts in-process that every healed run is bitwise
+# identical to its corruption-free baseline (statistics and per-voxel
+# state) and that corruption-free cells stay silent at every audit period;
+# the JSON check covers the artifact.
+echo "== SDC sweep smoke (corruption healing + JSON artifact) =="
+cargo run --release -p simcov-bench --bin sdc_sweep -- --smoke \
+    --json target/BENCH_sdc_sweep.json >/dev/null
+
+python3 - <<'EOF'
+import json
+doc = json.load(open("target/BENCH_sdc_sweep.json"))
+assert doc.get("suite") == "sdc_sweep", "wrong suite tag"
+rows = doc["rows"]
+assert rows, "sdc sweep produced no rows"
+for r in rows:
+    assert r["identical_to_corruption_free"], f"healing diverged: {r}"
+    if r["corruption_rate"] == 0:
+        clean = (r["payload_heals"], r["state_detections"],
+                 r["checkpoint_quarantines"], r["retransmits"], r["rollbacks"])
+        assert clean == (0, 0, 0, 0, 0), f"false positive on a clean run: {r}"
+assert any(r["retransmits"] > 0 for r in rows), "no cell exercised in-barrier healing"
+assert any(r["rollbacks"] > 0 for r in rows), "no cell exercised the rollback tier"
+print(f"BENCH_sdc_sweep.json OK: {len(rows)} cells, all healed bitwise-identical, "
+      f"zero false positives")
+EOF
+
+# Crash-restart smoke: a run killed mid-flight (simulated SIGKILL after
+# step 25, exit code 3, no final persist) must resume from its durable
+# checkpoint and reproduce the uninterrupted run's CSV byte-for-byte.
+# Both distributed executors are exercised — the resume lands at step 20,
+# off the GPU tile-activity check schedule, so a resumed device must
+# rebuild its active set rather than coast until the next periodic check.
+echo "== crash-restart smoke (durable checkpoint + --resume) =="
+cat > target/verify_sdc.config <<'CFG'
+; crash-restart smoke configuration
+dim = 32 32 1
+timesteps = 40
+num-infections = 4
+CFG
+for exec in cpu gpu; do
+    cargo run --release -q -p simcov-bench --bin simcov -- target/verify_sdc.config \
+        --executor "$exec" --units 4 --out-csv target/verify_uninterrupted.csv 2>/dev/null >/dev/null
+    set +e
+    cargo run --release -q -p simcov-bench --bin simcov -- target/verify_sdc.config \
+        --executor "$exec" --units 4 --persist target/verify_run.ck --persist-every 10 \
+        --halt-after 25 2>/dev/null >/dev/null
+    halt=$?
+    set -e
+    if [ "$halt" -ne 3 ]; then
+        echo "expected simulated-crash exit code 3, got $halt ($exec)"
+        exit 1
+    fi
+    cargo run --release -q -p simcov-bench --bin simcov -- target/verify_sdc.config \
+        --executor "$exec" --units 4 --resume target/verify_run.ck \
+        --out-csv target/verify_resumed.csv 2>/dev/null >/dev/null
+    if ! cmp -s target/verify_uninterrupted.csv target/verify_resumed.csv; then
+        echo "resumed $exec run diverged from the uninterrupted run"
+        exit 1
+    fi
+    echo "crash-restart OK ($exec): resumed CSV identical to the uninterrupted run"
+done
+
 # The perf gate fails (exit 1) if any hot kernel's best time regresses more
 # than 25% past the committed BENCH_baseline.json, or if neither the
 # diffusion stencil nor the coalesced halo exchange holds a >= 1.5x speedup
