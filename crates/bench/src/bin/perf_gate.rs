@@ -22,6 +22,13 @@
 //! present in the run but absent from the baseline warn and pass, so adding
 //! a benchmark does not require regenerating the baseline in the same
 //! commit.
+//!
+//! The gate also measures the telemetry subsystem's own cost: the same
+//! deterministic CPU e2e run is timed with spans/health off and on, and the
+//! ratio must stay within [`MAX_TELEMETRY_OVERHEAD`] (the ≤5%
+//! instrumentation budget). `--metrics-out PATH` writes the gate's numbers
+//! (plus the instrumented run's own registry) as Prometheus text
+//! exposition.
 
 use pgas::{Mailboxes, Outbox, WorkPool};
 use simcov_bench::json::{write_json, Json};
@@ -33,9 +40,16 @@ use simcov_core::grid::GridDims;
 use simcov_core::params::SimParams;
 use simcov_core::serial::SerialSim;
 use simcov_core::soa::StencilDeltas;
+use simcov_cpu::{CpuSim, CpuSimConfig};
+use simcov_driver::Simulation;
+use simcov_telemetry::{prometheus, Telemetry};
 
 /// At least one hot-path rewrite must hold this speedup over its naive form.
 const MIN_SPEEDUP: f64 = 1.5;
+
+/// Instrumentation budget: a telemetry-on e2e run may cost at most 5% more
+/// wall clock than the identical telemetry-off run.
+const MAX_TELEMETRY_OVERHEAD: f64 = 1.05;
 
 struct Cli {
     json: String,
@@ -43,6 +57,7 @@ struct Cli {
     tolerance: f64,
     update_baseline: bool,
     smoke: bool,
+    metrics_out: Option<String>,
 }
 
 fn parse_cli() -> Cli {
@@ -52,6 +67,7 @@ fn parse_cli() -> Cli {
         tolerance: 0.25,
         update_baseline: false,
         smoke: false,
+        metrics_out: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -66,11 +82,13 @@ fn parse_cli() -> Cli {
             }
             "--update-baseline" => cli.update_baseline = true,
             "--smoke" => cli.smoke = true,
+            "--metrics-out" => cli.metrics_out = Some(expect_value(&a, it.next())),
             other => {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
                     "usage: perf_gate [--json PATH] [--baseline PATH] \
-                     [--tolerance FRAC] [--update-baseline] [--smoke]"
+                     [--tolerance FRAC] [--update-baseline] [--smoke] \
+                     [--metrics-out PATH]"
                 );
                 std::process::exit(2);
             }
@@ -196,7 +214,22 @@ fn halo_per_message() -> usize {
     inboxes.iter().map(Vec::len).sum()
 }
 
-fn run_benches(smoke: bool) -> Vec<BenchResult> {
+/// One deterministic 8-step CPU-executor run, the telemetry-overhead
+/// workload. The sim is rebuilt from scratch each call so both sides of the
+/// comparison run the identical stationary workload; `tel` is attached when
+/// measuring the instrumented side.
+fn e2e_cpu_run(p: &SimParams, tel: Option<&Telemetry>) -> u64 {
+    let mut sim = CpuSim::new(CpuSimConfig::new(p.clone(), 2)).expect("valid bench config");
+    if let Some(t) = tel {
+        sim.enable_telemetry(t.clone());
+    }
+    for _ in 0..8 {
+        sim.advance_step().expect("healthy bench run");
+    }
+    sim.comm_counters().messages
+}
+
+fn run_benches(smoke: bool, tel: &Telemetry) -> Vec<BenchResult> {
     let mut b = if smoke {
         Bench::new().with_samples(5)
     } else {
@@ -266,6 +299,12 @@ fn run_benches(smoke: bool) -> Vec<BenchResult> {
         sim.step
     });
 
+    // --- Telemetry overhead: the same deterministic CPU-executor run with
+    // instrumentation off vs on. The shared `tel` handle is attached on the
+    // "on" side only; its ring simply wraps across iterations.
+    b.bench("e2e/telemetry_off", || e2e_cpu_run(&p, None));
+    b.bench("e2e/telemetry_on", || e2e_cpu_run(&p, Some(tel)));
+
     let results = b.results().to_vec();
     b.finish();
     results
@@ -332,7 +371,10 @@ fn baseline_mins(text: &str) -> Result<Vec<(String, f64)>, String> {
 
 fn main() {
     let cli = parse_cli();
-    let results = run_benches(cli.smoke);
+    // One shared telemetry instance for the instrumented side of the
+    // overhead pair; its registry also backs `--metrics-out`.
+    let tel = Telemetry::enabled(3, 1 << 14);
+    let results = run_benches(cli.smoke, &tel);
 
     // In-run speedups: both sides timed in this process, so the check is
     // machine-independent.
@@ -344,15 +386,43 @@ fn main() {
     };
     let sp_diffusion = speedup("diffusion/naive_64sq", "diffusion/stencil_64sq");
     let sp_halo = speedup("halo_exchange/per_message", "halo_exchange/coalesced");
+    let tel_overhead = speedup("e2e/telemetry_on", "e2e/telemetry_off");
     let speedups = vec![
         ("diffusion".to_string(), sp_diffusion),
         ("halo_exchange".to_string(), sp_halo),
+        ("telemetry_overhead".to_string(), tel_overhead),
     ];
     eprintln!("speedup diffusion stencil/naive:   {sp_diffusion:.2}x");
     eprintln!("speedup halo coalesced/per-message: {sp_halo:.2}x");
+    eprintln!("telemetry on/off overhead:          {tel_overhead:.3}x");
 
     let doc = results_to_json(&results, &cli, &speedups);
     write_json(&cli.json, &doc);
+
+    if let Some(path) = &cli.metrics_out {
+        let reg = tel.registry().expect("tel is enabled");
+        for r in &results {
+            reg.gauge_with(
+                "perf_gate_min_ns",
+                "best per-iteration wall time of a perf_gate kernel",
+                &[("kernel", r.name.as_str())],
+            )
+            .set(r.min_ns);
+        }
+        for (name, v) in &speedups {
+            reg.gauge_with(
+                "perf_gate_speedup",
+                "in-run speedup ratios measured by perf_gate",
+                &[("pair", name.as_str())],
+            )
+            .set(*v);
+        }
+        std::fs::write(path, prometheus::render(reg)).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(2);
+        });
+        eprintln!("prometheus metrics -> {path}");
+    }
 
     if cli.update_baseline {
         write_json(&cli.baseline, &doc);
@@ -365,6 +435,14 @@ fn main() {
         failures.push(format!(
             "no hot kernel reaches {MIN_SPEEDUP}x: diffusion {sp_diffusion:.2}x, \
              halo {sp_halo:.2}x"
+        ));
+    }
+    if tel_overhead <= 0.0 {
+        failures.push("telemetry overhead pair did not run".to_string());
+    } else if tel_overhead > MAX_TELEMETRY_OVERHEAD {
+        failures.push(format!(
+            "telemetry instrumentation overhead {tel_overhead:.3}x exceeds the \
+             {MAX_TELEMETRY_OVERHEAD}x budget"
         ));
     }
 

@@ -2,6 +2,10 @@
 //! in-process, and write the composite machine-readable artifact
 //! `BENCH_results.json` (override the path with `--json <path>`).
 //! `SIMCOV_SCALE` / `SIMCOV_TRIALS` control fidelity vs. runtime.
+//! `--metrics-out <path>` additionally writes the per-section wall-clock
+//! gauges (and anything the experiments put in the global registry) as
+//! Prometheus text exposition, so suite runtime can be scraped/plotted
+//! alongside the runtime telemetry.
 //!
 //! The artifact carries every Fig 4/6/7/8 and Table 1/2 number the text
 //! report prints, plus the measured wall-clock seconds of each section —
@@ -14,25 +18,47 @@ use simcov_bench::experiments::{
     render_table2, table1_to_json, table2_rows, table2_to_json,
 };
 use simcov_bench::json::{json_path_from_args, write_json, Json};
+use simcov_telemetry::{prometheus, Registry};
 use std::time::Instant;
 
 /// Run one section, printing its banner-separated report and returning its
-/// JSON record alongside the wall-clock seconds it took.
+/// JSON record alongside the wall-clock seconds it took. The wall time is
+/// also published to the global metrics registry so `--metrics-out` can
+/// export it.
 fn section(name: &str, run: impl FnOnce() -> (String, Json)) -> (Json, f64) {
     println!("\n################ {name} ################\n");
     let t0 = Instant::now();
     let (report, json) = run();
     let wall = t0.elapsed().as_secs_f64();
     println!("{report}");
+    Registry::global()
+        .gauge_with(
+            "repro_section_wall_seconds",
+            "wall-clock seconds spent in one repro_all section",
+            &[("section", name)],
+        )
+        .set(wall);
     let mut record = Json::obj([("wall_seconds", Json::from(wall))]);
     record.push("results", json);
     (record, wall)
+}
+
+/// `--metrics-out <path>` from the process arguments, if present.
+fn metrics_path_from_args() -> Option<String> {
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        if a == "--metrics-out" {
+            return it.next();
+        }
+    }
+    None
 }
 
 fn main() {
     let scale = scale_from_env();
     let trials = trials_from_env();
     let path = json_path_from_args().unwrap_or_else(|| "BENCH_results.json".to_string());
+    let metrics_path = metrics_path_from_args();
     let suite_t0 = Instant::now();
 
     let mut doc = Json::obj([
@@ -85,6 +111,25 @@ fn main() {
     doc.push("fig6", fig6_j);
     doc.push("fig7", fig7_j);
     doc.push("fig8", fig8_j);
-    doc.push("total_wall_seconds", suite_t0.elapsed().as_secs_f64());
+    let total = suite_t0.elapsed().as_secs_f64();
+    doc.push("total_wall_seconds", total);
     write_json(&path, &doc);
+
+    if let Some(mpath) = metrics_path {
+        let reg = Registry::global();
+        reg.gauge(
+            "repro_total_wall_seconds",
+            "wall-clock seconds for the whole repro_all suite",
+        )
+        .set(total);
+        reg.gauge("repro_scale", "SIMCOV_SCALE fidelity knob for this run")
+            .set(scale as f64);
+        match std::fs::write(&mpath, prometheus::render(reg)) {
+            Ok(()) => eprintln!("prometheus metrics -> {mpath}"),
+            Err(e) => {
+                eprintln!("cannot write {mpath}: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
 }

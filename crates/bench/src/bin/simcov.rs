@@ -8,11 +8,20 @@
 //!        [--out-csv FILE] [--frames DIR --n-frames K] [--variant NAME]
 //!        [--json FILE] [--persist FILE] [--persist-every K]
 //!        [--resume FILE] [--halt-after N]
+//!        [--trace-out FILE] [--metrics-out FILE]
 //! ```
 //!
 //! `--json` writes a structured run summary; on the cpu/gpu executors it
 //! includes the per-step [`StepRecord`]s of the metrics layer (agents,
 //! active work units, communication volume, simulated and real seconds).
+//!
+//! `--trace-out` records the unified telemetry span stream (driver steps →
+//! BSP supersteps → per-rank compute/exchange → GPU kernel phases) and
+//! writes it as Chrome trace-event JSON (open in `chrome://tracing` or
+//! Perfetto). `--metrics-out` writes the run's metric registry in
+//! Prometheus text exposition. Either flag engages telemetry and the online
+//! health monitor; both are pure observation — results are bitwise
+//! identical with and without them.
 //!
 //! `--persist` writes a durable CRC-guarded checkpoint file every
 //! `--persist-every` steps (atomic staged rename), `--resume` restarts a
@@ -20,7 +29,7 @@
 //! after step `N` without any final persist — a SIGKILL stand-in for
 //! crash-restart testing (exit code 3).
 
-use gpusim::{SharedSink, StepRecord};
+use gpusim::{KernelCategory, SharedSink, StepRecord};
 use simcov_bench::json::Json;
 use simcov_core::config::parse_config;
 use simcov_core::render::render_slice;
@@ -28,6 +37,7 @@ use simcov_core::stats::TimeSeries;
 use simcov_cpu::{CpuSim, CpuSimConfig};
 use simcov_driver::{SerialDriver, Simulation};
 use simcov_gpu::{GpuSim, GpuSimConfig, GpuVariant};
+use simcov_telemetry::{chrome, prometheus, HealthConfig, Telemetry};
 use std::fs;
 
 struct Args {
@@ -43,6 +53,8 @@ struct Args {
     persist_every: u64,
     resume: Option<String>,
     halt_after: Option<u64>,
+    trace_out: Option<String>,
+    metrics_out: Option<String>,
 }
 
 fn usage() -> ! {
@@ -51,7 +63,8 @@ fn usage() -> ! {
          \t[--out-csv FILE] [--frames DIR] [--n-frames K]\n\
          \t[--variant unoptimized|fast-reduction|memory-tiling|combined]\n\
          \t[--json FILE] [--persist FILE] [--persist-every K]\n\
-         \t[--resume FILE] [--halt-after N]"
+         \t[--resume FILE] [--halt-after N]\n\
+         \t[--trace-out FILE] [--metrics-out FILE]"
     );
     std::process::exit(2);
 }
@@ -70,6 +83,8 @@ fn parse_args() -> Args {
         persist_every: 10,
         resume: None,
         halt_after: None,
+        trace_out: None,
+        metrics_out: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -108,6 +123,8 @@ fn parse_args() -> Args {
                     .unwrap_or_else(|| usage())
             }
             "--resume" => args.resume = Some(it.next().unwrap_or_else(|| usage())),
+            "--trace-out" => args.trace_out = Some(it.next().unwrap_or_else(|| usage())),
+            "--metrics-out" => args.metrics_out = Some(it.next().unwrap_or_else(|| usage())),
             "--halt-after" => {
                 args.halt_after = Some(
                     it.next()
@@ -194,6 +211,16 @@ fn main() {
     if args.json.is_some() {
         driver.set_metrics_sink(Box::new(sink.clone()));
     }
+    // Either exporter flag engages telemetry (track 0 for the driver and
+    // runtime, one per unit) and the online health monitor.
+    let telemetry = if args.trace_out.is_some() || args.metrics_out.is_some() {
+        let tel = Telemetry::enabled(args.units + 1, 1 << 16);
+        driver.enable_telemetry(tel.clone());
+        driver.enable_health(HealthConfig::default());
+        Some(tel)
+    } else {
+        None
+    };
     if let Some(path) = &args.resume {
         let cp = simcov_driver::load_checkpoint(std::path::Path::new(path), &ck_params)
             .unwrap_or_else(|e| panic!("cannot resume from {path}: {e}"));
@@ -229,6 +256,26 @@ fn main() {
             // JSON. Only checkpoints already persisted survive.
             eprintln!("halting after step {step} (simulated crash)");
             std::process::exit(3);
+        }
+    }
+
+    if let Some(tel) = &telemetry {
+        publish_final_metrics(tel, driver.as_ref());
+        if let Some(path) = &args.trace_out {
+            fs::write(path, chrome::render(tel, driver.health_records()))
+                .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+            eprintln!(
+                "chrome trace -> {path} ({} events, {} dropped, {} health findings)",
+                tel.recorded(),
+                tel.dropped(),
+                driver.health_records().len()
+            );
+        }
+        if let Some(path) = &args.metrics_out {
+            let reg = tel.registry().expect("enabled telemetry has a registry");
+            fs::write(path, prometheus::render(reg))
+                .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+            eprintln!("prometheus metrics -> {path}");
         }
     }
 
@@ -270,6 +317,99 @@ fn main() {
         "final: virions {:.4e}, tissue T cells {}, healthy {}, dead {}",
         last.virions, last.tcells_tissue, last.epi_healthy, last.epi_dead
     );
+}
+
+/// Fold the run's cumulative counters, health totals and telemetry
+/// self-diagnostics into the registry before the Prometheus export.
+fn publish_final_metrics(tel: &Telemetry, driver: &dyn Simulation) {
+    let Some(reg) = tel.registry() else { return };
+    let comm = driver.comm_counters();
+    reg.counter(
+        "simcov_comm_messages_total",
+        "Point-to-point and bulk messages delivered",
+    )
+    .add(comm.messages + comm.bulk_messages);
+    reg.counter(
+        "simcov_comm_bytes_total",
+        "Point-to-point and bulk payload bytes delivered",
+    )
+    .add(comm.bytes + comm.bulk_bytes);
+    reg.counter("simcov_supersteps_total", "BSP supersteps executed")
+        .add(comm.supersteps);
+    reg.counter("simcov_allreduces_total", "Statistics allreduces executed")
+        .add(comm.allreduces);
+    let work = driver.total_counters();
+    for (cat, cc) in [
+        (KernelCategory::UpdateAgents, work.update),
+        (KernelCategory::ReduceStats, work.reduce),
+        (KernelCategory::TileCheck, work.tile_check),
+        (KernelCategory::Halo, work.halo),
+    ] {
+        let labels = [("phase", cat.name())];
+        reg.counter_with(
+            "simcov_kernel_elements_total",
+            "Elements processed per kernel phase",
+            &labels,
+        )
+        .add(cc.elements);
+        reg.counter_with(
+            "simcov_kernel_bytes_total",
+            "Bytes touched per kernel phase",
+            &labels,
+        )
+        .add(cc.bytes);
+        reg.counter_with(
+            "simcov_kernel_launches_total",
+            "Kernel launches per phase",
+            &labels,
+        )
+        .add(cc.launches);
+    }
+    reg.gauge("simcov_active_units", "Active work units at run end")
+        .set(driver.active_units() as f64);
+    for (label, count) in [
+        (
+            "straggler",
+            driver
+                .health_records()
+                .iter()
+                .filter(|r| r.kind.label() == "health:straggler")
+                .count(),
+        ),
+        (
+            "load-imbalance",
+            driver
+                .health_records()
+                .iter()
+                .filter(|r| r.kind.label() == "health:load-imbalance")
+                .count(),
+        ),
+        (
+            "comm-spike",
+            driver
+                .health_records()
+                .iter()
+                .filter(|r| r.kind.label() == "health:comm-spike")
+                .count(),
+        ),
+    ] {
+        reg.counter_with(
+            "simcov_health_findings_total",
+            "Health findings by kind",
+            &[("kind", label)],
+        )
+        .add(count as u64);
+    }
+    reg.counter(
+        "simcov_telemetry_events_total",
+        "Span events recorded across all tracks",
+    )
+    .add(tel.recorded());
+    reg.counter(
+        "simcov_telemetry_dropped_total",
+        "Span events dropped to ring wraparound",
+    )
+    .add(tel.dropped());
 }
 
 fn step_records_json(records: &[StepRecord]) -> Json {

@@ -13,8 +13,8 @@
 
 use crate::json::{write_json, Json};
 use crate::report::Table;
+use simcov_telemetry::MonotonicClock;
 use std::hint::black_box;
-use std::time::Instant;
 
 const TARGET_BATCH_NS: u128 = 1_000_000; // 1 ms
 const MAX_BATCH: u64 = 1 << 22;
@@ -117,12 +117,15 @@ impl Bench {
         self.results.push(result);
     }
 
+    // Same monotonic clock helper the runtime trace records with
+    // (`simcov_telemetry::MonotonicClock`), so bench timings and trace span
+    // durations share one time source and are directly comparable.
     fn time_batch<R>(batch: u64, f: &mut impl FnMut() -> R) -> u128 {
-        let t0 = Instant::now();
+        let clock = MonotonicClock::new();
         for _ in 0..batch {
             black_box(f());
         }
-        t0.elapsed().as_nanos()
+        clock.now_ns() as u128
     }
 
     /// Print the summary table (and the JSON artifact, if requested).

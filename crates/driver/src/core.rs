@@ -5,7 +5,7 @@
 //! metrics plumbing, comm-delta bookkeeping, recovery state) now lives here
 //! once, embedded by both.
 
-use gpusim::metrics::{MetricsSink, SnapshotTaker};
+use gpusim::metrics::{MetricsSink, SnapshotTaker, StepRecord};
 use gpusim::DeviceCounters;
 use pgas::fault::{FaultPlan, IntegrityRecord, PendingStateCorruption, RecoveryRecord};
 use pgas::{CommCounters, WorkPool};
@@ -16,6 +16,7 @@ use simcov_core::params::SimParams;
 use simcov_core::stats::TimeSeries;
 use simcov_core::tcell::VascularPool;
 use simcov_core::world::World;
+use simcov_telemetry::{HealthMonitor, Histogram, Telemetry};
 
 use crate::error::ConfigError;
 
@@ -92,9 +93,21 @@ pub struct DriverCore {
     pub history: TimeSeries,
     /// Installed per-step metrics consumer (None: metrics are off and the
     /// step loop takes no clock readings).
-    pub metrics: Option<Box<dyn MetricsSink>>,
+    pub metrics: Option<Box<dyn MetricsSink<StepRecord>>>,
     pub snapshots: SnapshotTaker,
     pub prev_comm: CommCounters,
+    /// Cross-layer telemetry handle (disabled by default: every span site
+    /// reduces to one branch and no clock reads).
+    pub telemetry: Telemetry,
+    /// Wall-clock histogram of whole driver steps, registered on the
+    /// telemetry registry when telemetry is attached.
+    pub step_hist: Option<Histogram>,
+    /// Online health monitor (None: no straggler / imbalance / comm-spike
+    /// detection). Requires telemetry for per-rank superstep walls.
+    pub health: Option<HealthMonitor>,
+    /// Comm counters at the last health observation, for per-step deltas
+    /// (independent of the metrics sink's own `prev_comm` bookkeeping).
+    pub health_prev_comm: CommCounters,
     /// Work counters of unit generations destroyed by recovery rebuilds;
     /// totals are `retired + live` so recovered work is never lost.
     pub retired_counters: DeviceCounters,
@@ -155,6 +168,10 @@ impl DriverCore {
             metrics: None,
             snapshots: SnapshotTaker::new(),
             prev_comm: CommCounters::default(),
+            telemetry: Telemetry::disabled(),
+            step_hist: None,
+            health: None,
+            health_prev_comm: CommCounters::default(),
             retired_counters: DeviceCounters::new(),
             recovery: None,
             pending_recoveries: Vec::new(),

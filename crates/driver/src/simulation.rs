@@ -24,6 +24,7 @@ use simcov_core::params::SimParams;
 use simcov_core::serial::SerialSim;
 use simcov_core::stats::{StatsPartial, StepStats, TimeSeries};
 use simcov_core::world::World;
+use simcov_telemetry::{HealthConfig, HealthMonitor, HealthRecord, RankWalls, SpanKind, Telemetry};
 
 use crate::core::DriverCore;
 use crate::error::{ConfigError, SimError};
@@ -58,6 +59,26 @@ pub trait Executor {
     fn bsp_counters(&self) -> CommCounters;
     fn bsp_trace(&self) -> &Trace;
     fn bsp_enable_trace(&mut self);
+
+    /// Hand the telemetry handle down to the BSP runtime (and, for the GPU
+    /// executor, to every device) so supersteps, rank phases and kernel
+    /// phases record spans. Called by [`Simulation::enable_telemetry`] after
+    /// [`DriverCore::telemetry`] is set; `rebuild` implementations must
+    /// re-attach from the core so telemetry survives elastic shrinks.
+    fn attach_unit_telemetry(&mut self) {}
+
+    /// Drain the per-superstep rank wall-clock samples the BSP layer
+    /// accumulated (empty when telemetry is off). The driver feeds these to
+    /// the health monitor after every completed step.
+    fn take_rank_walls(&mut self) -> Vec<RankWalls> {
+        Vec::new()
+    }
+
+    /// Active work units per execution unit (active-list voxels per rank /
+    /// active tiles per device) — the health monitor's load-imbalance input.
+    fn per_unit_active(&self) -> Vec<u64> {
+        Vec::new()
+    }
 
     /// Compute step `t`: run the executor's supersteps and return the
     /// globally-reduced statistics partial. On `Err` the unit states are
@@ -139,7 +160,24 @@ pub trait Simulation {
     fn active_units(&self) -> u64;
 
     /// Install a per-step metrics consumer; records flow from the next step.
-    fn set_metrics_sink(&mut self, sink: Box<dyn MetricsSink>);
+    fn set_metrics_sink(&mut self, sink: Box<dyn MetricsSink<StepRecord>>);
+
+    /// Attach a telemetry handle: driver steps, BSP supersteps, rank phases
+    /// and (on the GPU executor) kernel phases record spans on it from the
+    /// next step. Telemetry is pure observation — an attached handle never
+    /// changes the trajectory.
+    fn enable_telemetry(&mut self, tel: Telemetry);
+
+    /// The attached telemetry handle (disabled handle when none was attached).
+    fn telemetry_handle(&self) -> Telemetry;
+
+    /// Engage online health monitoring (stragglers, load imbalance, comm
+    /// spikes). Straggler detection needs per-rank walls, so attach
+    /// telemetry first; no-op on the serial executor.
+    fn enable_health(&mut self, cfg: HealthConfig);
+
+    /// Every health finding so far, in detection order.
+    fn health_records(&self) -> &[HealthRecord];
 
     /// Start recording runtime trace events (no-op for serial).
     fn enable_trace(&mut self);
@@ -179,6 +217,7 @@ impl<E: Executor> Simulation for E {
     fn advance_step(&mut self) -> Result<(), SimError> {
         let target = self.core().step + 1;
         let mut attempt: u32 = 0;
+        let tel = self.core().telemetry.clone();
         // After a rollback `core.step` drops below `target`; the loop
         // replays the intermediate steps until the trajectory is one step
         // further than when we were called.
@@ -200,6 +239,12 @@ impl<E: Executor> Simulation for E {
                     .save(core.step, &world, &core.vascular, &core.history);
             }
             let t = self.core().step;
+            // Root of this step's span tree: supersteps parent to it via the
+            // published step-parent slot.
+            let step_open = tel.open();
+            if tel.is_enabled() {
+                tel.set_step_parent(step_open.id);
+            }
             let start = self.core().metrics.as_ref().map(|_| Instant::now());
             let trials =
                 TrialTable::build(&self.core().params, t, self.core().vascular.circulating());
@@ -208,9 +253,20 @@ impl<E: Executor> Simulation for E {
                     attempt = 0;
                     finish_step(self, t, partial, start);
                     epilogue_integrity(self, t);
+                    if tel.is_enabled() {
+                        observe_health(self, t, &tel);
+                        tel.close(0, "step", SpanKind::Step, 0, step_open, t, 0);
+                        if let Some(h) = self.core().step_hist.as_ref() {
+                            h.observe(tel.now_ns().saturating_sub(step_open.start_ns));
+                        }
+                    }
                 }
                 Err(failure) => {
                     attempt += 1;
+                    if tel.is_enabled() {
+                        tel.instant(0, "recovery", step_open.id, t, attempt as u64);
+                        tel.close(0, "step", SpanKind::Step, 0, step_open, t, attempt as u64);
+                    }
                     recover(self, failure, attempt)?;
                 }
             }
@@ -234,8 +290,37 @@ impl<E: Executor> Simulation for E {
         self.live_active_units()
     }
 
-    fn set_metrics_sink(&mut self, sink: Box<dyn MetricsSink>) {
+    fn set_metrics_sink(&mut self, sink: Box<dyn MetricsSink<StepRecord>>) {
         self.core_mut().metrics = Some(sink);
+    }
+
+    fn enable_telemetry(&mut self, tel: Telemetry) {
+        self.core_mut().step_hist = tel.registry().map(|r| {
+            r.histogram(
+                "simcov_step_wall_ns",
+                "Wall-clock nanoseconds per whole driver step",
+            )
+        });
+        self.core_mut().telemetry = tel;
+        self.attach_unit_telemetry();
+    }
+
+    fn telemetry_handle(&self) -> Telemetry {
+        self.core().telemetry.clone()
+    }
+
+    fn enable_health(&mut self, cfg: HealthConfig) {
+        let core = self.core_mut();
+        core.health = Some(HealthMonitor::with_config(cfg));
+        core.health_prev_comm = CommCounters::default();
+    }
+
+    fn health_records(&self) -> &[HealthRecord] {
+        self.core()
+            .health
+            .as_ref()
+            .map(|m| m.records())
+            .unwrap_or(&[])
     }
 
     fn enable_trace(&mut self) {
@@ -299,6 +384,35 @@ impl<E: Executor> Simulation for E {
             .as_ref()
             .map(|rm| rm.log.as_slice())
             .unwrap_or(&[])
+    }
+}
+
+/// Post-step health observation: drain the BSP layer's per-superstep rank
+/// walls (always, so the buffer never grows unboundedly), then — when a
+/// monitor is engaged — feed walls, per-unit active counts and the step's
+/// comm-byte delta through it, and stamp any fresh finding onto the trace
+/// timeline as an instant marker under the current step span.
+fn observe_health<E: Executor + ?Sized>(exec: &mut E, t: u64, tel: &Telemetry) {
+    let walls = exec.take_rank_walls();
+    if exec.core().health.is_none() {
+        return;
+    }
+    let active = exec.per_unit_active();
+    let comm = exec.bsp_counters();
+    let now = tel.now_ns();
+    let step_span = tel.step_parent();
+    let core = exec.core_mut();
+    let delta_bytes = (comm.bytes + comm.bulk_bytes)
+        .saturating_sub(core.health_prev_comm.bytes + core.health_prev_comm.bulk_bytes);
+    core.health_prev_comm = comm;
+    let mon = core.health.as_mut().expect("checked above");
+    let mut fresh = Vec::new();
+    for w in &walls {
+        fresh.extend(mon.observe_superstep(t, w.superstep, now, &w.walls));
+    }
+    fresh.extend(mon.observe_step(t, now, &active, delta_bytes));
+    for r in &fresh {
+        tel.instant(0, r.kind.label(), step_span, r.superstep, 0);
     }
 }
 
@@ -650,9 +764,12 @@ fn recover<E: Executor + ?Sized>(
 /// unavailable, and checkpoint/restore operate on the whole world.
 pub struct SerialDriver {
     sim: SerialSim,
-    metrics: Option<Box<dyn MetricsSink>>,
+    metrics: Option<Box<dyn MetricsSink<StepRecord>>>,
     /// Permanently-disabled trace handed out by [`Simulation::trace`].
     empty_trace: Trace,
+    /// Attached telemetry: serial steps record flat `step` spans (no
+    /// supersteps or ranks exist to nest under them).
+    telemetry: Telemetry,
 }
 
 impl SerialDriver {
@@ -666,6 +783,7 @@ impl SerialDriver {
             sim: SerialSim::with_pattern(params, pattern),
             metrics: None,
             empty_trace: Trace::disabled(),
+            telemetry: Telemetry::disabled(),
         })
     }
 
@@ -681,6 +799,7 @@ impl SerialDriver {
             sim: SerialSim::from_world(params, world),
             metrics: None,
             empty_trace: Trace::disabled(),
+            telemetry: Telemetry::disabled(),
         })
     }
 
@@ -709,7 +828,10 @@ impl Simulation for SerialDriver {
     fn advance_step(&mut self) -> Result<(), SimError> {
         let start = self.metrics.as_ref().map(|_| Instant::now());
         let t = self.sim.step;
+        let step_open = self.telemetry.open();
         self.sim.advance_step();
+        self.telemetry
+            .close(0, "step", SpanKind::Step, 0, step_open, t, 0);
         if let Some(sink) = self.metrics.as_mut() {
             let s = self.sim.last_stats().copied().unwrap_or_default();
             sink.record(StepRecord {
@@ -742,8 +864,23 @@ impl Simulation for SerialDriver {
         self.sim.world.nvoxels() as u64
     }
 
-    fn set_metrics_sink(&mut self, sink: Box<dyn MetricsSink>) {
+    fn set_metrics_sink(&mut self, sink: Box<dyn MetricsSink<StepRecord>>) {
         self.metrics = Some(sink);
+    }
+
+    fn enable_telemetry(&mut self, tel: Telemetry) {
+        self.telemetry = tel;
+    }
+
+    fn telemetry_handle(&self) -> Telemetry {
+        self.telemetry.clone()
+    }
+
+    /// No ranks, no supersteps: there is nothing for the monitor to watch.
+    fn enable_health(&mut self, _cfg: HealthConfig) {}
+
+    fn health_records(&self) -> &[HealthRecord] {
+        &[]
     }
 
     fn enable_trace(&mut self) {}

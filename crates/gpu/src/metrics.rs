@@ -13,7 +13,6 @@
 use crate::cost::{CostBreakdown, CostModel, HwProfile};
 use crate::counters::{CategoryCounters, DeviceCounters, KernelCategory};
 use pgas::fault::{IntegrityRecord, RecoveryRecord};
-use std::sync::{Arc, Mutex};
 
 impl KernelCategory {
     /// Stable lowercase phase name, used as the key in structured output.
@@ -114,82 +113,24 @@ impl SnapshotTaker {
 }
 
 /// One structured record per simulation step, emitted by both executors.
-/// (Not `Copy`: a record owns the recovery events that completed during the
+///
+/// The executor-independent shape lives in the shared telemetry crate
+/// ([`simcov_telemetry::StepRecord`]); this alias pins its layer-specific
+/// payloads — per-phase device work, completed recoveries, integrity events
+/// — and is the concrete record type the whole workspace exchanges. (Not
+/// `Copy`: a record owns the recovery events that completed during the
 /// step, which is almost always an empty `Vec`.)
-#[derive(Debug, Clone, Default, PartialEq)]
-pub struct StepRecord {
-    pub step: u64,
-    /// Agents in play: T cells resident in tissue.
-    pub agents: u64,
-    /// Total virion mass (model-level cross-executor comparable).
-    pub virions: f64,
-    /// Total chemokine mass.
-    pub chemokine: f64,
-    /// Active work units: active-list voxels (CPU) or active tiles (GPU),
-    /// summed over ranks/devices.
-    pub active_units: u64,
-    /// Point-to-point + bulk messages delivered this step.
-    pub comm_messages: u64,
-    /// Point-to-point + bulk payload bytes delivered this step.
-    pub comm_bytes: u64,
-    /// Simulated seconds of this step under the cost model: aggregate phase
-    /// cost normalized per rank/device (perfect-balance approximation).
-    pub sim_seconds: f64,
-    /// Measured wall-clock seconds of this step.
-    pub real_seconds: f64,
-    /// Per-phase snapshot of this step's aggregate device work.
-    pub phases: PhaseSnapshot,
-    /// Fault recoveries (rollback + re-partition + replay) that completed
-    /// while computing this step. Empty in healthy runs.
-    pub recoveries: Vec<RecoveryRecord>,
-    /// Integrity events (detected corruption + the healing tier that fixed
-    /// it) attributed to this step. Empty in healthy runs.
-    pub integrity: Vec<IntegrityRecord>,
-}
+pub type StepRecord = simcov_telemetry::StepRecord<PhaseSnapshot, RecoveryRecord, IntegrityRecord>;
 
-/// Consumer of per-step records. `Send` so an installed sink never stops a
+/// Consumer of per-step records (re-exported from the telemetry crate;
+/// generic over the record type). `Send` so an installed sink never stops a
 /// simulation from moving across threads.
-pub trait MetricsSink: Send {
-    fn record(&mut self, rec: StepRecord);
-}
+pub use simcov_telemetry::MetricsSink;
 
-/// A cloneable, thread-safe in-memory sink: hand one clone to the
-/// simulation and keep another to read the records afterwards.
-#[derive(Debug, Clone, Default)]
-pub struct SharedSink {
-    records: Arc<Mutex<Vec<StepRecord>>>,
-}
-
-impl SharedSink {
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Copy of all records so far.
-    pub fn records(&self) -> Vec<StepRecord> {
-        self.records
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .clone()
-    }
-
-    pub fn len(&self) -> usize {
-        self.records.lock().unwrap_or_else(|e| e.into_inner()).len()
-    }
-
-    pub fn is_empty(&self) -> bool {
-        self.len() == 0
-    }
-}
-
-impl MetricsSink for SharedSink {
-    fn record(&mut self, rec: StepRecord) {
-        self.records
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .push(rec);
-    }
-}
+/// A cloneable, thread-safe in-memory sink over the workspace's concrete
+/// [`StepRecord`]: hand one clone to the simulation and keep another to
+/// read the records afterwards.
+pub type SharedSink = simcov_telemetry::SharedSink<StepRecord>;
 
 #[cfg(test)]
 mod tests {

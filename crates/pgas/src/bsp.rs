@@ -24,9 +24,10 @@ use crate::fault::{
 };
 use crate::mailbox::{ExchangeFaults, Mailboxes, Outbox};
 use crate::pool::WorkPool;
-#[cfg(feature = "trace")]
-use crate::trace::SpanVolume;
-use crate::trace::Trace;
+#[cfg(not(feature = "trace"))]
+use crate::trace::Span;
+use crate::trace::{SpanVolume, Trace};
+use simcov_telemetry::{Histogram, RankWalls, SpanKind, Telemetry};
 use std::sync::Mutex;
 
 /// Corrupt batches healed per superstep before the superstep is failed and
@@ -60,6 +61,16 @@ pub struct Bsp<M> {
     pending_state: Vec<PendingStateCorruption>,
     /// In-barrier batch heals awaiting the driver's metrics drain.
     integrity_records: Vec<IntegrityRecord>,
+    /// Unified telemetry handle (disabled by default; see
+    /// [`Bsp::attach_telemetry`]). When enabled, every superstep records a
+    /// span hierarchy: superstep → per-rank compute + exchange.
+    telemetry: Telemetry,
+    /// Superstep wall-clock histogram registered on the telemetry registry.
+    superstep_hist: Option<Histogram>,
+    /// Per-superstep rank wall clocks awaiting the driver's health drain.
+    rank_walls: Vec<RankWalls>,
+    /// Reusable per-rank wall scratch (one slot per rank, unique writer).
+    wall_scratch: Vec<u64>,
 }
 
 impl<M: Send + Sync + WireSize + Payload> Bsp<M> {
@@ -76,6 +87,10 @@ impl<M: Send + Sync + WireSize + Payload> Bsp<M> {
             retransmit_budget: DEFAULT_RETRANSMIT_BUDGET,
             pending_state: Vec::new(),
             integrity_records: Vec::new(),
+            telemetry: Telemetry::disabled(),
+            superstep_hist: None,
+            rank_walls: Vec::new(),
+            wall_scratch: Vec::new(),
         }
     }
 
@@ -148,6 +163,10 @@ impl<M: Send + Sync + WireSize + Payload> Bsp<M> {
             retransmit_budget: self.retransmit_budget,
             pending_state: self.pending_state,
             integrity_records: self.integrity_records,
+            telemetry: self.telemetry,
+            superstep_hist: self.superstep_hist,
+            rank_walls: self.rank_walls,
+            wall_scratch: Vec::new(),
         }
     }
 
@@ -156,6 +175,36 @@ impl<M: Send + Sync + WireSize + Payload> Bsp<M> {
     /// this enables the log but supersteps record nothing.
     pub fn enable_trace(&mut self) {
         self.trace.enable();
+    }
+
+    /// Attach a unified telemetry handle. With an enabled handle every
+    /// superstep records a span hierarchy (superstep → per-rank compute +
+    /// exchange, parented under the driver's published step span), samples
+    /// per-rank wall clocks for the health monitor, and feeds the superstep
+    /// wall histogram on the handle's registry. A disabled handle (the
+    /// default) costs one branch per superstep.
+    pub fn attach_telemetry(&mut self, t: Telemetry) {
+        self.superstep_hist = t.registry().map(|r| {
+            r.histogram(
+                "pgas_superstep_wall_ns",
+                "Wall-clock nanoseconds per BSP superstep",
+            )
+        });
+        self.telemetry = t;
+    }
+
+    /// The attached telemetry handle (disabled unless
+    /// [`Bsp::attach_telemetry`] installed an enabled one).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Drain the per-superstep rank wall-clock samples collected since the
+    /// last drain (empty unless an enabled telemetry handle is attached).
+    /// Walls include injected slow-rank stall time, so seeded stragglers
+    /// are visible to the health monitor.
+    pub fn take_rank_walls(&mut self) -> Vec<RankWalls> {
+        std::mem::take(&mut self.rank_walls)
     }
 
     pub fn n_ranks(&self) -> usize {
@@ -216,9 +265,16 @@ impl<M: Send + Sync + WireSize + Payload> Bsp<M> {
         F: Fn(usize, &mut S, &[M], &mut Outbox<M>) -> R + Sync,
     {
         assert_eq!(states.len(), self.n_ranks, "one state per rank");
+        // Without the `trace` feature the span is untimed, but `finish`
+        // still accumulates volume so counters never silently read zero.
         #[cfg(feature = "trace")]
         let span = self.trace.span("superstep");
+        #[cfg(not(feature = "trace"))]
+        let span = Span::disabled("superstep");
         let step_index = self.counters.supersteps;
+        let tel = self.telemetry.clone();
+        let tel_on = tel.is_enabled();
+        let ss_open = tel.open();
 
         // Collect faults due now. Ranks are interpreted modulo the current
         // rank count so plans stay valid after an elastic shrink.
@@ -227,6 +283,7 @@ impl<M: Send + Sync + WireSize + Payload> Bsp<M> {
         let mut dups: Vec<usize> = Vec::new();
         let mut shuffles: Vec<(usize, u64)> = Vec::new();
         let mut corruptions: Vec<(usize, u64)> = Vec::new();
+        let mut stalls: Vec<(usize, u64)> = Vec::new();
         if !self.plan.is_exhausted() {
             let n = self.n_ranks;
             for ev in self.plan.take_due(step_index) {
@@ -238,6 +295,9 @@ impl<M: Send + Sync + WireSize + Payload> Bsp<M> {
                     FaultKind::SlowRank { stall_ns } => {
                         self.counters.stalls += 1;
                         self.counters.stall_ns += stall_ns;
+                        // Attribute the stall to its rank so telemetry walls
+                        // (and the straggler detector) see it.
+                        stalls.push((rank, stall_ns));
                     }
                     FaultKind::DeliveryShuffle { seed } => {
                         // Distinct permutation per (superstep, rank), still
@@ -269,6 +329,10 @@ impl<M: Send + Sync + WireSize + Payload> Bsp<M> {
         // by the rank that owns them.
         let mut results: Vec<R> = (0..self.n_ranks).map(|_| R::default()).collect();
         let mut heartbeats: Vec<bool> = vec![false; self.n_ranks];
+        if tel_on {
+            self.wall_scratch.clear();
+            self.wall_scratch.resize(self.n_ranks, 0);
+        }
 
         {
             struct Slots<S, R, M> {
@@ -276,21 +340,27 @@ impl<M: Send + Sync + WireSize + Payload> Bsp<M> {
                 results: *mut R,
                 outboxes: *mut Outbox<M>,
                 heartbeats: *mut bool,
+                walls: *mut u64,
             }
             // SAFETY: each index is claimed by exactly one pool worker
             // (WorkPool::run_indexed guarantees single execution per index),
-            // so each rank's state/result/outbox/heartbeat slot has a unique
-            // writer.
+            // so each rank's state/result/outbox/heartbeat/wall slot has a
+            // unique writer.
             unsafe impl<S, R, M> Sync for Slots<S, R, M> {}
             let slots = Slots {
                 states: states.as_mut_ptr(),
                 results: results.as_mut_ptr(),
                 outboxes: self.outboxes.as_mut_ptr(),
                 heartbeats: heartbeats.as_mut_ptr(),
+                // Dangling when telemetry is off (scratch stays empty); the
+                // closure only dereferences it under `tel_on`.
+                walls: self.wall_scratch.as_mut_ptr(),
             };
             let inboxes = self.mail.front();
             let f = &f;
             let killed = &killed;
+            let tel = &tel;
+            let ss_id = ss_open.id;
             // Bind a reference so the closure captures the whole `Slots`
             // (which is `Sync`) rather than its raw-pointer fields.
             let slots = &slots;
@@ -299,6 +369,13 @@ impl<M: Send + Sync + WireSize + Payload> Bsp<M> {
                     // Injected death: the rank vanishes before computing,
                     // leaving its heartbeat slot cold for the barrier check.
                     return;
+                }
+                // Open the rank's compute span and publish it as the track
+                // parent so device-level kernel phases nest under it. Track
+                // `rank + 1` has this rank as its unique writer.
+                let compute = tel.open();
+                if tel_on {
+                    tel.set_track_parent(rank + 1, compute.id);
                 }
                 // SAFETY: see Slots above — `rank` is unique per invocation.
                 let (state, result, outbox) = unsafe {
@@ -311,7 +388,35 @@ impl<M: Send + Sync + WireSize + Payload> Bsp<M> {
                 *result = f(rank, state, &inboxes[rank], outbox);
                 // SAFETY: unique writer per rank, as above.
                 unsafe { *slots.heartbeats.add(rank) = true };
+                if tel_on {
+                    // SAFETY: unique writer per rank, as above.
+                    unsafe {
+                        *slots.walls.add(rank) = tel.now_ns().saturating_sub(compute.start_ns)
+                    };
+                    tel.close(
+                        rank + 1,
+                        "compute",
+                        SpanKind::RankPhase,
+                        ss_id,
+                        compute,
+                        rank as u64,
+                        0,
+                    );
+                }
             });
+        }
+
+        // Workers have quiesced: the coordinator is now the unique writer on
+        // every track. Fold injected stalls into the sampled walls (a
+        // metered stall is wall time the real rank would have burned) and
+        // mark them on the rank's timeline.
+        if tel_on {
+            for &(rank, stall_ns) in &stalls {
+                if let Some(w) = self.wall_scratch.get_mut(rank) {
+                    *w += stall_ns;
+                }
+                tel.instant(rank + 1, "stall", ss_open.id, rank as u64, stall_ns);
+            }
         }
 
         // Barrier, part 1 — heartbeat scan: any rank that did not check in
@@ -333,6 +438,7 @@ impl<M: Send + Sync + WireSize + Payload> Bsp<M> {
                 self.counters.duplicates_suppressed += self.outboxes[src].len() as u64;
             }
         }
+        let exchange = tel.open();
         let vol = self.mail.exchange_faulted(
             pool,
             &mut self.outboxes,
@@ -370,11 +476,37 @@ impl<M: Send + Sync + WireSize + Payload> Bsp<M> {
                 action: IntegrityAction::Retransmit,
             });
         }
-        #[cfg(feature = "trace")]
         self.trace.finish(
             span,
             SpanVolume::new(vol.msgs, vol.bytes, vol.bulk_msgs, vol.bulk_bytes),
         );
+        if tel_on {
+            tel.close(
+                0,
+                "exchange",
+                SpanKind::RankPhase,
+                ss_open.id,
+                exchange,
+                vol.msgs + vol.bulk_msgs,
+                vol.bytes + vol.bulk_bytes,
+            );
+            if let Some(h) = &self.superstep_hist {
+                h.observe(tel.now_ns().saturating_sub(ss_open.start_ns));
+            }
+            tel.close(
+                0,
+                "superstep",
+                SpanKind::Superstep,
+                tel.step_parent(),
+                ss_open,
+                step_index,
+                vol.bytes + vol.bulk_bytes,
+            );
+            self.rank_walls.push(RankWalls {
+                superstep: step_index,
+                walls: self.wall_scratch.clone(),
+            });
+        }
         if !dead_ranks.is_empty() || vol.dropped > 0 {
             return Err(SuperstepError::Failure(SuperstepFailure {
                 superstep: step_index,

@@ -1,21 +1,36 @@
-//! Structured runtime tracing: span-style timers feeding a monotonic event
-//! log.
+//! Structured runtime tracing: span-style timers feeding a bounded event
+//! ring.
 //!
 //! The observability substrate of the runtime. [`Bsp::superstep`] records one
 //! event per superstep — wall-clock duration, point-to-point and bulk message
 //! counts and bytes — and any other layer can open ad-hoc [`Span`]s against
-//! the same log. Everything is zero-dependency and stays off the hot path:
-//! with tracing disabled (the default) the per-superstep cost is a single
-//! branch, and the `trace` cargo feature removes even that at compile time.
+//! the same log. Storage is a fixed-capacity [`EventRing`] from the shared
+//! telemetry crate, so a week-long run cannot grow an unbounded trace: the
+//! ring keeps the most recent [`Trace::capacity`] events and counts the rest
+//! in [`Trace::dropped_events`]. Timestamps come from the workspace-wide
+//! [`MonotonicClock`] helper rather than per-call-site `Instant` bookkeeping.
+//!
+//! Volume accounting is decoupled from event storage: [`Trace::finish`]
+//! accumulates cumulative span counts and communication volume whenever the
+//! trace is runtime-enabled — even in builds without the `trace` cargo
+//! feature, and even after ring wraparound — so [`Trace::total_volume`]
+//! never silently reads zero.
+//!
+//! Everything stays off the hot path: with tracing disabled (the default)
+//! the per-superstep cost is a single branch, and the `trace` cargo feature
+//! removes even that at compile time.
 //!
 //! [`Bsp::superstep`]: crate::bsp::Bsp::superstep
 
-use std::time::Instant;
+use simcov_telemetry::{EventRing, MonotonicClock};
+
+/// Default event-ring retention; see [`Trace::with_capacity`].
+pub const DEFAULT_TRACE_CAPACITY: usize = 16 * 1024;
 
 /// One finished span in the event log. Times are nanoseconds relative to the
 /// trace origin, so events from one trace are directly comparable and
 /// serialize compactly.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TraceEvent {
     /// Monotonic sequence number (0, 1, 2, ... in completion order).
     pub seq: u64,
@@ -40,17 +55,22 @@ pub struct TraceEvent {
 #[derive(Debug)]
 pub struct Span {
     label: &'static str,
-    start: Option<Instant>,
+    start_ns: Option<u64>,
 }
 
 impl Span {
-    /// A span that records nothing when finished.
+    /// A span that records no timing when finished (volume still counts if
+    /// the trace is enabled).
     pub fn disabled(label: &'static str) -> Self {
-        Span { label, start: None }
+        Span {
+            label,
+            start_ns: None,
+        }
     }
 }
 
-/// A monotonic event log with an origin instant.
+/// A monotonic event log over a bounded ring, with cumulative volume
+/// counters that survive ring wraparound.
 ///
 /// Disabled traces record nothing and allocate nothing; `Trace::default()`
 /// is disabled so embedding a `Trace` in runtime structs costs one bool on
@@ -58,8 +78,16 @@ impl Span {
 #[derive(Debug, Default)]
 pub struct Trace {
     enabled: bool,
-    origin: Option<Instant>,
-    events: Vec<TraceEvent>,
+    clock: Option<MonotonicClock>,
+    ring: Option<EventRing<TraceEvent>>,
+    capacity: usize,
+    seq: u64,
+    /// Cumulative volume over every finished span, ring drops included.
+    volume: SpanVolume,
+    /// Cumulative wall nanoseconds over every *timed* finished span.
+    wall_ns_total: u64,
+    /// Count of finished spans (timed or not), ring drops included.
+    finished: u64,
 }
 
 impl Trace {
@@ -68,15 +96,25 @@ impl Trace {
         Trace::default()
     }
 
-    /// An enabled trace whose origin is "now".
+    /// An enabled trace whose origin is "now", with default ring capacity.
     pub fn enabled() -> Self {
-        Trace {
-            enabled: true,
-            origin: Some(Instant::now()),
-            events: Vec::new(),
-        }
+        let mut t = Trace::default();
+        t.enable();
+        t
     }
 
+    /// An enabled trace retaining at most `capacity` events (rounded up to a
+    /// power of two).
+    pub fn with_capacity(capacity: usize) -> Self {
+        let mut t = Trace {
+            capacity,
+            ..Trace::default()
+        };
+        t.enable();
+        t
+    }
+
+    /// Whether spans record anything.
     pub fn is_enabled(&self) -> bool {
         self.enabled
     }
@@ -84,34 +122,77 @@ impl Trace {
     /// Turn recording on (idempotent; the origin is set on first enable).
     pub fn enable(&mut self) {
         self.enabled = true;
-        if self.origin.is_none() {
-            self.origin = Some(Instant::now());
+        if self.clock.is_none() {
+            self.clock = Some(MonotonicClock::new());
         }
+        if self.ring.is_none() {
+            let cap = if self.capacity == 0 {
+                DEFAULT_TRACE_CAPACITY
+            } else {
+                self.capacity
+            };
+            let ring = EventRing::new(cap);
+            self.capacity = ring.capacity();
+            self.ring = Some(ring);
+        }
+    }
+
+    /// Ring retention capacity (0 while disabled and never enabled).
+    pub fn capacity(&self) -> usize {
+        self.ring.as_ref().map_or(0, |r| r.capacity())
+    }
+
+    /// Events lost to ring wraparound (their volume is still counted).
+    pub fn dropped_events(&self) -> u64 {
+        self.ring.as_ref().map_or(0, |r| r.dropped())
+    }
+
+    /// Total spans finished while enabled, including any whose events were
+    /// later dropped from the ring.
+    pub fn finished_spans(&self) -> u64 {
+        self.finished
     }
 
     /// Open a span. Cheap no-op (no clock read) when disabled.
     pub fn span(&self, label: &'static str) -> Span {
-        if !self.enabled {
-            return Span::disabled(label);
-        }
-        Span {
-            label,
-            start: Some(Instant::now()),
+        match (self.enabled, &self.clock) {
+            (true, Some(clock)) => Span {
+                label,
+                start_ns: Some(clock.now_ns()),
+            },
+            _ => Span::disabled(label),
         }
     }
 
-    /// Close a span, attributing communication volume to it. No-op for
-    /// spans opened while the trace was disabled.
+    /// Close a span, attributing communication volume to it.
+    ///
+    /// Volume and span counts accumulate whenever the trace is enabled —
+    /// even for untimed spans (builds without the `trace` feature open them
+    /// via [`Span::disabled`]) — so counters never silently read zero. A
+    /// ring event with timing is recorded only for spans opened while
+    /// enabled.
     pub fn finish(&mut self, span: Span, volume: SpanVolume) {
-        let (Some(start), Some(origin)) = (span.start, self.origin) else {
+        if !self.enabled {
+            return;
+        }
+        self.volume.messages += volume.messages;
+        self.volume.bytes += volume.bytes;
+        self.volume.bulk_messages += volume.bulk_messages;
+        self.volume.bulk_bytes += volume.bulk_bytes;
+        self.finished += 1;
+        let (Some(start_ns), Some(clock), Some(ring)) = (span.start_ns, &self.clock, &self.ring)
+        else {
             return;
         };
-        let seq = self.events.len() as u64;
-        self.events.push(TraceEvent {
+        let wall_ns = clock.now_ns().saturating_sub(start_ns);
+        self.wall_ns_total += wall_ns;
+        let seq = self.seq;
+        self.seq += 1;
+        ring.push(TraceEvent {
             seq,
             label: span.label,
-            start_ns: start.duration_since(origin).as_nanos() as u64,
-            wall_ns: start.elapsed().as_nanos() as u64,
+            start_ns,
+            wall_ns,
             messages: volume.messages,
             bytes: volume.bytes,
             bulk_messages: volume.bulk_messages,
@@ -119,35 +200,28 @@ impl Trace {
         });
     }
 
-    /// The full event log, in completion order.
-    pub fn events(&self) -> &[TraceEvent] {
-        &self.events
+    /// The retained event log, in completion order (oldest first). After
+    /// ring wraparound this is the most recent [`Trace::capacity`] events.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.ring.as_ref().map_or_else(Vec::new, |r| r.snapshot())
     }
 
-    /// Events recorded under one label.
-    pub fn events_for<'a>(
-        &'a self,
-        label: &'static str,
-    ) -> impl Iterator<Item = &'a TraceEvent> + 'a {
-        self.events.iter().filter(move |e| e.label == label)
+    /// Retained events recorded under one label.
+    pub fn events_for(&self, label: &'static str) -> impl Iterator<Item = TraceEvent> {
+        self.events().into_iter().filter(move |e| e.label == label)
     }
 
-    /// Sum of `(messages + bulk_messages, bytes + bulk_bytes)` over all
-    /// events — comparable against [`crate::CommCounters`] totals.
+    /// Cumulative `(messages + bulk_messages, bytes + bulk_bytes)` over all
+    /// finished spans — comparable against [`crate::CommCounters`] totals.
+    /// Maintained outside the ring, so wraparound and feature-gated builds
+    /// never zero it.
     pub fn total_volume(&self) -> SpanVolume {
-        let mut v = SpanVolume::default();
-        for e in &self.events {
-            v.messages += e.messages;
-            v.bytes += e.bytes;
-            v.bulk_messages += e.bulk_messages;
-            v.bulk_bytes += e.bulk_bytes;
-        }
-        v
+        self.volume
     }
 
-    /// Total wall-clock nanoseconds across all recorded spans.
+    /// Total wall-clock nanoseconds across all timed spans.
     pub fn total_wall_ns(&self) -> u64 {
-        self.events.iter().map(|e| e.wall_ns).sum()
+        self.wall_ns_total
     }
 }
 
@@ -182,6 +256,7 @@ mod tests {
         t.finish(s, SpanVolume::new(10, 100, 1, 50));
         assert!(t.events().is_empty());
         assert_eq!(t.total_volume(), SpanVolume::default());
+        assert_eq!(t.finished_spans(), 0);
     }
 
     #[test]
@@ -233,5 +308,35 @@ mod tests {
         assert_eq!(t.events_for("a").count(), 2);
         assert_eq!(t.events_for("b").count(), 1);
         assert_eq!(t.events_for("c").count(), 0);
+    }
+
+    #[test]
+    fn ring_wraparound_keeps_cumulative_volume() {
+        let mut t = Trace::with_capacity(4);
+        assert_eq!(t.capacity(), 4);
+        for i in 0..10u64 {
+            let s = t.span("superstep");
+            t.finish(s, SpanVolume::new(1, 8, 0, 0));
+            let _ = i;
+        }
+        assert_eq!(t.events().len(), 4, "ring retains the most recent events");
+        assert_eq!(t.dropped_events(), 6);
+        assert_eq!(t.finished_spans(), 10);
+        // Volume is cumulative across drops: counters never read low.
+        assert_eq!(t.total_volume(), SpanVolume::new(10, 80, 0, 0));
+        let evs = t.events();
+        assert_eq!(evs[0].seq, 6, "oldest retained event after wrap");
+        assert_eq!(evs[3].seq, 9);
+    }
+
+    #[test]
+    fn untimed_spans_still_count_volume() {
+        // Builds without the `trace` feature open spans via
+        // `Span::disabled`: no ring event, but volume must still land.
+        let mut t = Trace::enabled();
+        t.finish(Span::disabled("superstep"), SpanVolume::new(3, 24, 1, 9));
+        assert!(t.events().is_empty());
+        assert_eq!(t.finished_spans(), 1);
+        assert_eq!(t.total_volume(), SpanVolume::new(3, 24, 1, 9));
     }
 }

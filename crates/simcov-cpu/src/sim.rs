@@ -182,6 +182,18 @@ impl Executor for CpuSim {
         self.bsp.enable_trace();
     }
 
+    fn attach_unit_telemetry(&mut self) {
+        self.bsp.attach_telemetry(self.core.telemetry.clone());
+    }
+
+    fn take_rank_walls(&mut self) -> Vec<simcov_telemetry::RankWalls> {
+        self.bsp.take_rank_walls()
+    }
+
+    fn per_unit_active(&self) -> Vec<u64> {
+        self.ranks.iter().map(|r| r.n_active() as u64).collect()
+    }
+
     /// One timestep = three supersteps + the statistics allreduce.
     fn compute_step(
         &mut self,
@@ -249,6 +261,11 @@ impl Executor for CpuSim {
             .collect();
         let bsp = std::mem::replace(&mut self.bsp, Bsp::new(1));
         self.bsp = bsp.rebuilt(n_units);
+        // `rebuilt` carries the telemetry handle forward; re-attach from the
+        // core anyway so a rebuild can never silently shed instrumentation.
+        if self.core.telemetry.is_enabled() {
+            self.bsp.attach_telemetry(self.core.telemetry.clone());
+        }
         self.core.partition = partition;
         Ok(())
     }

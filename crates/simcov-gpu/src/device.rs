@@ -36,6 +36,8 @@ use simcov_core::stats::StatsPartial;
 use simcov_core::tcell::TCellSlot;
 use simcov_core::world::World;
 
+use simcov_telemetry::Telemetry;
+
 use crate::msg::{BidCell, GpuMsg, HaloCell};
 use crate::tiles::{TileLayout, TileTracker};
 use crate::variants::GpuVariant;
@@ -78,6 +80,9 @@ pub struct GpuDevice {
 
     pub counters: DeviceCounters,
     pub link: LinkTraffic,
+    /// Telemetry handle for kernel-phase spans (disabled unless attached;
+    /// spans land on this device's rank track, parented to its compute span).
+    tel: Telemetry,
 }
 
 struct DeviceView<'a> {
@@ -170,8 +175,16 @@ impl GpuDevice {
             diffuse_out: Vec::new(),
             counters: DeviceCounters::new(),
             link: LinkTraffic::default(),
+            tel: Telemetry::disabled(),
             layout,
         }
+    }
+
+    /// Attach the run's telemetry handle: kernel phases record spans on
+    /// track `id + 1` from the next superstep on. Pure observation — never
+    /// changes the trajectory.
+    pub fn attach_telemetry(&mut self, tel: Telemetry) {
+        self.tel = tel;
     }
 
     #[inline]
@@ -207,6 +220,7 @@ impl GpuDevice {
         out: &mut Outbox<GpuMsg>,
     ) -> u64 {
         // Ghost refresh from the previous step's halo wave.
+        let sp = self.tel.open();
         let mut unpacked = 0u64;
         for msg in inbox {
             if let GpuMsg::Halo(cells) = msg {
@@ -231,9 +245,17 @@ impl GpuDevice {
             h.elements += unpacked;
             h.bytes += unpacked * 25;
         }
+        self.tel.kernel_span(
+            self.id + 1,
+            "kernel:halo-unpack",
+            sp,
+            unpacked,
+            unpacked * 25,
+        );
 
         // Periodic tile-activity check (§3.2).
         if self.variant.tiling() && self.tracker.check_due(t) {
+            let sp = self.tel.open();
             let found = scan_tile_activity(&self.layout, &self.soa);
             // The real kernel cannot early-exit a warp-parallel scan; charge
             // the full sweep.
@@ -242,10 +264,14 @@ impl GpuDevice {
             tc.elements += self.layout.len() as u64;
             tc.bytes += self.layout.len() as u64 * 13;
             self.tracker.apply_check(&self.layout, &found);
+            let n = self.layout.len() as u64;
+            self.tel
+                .kernel_span(self.id + 1, "kernel:tile-check", sp, n, n * 13);
         }
 
         // Extravasation over the halo reach (ghost trials are evaluated
         // identically to their owner so fresh ghost cells block our movers).
+        let sp = self.tel.open();
         self.extravasated = 0;
         self.fresh_placed.clear();
         let hb = self.layout.hb;
@@ -283,8 +309,11 @@ impl GpuDevice {
             u.launches += 1; // extravasation kernel
             u.elements += evaluated;
         }
+        self.tel
+            .kernel_span(self.id + 1, "kernel:extravasate", sp, evaluated, 0);
 
         // T-cell planning kernel ("Choose Direction" + bid store, Fig. 2).
+        let sp = self.tel.open();
         self.actions.clear();
         debug_assert!(self.touched_bids.is_empty());
         let tiles = self.work_tiles();
@@ -335,10 +364,14 @@ impl GpuDevice {
             // Bid stores are global atomicMax operations (§3.1).
             u.atomics += bids_written;
         }
+        self.tel
+            .kernel_span(self.id + 1, "kernel:plan", sp, scanned, bids_written);
 
         // Bid wave: send our contributions for every voxel a neighbor also
         // holds. All holders converge by max-merge, so each device can
         // resolve winners without a second wave (§3.1).
+        let sp = self.tel.open();
+        let mut bid_cells_sent = 0u64;
         self.touched_bids.sort_unstable();
         self.touched_bids.dedup();
         let mut per_neighbor: Vec<Vec<BidCell>> = vec![Vec::new(); self.neighbors.len()];
@@ -364,9 +397,17 @@ impl GpuDevice {
             let h = self.counters.category_mut(KernelCategory::Halo);
             h.elements += n_cells;
             h.bytes += n_cells * 40;
+            bid_cells_sent += n_cells;
             out.send(nr, msg);
         }
         self.counters.category_mut(KernelCategory::Halo).launches += 1; // pack kernel
+        self.tel.kernel_span(
+            self.id + 1,
+            "kernel:bid-pack",
+            sp,
+            bid_cells_sent,
+            bid_cells_sent * 40,
+        );
 
         self.extravasated
     }
@@ -391,6 +432,7 @@ impl GpuDevice {
         let hb = self.layout.hb;
 
         // Merge incoming bid contributions (commutative max — order-free).
+        let sp = self.tel.open();
         let mut merged = 0u64;
         for msg in inbox {
             if let GpuMsg::Bids(cells) = msg {
@@ -415,10 +457,14 @@ impl GpuDevice {
         }
         self.touched_bids.sort_unstable();
         self.touched_bids.dedup();
+        self.tel
+            .kernel_span(self.id + 1, "kernel:bid-merge", sp, merged, merged * 2);
 
         // "Assign Winners" + "Set Flips" + "Move Agents" (Fig. 2) — three
         // kernels over the action/bid sets.
+        let sp = self.tel.open();
         let actions = std::mem::take(&mut self.actions);
+        let n_actions = actions.len() as u64;
         for &(li, action) in &actions {
             let li = li as usize;
             let slot = self.soa.tcells[li];
@@ -499,11 +545,15 @@ impl GpuDevice {
 
         // Settle fresh T cells.
         let fresh = std::mem::take(&mut self.fresh_placed);
+        let n_fresh = fresh.len() as u64;
         for &li in &fresh {
             self.soa.tcells[li as usize] = self.soa.tcells[li as usize].settled();
         }
+        self.tel
+            .kernel_span(self.id + 1, "kernel:resolve", sp, n_actions, n_fresh);
 
         // FSM + production over core AND ghost voxels of the work tiles.
+        let sp = self.tel.open();
         let tiles = self.work_tiles();
         let mut fsm_elems = 0u64;
         for tile in &tiles {
@@ -565,8 +615,11 @@ impl GpuDevice {
             u.elements += fsm_elems;
             u.bytes += fsm_elems * ub;
         }
+        self.tel
+            .kernel_span(self.id + 1, "kernel:fsm", sp, fsm_elems, 0);
 
         // Diffusion over core voxels of the work tiles (staged write-back).
+        let sp = self.tel.open();
         self.diffuse_out.clear();
         let mut diff_elems = 0u64;
         let is_2d = self.dims.is_2d();
@@ -644,10 +697,13 @@ impl GpuDevice {
             u.elements += diff_elems * 2;
             u.bytes += diff_elems * 2 * db;
         }
+        self.tel
+            .kernel_span(self.id + 1, "kernel:diffuse", sp, diff_elems * 2, 0);
 
         // Statistics reduction over every owned voxel (§3.3): the sweep
         // covers the full core regardless of tiling (dead/healthy counts
         // live in inactive regions too); tiling only improves its locality.
+        let sp = self.tel.open();
         let core_cells: Vec<u32> = self.core_indices();
         let n = core_cells.len();
         let bytes_per_elem = if self.variant.tiling() {
@@ -712,8 +768,17 @@ impl GpuDevice {
         };
         stats.step = t;
         stats.extravasated = self.extravasated;
+        self.tel.kernel_span(
+            self.id + 1,
+            "kernel:reduce",
+            sp,
+            n as u64,
+            n as u64 * bytes_per_elem,
+        );
 
         // End-of-step halo wave: full boundary state to every neighbor.
+        let sp = self.tel.open();
+        let mut halo_cells_sent = 0u64;
         let mut per_neighbor: Vec<Vec<HaloCell>> = vec![Vec::new(); self.neighbors.len()];
         for &li in &core_cells {
             let c = self.layout.coord_of(li as usize);
@@ -744,9 +809,17 @@ impl GpuDevice {
             let h = self.counters.category_mut(KernelCategory::Halo);
             h.elements += n_cells;
             h.bytes += n_cells * 25;
+            halo_cells_sent += n_cells;
             out.send(nr, msg);
         }
         self.counters.category_mut(KernelCategory::Halo).launches += 1; // pack
+        self.tel.kernel_span(
+            self.id + 1,
+            "kernel:halo-pack",
+            sp,
+            halo_cells_sent,
+            halo_cells_sent * 25,
+        );
 
         stats
     }

@@ -273,6 +273,24 @@ impl Executor for GpuSim {
         self.bsp.enable_trace();
     }
 
+    fn attach_unit_telemetry(&mut self) {
+        self.bsp.attach_telemetry(self.core.telemetry.clone());
+        for d in &mut self.devices {
+            d.attach_telemetry(self.core.telemetry.clone());
+        }
+    }
+
+    fn take_rank_walls(&mut self) -> Vec<simcov_telemetry::RankWalls> {
+        self.bsp.take_rank_walls()
+    }
+
+    fn per_unit_active(&self) -> Vec<u64> {
+        self.devices
+            .iter()
+            .map(|d| d.n_active_tiles() as u64)
+            .collect()
+    }
+
     /// One timestep = two supersteps (the two communication waves of
     /// Fig. 2) + the statistics allreduce.
     fn compute_step(
@@ -339,6 +357,11 @@ impl Executor for GpuSim {
             .collect();
         let bsp = std::mem::replace(&mut self.bsp, Bsp::new(1));
         self.bsp = bsp.rebuilt(n_units);
+        // Telemetry must survive the elastic shrink: the BSP handle rides
+        // through `rebuilt`, but the devices are brand new.
+        if self.core.telemetry.is_enabled() {
+            self.attach_unit_telemetry();
+        }
         self.core.partition = partition;
         Ok(())
     }

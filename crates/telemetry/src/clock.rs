@@ -1,0 +1,77 @@
+//! Monotonic clock helper shared by every layer that timestamps events.
+//!
+//! All spans, trace events, and bench samples in the workspace measure time
+//! the same way: nanoseconds since a fixed [`MonotonicClock`] origin. Keeping
+//! one helper (instead of per-call-site `Instant` bookkeeping) means every
+//! timestamp in a run is on a single comparable timeline, which is what the
+//! Chrome-trace exporter needs to lay tracks out side by side.
+
+use std::time::Instant;
+
+/// A fixed time origin; `now_ns` reports monotonic nanoseconds since it.
+///
+/// `Copy` so handles can be embedded freely; copies share the same origin and
+/// therefore the same timeline.
+#[derive(Debug, Clone, Copy)]
+pub struct MonotonicClock {
+    origin: Instant,
+}
+
+impl MonotonicClock {
+    /// A clock whose origin is "now".
+    pub fn new() -> Self {
+        Self {
+            origin: Instant::now(),
+        }
+    }
+
+    /// Monotonic nanoseconds elapsed since the clock's origin.
+    ///
+    /// Saturates at `u64::MAX` (more than 500 years), so the cast is safe for
+    /// any real run.
+    #[inline]
+    pub fn now_ns(&self) -> u64 {
+        let ns = self.origin.elapsed().as_nanos();
+        if ns > u64::MAX as u128 {
+            u64::MAX
+        } else {
+            ns as u64
+        }
+    }
+
+    /// The underlying origin instant.
+    pub fn origin(&self) -> Instant {
+        self.origin
+    }
+}
+
+impl Default for MonotonicClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_is_monotonic() {
+        let c = MonotonicClock::new();
+        let a = c.now_ns();
+        let b = c.now_ns();
+        assert!(b >= a, "time went backwards: {a} -> {b}");
+    }
+
+    #[test]
+    fn copies_share_the_origin() {
+        let c = MonotonicClock::new();
+        let d = c;
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        let a = c.now_ns();
+        let b = d.now_ns();
+        // Both read the same timeline; readings must be within each other's
+        // neighbourhood rather than restarting from zero.
+        assert!(a >= 1_000_000 && b >= 1_000_000);
+    }
+}

@@ -1,0 +1,202 @@
+//! Prometheus text exposition (version 0.0.4) for a [`Registry`].
+//!
+//! Output is deterministic for a given registry state: families appear in
+//! first-registration order, `# HELP`/`# TYPE` are emitted once per family,
+//! and label values are escaped per the exposition spec (`\\`, `\"`, `\n`).
+//! Histograms render cumulative `_bucket{le="..."}` series over the log₂
+//! bucket bounds, trimmed to the occupied range, plus `_sum` and `_count`.
+
+use crate::registry::{MetricValue, Registry};
+use std::fmt::Write as _;
+
+/// Escape a label value: backslash, double quote, and newline.
+pub fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escape HELP text: backslash and newline (quotes are legal there).
+fn escape_help(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+fn render_labels(out: &mut String, labels: &[(String, String)], extra: Option<(&str, &str)>) {
+    if labels.is_empty() && extra.is_none() {
+        return;
+    }
+    out.push('{');
+    let mut first = true;
+    for (k, v) in labels {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(out, "{k}=\"{}\"", escape_label_value(v));
+    }
+    if let Some((k, v)) = extra {
+        if !first {
+            out.push(',');
+        }
+        let _ = write!(out, "{k}=\"{}\"", escape_label_value(v));
+    }
+    out.push('}');
+}
+
+fn render_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v.is_infinite() {
+        if v > 0.0 { "+Inf" } else { "-Inf" }.to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Render the registry in Prometheus text exposition format.
+pub fn render(reg: &Registry) -> String {
+    let snap = reg.snapshot();
+    let mut out = String::new();
+    let mut seen: Vec<&str> = Vec::new();
+    for m in &snap {
+        if !seen.contains(&m.name.as_str()) {
+            seen.push(&m.name);
+            let kind = match m.value {
+                MetricValue::Counter(_) => "counter",
+                MetricValue::Gauge(_) => "gauge",
+                MetricValue::Histogram { .. } => "histogram",
+            };
+            let _ = writeln!(out, "# HELP {} {}", m.name, escape_help(&m.help));
+            let _ = writeln!(out, "# TYPE {} {}", m.name, kind);
+        }
+        match &m.value {
+            MetricValue::Counter(v) => {
+                out.push_str(&m.name);
+                render_labels(&mut out, &m.labels, None);
+                let _ = writeln!(out, " {v}");
+            }
+            MetricValue::Gauge(v) => {
+                out.push_str(&m.name);
+                render_labels(&mut out, &m.labels, None);
+                let _ = writeln!(out, " {}", render_f64(*v));
+            }
+            MetricValue::Histogram {
+                buckets,
+                sum,
+                count,
+            } => {
+                // Cumulative buckets over the occupied log₂ range (always at
+                // least the first bucket so empty histograms stay parseable).
+                let top = buckets
+                    .iter()
+                    .rposition(|&b| b > 0)
+                    .map_or(0, |i| (i + 1).min(buckets.len() - 1));
+                let mut cum = 0u64;
+                for (i, b) in buckets.iter().enumerate().take(top + 1) {
+                    cum += b;
+                    let le = if i >= 63 {
+                        "+Inf".to_string()
+                    } else {
+                        format!("{}", 1u64 << i)
+                    };
+                    let _ = write!(out, "{}_bucket", m.name);
+                    render_labels(&mut out, &m.labels, Some(("le", &le)));
+                    let _ = writeln!(out, " {cum}");
+                }
+                if top < 63 {
+                    let _ = write!(out, "{}_bucket", m.name);
+                    render_labels(&mut out, &m.labels, Some(("le", "+Inf")));
+                    let _ = writeln!(out, " {count}");
+                }
+                let _ = write!(out, "{}_sum", m.name);
+                render_labels(&mut out, &m.labels, None);
+                let _ = writeln!(out, " {sum}");
+                let _ = write!(out, "{}_count", m.name);
+                render_labels(&mut out, &m.labels, None);
+                let _ = writeln!(out, " {count}");
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exposition_escapes_label_values() {
+        let r = Registry::new();
+        let c = r.counter_with(
+            "weird_total",
+            "has \"quotes\" and\nnewlines",
+            &[("path", "a\\b\"c\nd")],
+        );
+        c.add(7);
+        let text = render(&r);
+        assert!(
+            text.contains(r#"weird_total{path="a\\b\"c\nd"} 7"#),
+            "label escaping failed:\n{text}"
+        );
+        assert!(
+            text.contains("# HELP weird_total has \"quotes\" and\\nnewlines"),
+            "help escaping failed:\n{text}"
+        );
+        // The body must stay line-oriented: no raw newline inside a series.
+        for line in text.lines() {
+            assert!(!line.is_empty());
+        }
+    }
+
+    #[test]
+    fn families_render_once_with_all_series() {
+        let r = Registry::new();
+        r.counter_with("msgs_total", "messages", &[("rank", "0")])
+            .add(3);
+        r.counter_with("msgs_total", "messages", &[("rank", "1")])
+            .add(4);
+        let text = render(&r);
+        assert_eq!(text.matches("# TYPE msgs_total counter").count(), 1);
+        assert!(text.contains("msgs_total{rank=\"0\"} 3"));
+        assert!(text.contains("msgs_total{rank=\"1\"} 4"));
+    }
+
+    #[test]
+    fn histogram_renders_cumulative_buckets() {
+        let r = Registry::new();
+        let h = r.histogram("lat_ns", "latency");
+        h.observe(1);
+        h.observe(1);
+        h.observe(3);
+        let text = render(&r);
+        assert!(text.contains("# TYPE lat_ns histogram"));
+        assert!(text.contains("lat_ns_bucket{le=\"1\"} 2"));
+        assert!(text.contains("lat_ns_bucket{le=\"4\"} 3"), "{text}");
+        assert!(text.contains("lat_ns_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("lat_ns_sum 5"));
+        assert!(text.contains("lat_ns_count 3"));
+    }
+
+    #[test]
+    fn gauge_renders_special_floats() {
+        let r = Registry::new();
+        r.gauge("skew", "s").set(f64::INFINITY);
+        let text = render(&r);
+        assert!(text.contains("skew +Inf"));
+    }
+}

@@ -1,0 +1,353 @@
+//! Named metric registry: counters, gauges, and log₂-bucketed histograms.
+//!
+//! Instruments are registered once (a mutex-guarded push) and then updated
+//! through `Arc`'d atomic handles, so the hot path never takes a lock. The
+//! same instrument name may be registered with different label sets — each
+//! (name, labels) pair is one time series, exactly as Prometheus models it;
+//! re-registering an existing pair returns the existing handle.
+//!
+//! A process-wide [`Registry::global`] exists for code with no handle to a
+//! run-scoped registry (each enabled [`crate::Telemetry`] carries its own).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Number of log₂ histogram buckets: bucket `i` counts values `v` with
+/// `2^(i-1) < v <= 2^i` (bucket 0 counts `v <= 1`).
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// Monotonically increasing integer metric.
+#[derive(Clone, Debug)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Increment by 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increment by `v`.
+    #[inline]
+    pub fn add(&self, v: u64) {
+        self.0.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Instantaneous float metric (stored as `f64` bits in an atomic).
+#[derive(Clone, Debug)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Set the gauge.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+#[derive(Debug)]
+struct HistogramCore {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+/// Log₂-bucketed histogram of non-negative integer observations
+/// (typically nanoseconds or bytes).
+#[derive(Clone, Debug)]
+pub struct Histogram(Arc<HistogramCore>);
+
+impl Histogram {
+    /// Bucket index for a value: the smallest `i` with `v <= 2^i`.
+    #[inline]
+    pub fn bucket_index(v: u64) -> usize {
+        if v <= 1 {
+            0
+        } else {
+            (u64::BITS - (v - 1).leading_zeros()) as usize
+        }
+    }
+
+    /// Record one observation. Two relaxed atomic adds plus a store.
+    #[inline]
+    pub fn observe(&self, v: u64) {
+        let idx = Self::bucket_index(v).min(HISTOGRAM_BUCKETS - 1);
+        self.0.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.0.sum.fetch_add(v, Ordering::Relaxed);
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> u64 {
+        self.0.sum.load(Ordering::Relaxed)
+    }
+
+    /// Raw (non-cumulative) per-bucket counts.
+    pub fn buckets(&self) -> Vec<u64> {
+        self.0
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+}
+
+/// The value half of a registry snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Counter reading.
+    Counter(u64),
+    /// Gauge reading.
+    Gauge(f64),
+    /// Histogram reading: raw per-bucket counts (index `i` ⇒ `le = 2^i`),
+    /// total sum, and observation count.
+    Histogram {
+        /// Raw (non-cumulative) bucket counts.
+        buckets: Vec<u64>,
+        /// Sum of observations.
+        sum: u64,
+        /// Number of observations.
+        count: u64,
+    },
+}
+
+/// One (name, labels) time series captured by [`Registry::snapshot`].
+#[derive(Debug, Clone)]
+pub struct MetricSnapshot {
+    /// Metric family name.
+    pub name: String,
+    /// Help text for the family.
+    pub help: String,
+    /// Label key/value pairs.
+    pub labels: Vec<(String, String)>,
+    /// Current reading.
+    pub value: MetricValue,
+}
+
+enum Instrument {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+struct Entry {
+    name: String,
+    help: String,
+    labels: Vec<(String, String)>,
+    inst: Instrument,
+}
+
+/// A set of named instruments; registration locks, updates are lock-free.
+#[derive(Default)]
+pub struct Registry {
+    entries: Mutex<Vec<Entry>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The process-wide registry.
+    pub fn global() -> &'static Registry {
+        static GLOBAL: OnceLock<Registry> = OnceLock::new();
+        GLOBAL.get_or_init(Registry::new)
+    }
+
+    fn labels_eq(a: &[(String, String)], b: &[(&str, &str)]) -> bool {
+        a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.0 == y.0 && x.1 == y.1)
+    }
+
+    /// Register (or fetch) a counter with no labels.
+    pub fn counter(&self, name: &str, help: &str) -> Counter {
+        self.counter_with(name, help, &[])
+    }
+
+    /// Register (or fetch) a labelled counter.
+    pub fn counter_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Counter {
+        let mut entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        for e in entries.iter() {
+            if e.name == name && Self::labels_eq(&e.labels, labels) {
+                if let Instrument::Counter(c) = &e.inst {
+                    return c.clone();
+                }
+            }
+        }
+        let c = Counter(Arc::new(AtomicU64::new(0)));
+        entries.push(Entry {
+            name: name.to_string(),
+            help: help.to_string(),
+            labels: labels
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+            inst: Instrument::Counter(c.clone()),
+        });
+        c
+    }
+
+    /// Register (or fetch) a gauge with no labels.
+    pub fn gauge(&self, name: &str, help: &str) -> Gauge {
+        self.gauge_with(name, help, &[])
+    }
+
+    /// Register (or fetch) a labelled gauge.
+    pub fn gauge_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Gauge {
+        let mut entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        for e in entries.iter() {
+            if e.name == name && Self::labels_eq(&e.labels, labels) {
+                if let Instrument::Gauge(g) = &e.inst {
+                    return g.clone();
+                }
+            }
+        }
+        let g = Gauge(Arc::new(AtomicU64::new(0f64.to_bits())));
+        entries.push(Entry {
+            name: name.to_string(),
+            help: help.to_string(),
+            labels: labels
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+            inst: Instrument::Gauge(g.clone()),
+        });
+        g
+    }
+
+    /// Register (or fetch) a histogram with no labels.
+    pub fn histogram(&self, name: &str, help: &str) -> Histogram {
+        self.histogram_with(name, help, &[])
+    }
+
+    /// Register (or fetch) a labelled histogram.
+    pub fn histogram_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Histogram {
+        let mut entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        for e in entries.iter() {
+            if e.name == name && Self::labels_eq(&e.labels, labels) {
+                if let Instrument::Histogram(h) = &e.inst {
+                    return h.clone();
+                }
+            }
+        }
+        let h = Histogram(Arc::new(HistogramCore {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }));
+        entries.push(Entry {
+            name: name.to_string(),
+            help: help.to_string(),
+            labels: labels
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+            inst: Instrument::Histogram(h.clone()),
+        });
+        h
+    }
+
+    /// Capture every time series, in registration order.
+    pub fn snapshot(&self) -> Vec<MetricSnapshot> {
+        let entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        entries
+            .iter()
+            .map(|e| MetricSnapshot {
+                name: e.name.clone(),
+                help: e.help.clone(),
+                labels: e.labels.clone(),
+                value: match &e.inst {
+                    Instrument::Counter(c) => MetricValue::Counter(c.get()),
+                    Instrument::Gauge(g) => MetricValue::Gauge(g.get()),
+                    Instrument::Histogram(h) => MetricValue::Histogram {
+                        buckets: h.buckets(),
+                        sum: h.sum(),
+                        count: h.count(),
+                    },
+                },
+            })
+            .collect()
+    }
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let n = self.entries.lock().map(|e| e.len()).unwrap_or(0);
+        f.debug_struct("Registry").field("series", &n).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reregistration_returns_the_same_series() {
+        let r = Registry::new();
+        let a = r.counter("hits", "hits");
+        let b = r.counter("hits", "hits");
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3);
+        assert_eq!(r.snapshot().len(), 1);
+    }
+
+    #[test]
+    fn label_sets_are_distinct_series() {
+        let r = Registry::new();
+        let a = r.counter_with("msgs", "m", &[("rank", "0")]);
+        let b = r.counter_with("msgs", "m", &[("rank", "1")]);
+        a.inc();
+        b.add(5);
+        let snap = r.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].value, MetricValue::Counter(1));
+        assert_eq!(snap[1].value, MetricValue::Counter(5));
+    }
+
+    #[test]
+    fn gauge_roundtrips_floats() {
+        let r = Registry::new();
+        let g = r.gauge("load", "l");
+        g.set(-3.25);
+        assert_eq!(g.get(), -3.25);
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 0);
+        assert_eq!(Histogram::bucket_index(2), 1);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 2);
+        assert_eq!(Histogram::bucket_index(5), 3);
+        assert_eq!(Histogram::bucket_index(1 << 20), 20);
+        let r = Registry::new();
+        let h = r.histogram("lat", "l");
+        h.observe(1);
+        h.observe(3);
+        h.observe(1024);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum(), 1028);
+        let b = h.buckets();
+        assert_eq!(b[0], 1);
+        assert_eq!(b[2], 1);
+        assert_eq!(b[10], 1);
+    }
+}

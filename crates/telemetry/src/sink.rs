@@ -1,0 +1,172 @@
+//! The unified per-step record stream: generic [`StepRecord`],
+//! [`MetricsSink`], and [`SharedSink`].
+//!
+//! Every executor emits one structured record per simulation step. The
+//! model-level shape of that record is executor-independent, but three
+//! fields carry layer-specific payloads (per-phase device work, completed
+//! fault recoveries, integrity events) whose types live *above* this crate
+//! in the dependency graph. The record is therefore generic over those
+//! payloads; `gpusim` pins the concrete aliases (`StepRecord` =
+//! `simcov_telemetry::StepRecord<PhaseSnapshot, RecoveryRecord,
+//! IntegrityRecord>`) and re-exports them from the old paths, so downstream
+//! code keeps compiling unchanged while both executor paths now share one
+//! definition.
+
+use std::sync::{Arc, Mutex};
+
+/// One structured record per simulation step, emitted by every executor.
+///
+/// Generic over the per-phase snapshot (`Ph`), recovery record (`Rec`), and
+/// integrity record (`Int`) payload types owned by higher layers. (Not
+/// `Copy`: a record owns the recovery/integrity events that completed during
+/// the step, which are almost always empty `Vec`s.)
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepRecord<Ph, Rec, Int> {
+    /// Step index, consecutive from 0.
+    pub step: u64,
+    /// Agents in play: T cells resident in tissue.
+    pub agents: u64,
+    /// Total virion mass (model-level cross-executor comparable).
+    pub virions: f64,
+    /// Total chemokine mass.
+    pub chemokine: f64,
+    /// Active work units: active-list voxels (CPU) or active tiles (GPU),
+    /// summed over ranks/devices.
+    pub active_units: u64,
+    /// Point-to-point + bulk messages delivered this step.
+    pub comm_messages: u64,
+    /// Point-to-point + bulk payload bytes delivered this step.
+    pub comm_bytes: u64,
+    /// Simulated seconds of this step under the cost model: aggregate phase
+    /// cost normalized per rank/device (perfect-balance approximation).
+    pub sim_seconds: f64,
+    /// Measured wall-clock seconds of this step.
+    pub real_seconds: f64,
+    /// Per-phase snapshot of this step's aggregate device work.
+    pub phases: Ph,
+    /// Fault recoveries (rollback + re-partition + replay) that completed
+    /// while computing this step. Empty in healthy runs.
+    pub recoveries: Vec<Rec>,
+    /// Integrity events (detected corruption + the healing tier that fixed
+    /// it) attributed to this step. Empty in healthy runs.
+    pub integrity: Vec<Int>,
+}
+
+// Manual impl: `derive(Default)` would bound `Rec: Default`/`Int: Default`
+// even though the `Vec` payloads default to empty regardless.
+impl<Ph: Default, Rec, Int> Default for StepRecord<Ph, Rec, Int> {
+    fn default() -> Self {
+        Self {
+            step: 0,
+            agents: 0,
+            virions: 0.0,
+            chemokine: 0.0,
+            active_units: 0,
+            comm_messages: 0,
+            comm_bytes: 0,
+            sim_seconds: 0.0,
+            real_seconds: 0.0,
+            phases: Ph::default(),
+            recoveries: Vec::new(),
+            integrity: Vec::new(),
+        }
+    }
+}
+
+/// Consumer of per-step records. `Send` so an installed sink never stops a
+/// simulation from moving across threads.
+pub trait MetricsSink<R>: Send {
+    /// Accept one step's record.
+    fn record(&mut self, rec: R);
+}
+
+/// A cloneable, thread-safe in-memory sink: hand one clone to the
+/// simulation and keep another to read the records afterwards.
+#[derive(Debug)]
+pub struct SharedSink<R> {
+    records: Arc<Mutex<Vec<R>>>,
+}
+
+// Manual impls: `derive` would needlessly bound `R: Clone`/`R: Default`.
+impl<R> Clone for SharedSink<R> {
+    fn clone(&self) -> Self {
+        Self {
+            records: Arc::clone(&self.records),
+        }
+    }
+}
+
+impl<R> Default for SharedSink<R> {
+    fn default() -> Self {
+        Self {
+            records: Arc::new(Mutex::new(Vec::new())),
+        }
+    }
+}
+
+impl<R> SharedSink<R> {
+    /// An empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of records so far.
+    pub fn len(&self) -> usize {
+        self.records.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// True when no records have been emitted.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<R: Clone> SharedSink<R> {
+    /// Copy of all records so far.
+    pub fn records(&self) -> Vec<R> {
+        self.records
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+}
+
+impl<R: Send> MetricsSink<R> for SharedSink<R> {
+    fn record(&mut self, rec: R) {
+        self.records
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(rec);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type Rec = StepRecord<u32, u8, u8>;
+
+    #[test]
+    fn shared_sink_accumulates_across_clones() {
+        let sink: SharedSink<Rec> = SharedSink::new();
+        let mut writer = sink.clone();
+        for step in 0..3 {
+            writer.record(Rec {
+                step,
+                ..Default::default()
+            });
+        }
+        assert_eq!(sink.len(), 3);
+        assert_eq!(sink.records()[2].step, 2);
+        assert!(!sink.is_empty());
+    }
+
+    #[test]
+    fn records_default_and_compare() {
+        let a = Rec::default();
+        let mut b = Rec::default();
+        assert_eq!(a, b);
+        b.agents = 1;
+        assert_ne!(a, b);
+    }
+}

@@ -26,13 +26,18 @@ cargo test -q --workspace
 # --bin repro_all -- --json BENCH_results.json`).
 echo "== bench smoke (scaled-down repro, JSON artifact) =="
 SIMCOV_SCALE="${SIMCOV_SCALE:-256}" SIMCOV_TRIALS="${SIMCOV_TRIALS:-2}" \
-    cargo run --release -p simcov-bench --bin repro_all -- --json target/BENCH_smoke.json >/dev/null
+    cargo run --release -p simcov-bench --bin repro_all -- --json target/BENCH_smoke.json \
+    --metrics-out target/BENCH_smoke.prom >/dev/null
 
 python3 - <<'EOF'
 import json
 doc = json.load(open("target/BENCH_smoke.json"))
 for key in ("suite", "scale", "table1", "fig4", "fig5_and_table2", "fig6", "fig7", "fig8"):
     assert key in doc, f"BENCH_smoke.json missing key: {key}"
+lines = [l for l in open("target/BENCH_smoke.prom")
+         if l.strip() and not l.startswith("#")]
+assert any(l.startswith("repro_section_wall_seconds") for l in lines), \
+    "repro_all metrics exposition missing section gauges"
 print("BENCH_smoke.json OK:", ", ".join(sorted(doc)))
 EOF
 
@@ -117,26 +122,92 @@ for exec in cpu gpu; do
     echo "crash-restart OK ($exec): resumed CSV identical to the uninterrupted run"
 done
 
+# Telemetry smoke: both exporters on a 32x32 run, per executor. The Chrome
+# trace must parse and nest (>= 4 span levels on the GPU executor: step ->
+# superstep -> rank-phase -> kernel; >= 3 on the CPU executor, which has no
+# device-kernel layer), the Prometheus exposition must be line-parseable,
+# and — the determinism invariant — the telemetry-on CSV must be
+# byte-identical to the telemetry-off CSV.
+echo "== telemetry smoke (trace/metrics exporters + zero-perturbation) =="
+cat > target/verify_tel.config <<'CFG'
+; telemetry smoke configuration
+dim = 32 32 1
+timesteps = 20
+num-infections = 4
+CFG
+for exec in cpu gpu; do
+    cargo run --release -q -p simcov-bench --bin simcov -- target/verify_tel.config \
+        --executor "$exec" --units 4 --out-csv target/verify_tel_off.csv \
+        2>/dev/null >/dev/null
+    cargo run --release -q -p simcov-bench --bin simcov -- target/verify_tel.config \
+        --executor "$exec" --units 4 --out-csv target/verify_tel_on.csv \
+        --trace-out target/verify_tel_trace.json \
+        --metrics-out target/verify_tel_metrics.prom 2>/dev/null >/dev/null
+    if ! cmp -s target/verify_tel_off.csv target/verify_tel_on.csv; then
+        echo "telemetry perturbed the $exec run (CSVs differ)"
+        exit 1
+    fi
+    python3 - "$exec" <<'EOF'
+import json, sys
+exec_name = sys.argv[1]
+doc = json.load(open("target/verify_tel_trace.json"))
+events = doc["traceEvents"]
+assert events, "empty trace"
+spans = {e["args"]["id"]: e["args"] for e in events if e.get("ph") == "X"}
+assert spans, "trace has no complete spans"
+depth = 0
+for a in spans.values():
+    d, cur = 1, a
+    while cur["parent"] in spans:
+        cur = spans[cur["parent"]]
+        d += 1
+    depth = max(depth, d)
+need = 4 if exec_name == "gpu" else 3
+assert depth >= need, f"span nesting {depth} < {need} levels ({exec_name})"
+assert doc["otherData"]["dropped_events"] == 0, "ring dropped events"
+lines = [l.strip() for l in open("target/verify_tel_metrics.prom")
+         if l.strip() and not l.startswith("#")]
+assert lines, "empty prometheus exposition"
+for l in lines:
+    name = l.split("{")[0].split(" ")[0]
+    assert name and name.replace("_", "").isalnum(), f"bad metric name: {l!r}"
+    float(l.rsplit(" ", 1)[1])  # every sample line ends in a number
+assert any(l.startswith("simcov_step_wall_ns") for l in lines), \
+    "step-wall histogram missing"
+print(f"telemetry OK ({exec_name}): {len(spans)} spans, depth {depth}, "
+      f"{len(lines)} metric samples, CSV byte-identical")
+EOF
+done
+
 # The perf gate fails (exit 1) if any hot kernel's best time regresses more
-# than 25% past the committed BENCH_baseline.json, or if neither the
+# than 25% past the committed BENCH_baseline.json, if neither the
 # diffusion stencil nor the coalesced halo exchange holds a >= 1.5x speedup
-# over its naive form. Refresh the baseline (on a quiet machine, full
-# sampling) with `cargo run --release -p simcov-bench --bin perf_gate --
-# --update-baseline`.
-echo "== perf gate (hot-kernel regression check vs BENCH_baseline.json) =="
+# over its naive form, or if the telemetry-on e2e run costs more than 5%
+# over the identical telemetry-off run. Refresh the baseline (on a quiet
+# machine, full sampling) with `cargo run --release -p simcov-bench --bin
+# perf_gate -- --update-baseline`.
+echo "== perf gate (hot-kernel regression + telemetry overhead budget) =="
 cargo run --release -p simcov-bench --bin perf_gate -- \
     --smoke --tolerance "${SIMCOV_PERF_TOL:-0.25}" \
-    --json target/BENCH_perf_smoke.json >/dev/null
+    --json target/BENCH_perf_smoke.json \
+    --metrics-out target/BENCH_perf_smoke.prom >/dev/null
 
 python3 - <<'EOF'
 import json
 doc = json.load(open("target/BENCH_perf_smoke.json"))
 assert doc.get("suite") == "perf_gate", "wrong suite tag"
 assert doc["kernels"], "perf gate produced no kernel timings"
-best = max(doc["speedups"].values())
-assert best >= 1.5, f"no hot kernel at 1.5x: {doc['speedups']}"
+sp = doc["speedups"]
+best = max(v for k, v in sp.items() if k != "telemetry_overhead")
+assert best >= 1.5, f"no hot kernel at 1.5x: {sp}"
+overhead = sp["telemetry_overhead"]
+assert 0.0 < overhead <= 1.05, f"telemetry overhead {overhead:.3f}x over budget"
+lines = [l for l in open("target/BENCH_perf_smoke.prom")
+         if l.strip() and not l.startswith("#")]
+assert any(l.startswith("perf_gate_min_ns") for l in lines), \
+    "perf gate metrics exposition missing kernel gauges"
 print(f"BENCH_perf_smoke.json OK: {len(doc['kernels'])} kernels, "
-      f"best speedup {best:.2f}x")
+      f"best speedup {best:.2f}x, telemetry overhead {overhead:.3f}x")
 EOF
 
 echo "== all checks passed =="

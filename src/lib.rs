@@ -11,3 +11,4 @@ pub use simcov_core;
 pub use simcov_cpu;
 pub use simcov_driver;
 pub use simcov_gpu;
+pub use simcov_telemetry;

@@ -1,0 +1,136 @@
+//! Integration tests for the unified telemetry subsystem: the span hierarchy
+//! must nest across all layers, the online health monitor must flag seeded
+//! stragglers promptly, and instrumentation must be pure observation — a
+//! telemetry-on run's trajectory must be bitwise identical to telemetry-off
+//! on both executors.
+
+use simcov_repro::pgas::{FaultEvent, FaultKind, FaultPlan};
+use simcov_repro::simcov_core::grid::GridDims;
+use simcov_repro::simcov_core::params::SimParams;
+use simcov_repro::simcov_cpu::{CpuSim, CpuSimConfig};
+use simcov_repro::simcov_driver::Simulation;
+use simcov_repro::simcov_gpu::{GpuSim, GpuSimConfig};
+use simcov_repro::simcov_telemetry::{HealthConfig, HealthKind, SpanKind, Telemetry};
+use std::collections::HashMap;
+
+fn params(steps: u64, seed: u64) -> SimParams {
+    SimParams::test_config(GridDims::new2d(32, 32), steps, 6, seed)
+}
+
+/// A seeded slow-rank fault must surface as a straggler health record within
+/// three supersteps of injection, attributed to the right rank.
+#[test]
+fn seeded_slow_rank_is_flagged_within_three_supersteps() {
+    let inject_at = 3u64;
+    let mut cfg = CpuSimConfig::new(params(20, 5), 4);
+    cfg.fault_plan = FaultPlan::from_events(vec![FaultEvent {
+        superstep: inject_at,
+        rank: 1,
+        kind: FaultKind::SlowRank {
+            stall_ns: 50_000_000, // 50 ms against ~µs-scale peers
+        },
+    }]);
+    let mut sim = CpuSim::new(cfg).expect("valid config");
+    sim.enable_telemetry(Telemetry::enabled(5, 1 << 14));
+    sim.enable_health(HealthConfig::default());
+    sim.run().expect("a stall is not a failure");
+
+    let stragglers: Vec<_> = sim
+        .health_records()
+        .iter()
+        .filter_map(|r| match &r.kind {
+            HealthKind::Straggler { rank, z, .. } => Some((r.superstep, *rank, *z)),
+            _ => None,
+        })
+        .collect();
+    assert!(
+        !stragglers.is_empty(),
+        "injected stall never flagged: {:?}",
+        sim.health_records()
+    );
+    let (ss, rank, z) = stragglers[0];
+    assert_eq!(rank, 1, "wrong rank blamed");
+    assert!(
+        ss >= inject_at && ss <= inject_at + 3,
+        "flagged at superstep {ss}, injected at {inject_at}"
+    );
+    assert!(z >= 4.0, "z = {z}");
+}
+
+/// Telemetry and health monitoring are pure observation: the instrumented
+/// trajectory is identical to the uninstrumented one, on both executors.
+#[test]
+fn telemetry_on_trajectory_is_identical_to_off() {
+    let p = params(15, 42);
+
+    let mut cpu_off = CpuSim::new(CpuSimConfig::new(p.clone(), 4)).expect("valid config");
+    cpu_off.run().expect("healthy run");
+    let mut cpu_on = CpuSim::new(CpuSimConfig::new(p.clone(), 4)).expect("valid config");
+    cpu_on.enable_telemetry(Telemetry::enabled(5, 1 << 14));
+    cpu_on.enable_health(HealthConfig::default());
+    cpu_on.run().expect("healthy run");
+    assert_trajectories_identical(&cpu_off, &cpu_on, "cpu");
+
+    let mut gpu_off = GpuSim::new(GpuSimConfig::new(p.clone(), 4)).expect("valid config");
+    gpu_off.run().expect("healthy run");
+    let mut gpu_on = GpuSim::new(GpuSimConfig::new(p, 4)).expect("valid config");
+    gpu_on.enable_telemetry(Telemetry::enabled(5, 1 << 14));
+    gpu_on.enable_health(HealthConfig::default());
+    gpu_on.run().expect("healthy run");
+    assert_trajectories_identical(&gpu_off, &gpu_on, "gpu");
+}
+
+fn assert_trajectories_identical(off: &dyn Simulation, on: &dyn Simulation, who: &str) {
+    let (a, b) = (&off.history().steps, &on.history().steps);
+    assert_eq!(a.len(), b.len(), "{who}: step counts diverged");
+    for (x, y) in a.iter().zip(b.iter()) {
+        assert!(
+            x.approx_eq(y, 0.0),
+            "{who}: telemetry perturbed the trajectory at step {}",
+            x.step
+        );
+    }
+}
+
+/// The GPU executor's span stream nests four levels deep: driver step →
+/// BSP superstep → per-rank compute/exchange phase → device kernel phase.
+#[test]
+fn gpu_span_stream_nests_four_levels() {
+    let mut sim = GpuSim::new(GpuSimConfig::new(params(8, 11), 4)).expect("valid config");
+    sim.enable_telemetry(Telemetry::enabled(5, 1 << 14));
+    sim.run().expect("healthy run");
+    let tel = sim.telemetry_handle();
+    assert_eq!(tel.dropped(), 0, "ring sized for the whole run");
+
+    let events = tel.events();
+    let by_id: HashMap<u64, (SpanKind, u64)> =
+        events.iter().map(|e| (e.id, (e.kind, e.parent))).collect();
+    let mut full_chains = 0usize;
+    for e in &events {
+        if e.kind != SpanKind::Kernel {
+            continue;
+        }
+        let Some(&(pk, pp)) = by_id.get(&e.parent) else {
+            continue;
+        };
+        let Some(&(gk, gp)) = by_id.get(&pp) else {
+            continue;
+        };
+        let Some(&(sk, _)) = by_id.get(&gp) else {
+            continue;
+        };
+        if pk == SpanKind::RankPhase && gk == SpanKind::Superstep && sk == SpanKind::Step {
+            full_chains += 1;
+        }
+    }
+    assert!(
+        full_chains > 0,
+        "no kernel span chains kernel → rank-phase → superstep → step"
+    );
+
+    // Volumes on the spans are live: at least one kernel span reports work.
+    assert!(
+        events.iter().any(|e| e.kind == SpanKind::Kernel && e.a > 0),
+        "kernel spans never carry element counts"
+    );
+}
