@@ -1,0 +1,146 @@
+//! `replay_check` — the event-log replay gate.
+//!
+//! Runs seeded fault cascades on the CPU and GPU executors with
+//! control-plane event recording on, then folds each recorded log through
+//! the pure core (`simcov_driver::replay`) with **zero** filesystem,
+//! checkpoint-store or executor access, and verifies the replayed
+//! trajectory lands bit-for-bit on the live run's control state and record
+//! streams. Any divergence means the shell made a decision the core
+//! doesn't own — exactly the regression the pure-core split exists to
+//! prevent. Exit code 0 on success, 1 on divergence.
+//!
+//! ```text
+//! replay_check [--steps N] [--grid N]
+//! ```
+
+use pgas::{FaultEvent, FaultKind, FaultPlan};
+use simcov_core::grid::GridDims;
+use simcov_core::params::SimParams;
+use simcov_cpu::{CpuSim, CpuSimConfig};
+use simcov_driver::{replay, RecoveryPolicy, Simulation};
+use simcov_gpu::{GpuSim, GpuSimConfig};
+
+fn death(superstep: u64, rank: usize) -> FaultEvent {
+    FaultEvent {
+        superstep,
+        rank,
+        kind: FaultKind::RankDeath,
+    }
+}
+
+/// Replay `sim`'s recorded log and compare against its live control plane.
+/// Returns the number of mismatches (0 = exact).
+fn check(label: &str, sim: &dyn Simulation) -> u32 {
+    let Some(initial) = sim.replay_initial_state() else {
+        println!("FAIL {label}: executor exposes no replay snapshot");
+        return 1;
+    };
+    let log = sim.event_log();
+    if log.is_empty() {
+        println!("FAIL {label}: no events recorded");
+        return 1;
+    }
+    let r = replay(initial.clone(), log);
+    let mut bad = 0;
+    let live = sim.control_state().expect("recording implies a state");
+    if &r.final_state != live {
+        println!("FAIL {label}: replayed control state diverged from live");
+        bad += 1;
+    }
+    if r.final_state.recovery_log.as_slice() != sim.recovery_log() {
+        println!(
+            "FAIL {label}: replayed recovery stream diverged ({} vs {} records)",
+            r.final_state.recovery_log.len(),
+            sim.recovery_log().len()
+        );
+        bad += 1;
+    }
+    if bad == 0 {
+        println!(
+            "PASS {label}: {} events -> {} recoveries, {} integrity records, halt={}",
+            log.len(),
+            r.final_state.recovery_log.len(),
+            r.final_state.integrity_log.len(),
+            r.halt.is_some(),
+        );
+    }
+    bad
+}
+
+fn main() {
+    let mut steps = 60u64;
+    let mut grid = 32u32;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--steps" => steps = it.next().and_then(|v| v.parse().ok()).unwrap_or(steps),
+            "--grid" => grid = it.next().and_then(|v| v.parse().ok()).unwrap_or(grid),
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let params = |seed: u64| SimParams::test_config(GridDims::new2d(grid, grid), steps, 8, seed);
+    let mut failures = 0u32;
+
+    // CPU: rank death mid-run plus a silent state corruption.
+    let plan = FaultPlan::from_events(vec![
+        death(steps + steps / 2, 1), // 3 supersteps/step: mid-run
+        FaultEvent {
+            superstep: steps,
+            rank: 0,
+            kind: FaultKind::StateCorruption { seed: 0xDEAD },
+        },
+    ]);
+    let mut cpu = CpuSim::new(CpuSimConfig::new(params(3), 4).with_fault_plan(plan))
+        .expect("valid cpu config");
+    cpu.enable_event_recording();
+    cpu.run().expect("recovery absorbs the cascade");
+    failures += check("cpu cascade", &cpu);
+
+    // GPU: device death with a short checkpoint period.
+    let plan = FaultPlan::from_events(vec![death(steps, 2)]); // 2 supersteps/step
+    let mut gpu = GpuSim::new(
+        GpuSimConfig::new(params(5), 4)
+            .with_fault_plan(plan)
+            .with_recovery(RecoveryPolicy {
+                checkpoint_period: 4,
+                ..RecoveryPolicy::default()
+            }),
+    )
+    .expect("valid gpu config");
+    gpu.enable_event_recording();
+    gpu.run().expect("recovery absorbs the death");
+    failures += check("gpu death", &gpu);
+
+    // Fatal storm: the replay must reproduce the terminal halt too.
+    let plan = FaultPlan::from_events((9..steps).map(|s| death(s, 0)).collect());
+    let mut fatal = CpuSim::new(
+        CpuSimConfig::new(params(13), 4)
+            .with_fault_plan(plan)
+            .with_recovery(RecoveryPolicy {
+                checkpoint_period: 1,
+                max_retries: 2,
+                backoff_base_ns: 1_000,
+            }),
+    )
+    .expect("valid cpu config");
+    fatal.enable_event_recording();
+    let err = fatal.run().expect_err("the storm must exhaust retries");
+    failures += check("fatal storm", &fatal);
+    let r = replay(
+        fatal.replay_initial_state().expect("recorded").clone(),
+        fatal.event_log(),
+    );
+    if r.halt.is_none() {
+        println!("FAIL fatal storm: live run errored ({err}) but replay sees no halt");
+        failures += 1;
+    }
+
+    if failures > 0 {
+        println!("replay_check: {failures} divergence(s)");
+        std::process::exit(1);
+    }
+    println!("replay_check: all event logs replay exactly");
+}

@@ -222,6 +222,13 @@ fn main() {
         None
     };
     if let Some(path) = &args.resume {
+        // A crash mid-persist can leave a `.tmp` stage orphaned next to the
+        // sealed checkpoint. Stages are never sealed generations, so sweep
+        // them before restoring — otherwise they accumulate forever.
+        let swept = simcov_driver::sweep_stale_stages(std::path::Path::new(path));
+        if swept > 0 {
+            eprintln!("swept {swept} orphaned checkpoint stage file(s)");
+        }
         let cp = simcov_driver::load_checkpoint(std::path::Path::new(path), &ck_params)
             .unwrap_or_else(|e| panic!("cannot resume from {path}: {e}"));
         let at = cp.step;

@@ -117,6 +117,71 @@ impl Bench {
         self.results.push(result);
     }
 
+    /// Register and run two benchmarks as an interleaved A/B pair, returning
+    /// the `min(b)/min(a)` time ratio over the paired samples.
+    ///
+    /// Sampling alternates a-batch, b-batch, a-batch, b-batch, … so each
+    /// side's best sample comes from whatever quiet moment the window
+    /// catches — a background burst on a shared machine inflates adjacent
+    /// samples of *both* sides, never all of one side and none of the
+    /// other. Sequential `bench` calls put all of `a`'s window before all
+    /// of `b`'s, which turns any such burst into a spurious ratio shift —
+    /// exactly what an overhead gate must not be sensitive to. Both closures
+    /// must run the same nominal workload; the batch size is calibrated on
+    /// `a` and shared. Returns `None` when a filter excludes either name.
+    pub fn bench_pair<R, S>(
+        &mut self,
+        name_a: &str,
+        mut f_a: impl FnMut() -> R,
+        name_b: &str,
+        mut f_b: impl FnMut() -> S,
+    ) -> Option<f64> {
+        if let Some(filter) = &self.filter {
+            if !name_a.contains(filter.as_str()) || !name_b.contains(filter.as_str()) {
+                return None;
+            }
+        }
+        let mut batch = 1u64;
+        loop {
+            let t = Self::time_batch(batch, &mut f_a);
+            if t >= TARGET_BATCH_NS || batch >= MAX_BATCH {
+                break;
+            }
+            let projected = (TARGET_BATCH_NS as f64 / t.max(1) as f64).ceil() as u64;
+            batch = (batch * projected.max(2)).min(MAX_BATCH);
+        }
+        for _ in 0..WARMUP_BATCHES {
+            Self::time_batch(batch, &mut f_a);
+            Self::time_batch(batch, &mut f_b);
+        }
+        let mut per_a = Vec::with_capacity(self.samples);
+        let mut per_b = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            per_a.push(Self::time_batch(batch, &mut f_a) as f64 / batch as f64);
+            per_b.push(Self::time_batch(batch, &mut f_b) as f64 / batch as f64);
+        }
+        let min = |v: &[f64]| v.iter().copied().fold(f64::INFINITY, f64::min);
+        let ratio = min(&per_b) / min(&per_a);
+        for (name, mut per_iter) in [(name_a, per_a), (name_b, per_b)] {
+            per_iter.sort_by(|a, b| a.total_cmp(b));
+            let result = BenchResult {
+                name: name.to_string(),
+                batch,
+                min_ns: per_iter[0],
+                median_ns: per_iter[self.samples / 2],
+                mean_ns: per_iter.iter().sum::<f64>() / self.samples as f64,
+            };
+            eprintln!(
+                "{:<32} {:>12} min  {:>12} median",
+                result.name,
+                fmt_ns(result.min_ns),
+                fmt_ns(result.median_ns)
+            );
+            self.results.push(result);
+        }
+        Some(ratio)
+    }
+
     // Same monotonic clock helper the runtime trace records with
     // (`simcov_telemetry::MonotonicClock`), so bench timings and trace span
     // durations share one time source and are directly comparable.
@@ -195,6 +260,25 @@ mod tests {
         assert_eq!(b.results.len(), 1);
         let r = &b.results[0];
         assert!(r.min_ns > 0.0 && r.min_ns <= r.median_ns && r.batch >= 2);
+    }
+
+    #[test]
+    fn paired_ratio_tracks_relative_cost() {
+        let mut b = Bench::new().with_samples(5);
+        let work = |n: u64| {
+            let mut x = 0u64;
+            for i in 0..n {
+                x = x.wrapping_mul(31).wrapping_add(black_box(i));
+            }
+            x
+        };
+        let ratio = b
+            .bench_pair("pair/base", || work(200), "pair/double", || work(400))
+            .expect("no filter set");
+        assert_eq!(b.results.len(), 2);
+        assert_eq!(b.results[0].batch, b.results[1].batch);
+        // Double the work must land well above 1x and in the right ballpark.
+        assert!((1.2..4.0).contains(&ratio), "ratio {ratio} out of range");
     }
 
     #[test]

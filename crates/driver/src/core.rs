@@ -7,9 +7,10 @@
 
 use gpusim::metrics::{MetricsSink, SnapshotTaker, StepRecord};
 use gpusim::DeviceCounters;
-use pgas::fault::{FaultPlan, IntegrityRecord, PendingStateCorruption, RecoveryRecord};
+use pgas::fault::{FaultPlan, IntegrityRecord, RecoveryRecord};
 use pgas::{CommCounters, WorkPool};
 use simcov_core::checkpoint::CheckpointStore;
+use simcov_core::checkpoint::RunCheckpoint;
 use simcov_core::decomp::{Partition, Strategy};
 use simcov_core::integrity::{IntegrityMonitor, DEFAULT_AUDIT_PERIOD};
 use simcov_core::params::SimParams;
@@ -19,6 +20,7 @@ use simcov_core::world::World;
 use simcov_telemetry::{HealthMonitor, Histogram, Telemetry};
 
 use crate::error::ConfigError;
+use crate::state::{DriverState, Event};
 
 /// How the driver checkpoints and retries around injected/detected faults.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -49,15 +51,19 @@ impl RecoveryPolicy {
     /// saturating at `u64::MAX` instead of overflowing once the shift would
     /// push bits off the top — a hostile or runaway retry count must not
     /// wrap the meter back to small values.
+    ///
+    /// Saturation is decided by round-tripping the shift (`checked_shl`
+    /// then shift back) rather than comparing against `leading_zeros`, so
+    /// the result is provably exact for every base, including multi-bit
+    /// bases sitting right at the boundary.
     pub fn backoff_ns(&self, attempt: u32) -> u64 {
         if self.backoff_base_ns == 0 {
             return 0;
         }
         let shift = attempt.saturating_sub(1);
-        if shift > self.backoff_base_ns.leading_zeros() {
-            u64::MAX
-        } else {
-            self.backoff_base_ns << shift
+        match self.backoff_base_ns.checked_shl(shift) {
+            Some(v) if v >> shift == self.backoff_base_ns => v,
+            _ => u64::MAX,
         }
     }
 }
@@ -122,13 +128,18 @@ pub struct DriverCore {
     /// Every integrity event of the run, in detection order (the SDC sweep
     /// reads this even when no metrics sink is installed).
     pub integrity_log: Vec<IntegrityRecord>,
-    /// State corruptions applied to unit state whose detection is still
-    /// outstanding — consumed (oldest first) when a scrub or audit fires to
-    /// attribute the detection to its injection step.
-    pub outstanding_corruptions: Vec<PendingStateCorruption>,
-    /// Simulation step at which each outstanding corruption was applied,
-    /// parallel to `outstanding_corruptions`.
-    pub outstanding_steps: Vec<u64>,
+    /// The pure control-plane state; every recovery/checkpoint/quarantine
+    /// decision is made by `state.apply(event)` — the shell only executes
+    /// the returned effects.
+    pub state: DriverState,
+    /// Snapshot of `state` taken when event recording was enabled — the
+    /// starting point a recorded log replays from.
+    pub initial_state: DriverState,
+    /// Recorded control-plane events (`None`: recording off).
+    pub event_log: Option<Vec<Event>>,
+    /// Rollback checkpoint staged by a `FetchRollbackTarget` effect,
+    /// consumed by the following `Rollback` effect.
+    pub staged_rollback: Option<RunCheckpoint>,
 }
 
 impl DriverCore {
@@ -157,6 +168,11 @@ impl DriverCore {
         let integrity = fault_plan
             .has_corruption()
             .then(|| IntegrityMonitor::new(DEFAULT_AUDIT_PERIOD));
+        let state = DriverState::initial(
+            n_units,
+            recovery.as_ref().map(|rm| rm.policy),
+            integrity.is_some(),
+        );
         Ok(DriverCore {
             params,
             strategy,
@@ -178,8 +194,10 @@ impl DriverCore {
             integrity,
             pending_integrity: Vec::new(),
             integrity_log: Vec::new(),
-            outstanding_corruptions: Vec::new(),
-            outstanding_steps: Vec::new(),
+            initial_state: state.clone(),
+            state,
+            event_log: None,
+            staged_rollback: None,
         }
         .with_recovery_manager(recovery))
     }
@@ -207,6 +225,17 @@ impl DriverCore {
             Some(mon) => mon.audit_period = audit_period,
             None => self.integrity = Some(IntegrityMonitor::new(audit_period)),
         }
+        // Configuration-time change: both the live control state and the
+        // replay starting point see the defense engaged.
+        self.state.integrity_on = true;
+        self.initial_state.integrity_on = true;
+    }
+
+    /// Start recording control-plane events for deterministic replay. The
+    /// current control state becomes the replay starting point.
+    pub fn enable_event_recording(&mut self) {
+        self.initial_state = self.state.clone();
+        self.event_log = Some(Vec::new());
     }
 
     /// Record one integrity event on the log and (when a metrics sink is
@@ -218,15 +247,11 @@ impl DriverCore {
         self.integrity_log.push(rec);
     }
 
-    /// Is a checkpoint due before computing the current step?
+    /// Is a checkpoint due before computing the current step? Delegates to
+    /// the pure control state, which mirrors the store's newest generation
+    /// on the current timeline.
     pub fn checkpoint_due(&self) -> bool {
-        match &self.recovery {
-            None => false,
-            Some(rm) => match rm.store.latest() {
-                None => true,
-                Some(cp) => self.step >= cp.step + rm.policy.checkpoint_period.max(1),
-            },
-        }
+        self.state.checkpoint_due()
     }
 }
 
@@ -257,5 +282,48 @@ mod tests {
             ..policy
         };
         assert_eq!(p0.backoff_ns(u32::MAX), 0);
+    }
+
+    /// Regression: multi-bit bases at the shift boundary. A base with more
+    /// than one significant bit (3 = 0b11) still fits when its top bit
+    /// lands exactly on bit 63 and must saturate one attempt later — the
+    /// round-trip check cannot silently drop high bits the way a mistuned
+    /// `leading_zeros` comparison could.
+    #[test]
+    fn backoff_multi_bit_base_boundary_is_exact() {
+        let base = |b: u64| RecoveryPolicy {
+            backoff_base_ns: b,
+            ..RecoveryPolicy::default()
+        };
+        // base 3: top bit at 1, so shift 62 (attempt 63) is the last exact
+        // value and shift 63 (attempt 64) saturates.
+        assert_eq!(base(3).backoff_ns(63), 3u64 << 62);
+        assert_eq!(base(3).backoff_ns(64), u64::MAX);
+        // base 5 (0b101): same boundary, different low bits.
+        assert_eq!(base(5).backoff_ns(62), 5u64 << 61);
+        assert_eq!(base(5).backoff_ns(63), u64::MAX);
+        // All-ones base: any shift at all drops bits.
+        assert_eq!(base(u64::MAX).backoff_ns(1), u64::MAX);
+        assert_eq!(base(u64::MAX).backoff_ns(2), u64::MAX);
+        // Exactness everywhere below the boundary, for every bit position.
+        for top in 0..64u32 {
+            let b = 1u64 << top;
+            let last_exact = 64 - top; // attempt whose shift puts the top bit at 63
+            assert_eq!(base(b).backoff_ns(last_exact), b << (last_exact - 1));
+            assert_eq!(base(b).backoff_ns(last_exact + 1), u64::MAX);
+        }
+        // Monotone non-decreasing in attempt for a handful of bases.
+        for b in [1u64, 2, 3, 5, 7, 1_000_000, u64::MAX / 3] {
+            let p = base(b);
+            let mut prev = 0;
+            for attempt in 0..200 {
+                let v = p.backoff_ns(attempt);
+                assert!(
+                    v >= prev,
+                    "backoff regressed at attempt {attempt} (base {b})"
+                );
+                prev = v;
+            }
+        }
     }
 }

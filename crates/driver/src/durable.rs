@@ -11,10 +11,14 @@
 //! truncated copy or any at-rest bit flip is detected before a single byte
 //! of simulation state is parsed; the inner blob then re-validates
 //! structure, parameter fingerprint and model invariants. Writes are
-//! atomic: the file is staged under a `.tmp` sibling name and renamed into
-//! place, so a crash mid-persist leaves the previous checkpoint intact.
+//! atomic *and durable*: the file is staged under a `.tmp` sibling name,
+//! fsynced, renamed into place, and the parent directory is fsynced — so a
+//! crash mid-persist leaves the previous checkpoint intact, and a power
+//! loss right after `persist_checkpoint` returns cannot lose the rename or
+//! leave a rolled-back, partially-written stage as the live checkpoint.
 
-use std::fs;
+use std::fs::{self, File};
+use std::io::Write;
 use std::path::{Path, PathBuf};
 
 use pgas::mailbox::frame;
@@ -49,10 +53,46 @@ pub fn persist_checkpoint(
     out.extend_from_slice(&FILE_VERSION.to_le_bytes());
     out.extend_from_slice(&framed);
     let tmp = tmp_sibling(path);
-    fs::write(&tmp, &out)
-        .map_err(|e| SimError::Persist(format!("write {}: {e}", tmp.display())))?;
+    // Stage through an explicit handle and fsync it before the rename:
+    // `fs::write` alone leaves the data in the page cache, so a crash after
+    // the rename could surface a truncated file under the *final* name —
+    // exactly the torn state the staging protocol exists to prevent.
+    {
+        let mut f = File::create(&tmp)
+            .map_err(|e| SimError::Persist(format!("create {}: {e}", tmp.display())))?;
+        f.write_all(&out)
+            .map_err(|e| SimError::Persist(format!("write {}: {e}", tmp.display())))?;
+        f.sync_all()
+            .map_err(|e| SimError::Persist(format!("fsync {}: {e}", tmp.display())))?;
+    }
     fs::rename(&tmp, path)
-        .map_err(|e| SimError::Persist(format!("rename to {}: {e}", path.display())))
+        .map_err(|e| SimError::Persist(format!("rename to {}: {e}", path.display())))?;
+    // The rename itself lives in the directory entry: fsync the parent so
+    // the new name survives power loss too. Non-fatal where the platform
+    // refuses directory handles — the data itself is already durable.
+    if let Some(parent) = path.parent() {
+        let dir = if parent.as_os_str().is_empty() {
+            Path::new(".")
+        } else {
+            parent
+        };
+        if let Ok(d) = File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// Remove orphaned `.tmp` stage siblings of `path` left behind by a crash
+/// mid-persist. Stage files are never sealed generations — they are either
+/// fully renamed into place or garbage — so sweeping them on `--resume` is
+/// always safe. Returns how many were removed.
+pub fn sweep_stale_stages(path: &Path) -> u64 {
+    let tmp = tmp_sibling(path);
+    match fs::remove_file(&tmp) {
+        Ok(()) => 1,
+        Err(_) => 0,
+    }
 }
 
 /// Read a checkpoint persisted by [`persist_checkpoint`], verifying the
@@ -166,6 +206,34 @@ mod tests {
             load_checkpoint(&path, &params),
             Err(SimError::Persist(_))
         ));
+        let _ = fs::remove_file(&path);
+    }
+
+    /// A crash between stage-write and rename leaves a truncated `.tmp`
+    /// sibling. The restore chain must never accept it in place of the
+    /// sealed checkpoint, and the resume-time sweep must clear it.
+    #[test]
+    fn truncated_stage_is_rejected_and_swept() {
+        let (params, cp) = checkpointed_sim();
+        let path = tmp_path("stale_stage");
+        persist_checkpoint(&path, &params, &cp).unwrap();
+        let clean = fs::read(&path).unwrap();
+
+        // Model the crash: a half-written stage file next to a good seal.
+        let stage = tmp_sibling(&path);
+        fs::write(&stage, &clean[..clean.len() / 3]).unwrap();
+        assert!(
+            load_checkpoint(&stage, &params).is_err(),
+            "truncated stage must never load"
+        );
+        // The sealed checkpoint is untouched by the orphan.
+        assert_eq!(load_checkpoint(&path, &params).unwrap(), cp);
+
+        assert_eq!(sweep_stale_stages(&path), 1);
+        assert!(!stage.exists(), "sweep removes the orphaned stage");
+        assert_eq!(sweep_stale_stages(&path), 0, "second sweep finds nothing");
+        // The live checkpoint survives the sweep.
+        assert_eq!(load_checkpoint(&path, &params).unwrap(), cp);
         let _ = fs::remove_file(&path);
     }
 }

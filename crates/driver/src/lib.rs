@@ -13,6 +13,10 @@
 //!   and elastic re-partitioning around injected or detected faults;
 //! - [`ConfigError`] / [`SimError`] — typed errors replacing the panicking
 //!   construction paths;
+//! - [`state`] — the pure control-plane core: every recovery, retry,
+//!   quarantine and checkpoint-scheduling decision as a total function
+//!   `(DriverState, Event) -> (DriverState, Vec<Effect>)`, deterministically
+//!   replayable from a recorded event log with zero I/O;
 //! - [`durable`] — CRC-guarded on-disk checkpoint persistence for crash
 //!   restart (`--resume` in the CLI).
 
@@ -20,8 +24,10 @@ pub mod core;
 pub mod durable;
 pub mod error;
 pub mod simulation;
+pub mod state;
 
 pub use crate::core::{DriverCore, RecoveryManager, RecoveryPolicy};
-pub use durable::{load_checkpoint, persist_checkpoint};
+pub use durable::{load_checkpoint, persist_checkpoint, sweep_stale_stages};
 pub use error::{ConfigError, SimError};
 pub use simulation::{Executor, SerialDriver, Simulation};
+pub use state::{replay, DriverState, Effect, Event, Replay, StopCause};

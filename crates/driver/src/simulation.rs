@@ -1,25 +1,28 @@
 //! The unified [`Simulation`] driver API and the [`Executor`] contract the
-//! CPU and GPU executors implement.
+//! CPU and GPU executors implement — the *effect shell* over the pure
+//! control-plane core in [`crate::state`].
 //!
 //! `Simulation` is the object-safe surface embedders program against
 //! (`Box<dyn Simulation>` in the CLI and benches); `Executor` is the small
-//! set of executor-specific hooks — everything else (the per-step loop,
-//! checkpointing, fault recovery, metrics emission) is implemented once in
-//! the blanket `impl<E: Executor> Simulation for E`.
+//! set of executor-specific hooks. The step loop here owns only the impure
+//! world — disk persistence, clocks, pool dispatch, telemetry emission,
+//! the checkpoint store's actual generations — and reduces every
+//! observation to an [`Event`] fed to [`DriverState::apply`]; the returned
+//! [`Effect`]s are executed in order by the shell's dispatch loop. No recovery, retry,
+//! quarantine or checkpoint-scheduling *decision* is made in this file.
 
+use std::collections::VecDeque;
 use std::time::Instant;
 
 use gpusim::metrics::{MetricsSink, StepRecord};
 use gpusim::{CostModel, DeviceCounters, HwProfile};
 use pgas::fault::{
-    CorruptionKind, IntegrityAction, IntegrityDetector, IntegrityRecord, PendingStateCorruption,
-    RecoveryRecord, SuperstepError,
+    IntegrityDetector, IntegrityRecord, PendingStateCorruption, RecoveryRecord, SuperstepError,
 };
 use pgas::{CommCounters, Trace};
 use simcov_core::checkpoint::RunCheckpoint;
 use simcov_core::extrav::TrialTable;
 use simcov_core::foi::FoiPattern;
-use simcov_core::integrity::IntegrityViolation;
 use simcov_core::params::SimParams;
 use simcov_core::serial::SerialSim;
 use simcov_core::stats::{StatsPartial, StepStats, TimeSeries};
@@ -28,6 +31,7 @@ use simcov_telemetry::{HealthConfig, HealthMonitor, HealthRecord, RankWalls, Spa
 
 use crate::core::DriverCore;
 use crate::error::{ConfigError, SimError};
+use crate::state::{DriverState, Effect, Event, ScrubVerdict, StopCause};
 
 /// Executor-specific hooks. Implementations own a [`DriverCore`] plus their
 /// rank/device collection and BSP mailboxes; the step loop, checkpointing
@@ -199,6 +203,27 @@ pub trait Simulation {
 
     /// Every fault recovery performed so far, in order.
     fn recovery_log(&self) -> &[RecoveryRecord];
+
+    /// Start recording control-plane events for deterministic replay. The
+    /// current control state becomes the replay starting point. No-op on
+    /// executors without a control plane.
+    fn enable_event_recording(&mut self) {}
+
+    /// The recorded control-plane event log (empty when recording is off).
+    fn event_log(&self) -> &[Event] {
+        &[]
+    }
+
+    /// The live pure control-plane state (`None` where no state machine
+    /// drives the executor).
+    fn control_state(&self) -> Option<&DriverState> {
+        None
+    }
+
+    /// The control-state snapshot event recording started from.
+    fn replay_initial_state(&self) -> Option<&DriverState> {
+        None
+    }
 }
 
 impl<E: Executor> Simulation for E {
@@ -216,27 +241,29 @@ impl<E: Executor> Simulation for E {
 
     fn advance_step(&mut self) -> Result<(), SimError> {
         let target = self.core().step + 1;
-        let mut attempt: u32 = 0;
         let tel = self.core().telemetry.clone();
+        dispatch(self, Event::AdvanceRequested)?;
         // After a rollback `core.step` drops below `target`; the loop
         // replays the intermediate steps until the trajectory is one step
         // further than when we were called.
         while self.core().step < target {
             // Prologue: verify the canonical state *before* compute consumes
             // it and before a checkpoint could capture it. On a violation
-            // this rolls the run back to the newest verified generation.
+            // the core rolls the run back to the newest verified generation.
             if self.core().integrity.is_some() {
-                prologue_verify(self, &mut attempt)?;
+                let verdict = scrub_verdict(self);
+                dispatch(self, Event::Scrubbed { verdict })?;
             }
-            if self.core().checkpoint_due() {
+            if self.core().state.checkpoint_due() {
                 let world = self.assemble_world();
                 let core = self.core_mut();
+                let step = core.step;
                 let rm = core
                     .recovery
                     .as_mut()
                     .expect("checkpoint_due implies a recovery manager");
-                rm.store
-                    .save(core.step, &world, &core.vascular, &core.history);
+                rm.store.save(step, &world, &core.vascular, &core.history);
+                dispatch(self, Event::CheckpointSaved { step })?;
             }
             let t = self.core().step;
             // Root of this step's span tree: supersteps parent to it via the
@@ -250,9 +277,9 @@ impl<E: Executor> Simulation for E {
                 TrialTable::build(&self.core().params, t, self.core().vascular.circulating());
             match self.compute_step(t, &trials) {
                 Ok(partial) => {
-                    attempt = 0;
+                    dispatch(self, Event::StepComputed { step: t })?;
                     finish_step(self, t, partial, start);
-                    epilogue_integrity(self, t);
+                    epilogue_integrity(self, t)?;
                     if tel.is_enabled() {
                         observe_health(self, t, &tel);
                         tel.close(0, "step", SpanKind::Step, 0, step_open, t, 0);
@@ -262,12 +289,12 @@ impl<E: Executor> Simulation for E {
                     }
                 }
                 Err(failure) => {
-                    attempt += 1;
+                    let attempt = self.core().state.attempt + 1;
                     if tel.is_enabled() {
                         tel.instant(0, "recovery", step_open.id, t, attempt as u64);
                         tel.close(0, "step", SpanKind::Step, 0, step_open, t, attempt as u64);
                     }
-                    recover(self, failure, attempt)?;
+                    dispatch(self, Event::ComputeFailed { error: failure })?;
                 }
             }
         }
@@ -370,11 +397,10 @@ impl<E: Executor> Simulation for E {
             rm.store = simcov_core::checkpoint::CheckpointStore::new();
         }
         // Likewise the seal: the old one described the replaced state.
-        core.outstanding_corruptions.clear();
-        core.outstanding_steps.clear();
         if let Some(mon) = core.integrity.as_mut() {
             mon.reseal(&cp.world, &cp.pool);
         }
+        dispatch(self, Event::ExternalRestore { step: cp.step })?;
         Ok(())
     }
 
@@ -384,6 +410,22 @@ impl<E: Executor> Simulation for E {
             .as_ref()
             .map(|rm| rm.log.as_slice())
             .unwrap_or(&[])
+    }
+
+    fn enable_event_recording(&mut self) {
+        self.core_mut().enable_event_recording();
+    }
+
+    fn event_log(&self) -> &[Event] {
+        self.core().event_log.as_deref().unwrap_or(&[])
+    }
+
+    fn control_state(&self) -> Option<&DriverState> {
+        Some(&self.core().state)
+    }
+
+    fn replay_initial_state(&self) -> Option<&DriverState> {
+        Some(&self.core().initial_state)
     }
 }
 
@@ -483,10 +525,75 @@ fn emit_step_record<E: Executor + ?Sized>(
     }
 }
 
-/// Prologue of every step while the SDC defense is engaged: scrub the
+/// Feed one observation into the pure core and execute every effect it
+/// requests, in order. The store's answer to a rollback query is itself an
+/// observation, so [`Effect::FetchRollbackTarget`] enqueues a follow-up
+/// [`Event::RollbackTargetFetched`] — the queue drains until the core is
+/// quiescent. When event recording is on, every applied event (including
+/// the store answers) lands in the log, so a replay needs no store.
+fn dispatch<E: Executor + ?Sized>(exec: &mut E, event: Event) -> Result<(), SimError> {
+    let mut queue = VecDeque::new();
+    queue.push_back(event);
+    while let Some(ev) = queue.pop_front() {
+        if let Some(log) = exec.core_mut().event_log.as_mut() {
+            log.push(ev.clone());
+        }
+        let state = std::mem::take(&mut exec.core_mut().state);
+        let (next, effects) = state.apply(ev);
+        exec.core_mut().state = next;
+        for eff in effects {
+            match eff {
+                Effect::EmitIntegrity(rec) => exec.core_mut().push_integrity(rec),
+                Effect::EmitRecovery(rec) => {
+                    let core = exec.core_mut();
+                    if let Some(rm) = core.recovery.as_mut() {
+                        rm.log.push(rec.clone());
+                    }
+                    core.pending_recoveries.push(rec);
+                }
+                Effect::FetchRollbackTarget { verified_only } => {
+                    let (cp, quarantined) = {
+                        let rm = exec
+                            .core_mut()
+                            .recovery
+                            .as_mut()
+                            .expect("a rollback query implies a recovery manager");
+                        if verified_only {
+                            let before = rm.store.quarantined;
+                            let cp = rm.store.latest_verified().cloned();
+                            (cp, rm.store.quarantined - before)
+                        } else {
+                            (rm.store.latest().cloned(), 0)
+                        }
+                    };
+                    let step = cp.as_ref().map(|c| c.step);
+                    exec.core_mut().staged_rollback = cp;
+                    queue.push_back(Event::RollbackTargetFetched { step, quarantined });
+                }
+                Effect::Rollback { survivors } => perform_rollback(exec, survivors)?,
+                Effect::Halt(cause) => return Err(cause_to_error(cause)),
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Map a terminal [`StopCause`] onto the public error surface.
+fn cause_to_error(cause: StopCause) -> SimError {
+    match cause {
+        StopCause::Unrecoverable(e) => SimError::Unrecoverable(e),
+        StopCause::RetriesExhausted { last, attempts } => {
+            SimError::RetriesExhausted { last, attempts }
+        }
+        StopCause::Integrity { step, violation } => SimError::Integrity { step, violation },
+    }
+}
+
+/// Prologue observation while the SDC defense is engaged: scrub the
 /// canonical state against last step's seal, and run the invariant audit
-/// when due. A violation takes the rollback tier of the healing ladder.
-fn prologue_verify<E: Executor + ?Sized>(exec: &mut E, attempt: &mut u32) -> Result<(), SimError> {
+/// when due. Pure detection only — what happens on a violation is the
+/// core's decision.
+fn scrub_verdict<E: Executor + ?Sized>(exec: &mut E) -> Option<ScrubVerdict> {
     let step = exec.core().step;
     let audit_due = exec
         .core()
@@ -495,37 +602,61 @@ fn prologue_verify<E: Executor + ?Sized>(exec: &mut E, attempt: &mut u32) -> Res
         .is_some_and(|mon| mon.audit_due(step));
     let world = exec.assemble_world();
     let core = exec.core_mut();
-    let Some(mon) = core.integrity.as_mut() else {
-        return Ok(());
-    };
-    let verdict = match mon.scrub(&world, &core.vascular) {
-        Err(v) => Some((v, IntegrityDetector::SealScrub)),
+    let mon = core.integrity.as_mut()?;
+    match mon.scrub(&world, &core.vascular) {
+        Err(v) => Some(ScrubVerdict {
+            violation: v,
+            detector: IntegrityDetector::SealScrub,
+        }),
         Ok(()) if audit_due => mon
             .audit(&world, &core.vascular)
             .err()
-            .map(|v| (v, IntegrityDetector::InvariantAudit)),
+            .map(|v| ScrubVerdict {
+                violation: v,
+                detector: IntegrityDetector::InvariantAudit,
+            }),
         Ok(()) => None,
-    };
-    if let Some((violation, detector)) = verdict {
-        *attempt += 1;
-        integrity_rollback(exec, step, violation, detector, *attempt)?;
+    }
+}
+
+/// Execute a decided rollback: retire the live work counters before the
+/// unit collection is torn down (so totals never lose the failed epoch's
+/// work), re-partition over the staged checkpoint's world, swap in its
+/// pool/history/step, and reseal.
+fn perform_rollback<E: Executor + ?Sized>(exec: &mut E, survivors: usize) -> Result<(), SimError> {
+    let cp = exec
+        .core_mut()
+        .staged_rollback
+        .take()
+        .expect("a Rollback effect follows a successful target fetch");
+    let live = exec.live_counters();
+    exec.core_mut().retired_counters.merge(&live);
+    exec.rebuild(&cp.world, survivors)
+        .map_err(SimError::Config)?;
+    let core = exec.core_mut();
+    core.vascular = cp.pool;
+    core.history = cp.history;
+    core.step = cp.step;
+    if let Some(mon) = core.integrity.as_mut() {
+        mon.reseal(&cp.world, &core.vascular);
     }
     Ok(())
 }
 
-/// Epilogue of every completed step: stamp and publish the BSP layer's
-/// in-barrier heal records, reseal the post-step state, then apply any
+/// Epilogue of every completed step: report the BSP layer's in-barrier heal
+/// records to the core, reseal the post-step state, then apply any
 /// scheduled state corruption *after* the seal — so the flip lands on
 /// sealed state and the next prologue scrub is guaranteed to catch it.
-fn epilogue_integrity<E: Executor + ?Sized>(exec: &mut E, t: u64) {
-    let mut heals = exec.take_bsp_integrity_records();
+fn epilogue_integrity<E: Executor + ?Sized>(exec: &mut E, t: u64) -> Result<(), SimError> {
+    let heals = exec.take_bsp_integrity_records();
     if !heals.is_empty() {
-        let core = exec.core_mut();
-        for mut r in heals.drain(..) {
-            r.step = t;
-            r.injected_step = t;
-            core.push_integrity(r);
-        }
+        dispatch(
+            exec,
+            Event::BarrierHeals {
+                step: t,
+                records: heals,
+            },
+        )?;
     }
     if exec.core().integrity.is_some() {
         let world = exec.assemble_world();
@@ -538,221 +669,14 @@ fn epilogue_integrity<E: Executor + ?Sized>(exec: &mut E, t: u64) {
     for p in pending {
         let unit = p.rank % exec.unit_count().max(1);
         exec.corrupt_unit_state(unit, p.seed);
-        let core = exec.core_mut();
-        core.outstanding_corruptions.push(p);
-        core.outstanding_steps.push(t);
+        dispatch(
+            exec,
+            Event::CorruptionApplied {
+                step: t,
+                superstep: p.superstep,
+            },
+        )?;
     }
-}
-
-/// The rollback tier for *detected state corruption*: quarantine any
-/// checkpoint generation whose seal no longer verifies, restore the newest
-/// clean one, and reseal. Unlike fail-stop recovery no ranks died, so the
-/// partition geometry is kept.
-fn integrity_rollback<E: Executor + ?Sized>(
-    exec: &mut E,
-    failed_step: u64,
-    violation: IntegrityViolation,
-    detector: IntegrityDetector,
-    attempt: u32,
-) -> Result<(), SimError> {
-    let fatal = |step: u64, violation: IntegrityViolation| SimError::Integrity { step, violation };
-    let policy = match exec.core().recovery.as_ref() {
-        None => return Err(fatal(failed_step, violation)),
-        Some(rm) => rm.policy,
-    };
-    if attempt > policy.max_retries {
-        return Err(fatal(failed_step, violation));
-    }
-    // Quarantine corrupt generations; count how many fell.
-    let (cp, quarantined) = {
-        let rm = exec.core_mut().recovery.as_mut().expect("checked above");
-        let before = rm.store.quarantined;
-        let cp = rm.store.latest_verified().cloned();
-        (cp, rm.store.quarantined - before)
-    };
-    let core = exec.core_mut();
-    for _ in 0..quarantined {
-        core.push_integrity(IntegrityRecord {
-            step: failed_step,
-            injected_step: failed_step,
-            superstep: 0,
-            injected_superstep: 0,
-            kind: CorruptionKind::Checkpoint,
-            detector: IntegrityDetector::CheckpointSeal,
-            action: IntegrityAction::Quarantine,
-        });
-    }
-    // Attribute the detection to every outstanding injected corruption (a
-    // scrub fires once however many flips landed since the seal).
-    let injected: Vec<(PendingStateCorruption, u64)> = core
-        .outstanding_corruptions
-        .drain(..)
-        .zip(core.outstanding_steps.drain(..))
-        .collect();
-    if injected.is_empty() {
-        core.push_integrity(IntegrityRecord {
-            step: failed_step,
-            injected_step: failed_step,
-            superstep: 0,
-            injected_superstep: 0,
-            kind: CorruptionKind::State,
-            detector,
-            action: IntegrityAction::Rollback,
-        });
-    }
-    for (p, injected_step) in injected {
-        core.push_integrity(IntegrityRecord {
-            step: failed_step,
-            injected_step,
-            superstep: 0,
-            injected_superstep: p.superstep,
-            kind: CorruptionKind::State,
-            detector,
-            action: IntegrityAction::Rollback,
-        });
-    }
-    let Some(cp) = cp else {
-        // Every generation was corrupt: nothing trustworthy to roll to.
-        return Err(fatal(failed_step, violation));
-    };
-
-    let live = exec.live_counters();
-    exec.core_mut().retired_counters.merge(&live);
-    let survivors = exec.unit_count();
-    exec.rebuild(&cp.world, survivors)
-        .map_err(SimError::Config)?;
-
-    let record = RecoveryRecord {
-        failed_step,
-        superstep: 0,
-        dead_ranks: Vec::new(),
-        dropped_messages: 0,
-        rollback_step: cp.step,
-        replayed_steps: failed_step - cp.step,
-        survivors,
-        attempt,
-        backoff_ns: policy.backoff_ns(attempt),
-    };
-    let core = exec.core_mut();
-    core.vascular = cp.pool;
-    core.history = cp.history;
-    core.step = cp.step;
-    if let Some(mon) = core.integrity.as_mut() {
-        mon.reseal(&cp.world, &core.vascular);
-    }
-    let rm = core.recovery.as_mut().expect("checked above");
-    rm.log.push(record.clone());
-    core.pending_recoveries.push(record);
-    Ok(())
-}
-
-/// Roll back to the last checkpoint, re-partition across survivors and
-/// prime the replay. `attempt` counts consecutive failures at the current
-/// position (resets on any completed step).
-fn recover<E: Executor + ?Sized>(
-    exec: &mut E,
-    failure: SuperstepError,
-    attempt: u32,
-) -> Result<(), SimError> {
-    let failed_step = exec.core().step;
-    let verify = exec.core().integrity.is_some();
-    let policy = match exec.core().recovery.as_ref() {
-        None => return Err(SimError::Unrecoverable(failure)),
-        Some(rm) if rm.store.latest().is_none() => return Err(SimError::Unrecoverable(failure)),
-        Some(rm) => rm.policy,
-    };
-    if attempt > policy.max_retries {
-        return Err(SimError::RetriesExhausted {
-            last: failure,
-            attempts: attempt,
-        });
-    }
-    // With the SDC defense engaged, never roll back onto a generation whose
-    // seal no longer verifies; without it, `latest` is trusted (fail-stop).
-    let (cp, quarantined) = {
-        let rm = exec.core_mut().recovery.as_mut().expect("checked above");
-        if verify {
-            let before = rm.store.quarantined;
-            let cp = rm.store.latest_verified().cloned();
-            (cp, rm.store.quarantined - before)
-        } else {
-            (rm.store.latest().cloned(), 0)
-        }
-    };
-    for _ in 0..quarantined {
-        exec.core_mut().push_integrity(IntegrityRecord {
-            step: failed_step,
-            injected_step: failed_step,
-            superstep: 0,
-            injected_superstep: 0,
-            kind: CorruptionKind::Checkpoint,
-            detector: IntegrityDetector::CheckpointSeal,
-            action: IntegrityAction::Quarantine,
-        });
-    }
-    let Some(cp) = cp else {
-        return Err(SimError::Unrecoverable(failure));
-    };
-    // An unhealed in-flight corruption that forced this rollback is a
-    // detected-and-healed event for the integrity stream.
-    if let SuperstepError::Integrity(ref i) = failure {
-        for _ in 0..i.unhealed.max(1) {
-            exec.core_mut().push_integrity(IntegrityRecord {
-                step: failed_step,
-                injected_step: failed_step,
-                superstep: i.superstep,
-                injected_superstep: i.superstep,
-                kind: CorruptionKind::Payload,
-                detector: IntegrityDetector::BatchCrc,
-                action: IntegrityAction::Rollback,
-            });
-        }
-    }
-
-    // Retire the live work counters before the unit collection is torn
-    // down, so totals never lose the failed epoch's work.
-    let live = exec.live_counters();
-    exec.core_mut().retired_counters.merge(&live);
-
-    let (superstep, dead_ranks, dropped_messages) = match &failure {
-        SuperstepError::Failure(f) => (f.superstep, f.dead_ranks.clone(), f.dropped_messages),
-        SuperstepError::Integrity(i) => (i.superstep, Vec::new(), 0),
-    };
-    let survivors = if dead_ranks.is_empty() {
-        exec.unit_count()
-    } else {
-        exec.unit_count().saturating_sub(dead_ranks.len()).max(1)
-    };
-    exec.rebuild(&cp.world, survivors)
-        .map_err(SimError::Config)?;
-
-    // Simulated exponential backoff — metered in the record, never slept.
-    let backoff_ns = policy.backoff_ns(attempt);
-    let record = RecoveryRecord {
-        failed_step,
-        superstep,
-        dead_ranks,
-        dropped_messages,
-        rollback_step: cp.step,
-        replayed_steps: failed_step - cp.step,
-        survivors,
-        attempt,
-        backoff_ns,
-    };
-    let core = exec.core_mut();
-    core.vascular = cp.pool;
-    core.history = cp.history;
-    core.step = cp.step;
-    // The rollback replaced the state wholesale: any applied-but-undetected
-    // corruption was wiped with it, so forget the attributions.
-    core.outstanding_corruptions.clear();
-    core.outstanding_steps.clear();
-    if let Some(mon) = core.integrity.as_mut() {
-        mon.reseal(&cp.world, &core.vascular);
-    }
-    let rm = core.recovery.as_mut().expect("checked above");
-    rm.log.push(record.clone());
-    core.pending_recoveries.push(record);
     Ok(())
 }
 
@@ -770,6 +694,13 @@ pub struct SerialDriver {
     /// Attached telemetry: serial steps record flat `step` spans (no
     /// supersteps or ranks exist to nest under them).
     telemetry: Telemetry,
+    /// Pure control state: the serial executor has no fault surface, so
+    /// this only tracks the step counter — but it keeps the replay
+    /// machinery uniform across all three executors.
+    state: DriverState,
+    /// Snapshot the event log replays from (see `enable_event_recording`).
+    initial_state: DriverState,
+    event_log: Option<Vec<Event>>,
 }
 
 impl SerialDriver {
@@ -784,6 +715,9 @@ impl SerialDriver {
             metrics: None,
             empty_trace: Trace::disabled(),
             telemetry: Telemetry::disabled(),
+            state: DriverState::initial(1, None, false),
+            initial_state: DriverState::initial(1, None, false),
+            event_log: None,
         })
     }
 
@@ -800,6 +734,9 @@ impl SerialDriver {
             metrics: None,
             empty_trace: Trace::disabled(),
             telemetry: Telemetry::disabled(),
+            state: DriverState::initial(1, None, false),
+            initial_state: DriverState::initial(1, None, false),
+            event_log: None,
         })
     }
 
@@ -809,6 +746,19 @@ impl SerialDriver {
 
     pub fn inner_mut(&mut self) -> &mut SerialSim {
         &mut self.sim
+    }
+
+    /// Apply one control event to the serial executor's pure state. The
+    /// serial core never requests effects (no recovery, no integrity),
+    /// which the debug assertion pins down.
+    fn record(&mut self, ev: Event) {
+        if let Some(log) = self.event_log.as_mut() {
+            log.push(ev.clone());
+        }
+        let state = std::mem::take(&mut self.state);
+        let (next, effects) = state.apply(ev);
+        debug_assert!(effects.is_empty(), "serial control plane is effect-free");
+        self.state = next;
     }
 }
 
@@ -828,8 +778,10 @@ impl Simulation for SerialDriver {
     fn advance_step(&mut self) -> Result<(), SimError> {
         let start = self.metrics.as_ref().map(|_| Instant::now());
         let t = self.sim.step;
+        self.record(Event::AdvanceRequested);
         let step_open = self.telemetry.open();
         self.sim.advance_step();
+        self.record(Event::StepComputed { step: t });
         self.telemetry
             .close(0, "step", SpanKind::Step, 0, step_open, t, 0);
         if let Some(sink) = self.metrics.as_mut() {
@@ -917,10 +869,28 @@ impl Simulation for SerialDriver {
         self.sim.pool = cp.pool.clone();
         self.sim.history = cp.history.clone();
         self.sim.step = cp.step;
+        self.record(Event::ExternalRestore { step: cp.step });
         Ok(())
     }
 
     fn recovery_log(&self) -> &[RecoveryRecord] {
         &[]
+    }
+
+    fn enable_event_recording(&mut self) {
+        self.initial_state = self.state.clone();
+        self.event_log = Some(Vec::new());
+    }
+
+    fn event_log(&self) -> &[Event] {
+        self.event_log.as_deref().unwrap_or(&[])
+    }
+
+    fn control_state(&self) -> Option<&DriverState> {
+        Some(&self.state)
+    }
+
+    fn replay_initial_state(&self) -> Option<&DriverState> {
+        Some(&self.initial_state)
     }
 }

@@ -1,0 +1,50 @@
+//! Control-plane effects: everything the pure driver core can ask the
+//! effect shell to do.
+//!
+//! A transition returns effects instead of performing them; the shell
+//! executes them in order. Every effect is plain data, so a replayed event
+//! log produces the exact effect sequence of the live run without touching
+//! the checkpoint store, the executors, or the disk.
+
+use pgas::fault::{IntegrityRecord, RecoveryRecord, SuperstepError};
+use simcov_core::integrity::IntegrityViolation;
+
+/// Why the pure core halted the run. The shell maps each cause onto the
+/// matching [`SimError`](crate::SimError) variant.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StopCause {
+    /// A superstep failed with no recovery manager engaged, or nothing
+    /// (trustworthy) to roll back to.
+    Unrecoverable(SuperstepError),
+    /// Consecutive failures at one step exhausted the retry budget.
+    RetriesExhausted { last: SuperstepError, attempts: u32 },
+    /// Detected state corruption with no recovery engaged, the retry budget
+    /// spent, or every checkpoint generation quarantined.
+    Integrity {
+        step: u64,
+        violation: IntegrityViolation,
+    },
+}
+
+/// One action the shell performs on the pure core's behalf.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Effect {
+    /// Ask the checkpoint store for a rollback target: the newest
+    /// generation, or — when `verified_only` — the newest whose CRC seal
+    /// still verifies (quarantining corrupt ones). The shell stages the
+    /// chosen checkpoint and answers with
+    /// [`Event::RollbackTargetFetched`](crate::state::Event::RollbackTargetFetched).
+    FetchRollbackTarget { verified_only: bool },
+    /// Restore the staged rollback checkpoint: retire live work counters,
+    /// rebuild the unit collection over `survivors` units, swap in the
+    /// checkpointed pool/history/step, and reseal.
+    Rollback { survivors: usize },
+    /// Append one completed recovery to the recovery log and the pending
+    /// metrics stream.
+    EmitRecovery(RecoveryRecord),
+    /// Append one integrity event to the integrity log and the pending
+    /// metrics stream.
+    EmitIntegrity(IntegrityRecord),
+    /// Stop the run: the shell surfaces the matching typed error.
+    Halt(StopCause),
+}

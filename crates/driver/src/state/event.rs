@@ -1,0 +1,60 @@
+//! Control-plane events: everything the outside world can tell the pure
+//! driver core.
+//!
+//! An [`Event`] is plain data — no handles, no clocks, no file descriptors.
+//! The effect shell observes the impure world (a superstep failed, a scrub
+//! mismatched, the checkpoint store answered a rollback query) and reduces
+//! each observation to one of these values before feeding it to
+//! [`DriverState::apply`](crate::state::DriverState::apply). Because events
+//! carry every input a control decision needs, the recorded event log of a
+//! run replays deterministically with zero filesystem or executor access.
+
+use pgas::fault::{IntegrityDetector, IntegrityRecord, SuperstepError};
+use simcov_core::integrity::IntegrityViolation;
+
+/// Outcome of the step-prologue seal scrub (and, when due, the invariant
+/// audit) over the assembled canonical state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScrubVerdict {
+    /// The violation the detector surfaced.
+    pub violation: IntegrityViolation,
+    /// Which detector fired ([`IntegrityDetector::SealScrub`] or
+    /// [`IntegrityDetector::InvariantAudit`]).
+    pub detector: IntegrityDetector,
+}
+
+/// One observation fed to the pure driver core.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// `advance_step` was entered: the retry counter rearms.
+    AdvanceRequested,
+    /// The step-prologue scrub/audit ran over the canonical state.
+    /// `verdict: None` means the state verified clean.
+    Scrubbed { verdict: Option<ScrubVerdict> },
+    /// An in-memory checkpoint generation was sealed at `step`.
+    CheckpointSaved { step: u64 },
+    /// `compute_step(step)` completed; the trajectory advances to `step+1`.
+    StepComputed { step: u64 },
+    /// `compute_step` failed (fail-stop or unhealed in-flight corruption).
+    ComputeFailed { error: SuperstepError },
+    /// In-barrier retransmit heal records drained from the BSP layer after
+    /// computing `step` (raw — the core stamps their step fields).
+    BarrierHeals {
+        step: u64,
+        records: Vec<IntegrityRecord>,
+    },
+    /// One scheduled silent state corruption was applied to unit-resident
+    /// state after computing (and resealing) `step`. The core remembers it
+    /// so a later detection is attributed to its injection step.
+    CorruptionApplied { step: u64, superstep: u64 },
+    /// The checkpoint store answered a
+    /// [`Effect::FetchRollbackTarget`](crate::state::Effect::FetchRollbackTarget)
+    /// query: the newest (verified) generation's step, and how many corrupt
+    /// generations were quarantined finding it.
+    RollbackTargetFetched { step: Option<u64>, quarantined: u64 },
+    /// The embedder restored a whole-run checkpoint
+    /// ([`Simulation::restore`](crate::Simulation::restore)): a new
+    /// timeline starts at `step` and nothing from the old one — retries,
+    /// sealed generations, outstanding corruption attributions — survives.
+    ExternalRestore { step: u64 },
+}

@@ -1,0 +1,127 @@
+//! The pure driver control plane: an explicit [`DriverState`] advanced by a
+//! total transition function `(DriverState, Event) -> (DriverState,
+//! Vec<Effect>)`.
+//!
+//! Every control decision the driver makes — which rung of the recovery
+//! ladder to take (in-barrier retransmit → checkpoint rollback → corrupt-
+//! generation quarantine → fail-stop), when a checkpoint is due, how many
+//! survivors to re-partition across, what `RecoveryRecord`s and
+//! `IntegrityRecord`s a failure produces — is computed here, over plain
+//! data, with no I/O, clocks, or executor access. The effect shell (the
+//! blanket `impl Simulation` in [`crate::simulation`]) observes the impure
+//! world, reduces each observation to an [`Event`], applies it, and
+//! executes the returned [`Effect`]s in order.
+//!
+//! The split buys two things the interleaved version could not offer:
+//!
+//! - **Deterministic replay**: the event log of a run (including every
+//!   rollback-target answer from the checkpoint store) replays through
+//!   [`replay::replay`] to the bit-identical `DriverState` trajectory and
+//!   record sequence, with zero filesystem or executor access.
+//! - **Cascade property tests**: a rank death during a rollback during a
+//!   corruption quarantine is just an event sequence — no threads, no
+//!   disk, no fault-plan plumbing needed to exercise it.
+
+pub mod effect;
+pub mod event;
+pub mod replay;
+mod transition;
+
+pub use effect::{Effect, StopCause};
+pub use event::{Event, ScrubVerdict};
+pub use replay::{replay, Replay};
+
+use pgas::fault::{IntegrityDetector, IntegrityRecord, RecoveryRecord, SuperstepError};
+use simcov_core::integrity::IntegrityViolation;
+
+use crate::core::RecoveryPolicy;
+
+/// A silent state corruption applied to unit state whose detection is still
+/// outstanding; a later scrub/audit detection is attributed back to it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutstandingCorruption {
+    /// Global superstep index at which the flip was scheduled.
+    pub superstep: u64,
+    /// Simulation step after which the flip was applied.
+    pub injected_step: u64,
+}
+
+/// The in-flight rollback: what failure triggered the
+/// [`Effect::FetchRollbackTarget`] query whose answer is still pending.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PendingRollback {
+    /// A superstep failed (fail-stop or unhealed in-flight corruption).
+    Failure {
+        error: SuperstepError,
+        failed_step: u64,
+    },
+    /// The step-prologue scrub/audit detected state corruption.
+    Integrity {
+        failed_step: u64,
+        violation: IntegrityViolation,
+        detector: IntegrityDetector,
+    },
+}
+
+/// The complete control-plane state of one driver run. Everything a
+/// recovery decision reads or writes lives here; the data plane (worlds,
+/// rank states, the checkpoint store's actual generations) stays in the
+/// shell.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DriverState {
+    /// Next step to compute (= steps completed on the current timeline).
+    pub step: u64,
+    /// Consecutive failed attempts at the current position; rearmed by
+    /// [`Event::AdvanceRequested`] and every completed step.
+    pub attempt: u32,
+    /// Live execution units (ranks/devices); shrinks when recovery
+    /// re-partitions around dead ranks.
+    pub units: usize,
+    /// Engaged recovery policy (`None`: failures are fatal).
+    pub policy: Option<RecoveryPolicy>,
+    /// Whether the SDC defense (scrub/audit prologue, verified-only
+    /// rollback targets) is engaged.
+    pub integrity_on: bool,
+    /// Step of the newest in-memory checkpoint generation (`None`: nothing
+    /// to roll back to — mirrors the store on the current timeline).
+    pub last_checkpoint_step: Option<u64>,
+    /// Applied-but-undetected state corruptions, oldest first.
+    pub outstanding: Vec<OutstandingCorruption>,
+    /// Rollback awaiting the checkpoint store's answer.
+    pub pending: Option<PendingRollback>,
+    /// Every recovery decided on this run, in order (the pure twin of the
+    /// shell's `RecoveryManager::log`).
+    pub recovery_log: Vec<RecoveryRecord>,
+    /// Every integrity event decided on this run, in order (the pure twin
+    /// of the shell's `DriverCore::integrity_log`).
+    pub integrity_log: Vec<IntegrityRecord>,
+    /// Terminal cause once the core has halted the run; a halted state
+    /// absorbs every event except [`Event::ExternalRestore`].
+    pub halted: Option<StopCause>,
+}
+
+impl DriverState {
+    /// The state of a freshly constructed driver.
+    pub fn initial(units: usize, policy: Option<RecoveryPolicy>, integrity_on: bool) -> Self {
+        DriverState {
+            units,
+            policy,
+            integrity_on,
+            ..Default::default()
+        }
+    }
+
+    /// Is an in-memory checkpoint due before computing the current step?
+    /// (Pure twin of the store consultation: a checkpoint is always due
+    /// before the first step of a timeline, then every
+    /// `checkpoint_period` steps.)
+    pub fn checkpoint_due(&self) -> bool {
+        match self.policy {
+            None => false,
+            Some(p) => match self.last_checkpoint_step {
+                None => true,
+                Some(s) => self.step >= s + p.checkpoint_period.max(1),
+            },
+        }
+    }
+}

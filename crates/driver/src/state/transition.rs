@@ -1,0 +1,284 @@
+//! The transition function: the single place control decisions are made.
+//!
+//! [`DriverState::apply`] is total and pure — same state, same event, same
+//! successor and effects, every time. It is a faithful port of the logic
+//! that used to be interleaved with I/O in the blanket `Simulation` impl
+//! (`recover`, `integrity_rollback`, the prologue/epilogue bookkeeping),
+//! preserving record contents and ordering exactly.
+
+use pgas::fault::{
+    CorruptionKind, IntegrityAction, IntegrityDetector, IntegrityRecord, RecoveryRecord,
+    SuperstepError,
+};
+
+use super::{DriverState, Effect, Event, PendingRollback, StopCause};
+
+impl DriverState {
+    /// Advance the control plane by one event, returning the successor
+    /// state and the effects the shell must perform, in order.
+    ///
+    /// A halted state absorbs every event except
+    /// [`Event::ExternalRestore`], which starts a fresh timeline.
+    pub fn apply(mut self, event: Event) -> (Self, Vec<Effect>) {
+        if self.halted.is_some() && !matches!(event, Event::ExternalRestore { .. }) {
+            return (self, Vec::new());
+        }
+        let mut effects = Vec::new();
+        match event {
+            Event::AdvanceRequested => {
+                self.attempt = 0;
+            }
+            Event::Scrubbed { verdict: None } => {}
+            Event::Scrubbed {
+                verdict: Some(verdict),
+            } => {
+                let failed_step = self.step;
+                self.attempt += 1;
+                let fatal = StopCause::Integrity {
+                    step: failed_step,
+                    violation: verdict.violation.clone(),
+                };
+                match self.policy {
+                    None => self.halt(fatal, &mut effects),
+                    Some(policy) if self.attempt > policy.max_retries => {
+                        self.halt(fatal, &mut effects)
+                    }
+                    Some(_) => {
+                        self.pending = Some(PendingRollback::Integrity {
+                            failed_step,
+                            violation: verdict.violation,
+                            detector: verdict.detector,
+                        });
+                        effects.push(Effect::FetchRollbackTarget {
+                            verified_only: true,
+                        });
+                    }
+                }
+            }
+            Event::CheckpointSaved { step } => {
+                self.last_checkpoint_step = Some(step);
+            }
+            Event::StepComputed { step } => {
+                self.attempt = 0;
+                self.step = step + 1;
+            }
+            Event::ComputeFailed { error } => {
+                self.attempt += 1;
+                match self.policy {
+                    // No recovery engaged, or nothing to roll back to:
+                    // the failure is fatal as-is.
+                    None => self.halt(StopCause::Unrecoverable(error), &mut effects),
+                    Some(_) if self.last_checkpoint_step.is_none() => {
+                        self.halt(StopCause::Unrecoverable(error), &mut effects)
+                    }
+                    Some(policy) if self.attempt > policy.max_retries => self.halt(
+                        StopCause::RetriesExhausted {
+                            last: error,
+                            attempts: self.attempt,
+                        },
+                        &mut effects,
+                    ),
+                    Some(_) => {
+                        // With the SDC defense engaged, never roll back onto
+                        // a generation whose seal no longer verifies;
+                        // without it, the newest generation is trusted
+                        // (fail-stop faults cannot corrupt it).
+                        let verified_only = self.integrity_on;
+                        self.pending = Some(PendingRollback::Failure {
+                            failed_step: self.step,
+                            error,
+                        });
+                        effects.push(Effect::FetchRollbackTarget { verified_only });
+                    }
+                }
+            }
+            Event::BarrierHeals { step, records } => {
+                for mut r in records {
+                    r.step = step;
+                    r.injected_step = step;
+                    self.push_integrity(r, &mut effects);
+                }
+            }
+            Event::CorruptionApplied { step, superstep } => {
+                self.outstanding.push(super::OutstandingCorruption {
+                    superstep,
+                    injected_step: step,
+                });
+            }
+            Event::RollbackTargetFetched { step, quarantined } => {
+                self.rollback_target_fetched(step, quarantined, &mut effects);
+            }
+            Event::ExternalRestore { step } => {
+                // A restored checkpoint starts a new timeline: recovery
+                // must never roll back across it, retries rearm, and any
+                // outstanding corruption attribution died with the old
+                // state.
+                self.step = step;
+                self.attempt = 0;
+                self.last_checkpoint_step = None;
+                self.outstanding.clear();
+                self.pending = None;
+                self.halted = None;
+            }
+        }
+        (self, effects)
+    }
+
+    fn halt(&mut self, cause: StopCause, effects: &mut Vec<Effect>) {
+        self.pending = None;
+        self.halted = Some(cause.clone());
+        effects.push(Effect::Halt(cause));
+    }
+
+    fn push_integrity(&mut self, rec: IntegrityRecord, effects: &mut Vec<Effect>) {
+        self.integrity_log.push(rec.clone());
+        effects.push(Effect::EmitIntegrity(rec));
+    }
+
+    /// The checkpoint store answered a rollback query: decide the rollback
+    /// (or the fail-stop), producing the exact record sequence the
+    /// interleaved implementation produced.
+    fn rollback_target_fetched(
+        &mut self,
+        target: Option<u64>,
+        quarantined: u64,
+        effects: &mut Vec<Effect>,
+    ) {
+        let Some(pending) = self.pending.take() else {
+            // Defensive: an unsolicited store answer changes nothing.
+            return;
+        };
+        let failed_step = match &pending {
+            PendingRollback::Failure { failed_step, .. } => *failed_step,
+            PendingRollback::Integrity { failed_step, .. } => *failed_step,
+        };
+        // Every generation quarantined finding the target is an integrity
+        // event — logged even when the rollback then turns out impossible.
+        for _ in 0..quarantined {
+            self.push_integrity(
+                IntegrityRecord {
+                    step: failed_step,
+                    injected_step: failed_step,
+                    superstep: 0,
+                    injected_superstep: 0,
+                    kind: CorruptionKind::Checkpoint,
+                    detector: IntegrityDetector::CheckpointSeal,
+                    action: IntegrityAction::Quarantine,
+                },
+                effects,
+            );
+        }
+        let policy = self
+            .policy
+            .expect("a rollback is only requested with recovery engaged");
+        let (superstep, dead_ranks, dropped_messages) = match pending {
+            PendingRollback::Integrity {
+                failed_step,
+                violation,
+                detector,
+            } => {
+                // Attribute the detection to every outstanding injected
+                // corruption (a scrub fires once however many flips landed
+                // since the seal).
+                let injected = std::mem::take(&mut self.outstanding);
+                if injected.is_empty() {
+                    self.push_integrity(
+                        IntegrityRecord {
+                            step: failed_step,
+                            injected_step: failed_step,
+                            superstep: 0,
+                            injected_superstep: 0,
+                            kind: CorruptionKind::State,
+                            detector,
+                            action: IntegrityAction::Rollback,
+                        },
+                        effects,
+                    );
+                }
+                for o in injected {
+                    self.push_integrity(
+                        IntegrityRecord {
+                            step: failed_step,
+                            injected_step: o.injected_step,
+                            superstep: 0,
+                            injected_superstep: o.superstep,
+                            kind: CorruptionKind::State,
+                            detector,
+                            action: IntegrityAction::Rollback,
+                        },
+                        effects,
+                    );
+                }
+                if target.is_none() {
+                    // Every generation was corrupt: nothing trustworthy to
+                    // roll to.
+                    self.halt(
+                        StopCause::Integrity {
+                            step: failed_step,
+                            violation,
+                        },
+                        effects,
+                    );
+                    return;
+                }
+                (0, Vec::new(), 0)
+            }
+            PendingRollback::Failure { error, failed_step } => {
+                if target.is_none() {
+                    self.halt(StopCause::Unrecoverable(error), effects);
+                    return;
+                }
+                // An unhealed in-flight corruption that forced this
+                // rollback is a detected-and-healed event for the
+                // integrity stream.
+                if let SuperstepError::Integrity(ref i) = error {
+                    for _ in 0..i.unhealed.max(1) {
+                        self.push_integrity(
+                            IntegrityRecord {
+                                step: failed_step,
+                                injected_step: failed_step,
+                                superstep: i.superstep,
+                                injected_superstep: i.superstep,
+                                kind: CorruptionKind::Payload,
+                                detector: IntegrityDetector::BatchCrc,
+                                action: IntegrityAction::Rollback,
+                            },
+                            effects,
+                        );
+                    }
+                }
+                match error {
+                    SuperstepError::Failure(f) => (f.superstep, f.dead_ranks, f.dropped_messages),
+                    SuperstepError::Integrity(i) => (i.superstep, Vec::new(), 0),
+                }
+            }
+        };
+        let rollback_step = target.expect("checked above");
+        let survivors = if dead_ranks.is_empty() {
+            self.units
+        } else {
+            self.units.saturating_sub(dead_ranks.len()).max(1)
+        };
+        let record = RecoveryRecord {
+            failed_step,
+            superstep,
+            dead_ranks,
+            dropped_messages,
+            rollback_step,
+            replayed_steps: failed_step - rollback_step,
+            survivors,
+            attempt: self.attempt,
+            // Simulated exponential backoff — metered, never slept.
+            backoff_ns: policy.backoff_ns(self.attempt),
+        };
+        self.units = survivors;
+        self.step = rollback_step;
+        self.last_checkpoint_step = Some(rollback_step);
+        // The rollback replaces the state wholesale: any applied-but-
+        // undetected corruption is wiped with it.
+        self.outstanding.clear();
+        self.recovery_log.push(record.clone());
+        effects.push(Effect::Rollback { survivors });
+        effects.push(Effect::EmitRecovery(record));
+    }
+}

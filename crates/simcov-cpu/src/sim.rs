@@ -2,8 +2,12 @@
 //!
 //! `CpuSim` owns the PGAS runtime and the rank states; everything else —
 //! the step loop, statistics, checkpointing, fault recovery, metrics — is
-//! the shared driver core ([`simcov_driver::DriverCore`]) driven through
-//! the [`simcov_driver::Executor`] contract.
+//! the shared driver shell ([`simcov_driver::DriverCore`]) driven through
+//! the [`simcov_driver::Executor`] contract. Every recovery/retry/
+//! quarantine *decision* along the way is made by the pure control-plane
+//! core ([`simcov_driver::DriverState`]); with
+//! `Simulation::enable_event_recording` the run's control decisions replay
+//! deterministically from the recorded event log.
 
 use gpusim::{CostModel, DeviceCounters, HwProfile};
 use pgas::fault::{FaultPlan, IntegrityRecord, PendingStateCorruption, SuperstepError};

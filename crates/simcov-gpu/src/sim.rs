@@ -2,8 +2,12 @@
 //!
 //! `GpuSim` owns the PGAS runtime and the simulated devices; the step loop,
 //! statistics, checkpointing, fault recovery and metrics live in the shared
-//! driver core ([`simcov_driver::DriverCore`]) driven through the
-//! [`simcov_driver::Executor`] contract.
+//! driver shell ([`simcov_driver::DriverCore`]) driven through the
+//! [`simcov_driver::Executor`] contract. Every recovery/retry/quarantine
+//! *decision* along the way is made by the pure control-plane core
+//! ([`simcov_driver::DriverState`]); with
+//! `Simulation::enable_event_recording` the run's control decisions replay
+//! deterministically from the recorded event log.
 
 use gpusim::device::LinkTraffic;
 use gpusim::{CostModel, DeviceCounters, HwProfile};

@@ -177,7 +177,11 @@ impl HealthMonitor {
     ///
     /// Each rank is tested leave-one-out: its wall against the median and
     /// MAD of the *other* ranks, so a single straggler cannot poison its own
-    /// baseline.
+    /// baseline. Below 3 ranks the estimator is degenerate — with one peer
+    /// the "median of the others" is just that peer and the MAD is zero, so
+    /// any wall difference divided by the floor looks like an outlier and
+    /// either rank can flag the other. The policy is therefore *no flags*
+    /// below 3 ranks: there is no peer population to define "normal".
     pub fn observe_superstep(
         &mut self,
         step: u64,
@@ -187,7 +191,7 @@ impl HealthMonitor {
     ) -> Vec<HealthRecord> {
         let n = walls.len();
         let mut new = Vec::new();
-        if n < 2 {
+        if n < 3 {
             return new;
         }
         let mut others: Vec<u64> = Vec::with_capacity(n - 1);
@@ -330,11 +334,50 @@ mod tests {
     }
 
     #[test]
-    fn two_ranks_still_detectable() {
-        // Leave-one-out with n=2 compares directly against the peer.
+    fn one_rank_never_flags() {
+        // No peers at all: nothing defines "normal", stay silent however
+        // extreme the wall looks.
+        let mut m = HealthMonitor::new();
+        for ss in 0..5 {
+            assert!(m.observe_superstep(0, ss, 0, &[u64::MAX / 2]).is_empty());
+        }
+        assert!(m.records().is_empty());
+    }
+
+    #[test]
+    fn two_ranks_never_flag() {
+        // With one peer the leave-one-out baseline is just that peer and
+        // MAD is zero — either rank would flag the other on any skew, so
+        // the policy below 3 ranks is silence. This pair used to produce a
+        // flag; it must not.
         let mut m = HealthMonitor::new();
         let new = m.observe_superstep(0, 0, 0, &[50_000, 2_000_000]);
-        assert_eq!(new.len(), 1);
+        assert!(
+            new.is_empty(),
+            "2-rank straggler flag is unreliable: {new:?}"
+        );
+        // Symmetric ordering, same answer.
+        assert!(m
+            .observe_superstep(0, 1, 0, &[2_000_000, 50_000])
+            .is_empty());
+        assert!(m.records().is_empty());
+    }
+
+    #[test]
+    fn three_ranks_are_the_detection_floor() {
+        // 3 ranks is the smallest population where the leave-one-out
+        // baseline has two peers: detection arms exactly here.
+        let mut m = HealthMonitor::new();
+        let new = m.observe_superstep(0, 0, 0, &[100_000, 5_100_000, 98_000]);
+        assert_eq!(new.len(), 1, "3-rank straggler must be flagged");
+        match &new[0].kind {
+            HealthKind::Straggler { rank, .. } => assert_eq!(*rank, 1),
+            other => panic!("wrong kind: {other:?}"),
+        }
+        // Balanced 3-rank walls stay silent.
+        assert!(m
+            .observe_superstep(0, 1, 0, &[100_000, 101_000, 99_000])
+            .is_empty());
     }
 
     #[test]
