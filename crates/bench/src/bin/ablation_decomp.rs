@@ -8,14 +8,16 @@
 //!
 //! `--json <path>` additionally writes the sweep rows as JSON.
 
+use simcov_bench::cli::CommonFlags;
 use simcov_bench::configs::{paper, scale_from_env, Experiment, ScaledExperiment};
-use simcov_bench::json::{json_path_from_args, write_json, Json};
+use simcov_bench::json::{write_json, Json};
 use simcov_bench::report::{banner, Table};
 use simcov_core::decomp::Strategy;
 use simcov_cpu::{CpuSim, CpuSimConfig};
 use simcov_driver::Simulation;
 
 fn main() {
+    let flags = CommonFlags::parse("usage: ablation_decomp [--json PATH]");
     let scale = scale_from_env().max(64);
     println!(
         "{}",
@@ -75,7 +77,7 @@ fn main() {
          puts; blocks cut total boundary length at the cost of 8-neighbor exchanges.\n\
          Both produce bitwise-identical simulations (tests/cross_executor.rs)."
     );
-    if let Some(path) = json_path_from_args() {
+    if let Some(path) = flags.json {
         write_json(&path, &Json::obj([("rows", Json::Arr(rows))]));
     }
 }

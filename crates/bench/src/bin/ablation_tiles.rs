@@ -9,13 +9,15 @@
 //! `--json <path>` additionally writes the sweep rows as JSON.
 
 use gpusim::{CostModel, GPU_A100};
+use simcov_bench::cli::CommonFlags;
 use simcov_bench::configs::{paper, scale_from_env, Experiment, ScaledExperiment};
-use simcov_bench::json::{json_path_from_args, write_json, Json};
+use simcov_bench::json::{write_json, Json};
 use simcov_bench::report::{banner, fmt_secs, Table};
 use simcov_driver::Simulation;
 use simcov_gpu::{GpuSim, GpuSimConfig, GpuVariant};
 
 fn main() {
+    let flags = CommonFlags::parse("usage: ablation_tiles [--json PATH]");
     let scale = scale_from_env().max(64); // keep the sweep cheap
     println!(
         "{}",
@@ -73,7 +75,7 @@ fn main() {
         "Expected: update work shrinks with tile side down to the activity granularity,\n\
          while tile-check cost grows as the period (≤ tile side) shortens."
     );
-    if let Some(path) = json_path_from_args() {
+    if let Some(path) = flags.json {
         write_json(&path, &Json::obj([("rows", Json::Arr(rows))]));
     }
 }

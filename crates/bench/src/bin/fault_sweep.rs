@@ -8,24 +8,50 @@
 //! recovery cost (replayed steps + simulated backoff — the offline MTTR
 //! proxy). A GPU row checks the same machinery on the second executor.
 //!
+//! The cells run as [`JobSpec`]s on the sweep job server — the baselines
+//! and every cell are scheduled across its work-stealing worker pool and
+//! read back as [`JobReport`]s; per-job streamed records land under
+//! `target/sweep/fault_sweep/`.
+//!
 //! `--json <path>` writes the curves (`BENCH_fault_sweep.json` by
-//! convention).
+//! convention); `--seed N` overrides the fault-plan seed.
 
-use pgas::{FaultPlan, FaultRates};
-use simcov_bench::json::{json_path_from_args, write_json, Json};
+use simcov_bench::cli::CommonFlags;
+use simcov_bench::json::{write_json, Json};
 use simcov_bench::report::Table;
 use simcov_core::grid::GridDims;
-use simcov_core::params::SimParams;
-use simcov_core::stats::TimeSeries;
-use simcov_cpu::{CpuSim, CpuSimConfig};
-use simcov_driver::{Executor, RecoveryPolicy, Simulation};
-use simcov_gpu::{GpuSim, GpuSimConfig};
+use simcov_sweep::{
+    ExecutorKind, FaultSpec, JobReport, JobSpec, RecoverySpec, RunSpec, SweepConfig, SweepServer,
+};
+use std::collections::HashMap;
 
 const RANKS: usize = 4;
-const SEED: u64 = 0xFA17;
+const DEFAULT_SEED: u64 = 0xFA17;
 
-fn params() -> SimParams {
-    SimParams::test_config(GridDims::new2d(48, 48), 120, 8, 7)
+fn run_spec(executor: ExecutorKind) -> RunSpec {
+    RunSpec::test(executor, GridDims::new2d(48, 48), 120, 8, 7).with_units(RANKS)
+}
+
+/// The sweep cell for `executor` at one (death rate, checkpoint period)
+/// point, as a job submission.
+fn cell_job(executor: ExecutorKind, seed: u64, rate: f64, period: u64) -> JobSpec {
+    let run = run_spec(executor)
+        .with_fault(FaultSpec {
+            seed,
+            rates: pgas::FaultRates {
+                death: rate,
+                ..pgas::FaultRates::default()
+            },
+        })
+        .with_recovery(RecoverySpec {
+            checkpoint_period: period,
+            ..RecoverySpec::default()
+        });
+    JobSpec::new(cell_name(executor, rate, period), run)
+}
+
+fn cell_name(executor: ExecutorKind, rate: f64, period: u64) -> String {
+    format!("{}_d{rate}_p{period}", executor.name())
 }
 
 /// What one sweep cell measured.
@@ -80,102 +106,75 @@ impl Cell {
     }
 }
 
-fn sweep_cpu(death_rate: f64, period: u64, baseline: &TimeSeries) -> Cell {
-    let p = params();
-    // 3 supersteps per CPU step.
-    let horizon = p.steps * 3;
-    let rates = FaultRates {
-        death: death_rate,
-        ..FaultRates::default()
-    };
-    let plan = FaultPlan::seeded(SEED, &rates, RANKS, horizon);
-    let policy = RecoveryPolicy {
-        checkpoint_period: period,
-        ..RecoveryPolicy::default()
-    };
-    let mut sim = CpuSim::new(
-        CpuSimConfig::new(p, RANKS)
-            .with_fault_plan(plan)
-            .with_recovery(policy),
-    )
-    .expect("valid sweep config");
-    sim.run().expect("recovery must absorb the seeded faults");
-    collect("cpu", death_rate, period, &sim, baseline)
-}
-
-fn sweep_gpu(death_rate: f64, period: u64, baseline: &TimeSeries) -> Cell {
-    let p = params();
-    // 2 supersteps per GPU step.
-    let horizon = p.steps * 2;
-    let rates = FaultRates {
-        death: death_rate,
-        ..FaultRates::default()
-    };
-    let plan = FaultPlan::seeded(SEED, &rates, RANKS, horizon);
-    let policy = RecoveryPolicy {
-        checkpoint_period: period,
-        ..RecoveryPolicy::default()
-    };
-    let mut sim = GpuSim::new(
-        GpuSimConfig::new(p, RANKS)
-            .with_fault_plan(plan)
-            .with_recovery(policy),
-    )
-    .expect("valid sweep config");
-    sim.run().expect("recovery must absorb the seeded faults");
-    collect("gpu", death_rate, period, &sim, baseline)
-}
-
-fn collect<E: Executor>(
-    executor: &'static str,
+fn collect(
+    executor: ExecutorKind,
     death_rate: f64,
     period: u64,
-    sim: &E,
-    baseline: &TimeSeries,
+    report: &JobReport,
+    baseline: &JobReport,
 ) -> Cell {
-    let log = sim.recovery_log();
-    let store = sim
-        .core()
-        .recovery
-        .as_ref()
-        .map(|rm| (rm.store.saves, rm.store.full_bytes, rm.store.delta_bytes))
-        .unwrap_or_default();
-    let identical = baseline == sim.history();
+    let identical = baseline.history == report.history;
     assert!(
         identical,
-        "{executor} rate {death_rate} period {period}: recovered run diverged"
+        "{} rate {death_rate} period {period}: recovered run diverged",
+        executor.name()
     );
     Cell {
-        executor,
+        executor: executor.name(),
         death_rate,
         checkpoint_period: period,
-        recoveries: log.len(),
-        replayed_steps: log.iter().map(|r| r.replayed_steps).sum(),
-        backoff_ns: log.iter().map(|r| r.backoff_ns).sum(),
-        survivors: sim.unit_count(),
-        checkpoint_saves: store.0,
-        checkpoint_full_bytes: store.1,
-        checkpoint_delta_bytes: store.2,
+        recoveries: report.recoveries.len(),
+        replayed_steps: report.recoveries.iter().map(|r| r.replayed_steps).sum(),
+        backoff_ns: report.recoveries.iter().map(|r| r.backoff_ns).sum(),
+        survivors: report.survivors,
+        checkpoint_saves: report.checkpoints.saves,
+        checkpoint_full_bytes: report.checkpoints.full_bytes,
+        checkpoint_delta_bytes: report.checkpoints.delta_bytes,
         identical,
     }
 }
 
 fn main() {
-    let p = params();
+    let flags = CommonFlags::parse("usage: fault_sweep [--json PATH] [--seed N]");
+    let seed = flags.seed.unwrap_or(DEFAULT_SEED);
+    let p = run_spec(ExecutorKind::Cpu).params();
     println!(
-        "Fault sweep: {}x{} voxels, {} steps, {RANKS} ranks, seed {SEED:#x}",
+        "Fault sweep: {}x{} voxels, {} steps, {RANKS} ranks, seed {seed:#x}",
         p.dims.x, p.dims.y, p.steps
     );
 
-    let mut baseline = CpuSim::new(CpuSimConfig::new(p.clone(), RANKS)).expect("valid config");
-    baseline.run().expect("failure-free baseline");
-    let cpu_baseline = baseline.history().clone();
+    let out_dir = std::path::Path::new("target/sweep/fault_sweep");
+    let _ = std::fs::remove_dir_all(out_dir); // one-shot: never resume old cells
+    let server =
+        SweepServer::start(SweepConfig::new(out_dir).with_workers(2)).expect("start sweep server");
 
-    let mut gpu_baseline_sim = GpuSim::new(GpuSimConfig::new(p, RANKS)).expect("valid config");
-    gpu_baseline_sim.run().expect("failure-free baseline");
-    let gpu_baseline = gpu_baseline_sim.history().clone();
+    const CPU_RATES: [f64; 3] = [0.0, 0.0005, 0.002];
+    const PERIODS: [u64; 3] = [4, 16, 64];
+
+    server.submit(JobSpec::new("baseline_cpu", run_spec(ExecutorKind::Cpu)));
+    server.submit(JobSpec::new("baseline_gpu", run_spec(ExecutorKind::Gpu)));
+    for rate in CPU_RATES {
+        for period in PERIODS {
+            server.submit(cell_job(ExecutorKind::Cpu, seed, rate, period));
+        }
+    }
+    server.submit(cell_job(ExecutorKind::Gpu, seed, 0.002, 8));
+
+    let reports: HashMap<String, JobReport> = server
+        .join()
+        .into_iter()
+        .map(|(name, status)| {
+            let report = status
+                .report()
+                .unwrap_or_else(|| panic!("job {name:?} must complete, got {status:?}"))
+                .clone();
+            (name, report)
+        })
+        .collect();
+    let cpu_baseline = &reports["baseline_cpu"];
+    let gpu_baseline = &reports["baseline_gpu"];
     assert_eq!(
-        cpu_baseline, gpu_baseline,
+        cpu_baseline.history, gpu_baseline.history,
         "executors must agree before the sweep means anything"
     );
 
@@ -191,12 +190,26 @@ fn main() {
         "identical",
     ]);
     let mut cells = Vec::new();
-    for &rate in &[0.0, 0.0005, 0.002] {
-        for &period in &[4u64, 16, 64] {
-            cells.push(sweep_cpu(rate, period, &cpu_baseline));
+    for rate in CPU_RATES {
+        for period in PERIODS {
+            let name = cell_name(ExecutorKind::Cpu, rate, period);
+            cells.push(collect(
+                ExecutorKind::Cpu,
+                rate,
+                period,
+                &reports[&name],
+                cpu_baseline,
+            ));
         }
     }
-    cells.push(sweep_gpu(0.002, 8, &gpu_baseline));
+    let gpu_name = cell_name(ExecutorKind::Gpu, 0.002, 8);
+    cells.push(collect(
+        ExecutorKind::Gpu,
+        0.002,
+        8,
+        &reports[&gpu_name],
+        gpu_baseline,
+    ));
 
     for c in &cells {
         table.row(vec![
@@ -217,13 +230,13 @@ fn main() {
          shorter checkpoint periods trade snapshot bytes for shorter replays."
     );
 
-    if let Some(path) = json_path_from_args() {
+    if let Some(path) = flags.json {
         write_json(
             &path,
             &Json::obj([
                 ("suite", Json::from("fault_sweep")),
                 ("ranks", Json::from(RANKS)),
-                ("seed", Json::from(SEED)),
+                ("seed", Json::from(seed)),
                 ("rows", Json::Arr(cells.iter().map(Cell::to_json).collect())),
             ]),
         );

@@ -4,15 +4,17 @@
 //!
 //! `--json <path>` additionally writes the rows and shape checks as JSON.
 
+use simcov_bench::cli::CommonFlags;
 use simcov_bench::configs::scale_from_env;
 use simcov_bench::experiments::fig4;
-use simcov_bench::json::{json_path_from_args, write_json};
+use simcov_bench::json::write_json;
 
 fn main() {
+    let flags = CommonFlags::parse("usage: fig4_breakdown [--json PATH]");
     let scale = scale_from_env();
     let result = fig4(scale);
     println!("{}", result.render());
-    if let Some(path) = json_path_from_args() {
+    if let Some(path) = flags.json {
         write_json(&path, &result.to_json());
     }
 }

@@ -5,17 +5,19 @@
 //!
 //! `--json <path>` additionally writes the per-panel envelopes as JSON.
 
+use simcov_bench::cli::CommonFlags;
 use simcov_bench::configs::{scale_from_env, trials_from_env};
 use simcov_bench::experiments::{correctness_trials, fig5_panels, fig5_to_json, render_fig5};
-use simcov_bench::json::{json_path_from_args, write_json, Json};
+use simcov_bench::json::{write_json, Json};
 
 fn main() {
+    let flags = CommonFlags::parse("usage: fig5_correctness [--json PATH]");
     let scale = scale_from_env();
     let trials = trials_from_env();
     let t = correctness_trials(scale, trials, 1000);
     let panels = fig5_panels(&t);
     println!("{}", render_fig5(scale, &panels));
-    if let Some(path) = json_path_from_args() {
+    if let Some(path) = flags.json {
         let doc = Json::obj([
             ("trials", Json::from(trials)),
             ("panels", fig5_to_json(&panels)),

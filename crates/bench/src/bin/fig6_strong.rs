@@ -3,15 +3,17 @@
 //!
 //! `--json <path>` additionally writes the sweep points as JSON.
 
+use simcov_bench::cli::CommonFlags;
 use simcov_bench::configs::scale_from_env;
 use simcov_bench::experiments::fig6;
-use simcov_bench::json::{json_path_from_args, write_json};
+use simcov_bench::json::write_json;
 
 fn main() {
+    let flags = CommonFlags::parse("usage: fig6_strong [--json PATH]");
     let scale = scale_from_env();
     let result = fig6(scale);
     println!("{}", result.render_strong());
-    if let Some(path) = json_path_from_args() {
+    if let Some(path) = flags.json {
         write_json(&path, &result.to_json());
     }
 }

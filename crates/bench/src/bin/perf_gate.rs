@@ -34,6 +34,7 @@
 //! exposition.
 
 use pgas::{Mailboxes, Outbox, WorkPool};
+use simcov_bench::cli::{self, CommonFlags};
 use simcov_bench::json::{write_json, Json};
 use simcov_bench::microbench::{Bench, BenchResult};
 use simcov_core::diffusion::diffuse_voxel;
@@ -68,48 +69,30 @@ struct Cli {
     metrics_out: Option<String>,
 }
 
+const USAGE: &str = "usage: perf_gate [--json PATH] [--baseline PATH] \
+                     [--tolerance FRAC] [--update-baseline] [--smoke] \
+                     [--metrics-out PATH]";
+
 fn parse_cli() -> Cli {
+    let (common, rest) = CommonFlags::parse_with_rest();
     let mut cli = Cli {
-        json: "BENCH_perf.json".to_string(),
+        json: common.json.unwrap_or_else(|| "BENCH_perf.json".to_string()),
         baseline: "BENCH_baseline.json".to_string(),
         tolerance: 0.25,
         update_baseline: false,
-        smoke: false,
-        metrics_out: None,
+        smoke: common.smoke,
+        metrics_out: common.metrics_out,
     };
-    let mut it = std::env::args().skip(1);
+    let mut it = rest.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--json" => cli.json = expect_value(&a, it.next()),
-            "--baseline" => cli.baseline = expect_value(&a, it.next()),
-            "--tolerance" => {
-                cli.tolerance = expect_value(&a, it.next()).parse().unwrap_or_else(|_| {
-                    eprintln!("--tolerance requires a number");
-                    std::process::exit(2);
-                })
-            }
+            "--baseline" => cli.baseline = cli::expect_value(&a, it.next()),
+            "--tolerance" => cli.tolerance = cli::parse_value(&a, it.next()),
             "--update-baseline" => cli.update_baseline = true,
-            "--smoke" => cli.smoke = true,
-            "--metrics-out" => cli.metrics_out = Some(expect_value(&a, it.next())),
-            other => {
-                eprintln!("unknown argument: {other}");
-                eprintln!(
-                    "usage: perf_gate [--json PATH] [--baseline PATH] \
-                     [--tolerance FRAC] [--update-baseline] [--smoke] \
-                     [--metrics-out PATH]"
-                );
-                std::process::exit(2);
-            }
+            other => cli::die_unknown(other, USAGE),
         }
     }
     cli
-}
-
-fn expect_value(flag: &str, v: Option<String>) -> String {
-    v.unwrap_or_else(|| {
-        eprintln!("{flag} requires a value");
-        std::process::exit(2);
-    })
 }
 
 /// Two 64×64 fields with mixed magnitudes, the diffusion workload.

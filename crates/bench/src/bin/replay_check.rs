@@ -14,6 +14,7 @@
 //! ```
 
 use pgas::{FaultEvent, FaultKind, FaultPlan};
+use simcov_bench::cli::{self, CommonFlags};
 use simcov_core::grid::GridDims;
 use simcov_core::params::SimParams;
 use simcov_cpu::{CpuSim, CpuSimConfig};
@@ -70,15 +71,13 @@ fn check(label: &str, sim: &dyn Simulation) -> u32 {
 fn main() {
     let mut steps = 60u64;
     let mut grid = 32u32;
-    let mut it = std::env::args().skip(1);
+    let (_, rest) = CommonFlags::parse_with_rest();
+    let mut it = rest.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--steps" => steps = it.next().and_then(|v| v.parse().ok()).unwrap_or(steps),
-            "--grid" => grid = it.next().and_then(|v| v.parse().ok()).unwrap_or(grid),
-            other => {
-                eprintln!("unknown flag {other}");
-                std::process::exit(2);
-            }
+            "--steps" => steps = cli::parse_value(&a, it.next()),
+            "--grid" => grid = cli::parse_value(&a, it.next()),
+            other => cli::die_unknown(other, "usage: replay_check [--steps N] [--grid N]"),
         }
     }
     let params = |seed: u64| SimParams::test_config(GridDims::new2d(grid, grid), steps, 8, seed);

@@ -12,12 +12,13 @@
 //! simulated (cost-model) seconds and real seconds are deliberately both
 //! present so a regression in either is visible.
 
+use simcov_bench::cli::CommonFlags;
 use simcov_bench::configs::{scale_from_env, trials_from_env};
 use simcov_bench::experiments::{
     correctness_trials, fig4, fig5_panels, fig5_to_json, fig6, fig7, fig8, render_fig5,
     render_table2, table1_to_json, table2_rows, table2_to_json,
 };
-use simcov_bench::json::{json_path_from_args, write_json, Json};
+use simcov_bench::json::{write_json, Json};
 use simcov_telemetry::{prometheus, Registry};
 use std::time::Instant;
 
@@ -43,22 +44,14 @@ fn section(name: &str, run: impl FnOnce() -> (String, Json)) -> (Json, f64) {
     (record, wall)
 }
 
-/// `--metrics-out <path>` from the process arguments, if present.
-fn metrics_path_from_args() -> Option<String> {
-    let mut it = std::env::args().skip(1);
-    while let Some(a) = it.next() {
-        if a == "--metrics-out" {
-            return it.next();
-        }
-    }
-    None
-}
-
 fn main() {
     let scale = scale_from_env();
     let trials = trials_from_env();
-    let path = json_path_from_args().unwrap_or_else(|| "BENCH_results.json".to_string());
-    let metrics_path = metrics_path_from_args();
+    let flags = CommonFlags::parse("usage: repro_all [--json PATH] [--metrics-out PATH]");
+    let path = flags
+        .json
+        .unwrap_or_else(|| "BENCH_results.json".to_string());
+    let metrics_path = flags.metrics_out;
     let suite_t0 = Instant::now();
 
     let mut doc = Json::obj([

@@ -19,30 +19,59 @@
 //! period they must produce zero integrity records, zero retransmits and
 //! zero rollbacks.
 //!
+//! The cells run as [`JobSpec`]s on the sweep job server (worlds captured
+//! for the per-voxel comparison); per-job streamed records land under
+//! `target/sweep/sdc_sweep/`.
+//!
 //! `--json <path>` writes the curves (`BENCH_sdc_sweep.json` by
-//! convention); `--smoke` shrinks the grid for CI.
+//! convention); `--smoke` shrinks the grid for CI; `--seed N` overrides
+//! the fault-plan seed.
 
 use pgas::fault::CorruptionKind;
-use pgas::{FaultPlan, FaultRates};
-use simcov_bench::json::{json_path_from_args, write_json, Json};
+use simcov_bench::cli::CommonFlags;
+use simcov_bench::json::{write_json, Json};
 use simcov_bench::report::Table;
 use simcov_core::grid::GridDims;
-use simcov_core::params::SimParams;
-use simcov_core::stats::TimeSeries;
-use simcov_core::world::World;
-use simcov_cpu::{CpuSim, CpuSimConfig};
-use simcov_driver::{Executor, RecoveryPolicy, Simulation};
-use simcov_gpu::{GpuSim, GpuSimConfig};
+use simcov_sweep::{
+    ExecutorKind, FaultSpec, JobReport, JobSpec, RecoverySpec, RunSpec, SweepConfig, SweepServer,
+};
+use std::collections::HashMap;
 
 const RANKS: usize = 4;
-const SEED: u64 = 0x5DC0;
+const DEFAULT_SEED: u64 = 0x5DC0;
 
-fn params(smoke: bool) -> SimParams {
-    if smoke {
-        SimParams::test_config(GridDims::new2d(32, 32), 60, 8, 7)
+fn run_spec(executor: ExecutorKind, smoke: bool) -> RunSpec {
+    let (dims, steps) = if smoke {
+        (GridDims::new2d(32, 32), 60)
     } else {
-        SimParams::test_config(GridDims::new2d(48, 48), 120, 8, 7)
-    }
+        (GridDims::new2d(48, 48), 120)
+    };
+    RunSpec::test(executor, dims, steps, 8, 7).with_units(RANKS)
+}
+
+/// The sweep cell for `executor` at one (corruption rate, audit period)
+/// point, as a job submission. Worlds are captured: the healed run must
+/// match the baseline per voxel, not just per statistic.
+fn cell_job(executor: ExecutorKind, smoke: bool, seed: u64, rate: f64, period: u64) -> JobSpec {
+    let mut run = run_spec(executor, smoke)
+        .with_fault(FaultSpec {
+            seed,
+            rates: pgas::FaultRates {
+                payload_corruption: rate,
+                state_corruption: rate,
+                ..pgas::FaultRates::default()
+            },
+        })
+        .with_recovery(RecoverySpec {
+            checkpoint_period: 8,
+            ..RecoverySpec::default()
+        });
+    run.audit_period = Some(period);
+    JobSpec::new(cell_name(executor, rate, period), run).with_capture_world()
+}
+
+fn cell_name(executor: ExecutorKind, rate: f64, period: u64) -> String {
+    format!("{}_c{rate}_a{period}", executor.name())
 }
 
 /// What one sweep cell measured.
@@ -101,75 +130,17 @@ impl Cell {
     }
 }
 
-struct Baseline {
-    history: TimeSeries,
-    world: World,
-}
-
-fn plan(rate: f64, horizon: u64) -> FaultPlan {
-    let rates = FaultRates {
-        payload_corruption: rate,
-        state_corruption: rate,
-        ..FaultRates::default()
-    };
-    FaultPlan::seeded(SEED, &rates, RANKS, horizon)
-}
-
-fn policy() -> RecoveryPolicy {
-    RecoveryPolicy {
-        checkpoint_period: 8,
-        ..RecoveryPolicy::default()
-    }
-}
-
-fn sweep_cpu(smoke: bool, rate: f64, audit_period: u64, baseline: &Baseline) -> Cell {
-    let p = params(smoke);
-    // 3 supersteps per CPU step.
-    let horizon = p.steps * 3;
-    let mut sim = CpuSim::new(
-        CpuSimConfig::new(p, RANKS)
-            .with_fault_plan(plan(rate, horizon))
-            .with_recovery(policy())
-            .with_audit_period(audit_period),
-    )
-    .expect("valid sweep config");
-    sim.run()
-        .expect("the healing ladder must absorb every flip");
-    collect("cpu", rate, audit_period, &sim, baseline)
-}
-
-fn sweep_gpu(smoke: bool, rate: f64, audit_period: u64, baseline: &Baseline) -> Cell {
-    let p = params(smoke);
-    // 2 supersteps per GPU step.
-    let horizon = p.steps * 2;
-    let mut sim = GpuSim::new(
-        GpuSimConfig::new(p, RANKS)
-            .with_fault_plan(plan(rate, horizon))
-            .with_recovery(policy())
-            .with_audit_period(audit_period),
-    )
-    .expect("valid sweep config");
-    sim.run()
-        .expect("the healing ladder must absorb every flip");
-    collect("gpu", rate, audit_period, &sim, baseline)
-}
-
-fn collect<E: Executor>(
-    executor: &'static str,
+fn collect(
+    executor: ExecutorKind,
     rate: f64,
     audit_period: u64,
-    sim: &E,
-    baseline: &Baseline,
+    report: &JobReport,
+    baseline: &JobReport,
 ) -> Cell {
-    let cc = sim.comm_counters();
-    let log = &sim.core().integrity_log;
-    let recoveries = sim.recovery_log();
-    let (scrubs, audits) = sim
-        .core()
-        .integrity
-        .as_ref()
-        .map(|m| (m.scrubs_run, m.audits_run))
-        .unwrap_or_default();
+    let name = executor.name();
+    let cc = &report.comm;
+    let log = &report.integrity;
+    let recoveries = &report.recoveries;
 
     let latencies: Vec<u64> = log.iter().map(|r| r.step - r.injected_step).collect();
     let latency_mean = if latencies.is_empty() {
@@ -179,20 +150,27 @@ fn collect<E: Executor>(
     };
     let count = |k: CorruptionKind| log.iter().filter(|r| r.kind == k).count();
 
-    let identical = baseline.history == *sim.history();
+    let identical = baseline.history == report.history;
     assert!(
         identical,
-        "{executor} rate {rate} period {audit_period}: healed statistics diverged"
+        "{name} rate {rate} period {audit_period}: healed statistics diverged"
     );
-    if let Some((idx, why)) = baseline.world.first_difference(&sim.assemble_world()) {
-        panic!("{executor} rate {rate} period {audit_period}: healed state diverged at voxel {idx}: {why}");
+    let base_world = baseline
+        .world
+        .as_ref()
+        .expect("baseline captures its world");
+    let cell_world = report.world.as_ref().expect("cell captures its world");
+    if let Some((idx, why)) = base_world.first_difference(cell_world) {
+        panic!(
+            "{name} rate {rate} period {audit_period}: healed state diverged at voxel {idx}: {why}"
+        );
     }
     if rate == 0.0 {
         // The false-positive gate: a clean run must stay silent at every
         // audit period.
         assert!(
             log.is_empty() && recoveries.is_empty() && cc.retransmits == 0,
-            "{executor} period {audit_period}: false positive on a clean run \
+            "{name} period {audit_period}: false positive on a clean run \
              ({} records, {} rollbacks, {} retransmits)",
             log.len(),
             recoveries.len(),
@@ -201,7 +179,7 @@ fn collect<E: Executor>(
     }
 
     Cell {
-        executor,
+        executor: name,
         corruption_rate: rate,
         audit_period,
         corrupt_batches: cc.corrupt_batches,
@@ -216,61 +194,97 @@ fn collect<E: Executor>(
         rollbacks: recoveries.len(),
         replayed_steps: recoveries.iter().map(|r| r.replayed_steps).sum(),
         backoff_ns: recoveries.iter().map(|r| r.backoff_ns).sum(),
-        scrubs_run: scrubs,
-        audits_run: audits,
+        scrubs_run: report.integrity_stats.scrubs_run,
+        audits_run: report.integrity_stats.audits_run,
         identical,
     }
 }
 
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
-    let p = params(smoke);
+    let flags = CommonFlags::parse("usage: sdc_sweep [--json PATH] [--smoke] [--seed N]");
+    let smoke = flags.smoke;
+    let seed = flags.seed.unwrap_or(DEFAULT_SEED);
+    let p = run_spec(ExecutorKind::Cpu, smoke).params();
     println!(
-        "SDC sweep{}: {}x{} voxels, {} steps, {RANKS} ranks, seed {SEED:#x}",
+        "SDC sweep{}: {}x{} voxels, {} steps, {RANKS} ranks, seed {seed:#x}",
         if smoke { " (smoke)" } else { "" },
         p.dims.x,
         p.dims.y,
         p.steps
     );
 
-    let mut cpu_base = CpuSim::new(CpuSimConfig::new(p.clone(), RANKS)).expect("valid config");
-    cpu_base.run().expect("corruption-free baseline");
-    let cpu_baseline = Baseline {
-        history: cpu_base.history().clone(),
-        world: cpu_base.gather_world(),
-    };
-
-    let mut gpu_base = GpuSim::new(GpuSimConfig::new(p, RANKS)).expect("valid config");
-    gpu_base.run().expect("corruption-free baseline");
-    let gpu_baseline = Baseline {
-        history: gpu_base.history().clone(),
-        world: gpu_base.gather_world(),
-    };
-    assert_eq!(
-        cpu_baseline.history, gpu_baseline.history,
-        "executors must agree before the sweep means anything"
-    );
+    let out_dir = std::path::Path::new("target/sweep/sdc_sweep");
+    let _ = std::fs::remove_dir_all(out_dir); // one-shot: never resume old cells
+    let server =
+        SweepServer::start(SweepConfig::new(out_dir).with_workers(2)).expect("start sweep server");
 
     let (rates, periods): (&[f64], &[u64]) = if smoke {
         (&[0.0, 0.004], &[1, 8])
     } else {
         (&[0.0, 0.002, 0.008], &[1, 4, 16])
     };
+    // The GPU rows: one clean (false-positive gate) and one corrupted.
+    let gpu_cells = [
+        (0.0, periods[0]),
+        (rates[rates.len() - 1], periods[periods.len() - 1]),
+    ];
+
+    server.submit(
+        JobSpec::new("baseline_cpu", run_spec(ExecutorKind::Cpu, smoke)).with_capture_world(),
+    );
+    server.submit(
+        JobSpec::new("baseline_gpu", run_spec(ExecutorKind::Gpu, smoke)).with_capture_world(),
+    );
+    for &rate in rates {
+        for &period in periods {
+            server.submit(cell_job(ExecutorKind::Cpu, smoke, seed, rate, period));
+        }
+    }
+    for (rate, period) in gpu_cells {
+        server.submit(cell_job(ExecutorKind::Gpu, smoke, seed, rate, period));
+    }
+
+    let reports: HashMap<String, JobReport> = server
+        .join()
+        .into_iter()
+        .map(|(name, status)| {
+            let report = status
+                .report()
+                .unwrap_or_else(|| panic!("job {name:?} must complete, got {status:?}"))
+                .clone();
+            (name, report)
+        })
+        .collect();
+    let cpu_baseline = &reports["baseline_cpu"];
+    let gpu_baseline = &reports["baseline_gpu"];
+    assert_eq!(
+        cpu_baseline.history, gpu_baseline.history,
+        "executors must agree before the sweep means anything"
+    );
 
     let mut cells = Vec::new();
     for &rate in rates {
         for &period in periods {
-            cells.push(sweep_cpu(smoke, rate, period, &cpu_baseline));
+            let name = cell_name(ExecutorKind::Cpu, rate, period);
+            cells.push(collect(
+                ExecutorKind::Cpu,
+                rate,
+                period,
+                &reports[&name],
+                cpu_baseline,
+            ));
         }
     }
-    // The GPU rows: one clean (false-positive gate) and one corrupted.
-    cells.push(sweep_gpu(smoke, 0.0, periods[0], &gpu_baseline));
-    cells.push(sweep_gpu(
-        smoke,
-        rates[rates.len() - 1],
-        periods[periods.len() - 1],
-        &gpu_baseline,
-    ));
+    for (rate, period) in gpu_cells {
+        let name = cell_name(ExecutorKind::Gpu, rate, period);
+        cells.push(collect(
+            ExecutorKind::Gpu,
+            rate,
+            period,
+            &reports[&name],
+            gpu_baseline,
+        ));
+    }
 
     let mut table = Table::new(&[
         "executor",
@@ -312,14 +326,14 @@ fn main() {
          events at every audit period."
     );
 
-    if let Some(path) = json_path_from_args() {
+    if let Some(path) = flags.json {
         write_json(
             &path,
             &Json::obj([
                 ("suite", Json::from("sdc_sweep")),
                 ("smoke", Json::from(smoke)),
                 ("ranks", Json::from(RANKS)),
-                ("seed", Json::from(SEED)),
+                ("seed", Json::from(seed)),
                 ("rows", Json::Arr(cells.iter().map(Cell::to_json).collect())),
             ]),
         );

@@ -30,6 +30,7 @@
 //! crash-restart testing (exit code 3).
 
 use gpusim::{KernelCategory, SharedSink, StepRecord};
+use simcov_bench::cli::CommonFlags;
 use simcov_bench::json::Json;
 use simcov_core::config::parse_config;
 use simcov_core::render::render_slice;
@@ -86,7 +87,11 @@ fn parse_args() -> Args {
         trace_out: None,
         metrics_out: None,
     };
-    let mut it = std::env::args().skip(1);
+    let (common, rest) = CommonFlags::parse_with_rest();
+    args.json = common.json;
+    args.trace_out = common.trace_out;
+    args.metrics_out = common.metrics_out;
+    let mut it = rest.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--executor" => args.executor = it.next().unwrap_or_else(|| usage()),
@@ -113,7 +118,6 @@ fn parse_args() -> Args {
                     _ => usage(),
                 }
             }
-            "--json" => args.json = Some(it.next().unwrap_or_else(|| usage())),
             "--persist" => args.persist = Some(it.next().unwrap_or_else(|| usage())),
             "--persist-every" => {
                 args.persist_every = it
@@ -123,8 +127,6 @@ fn parse_args() -> Args {
                     .unwrap_or_else(|| usage())
             }
             "--resume" => args.resume = Some(it.next().unwrap_or_else(|| usage())),
-            "--trace-out" => args.trace_out = Some(it.next().unwrap_or_else(|| usage())),
-            "--metrics-out" => args.metrics_out = Some(it.next().unwrap_or_else(|| usage())),
             "--halt-after" => {
                 args.halt_after = Some(
                     it.next()

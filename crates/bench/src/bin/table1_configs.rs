@@ -3,12 +3,14 @@
 //!
 //! `--json <path>` additionally writes the matrix as JSON.
 
+use simcov_bench::cli::CommonFlags;
 use simcov_bench::configs::{paper, scale_from_env};
 use simcov_bench::experiments::table1_to_json;
-use simcov_bench::json::{json_path_from_args, write_json};
+use simcov_bench::json::write_json;
 use simcov_bench::report::Table;
 
 fn main() {
+    let flags = CommonFlags::parse("usage: table1_configs [--json PATH]");
     let scale = scale_from_env();
     println!("== Table 1: experiment configurations ==\n");
     let mut t = Table::new(&[
@@ -67,7 +69,7 @@ fn main() {
         paper::WEAK_GRIDS[4] / scale,
         paper::STEPS / scale as u64,
     );
-    if let Some(path) = json_path_from_args() {
+    if let Some(path) = flags.json {
         write_json(&path, &table1_to_json());
     }
 }

@@ -20,6 +20,7 @@
 //! `gpusim::counters` before the cost model converts measured work into
 //! simulated seconds on the paper's hardware.
 
+pub mod cli;
 pub mod configs;
 pub mod experiments;
 pub mod json;
@@ -27,6 +28,7 @@ pub mod microbench;
 pub mod report;
 pub mod runner;
 
+pub use cli::CommonFlags;
 pub use configs::{paper, Experiment, MachineConfig, ScaledExperiment};
 pub use json::Json;
 pub use runner::{run_cpu, run_gpu, RunOutput};

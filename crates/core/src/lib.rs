@@ -44,6 +44,7 @@ pub mod foi;
 pub mod grid;
 pub mod halo;
 pub mod integrity;
+pub mod json;
 pub mod params;
 pub mod render;
 pub mod rng;

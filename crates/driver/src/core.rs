@@ -18,6 +18,7 @@ use simcov_core::stats::TimeSeries;
 use simcov_core::tcell::VascularPool;
 use simcov_core::world::World;
 use simcov_telemetry::{HealthMonitor, Histogram, Telemetry};
+use std::sync::Arc;
 
 use crate::error::ConfigError;
 use crate::state::{DriverState, Event};
@@ -93,7 +94,10 @@ pub struct DriverCore {
     pub params: SimParams,
     pub strategy: Strategy,
     pub partition: Partition,
-    pub pool: WorkPool,
+    /// Thread pool for intra-step parallelism. Shared (`Arc`) so a batch
+    /// scheduler can point many concurrent simulations at one pool instead
+    /// of oversubscribing the host with a per-job pool each.
+    pub pool: Arc<WorkPool>,
     pub vascular: VascularPool,
     pub step: u64,
     pub history: TimeSeries,
@@ -177,7 +181,7 @@ impl DriverCore {
             params,
             strategy,
             partition,
-            pool: WorkPool::host_sized(),
+            pool: Arc::new(WorkPool::host_sized()),
             vascular: VascularPool::new(),
             step: 0,
             history: TimeSeries::default(),
@@ -205,6 +209,13 @@ impl DriverCore {
     fn with_recovery_manager(mut self, recovery: Option<RecoveryManager>) -> Self {
         self.recovery = recovery;
         self
+    }
+
+    /// Replace the private host-sized pool with a shared one. Scheduling is
+    /// dynamic self-claiming, so swapping pools never changes results —
+    /// only which threads execute the work items.
+    pub fn share_pool(&mut self, pool: Arc<WorkPool>) {
+        self.pool = pool;
     }
 
     /// Check an explicit initial world against the configured grid.

@@ -29,5 +29,5 @@ pub mod state;
 pub use crate::core::{DriverCore, RecoveryManager, RecoveryPolicy};
 pub use durable::{load_checkpoint, persist_checkpoint, sweep_stale_stages};
 pub use error::{ConfigError, SimError};
-pub use simulation::{Executor, SerialDriver, Simulation};
+pub use simulation::{CheckpointStats, Executor, IntegrityStats, SerialDriver, Simulation};
 pub use state::{replay, DriverState, Effect, Event, Replay, StopCause};

@@ -33,6 +33,31 @@ use crate::core::DriverCore;
 use crate::error::{ConfigError, SimError};
 use crate::state::{DriverState, Effect, Event, ScrubVerdict, StopCause};
 
+/// Aggregate counters of the in-memory incremental checkpoint store, for
+/// structured reporting through `dyn Simulation` (the sweep server and the
+/// fault/SDC sweeps read these without downcasting to an executor).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CheckpointStats {
+    /// Checkpoints taken this run.
+    pub saves: u64,
+    /// Bytes a dense (full-world) encoding of every save would have cost.
+    pub full_bytes: u64,
+    /// Bytes the incremental (delta) encoding actually cost.
+    pub delta_bytes: u64,
+    /// Generations quarantined by verified-rollback queries.
+    pub quarantined: u64,
+}
+
+/// Aggregate counters of the SDC defense, for structured reporting through
+/// `dyn Simulation`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IntegrityStats {
+    /// Prologue seal scrubs performed.
+    pub scrubs_run: u64,
+    /// Invariant audits performed.
+    pub audits_run: u64,
+}
+
 /// Executor-specific hooks. Implementations own a [`DriverCore`] plus their
 /// rank/device collection and BSP mailboxes; the step loop, checkpointing
 /// and recovery live in the blanket [`Simulation`] impl.
@@ -203,6 +228,29 @@ pub trait Simulation {
 
     /// Every fault recovery performed so far, in order.
     fn recovery_log(&self) -> &[RecoveryRecord];
+
+    /// Every integrity event detected so far, in order (empty on executors
+    /// without an SDC defense).
+    fn integrity_log(&self) -> &[IntegrityRecord] {
+        &[]
+    }
+
+    /// Counters of the in-memory checkpoint store (zeros when recovery is
+    /// not engaged).
+    fn checkpoint_stats(&self) -> CheckpointStats {
+        CheckpointStats::default()
+    }
+
+    /// Counters of the SDC defense (zeros when it is not engaged).
+    fn integrity_stats(&self) -> IntegrityStats {
+        IntegrityStats::default()
+    }
+
+    /// Point this simulation's intra-step parallelism at a shared pool (a
+    /// batch scheduler running many simulations at once shares one). No-op
+    /// on the serial executor. Never changes results — only which threads
+    /// run the work.
+    fn share_pool(&mut self, _pool: std::sync::Arc<pgas::WorkPool>) {}
 
     /// Start recording control-plane events for deterministic replay. The
     /// current control state becomes the replay starting point. No-op on
@@ -410,6 +458,38 @@ impl<E: Executor> Simulation for E {
             .as_ref()
             .map(|rm| rm.log.as_slice())
             .unwrap_or(&[])
+    }
+
+    fn integrity_log(&self) -> &[IntegrityRecord] {
+        &self.core().integrity_log
+    }
+
+    fn checkpoint_stats(&self) -> CheckpointStats {
+        self.core()
+            .recovery
+            .as_ref()
+            .map(|rm| CheckpointStats {
+                saves: rm.store.saves,
+                full_bytes: rm.store.full_bytes,
+                delta_bytes: rm.store.delta_bytes,
+                quarantined: rm.store.quarantined,
+            })
+            .unwrap_or_default()
+    }
+
+    fn integrity_stats(&self) -> IntegrityStats {
+        self.core()
+            .integrity
+            .as_ref()
+            .map(|mon| IntegrityStats {
+                scrubs_run: mon.scrubs_run,
+                audits_run: mon.audits_run,
+            })
+            .unwrap_or_default()
+    }
+
+    fn share_pool(&mut self, pool: std::sync::Arc<pgas::WorkPool>) {
+        self.core_mut().share_pool(pool);
     }
 
     fn enable_event_recording(&mut self) {

@@ -10,6 +10,17 @@
 //! work runs inline on the caller, which keeps single-core CI environments
 //! honest.
 //!
+//! ## Concurrent jobs
+//!
+//! Multiple coordinator threads may call [`WorkPool::run_indexed`] on one
+//! shared pool at the same time — the sweep job server runs many
+//! simulations over a single pool this way. Active jobs sit in a queue;
+//! idle workers scan it for any job with unclaimed indices and help drain
+//! it, so a pool shared by several simulations load-balances across all of
+//! them. Every coordinator also self-drains its own job, which guarantees
+//! progress even when all workers are busy elsewhere (and makes nested
+//! `run_indexed` calls from inside a work item deadlock-free).
+//!
 //! ## Panic safety
 //!
 //! A panicking work item must not deadlock the pool or poison it for later
@@ -19,7 +30,8 @@
 //! are skipped), and the payload is re-raised on the coordinator thread once
 //! all workers have quiesced. The coordinator itself never unwinds out of
 //! `run_indexed` while workers could still call the job closure — that
-//! closure is borrowed from the caller's stack frame.
+//! closure is borrowed from the caller's stack frame. A panic in one job
+//! never cancels or perturbs a concurrently running job.
 
 use std::any::Any;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -48,20 +60,31 @@ struct Job {
     payload: Mutex<Option<Box<dyn Any + Send>>>,
 }
 
+impl Job {
+    /// Whether the job still has unclaimed indices a helper could take.
+    fn claimable(&self) -> bool {
+        self.next.load(Ordering::Relaxed) < self.n_items
+    }
+}
+
 // SAFETY: `work` points at an `F: Fn(usize) + Send + Sync` owned by the
 // coordinator, which outlives every dereference (see the field docs).
 unsafe impl Send for Job {}
 unsafe impl Sync for Job {}
 
 struct Shared {
-    /// Current job (generation-stamped) or `None`.
-    slot: Mutex<(u64, Option<Arc<Job>>)>,
+    /// All jobs currently in flight, oldest first. Coordinators push on
+    /// submit and remove their own entry once `remaining` hits zero;
+    /// workers scan for the first job with unclaimed indices.
+    queue: Mutex<Vec<Arc<Job>>>,
     work_ready: Condvar,
     done: Condvar,
     shutdown: AtomicUsize,
 }
 
-/// A fixed-size pool executing indexed parallel-for jobs.
+/// A fixed-size pool executing indexed parallel-for jobs. Shareable across
+/// threads (`&self` API): concurrent `run_indexed` calls interleave their
+/// items over the same workers.
 pub struct WorkPool {
     shared: Arc<Shared>,
     workers: Vec<JoinHandle<()>>,
@@ -73,7 +96,7 @@ impl WorkPool {
     /// on the caller" (no threads spawned).
     pub fn new(n_threads: usize) -> Self {
         let shared = Arc::new(Shared {
-            slot: Mutex::new((0, None)),
+            queue: Mutex::new(Vec::new()),
             work_ready: Condvar::new(),
             done: Condvar::new(),
             shutdown: AtomicUsize::new(0),
@@ -106,11 +129,13 @@ impl WorkPool {
 
     /// Run `f(i)` for every `i in 0..n_items`, potentially in parallel, and
     /// return when all items are complete. The caller participates in the
-    /// work, so the pool makes progress even with zero workers.
+    /// work, so the pool makes progress even with zero workers — or with
+    /// every worker busy on another coordinator's job.
     ///
     /// If any item panics, the job is cancelled (not-yet-started items are
     /// skipped), all in-flight items are allowed to finish, and the first
-    /// panic is re-raised here. The pool itself stays usable.
+    /// panic is re-raised here. The pool itself stays usable, and other
+    /// jobs in flight are unaffected.
     pub fn run_indexed<F>(&self, n_items: usize, f: F)
     where
         F: Fn(usize) + Send + Sync,
@@ -124,7 +149,7 @@ impl WorkPool {
             }
             return;
         }
-        // Erase the borrow's lifetime for storage in the shared job slot.
+        // Erase the borrow's lifetime for storage in the shared job queue.
         // SAFETY: see `Job::work` — the pointer is only dereferenced while
         // this frame is pinned below the completion wait.
         let work_ref: &(dyn Fn(usize) + Send + Sync) = &f;
@@ -139,27 +164,26 @@ impl WorkPool {
         });
 
         {
-            let mut slot = lock(&self.shared.slot);
-            slot.0 += 1;
-            slot.1 = Some(Arc::clone(&job));
+            let mut queue = lock(&self.shared.queue);
+            queue.push(Arc::clone(&job));
             self.shared.work_ready.notify_all();
         }
 
-        // The caller helps drain the job. `drain` catches item panics, so
-        // this never unwinds while workers still hold the `work` pointer.
+        // The caller helps drain its own job. `drain` catches item panics,
+        // so this never unwinds while workers still hold the `work` pointer.
         drain(&job);
 
-        // Wait for stragglers.
-        let mut slot = lock(&self.shared.slot);
+        // Wait for stragglers, then retire the job from the queue.
+        let mut queue = lock(&self.shared.queue);
         while job.remaining.load(Ordering::Acquire) != 0 {
-            slot = self
+            queue = self
                 .shared
                 .done
-                .wait(slot)
+                .wait(queue)
                 .unwrap_or_else(|e| e.into_inner());
         }
-        slot.1 = None;
-        drop(slot);
+        queue.retain(|j| !Arc::ptr_eq(j, &job));
+        drop(queue);
 
         // All items are accounted for; no thread will touch `f` again.
         let payload = lock(&job.payload).take();
@@ -205,27 +229,26 @@ fn drain(job: &Job) {
 }
 
 fn worker_loop(sh: Arc<Shared>) {
-    let mut seen_gen = 0u64;
     loop {
         let job = {
-            let mut slot = lock(&sh.slot);
+            let mut queue = lock(&sh.queue);
             loop {
                 if sh.shutdown.load(Ordering::Acquire) != 0 {
                     return;
                 }
-                if slot.0 != seen_gen {
-                    seen_gen = slot.0;
-                    if let Some(job) = slot.1.clone() {
-                        break job;
-                    }
+                // Oldest claimable job first: fully-claimed jobs awaiting
+                // their coordinator's retire pass are skipped.
+                if let Some(job) = queue.iter().find(|j| j.claimable()).cloned() {
+                    break job;
                 }
-                slot = sh.work_ready.wait(slot).unwrap_or_else(|e| e.into_inner());
+                queue = sh.work_ready.wait(queue).unwrap_or_else(|e| e.into_inner());
             }
         };
         drain(&job);
-        // Wake the coordinator if this worker finished the last item.
+        // Wake coordinators if this worker finished the last item of a job.
+        // `notify_all` because several coordinators share the `done` condvar.
         if job.remaining.load(Ordering::Acquire) == 0 {
-            let _guard = lock(&sh.slot);
+            let _guard = lock(&sh.queue);
             sh.done.notify_all();
         }
     }
@@ -235,7 +258,7 @@ impl Drop for WorkPool {
     fn drop(&mut self) {
         self.shared.shutdown.store(1, Ordering::Release);
         {
-            let _guard = lock(&self.shared.slot);
+            let _guard = lock(&self.shared.queue);
             self.shared.work_ready.notify_all();
         }
         for w in self.workers.drain(..) {
@@ -380,5 +403,67 @@ mod tests {
         assert!(r.is_err());
         // Usable afterwards.
         pool.run_indexed(4, |_| {});
+    }
+
+    #[test]
+    fn concurrent_coordinators_share_one_pool() {
+        let pool = Arc::new(WorkPool::new(3));
+        let mut handles = Vec::new();
+        for t in 0..6u64 {
+            let pool = Arc::clone(&pool);
+            handles.push(std::thread::spawn(move || {
+                let sum = AtomicU64::new(0);
+                pool.run_indexed(500, |i| {
+                    sum.fetch_add(i as u64 + t, Ordering::Relaxed);
+                });
+                sum.load(Ordering::Relaxed)
+            }));
+        }
+        for (t, h) in handles.into_iter().enumerate() {
+            let got = h.join().expect("coordinator panicked");
+            assert_eq!(got, 124_750 + 500 * t as u64, "coordinator {t}");
+        }
+    }
+
+    #[test]
+    fn panic_in_one_job_does_not_cancel_another() {
+        let pool = Arc::new(WorkPool::new(3));
+        let ok_pool = Arc::clone(&pool);
+        let ok = std::thread::spawn(move || {
+            let count = AtomicU64::new(0);
+            for _ in 0..20 {
+                ok_pool.run_indexed(256, |_| {
+                    count.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            count.load(Ordering::Relaxed)
+        });
+        for _ in 0..20 {
+            let r = catch_unwind(AssertUnwindSafe(|| {
+                pool.run_indexed(64, |i| {
+                    if i % 7 == 0 {
+                        panic!("sacrificial job");
+                    }
+                });
+            }));
+            assert!(r.is_err());
+        }
+        assert_eq!(ok.join().expect("healthy job panicked"), 20 * 256);
+    }
+
+    #[test]
+    fn nested_run_indexed_makes_progress() {
+        // A work item submitting a sub-job must not deadlock: coordinators
+        // self-drain, so the nested job completes even with all workers
+        // pinned on outer items.
+        let pool = Arc::new(WorkPool::new(2));
+        let total = AtomicU64::new(0);
+        let inner = &pool;
+        pool.run_indexed(8, |_| {
+            inner.run_indexed(16, |_| {
+                total.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 8 * 16);
     }
 }

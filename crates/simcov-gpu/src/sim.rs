@@ -124,8 +124,9 @@ impl GpuSimConfig {
     }
 
     /// Validate the GPU-specific knobs (the shared ones are checked by
-    /// [`DriverCore::new`]).
-    fn validate(&self) -> Result<(), ConfigError> {
+    /// [`DriverCore::new`]). Public so spec layers (the sweep server's
+    /// `RunSpec`) can pre-validate a submission without building devices.
+    pub fn validate(&self) -> Result<(), ConfigError> {
         if self.tile_side == 0 {
             return Err(ConfigError::ZeroTileSide);
         }

@@ -1,0 +1,571 @@
+//! The sweep job server: a multi-tenant batch scheduler over the unified
+//! [`Simulation`](simcov_driver::Simulation) driver.
+//!
+//! Jobs arrive as typed [`JobSpec`]s and are scheduled across a
+//! work-stealing worker pool: each worker owns a deque, submissions are
+//! dealt round-robin, an idle worker pops its own deque from the front and
+//! steals from a victim's back. Every job's *intra-step* parallelism runs
+//! on one shared [`WorkPool`] (dynamic self-claiming interleaves items from
+//! concurrent jobs), so a sweep saturates the host without oversubscribing
+//! it with a thread pool per job.
+//!
+//! ## Artifacts
+//!
+//! Under the output directory, per job `<name>`:
+//! - `<name>.jsonl` — streamed records, one JSON object per line:
+//!   `{"record":"job"...}` header, then `step` / `recovery` / `integrity`
+//!   lines as the run produces them.
+//! - `<name>.csv` — the final trajectory in the `simcov` CSV schema,
+//!   written only on completion.
+//! - `<name>.done` — completion marker (resume skips finished jobs).
+//! - `ckpt/<name>.ck` — durable checkpoint, refreshed every
+//!   [`JobSpec::persist_every`] steps.
+//! - `dlq/<name>.json` — dead-letter entry for terminally failed jobs.
+//!
+//! ## Resume protocol
+//!
+//! Re-submitting the same sweep after a crash: jobs with a `.done` marker
+//! are skipped; jobs with a durable checkpoint restore it and continue
+//! (the restored history covers the pre-crash steps, so the final CSV is
+//! byte-identical to an uninterrupted run — the determinism invariant);
+//! jobs with neither start over. Stale checkpoint stagings left by a crash
+//! mid-persist are swept before the first load.
+//!
+//! ## Dead-letter queue
+//!
+//! A job whose recovery ladder is exhausted (or that hits an unhealable
+//! integrity violation, or fails before any checkpoint exists) lands in
+//! the DLQ with its recorded control-plane event log: [`DeadLetter::replay`]
+//! folds the log through the pure [`simcov_driver::DriverState`] core to
+//! re-derive the terminal decision offline — no executor, no filesystem.
+
+use std::collections::VecDeque;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use gpusim::metrics::StepRecord;
+use pgas::WorkPool;
+use simcov_core::json::Json;
+use simcov_core::stats::TimeSeries;
+use simcov_driver::{
+    load_checkpoint, persist_checkpoint, sweep_stale_stages, DriverState, SimError,
+};
+use simcov_telemetry::{Registry, SharedSink};
+
+use crate::job::{DeadLetter, JobReport, JobSpec, JobStatus};
+
+/// Server configuration: worker count, shared-pool size, artifact roots.
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// Concurrent jobs (worker threads). 0 is clamped to 1.
+    pub workers: usize,
+    /// Threads of the shared intra-step [`WorkPool`] (0: inline).
+    pub pool_threads: usize,
+    /// Root for streamed records, CSVs, done markers and the DLQ.
+    pub out_dir: PathBuf,
+    /// Durable checkpoint directory (defaults to `out_dir/ckpt`).
+    pub ckpt_dir: PathBuf,
+}
+
+impl SweepConfig {
+    /// Two job workers over an inline pool, rooted at `out_dir`.
+    pub fn new(out_dir: impl Into<PathBuf>) -> Self {
+        let out_dir = out_dir.into();
+        let ckpt_dir = out_dir.join("ckpt");
+        SweepConfig {
+            workers: 2,
+            pool_threads: 0,
+            out_dir,
+            ckpt_dir,
+        }
+    }
+
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    pub fn with_pool_threads(mut self, threads: usize) -> Self {
+        self.pool_threads = threads;
+        self
+    }
+}
+
+struct State {
+    /// Per-worker job deques (owner pops front, thieves pop back).
+    decks: Vec<VecDeque<JobSpec>>,
+    /// Jobs submitted and not yet finished.
+    pending: usize,
+    /// Terminal statuses, in completion order.
+    results: Vec<(String, JobStatus)>,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    job_ready: Condvar,
+    idle: Condvar,
+    pool: Arc<WorkPool>,
+    out_dir: PathBuf,
+    ckpt_dir: PathBuf,
+    /// Round-robin dealing cursor for submissions.
+    next_deck: AtomicUsize,
+}
+
+/// The sweep job server. Submit [`JobSpec`]s, wait, read statuses; drop (or
+/// [`SweepServer::join`]) to stop the workers.
+pub struct SweepServer {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl SweepServer {
+    /// Create artifact directories and start the worker threads.
+    pub fn start(cfg: SweepConfig) -> std::io::Result<Self> {
+        fs::create_dir_all(&cfg.out_dir)?;
+        fs::create_dir_all(&cfg.ckpt_dir)?;
+        fs::create_dir_all(cfg.out_dir.join("dlq"))?;
+        let workers = cfg.workers.max(1);
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                decks: (0..workers).map(|_| VecDeque::new()).collect(),
+                pending: 0,
+                results: Vec::new(),
+                shutdown: false,
+            }),
+            job_ready: Condvar::new(),
+            idle: Condvar::new(),
+            pool: Arc::new(WorkPool::new(cfg.pool_threads)),
+            out_dir: cfg.out_dir,
+            ckpt_dir: cfg.ckpt_dir,
+            next_deck: AtomicUsize::new(0),
+        });
+        let handles = (0..workers)
+            .map(|w| {
+                let sh = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(sh, w))
+            })
+            .collect();
+        Ok(SweepServer {
+            shared,
+            workers: handles,
+        })
+    }
+
+    /// Queue one job (dealt round-robin across worker deques; an idle
+    /// worker steals it regardless of which deque it landed on).
+    pub fn submit(&self, job: JobSpec) {
+        let mut st = lock(&self.shared.state);
+        let n = st.decks.len();
+        let deck = self.shared.next_deck.fetch_add(1, Ordering::Relaxed) % n;
+        st.decks[deck].push_back(job);
+        st.pending += 1;
+        drop(st);
+        self.shared.job_ready.notify_all();
+    }
+
+    /// Queue a batch of jobs.
+    pub fn submit_all(&self, jobs: impl IntoIterator<Item = JobSpec>) {
+        for j in jobs {
+            self.submit(j);
+        }
+    }
+
+    /// Block until every submitted job has reached a terminal status.
+    pub fn wait_idle(&self) {
+        let mut st = lock(&self.shared.state);
+        while st.pending != 0 {
+            st = self.shared.idle.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Snapshot of terminal statuses so far, in completion order.
+    pub fn results(&self) -> Vec<(String, JobStatus)> {
+        lock(&self.shared.state).results.clone()
+    }
+
+    /// The dead-letter queue: every terminally failed job so far.
+    pub fn dead_letters(&self) -> Vec<DeadLetter> {
+        lock(&self.shared.state)
+            .results
+            .iter()
+            .filter_map(|(_, s)| match s {
+                JobStatus::Dead(dl) => Some((**dl).clone()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The shared intra-step pool (jobs submitted through this server run
+    /// their supersteps on it).
+    pub fn pool(&self) -> Arc<WorkPool> {
+        Arc::clone(&self.shared.pool)
+    }
+
+    /// Wait for all work, stop the workers, and return every terminal
+    /// status in completion order.
+    pub fn join(mut self) -> Vec<(String, JobStatus)> {
+        self.wait_idle();
+        self.stop_workers();
+        lock(&self.shared.state).results.clone()
+    }
+
+    fn stop_workers(&mut self) {
+        {
+            let mut st = lock(&self.shared.state);
+            st.shutdown = true;
+        }
+        self.shared.job_ready.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for SweepServer {
+    fn drop(&mut self) {
+        self.stop_workers();
+    }
+}
+
+fn lock<'a, T>(m: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn worker_loop(sh: Arc<Shared>, me: usize) {
+    loop {
+        let job = {
+            let mut st = lock(&sh.state);
+            loop {
+                if let Some(job) = st.decks[me].pop_front() {
+                    break Some(job);
+                }
+                let n = st.decks.len();
+                let stolen = (1..n)
+                    .map(|k| (me + k) % n)
+                    .find_map(|v| st.decks[v].pop_back());
+                if let Some(job) = stolen {
+                    break Some(job);
+                }
+                if st.shutdown {
+                    break None;
+                }
+                st = sh.job_ready.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        let Some(spec) = job else { return };
+        let name = spec.name.clone();
+        let status = run_job(&sh, spec);
+        let mut st = lock(&sh.state);
+        st.results.push((name, status));
+        st.pending -= 1;
+        if st.pending == 0 {
+            sh.idle.notify_all();
+        }
+        drop(st);
+    }
+}
+
+/// Replace path-hostile characters so a job name is safe as a file stem.
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '_' || c == '.' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// Render one streamed step record as a JSON line object.
+fn step_line(rec: &StepRecord) -> Json {
+    let mut doc = Json::Obj(Vec::new());
+    doc.push("record", "step");
+    doc.push("step", rec.step);
+    doc.push("virions", rec.virions);
+    doc.push("chemokine", rec.chemokine);
+    doc.push("agents", rec.agents);
+    doc.push("active_units", rec.active_units);
+    doc.push("comm_messages", rec.comm_messages);
+    doc.push("comm_bytes", rec.comm_bytes);
+    doc.push("sim_seconds", rec.sim_seconds);
+    doc
+}
+
+fn recovery_line(r: &pgas::fault::RecoveryRecord) -> Json {
+    let mut doc = Json::Obj(Vec::new());
+    doc.push("record", "recovery");
+    doc.push("failed_step", r.failed_step);
+    doc.push("superstep", r.superstep);
+    doc.push(
+        "dead_ranks",
+        r.dead_ranks.iter().map(|&d| d as u64).collect::<Vec<_>>(),
+    );
+    doc.push("dropped_messages", r.dropped_messages);
+    doc.push("rollback_step", r.rollback_step);
+    doc.push("replayed_steps", r.replayed_steps);
+    doc.push("survivors", r.survivors as u64);
+    doc.push("attempt", r.attempt);
+    doc.push("backoff_ns", r.backoff_ns);
+    doc
+}
+
+fn integrity_line(r: &pgas::fault::IntegrityRecord) -> Json {
+    let mut doc = Json::Obj(Vec::new());
+    doc.push("record", "integrity");
+    doc.push("step", r.step);
+    doc.push("injected_step", r.injected_step);
+    doc.push("superstep", r.superstep);
+    doc.push("injected_superstep", r.injected_superstep);
+    doc.push("kind", format!("{:?}", r.kind));
+    doc.push("detector", format!("{:?}", r.detector));
+    doc.push("action", format!("{:?}", r.action));
+    doc
+}
+
+/// Append one JSON object as a line (compact: the pretty renderer is for
+/// documents; a record stream wants one object per line).
+fn write_line(out: &mut fs::File, doc: &Json) -> std::io::Result<()> {
+    writeln!(out, "{}", doc.render_compact())
+}
+
+/// The `simcov` CSV schema (kept byte-compatible with the CLI's writer —
+/// the crash-restart gates compare these files with `cmp`).
+fn history_csv(h: &TimeSeries) -> String {
+    let mut out = String::from(
+        "step,virions,chemokine,tcells_vasculature,tcells_tissue,\
+         epi_healthy,epi_incubating,epi_expressing,epi_apoptotic,epi_dead,extravasated\n",
+    );
+    for s in &h.steps {
+        out.push_str(&format!(
+            "{},{},{},{},{},{},{},{},{},{},{}\n",
+            s.step,
+            s.virions,
+            s.chemokine,
+            s.tcells_vasculature,
+            s.tcells_tissue,
+            s.epi_healthy,
+            s.epi_incubating,
+            s.epi_expressing,
+            s.epi_apoptotic,
+            s.epi_dead,
+            s.extravasated
+        ));
+    }
+    out
+}
+
+/// Write the DLQ entry and wrap the letter in a terminal status.
+fn dead(sh: &Shared, letter: DeadLetter) -> JobStatus {
+    let path = sh
+        .out_dir
+        .join("dlq")
+        .join(format!("{}.json", sanitize(&letter.spec.name)));
+    let _ = fs::write(&path, letter.to_json().render());
+    JobStatus::Dead(Box::new(letter))
+}
+
+/// Execute one job start-to-terminal-status on the calling worker thread.
+fn run_job(sh: &Shared, spec: JobSpec) -> JobStatus {
+    let t0 = Instant::now();
+    let stem = sanitize(&spec.name);
+    let csv_path = sh.out_dir.join(format!("{stem}.csv"));
+    let jsonl_path = sh.out_dir.join(format!("{stem}.jsonl"));
+    let done_path = sh.out_dir.join(format!("{stem}.done"));
+    let ck_path = sh.ckpt_dir.join(format!("{stem}.ck"));
+
+    if done_path.exists() && csv_path.exists() {
+        return JobStatus::Skipped;
+    }
+
+    let params = spec.run.params();
+    let mut sim = match spec.run.build_with_pool(Arc::clone(&sh.pool)) {
+        Ok(sim) => sim,
+        Err(e) => {
+            let err = SimError::Config(e);
+            let letter =
+                DeadLetter::new(spec, &err, DriverState::initial(1, None, false), Vec::new());
+            return dead(sh, letter);
+        }
+    };
+    sim.enable_event_recording();
+    let sink: SharedSink<StepRecord> = SharedSink::new();
+    sim.set_metrics_sink(Box::new(sink.clone()));
+
+    // Per-job metric series on the process registry, scoped by job label.
+    let scoped = Registry::global().scoped(&[("job", &spec.name)]);
+    let steps_ctr = scoped.counter("sweep_job_steps_total", "Steps computed by the job");
+    let recov_ctr = scoped.counter(
+        "sweep_job_recoveries_total",
+        "Fault recoveries performed by the job",
+    );
+    let integ_ctr = scoped.counter(
+        "sweep_job_integrity_events_total",
+        "Integrity events detected by the job",
+    );
+    let wall_g = scoped.gauge(
+        "sweep_job_wall_seconds",
+        "Wall-clock seconds spent on the job",
+    );
+
+    // Resume from a durable checkpoint left by an interrupted run.
+    let mut resumed_from = None;
+    if spec.persist_every > 0 {
+        sweep_stale_stages(&ck_path);
+        if ck_path.exists() {
+            match load_checkpoint(&ck_path, &params) {
+                Ok(cp) => match sim.restore(&cp) {
+                    Ok(()) => resumed_from = Some(cp.step),
+                    Err(e) => {
+                        let letter = DeadLetter::new(
+                            spec,
+                            &e,
+                            sim.replay_initial_state()
+                                .cloned()
+                                .unwrap_or_else(|| DriverState::initial(1, None, false)),
+                            sim.event_log().to_vec(),
+                        );
+                        return dead(sh, letter);
+                    }
+                },
+                // Unreadable durable checkpoint: recompute from scratch
+                // rather than failing the job (the run is deterministic).
+                Err(_) => {
+                    let _ = fs::remove_file(&ck_path);
+                }
+            }
+        }
+    }
+
+    let mut stream = match fs::OpenOptions::new()
+        .create(true)
+        .append(resumed_from.is_some())
+        .truncate(resumed_from.is_none())
+        .write(true)
+        .open(&jsonl_path)
+    {
+        Ok(f) => f,
+        Err(e) => {
+            let err = SimError::Persist(format!("open {}: {e}", jsonl_path.display()));
+            let letter =
+                DeadLetter::new(spec, &err, DriverState::initial(1, None, false), Vec::new());
+            return dead(sh, letter);
+        }
+    };
+    let mut header = Json::Obj(Vec::new());
+    header.push("record", "job");
+    header.push("job", spec.name.as_str());
+    header.push("executor", spec.run.executor.name());
+    header.push("steps", params.steps);
+    match resumed_from {
+        Some(s) => header.push("resumed_from", s),
+        None => header.push("resumed_from", Json::Null),
+    }
+    let _ = write_line(&mut stream, &header);
+
+    // The simulated crash is only honored on a fresh start: a resumed job
+    // must run to completion (mirrors a real kill — the killed process is
+    // gone; the resubmitted one finishes).
+    let halt_at = if resumed_from.is_none() {
+        spec.halt_after
+    } else {
+        None
+    };
+
+    let mut streamed: Vec<StepRecord> = Vec::new();
+    while sim.step() < params.steps {
+        if halt_at == Some(sim.step()) {
+            return JobStatus::Interrupted {
+                at_step: sim.step(),
+            };
+        }
+        if let Err(e) = sim.advance_step() {
+            let letter = DeadLetter::new(
+                spec,
+                &e,
+                sim.replay_initial_state()
+                    .cloned()
+                    .unwrap_or_else(|| DriverState::initial(1, None, false)),
+                sim.event_log().to_vec(),
+            );
+            return dead(sh, letter);
+        }
+        for rec in sink.take() {
+            for r in &rec.recoveries {
+                recov_ctr.inc();
+                let _ = write_line(&mut stream, &recovery_line(r));
+            }
+            for r in &rec.integrity {
+                integ_ctr.inc();
+                let _ = write_line(&mut stream, &integrity_line(r));
+            }
+            steps_ctr.inc();
+            let _ = write_line(&mut stream, &step_line(&rec));
+            streamed.push(rec);
+        }
+        if spec.persist_every > 0 && sim.step() % spec.persist_every == 0 {
+            let cp = sim.checkpoint();
+            if let Err(e) = persist_checkpoint(&ck_path, &params, &cp) {
+                let letter = DeadLetter::new(
+                    spec,
+                    &e,
+                    sim.replay_initial_state()
+                        .cloned()
+                        .unwrap_or_else(|| DriverState::initial(1, None, false)),
+                    sim.event_log().to_vec(),
+                );
+                return dead(sh, letter);
+            }
+        }
+    }
+
+    if let Err(e) = fs::write(&csv_path, history_csv(sim.history())) {
+        let err = SimError::Persist(format!("write {}: {e}", csv_path.display()));
+        let letter = DeadLetter::new(
+            spec,
+            &err,
+            sim.replay_initial_state()
+                .cloned()
+                .unwrap_or_else(|| DriverState::initial(1, None, false)),
+            sim.event_log().to_vec(),
+        );
+        return dead(sh, letter);
+    }
+    let _ = fs::write(&done_path, "done\n");
+    let _ = fs::remove_file(&ck_path);
+
+    let wall = t0.elapsed().as_secs_f64();
+    wall_g.set(wall);
+    let report = JobReport {
+        history: sim.history().clone(),
+        world: spec.capture_world.then(|| sim.gather_world()),
+        recoveries: sim.recovery_log().to_vec(),
+        integrity: sim.integrity_log().to_vec(),
+        steps: streamed,
+        comm: sim.comm_counters(),
+        survivors: sim.n_units(),
+        checkpoints: sim.checkpoint_stats(),
+        integrity_stats: sim.integrity_stats(),
+        resumed_from,
+        wall_seconds: wall,
+    };
+    JobStatus::Completed(Box::new(report))
+}
+
+/// Artifact paths of a job under a server's output root (for callers that
+/// inspect or compare the files a sweep produced).
+pub fn job_paths(out_dir: &Path, name: &str) -> (PathBuf, PathBuf, PathBuf) {
+    let stem = sanitize(name);
+    (
+        out_dir.join(format!("{stem}.csv")),
+        out_dir.join(format!("{stem}.jsonl")),
+        out_dir.join("dlq").join(format!("{stem}.json")),
+    )
+}

@@ -34,7 +34,8 @@ pub mod span;
 pub use clock::MonotonicClock;
 pub use health::{HealthConfig, HealthKind, HealthMonitor, HealthRecord, RankWalls};
 pub use registry::{
-    Counter, Gauge, Histogram, MetricSnapshot, MetricValue, Registry, HISTOGRAM_BUCKETS,
+    Counter, Gauge, Histogram, MetricSnapshot, MetricValue, Registry, ScopedRegistry,
+    HISTOGRAM_BUCKETS,
 };
 pub use ring::EventRing;
 pub use sink::{MetricsSink, SharedSink, StepRecord};

@@ -263,6 +263,20 @@ impl Registry {
         h
     }
 
+    /// A view of this registry that stamps `base` labels onto every
+    /// instrument registered through it — the per-job scoping the sweep
+    /// server uses (`[("job", name)]`) so concurrent jobs publishing the
+    /// same metric family land on distinct time series.
+    pub fn scoped<'a>(&'a self, base: &[(&str, &str)]) -> ScopedRegistry<'a> {
+        ScopedRegistry {
+            inner: self,
+            base: base
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+        }
+    }
+
     /// Capture every time series, in registration order.
     pub fn snapshot(&self) -> Vec<MetricSnapshot> {
         let entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
@@ -283,6 +297,72 @@ impl Registry {
                 },
             })
             .collect()
+    }
+}
+
+/// A label-scoped view of a [`Registry`]: every instrument registered
+/// through it carries the view's base labels first, then any call-site
+/// labels. Scopes are cheap (one small `Vec`) and many may coexist over one
+/// registry; two scopes with different base labels never collide even when
+/// registering the same metric name.
+#[derive(Debug)]
+pub struct ScopedRegistry<'a> {
+    inner: &'a Registry,
+    base: Vec<(String, String)>,
+}
+
+impl ScopedRegistry<'_> {
+    fn merged(&self, labels: &[(&str, &str)]) -> Vec<(String, String)> {
+        self.base
+            .iter()
+            .cloned()
+            .chain(labels.iter().map(|(k, v)| (k.to_string(), v.to_string())))
+            .collect()
+    }
+
+    /// Register (or fetch) a counter carrying the scope's base labels.
+    pub fn counter(&self, name: &str, help: &str) -> Counter {
+        self.counter_with(name, help, &[])
+    }
+
+    /// Register (or fetch) a counter with base + call-site labels.
+    pub fn counter_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Counter {
+        let merged = self.merged(labels);
+        let refs: Vec<(&str, &str)> = merged
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.as_str()))
+            .collect();
+        self.inner.counter_with(name, help, &refs)
+    }
+
+    /// Register (or fetch) a gauge carrying the scope's base labels.
+    pub fn gauge(&self, name: &str, help: &str) -> Gauge {
+        self.gauge_with(name, help, &[])
+    }
+
+    /// Register (or fetch) a gauge with base + call-site labels.
+    pub fn gauge_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Gauge {
+        let merged = self.merged(labels);
+        let refs: Vec<(&str, &str)> = merged
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.as_str()))
+            .collect();
+        self.inner.gauge_with(name, help, &refs)
+    }
+
+    /// Register (or fetch) a histogram carrying the scope's base labels.
+    pub fn histogram(&self, name: &str, help: &str) -> Histogram {
+        self.histogram_with(name, help, &[])
+    }
+
+    /// Register (or fetch) a histogram with base + call-site labels.
+    pub fn histogram_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Histogram {
+        let merged = self.merged(labels);
+        let refs: Vec<(&str, &str)> = merged
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.as_str()))
+            .collect();
+        self.inner.histogram_with(name, help, &refs)
     }
 }
 
@@ -319,6 +399,42 @@ mod tests {
         assert_eq!(snap.len(), 2);
         assert_eq!(snap[0].value, MetricValue::Counter(1));
         assert_eq!(snap[1].value, MetricValue::Counter(5));
+    }
+
+    #[test]
+    fn scoped_registry_stamps_base_labels() {
+        let r = Registry::new();
+        let a = r.scoped(&[("job", "a")]);
+        let b = r.scoped(&[("job", "b")]);
+        a.counter("job_steps", "steps").add(3);
+        b.counter("job_steps", "steps").add(7);
+        let snap = r.snapshot();
+        assert_eq!(snap.len(), 2, "scopes must be distinct series");
+        assert_eq!(snap[0].labels, vec![("job".into(), "a".into())]);
+        assert_eq!(snap[0].value, MetricValue::Counter(3));
+        assert_eq!(snap[1].labels, vec![("job".into(), "b".into())]);
+        assert_eq!(snap[1].value, MetricValue::Counter(7));
+        // Same scope + name re-registers onto the same series.
+        a.counter("job_steps", "steps").inc();
+        assert_eq!(r.snapshot()[0].value, MetricValue::Counter(4));
+    }
+
+    #[test]
+    fn scoped_registry_merges_call_site_labels() {
+        let r = Registry::new();
+        let s = r.scoped(&[("job", "j1")]);
+        s.gauge_with("phase_wall", "w", &[("phase", "run")])
+            .set(2.5);
+        s.histogram_with("lat", "l", &[("tier", "fast")]).observe(4);
+        let snap = r.snapshot();
+        assert_eq!(
+            snap[0].labels,
+            vec![("job".into(), "j1".into()), ("phase".into(), "run".into())]
+        );
+        assert_eq!(
+            snap[1].labels,
+            vec![("job".into(), "j1".into()), ("tier".into(), "fast".into())]
+        );
     }
 
     #[test]

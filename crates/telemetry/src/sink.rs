@@ -119,6 +119,12 @@ impl<R> SharedSink<R> {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Drain all records accumulated so far, leaving the sink empty —
+    /// the streaming consumer's read (each record is observed once).
+    pub fn take(&self) -> Vec<R> {
+        std::mem::take(&mut *self.records.lock().unwrap_or_else(|e| e.into_inner()))
+    }
 }
 
 impl<R: Clone> SharedSink<R> {

@@ -219,4 +219,70 @@ print(f"BENCH_perf_smoke.json OK: {len(doc['kernels'])} kernels, "
       f"best speedup {best:.2f}x, telemetry overhead {overhead:.3f}x")
 EOF
 
+# Sweep-server gate: a small RunSpec sweep through the job server's full
+# lifecycle — submit, kill mid-run (simulated crash, exit 3), resume, and
+# assert (a) every resumed CSV is byte-identical to an uninterrupted
+# reference run and (b) the seeded fail-stop job exhausted its recovery
+# ladder into a populated, replayable DLQ entry.
+echo "== sweep server gate (kill/resume identity + dead-letter queue) =="
+cat > target/verify_sweep_jobs.json <<'JOBS'
+{"jobs": [
+  {"name": "cell_a", "run": {"executor": "cpu", "units": 3,
+    "dims": [24, 24], "steps": 30, "num_foi": 2, "seed": 11}},
+  {"name": "cell_b", "run": {"executor": "gpu", "units": 2,
+    "dims": [24, 24], "steps": 30, "num_foi": 2, "seed": 12}},
+  {"name": "doomed", "run": {"executor": "cpu", "units": 3,
+    "dims": [24, 24], "steps": 30, "num_foi": 2, "seed": 13,
+    "fault": {"seed": 57005, "death": 1.0},
+    "recovery": {"checkpoint_period": 4, "max_retries": 1,
+                 "backoff_base_ns": 1000}}}
+]}
+JOBS
+rm -rf target/sweep/verify target/sweep/verify_ref
+cargo run --release -q -p simcov-bench --bin sweep_server -- \
+    --jobs target/verify_sweep_jobs.json --out-dir target/sweep/verify_ref \
+    --persist-every 7 >/dev/null
+set +e
+cargo run --release -q -p simcov-bench --bin sweep_server -- \
+    --jobs target/verify_sweep_jobs.json --out-dir target/sweep/verify \
+    --persist-every 7 --halt-after 13 >/dev/null
+halt=$?
+set -e
+if [ "$halt" -ne 3 ]; then
+    echo "expected simulated-crash exit code 3, got $halt"
+    exit 1
+fi
+cargo run --release -q -p simcov-bench --bin sweep_server -- \
+    --jobs target/verify_sweep_jobs.json --out-dir target/sweep/verify \
+    --persist-every 7 --json target/BENCH_sweep_gate.json >/dev/null
+for cell in cell_a cell_b; do
+    if ! cmp -s "target/sweep/verify_ref/$cell.csv" "target/sweep/verify/$cell.csv"; then
+        echo "resumed sweep job $cell diverged from the uninterrupted run"
+        exit 1
+    fi
+done
+python3 - <<'EOF'
+import json
+doc = json.load(open("target/BENCH_sweep_gate.json"))
+assert doc.get("suite") == "sweep_server", "wrong suite tag"
+assert doc["completed"] == 2, f"expected 2 completed jobs: {doc}"
+assert doc["dead"] == 1, f"expected 1 dead-lettered job: {doc}"
+assert doc["interrupted"] == 0, f"resume left interrupted jobs: {doc}"
+dlq = json.load(open("target/sweep/verify/dlq/doomed.json"))
+assert dlq["record"] == "dead_letter" and dlq["job"] == "doomed"
+assert dlq["events"] > 0, "DLQ entry recorded no control-plane events"
+assert dlq["error"] and dlq["replay_halt"], f"DLQ entry not replayable: {dlq}"
+ref = open("target/sweep/verify_ref/cell_a.jsonl").read().splitlines()
+assert '"record":"job"' in ref[0], "missing job header line"
+assert sum('"record":"step"' in l for l in ref) == 30, "missing streamed step records"
+# The interrupted stream appends the resumed run: a second header plus the
+# steps recomputed from the restored checkpoint, ending at the final step.
+resumed = open("target/sweep/verify/cell_a.jsonl").read().splitlines()
+assert sum('"record":"job"' in l for l in resumed) == 2, "resume must append a header"
+steps = [l for l in resumed if '"record":"step"' in l]
+assert len(steps) > 30 and '"step":29,' in steps[-1], "resumed stream incomplete"
+print(f"sweep gate OK: resumed CSVs identical, DLQ entry replayable "
+      f"(halt={dlq['replay_halt']!r}, {dlq['events']} events)")
+EOF
+
 echo "== all checks passed =="

@@ -11,4 +11,5 @@ pub use simcov_core;
 pub use simcov_cpu;
 pub use simcov_driver;
 pub use simcov_gpu;
+pub use simcov_sweep;
 pub use simcov_telemetry;

@@ -1,0 +1,196 @@
+//! Sweep job-server integration gates: kill-and-resume bitwise identity,
+//! dead-lettering with replayable event logs, multi-tenant isolation on a
+//! shared work pool, and the 100-job work-stealing sweep.
+
+use std::fs;
+use std::path::PathBuf;
+
+use simcov_repro::pgas::fault::FaultRates;
+use simcov_repro::simcov_core::grid::GridDims;
+use simcov_repro::simcov_sweep::{
+    job_paths, ExecutorKind, FaultSpec, JobSpec, JobStatus, RecoverySpec, RunSpec, SweepConfig,
+    SweepServer,
+};
+
+/// A process-unique scratch root, wiped on entry so re-runs start clean.
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("simcov_sweep_{tag}_{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn small_run(executor: ExecutorKind, seed: u64) -> RunSpec {
+    RunSpec::test(executor, GridDims::new2d(24, 24), 30, 2, seed).with_units(3)
+}
+
+/// A killed-mid-run job, resubmitted, resumes from its durable checkpoint
+/// and produces a CSV byte-identical to a never-interrupted run.
+#[test]
+fn interrupted_job_resumes_bitwise_identical() {
+    // Reference: the same job start-to-finish in its own root.
+    let ref_dir = scratch("resume_ref");
+    let results = {
+        let srv = SweepServer::start(SweepConfig::new(&ref_dir)).expect("start");
+        srv.submit(JobSpec::new("cell", small_run(ExecutorKind::Cpu, 42)).with_persist_every(7));
+        srv.join()
+    };
+    assert!(results[0].1.is_completed(), "reference run completes");
+    let (ref_csv, _, _) = job_paths(&ref_dir, "cell");
+    let want = fs::read(&ref_csv).expect("reference CSV");
+
+    // Crash: same job, killed before step 13; only checkpoints survive.
+    let dir = scratch("resume");
+    let job = JobSpec::new("cell", small_run(ExecutorKind::Cpu, 42))
+        .with_persist_every(7)
+        .with_halt_after(13);
+    {
+        let srv = SweepServer::start(SweepConfig::new(&dir)).expect("start");
+        srv.submit(job.clone());
+        let results = srv.join();
+        match &results[0].1 {
+            JobStatus::Interrupted { at_step } => assert_eq!(*at_step, 13),
+            other => panic!("expected Interrupted, got {other:?}"),
+        }
+    }
+    let (csv, _, _) = job_paths(&dir, "cell");
+    assert!(!csv.exists(), "no CSV before completion");
+
+    // Resume: resubmit the identical job to a fresh server on the same
+    // roots. The halt is ignored on resume; the job runs to completion.
+    let resumed = {
+        let srv = SweepServer::start(SweepConfig::new(&dir)).expect("start");
+        srv.submit(job);
+        srv.join()
+    };
+    let report = resumed[0].1.report().expect("resumed job completes");
+    let from = report.resumed_from.expect("job actually resumed");
+    assert!(
+        (7..13).contains(&from),
+        "resumed from a persisted step, got {from}"
+    );
+    assert_eq!(
+        fs::read(&csv).expect("resumed CSV"),
+        want,
+        "resumed trajectory must be byte-identical to the uninterrupted run"
+    );
+
+    // Idempotence: resubmitting a finished job is skipped via its marker.
+    let again = {
+        let srv = SweepServer::start(SweepConfig::new(&dir)).expect("start");
+        srv.submit(JobSpec::new("cell", small_run(ExecutorKind::Cpu, 42)));
+        srv.join()
+    };
+    assert!(matches!(again[0].1, JobStatus::Skipped));
+}
+
+/// A job whose recovery ladder is exhausted lands in the DLQ with its
+/// recorded event log; replaying the log re-derives the terminal halt.
+#[test]
+fn ladder_exhaustion_dead_letters_with_replayable_log() {
+    let dir = scratch("dlq");
+    let run = small_run(ExecutorKind::Cpu, 5)
+        .with_fault(FaultSpec {
+            seed: 0xDEAD,
+            rates: FaultRates {
+                death: 1.0, // every rank dies every superstep: unrecoverable
+                ..FaultRates::default()
+            },
+        })
+        .with_recovery(RecoverySpec {
+            checkpoint_period: 4,
+            max_retries: 2,
+            backoff_base_ns: 1_000,
+        });
+    let srv = SweepServer::start(SweepConfig::new(&dir)).expect("start");
+    srv.submit(JobSpec::new("doomed", run));
+    srv.wait_idle();
+    let letters = srv.dead_letters();
+    let results = srv.join();
+
+    assert!(results[0].1.is_dead(), "job must dead-letter");
+    assert_eq!(letters.len(), 1);
+    let letter = &letters[0];
+    assert!(!letter.error.is_empty());
+    assert!(!letter.events.is_empty(), "event log was recorded");
+    let replayed = letter.replay();
+    assert!(
+        replayed.halt.is_some(),
+        "replaying the recorded log re-derives the terminal halt"
+    );
+
+    let (_, _, dlq) = job_paths(&dir, "doomed");
+    let entry = fs::read_to_string(&dlq).expect("DLQ file written");
+    assert!(entry.contains("\"dead_letter\""));
+    assert!(entry.contains("\"doomed\""));
+}
+
+/// Two concurrent jobs interleaving on one shared work pool produce exactly
+/// the trajectories each produces alone: no cross-contamination.
+#[test]
+fn concurrent_jobs_on_shared_pool_do_not_cross_contaminate() {
+    // Baselines, one job at a time.
+    let solo_dir = scratch("iso_solo");
+    {
+        let srv = SweepServer::start(SweepConfig::new(&solo_dir).with_workers(1)).expect("start");
+        srv.submit(JobSpec::new("a", small_run(ExecutorKind::Cpu, 1)));
+        srv.submit(JobSpec::new("b", small_run(ExecutorKind::Gpu, 2)));
+        srv.join();
+    }
+
+    // The same two jobs concurrently, sharing a threaded pool.
+    let dir = scratch("iso");
+    {
+        let cfg = SweepConfig::new(&dir).with_workers(2).with_pool_threads(2);
+        let srv = SweepServer::start(cfg).expect("start");
+        srv.submit(JobSpec::new("a", small_run(ExecutorKind::Cpu, 1)));
+        srv.submit(JobSpec::new("b", small_run(ExecutorKind::Gpu, 2)));
+        let results = srv.join();
+        assert!(results.iter().all(|(_, s)| s.is_completed()));
+    }
+
+    for name in ["a", "b"] {
+        let (solo_csv, _, _) = job_paths(&solo_dir, name);
+        let (conc_csv, _, _) = job_paths(&dir, name);
+        assert_eq!(
+            fs::read(&solo_csv).unwrap(),
+            fs::read(&conc_csv).unwrap(),
+            "job {name:?} must be unaffected by its concurrent neighbor"
+        );
+    }
+}
+
+/// A 100-job seeded sweep drains across the work-stealing pool, streaming
+/// per-job JSON records, every job completing.
+#[test]
+fn hundred_job_sweep_completes_with_streamed_records() {
+    let dir = scratch("hundred");
+    let cfg = SweepConfig::new(&dir).with_workers(4);
+    let srv = SweepServer::start(cfg).expect("start");
+    for i in 0..100u64 {
+        let run = RunSpec::test(ExecutorKind::Cpu, GridDims::new2d(16, 16), 8, 1, i).with_units(2);
+        srv.submit(JobSpec::new(format!("job{i:03}"), run));
+    }
+    let results = srv.join();
+    assert_eq!(results.len(), 100);
+    assert!(results.iter().all(|(_, s)| s.is_completed()));
+
+    for i in [0u64, 57, 99] {
+        let (csv, jsonl, _) = job_paths(&dir, &format!("job{i:03}"));
+        assert!(csv.exists());
+        let stream = fs::read_to_string(&jsonl).unwrap();
+        let lines: Vec<&str> = stream.lines().collect();
+        assert!(
+            lines[0].contains("\"record\":\"job\""),
+            "header line first: {:?}",
+            lines[0]
+        );
+        assert_eq!(
+            lines
+                .iter()
+                .filter(|l| l.contains("\"record\":\"step\""))
+                .count(),
+            8,
+            "one streamed record per step"
+        );
+    }
+}
