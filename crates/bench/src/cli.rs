@@ -12,6 +12,7 @@
 //! | `--metrics-out` | `PATH` | export the process metric registry on exit |
 //! | `--smoke` | — | reduced scale for CI gates |
 //! | `--seed` | `N` | override the suite's default master seed |
+//! | `--threads` | `N` | pin the executor `WorkPool` worker count (0 = inline) |
 //!
 //! Binaries with extra flags call [`CommonFlags::extract`] and match the
 //! leftover tokens themselves; binaries with no extra flags call
@@ -30,6 +31,9 @@ pub struct CommonFlags {
     pub smoke: bool,
     /// `--seed N`: master-seed override.
     pub seed: Option<u64>,
+    /// `--threads N`: pin the executor `WorkPool` worker count so CI gates
+    /// measure a reproducible parallel-rank configuration (0 = inline).
+    pub threads: Option<usize>,
 }
 
 impl CommonFlags {
@@ -46,6 +50,7 @@ impl CommonFlags {
                 "--metrics-out" => flags.metrics_out = Some(expect_value(&a, it.next())),
                 "--smoke" => flags.smoke = true,
                 "--seed" => flags.seed = Some(parse_value(&a, it.next())),
+                "--threads" => flags.threads = Some(parse_value(&a, it.next())),
                 _ => rest.push(a),
             }
         }
@@ -109,12 +114,15 @@ mod tests {
             "--smoke",
             "--seed",
             "42",
+            "--threads",
+            "3",
             "--tolerance",
             "0.5",
         ]));
         assert_eq!(flags.json.as_deref(), Some("out.json"));
         assert!(flags.smoke);
         assert_eq!(flags.seed, Some(42));
+        assert_eq!(flags.threads, Some(3));
         assert_eq!(rest, argv(&["--baseline", "b.json", "--tolerance", "0.5"]));
     }
 
@@ -124,6 +132,7 @@ mod tests {
         assert!(flags.json.is_none() && flags.trace_out.is_none() && flags.metrics_out.is_none());
         assert!(!flags.smoke);
         assert!(flags.seed.is_none());
+        assert!(flags.threads.is_none());
         assert!(rest.is_empty());
     }
 }

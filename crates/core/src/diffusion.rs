@@ -40,6 +40,27 @@ pub fn diffuse_voxel(
     }
 }
 
+/// The three per-species diffusion constants bundled for kernel call sites
+/// (virions and chemokine run the same stencil with different coefficients;
+/// see [`crate::params::SimParams::virion_coeffs`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiffuseCoeffs {
+    /// Diffusion coefficient in `[0, 1]`.
+    pub d: f32,
+    /// Fraction lost per step in `[0, 1]`.
+    pub decay: f32,
+    /// Flush-to-zero threshold.
+    pub min: f32,
+}
+
+impl DiffuseCoeffs {
+    /// [`diffuse_voxel`] with these coefficients.
+    #[inline]
+    pub fn apply(&self, own: f32, neighbor_sum: f32, n_valid: usize) -> f32 {
+        diffuse_voxel(own, neighbor_sum, n_valid, self.d, self.decay, self.min)
+    }
+}
+
 /// Virion production by an epithelial cell in a producing state. Additive,
 /// unbounded (virions accumulate; clearance bounds them dynamically).
 #[inline]

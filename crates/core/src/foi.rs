@@ -57,15 +57,30 @@ pub fn foi_voxels(p: &SimParams, pattern: FoiPattern) -> Vec<usize> {
                     (c.y + jy).clamp(0, dims.y as i64 - 1),
                     c.z,
                 );
+                // Chebyshev balls are axis-aligned boxes, so each (z, y) row
+                // contributes one contiguous linear-index span: clamp the
+                // x-extent once and extend by the whole run instead of
+                // bounds-checking voxel by voxel (the same chunked-span shape
+                // as the wide diffusion kernels in [`crate::lanes`]).
                 let r = radius as i64;
+                let x0 = (c.x - r).max(0);
+                let x1 = (c.x + r).min(dims.x as i64 - 1);
+                if x0 > x1 {
+                    continue;
+                }
+                let run = (x1 - x0 + 1) as usize;
                 for dz in -r..=r {
+                    let z = c.z + dz;
+                    if z < 0 || z >= dims.z as i64 {
+                        continue;
+                    }
                     for dy in -r..=r {
-                        for dx in -r..=r {
-                            let q = c.offset(dx, dy, dz);
-                            if let Some(idx) = dims.checked_index(q) {
-                                v.push(idx);
-                            }
+                        let y = c.y + dy;
+                        if y < 0 || y >= dims.y as i64 {
+                            continue;
                         }
+                        let base = dims.index(Coord::new(x0, y, z));
+                        v.extend(base..base + run);
                     }
                 }
             }

@@ -45,6 +45,7 @@ pub mod grid;
 pub mod halo;
 pub mod integrity;
 pub mod json;
+pub mod lanes;
 pub mod params;
 pub mod render;
 pub mod rng;
@@ -63,6 +64,7 @@ pub use grid::{Coord, GridDims};
 pub use integrity::{
     crc_run, crc_state, AuditReport, IntegrityMonitor, IntegrityViolation, DEFAULT_AUDIT_PERIOD,
 };
+pub use lanes::{KernelMode, LANES};
 pub use params::SimParams;
 pub use rng::CounterRng;
 pub use serial::SerialSim;

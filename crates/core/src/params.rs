@@ -197,6 +197,28 @@ impl SimParams {
         p
     }
 
+    /// Virion diffusion/clearance/flush constants bundled for kernel call
+    /// sites (see [`crate::lanes`]).
+    #[inline]
+    pub fn virion_coeffs(&self) -> crate::diffusion::DiffuseCoeffs {
+        crate::diffusion::DiffuseCoeffs {
+            d: self.virion_diffusion,
+            decay: self.virion_clearance,
+            min: self.min_virions,
+        }
+    }
+
+    /// Chemokine diffusion/decay/flush constants bundled for kernel call
+    /// sites.
+    #[inline]
+    pub fn chemokine_coeffs(&self) -> crate::diffusion::DiffuseCoeffs {
+        crate::diffusion::DiffuseCoeffs {
+            d: self.chemokine_diffusion,
+            decay: self.chemokine_decay,
+            min: self.min_chemokine,
+        }
+    }
+
     /// Validate parameter ranges; returns a human-readable description of the
     /// first violated constraint.
     pub fn validate(&self) -> Result<(), String> {

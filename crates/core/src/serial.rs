@@ -6,10 +6,12 @@
 //! tests). It is deliberately simple — full sweeps, no activity tracking —
 //! so its correctness is auditable.
 
-use crate::diffusion::{diffuse_voxel, produce_chemokine, produce_virions};
+use crate::diffusion::{produce_chemokine, produce_virions, DiffuseCoeffs};
 use crate::epithelial::EpiState;
 use crate::fields::Field;
 use crate::foi::FoiPattern;
+use crate::grid::GridDims;
+use crate::lanes::{self, KernelMode};
 use crate::params::SimParams;
 use crate::rules::{
     self, epi_update, extrav_lifetime, extrav_succeeds, extrav_voxel, plan_tcell, Bid, TCellAction,
@@ -30,6 +32,7 @@ pub struct SerialSim {
     scratch_virions: Field,
     scratch_chem: Field,
     stencil: StencilDeltas,
+    kernel: KernelMode,
 }
 
 impl SerialSim {
@@ -52,6 +55,7 @@ impl SerialSim {
             scratch_virions: Field::zeros(n),
             scratch_chem: Field::zeros(n),
             stencil,
+            kernel: KernelMode::default(),
         }
     }
 
@@ -71,7 +75,21 @@ impl SerialSim {
             scratch_virions: Field::zeros(n),
             scratch_chem: Field::zeros(n),
             stencil,
+            kernel: KernelMode::default(),
         }
+    }
+
+    /// Select the diffusion kernel (default [`KernelMode::Wide`]). The
+    /// trajectory is bitwise identical either way; `Scalar` is the
+    /// differential oracle.
+    pub fn with_kernel(mut self, kernel: KernelMode) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
+    /// The active diffusion kernel.
+    pub fn kernel(&self) -> KernelMode {
+        self.kernel
     }
 
     /// Run all configured steps.
@@ -217,51 +235,97 @@ impl SerialSim {
                 );
             }
         }
-        for v in 0..n {
-            let c = dims.coord(v);
-            // Interior voxels gather by constant stride deltas (same values
-            // in the same offset-table order — bitwise identical to the
-            // checked path); only the grid surface pays per-neighbor checks.
-            let (vsum, csum, nvalid) = if self.stencil.is_interior(c) {
-                let (vs, cs) = self
-                    .stencil
-                    .sum2(v, &self.world.virions, &self.world.chemokine);
-                (vs, cs, self.stencil.len())
-            } else {
-                let mut vs = 0.0f32;
-                let mut cs = 0.0f32;
-                let mut nv = 0usize;
-                for &(dx, dy, dz) in dims.neighbor_offsets() {
-                    if let Some(u) = dims.checked_index(c.offset(dx, dy, dz)) {
-                        vs += self.world.virions.get(u);
-                        cs += self.world.chemokine.get(u);
-                        nv += 1;
+        let vc = p.virion_coeffs();
+        let cc = p.chemokine_coeffs();
+        match self.kernel {
+            // Reference path: per-voxel gather. Interior voxels use constant
+            // stride deltas (same values in the same offset-table order —
+            // bitwise identical to the checked path); only the grid surface
+            // pays per-neighbor checks.
+            KernelMode::Scalar => {
+                for v in 0..n {
+                    let c = dims.coord(v);
+                    if self.stencil.is_interior(c) {
+                        let (vs, cs) =
+                            self.stencil
+                                .sum2(v, &self.world.virions, &self.world.chemokine);
+                        let nvalid = self.stencil.len();
+                        self.scratch_virions
+                            .set(v, vc.apply(self.world.virions.get(v), vs, nvalid));
+                        self.scratch_chem
+                            .set(v, cc.apply(self.world.chemokine.get(v), cs, nvalid));
+                    } else {
+                        diffuse_surface_voxel(
+                            dims,
+                            &self.world,
+                            vc,
+                            cc,
+                            v,
+                            &mut self.scratch_virions,
+                            &mut self.scratch_chem,
+                        );
                     }
                 }
-                (vs, cs, nv)
-            };
-            self.scratch_virions.set(
-                v,
-                diffuse_voxel(
-                    self.world.virions.get(v),
-                    vsum,
-                    nvalid,
-                    p.virion_diffusion,
-                    p.virion_clearance,
-                    p.min_virions,
-                ),
-            );
-            self.scratch_chem.set(
-                v,
-                diffuse_voxel(
-                    self.world.chemokine.get(v),
-                    csum,
-                    nvalid,
-                    p.chemokine_diffusion,
-                    p.chemokine_decay,
-                    p.min_chemokine,
-                ),
-            );
+            }
+            // Wide path: each inner row's interior span runs through the
+            // chunked lane kernel (per-lane accumulation in the same
+            // offset-table order — structurally bit-identical to `sum2`);
+            // the two row ends and all surface rows take the checked path.
+            KernelMode::Wide => {
+                let (nx, ny, nz) = (dims.x as usize, dims.y as usize, dims.z as usize);
+                for z in 0..nz {
+                    let z_inner = dims.is_2d() || (z >= 1 && z + 1 < nz);
+                    for y in 0..ny {
+                        let row = (z * ny + y) * nx;
+                        if z_inner && y >= 1 && y + 1 < ny && nx >= 3 {
+                            diffuse_surface_voxel(
+                                dims,
+                                &self.world,
+                                vc,
+                                cc,
+                                row,
+                                &mut self.scratch_virions,
+                                &mut self.scratch_chem,
+                            );
+                            let (sv, sc) = (&mut self.scratch_virions, &mut self.scratch_chem);
+                            lanes::diffuse_interior_run(
+                                &self.stencil,
+                                row + 1,
+                                nx - 2,
+                                &self.world.virions,
+                                &self.world.chemokine,
+                                vc,
+                                cc,
+                                |v, nvv, ncc| {
+                                    sv.set(v, nvv);
+                                    sc.set(v, ncc);
+                                },
+                            );
+                            diffuse_surface_voxel(
+                                dims,
+                                &self.world,
+                                vc,
+                                cc,
+                                row + nx - 1,
+                                &mut self.scratch_virions,
+                                &mut self.scratch_chem,
+                            );
+                        } else {
+                            for x in 0..nx {
+                                diffuse_surface_voxel(
+                                    dims,
+                                    &self.world,
+                                    vc,
+                                    cc,
+                                    row + x,
+                                    &mut self.scratch_virions,
+                                    &mut self.scratch_chem,
+                                );
+                            }
+                        }
+                    }
+                }
+            }
         }
         std::mem::swap(&mut self.world.virions, &mut self.scratch_virions);
         std::mem::swap(&mut self.world.chemokine, &mut self.scratch_chem);
@@ -305,6 +369,34 @@ impl SerialSim {
     pub fn last_stats(&self) -> Option<&StepStats> {
         self.history.steps.last()
     }
+}
+
+/// Bounds-checked diffusion of one voxel (grid-surface or short-row case):
+/// gather the in-bounds Moore neighbors in offset-table order with a
+/// per-neighbor check, then stage the update. Shared by both kernel modes so
+/// the surface arithmetic is literally the same code path.
+fn diffuse_surface_voxel(
+    dims: GridDims,
+    world: &World,
+    vc: DiffuseCoeffs,
+    cc: DiffuseCoeffs,
+    v: usize,
+    scratch_virions: &mut Field,
+    scratch_chem: &mut Field,
+) {
+    let c = dims.coord(v);
+    let mut vs = 0.0f32;
+    let mut cs = 0.0f32;
+    let mut nv = 0usize;
+    for &(dx, dy, dz) in dims.neighbor_offsets() {
+        if let Some(u) = dims.checked_index(c.offset(dx, dy, dz)) {
+            vs += world.virions.get(u);
+            cs += world.chemokine.get(u);
+            nv += 1;
+        }
+    }
+    scratch_virions.set(v, vc.apply(world.virions.get(v), vs, nv));
+    scratch_chem.set(v, cc.apply(world.chemokine.get(v), cs, nv));
 }
 
 #[cfg(test)]

@@ -11,6 +11,7 @@ use simcov_core::exact::ExactSum;
 use simcov_core::extrav::TrialTable;
 use simcov_core::grid::{Coord, GridDims};
 use simcov_core::halo::HaloBox;
+use simcov_core::lanes::{self, KernelMode};
 use simcov_core::params::SimParams;
 use simcov_core::rules::{
     self, epi_update, extrav_lifetime, extrav_succeeds, plan_tcell, voxel_active, Bid,
@@ -37,6 +38,8 @@ pub struct CpuRank {
     pub soa: VoxelSoA,
     /// Constant stencil deltas for the halo box's row-major strides.
     stencil: StencilDeltas,
+    /// Which diffusion kernel this rank runs (bitwise identical either way).
+    kernel: KernelMode,
 
     /// Voxels processed this step (core, local indices).
     processed: ActiveSet,
@@ -97,7 +100,7 @@ impl RuleView for LocalView<'_> {
 
 impl CpuRank {
     /// Build rank-local state from the initial world.
-    pub fn new(rank: usize, partition: &Partition, world: &World) -> Self {
+    pub fn new(rank: usize, partition: &Partition, world: &World, kernel: KernelMode) -> Self {
         let dims = partition.dims;
         let sub = *partition.sub(rank);
         let hb = HaloBox::new(dims, sub);
@@ -164,6 +167,7 @@ impl CpuRank {
             neighbors,
             soa,
             stencil,
+            kernel,
             processed: ActiveSet::new(n),
             marks,
             local_actions: Vec::new(),
@@ -651,17 +655,42 @@ impl CpuRank {
         self.diffuse_out.clear();
         let mut virions_sum = ExactSum::zero();
         let mut chem_sum = ExactSum::zero();
-        for &li in &processed {
-            let c = self.hb.global(li as usize);
-            // Interior voxels (full Moore neighborhood inside the global
-            // grid) gather by constant halo-box stride deltas — same values
-            // in the same offset-table order, so the f32 sums are bitwise
-            // identical to the checked path below.
-            let (vsum, csum, nvalid) = if self.stencil.is_interior(c) {
-                let (vs, cs) = self
-                    .stencil
-                    .sum2(li as usize, &self.soa.virions, &self.soa.chem);
-                (vs, cs, self.stencil.len())
+        let vc = p.virion_coeffs();
+        let cc = p.chemokine_coeffs();
+        // Interior voxels (full Moore neighborhood inside the global grid)
+        // gather by constant halo-box stride deltas — same values in the
+        // same offset-table order, so the f32 sums are bitwise identical to
+        // the checked path. In `Wide` mode, maximal runs of *consecutive*
+        // interior local indices on the active list additionally go through
+        // the chunked lane kernel (per-lane accumulation, never mixed —
+        // still the same order per voxel); surface voxels and singletons
+        // fall back to the scalar gather either way.
+        let mut j = 0usize;
+        while j < processed.len() {
+            let li = processed[j] as usize;
+            let c = self.hb.global(li);
+            if self.stencil.is_interior(c) {
+                let mut len = 1usize;
+                if self.kernel == KernelMode::Wide {
+                    while j + len < processed.len()
+                        && processed[j + len] as usize == li + len
+                        && self.stencil.is_interior(self.hb.global(li + len))
+                    {
+                        len += 1;
+                    }
+                }
+                let out = &mut self.diffuse_out;
+                lanes::diffuse_interior_run(
+                    &self.stencil,
+                    li,
+                    len,
+                    &self.soa.virions,
+                    &self.soa.chem,
+                    vc,
+                    cc,
+                    |i, nv, nc| out.push((i as u32, nv, nc)),
+                );
+                j += len;
             } else {
                 let mut vs = 0.0f32;
                 let mut cs = 0.0f32;
@@ -675,25 +704,13 @@ impl CpuRank {
                         nv += 1;
                     }
                 }
-                (vs, cs, nv)
-            };
-            let nv = simcov_core::diffusion::diffuse_voxel(
-                self.soa.virions.get(li as usize),
-                vsum,
-                nvalid,
-                p.virion_diffusion,
-                p.virion_clearance,
-                p.min_virions,
-            );
-            let nc = simcov_core::diffusion::diffuse_voxel(
-                self.soa.chem.get(li as usize),
-                csum,
-                nvalid,
-                p.chemokine_diffusion,
-                p.chemokine_decay,
-                p.min_chemokine,
-            );
-            self.diffuse_out.push((li, nv, nc));
+                self.diffuse_out.push((
+                    li as u32,
+                    vc.apply(self.soa.virions.get(li), vs, nv),
+                    cc.apply(self.soa.chem.get(li), cs, nv),
+                ));
+                j += 1;
+            }
         }
         let diffused = std::mem::take(&mut self.diffuse_out);
         for &(li, nv, nc) in &diffused {

@@ -11,10 +11,11 @@
 
 use gpusim::{CostModel, DeviceCounters, HwProfile};
 use pgas::fault::{FaultPlan, IntegrityRecord, PendingStateCorruption, SuperstepError};
-use pgas::{allreduce, Bsp, CommCounters, Trace};
+use pgas::{allreduce, Bsp, CommCounters, Trace, WorkPool};
 use simcov_core::decomp::{Partition, Strategy};
 use simcov_core::extrav::TrialTable;
 use simcov_core::foi::FoiPattern;
+use simcov_core::lanes::KernelMode;
 use simcov_core::params::SimParams;
 use simcov_core::stats::StatsPartial;
 use simcov_core::world::World;
@@ -43,6 +44,15 @@ pub struct CpuSimConfig {
     pub audit_period: Option<u64>,
     /// In-barrier retransmit budget override for corrupt batches.
     pub retransmit_budget: Option<u64>,
+    /// Diffusion kernel selection (default [`KernelMode::Wide`]; `Scalar`
+    /// keeps the reference path alive as the differential oracle). Bitwise
+    /// identical either way.
+    pub kernel: KernelMode,
+    /// Worker-thread count for the shared [`WorkPool`] running rank bodies
+    /// concurrently. `None` keeps the host-sized default pool; `Some(0)`
+    /// forces inline (serial) execution; `Some(n)` pins `n` workers.
+    /// Trajectories are bitwise identical for every value.
+    pub threads: Option<usize>,
 }
 
 impl CpuSimConfig {
@@ -56,6 +66,8 @@ impl CpuSimConfig {
             recovery: None,
             audit_period: None,
             retransmit_budget: None,
+            kernel: KernelMode::default(),
+            threads: None,
         }
     }
 
@@ -88,6 +100,16 @@ impl CpuSimConfig {
         self.retransmit_budget = Some(budget);
         self
     }
+
+    pub fn with_kernel(mut self, kernel: KernelMode) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
 }
 
 /// A running CPU-baseline simulation. Program against it through the
@@ -96,6 +118,7 @@ pub struct CpuSim {
     core: DriverCore,
     bsp: Bsp<CpuMsg>,
     pub ranks: Vec<CpuRank>,
+    kernel: KernelMode,
 }
 
 impl CpuSim {
@@ -118,15 +141,27 @@ impl CpuSim {
             core.enable_integrity(period);
         }
         core.check_world(&world)?;
+        if let Some(n) = cfg.threads {
+            // Pin the worker count: rank superstep bodies run truly
+            // concurrently on `n` workers (0 = inline). The pool only
+            // schedules — reduction order is fixed by `allreduce`/`ExactSum`
+            // — so every thread count yields the same bits.
+            core.share_pool(std::sync::Arc::new(WorkPool::new(n)));
+        }
         let ranks: Vec<CpuRank> = (0..cfg.n_ranks)
-            .map(|r| CpuRank::new(r, &core.partition, &world))
+            .map(|r| CpuRank::new(r, &core.partition, &world, cfg.kernel))
             .collect();
         let mut bsp = Bsp::new(cfg.n_ranks);
         bsp.inject_faults(cfg.fault_plan);
         if let Some(budget) = cfg.retransmit_budget {
             bsp.set_retransmit_budget(budget);
         }
-        Ok(CpuSim { core, bsp, ranks })
+        Ok(CpuSim {
+            core,
+            bsp,
+            ranks,
+            kernel: cfg.kernel,
+        })
     }
 
     /// The current domain decomposition (re-partitioned after recovery).
@@ -261,7 +296,7 @@ impl Executor for CpuSim {
         let partition = Partition::try_new(self.core.params.dims, n_units, self.core.strategy)
             .map_err(ConfigError::Partition)?;
         self.ranks = (0..n_units)
-            .map(|r| CpuRank::new(r, &partition, world))
+            .map(|r| CpuRank::new(r, &partition, world, self.kernel))
             .collect();
         let bsp = std::mem::replace(&mut self.bsp, Bsp::new(1));
         self.bsp = bsp.rebuilt(n_units);

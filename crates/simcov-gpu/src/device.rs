@@ -26,6 +26,7 @@ use simcov_core::epithelial::EpiState;
 use simcov_core::extrav::TrialTable;
 use simcov_core::grid::{Coord, GridDims};
 use simcov_core::halo::HaloBox;
+use simcov_core::lanes::{self, KernelMode};
 use simcov_core::params::SimParams;
 use simcov_core::rules::{
     self, epi_update, extrav_lifetime, extrav_succeeds, plan_tcell, voxel_active, Bid, RuleView,
@@ -68,6 +69,9 @@ pub struct GpuDevice {
     soa: VoxelSoA,
     /// Constant stencil deltas for within-tile strides `(1, tile, tile²)`.
     stencil: StencilDeltas,
+    /// Which diffusion kernel this device runs (bitwise identical either
+    /// way; `Scalar` is the differential oracle).
+    kernel: KernelMode,
     move_bid: Vec<Bid>,
     bind_bid: Vec<Bid>,
     touched_bids: Vec<u32>,
@@ -115,6 +119,7 @@ impl RuleView for DeviceView<'_> {
 }
 
 impl GpuDevice {
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         id: usize,
         partition: &Partition,
@@ -123,6 +128,7 @@ impl GpuDevice {
         tile_side: usize,
         check_period: u64,
         devices_per_node: usize,
+        kernel: KernelMode,
     ) -> Self {
         let dims = partition.dims;
         let hb = HaloBox::new(dims, *partition.sub(id));
@@ -165,6 +171,7 @@ impl GpuDevice {
             devices_per_node,
             soa,
             stencil,
+            kernel,
             move_bid: vec![Bid::EMPTY; n],
             bind_bid: vec![Bid::EMPTY; n],
             touched_bids: Vec::new(),
@@ -623,6 +630,8 @@ impl GpuDevice {
         self.diffuse_out.clear();
         let mut diff_elems = 0u64;
         let is_2d = self.dims.is_2d();
+        let vc = p.virion_coeffs();
+        let cc = p.chemokine_coeffs();
         for tile in &tiles {
             let span = self.layout.tile_span(*tile);
             for oz in 0..span.nz {
@@ -630,24 +639,52 @@ impl GpuDevice {
                 for oy in 0..span.ny {
                     let y_inner = oy >= 1 && oy + 1 < span.ny;
                     let row = span.base + oz * span.sz_stride + oy * span.sy_stride;
-                    for ox in 0..span.nx {
+                    let mut ox = 0usize;
+                    while ox < span.nx {
                         let li = row + ox;
                         let c = span.origin.offset(ox as i64, oy as i64, oz as i64);
                         if !hb.is_core(c) {
+                            ox += 1;
                             continue;
                         }
-                        diff_elems += 1;
                         // Fast path: the whole Moore neighborhood lies inside
                         // this tile (tile-interior voxel) and inside the
                         // global grid, so the gather is a constant-stride
                         // sweep over the tile's contiguous storage — same
                         // values in the same offset order as the checked
-                        // path, hence bitwise identical.
+                        // path, hence bitwise identical. In `Wide` mode,
+                        // maximal x-runs of such voxels go through the
+                        // chunked lane kernel (per-lane accumulation, same
+                        // per-voxel order — see `simcov_core::lanes`).
                         let tile_inner = z_inner && y_inner && ox >= 1 && ox + 1 < span.nx;
-                        let (vsum, csum, nvalid) = if tile_inner && self.stencil.is_interior(c) {
-                            let (vs, cs) = self.stencil.sum2(li, &self.soa.virions, &self.soa.chem);
-                            (vs, cs, self.stencil.len())
+                        if tile_inner && self.stencil.is_interior(c) {
+                            let mut len = 1usize;
+                            if self.kernel == KernelMode::Wide {
+                                while ox + len + 1 < span.nx {
+                                    let q =
+                                        span.origin.offset((ox + len) as i64, oy as i64, oz as i64);
+                                    if hb.is_core(q) && self.stencil.is_interior(q) {
+                                        len += 1;
+                                    } else {
+                                        break;
+                                    }
+                                }
+                            }
+                            diff_elems += len as u64;
+                            let out = &mut self.diffuse_out;
+                            lanes::diffuse_interior_run(
+                                &self.stencil,
+                                li,
+                                len,
+                                &self.soa.virions,
+                                &self.soa.chem,
+                                vc,
+                                cc,
+                                |i, nv, nc| out.push((i as u32, nv, nc)),
+                            );
+                            ox += len;
                         } else {
+                            diff_elems += 1;
                             let mut vs = 0.0f32;
                             let mut cs = 0.0f32;
                             let mut nv = 0usize;
@@ -660,25 +697,13 @@ impl GpuDevice {
                                     nv += 1;
                                 }
                             }
-                            (vs, cs, nv)
-                        };
-                        let nv = simcov_core::diffusion::diffuse_voxel(
-                            self.soa.virions.get(li),
-                            vsum,
-                            nvalid,
-                            p.virion_diffusion,
-                            p.virion_clearance,
-                            p.min_virions,
-                        );
-                        let nc = simcov_core::diffusion::diffuse_voxel(
-                            self.soa.chem.get(li),
-                            csum,
-                            nvalid,
-                            p.chemokine_diffusion,
-                            p.chemokine_decay,
-                            p.min_chemokine,
-                        );
-                        self.diffuse_out.push((li as u32, nv, nc));
+                            self.diffuse_out.push((
+                                li as u32,
+                                vc.apply(self.soa.virions.get(li), vs, nv),
+                                cc.apply(self.soa.chem.get(li), cs, nv),
+                            ));
+                            ox += 1;
+                        }
                     }
                 }
             }

@@ -12,10 +12,11 @@
 use gpusim::device::LinkTraffic;
 use gpusim::{CostModel, DeviceCounters, HwProfile};
 use pgas::fault::{FaultPlan, IntegrityRecord, PendingStateCorruption, SuperstepError};
-use pgas::{allreduce, Bsp, CommCounters, Trace};
+use pgas::{allreduce, Bsp, CommCounters, Trace, WorkPool};
 use simcov_core::decomp::{Partition, Strategy};
 use simcov_core::extrav::TrialTable;
 use simcov_core::foi::FoiPattern;
+use simcov_core::lanes::KernelMode;
 use simcov_core::params::SimParams;
 use simcov_core::stats::StatsPartial;
 use simcov_core::world::World;
@@ -53,6 +54,15 @@ pub struct GpuSimConfig {
     pub audit_period: Option<u64>,
     /// In-barrier retransmit budget override for corrupt batches.
     pub retransmit_budget: Option<u64>,
+    /// Diffusion kernel selection (default [`KernelMode::Wide`]; `Scalar`
+    /// keeps the reference path alive as the differential oracle). Bitwise
+    /// identical either way.
+    pub kernel: KernelMode,
+    /// Worker-thread count for the shared [`WorkPool`] running device
+    /// superstep bodies concurrently. `None` keeps the host-sized default
+    /// pool; `Some(0)` forces inline execution; `Some(n)` pins `n` workers.
+    /// Trajectories are bitwise identical for every value.
+    pub threads: Option<usize>,
 }
 
 impl GpuSimConfig {
@@ -70,7 +80,19 @@ impl GpuSimConfig {
             recovery: None,
             audit_period: None,
             retransmit_budget: None,
+            kernel: KernelMode::default(),
+            threads: None,
         }
+    }
+
+    pub fn with_kernel(mut self, kernel: KernelMode) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
     }
 
     pub fn with_variant(mut self, v: GpuVariant) -> Self {
@@ -157,6 +179,7 @@ pub struct GpuSim {
     tile_side: usize,
     check_period: u64,
     devices_per_node: usize,
+    kernel: KernelMode,
 }
 
 impl GpuSim {
@@ -179,6 +202,13 @@ impl GpuSim {
             core.enable_integrity(period);
         }
         core.check_world(&world)?;
+        if let Some(n) = cfg.threads {
+            // Pin the worker count: device superstep bodies run truly
+            // concurrently on `n` workers (0 = inline). The pool only
+            // schedules — reduction order is fixed by `allreduce`/`ExactSum`
+            // — so every thread count yields the same bits.
+            core.share_pool(std::sync::Arc::new(WorkPool::new(n)));
+        }
         let check_period = cfg.check_period.unwrap_or(cfg.tile_side as u64);
         let devices: Vec<GpuDevice> = (0..cfg.n_devices)
             .map(|d| {
@@ -190,6 +220,7 @@ impl GpuSim {
                     cfg.tile_side,
                     check_period,
                     cfg.devices_per_node,
+                    cfg.kernel,
                 )
             })
             .collect();
@@ -206,6 +237,7 @@ impl GpuSim {
             tile_side: cfg.tile_side,
             check_period,
             devices_per_node: cfg.devices_per_node,
+            kernel: cfg.kernel,
         })
     }
 
@@ -357,6 +389,7 @@ impl Executor for GpuSim {
                     self.tile_side,
                     self.check_period,
                     self.devices_per_node,
+                    self.kernel,
                 )
             })
             .collect();

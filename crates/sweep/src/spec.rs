@@ -275,6 +275,8 @@ impl RunSpec {
             recovery: self.recovery.as_ref().map(|r| r.policy()),
             audit_period: self.audit_period,
             retransmit_budget: self.retransmit_budget,
+            kernel: simcov_core::lanes::KernelMode::default(),
+            threads: None,
         }
     }
 
@@ -293,6 +295,8 @@ impl RunSpec {
             recovery: self.recovery.as_ref().map(|r| r.policy()),
             audit_period: self.audit_period,
             retransmit_budget: self.retransmit_budget,
+            kernel: simcov_core::lanes::KernelMode::default(),
+            threads: None,
         }
     }
 

@@ -10,7 +10,7 @@
 //! must stay bitwise identical to the unperturbed run, on both parallel
 //! executors.
 
-use simcov_repro::pgas::FaultPlan;
+use simcov_repro::pgas::{FaultEvent, FaultKind, FaultPlan};
 use simcov_repro::simcov_core::grid::GridDims;
 use simcov_repro::simcov_core::params::SimParams;
 use simcov_repro::simcov_cpu::{CpuSim, CpuSimConfig};
@@ -103,4 +103,131 @@ fn shuffle_seed_and_rank_count_are_both_invisible() {
             "seed {seed:#x} on {ranks} ranks diverged"
         );
     }
+}
+
+/// A delivery storm of shuffled **and** duplicated coalesced batches, per
+/// superstep, per rotating rank.
+fn interleaving_storm(supersteps: u64, ranks: usize) -> FaultPlan {
+    let mut events = Vec::new();
+    for s in 0..supersteps {
+        events.push(FaultEvent {
+            superstep: s,
+            rank: (s as usize) % ranks,
+            kind: FaultKind::DeliveryShuffle {
+                seed: 0xC0FF_EE00 ^ s,
+            },
+        });
+        if s % 3 == 0 {
+            events.push(FaultEvent {
+                superstep: s,
+                rank: ((s / 3) as usize + 1) % ranks,
+                kind: FaultKind::MessageDuplicate,
+            });
+        }
+    }
+    FaultPlan::from_events(events)
+}
+
+/// Concurrent-delivery interleavings on the CPU executor: shuffled and
+/// duplicated batches land while four ranks genuinely run on four workers,
+/// with the CRC64/seal-scrub integrity lattice auditing every step. The
+/// lattice must report **zero false positives** — duplicates are suppressed
+/// and shuffles canonicalized without a single batch flagged corrupt or
+/// retransmitted — and the trajectory must match the quiet inline run
+/// bitwise.
+#[test]
+fn cpu_concurrent_interleavings_cause_no_false_positives() {
+    let mut clean = CpuSim::new(CpuSimConfig::new(params(31), 4)).expect("valid config");
+    clean.run().expect("no faults");
+
+    // The CPU executor runs 3 supersteps per step.
+    let cfg = CpuSimConfig::new(params(31), 4)
+        .with_fault_plan(interleaving_storm(60 * 3, 4))
+        .with_threads(4)
+        .with_audit_period(1);
+    let mut stormy = CpuSim::new(cfg).expect("valid config");
+    stormy.run().expect("interleavings are benign");
+
+    let cc = stormy.comm_counters();
+    assert!(cc.shuffled_inboxes > 0, "shuffles must actually fire");
+    assert!(
+        cc.duplicates_suppressed > 0,
+        "duplicates must actually fire"
+    );
+    assert_eq!(cc.corrupt_batches, 0, "integrity false positive");
+    assert_eq!(cc.retransmits, 0, "spurious retransmit");
+    assert!(
+        stormy.recovery_log().is_empty(),
+        "an interleaving must never look like a failure"
+    );
+    assert_eq!(
+        clean.history(),
+        stormy.history(),
+        "concurrent delivery order leaked into the time series"
+    );
+    assert!(
+        clean
+            .gather_world()
+            .first_difference(&stormy.gather_world())
+            .is_none(),
+        "concurrent delivery order leaked into the final world"
+    );
+}
+
+/// The same storm on the GPU executor (2 supersteps per step), with workers
+/// oversubscribed past the device count.
+#[test]
+fn gpu_concurrent_interleavings_cause_no_false_positives() {
+    let mut clean = GpuSim::new(GpuSimConfig::new(params(33), 4)).expect("valid config");
+    clean.run().expect("no faults");
+
+    let cfg = GpuSimConfig::new(params(33), 4)
+        .with_fault_plan(interleaving_storm(60 * 2, 4))
+        .with_threads(6)
+        .with_audit_period(1);
+    let mut stormy = GpuSim::new(cfg).expect("valid config");
+    stormy.run().expect("interleavings are benign");
+
+    let cc = stormy.comm_counters();
+    assert!(cc.shuffled_inboxes > 0);
+    assert!(cc.duplicates_suppressed > 0);
+    assert_eq!(cc.corrupt_batches, 0, "integrity false positive");
+    assert_eq!(cc.retransmits, 0, "spurious retransmit");
+    assert!(stormy.recovery_log().is_empty());
+    assert_eq!(clean.history(), stormy.history(), "time series diverged");
+    assert!(
+        clean
+            .gather_world()
+            .first_difference(&stormy.gather_world())
+            .is_none(),
+        "world diverged"
+    );
+}
+
+/// The full shuffle storm with oversubscribed workers: every inbox of every
+/// superstep permuted while eight workers contend for four rank bodies.
+#[test]
+fn shuffle_storm_with_oversubscribed_workers_is_bitwise_identical() {
+    let mut clean = CpuSim::new(CpuSimConfig::new(params(37), 4)).expect("valid config");
+    clean.run().expect("no faults");
+
+    let cfg = CpuSimConfig::new(params(37), 4)
+        .with_fault_plan(FaultPlan::shuffled(0xAB1E, 4, 60 * 3))
+        .with_threads(8)
+        .with_audit_period(1);
+    let mut stormy = CpuSim::new(cfg).expect("valid config");
+    stormy.run().expect("shuffles are benign");
+
+    let cc = stormy.comm_counters();
+    assert!(cc.shuffled_inboxes > 0);
+    assert_eq!(cc.corrupt_batches, 0, "integrity false positive");
+    assert!(stormy.recovery_log().is_empty());
+    assert_eq!(clean.history(), stormy.history(), "time series diverged");
+    assert!(
+        clean
+            .gather_world()
+            .first_difference(&stormy.gather_world())
+            .is_none(),
+        "world diverged"
+    );
 }

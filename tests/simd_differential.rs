@@ -1,0 +1,215 @@
+//! Differential suite for the wide-lane SIMD kernels (`simcov_core::lanes`).
+//!
+//! The scalar per-voxel path is kept alive as the oracle; every test here
+//! runs the same seeded simulation through both [`KernelMode`]s and demands
+//! **bitwise** equality — per step, over full trajectories, and on all three
+//! executors. The shapes are chosen adversarially for a chunked kernel:
+//! lane-width-±1 remainders, single-row/column grids, grids with no interior
+//! voxel at all (every voxel is boundary), and denormal-adjacent
+//! concentrations that expose any flush-to-zero or reassociation difference
+//! between the paths.
+
+use simcov_repro::simcov_core::foi::FoiPattern;
+use simcov_repro::simcov_core::grid::GridDims;
+use simcov_repro::simcov_core::lanes::{KernelMode, LANES};
+use simcov_repro::simcov_core::params::SimParams;
+use simcov_repro::simcov_core::serial::SerialSim;
+use simcov_repro::simcov_core::world::World;
+use simcov_repro::simcov_cpu::{CpuSim, CpuSimConfig};
+use simcov_repro::simcov_driver::Simulation;
+use simcov_repro::simcov_gpu::{GpuSim, GpuSimConfig};
+
+const L: u32 = LANES as u32;
+
+/// Grid shapes that stress the chunked kernel's run detection and tail
+/// handling. Comments give the interior-row run length (`nx - 2` in 2D).
+fn adversarial_dims() -> Vec<GridDims> {
+    vec![
+        GridDims::new2d(2, 2),         // no interior voxel: checked path only
+        GridDims::new2d(3, 3),         // single interior voxel: run length 1
+        GridDims::new2d(64, 1),        // single row: all boundary
+        GridDims::new2d(1, 64),        // single column: all boundary
+        GridDims::new2d(L + 1, 6),     // run LANES-1: pure scalar tail
+        GridDims::new2d(L + 2, 6),     // run LANES: one chunk, no tail
+        GridDims::new2d(L + 3, 6),     // run LANES+1: chunk + width-1 remainder
+        GridDims::new2d(2 * L + 5, 7), // two chunks + 3-wide tail
+        GridDims::new3d(3, 3, 3),      // 3D single interior voxel
+        GridDims::new3d(L + 3, 5, 4),  // 3D chunk + width-1 remainder per row
+    ]
+}
+
+/// Advance scalar and wide serial sims in lockstep, demanding bitwise
+/// equality of the full world after **every** step, not just at the end.
+fn assert_step_locked(params: &SimParams, world: &World, steps: u64, label: &str) {
+    let mut scalar =
+        SerialSim::from_world(params.clone(), world.clone()).with_kernel(KernelMode::Scalar);
+    let mut wide =
+        SerialSim::from_world(params.clone(), world.clone()).with_kernel(KernelMode::Wide);
+    for step in 0..steps {
+        scalar.advance_step();
+        wide.advance_step();
+        if let Some((idx, why)) = scalar.world.first_difference(&wide.world) {
+            panic!("{label}: wide diverged from scalar at step {step}, voxel {idx}: {why}");
+        }
+    }
+    assert_eq!(
+        scalar.history, wide.history,
+        "{label}: trajectory stats diverged"
+    );
+}
+
+/// Run both executors under both kernel modes against the scalar serial
+/// oracle over the full trajectory.
+fn assert_executors_match_oracle(
+    params: &SimParams,
+    world: &World,
+    ranks: usize,
+    devices: usize,
+    label: &str,
+) {
+    let mut oracle =
+        SerialSim::from_world(params.clone(), world.clone()).with_kernel(KernelMode::Scalar);
+    oracle.run();
+
+    for kernel in [KernelMode::Scalar, KernelMode::Wide] {
+        let cfg = CpuSimConfig::new(params.clone(), ranks).with_kernel(kernel);
+        let mut cpu = CpuSim::from_world(cfg, world.clone()).expect("valid config");
+        cpu.run().expect("healthy run");
+        if let Some((idx, why)) = oracle.world.first_difference(&cpu.gather_world()) {
+            panic!(
+                "{label}: CPU({ranks} ranks, {} kernel) diverged at voxel {idx}: {why}",
+                kernel.name()
+            );
+        }
+        assert_eq!(
+            oracle.history,
+            *cpu.history(),
+            "{label}: CPU({ranks} ranks, {} kernel) stats diverged",
+            kernel.name()
+        );
+
+        let cfg = GpuSimConfig::new(params.clone(), devices).with_kernel(kernel);
+        let mut gpu = GpuSim::from_world(cfg, world.clone()).expect("valid config");
+        gpu.run().expect("healthy run");
+        if let Some((idx, why)) = oracle.world.first_difference(&gpu.gather_world()) {
+            panic!(
+                "{label}: GPU({devices} devices, {} kernel) diverged at voxel {idx}: {why}",
+                kernel.name()
+            );
+        }
+        assert_eq!(
+            oracle.history,
+            *gpu.history(),
+            "{label}: GPU({devices} devices, {} kernel) stats diverged",
+            kernel.name()
+        );
+    }
+}
+
+#[test]
+fn wide_matches_scalar_stepwise_on_adversarial_shapes() {
+    for dims in adversarial_dims() {
+        for seed in [5u64, 11] {
+            let params = SimParams::test_config(dims, 24, 2, seed);
+            let world = World::seeded(&params, FoiPattern::UniformLattice);
+            assert_step_locked(&params, &world, 24, &format!("{dims:?} seed {seed}"));
+        }
+    }
+}
+
+#[test]
+fn executors_match_scalar_oracle_on_adversarial_shapes() {
+    for dims in adversarial_dims() {
+        // Multi-rank halo decomposition of a 3D axis shorter than 4 voxels
+        // is a pre-existing limitation (halo boxes overlap their neighbors'
+        // cores and the serial/distributed trajectories diverge regardless
+        // of kernel mode — reproducible on the seed revision). Those shapes
+        // keep their wide-vs-scalar coverage through the step-locked serial
+        // test above; everything else runs the full executor matrix.
+        if dims.z > 1 && dims.x.min(dims.y).min(dims.z) < 4 {
+            continue;
+        }
+        let params = SimParams::test_config(dims, 20, 2, 13);
+        let world = World::seeded(&params, FoiPattern::UniformLattice);
+        assert_executors_match_oracle(&params, &world, 2, 2, &format!("{dims:?}"));
+    }
+}
+
+#[test]
+fn denormal_adjacent_concentrations_stay_bitwise() {
+    // Disable the flush thresholds so subnormal concentrations survive into
+    // the gather sums, then plant magnitudes from 1e7 down to true f32
+    // denormals. Any reassociation or per-lane flush difference between the
+    // paths shows up in the very first diffusion step.
+    let dims = GridDims::new2d(2 * L + 5, 9);
+    let mut params = SimParams::test_config(dims, 16, 2, 3);
+    params.min_virions = 0.0;
+    params.min_chemokine = 0.0;
+    let mut world = World::seeded(&params, FoiPattern::UniformLattice);
+    for i in 0..dims.nvoxels() {
+        let v = match i % 5 {
+            0 => 1.0e7,
+            1 => f32::from_bits(1 + (i % 7) as u32), // true denormals
+            2 => 1.0e-38,                            // just above subnormal
+            3 => 1.0,
+            _ => 1.0e-30,
+        };
+        world.virions.set(i, world.virions.get(i) + v);
+        world.chemokine.set(i, world.chemokine.get(i) + v * 0.5);
+    }
+    assert_step_locked(&params, &world, 16, "denormal-adjacent");
+    assert_executors_match_oracle(&params, &world, 3, 2, "denormal-adjacent");
+}
+
+#[test]
+fn ct_lesion_seeding_is_kernel_invariant() {
+    // CT-lesion seeding exercises the row-span rewrite in `foi.rs`; the
+    // lesion voxel set and everything downstream must not depend on the
+    // kernel mode.
+    let dims = GridDims::new2d(36, 19);
+    let params = SimParams::test_config(dims, 30, 0, 31);
+    let world = World::seeded(
+        &params,
+        FoiPattern::CtLesions {
+            clusters: 3,
+            radius: 2,
+        },
+    );
+    assert_step_locked(&params, &world, 30, "ct-lesions");
+    assert_executors_match_oracle(&params, &world, 3, 4, "ct-lesions");
+}
+
+#[test]
+fn randomized_shape_and_seed_sweep() {
+    // A seeded LCG drives shapes (1..=25 × 1..=18) and master seeds, so the
+    // suite probes a different-but-reproducible corner of the shape space on
+    // every run of the loop body. Bitwise per-step equality plus a CPU
+    // executor trajectory check per sample.
+    let mut state = 0x9e37_79b9_7f4a_7c15u64;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        state >> 33
+    };
+    for k in 0..8u64 {
+        let nx = 1 + (next() % 25) as u32;
+        let ny = 1 + (next() % 18) as u32;
+        let dims = GridDims::new2d(nx, ny);
+        let params = SimParams::test_config(dims, 14, 2, 100 + k);
+        let world = World::seeded(&params, FoiPattern::UniformLattice);
+        let label = format!("sweep {k}: {nx}x{ny}");
+        assert_step_locked(&params, &world, 14, &label);
+
+        let mut oracle =
+            SerialSim::from_world(params.clone(), world.clone()).with_kernel(KernelMode::Scalar);
+        oracle.run();
+        let cfg = CpuSimConfig::new(params.clone(), 2).with_kernel(KernelMode::Wide);
+        let mut cpu = CpuSim::from_world(cfg, world).expect("valid config");
+        cpu.run().expect("healthy run");
+        assert!(
+            oracle.world.first_difference(&cpu.gather_world()).is_none(),
+            "{label}: cpu wide diverged from scalar oracle"
+        );
+    }
+}
