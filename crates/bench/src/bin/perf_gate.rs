@@ -17,6 +17,10 @@
 //! 3. compares each kernel's best (min) time against the committed
 //!    baseline (`--baseline`, default `BENCH_baseline.json`) and fails on
 //!    regressions beyond the tolerance band (`--tolerance`, default 0.25).
+//!    A failing pass is re-measured up to [`MAX_NOISE_RETRIES`] times with
+//!    the per-kernel min merged across passes: background load can only
+//!    inflate a min-based timing, so a kernel that stays over the limit on
+//!    every pass is a real regression, not a noise burst.
 //!
 //! Every fast path is asserted bitwise identical to its naive counterpart
 //! in-run before it is timed, so the gate can never trade correctness for
@@ -483,34 +487,193 @@ fn baseline_mins(text: &str) -> Result<Vec<(String, f64)>, String> {
     Ok(out)
 }
 
+/// In-run speedup ratios: both sides timed in the same process, so the
+/// checks are machine-independent. The telemetry overhead comes from the
+/// interleaved pair measurement in `run_benches`, not a min/min ratio.
+fn compute_speedups(results: &[BenchResult], tel_overhead: f64) -> Vec<(String, f64)> {
+    let speedup = |num: &str, den: &str| -> f64 {
+        match (find_min(results, num), find_min(results, den)) {
+            (Some(a), Some(b)) if b > 0.0 => a / b,
+            _ => 0.0,
+        }
+    };
+    vec![
+        (
+            "diffusion".to_string(),
+            speedup("diffusion/naive_64sq", "diffusion/stencil_64sq"),
+        ),
+        (
+            "diffusion_wide".to_string(),
+            speedup("diffusion/naive_64sq", "diffusion/wide_64sq"),
+        ),
+        (
+            "halo_exchange".to_string(),
+            speedup("halo_exchange/per_message", "halo_exchange/coalesced"),
+        ),
+        ("telemetry_overhead".to_string(), tel_overhead),
+    ]
+}
+
+fn speedup_of(speedups: &[(String, f64)], name: &str) -> f64 {
+    speedups
+        .iter()
+        .find(|(n, _)| n == name)
+        .map(|&(_, v)| v)
+        .unwrap_or(0.0)
+}
+
+/// One full gate evaluation: the in-run speedup floors, the telemetry
+/// overhead budget, and the per-kernel regression check against the
+/// baseline mins. Returns the failure list; per-kernel `ok` verdict lines
+/// are printed only when `verbose` (the final pass).
+fn evaluate_gate(
+    results: &[BenchResult],
+    speedups: &[(String, f64)],
+    tel_overhead: f64,
+    tolerance: f64,
+    base: Option<&[(String, f64)]>,
+    verbose: bool,
+) -> Vec<String> {
+    let mut failures = Vec::new();
+    let sp_diffusion = speedup_of(speedups, "diffusion");
+    let sp_diffusion_wide = speedup_of(speedups, "diffusion_wide");
+    let sp_halo = speedup_of(speedups, "halo_exchange");
+    if sp_diffusion_wide < MIN_DIFFUSION_SPEEDUP {
+        failures.push(format!(
+            "wide-lane diffusion speedup {sp_diffusion_wide:.2}x is below the \
+             {MIN_DIFFUSION_SPEEDUP}x floor (scalar stencil path: {sp_diffusion:.2}x)"
+        ));
+    }
+    if sp_halo < MIN_HALO_SPEEDUP {
+        failures.push(format!(
+            "coalesced halo speedup {sp_halo:.2}x is below the {MIN_HALO_SPEEDUP}x floor"
+        ));
+    }
+    if tel_overhead <= 0.0 {
+        failures.push("telemetry overhead pair did not run".to_string());
+    } else if tel_overhead > MAX_TELEMETRY_OVERHEAD {
+        failures.push(format!(
+            "telemetry instrumentation overhead {tel_overhead:.3}x exceeds the \
+             {MAX_TELEMETRY_OVERHEAD}x budget"
+        ));
+    }
+    if let Some(base) = base {
+        for r in results {
+            match base.iter().find(|(n, _)| n == &r.name) {
+                None => {
+                    if verbose {
+                        eprintln!("warning: kernel '{}' not in baseline (new?)", r.name);
+                    }
+                }
+                Some(&(_, base_min)) => {
+                    let limit = base_min * (1.0 + tolerance);
+                    if r.min_ns > limit {
+                        failures.push(format!(
+                            "{}: {:.1} ns exceeds baseline {:.1} ns by more than {:.0}%",
+                            r.name,
+                            r.min_ns,
+                            base_min,
+                            tolerance * 100.0
+                        ));
+                    } else if verbose {
+                        eprintln!(
+                            "ok {:<28} {:>10.1} ns (baseline {:>10.1} ns, limit {:>10.1})",
+                            r.name, r.min_ns, base_min, limit
+                        );
+                    }
+                }
+            }
+        }
+    }
+    failures
+}
+
+/// How many times a failing measurement pass is repeated before the gate
+/// reports the failure. Min-based timings are one-sided: background noise
+/// can only inflate a kernel's best time, never deflate it, so merging the
+/// per-kernel min across repeat passes rejects load bursts on shared CI
+/// hosts while a genuinely regressed kernel stays over the limit on every
+/// pass.
+const MAX_NOISE_RETRIES: usize = 2;
+
 fn main() {
     let cli = parse_cli();
     // One shared telemetry instance for the instrumented side of the
     // overhead pair; its registry also backs `--metrics-out`.
     let tel = Telemetry::enabled(3, 1 << 14);
-    let (results, tel_overhead) = run_benches(cli.smoke, cli.threads, &tel);
+    let (mut results, mut tel_overhead) = run_benches(cli.smoke, cli.threads, &tel);
 
-    // In-run speedups: both sides timed in this process, so the check is
-    // machine-independent. The telemetry overhead comes from the
-    // interleaved pair measurement in `run_benches`, not a min/min ratio.
-    let speedup = |num: &str, den: &str| -> f64 {
-        match (find_min(&results, num), find_min(&results, den)) {
-            (Some(a), Some(b)) if b > 0.0 => a / b,
-            _ => 0.0,
+    // The baseline is read once; a missing file downgrades the regression
+    // check to a warning (first run on a fresh machine), while a malformed
+    // one is a deterministic config failure no re-measurement can fix.
+    let mut config_failure = None;
+    let base: Option<Vec<(String, f64)>> = if cli.update_baseline {
+        None
+    } else {
+        match std::fs::read_to_string(&cli.baseline) {
+            Err(e) => {
+                eprintln!(
+                    "warning: no baseline at {} ({e}); regression check skipped",
+                    cli.baseline
+                );
+                None
+            }
+            Ok(text) => match baseline_mins(&text) {
+                Err(e) => {
+                    config_failure = Some(format!("baseline {} is malformed: {e}", cli.baseline));
+                    None
+                }
+                Ok(base) => Some(base),
+            },
         }
     };
-    let sp_diffusion = speedup("diffusion/naive_64sq", "diffusion/stencil_64sq");
-    let sp_diffusion_wide = speedup("diffusion/naive_64sq", "diffusion/wide_64sq");
-    let sp_halo = speedup("halo_exchange/per_message", "halo_exchange/coalesced");
-    let speedups = vec![
-        ("diffusion".to_string(), sp_diffusion),
-        ("diffusion_wide".to_string(), sp_diffusion_wide),
-        ("halo_exchange".to_string(), sp_halo),
-        ("telemetry_overhead".to_string(), tel_overhead),
-    ];
-    eprintln!("speedup diffusion stencil/naive:    {sp_diffusion:.2}x");
-    eprintln!("speedup diffusion wide/naive:       {sp_diffusion_wide:.2}x");
-    eprintln!("speedup halo coalesced/per-message: {sp_halo:.2}x");
+
+    if !cli.update_baseline && config_failure.is_none() {
+        for retry in 1..=MAX_NOISE_RETRIES {
+            let speedups = compute_speedups(&results, tel_overhead);
+            let failures = evaluate_gate(
+                &results,
+                &speedups,
+                tel_overhead,
+                cli.tolerance,
+                base.as_deref(),
+                false,
+            );
+            if failures.is_empty() {
+                break;
+            }
+            eprintln!(
+                "perf gate: {} check(s) over limit; re-measuring to reject noise \
+                 (retry {retry}/{MAX_NOISE_RETRIES})",
+                failures.len()
+            );
+            let (fresh, fresh_overhead) = run_benches(cli.smoke, cli.threads, &tel);
+            for f in fresh {
+                match results.iter_mut().find(|r| r.name == f.name) {
+                    Some(r) if f.min_ns < r.min_ns => *r = f,
+                    Some(_) => {}
+                    None => results.push(f),
+                }
+            }
+            if fresh_overhead > 0.0 && (tel_overhead <= 0.0 || fresh_overhead < tel_overhead) {
+                tel_overhead = fresh_overhead;
+            }
+        }
+    }
+
+    let speedups = compute_speedups(&results, tel_overhead);
+    eprintln!(
+        "speedup diffusion stencil/naive:    {:.2}x",
+        speedup_of(&speedups, "diffusion")
+    );
+    eprintln!(
+        "speedup diffusion wide/naive:       {:.2}x",
+        speedup_of(&speedups, "diffusion_wide")
+    );
+    eprintln!(
+        "speedup halo coalesced/per-message: {:.2}x",
+        speedup_of(&speedups, "halo_exchange")
+    );
     eprintln!("telemetry on/off overhead:          {tel_overhead:.3}x");
 
     let doc = results_to_json(&results, &cli, &speedups);
@@ -547,61 +710,16 @@ fn main() {
         return;
     }
 
-    let mut failures = Vec::new();
-    if sp_diffusion_wide < MIN_DIFFUSION_SPEEDUP {
-        failures.push(format!(
-            "wide-lane diffusion speedup {sp_diffusion_wide:.2}x is below the \
-             {MIN_DIFFUSION_SPEEDUP}x floor (scalar stencil path: {sp_diffusion:.2}x)"
-        ));
-    }
-    if sp_halo < MIN_HALO_SPEEDUP {
-        failures.push(format!(
-            "coalesced halo speedup {sp_halo:.2}x is below the {MIN_HALO_SPEEDUP}x floor"
-        ));
-    }
-    if tel_overhead <= 0.0 {
-        failures.push("telemetry overhead pair did not run".to_string());
-    } else if tel_overhead > MAX_TELEMETRY_OVERHEAD {
-        failures.push(format!(
-            "telemetry instrumentation overhead {tel_overhead:.3}x exceeds the \
-             {MAX_TELEMETRY_OVERHEAD}x budget"
-        ));
-    }
-
-    match std::fs::read_to_string(&cli.baseline) {
-        Err(e) => {
-            eprintln!(
-                "warning: no baseline at {} ({e}); regression check skipped",
-                cli.baseline
-            );
-        }
-        Ok(text) => match baseline_mins(&text) {
-            Err(e) => failures.push(format!("baseline {} is malformed: {e}", cli.baseline)),
-            Ok(base) => {
-                for r in &results {
-                    match base.iter().find(|(n, _)| n == &r.name) {
-                        None => eprintln!("warning: kernel '{}' not in baseline (new?)", r.name),
-                        Some(&(_, base_min)) => {
-                            let limit = base_min * (1.0 + cli.tolerance);
-                            if r.min_ns > limit {
-                                failures.push(format!(
-                                    "{}: {:.1} ns exceeds baseline {:.1} ns by more than {:.0}%",
-                                    r.name,
-                                    r.min_ns,
-                                    base_min,
-                                    cli.tolerance * 100.0
-                                ));
-                            } else {
-                                eprintln!(
-                                    "ok {:<28} {:>10.1} ns (baseline {:>10.1} ns, limit {:>10.1})",
-                                    r.name, r.min_ns, base_min, limit
-                                );
-                            }
-                        }
-                    }
-                }
-            }
-        },
+    let mut failures = evaluate_gate(
+        &results,
+        &speedups,
+        tel_overhead,
+        cli.tolerance,
+        base.as_deref(),
+        true,
+    );
+    if let Some(e) = config_failure {
+        failures.push(e);
     }
 
     if failures.is_empty() {

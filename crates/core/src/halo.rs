@@ -101,8 +101,7 @@ impl HaloBox {
             || c.x == self.core.hi.x - 1
             || c.y == self.core.lo.y
             || c.y == self.core.hi.y - 1
-            || (self.core.hi.z - self.core.lo.z > 1
-                && (c.z == self.core.lo.z || c.z == self.core.hi.z - 1))
+            || (self.lo.z < self.core.lo.z && (c.z == self.core.lo.z || c.z == self.core.hi.z - 1))
     }
 }
 

@@ -89,6 +89,13 @@ pub trait Executor {
     fn bsp_trace(&self) -> &Trace;
     fn bsp_enable_trace(&mut self);
 
+    /// Wire-side counters of the socket transport (`None` while the
+    /// in-process mailboxes carry the exchange). Strictly overhead
+    /// accounting — [`Executor::bsp_counters`] stays transport-invariant.
+    fn wire_counters(&self) -> Option<pgas::TransportCounters> {
+        None
+    }
+
     /// Hand the telemetry handle down to the BSP runtime (and, for the GPU
     /// executor, to every device) so supersteps, rank phases and kernel
     /// phases record spans. Called by [`Simulation::enable_telemetry`] after
@@ -215,6 +222,12 @@ pub trait Simulation {
 
     /// Cumulative communication counters (zeros for serial).
     fn comm_counters(&self) -> CommCounters;
+
+    /// Wire-side counters of the socket transport (`None` on the in-process
+    /// mailbox path and on the serial executor).
+    fn transport_counters(&self) -> Option<pgas::TransportCounters> {
+        None
+    }
 
     /// Cumulative work counters, including generations retired by recovery.
     fn total_counters(&self) -> DeviceCounters;
@@ -408,6 +421,10 @@ impl<E: Executor> Simulation for E {
 
     fn comm_counters(&self) -> CommCounters {
         self.bsp_counters()
+    }
+
+    fn transport_counters(&self) -> Option<pgas::TransportCounters> {
+        self.wire_counters()
     }
 
     fn total_counters(&self) -> DeviceCounters {

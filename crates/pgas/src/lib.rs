@@ -30,6 +30,8 @@ pub mod mailbox;
 pub mod pool;
 pub mod reduce;
 pub mod trace;
+pub mod transport;
+pub mod wire;
 
 pub use bsp::{Bsp, DEFAULT_RETRANSMIT_BUDGET};
 pub use counters::CommCounters;
@@ -43,3 +45,8 @@ pub use mailbox::{ExchangeFaults, ExchangeVolume, Mailboxes, Outbox, BATCH_HEADE
 pub use pool::WorkPool;
 pub use reduce::{allreduce, tree_depth};
 pub use trace::{Span, SpanVolume, Trace, TraceEvent};
+pub use transport::{
+    run_rank_worker, ExchangeTransport, ProcessTransport, ProcessTransportConfig, SpawnMode,
+    TransportCounters, TransportMode, WireFault, WireFaultKind, WireFaultPlan, WireOutcome,
+};
+pub use wire::{decode_bucket, encode_bucket, WireCodec, WireReader, WireWrite};

@@ -1,0 +1,243 @@
+//! Byte-level message codec for the process transport.
+//!
+//! The in-process mailbox path moves `M` values between ranks by `memcpy`
+//! (`Vec::append`), so it never needs a serialized form. The process
+//! transport does: every coalesced (src, dst) bucket crosses a socket as one
+//! CRC64-sealed frame (see [`crate::mailbox::frame`]) whose payload is the
+//! concatenation of the bucket's messages encoded through [`WireCodec`].
+//!
+//! Decoding follows the same hostile-input discipline as the frame parser:
+//! every read is bounds-checked against the remaining buffer, and no
+//! allocation is sized from an untrusted length without first capping it by
+//! the bytes actually present. A frame that passed its CRC can still be
+//! structurally hostile to a *different* message schema (version skew, a
+//! buggy peer), so `decode` returns `None` rather than trusting anything.
+
+/// Bounds-checked little-endian reader over a received payload.
+pub struct WireReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> WireReader<'a> {
+    pub fn new(buf: &'a [u8]) -> Self {
+        WireReader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Has every byte been consumed? Decoders check this to reject padded
+    /// or over-long payloads.
+    pub fn is_exhausted(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        if self.remaining() < n {
+            return None;
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Some(s)
+    }
+
+    pub fn read_u8(&mut self) -> Option<u8> {
+        self.take(1).map(|s| s[0])
+    }
+
+    pub fn read_bool(&mut self) -> Option<bool> {
+        match self.read_u8()? {
+            0 => Some(false),
+            1 => Some(true),
+            _ => None, // a canonical encoder only ever writes 0 or 1
+        }
+    }
+
+    pub fn read_u32(&mut self) -> Option<u32> {
+        self.take(4)
+            .map(|s| u32::from_le_bytes(s.try_into().expect("4 bytes")))
+    }
+
+    pub fn read_u64(&mut self) -> Option<u64> {
+        self.take(8)
+            .map(|s| u64::from_le_bytes(s.try_into().expect("8 bytes")))
+    }
+
+    pub fn read_u128(&mut self) -> Option<u128> {
+        self.take(16)
+            .map(|s| u128::from_le_bytes(s.try_into().expect("16 bytes")))
+    }
+
+    pub fn read_f32(&mut self) -> Option<f32> {
+        self.read_u32().map(f32::from_bits)
+    }
+
+    /// Read a length prefix for a sequence whose elements occupy at least
+    /// `elem_floor` encoded bytes each. A length that could not possibly fit
+    /// in the remaining buffer is rejected before any allocation.
+    pub fn read_len(&mut self, elem_floor: usize) -> Option<usize> {
+        let len = self.read_u64()?;
+        let floor = elem_floor.max(1) as u64;
+        if len > self.remaining() as u64 / floor {
+            return None;
+        }
+        Some(len as usize)
+    }
+}
+
+/// Little-endian writer helpers mirroring [`WireReader`].
+pub trait WireWrite {
+    fn put_u8(&mut self, v: u8);
+    fn put_bool(&mut self, v: bool);
+    fn put_u32(&mut self, v: u32);
+    fn put_u64(&mut self, v: u64);
+    fn put_u128(&mut self, v: u128);
+    fn put_f32(&mut self, v: f32);
+}
+
+impl WireWrite for Vec<u8> {
+    fn put_u8(&mut self, v: u8) {
+        self.push(v);
+    }
+    fn put_bool(&mut self, v: bool) {
+        self.push(v as u8);
+    }
+    fn put_u32(&mut self, v: u32) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+    fn put_u64(&mut self, v: u64) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+    fn put_u128(&mut self, v: u128) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+    fn put_f32(&mut self, v: f32) {
+        self.put_u32(v.to_bits());
+    }
+}
+
+/// A message type that can cross a process boundary. Encoding must be
+/// canonical (one byte sequence per value) so a round-tripped bucket is
+/// bit-identical to the staged one — the process transport's counter and
+/// trajectory identity with the in-process path depends on it.
+pub trait WireCodec: Sized {
+    /// Append this message's canonical encoding.
+    fn encode(&self, out: &mut Vec<u8>);
+    /// Decode one message; `None` on any structural violation.
+    fn decode(r: &mut WireReader<'_>) -> Option<Self>;
+}
+
+/// Encode a whole (src, dst) bucket as one contiguous payload.
+pub fn encode_bucket<M: WireCodec>(bucket: &[M]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for m in bucket {
+        m.encode(&mut out);
+    }
+    out
+}
+
+/// Decode a bucket payload that claims `count` messages. Fails if the
+/// payload holds more, fewer, or structurally invalid messages.
+pub fn decode_bucket<M: WireCodec>(count: u64, payload: &[u8]) -> Option<Vec<M>> {
+    // Every message encodes to at least one byte, so a count the payload
+    // cannot possibly hold is rejected before any allocation or iteration —
+    // a hostile count must not even drive loop trips.
+    if count > payload.len() as u64 {
+        return None;
+    }
+    let mut r = WireReader::new(payload);
+    let mut out = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        out.push(M::decode(&mut r)?);
+    }
+    if !r.is_exhausted() {
+        return None;
+    }
+    Some(out)
+}
+
+impl WireCodec for u8 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.put_u8(*self);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Option<Self> {
+        r.read_u8()
+    }
+}
+
+impl WireCodec for u32 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.put_u32(*self);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Option<Self> {
+        r.read_u32()
+    }
+}
+
+impl WireCodec for u64 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.put_u64(*self);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Option<Self> {
+        r.read_u64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_roundtrips() {
+        let bucket: Vec<u64> = vec![0, 1, u64::MAX, 0xDEAD_BEEF];
+        let payload = encode_bucket(&bucket);
+        assert_eq!(payload.len(), 32);
+        let back: Vec<u64> = decode_bucket(4, &payload).expect("clean payload");
+        assert_eq!(back, bucket);
+    }
+
+    #[test]
+    fn count_mismatch_is_rejected() {
+        let payload = encode_bucket(&[7u64, 8, 9]);
+        assert!(decode_bucket::<u64>(2, &payload).is_none(), "undercount");
+        assert!(decode_bucket::<u64>(4, &payload).is_none(), "overcount");
+        assert!(
+            decode_bucket::<u64>(3, &payload[..20]).is_none(),
+            "truncated"
+        );
+    }
+
+    #[test]
+    fn hostile_count_does_not_allocate() {
+        // A u64::MAX claim against a tiny payload must fail fast — no OOM
+        // from the capacity hint and no 2^64 decode-loop trips.
+        assert!(decode_bucket::<u64>(u64::MAX, &[0u8; 8]).is_none());
+        assert!(decode_bucket::<u8>(u64::MAX, &[]).is_none());
+    }
+
+    #[test]
+    fn read_len_caps_by_remaining_bytes() {
+        let mut buf = Vec::new();
+        buf.put_u64(1 << 40);
+        let mut r = WireReader::new(&buf);
+        assert!(r.read_len(16).is_none(), "impossible length rejected");
+        let mut buf = Vec::new();
+        buf.put_u64(2);
+        buf.put_u32(1);
+        buf.put_u32(2);
+        let mut r = WireReader::new(&buf);
+        assert_eq!(r.read_len(4), Some(2));
+        assert_eq!(r.read_u32(), Some(1));
+        assert_eq!(r.read_u32(), Some(2));
+        assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn non_canonical_bool_is_rejected() {
+        let mut r = WireReader::new(&[2]);
+        assert!(r.read_bool().is_none());
+    }
+}

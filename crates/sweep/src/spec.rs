@@ -277,6 +277,7 @@ impl RunSpec {
             retransmit_budget: self.retransmit_budget,
             kernel: simcov_core::lanes::KernelMode::default(),
             threads: None,
+            transport: pgas::TransportMode::InProcess,
         }
     }
 
@@ -297,6 +298,7 @@ impl RunSpec {
             retransmit_budget: self.retransmit_budget,
             kernel: simcov_core::lanes::KernelMode::default(),
             threads: None,
+            transport: pgas::TransportMode::InProcess,
         }
     }
 

@@ -30,6 +30,7 @@ pub mod registry;
 pub mod ring;
 pub mod sink;
 pub mod span;
+pub mod wire;
 
 pub use clock::MonotonicClock;
 pub use health::{HealthConfig, HealthKind, HealthMonitor, HealthRecord, RankWalls};
@@ -40,3 +41,4 @@ pub use registry::{
 pub use ring::EventRing;
 pub use sink::{MetricsSink, SharedSink, StepRecord};
 pub use span::{OpenSpan, SpanEvent, SpanKind, Telemetry};
+pub use wire::WireStats;

@@ -1,0 +1,128 @@
+//! Per-connection wire statistics for the process transport.
+//!
+//! The `pgas` process transport meters each parent↔worker connection
+//! separately; this type is the telemetry-side carrier so those numbers can
+//! be published into the shared [`Registry`] as labelled gauges without the
+//! transport depending on registry internals. Like all telemetry, publishing
+//! is pure observation — the transport behaves identically with or without a
+//! registry attached.
+
+use crate::registry::Registry;
+
+/// Cumulative statistics for one parent↔worker connection.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct WireStats {
+    /// Peer rank this connection serves.
+    pub peer: usize,
+    /// Sealed batch frames pushed to this worker.
+    pub frames_sent: u64,
+    /// Sealed batch frames read back from this worker's inbox.
+    pub frames_received: u64,
+    /// Socket bytes written (message headers included).
+    pub bytes_sent: u64,
+    /// Socket bytes read (message headers included).
+    pub bytes_received: u64,
+    /// Deliveries retried on this connection (deadline expiries plus
+    /// garbled/dropped inbox re-requests).
+    pub retries: u64,
+    /// Whether the worker was alive at last contact.
+    pub alive: bool,
+}
+
+impl WireStats {
+    pub fn new(peer: usize) -> Self {
+        WireStats {
+            peer,
+            alive: true,
+            ..Self::default()
+        }
+    }
+
+    /// Publish this connection's stats as `pgas_wire_*` gauges labelled by
+    /// peer rank.
+    pub fn publish(&self, reg: &Registry) {
+        let peer = self.peer.to_string();
+        let labels: [(&str, &str); 1] = [("peer", peer.as_str())];
+        reg.gauge_with(
+            "pgas_wire_frames_sent",
+            "batch frames sent to this worker",
+            &labels,
+        )
+        .set(self.frames_sent as f64);
+        reg.gauge_with(
+            "pgas_wire_frames_received",
+            "batch frames read back from this worker",
+            &labels,
+        )
+        .set(self.frames_received as f64);
+        reg.gauge_with(
+            "pgas_wire_bytes_sent",
+            "socket bytes written to this worker",
+            &labels,
+        )
+        .set(self.bytes_sent as f64);
+        reg.gauge_with(
+            "pgas_wire_bytes_received",
+            "socket bytes read from this worker",
+            &labels,
+        )
+        .set(self.bytes_received as f64);
+        reg.gauge_with(
+            "pgas_wire_retries",
+            "retried deliveries on this connection",
+            &labels,
+        )
+        .set(self.retries as f64);
+        reg.gauge_with(
+            "pgas_wire_peer_alive",
+            "1 if the worker was alive at last contact",
+            &labels,
+        )
+        .set(if self.alive { 1.0 } else { 0.0 });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::MetricValue;
+
+    #[test]
+    fn publishes_labelled_gauges() {
+        let reg = Registry::new();
+        let mut s = WireStats::new(2);
+        s.frames_sent = 7;
+        s.bytes_received = 1234;
+        s.alive = false;
+        s.publish(&reg);
+        let snap = reg.snapshot();
+        let get = |name: &str| {
+            snap.iter()
+                .find(|m| m.name == name && m.labels == vec![("peer".into(), "2".into())])
+                .unwrap_or_else(|| panic!("{name} missing"))
+        };
+        assert_eq!(get("pgas_wire_frames_sent").value, MetricValue::Gauge(7.0));
+        assert_eq!(
+            get("pgas_wire_bytes_received").value,
+            MetricValue::Gauge(1234.0)
+        );
+        assert_eq!(get("pgas_wire_peer_alive").value, MetricValue::Gauge(0.0));
+    }
+
+    #[test]
+    fn republish_overwrites_in_place() {
+        let reg = Registry::new();
+        let mut s = WireStats::new(0);
+        s.retries = 1;
+        s.publish(&reg);
+        s.retries = 5;
+        s.publish(&reg);
+        let snap = reg.snapshot();
+        let hits: Vec<_> = snap
+            .iter()
+            .filter(|m| m.name == "pgas_wire_retries")
+            .collect();
+        assert_eq!(hits.len(), 1, "same series, not a new one");
+        assert_eq!(hits[0].value, MetricValue::Gauge(5.0));
+    }
+}

@@ -120,15 +120,6 @@ fn wide_matches_scalar_stepwise_on_adversarial_shapes() {
 #[test]
 fn executors_match_scalar_oracle_on_adversarial_shapes() {
     for dims in adversarial_dims() {
-        // Multi-rank halo decomposition of a 3D axis shorter than 4 voxels
-        // is a pre-existing limitation (halo boxes overlap their neighbors'
-        // cores and the serial/distributed trajectories diverge regardless
-        // of kernel mode — reproducible on the seed revision). Those shapes
-        // keep their wide-vs-scalar coverage through the step-locked serial
-        // test above; everything else runs the full executor matrix.
-        if dims.z > 1 && dims.x.min(dims.y).min(dims.z) < 4 {
-            continue;
-        }
         let params = SimParams::test_config(dims, 20, 2, 13);
         let world = World::seeded(&params, FoiPattern::UniformLattice);
         assert_executors_match_oracle(&params, &world, 2, 2, &format!("{dims:?}"));
